@@ -1,0 +1,140 @@
+"""Ablation benches for the design knobs DESIGN.md calls out.
+
+* routing factor beta (paper fixes 0.5),
+* Cost_Optimizer elimination threshold delta (paper fixes 0),
+* scalability in the number of analog cores (the paper's motivation),
+* greedy packer optimality gap against exact branch-and-bound.
+"""
+
+import pytest
+
+from repro.core.sharing import format_partition
+from repro.experiments import (
+    beta_sweep,
+    delta_sweep,
+    packer_gap,
+    placement_comparison,
+    scalability_sweep,
+    self_test_sweep,
+)
+
+
+def test_ablation_beta(benchmark, context, save_artifact):
+    points = benchmark.pedantic(
+        beta_sweep, args=(context,), rounds=1, iterations=1
+    )
+    lines = ["beta  best combination           cost   C_A"]
+    for p in points:
+        lines.append(
+            f"{p.beta:4.2f}  {p.label():24} {p.best_cost:6.1f} "
+            f"{p.area_cost:6.1f}"
+        )
+    save_artifact("ablation_beta", "\n".join(lines))
+
+    # growing routing overhead makes the chosen plan's cost grow
+    costs = [p.best_cost for p in points]
+    assert costs == sorted(costs)
+
+
+def test_ablation_delta(benchmark, context, save_artifact):
+    points = benchmark.pedantic(
+        delta_sweep, args=(context,), rounds=1, iterations=1
+    )
+    lines = ["delta  n_evaluated  best_cost  matches_exhaustive"]
+    for p in points:
+        lines.append(
+            f"{p.delta:5.1f}  {p.n_evaluated:11}  {p.best_cost:9.1f}  "
+            f"{p.matches_exhaustive}"
+        )
+    save_artifact("ablation_delta", "\n".join(lines))
+
+    # more pruning -> fewer evaluations; a huge delta degenerates to
+    # exhaustive and must match it
+    evals = [p.n_evaluated for p in points]
+    assert evals == sorted(evals)
+    assert points[-1].matches_exhaustive
+    # cost never improves as we evaluate less
+    assert points[0].best_cost >= points[-1].best_cost - 1e-9
+
+
+def test_ablation_scalability(benchmark, context, save_artifact):
+    points = benchmark.pedantic(
+        scalability_sweep,
+        args=(context,),
+        kwargs={"core_counts": (3, 4, 5, 6)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["cores  N_combinations  heuristic_n"]
+    for p in points:
+        lines.append(
+            f"{p.n_cores:5}  {p.n_combinations:14}  "
+            f"{p.heuristic_evaluations:11}"
+        )
+    save_artifact("ablation_scalability", "\n".join(lines))
+
+    # the combination space explodes; the heuristic's evaluations do not
+    combos = [p.n_combinations for p in points]
+    evals = [p.heuristic_evaluations for p in points]
+    assert combos == sorted(combos)
+    assert combos[-1] > combos[0] * 2
+    assert evals[-1] < combos[-1]
+
+
+def test_ablation_self_test(benchmark, context, save_artifact):
+    """Future work: pricing the wrapper converter BIST."""
+    without, with_st = benchmark.pedantic(
+        self_test_sweep, args=(context,), rounds=1, iterations=1
+    )
+    lines = [
+        "config        best combination          cost  wrappers",
+        f"no BIST       {without.label():24} {without.best_cost:6.1f}  "
+        f"{without.n_wrappers}",
+        f"with BIST     {with_st.label():24} {with_st.best_cost:6.1f}  "
+        f"{with_st.n_wrappers}",
+    ]
+    save_artifact("ablation_self_test", "\n".join(lines))
+
+    # screening fewer converter pairs can only help sharing: the chosen
+    # plan never gets *more* wrappers when BIST is priced in
+    assert with_st.n_wrappers <= without.n_wrappers
+
+
+def test_ablation_placement(benchmark, save_artifact):
+    """Future work: placement-aware routing overhead."""
+    result = benchmark.pedantic(
+        placement_comparison, kwargs={"effort": "medium"},
+        rounds=1, iterations=1,
+    )
+    lines = [
+        "model        best combination          cost",
+        f"global beta  {format_partition(result.global_partition):24} "
+        f"{result.global_cost:6.1f}",
+        f"placed       {format_partition(result.placed_partition):24} "
+        f"{result.placed_cost:6.1f}",
+        f"group beta near (A,B) = {result.near_group_beta:.3f}, "
+        f"far (A,D) = {result.far_group_beta:.3f}",
+    ]
+    save_artifact("ablation_placement", "\n".join(lines))
+
+    assert result.near_group_beta < result.far_group_beta
+    # co-located groups make sharing cheaper under the placed model
+    assert result.placed_cost <= result.global_cost + 1e-9
+
+
+def test_packer_gap(benchmark, save_artifact):
+    points = benchmark.pedantic(
+        packer_gap, kwargs={"n_instances": 8}, rounds=1, iterations=1
+    )
+    lines = ["instance  greedy  optimal  gap%"]
+    for p in points:
+        lines.append(
+            f"{p.instance:8}  {p.greedy_makespan:6}  "
+            f"{p.optimal_makespan:7}  {p.gap_percent:5.1f}"
+        )
+    save_artifact("packer_gap", "\n".join(lines))
+
+    gaps = [p.gap_percent for p in points]
+    assert all(g >= -1e-9 for g in gaps)
+    assert sum(gaps) / len(gaps) < 10.0  # greedy within 10% on average
+    assert max(gaps) < 25.0

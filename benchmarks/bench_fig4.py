@@ -1,0 +1,46 @@
+"""Figure 4 / Section 5 bench: converter complexity and wrapper area.
+
+Regenerates the modular-converter hardware argument: 32 vs 256
+comparators, 8x resistor reduction, the 0.02 mm^2 wrapper, and the ~1/8
+core-to-wrapper area ratio.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+
+
+def test_fig4(benchmark, save_artifact):
+    result = benchmark(run_fig4)
+    save_artifact("fig4", result.render())
+
+    assert result.modular_comparators == 32
+    assert result.flash_comparators == 256
+    assert result.comparator_reduction == pytest.approx(8.0)
+    assert result.modular_resistors == 32
+    assert result.resistor_reduction == pytest.approx(8.0)
+    assert result.wrapper_area_mm2 == pytest.approx(0.020, rel=0.02)
+    assert result.core_to_wrapper_ratio == pytest.approx(8.0, rel=0.05)
+
+    benchmark.extra_info["wrapper_area_mm2"] = round(
+        result.wrapper_area_mm2, 4
+    )
+
+
+def test_fig4_scaling(benchmark, save_artifact):
+    """The modular advantage grows exponentially with resolution."""
+    results = benchmark(
+        lambda: [run_fig4(bits=b) for b in (4, 6, 8, 10, 12)]
+    )
+    lines = ["bits  modular  flash  reduction"]
+    for r in results:
+        lines.append(
+            f"{r.bits:4}  {r.modular_comparators:7}  "
+            f"{r.flash_comparators:5}  {r.comparator_reduction:9.1f}"
+        )
+    save_artifact("fig4_scaling", "\n".join(lines))
+
+    reductions = [r.comparator_reduction for r in results]
+    assert reductions == sorted(reductions)
+    # reduction = 2^(bits/2 - 1): 8x at 8 bits, 32x at 12 bits
+    assert reductions[-1] == pytest.approx(2**5)

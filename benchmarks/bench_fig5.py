@@ -1,0 +1,90 @@
+"""Figure 5 bench: the wrapped cut-off frequency measurement.
+
+Regenerates the three spectra (applied tone set, direct analog
+response, wrapped response) with the paper's parameters and verifies
+the headline claim: the wrapped path extracts the cut-off within a few
+percent of the direct measurement (paper: 61 kHz vs 58 kHz, ~5%), the
+bias being systematic (wrapped reads low) and shrinking as the wrapper
+improves (more bits, wider front-end bandwidth).
+"""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, save_artifact):
+    result = benchmark(run_fig5)
+    save_artifact("fig5", result.render(plots=True))
+
+    assert result.direct_fit.error_vs(61e3) < 0.05
+    assert 0.005 < result.relative_error < 0.10
+    assert result.wrapped_fit.cutoff_hz < result.direct_fit.cutoff_hz
+
+    benchmark.extra_info["direct_fc_khz"] = round(
+        result.direct_fit.cutoff_hz / 1e3, 1
+    )
+    benchmark.extra_info["wrapped_fc_khz"] = round(
+        result.wrapped_fit.cutoff_hz / 1e3, 1
+    )
+    benchmark.extra_info["error_percent"] = round(
+        result.relative_error * 100, 2
+    )
+
+
+def test_fig5_error_budget(benchmark, save_artifact):
+    """Error decomposition: the paper's 'can be reduced further'.
+
+    Two sweeps isolate the error sources: converter resolution with an
+    ideal front-end (quantization-dominated), and front-end bandwidth
+    at 8 bits (the systematic droop that dominates the paper-like
+    setting).
+    """
+
+    def sweep():
+        resolution_rows = []
+        for bits in (4, 6, 8, 10):
+            r = run_fig5(
+                resolution_bits=bits,
+                analog_bandwidth_hz=None,
+                gain_error=0.0,
+            )
+            resolution_rows.append((bits, r.relative_error))
+        bandwidth_rows = []
+        for bw in (250e3, 350e3, 600e3, 1.2e6):
+            r = run_fig5(analog_bandwidth_hz=bw)
+            bandwidth_rows.append((bw, r.relative_error))
+        return resolution_rows, bandwidth_rows
+
+    resolution_rows, bandwidth_rows = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    lines = ["-- resolution sweep (ideal front-end) --", "bits  error%"]
+    for bits, error in resolution_rows:
+        lines.append(f"{bits:4}  {error * 100:6.2f}")
+    lines += ["", "-- front-end bandwidth sweep (8 bits) --",
+              "bw_kHz  error%"]
+    for bw, error in bandwidth_rows:
+        lines.append(f"{bw / 1e3:6.0f}  {error * 100:6.2f}")
+    save_artifact("fig5_error_budget", "\n".join(lines))
+
+    res_err = dict(resolution_rows)
+    assert res_err[4] > res_err[10]  # coarser converters measure worse
+    bw_err = dict(bandwidth_rows)
+    assert bw_err[250e3] > bw_err[1.2e6]  # narrower front-end droops more
+
+
+def test_fig5_ideal_wrapper(benchmark):
+    """With ideal converters and front-end the wrapped measurement
+    converges to the direct one."""
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={
+            "inl_lsb": 0.0,
+            "gain_error": 0.0,
+            "analog_bandwidth_hz": None,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert result.relative_error < 0.01

@@ -1,0 +1,50 @@
+"""Table 1 bench: area overhead costs and analog lower bounds.
+
+Regenerates the paper's Table 1 (area cost C_A for every sharing
+combination plus the normalized analog test-time lower bound) and
+verifies the exact and shape anchors recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.sharing import n_wrappers
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, context, save_artifact):
+    result = benchmark(run_table1, context)
+    save_artifact("table1", result.render())
+
+    rows = {r.partition: r for r in result.rows}
+    assert len(rows) == 26
+
+    # exact anchor: T_LB^ column reproduces the paper to the digit
+    t_lb = {
+        tuple(
+            g for g in partition if len(g) >= 2
+        ): row.t_lb_hat
+        for partition, row in rows.items()
+    }
+    assert t_lb[(("A", "C"),)] == pytest.approx(68.5)
+    assert t_lb[(("D", "E"),)] == pytest.approx(10.1)
+    assert t_lb[(("A", "B", "C"), ("D", "E"))] == pytest.approx(89.8)
+    assert t_lb[(("A", "B", "C", "D", "E"),)] == pytest.approx(100.0)
+
+    # shape anchors: deeper sharing is cheaper on average; conflicting
+    # speed/resolution pairs exceed the no-sharing reference
+    by_degree = {}
+    for row in result.rows:
+        by_degree.setdefault(row.wrappers, []).append(row.area_cost_joint)
+    mean = {d: sum(v) / len(v) for d, v in by_degree.items()}
+    assert mean[2] < mean[3] < mean[4]
+    cd = next(
+        r for r in result.rows
+        if any(g == ("C", "D") for g in r.partition)
+        and n_wrappers(r.partition) == 4
+    )
+    assert cd.area_cost_joint > 100.0
+
+    benchmark.extra_info["n_combinations"] = len(result.rows)
+    benchmark.extra_info["min_area_cost"] = round(
+        min(r.area_cost_joint for r in result.rows), 1
+    )

@@ -1,0 +1,37 @@
+"""Table 2 bench: analog test requirements and the bandwidth audit.
+
+Regenerates the Table 2 listing and verifies that every test's TAM
+width is exactly sufficient at the paper's 50 MHz TAM clock.
+"""
+
+import pytest
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, context, save_artifact):
+    result = benchmark(run_table2, context)
+    save_artifact("table2", result.render())
+
+    assert len(result.rows) == 20
+    assert result.all_feasible
+
+    # exact per-core totals implied by Table 2
+    assert result.core_total_cycles("A") == 135_969
+    assert result.core_total_cycles("B") == 135_969
+    assert result.core_total_cycles("C") == 299_785
+    assert result.core_total_cycles("D") == 56_490
+    assert result.core_total_cycles("E") == 7_900
+
+    # the down-converter IIP3 test is the bandwidth-critical one: 6 bits
+    # x 78 MHz = 9.36 bits per 50 MHz TAM cycle on 10 wires
+    iip3 = next(
+        r for r in result.rows
+        if r.core.name == "D" and r.test.name == "iip3"
+    )
+    assert iip3.configuration.bits_per_tam_cycle == pytest.approx(9.36)
+    assert iip3.test.tam_width == 10
+
+    benchmark.extra_info["total_analog_cycles"] = sum(
+        r.test.cycles for r in result.rows
+    )

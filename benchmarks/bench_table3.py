@@ -1,0 +1,41 @@
+"""Table 3 bench: normalized test time per sharing combination and width.
+
+Regenerates Table 3 at the paper's widths (32, 48, 64) and verifies the
+Section 6 shape claims: all-sharing is the slowest configuration at
+every width, and the best-to-worst spread grows with the TAM width
+(the paper reports 2.45 / 7.36 / 17.18).
+
+This is the heaviest table (26 combinations x 3 widths, one rectangle
+packing each), so the benchmark runs a single round.
+"""
+
+import pytest
+
+from repro.core.sharing import all_sharing
+from repro.experiments import run_table3
+
+WIDTHS = (32, 48, 64)
+
+
+def test_table3(benchmark, context, save_artifact):
+    result = benchmark.pedantic(
+        run_table3, args=(context,), kwargs={"widths": WIDTHS},
+        rounds=1, iterations=1,
+    )
+    save_artifact("table3", result.render())
+
+    full = all_sharing(context.core_names)
+    for width in WIDTHS:
+        values = [result.normalized(p, width) for p in result.partitions]
+        # all-share is the normalizer and the maximum
+        assert result.normalized(full, width) == pytest.approx(100.0)
+        assert max(values) == pytest.approx(100.0)
+        assert min(values) > 50.0
+
+    # spread grows with width (paper: 2.45 -> 7.36 -> 17.18)
+    spreads = [result.spread(w) for w in WIDTHS]
+    assert spreads[0] < spreads[-1]
+    assert spreads[-1] > 8.0
+
+    for width, spread in zip(WIDTHS, spreads):
+        benchmark.extra_info[f"spread_w{width}"] = round(spread, 2)

@@ -1,0 +1,38 @@
+"""Table 4 bench: Cost_Optimizer heuristic vs exhaustive evaluation.
+
+Regenerates Table 4 over the paper's grid — W in {32, 40, 48, 56, 64},
+(w_T, w_A) in {(1/3, 2/3), (1/2, 1/2), (2/3, 1/3)}, delta = 0 — and
+verifies the paper's claims: the heuristic needs far fewer TAM
+evaluations than the exhaustive N_tot = 26 and is (near-)optimal in
+every cell (the paper allows itself one suboptimal cell).
+
+By far the slowest bench (30 optimizer runs); single round.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, context, save_artifact):
+    result = benchmark.pedantic(
+        run_table4, args=(context,), rounds=1, iterations=1
+    )
+    save_artifact("table4", result.render())
+
+    assert len(result.cells) == 15
+    for cell in result.cells:
+        assert cell.exhaustive.n_evaluated == 26
+        assert cell.heuristic.n_evaluated < 26
+        # near-optimality: no cell more than 5% above the optimum
+        assert cell.cost_gap_percent <= 5.0
+
+    # the heuristic matches the exhaustive optimum in almost every cell
+    assert result.match_count >= len(result.cells) - 2
+    # and saves a large share of the evaluations (paper: ~61.5%)
+    assert result.mean_reduction_percent >= 40.0
+
+    benchmark.extra_info["matches"] = (
+        f"{result.match_count}/{len(result.cells)}"
+    )
+    benchmark.extra_info["mean_dE_percent"] = round(
+        result.mean_reduction_percent, 1
+    )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench writes its rendered artifact to
+``benchmarks/output/<name>.txt`` so a ``pytest benchmarks/
+--benchmark-only`` run regenerates all paper tables on disk, and
+records headline numbers in ``benchmark.extra_info`` so they appear in
+the pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Benchmark-grade experiment context (medium packer effort:
+    the full preset doubles runtime for <1% makespan change)."""
+    return ExperimentContext(effort="medium")
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    """Directory collecting the regenerated tables/figures."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(output_dir):
+    """Callable writing a rendered experiment artifact to disk."""
+
+    def _save(name: str, text: str) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

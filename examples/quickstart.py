@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: plan the test of a mixed-signal SOC in one call.
+
+Runs the paper's full flow on the ``p93791m`` benchmark — enumerate the
+analog wrapper-sharing combinations, evaluate area and test-time costs,
+pick the cheapest plan with the ``Cost_Optimizer`` heuristic — and
+prints the chosen plan plus its TAM schedule.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CostWeights, plan_test, render_gantt
+
+
+def main() -> None:
+    plan = plan_test(
+        width=32,                       # SOC-level TAM width W
+        weights=CostWeights.balanced(),  # w_T = w_A = 0.5
+        shuffles=4,                     # packer effort (speed/quality)
+    )
+
+    print(plan.summary())
+    print()
+    print("Analog wrapper groups (cores sharing one wrapper):")
+    for group in plan.partition:
+        label = "+".join(group)
+        kind = "shared" if len(group) > 1 else "private"
+        print(f"  {label:12} ({kind})")
+    print()
+    print(render_gantt(plan.schedule, columns=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Exploring the wrapper-sharing trade-off space (Tables 1 and 3).
+
+For every sharing combination of the five analog cores, prints the area
+cost (Eq. 1), the analog test-time lower bound, and the measured SOC
+test time at two TAM widths — then shows how the cost-optimal choice
+moves as the cost weights change.
+
+Run with::
+
+    python examples/sharing_tradeoffs.py
+"""
+
+from repro.core import (
+    AreaModel,
+    CostModel,
+    CostWeights,
+    ScheduleEvaluator,
+    exhaustive_search,
+    format_partition,
+    n_wrappers,
+    normalized_lower_bound,
+)
+from repro.experiments import ExperimentContext
+from repro.reporting import render_table
+
+
+def main() -> None:
+    context = ExperimentContext(effort="medium")
+    soc = context.soc
+    cores = context.cores
+    combos = context.combinations
+    area_model = AreaModel(cores)
+
+    # one shared evaluator per width: schedules cached across the weights
+    width = 48
+    evaluator = ScheduleEvaluator(soc, width, **context.pack_kwargs)
+    model = CostModel(
+        soc, width, CostWeights.balanced(), area_model, evaluator=evaluator
+    )
+
+    rows = []
+    for partition in sorted(combos, key=lambda p: (-n_wrappers(p), p)):
+        rows.append(
+            (
+                n_wrappers(partition),
+                format_partition(partition),
+                round(min(100.0, area_model.area_cost(partition)), 1),
+                normalized_lower_bound(cores, partition),
+                round(model.time_cost(partition), 1),
+            )
+        )
+    print(
+        render_table(
+            ("wrappers", "combination", "C_A", "T_LB^", f"C_T@W{width}"),
+            rows,
+            title="Sharing combinations: area vs time trade-off",
+        )
+    )
+    print()
+
+    # how the optimum moves with the cost weights
+    print("Cost-optimal combination vs weights (exhaustive):")
+    for wt in (0.1, 0.33, 0.5, 0.67, 0.9):
+        weights = CostWeights(time=wt, area=1.0 - wt)
+        weighted = CostModel(
+            soc, width, weights, area_model, evaluator=evaluator
+        )
+        result = exhaustive_search(weighted, combos)
+        print(
+            f"  w_T={wt:4.2f}: {format_partition(result.best_partition):24}"
+            f" cost={result.best_cost:5.1f} "
+            f"({n_wrappers(result.best_partition)} wrappers)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Analog test wrappers: converters, behavioural model, sizing, area."""
+
+from .area_model import (
+    adc_area_um2,
+    comparator_area_um2,
+    dac_area_um2,
+    encoder_decoder_area_um2,
+    register_area_um2,
+    wrapper_area_mm2,
+    wrapper_area_um2,
+)
+from .converters import (
+    ConverterSpec,
+    FlashAdc,
+    ModularDac,
+    PipelinedModularAdc,
+    ResistorStringDac,
+    flash_comparator_count,
+    resistor_string_count,
+)
+from .sizing import (
+    DEFAULT_POLICY,
+    CompatibilityPolicy,
+    core_wrapper_hardware,
+    shared_hardware,
+    wrapper_requirements,
+)
+from .wrapper import (
+    DEFAULT_TAM_CLOCK_HZ,
+    AnalogTestWrapper,
+    ConfigurationError,
+    TestConfiguration,
+    WrapperHardware,
+    WrapperMode,
+)
+
+__all__ = [
+    "AnalogTestWrapper",
+    "CompatibilityPolicy",
+    "ConfigurationError",
+    "ConverterSpec",
+    "DEFAULT_POLICY",
+    "DEFAULT_TAM_CLOCK_HZ",
+    "FlashAdc",
+    "ModularDac",
+    "PipelinedModularAdc",
+    "ResistorStringDac",
+    "TestConfiguration",
+    "WrapperHardware",
+    "WrapperMode",
+    "adc_area_um2",
+    "comparator_area_um2",
+    "core_wrapper_hardware",
+    "dac_area_um2",
+    "encoder_decoder_area_um2",
+    "flash_comparator_count",
+    "register_area_um2",
+    "resistor_string_count",
+    "shared_hardware",
+    "wrapper_area_mm2",
+    "wrapper_area_um2",
+    "wrapper_requirements",
+]

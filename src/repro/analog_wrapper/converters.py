@@ -1,0 +1,278 @@
+"""Behavioural data-converter models (Figure 4 of the paper).
+
+The wrapper's converters dominate its area, so the paper builds them
+*modularly*:
+
+* the 8-bit ADC is a two-stage pipeline of 4-bit flash ADCs with an
+  inter-stage 4-bit DAC and a x16 residue amplifier (Fig. 4a) — 32
+  comparators instead of the 256 a monolithic 8-bit flash needs;
+* the 8-bit DAC combines two 4-bit voltage-steering (resistor-string)
+  DACs, the LSB one attenuated by 1/16 (Fig. 4b) — 8x fewer resistors.
+
+This module models all four converter styles behaviourally (ideal
+quantization plus optional deterministic nonidealities used by the
+Figure 5 reproduction) and exposes the component counts the paper's
+area argument rests on.
+
+Conventions: codes are unsigned integers ``0 .. 2^bits - 1``; the analog
+full scale is symmetric, ``[-v_fs/2, +v_fs/2]`` with ``v_fs`` defaulting
+to the paper's 4 V supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConverterSpec",
+    "FlashAdc",
+    "PipelinedModularAdc",
+    "ResistorStringDac",
+    "ModularDac",
+    "flash_comparator_count",
+    "resistor_string_count",
+]
+
+#: Paper supply voltage (Section 5): 4 V full scale.
+DEFAULT_FULL_SCALE_V = 4.0
+
+
+def flash_comparator_count(bits: int) -> int:
+    """Comparators in a monolithic *bits*-bit flash ADC.
+
+    The paper counts ``2^n`` comparators for an n-bit flash ("an 8-bit
+    flash architecture typically requires 256 comparators"); we follow
+    that convention (the textbook ``2^n - 1`` differs by one and does not
+    change the area argument).
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return 2**bits
+
+
+def resistor_string_count(bits: int) -> int:
+    """Resistors in a *bits*-bit voltage-steering (string) DAC."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return 2**bits
+
+
+@dataclass(frozen=True)
+class ConverterSpec:
+    """Resolution and full scale shared by the converter models."""
+
+    bits: int
+    full_scale_v: float = DEFAULT_FULL_SCALE_V
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.full_scale_v <= 0:
+            raise ValueError(
+                f"full_scale_v must be positive, got {self.full_scale_v}"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 2**self.bits
+
+    @property
+    def lsb_v(self) -> float:
+        """Voltage step of one LSB."""
+        return self.full_scale_v / self.levels
+
+    @property
+    def v_min(self) -> float:
+        """Lower edge of the conversion range."""
+        return -self.full_scale_v / 2
+
+    @property
+    def v_max(self) -> float:
+        """Upper edge of the conversion range."""
+        return self.full_scale_v / 2
+
+
+class FlashAdc:
+    """Monolithic flash ADC: one comparator bank, single-step conversion.
+
+    :param spec: resolution and range.
+    :param inl_lsb: peak integral nonlinearity in LSB.  Modelled as a
+        smooth bowing of the transfer characteristic plus a deterministic
+        pseudo-random comparator-offset component (seeded, so results
+        are repeatable).
+    """
+
+    def __init__(self, spec: ConverterSpec, inl_lsb: float = 0.0, seed: int = 0):
+        if inl_lsb < 0:
+            raise ValueError(f"inl_lsb must be >= 0, got {inl_lsb}")
+        self.spec = spec
+        self.inl_lsb = inl_lsb
+        rng = np.random.default_rng(seed)
+        # per-threshold offsets in LSB units (comparator mismatch)
+        self._offsets = rng.uniform(-1.0, 1.0, spec.levels)
+
+    @property
+    def comparator_count(self) -> int:
+        """Comparators in the flash bank (paper convention, ``2^bits``)."""
+        return flash_comparator_count(self.spec.bits)
+
+    def convert(self, v: np.ndarray | float) -> np.ndarray:
+        """Convert voltages to codes ``0 .. 2^bits - 1`` (clipping)."""
+        v = np.atleast_1d(np.asarray(v, dtype=float))
+        spec = self.spec
+        x = (v - spec.v_min) / spec.lsb_v
+        if self.inl_lsb > 0:
+            # smooth second-order bow (max at mid-scale) + comparator noise
+            norm = np.clip(x / spec.levels, 0.0, 1.0)
+            bow = 4.0 * norm * (1.0 - norm)
+            index = np.clip(x.astype(int), 0, spec.levels - 1)
+            x = x + self.inl_lsb * (0.7 * bow + 0.3 * self._offsets[index])
+        codes = np.floor(x).astype(int)
+        return np.clip(codes, 0, spec.levels - 1)
+
+
+class ResistorStringDac:
+    """Voltage-steering DAC: a ``2^bits`` resistor string plus switches."""
+
+    def __init__(self, spec: ConverterSpec, inl_lsb: float = 0.0, seed: int = 1):
+        if inl_lsb < 0:
+            raise ValueError(f"inl_lsb must be >= 0, got {inl_lsb}")
+        self.spec = spec
+        self.inl_lsb = inl_lsb
+        rng = np.random.default_rng(seed)
+        self._offsets = rng.uniform(-1.0, 1.0, spec.levels)
+
+    @property
+    def resistor_count(self) -> int:
+        """Resistors in the string."""
+        return resistor_string_count(self.spec.bits)
+
+    def convert(self, codes: np.ndarray) -> np.ndarray:
+        """Convert codes to mid-step output voltages."""
+        codes = np.atleast_1d(np.asarray(codes))
+        if np.any((codes < 0) | (codes >= self.spec.levels)):
+            raise ValueError(
+                f"codes must lie in [0, {self.spec.levels - 1}]"
+            )
+        x = codes.astype(float)
+        if self.inl_lsb > 0:
+            norm = x / self.spec.levels
+            bow = 4.0 * norm * (1.0 - norm)
+            x = x + self.inl_lsb * (0.7 * bow + 0.3 * self._offsets[codes])
+        return self.spec.v_min + (x + 0.5) * self.spec.lsb_v
+
+
+class PipelinedModularAdc:
+    """Two-stage modular pipelined ADC (Fig. 4a).
+
+    Stage 1: a coarse flash resolves the top half of the bits; an
+    inter-stage DAC reconstructs the coarse estimate; the residue is
+    amplified by ``2^(bits/2)`` and digitized by the fine flash.
+
+    :param spec: total resolution (must be even so the stages split
+        equally, as in the paper's 4+4 arrangement).
+    :param inl_lsb: nonideality budget forwarded to the stage flashes
+        (in stage-LSB units).
+    :param gain_error: relative error of the residue amplifier gain
+        (0.01 = 1 % low), the dominant pipelined-ADC error source.
+    """
+
+    def __init__(
+        self,
+        spec: ConverterSpec,
+        inl_lsb: float = 0.0,
+        gain_error: float = 0.0,
+        seed: int = 0,
+    ):
+        if spec.bits % 2 != 0:
+            raise ValueError(
+                f"modular ADC needs an even bit count, got {spec.bits}"
+            )
+        if abs(gain_error) >= 0.5:
+            raise ValueError(f"gain_error out of range: {gain_error}")
+        self.spec = spec
+        self.gain_error = gain_error
+        half = spec.bits // 2
+        self._stage_bits = half
+        coarse_spec = ConverterSpec(half, spec.full_scale_v)
+        self._coarse = FlashAdc(coarse_spec, inl_lsb=inl_lsb, seed=seed)
+        self._stage_dac = ResistorStringDac(coarse_spec, seed=seed + 1)
+        # the fine flash sees the amplified residue over the full scale
+        self._fine = FlashAdc(coarse_spec, inl_lsb=inl_lsb, seed=seed + 2)
+
+    @property
+    def comparator_count(self) -> int:
+        """Comparators: two half-resolution flash banks (32 for 8 bits)."""
+        return 2 * flash_comparator_count(self._stage_bits)
+
+    @property
+    def flash_equivalent_comparators(self) -> int:
+        """Comparators a monolithic flash of equal resolution would need."""
+        return flash_comparator_count(self.spec.bits)
+
+    def convert(self, v: np.ndarray | float) -> np.ndarray:
+        """Convert voltages to codes ``0 .. 2^bits - 1``."""
+        v = np.atleast_1d(np.asarray(v, dtype=float))
+        half = self._stage_bits
+        msb = self._coarse.convert(v)
+        # the stage DAC reproduces the *lower edge* of the coarse bin
+        coarse_edge = self.spec.v_min + msb * (2**half) * self.spec.lsb_v
+        residue = v - coarse_edge
+        gain = (2**half) * (1.0 - self.gain_error)
+        amplified = residue * gain + self.spec.v_min
+        lsb_codes = self._fine.convert(amplified)
+        codes = (msb << half) | lsb_codes
+        return np.clip(codes, 0, self.spec.levels - 1)
+
+
+class ModularDac:
+    """Modular DAC from two half-resolution string DACs (Fig. 4b).
+
+    The MSB DAC drives the output directly; the LSB DAC is attenuated by
+    ``1/2^(bits/2)`` and summed, so the resistor count drops from
+    ``2^bits`` to ``2 * 2^(bits/2)`` — the paper's 8x reduction at
+    8 bits.
+    """
+
+    def __init__(self, spec: ConverterSpec, inl_lsb: float = 0.0, seed: int = 3):
+        if spec.bits % 2 != 0:
+            raise ValueError(
+                f"modular DAC needs an even bit count, got {spec.bits}"
+            )
+        self.spec = spec
+        half = spec.bits // 2
+        self._stage_bits = half
+        stage_spec = ConverterSpec(half, spec.full_scale_v)
+        self._msb = ResistorStringDac(stage_spec, inl_lsb=inl_lsb, seed=seed)
+        self._lsb = ResistorStringDac(stage_spec, inl_lsb=inl_lsb, seed=seed + 1)
+
+    @property
+    def resistor_count(self) -> int:
+        """Resistors across both strings (32 for 8 bits)."""
+        return 2 * resistor_string_count(self._stage_bits)
+
+    @property
+    def monolithic_resistor_count(self) -> int:
+        """Resistors a single-string DAC of equal resolution would need."""
+        return resistor_string_count(self.spec.bits)
+
+    def convert(self, codes: np.ndarray) -> np.ndarray:
+        """Convert codes to output voltages."""
+        codes = np.atleast_1d(np.asarray(codes))
+        if np.any((codes < 0) | (codes >= self.spec.levels)):
+            raise ValueError(
+                f"codes must lie in [0, {self.spec.levels - 1}]"
+            )
+        half = self._stage_bits
+        msb = codes >> half
+        lsb = codes & ((1 << half) - 1)
+        v_msb = self._msb.convert(msb)
+        # LSB path: remove its mid-scale offset, attenuate into one MSB bin
+        v_lsb = (self._lsb.convert(lsb) - self._lsb.spec.v_min) / (2**half)
+        # align: subtract the half-LSB centering of the MSB stage so the
+        # combined characteristic is mid-step at full resolution
+        v = v_msb - self._msb.spec.lsb_v / 2 + v_lsb
+        return v

@@ -1,0 +1,92 @@
+"""Bit-level serial/parallel streaming through the wrapper registers.
+
+The wrapper's decoder assembles TAM bits into DAC codes and its encoder
+spreads ADC codes back over the TAM wires (Fig. 1: "the registers at
+each end of the data converters are written and read in a semi-serial
+fashion").  This module models that datapath exactly at the bit level:
+
+* :func:`serialize_codes` — converter codes → the TAM bit matrix
+  (one row per TAM cycle, one column per wire);
+* :func:`deserialize_codes` — the inverse;
+* :func:`stream_cycles` — the exact cycle count of a transfer, which
+  ties Table 2's TAM widths to the bandwidth rule of
+  :class:`~repro.analog_wrapper.wrapper.TestConfiguration`.
+
+Bits are packed MSB-first, samples back to back across cycles; the
+final cycle is zero-padded.  Round-tripping is exact (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["serialize_codes", "deserialize_codes", "stream_cycles"]
+
+
+def stream_cycles(n_samples: int, bits: int, width: int) -> int:
+    """TAM cycles to stream *n_samples* codes of *bits* over *width* wires."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return math.ceil(n_samples * bits / width)
+
+
+def serialize_codes(
+    codes: np.ndarray, bits: int, width: int
+) -> np.ndarray:
+    """Pack converter codes into a TAM bit matrix.
+
+    :param codes: integer codes in ``[0, 2^bits)``.
+    :param bits: code resolution.
+    :param width: TAM wires.
+    :returns: uint8 array of shape ``(stream_cycles, width)``; element
+        ``[c, w]`` is the bit on wire *w* during cycle *c*.
+    :raises ValueError: on out-of-range codes.
+    """
+    codes = np.atleast_1d(np.asarray(codes))
+    if codes.size and (codes.min() < 0 or codes.max() >= 2**bits):
+        raise ValueError(
+            f"codes must lie in [0, {2**bits - 1}], got range "
+            f"[{codes.min()}, {codes.max()}]"
+        )
+    n = codes.size
+    cycles = stream_cycles(n, bits, width)
+    flat = np.zeros(cycles * width, dtype=np.uint8)
+    for b in range(bits):
+        # bit b of every code, MSB first
+        flat[b::bits][:n] = (codes >> (bits - 1 - b)) & 1
+    return flat.reshape(cycles, width)
+
+
+def deserialize_codes(
+    bit_matrix: np.ndarray, bits: int, n_samples: int
+) -> np.ndarray:
+    """Unpack a TAM bit matrix back into converter codes.
+
+    :param bit_matrix: output of :func:`serialize_codes`.
+    :param bits: code resolution.
+    :param n_samples: number of codes to recover (trailing padding is
+        discarded).
+    :raises ValueError: if the matrix is too small for *n_samples*.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    flat = np.asarray(bit_matrix, dtype=np.uint8).reshape(-1)
+    if flat.size < n_samples * bits:
+        raise ValueError(
+            f"bit matrix holds {flat.size} bits, need "
+            f"{n_samples * bits} for {n_samples} samples of {bits} bits"
+        )
+    codes = np.zeros(n_samples, dtype=np.int64)
+    for b in range(bits):
+        codes |= flat[b::bits][:n_samples].astype(np.int64) << (
+            bits - 1 - b
+        )
+    return codes

@@ -1,0 +1,322 @@
+"""Behavioural model of the analog test wrapper (Figure 1).
+
+The wrapper turns an analog core into a *virtual digital core*: digital
+test patterns arrive over the TAM, a decoder and input register assemble
+them into DAC codes, the DAC drives the core, the ADC digitizes the
+response, and an encoder streams the output codes back onto the TAM.
+
+A digital test control circuit selects a per-test configuration
+(Section 2): the divide ratio between the TAM clock and the converter
+sampling clock, the serial-to-parallel conversion rate of the registers,
+and the test mode — normal (wrapper transparent), self-test (DAC
+looped into ADC), or core-test (through the core).
+
+:class:`WrapperHardware` captures the *sizing* of one wrapper instance;
+:class:`TestConfiguration` the per-test settings with their feasibility
+rule; :class:`AnalogTestWrapper` executes tests behaviourally.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..soc.model import AnalogCore, AnalogTest
+from .area_model import wrapper_area_mm2
+from .converters import ConverterSpec, ModularDac, PipelinedModularAdc
+
+__all__ = [
+    "WrapperMode",
+    "WrapperHardware",
+    "TestConfiguration",
+    "ConfigurationError",
+    "AnalogTestWrapper",
+    "DEFAULT_TAM_CLOCK_HZ",
+]
+
+#: The paper's system (TAM) clock in the Section 5 demonstration.
+DEFAULT_TAM_CLOCK_HZ = 50e6
+
+
+class WrapperMode(enum.Enum):
+    """Operating modes of the wrapper's test control circuit."""
+
+    NORMAL = "normal"
+    SELF_TEST = "self_test"
+    CORE_TEST = "core_test"
+
+
+class ConfigurationError(ValueError):
+    """Raised when a test cannot be configured on a wrapper."""
+
+
+@dataclass(frozen=True)
+class WrapperHardware:
+    """Sizing of one analog test wrapper instance.
+
+    :param resolution_bits: ADC/DAC resolution (rounded up to even for
+        the modular two-stage converters).
+    :param max_sample_freq_hz: fastest converter sampling rate the
+        wrapper supports.
+    :param tam_width: widest TAM connection the encoder/decoder serves.
+    :param full_scale_v: converter full scale (the paper uses a 4 V
+        supply).
+    """
+
+    resolution_bits: int
+    max_sample_freq_hz: float
+    tam_width: int
+    full_scale_v: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError(
+                f"resolution_bits must be >= 1, got {self.resolution_bits}"
+            )
+        if self.max_sample_freq_hz <= 0:
+            raise ValueError(
+                f"max_sample_freq_hz must be positive, got "
+                f"{self.max_sample_freq_hz}"
+            )
+        if self.tam_width < 1:
+            raise ValueError(f"tam_width must be >= 1, got {self.tam_width}")
+        if self.full_scale_v <= 0:
+            raise ValueError(
+                f"full_scale_v must be positive, got {self.full_scale_v}"
+            )
+
+    @property
+    def converter_bits(self) -> int:
+        """Physical converter resolution (even, for the 4+4 style split)."""
+        return self.resolution_bits + (self.resolution_bits % 2)
+
+    @property
+    def area_mm2(self) -> float:
+        """Wrapper area from the calibrated model (mm^2)."""
+        return wrapper_area_mm2(
+            self.resolution_bits, self.max_sample_freq_hz, self.tam_width
+        )
+
+    def supports(self, test: AnalogTest, resolution_bits: int) -> bool:
+        """Whether this wrapper can apply *test* at *resolution_bits*."""
+        return (
+            resolution_bits <= self.resolution_bits
+            and test.sample_freq_hz <= self.max_sample_freq_hz
+            and test.tam_width <= self.tam_width
+        )
+
+
+@dataclass(frozen=True)
+class TestConfiguration:
+    """Per-test wrapper settings chosen by the test control circuit.
+
+    The wrapper streams ``resolution_bits`` bits per converter sample
+    over ``tam_width`` wires running at ``tam_clock_hz``; the registers
+    perform serial-to-parallel conversion at
+    :attr:`serial_to_parallel_ratio` TAM cycles per sample.  The
+    fundamental feasibility rule is bandwidth::
+
+        resolution_bits * sample_freq <= tam_width * tam_clock
+
+    which is exactly what makes Table 2's TAM widths necessary: e.g. the
+    down-converter IIP3 test needs 6 bits x 78 MHz = 468 Mb/s, hence 10
+    wires at the 50 MHz TAM clock.
+    """
+
+    #: pytest: not a test class despite the Test* name
+    __test__ = False
+
+    test: AnalogTest
+    resolution_bits: int
+    tam_clock_hz: float
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError(
+                f"resolution_bits must be >= 1, got {self.resolution_bits}"
+            )
+        if self.tam_clock_hz <= 0:
+            raise ValueError(
+                f"tam_clock_hz must be positive, got {self.tam_clock_hz}"
+            )
+
+    @property
+    def bits_per_tam_cycle(self) -> float:
+        """TAM payload bandwidth the test consumes, bits per TAM cycle."""
+        return (
+            self.resolution_bits
+            * self.test.sample_freq_hz
+            / self.tam_clock_hz
+        )
+
+    @property
+    def is_feasible(self) -> bool:
+        """Bandwidth rule: payload fits the test's TAM width."""
+        return self.bits_per_tam_cycle <= self.test.tam_width + 1e-9
+
+    @property
+    def divide_ratio(self) -> float:
+        """TAM-clock cycles per converter sample (may be < 1 when the
+        converters outrun the TAM and the registers buffer instead)."""
+        return self.tam_clock_hz / self.test.sample_freq_hz
+
+    @property
+    def serial_to_parallel_ratio(self) -> int:
+        """Register shift cycles needed to assemble one sample's bits."""
+        return math.ceil(self.resolution_bits / self.test.tam_width)
+
+
+class AnalogTestWrapper:
+    """Executable wrapper: converters + registers + mode control.
+
+    :param hardware: the wrapper instance sizing.
+    :param tam_clock_hz: TAM clock used for configurations.
+    :param inl_lsb: converter nonideality budget (stage-LSB units).
+    :param gain_error: pipelined-ADC residue-amplifier gain error.
+    :param analog_bandwidth_hz: -3 dB bandwidth of the wrapper's analog
+        front-end (DAC reconstruction buffer and ADC track-and-hold,
+        modelled as one pole on each side of the core).  ``None`` means
+        an ideal (infinite-bandwidth) front-end.  This is the dominant
+        *systematic* error source in the wrapped measurement — it droops
+        the higher test tones and biases the extracted cut-off low,
+        which is exactly the paper's Figure 5 observation (61 kHz direct
+        vs 58 kHz wrapped).
+    :param seed: seed for the deterministic mismatch patterns.
+    """
+
+    def __init__(
+        self,
+        hardware: WrapperHardware,
+        tam_clock_hz: float = DEFAULT_TAM_CLOCK_HZ,
+        inl_lsb: float = 0.0,
+        gain_error: float = 0.0,
+        analog_bandwidth_hz: float | None = None,
+        seed: int = 0,
+    ):
+        if analog_bandwidth_hz is not None and analog_bandwidth_hz <= 0:
+            raise ValueError(
+                f"analog_bandwidth_hz must be positive, got "
+                f"{analog_bandwidth_hz}"
+            )
+        self.hardware = hardware
+        self.tam_clock_hz = tam_clock_hz
+        self.analog_bandwidth_hz = analog_bandwidth_hz
+        spec = ConverterSpec(hardware.converter_bits, hardware.full_scale_v)
+        self.adc = PipelinedModularAdc(
+            spec, inl_lsb=inl_lsb, gain_error=gain_error, seed=seed
+        )
+        self.dac = ModularDac(spec, inl_lsb=inl_lsb, seed=seed + 10)
+        self.mode = WrapperMode.NORMAL
+
+    def _front_end(self, x: np.ndarray, sample_freq_hz: float) -> np.ndarray:
+        """One-pole front-end applied on each analog boundary."""
+        if self.analog_bandwidth_hz is None:
+            return x
+        from scipy import signal as sp_signal
+
+        b, a = sp_signal.bilinear(
+            [2 * np.pi * self.analog_bandwidth_hz],
+            [1.0, 2 * np.pi * self.analog_bandwidth_hz],
+            fs=sample_freq_hz,
+        )
+        return sp_signal.lfilter(b, a, x)
+
+    def set_mode(self, mode: WrapperMode) -> None:
+        """Switch the wrapper's test mode."""
+        if not isinstance(mode, WrapperMode):
+            raise TypeError(f"expected WrapperMode, got {type(mode).__name__}")
+        self.mode = mode
+
+    def configure(
+        self, core: AnalogCore, test: AnalogTest
+    ) -> TestConfiguration:
+        """Build and validate the configuration for *test* of *core*.
+
+        :raises ConfigurationError: if the wrapper hardware cannot apply
+            the test, or the TAM bandwidth rule fails.
+        """
+        resolution = core.test_resolution(test)
+        if not self.hardware.supports(test, resolution):
+            raise ConfigurationError(
+                f"wrapper (res={self.hardware.resolution_bits}b, "
+                f"fs<={self.hardware.max_sample_freq_hz:.3g}Hz, "
+                f"width<={self.hardware.tam_width}) cannot host test "
+                f"{core.name}.{test.name} (res={resolution}b, "
+                f"fs={test.sample_freq_hz:.3g}Hz, width={test.tam_width})"
+            )
+        config = TestConfiguration(
+            test=test,
+            resolution_bits=resolution,
+            tam_clock_hz=self.tam_clock_hz,
+        )
+        if not config.is_feasible:
+            raise ConfigurationError(
+                f"test {core.name}.{test.name} needs "
+                f"{config.bits_per_tam_cycle:.2f} bits/TAM-cycle but has "
+                f"width {test.tam_width}"
+            )
+        return config
+
+    def encode_stimulus(self, voltages: np.ndarray) -> np.ndarray:
+        """Quantize an analog stimulus into the digital TAM patterns.
+
+        This is what an ATE-side test generator does once, offline: the
+        analog waveform becomes the digital vector stream stored with the
+        test.
+        """
+        spec = self.dac.spec
+        codes = np.clip(
+            np.floor((np.asarray(voltages) - spec.v_min) / spec.lsb_v),
+            0,
+            spec.levels - 1,
+        )
+        return codes.astype(int)
+
+    def apply_test(
+        self,
+        core_model,
+        stimulus_codes: np.ndarray,
+        sample_freq_hz: float,
+    ) -> np.ndarray:
+        """Run a core-test: DAC -> core -> ADC, returning response codes.
+
+        :param core_model: object with ``response(x, fs)`` (e.g.
+            :class:`repro.signal.filters.ButterworthLowpass`).
+        :param stimulus_codes: digital input pattern stream.
+        :param sample_freq_hz: converter sampling rate for this test.
+        :raises RuntimeError: unless the wrapper is in core-test mode.
+        """
+        if self.mode is not WrapperMode.CORE_TEST:
+            raise RuntimeError(
+                f"core-test requires WrapperMode.CORE_TEST, wrapper is in "
+                f"{self.mode.value}"
+            )
+        analog_in = self._front_end(
+            self.dac.convert(np.asarray(stimulus_codes)), sample_freq_hz
+        )
+        analog_out = core_model.response(analog_in, sample_freq_hz)
+        return self.adc.convert(self._front_end(analog_out, sample_freq_hz))
+
+    def self_test(self, stimulus_codes: np.ndarray) -> np.ndarray:
+        """Loop the DAC directly into the ADC (self-test mode).
+
+        An ideal wrapper returns the stimulus codes unchanged; deviations
+        expose converter faults, which is how the wrapper's own data
+        converters are screened before trusting core tests.
+
+        :raises RuntimeError: unless the wrapper is in self-test mode.
+        """
+        if self.mode is not WrapperMode.SELF_TEST:
+            raise RuntimeError(
+                f"self-test requires WrapperMode.SELF_TEST, wrapper is in "
+                f"{self.mode.value}"
+            )
+        return self.adc.convert(self.dac.convert(np.asarray(stimulus_codes)))
+
+    def decode_response(self, codes: np.ndarray) -> np.ndarray:
+        """Map response codes back to voltages (mid-step reconstruction)."""
+        spec = self.adc.spec
+        return spec.v_min + (np.asarray(codes) + 0.5) * spec.lsb_v

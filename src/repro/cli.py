@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate every paper table and figure.
+
+Usage::
+
+    python -m repro table1              # area costs + lower bounds
+    python -m repro table2              # analog test requirements audit
+    python -m repro table3 [--widths 32 48 64]
+    python -m repro table4 [--delta 0]
+    python -m repro fig4                # converter complexity / area
+    python -m repro fig5                # wrapped vs direct cut-off test
+    python -m repro plan  [--width 32 --wt 0.5]
+    python -m repro all                 # everything (slow)
+
+Each subcommand prints the corresponding table in the paper's layout;
+``plan`` runs the end-to-end flow on ``p93791m`` and prints the chosen
+plan plus its Gantt chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import CostWeights, plan_test, render_gantt
+from .experiments import (
+    ExperimentContext,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-msoc",
+        description=(
+            "Reproduction of 'Test Planning for Mixed-Signal SOCs with "
+            "Wrapped Analog Cores' (DATE 2005)"
+        ),
+    )
+    parser.add_argument(
+        "--effort",
+        choices=("full", "medium", "quick"),
+        default="medium",
+        help="rectangle-packer effort preset (default: medium)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="area costs and analog lower bounds")
+    sub.add_parser("table2", help="analog test requirements audit")
+
+    p3 = sub.add_parser("table3", help="normalized test times per width")
+    p3.add_argument(
+        "--widths", type=int, nargs="+", default=[32, 48, 64],
+        help="TAM widths to evaluate",
+    )
+
+    p4 = sub.add_parser("table4", help="Cost_Optimizer vs exhaustive")
+    p4.add_argument(
+        "--widths", type=int, nargs="+", default=[32, 40, 48, 56, 64]
+    )
+    p4.add_argument("--delta", type=float, default=0.0)
+
+    sub.add_parser("fig4", help="modular converter complexity and area")
+
+    p5 = sub.add_parser("fig5", help="wrapped vs direct cut-off test")
+    p5.add_argument(
+        "--no-plots", action="store_true", help="omit ASCII spectra"
+    )
+
+    pp = sub.add_parser("plan", help="end-to-end planning on p93791m")
+    pp.add_argument("--width", type=int, default=32)
+    pp.add_argument(
+        "--wt", type=float, default=0.5,
+        help="test-time weight w_T (area weight is 1 - w_T)",
+    )
+    pp.add_argument("--delta", type=float, default=0.0)
+    pp.add_argument(
+        "--exhaustive", action="store_true",
+        help="evaluate every combination instead of the heuristic",
+    )
+    pp.add_argument(
+        "--gantt", action="store_true", help="print the schedule Gantt"
+    )
+
+    pr = sub.add_parser(
+        "report", help="write a consolidated markdown report"
+    )
+    pr.add_argument(
+        "--out", default="REPORT.md", help="output file path"
+    )
+    pr.add_argument(
+        "--fast", action="store_true",
+        help="skip the scheduling-heavy Tables 3 and 4",
+    )
+
+    sub.add_parser("all", help="run every experiment (slow)")
+    return parser
+
+
+def _run_command(command: str, args: argparse.Namespace) -> str:
+    context = ExperimentContext(effort=args.effort)
+    if command == "table1":
+        return run_table1(context).render()
+    if command == "table2":
+        return run_table2(context).render()
+    if command == "table3":
+        return run_table3(context, widths=tuple(args.widths)).render()
+    if command == "table4":
+        return run_table4(
+            context, widths=tuple(args.widths), delta=args.delta
+        ).render()
+    if command == "fig4":
+        return run_fig4().render()
+    if command == "fig5":
+        return run_fig5().render(plots=not args.no_plots)
+    if command == "report":
+        from pathlib import Path
+
+        from .experiments import generate_report
+
+        text = generate_report(context, include_slow=not args.fast)
+        Path(args.out).write_text(text)
+        return f"wrote {args.out} ({len(text.splitlines())} lines)"
+    if command == "plan":
+        weights = CostWeights(time=args.wt, area=1.0 - args.wt)
+        plan = plan_test(
+            width=args.width,
+            weights=weights,
+            delta=args.delta,
+            exhaustive=args.exhaustive,
+            **context.pack_kwargs,
+        )
+        output = plan.summary()
+        if args.gantt:
+            output += "\n\n" + render_gantt(plan.schedule)
+        return output
+    raise ValueError(f"unknown command {command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    started = time.time()
+    if args.command == "all":
+        for command in ("table1", "table2", "fig4", "fig5", "table3",
+                        "table4"):
+            sub_args = parser.parse_args([
+                "--effort", args.effort, command
+            ])
+            print(_run_command(command, sub_args))
+            print()
+    else:
+        print(_run_command(args.command, args))
+    elapsed = time.time() - started
+    if elapsed > 5:
+        print(f"\n[{elapsed:.0f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: wrapper sharing + cost-oriented planning."""
+
+from .area import DEFAULT_BETA, ROUTING_PER_EXTRA_CORE, AreaModel
+from .cost import CostBreakdown, CostModel, CostWeights, ScheduleEvaluator
+from .exhaustive import evaluate_all, exhaustive_search
+from .frontier import FrontierPoint, cost_frontier, weight_for_segment
+from .lower_bounds import (
+    analog_time_lower_bound,
+    normalized_lower_bound,
+    true_lower_bound,
+    truncate1,
+    wrapper_usage,
+)
+from .optimizer import GroupReport, OptimizationResult, cost_optimizer
+from .sharing import (
+    Partition,
+    all_partitions,
+    all_sharing,
+    canonical,
+    format_partition,
+    identical_core_classes,
+    n_wrappers,
+    no_sharing,
+    paper_combinations,
+    refines,
+    shared_groups,
+    symmetry_reduce,
+)
+
+__all__ = [
+    "AreaModel",
+    "CostBreakdown",
+    "CostModel",
+    "CostWeights",
+    "FrontierPoint",
+    "cost_frontier",
+    "weight_for_segment",
+    "DEFAULT_BETA",
+    "GroupReport",
+    "OptimizationResult",
+    "Partition",
+    "ROUTING_PER_EXTRA_CORE",
+    "ScheduleEvaluator",
+    "all_partitions",
+    "all_sharing",
+    "analog_time_lower_bound",
+    "canonical",
+    "cost_optimizer",
+    "evaluate_all",
+    "exhaustive_search",
+    "format_partition",
+    "identical_core_classes",
+    "n_wrappers",
+    "no_sharing",
+    "normalized_lower_bound",
+    "paper_combinations",
+    "refines",
+    "shared_groups",
+    "symmetry_reduce",
+    "truncate1",
+    "true_lower_bound",
+    "wrapper_usage",
+]

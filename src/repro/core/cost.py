@@ -1,0 +1,241 @@
+"""Test-cost model (Eqs. 2 and 3) and the cached schedule evaluator.
+
+The total cost of testing the SOC with a given sharing combination is
+
+.. math:: C = w_T \\, C_T + w_A \\, C_A, \\qquad w_T + w_A = 1
+
+where :math:`C_T` is the SOC test time normalized to the all-sharing
+combination (the most serialized, hence slowest, configuration — the
+normalization makes it exactly 100) and :math:`C_A` is the Eq. (1) area
+cost.  Before any schedule is computed, a *preliminary* cost estimate
+(Eq. 3) substitutes the analytically available analog-time lower bound
+for :math:`C_T`; the ``Cost_Optimizer`` heuristic uses it to pick group
+representatives cheaply.
+
+:class:`ScheduleEvaluator` wraps the rectangle-packing TAM optimizer
+with two guarantees the optimization layer relies on:
+
+* **caching** — each sharing combination is packed at most once per
+  evaluator (the paper's evaluation counts ``n`` / ``N_tot`` are counts
+  of these packs);
+* **refinement monotonicity** — a schedule found under a coarser
+  partition is feasible under any refinement (serialization constraints
+  only relax), so makespans are propagated along the refinement order.
+  In particular every combination refines the all-sharing one, which
+  pins :math:`C_T \\le 100` with equality for all-sharing, exactly the
+  paper's normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..soc.model import Soc
+from ..tam.builder import analog_tasks, digital_tasks
+from ..tam.packing import pack
+from ..tam.schedule import Schedule
+from ..wrapper.pareto import ParetoCache
+from .area import AreaModel
+from .lower_bounds import normalized_lower_bound
+from .sharing import Partition, refines
+
+__all__ = ["CostWeights", "ScheduleEvaluator", "CostModel", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Cost weighting factors (Eq. 2): ``time + area = 1``."""
+
+    time: float
+    area: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.time <= 1 or not 0 <= self.area <= 1:
+            raise ValueError(
+                f"weights must lie in [0, 1], got ({self.time}, {self.area})"
+            )
+        if abs(self.time + self.area - 1.0) > 1e-9:
+            raise ValueError(
+                f"weights must sum to 1, got {self.time} + {self.area}"
+            )
+
+    @classmethod
+    def time_heavy(cls) -> "CostWeights":
+        """(2/3, 1/3): test time dominates the objective."""
+        return cls(time=2 / 3, area=1 / 3)
+
+    @classmethod
+    def balanced(cls) -> "CostWeights":
+        """(1/2, 1/2)."""
+        return cls(time=0.5, area=0.5)
+
+    @classmethod
+    def area_heavy(cls) -> "CostWeights":
+        """(1/3, 2/3): area overhead dominates the objective."""
+        return cls(time=1 / 3, area=2 / 3)
+
+
+class ScheduleEvaluator:
+    """Cached, monotone TAM-schedule evaluation for sharing partitions.
+
+    :param soc: the mixed-signal SOC.
+    :param width: SOC-level TAM width ``W``.
+    :param include_self_test: schedule converter-BIST tasks per wrapper
+        (the paper's future-work extension; off by default, matching
+        the paper's "self-test mode test time has not been considered").
+    :param pack_kwargs: forwarded to :func:`repro.tam.packing.pack`
+        (e.g. ``shuffles=0`` for faster, rougher evaluations in tests).
+    """
+
+    def __init__(
+        self,
+        soc: Soc,
+        width: int,
+        include_self_test: bool = False,
+        **pack_kwargs,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.soc = soc
+        self.width = width
+        self.include_self_test = include_self_test
+        self._pack_kwargs = pack_kwargs
+        self._pareto = ParetoCache(width)
+        self._digital = digital_tasks(soc, self._pareto)
+        self._schedules: dict[Partition, Schedule] = {}
+        #: number of actual packing runs performed (the paper's ``n``)
+        self.evaluations = 0
+
+    def schedule(self, partition: Partition) -> Schedule:
+        """The (cached) schedule for *partition*.
+
+        The returned schedule may have been inherited from a coarser
+        partition when that one packed better; it is feasible for
+        *partition* either way (its constraints are a superset).
+        """
+        cached = self._schedules.get(partition)
+        if cached is not None:
+            return cached
+        tasks = self._digital + analog_tasks(
+            self.soc.analog_cores,
+            partition,
+            include_self_test=self.include_self_test,
+        )
+        result = pack(tasks, self.width, **self._pack_kwargs)
+        self.evaluations += 1
+        # refinement monotonicity: inherit better coarse schedules, and
+        # retro-propagate this result to cached refinements.  NOT valid
+        # with self-test tasks: a refinement has *more* wrappers, hence
+        # more BIST work, so coarse schedules do not cover its task set.
+        if self.include_self_test:
+            self._schedules[partition] = result
+            return result
+        for other, other_schedule in list(self._schedules.items()):
+            if (
+                refines(partition, other)
+                and other_schedule.makespan < result.makespan
+            ):
+                result = other_schedule
+            elif (
+                refines(other, partition)
+                and result.makespan < other_schedule.makespan
+            ):
+                self._schedules[other] = result
+        self._schedules[partition] = result
+        return result
+
+    def makespan(self, partition: Partition) -> int:
+        """SOC test time under *partition*, in TAM cycles."""
+        return self.schedule(partition).makespan
+
+    @property
+    def evaluated_partitions(self) -> tuple[Partition, ...]:
+        """Partitions with a cached result, in insertion order."""
+        return tuple(self._schedules)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost components of one sharing combination at one TAM width."""
+
+    partition: Partition
+    makespan: int
+    time_cost: float
+    area_cost: float
+    total_cost: float
+
+
+class CostModel:
+    """Eq. (2)/(3) cost evaluation on top of a :class:`ScheduleEvaluator`.
+
+    :param soc: the mixed-signal SOC.
+    :param width: TAM width ``W``.
+    :param weights: cost weighting factors.
+    :param area_model: Eq. (1) area model over the SOC's analog cores.
+    :param evaluator: optional shared evaluator (lets several weight
+        settings reuse one schedule cache, as Table 4 effectively does).
+    """
+
+    def __init__(
+        self,
+        soc: Soc,
+        width: int,
+        weights: CostWeights,
+        area_model: AreaModel,
+        evaluator: ScheduleEvaluator | None = None,
+        **pack_kwargs,
+    ):
+        self.soc = soc
+        self.width = width
+        self.weights = weights
+        self.area_model = area_model
+        self.evaluator = evaluator or ScheduleEvaluator(
+            soc, width, **pack_kwargs
+        )
+        self._all_share: Partition = tuple(
+            [tuple(sorted(core.name for core in soc.analog_cores))]
+        )
+
+    @property
+    def all_share_makespan(self) -> int:
+        """Test time of the all-sharing combination (the normalizer)."""
+        return self.evaluator.makespan(self._all_share)
+
+    def time_cost(self, partition: Partition) -> float:
+        """:math:`C_T`: makespan normalized to all-sharing, 0..100."""
+        return (
+            100.0
+            * self.evaluator.makespan(partition)
+            / self.all_share_makespan
+        )
+
+    def area_cost(self, partition: Partition) -> float:
+        """:math:`C_A` capped at 100 (costs are defined on 1..100)."""
+        return min(100.0, self.area_model.area_cost(partition))
+
+    def total_cost(self, partition: Partition) -> float:
+        """Eq. (2): the weighted total cost."""
+        return (
+            self.weights.time * self.time_cost(partition)
+            + self.weights.area * self.area_cost(partition)
+        )
+
+    def preliminary_cost(self, partition: Partition) -> float:
+        """Eq. (3): lower-bound-based estimate, no scheduling needed."""
+        t_hat = normalized_lower_bound(
+            self.soc.analog_cores, partition, truncate=False
+        )
+        return (
+            self.weights.time * t_hat
+            + self.weights.area * self.area_cost(partition)
+        )
+
+    def breakdown(self, partition: Partition) -> CostBreakdown:
+        """All cost components of *partition* (forces an evaluation)."""
+        return CostBreakdown(
+            partition=partition,
+            makespan=self.evaluator.makespan(partition),
+            time_cost=self.time_cost(partition),
+            area_cost=self.area_cost(partition),
+            total_cost=self.total_cost(partition),
+        )

@@ -1,0 +1,106 @@
+"""Pareto frontier of the (time cost, area cost) trade-off.
+
+The paper's Eq. (2) scalarizes the two objectives with weights
+``(w_T, w_A)``.  Every weight setting selects a point on the Pareto
+frontier of the (C_T, C_A) plane — computing the frontier once shows
+*all* the plans any weight setting could ever pick, which is the more
+useful artifact for a test engineer choosing a trade-off.
+
+:func:`cost_frontier` evaluates the combinations through a
+:class:`~repro.core.cost.CostModel` and returns the non-dominated set,
+sorted by time cost; :func:`weight_for_segment` recovers, for each
+adjacent frontier pair, the weight at which the optimizer's preference
+flips between them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .cost import CostModel
+from .sharing import Partition
+
+__all__ = ["FrontierPoint", "cost_frontier", "weight_for_segment"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated sharing combination."""
+
+    partition: Partition
+    time_cost: float
+    area_cost: float
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Weak dominance: no worse on both axes, better on one."""
+        return (
+            self.time_cost <= other.time_cost
+            and self.area_cost <= other.area_cost
+            and (
+                self.time_cost < other.time_cost
+                or self.area_cost < other.area_cost
+            )
+        )
+
+
+def cost_frontier(
+    model: CostModel, combinations: Sequence[Partition]
+) -> list[FrontierPoint]:
+    """Non-dominated (C_T, C_A) points over *combinations*.
+
+    Evaluates every combination (one TAM run each, shared through the
+    model's evaluator cache) and filters to the Pareto set, sorted by
+    increasing time cost (hence decreasing area cost).
+
+    :raises ValueError: if *combinations* is empty.
+    """
+    if not combinations:
+        raise ValueError("at least one sharing combination is required")
+    points = [
+        FrontierPoint(
+            partition=partition,
+            time_cost=model.time_cost(partition),
+            area_cost=model.area_cost(partition),
+        )
+        for partition in sorted(combinations, key=lambda p: (len(p), p))
+    ]
+    frontier: list[FrontierPoint] = []
+    for candidate in points:
+        if any(
+            other.dominates(candidate)
+            for other in points
+            if other is not candidate
+        ):
+            continue
+        # drop exact duplicates on both axes
+        if any(
+            abs(kept.time_cost - candidate.time_cost) < 1e-12
+            and abs(kept.area_cost - candidate.area_cost) < 1e-12
+            for kept in frontier
+        ):
+            continue
+        frontier.append(candidate)
+    frontier.sort(key=lambda p: (p.time_cost, p.area_cost, p.partition))
+    return frontier
+
+
+def weight_for_segment(
+    faster: FrontierPoint, cheaper: FrontierPoint
+) -> float:
+    """Time weight ``w_T`` where preference flips between two points.
+
+    For ``w_T`` above the returned value the *faster* point wins the
+    Eq. (2) scalarization; below it, the *cheaper* (lower-area) one.
+
+    :raises ValueError: if the points do not trade off (one dominates).
+    """
+    dt = cheaper.time_cost - faster.time_cost
+    da = faster.area_cost - cheaper.area_cost
+    if dt <= 0 or da <= 0:
+        raise ValueError(
+            "points must trade off: faster must be strictly faster, "
+            "cheaper strictly cheaper"
+        )
+    # indifference: w_T * dt = (1 - w_T) * da
+    return da / (da + dt)

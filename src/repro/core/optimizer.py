@@ -1,0 +1,149 @@
+"""The ``Cost_Optimizer`` heuristic (Figure 3 of the paper).
+
+Exhaustively evaluating every sharing combination requires one TAM
+optimization run per combination — exponential in the number of analog
+cores.  ``Cost_Optimizer`` prunes with quantities available *before*
+scheduling:
+
+1. group the combinations by their **degree of sharing** (number of
+   analog wrappers used);
+2. for every combination compute the **preliminary cost** (Eq. 3) from
+   the area cost and the analog test-time lower bound;
+3. per group, select the combination with the smallest preliminary cost
+   and fully evaluate it (one TAM run each — the paper's "lower bound
+   on n is 4" for five cores: four degrees of sharing);
+4. keep the group whose representative has the lowest full cost;
+   eliminate every other group whose representative exceeds it by at
+   least the threshold ``delta`` (``delta = 0`` eliminates all of
+   them, the paper's Table 4 setting);
+5. fully evaluate all members of the surviving groups and return the
+   cheapest combination found.
+
+The reported ``n_evaluated`` counts *actual* TAM optimization runs
+(cache misses of the shared :class:`ScheduleEvaluator`), matching the
+paper's Table 4 accounting; ``reduction_percent`` is
+:math:`\\Delta E = (N_{tot} - n) / N_{tot} \\times 100`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .cost import CostModel
+from .sharing import Partition, n_wrappers
+
+__all__ = ["GroupReport", "OptimizationResult", "cost_optimizer"]
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """Fate of one degree-of-sharing group during the heuristic."""
+
+    degree: int
+    members: tuple[Partition, ...]
+    representative: Partition
+    representative_preliminary: float
+    representative_cost: float
+    eliminated: bool
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a ``Cost_Optimizer`` (or exhaustive) run."""
+
+    best_partition: Partition
+    best_cost: float
+    n_evaluated: int
+    n_total: int
+    groups: tuple[GroupReport, ...]
+
+    @property
+    def reduction_percent(self) -> float:
+        """:math:`\\Delta E`: saved evaluations as a percentage."""
+        if self.n_total == 0:
+            return 0.0
+        return 100.0 * (self.n_total - self.n_evaluated) / self.n_total
+
+
+def cost_optimizer(
+    model: CostModel,
+    combinations: Sequence[Partition],
+    delta: float = 0.0,
+) -> OptimizationResult:
+    """Run the Figure 3 heuristic over *combinations*.
+
+    :param model: cost model (carries the shared schedule evaluator).
+    :param combinations: candidate sharing combinations, e.g.
+        :func:`repro.core.sharing.paper_combinations` after symmetry
+        reduction.
+    :param delta: group-elimination threshold; larger values keep more
+        groups alive (more evaluations, closer to exhaustive).
+    :returns: the :class:`OptimizationResult`.
+    :raises ValueError: if *combinations* is empty or *delta* negative.
+    """
+    if not combinations:
+        raise ValueError("at least one sharing combination is required")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+
+    start_evaluations = model.evaluator.evaluations
+
+    # 1. group by degree of sharing
+    by_degree: dict[int, list[Partition]] = {}
+    for partition in combinations:
+        by_degree.setdefault(n_wrappers(partition), []).append(partition)
+
+    # 2-3. representative = min preliminary cost per group; evaluate it
+    representatives: dict[int, Partition] = {}
+    preliminary: dict[int, float] = {}
+    rep_cost: dict[int, float] = {}
+    for degree, members in sorted(by_degree.items()):
+        rep = min(
+            members, key=lambda p: (model.preliminary_cost(p), p)
+        )
+        representatives[degree] = rep
+        preliminary[degree] = model.preliminary_cost(rep)
+        rep_cost[degree] = model.total_cost(rep)
+
+    # 4. elimination
+    best_degree = min(
+        rep_cost, key=lambda degree: (rep_cost[degree], degree)
+    )
+    c_min = rep_cost[best_degree]
+    surviving = {
+        degree
+        for degree in rep_cost
+        if degree == best_degree or rep_cost[degree] - c_min < delta
+    }
+
+    # 5. full evaluation of surviving groups
+    best_partition = representatives[best_degree]
+    best_cost = c_min
+    for degree in sorted(surviving):
+        for partition in by_degree[degree]:
+            cost = model.total_cost(partition)
+            if cost < best_cost or (
+                cost == best_cost and partition < best_partition
+            ):
+                best_cost = cost
+                best_partition = partition
+
+    groups = tuple(
+        GroupReport(
+            degree=degree,
+            members=tuple(by_degree[degree]),
+            representative=representatives[degree],
+            representative_preliminary=preliminary[degree],
+            representative_cost=rep_cost[degree],
+            eliminated=degree not in surviving,
+        )
+        for degree in sorted(by_degree)
+    )
+    return OptimizationResult(
+        best_partition=best_partition,
+        best_cost=best_cost,
+        n_evaluated=model.evaluator.evaluations - start_evaluations,
+        n_total=len(combinations),
+        groups=groups,
+    )

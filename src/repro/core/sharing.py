@@ -1,0 +1,229 @@
+"""Enumeration of analog wrapper-sharing combinations.
+
+A *sharing combination* is a partition of the analog cores into wrapper
+groups: every group of size >= 2 shares one analog test wrapper, and
+singleton groups keep private wrappers.
+
+Three enumerations are provided:
+
+* :func:`all_partitions` — every set partition (Bell number growth);
+* :func:`paper_combinations` — the paper's "judiciously chosen" family
+  (Table 1): partitions with exactly **one** shared group, plus
+  partitions with exactly **two** shared groups and no private wrapper
+  left over.  For the five benchmark cores this yields 26 combinations
+  after symmetry reduction, matching the paper's ``N_tot = 26``;
+* :func:`symmetry_reduce` — collapse partitions equivalent under
+  swapping cores with identical test sets (cores A and B of the paper).
+
+Partitions are represented canonically as ``tuple[tuple[str, ...], ...]``
+with names sorted inside groups and groups sorted by (-size, names), so
+they are hashable and printable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from itertools import permutations
+
+from ..soc.model import AnalogCore
+
+__all__ = [
+    "Partition",
+    "canonical",
+    "all_partitions",
+    "paper_combinations",
+    "symmetry_reduce",
+    "identical_core_classes",
+    "shared_groups",
+    "n_wrappers",
+    "no_sharing",
+    "all_sharing",
+    "format_partition",
+    "refines",
+]
+
+#: A wrapper-sharing partition of analog core names.
+Partition = tuple[tuple[str, ...], ...]
+
+
+def canonical(groups: Iterable[Iterable[str]]) -> Partition:
+    """Canonical form: names sorted in groups, groups by (-size, names)."""
+    normalized = tuple(
+        tuple(sorted(group)) for group in groups if tuple(group)
+    )
+    seen: set[str] = set()
+    for group in normalized:
+        for name in group:
+            if name in seen:
+                raise ValueError(f"core {name!r} appears in two groups")
+            seen.add(name)
+    return tuple(sorted(normalized, key=lambda g: (-len(g), g)))
+
+
+def no_sharing(names: Sequence[str]) -> Partition:
+    """The partition with one private wrapper per core."""
+    return canonical([[name] for name in names])
+
+
+def all_sharing(names: Sequence[str]) -> Partition:
+    """The partition with a single wrapper shared by every core."""
+    return canonical([list(names)])
+
+
+def shared_groups(partition: Partition) -> tuple[tuple[str, ...], ...]:
+    """The groups of size >= 2 (the actually shared wrappers)."""
+    return tuple(group for group in partition if len(group) >= 2)
+
+
+def n_wrappers(partition: Partition) -> int:
+    """Number of analog wrappers the partition uses (= its group count)."""
+    return len(partition)
+
+
+def format_partition(partition: Partition) -> str:
+    """Human-readable form, e.g. ``{A,B,E}{C,D}`` (singletons omitted
+    when any shared group exists, mirroring the paper's tables)."""
+    shared = shared_groups(partition)
+    groups = shared if shared else partition
+    return "".join("{" + ",".join(group) + "}" for group in groups)
+
+
+def refines(fine: Partition, coarse: Partition) -> bool:
+    """Whether *fine* refines *coarse* (every fine group fits in a
+    coarse group).
+
+    If so, every schedule feasible under *coarse*'s serialization
+    constraints is feasible under *fine*'s — the property the schedule
+    evaluator uses to keep test times monotone under sharing.
+    """
+    owner: dict[str, tuple[str, ...]] = {}
+    for group in coarse:
+        for name in group:
+            owner[name] = group
+    for group in fine:
+        try:
+            targets = {owner[name] for name in group}
+        except KeyError:
+            return False
+        if len(targets) != 1:
+            return False
+    return True
+
+
+def all_partitions(names: Sequence[str]) -> list[Partition]:
+    """Every set partition of *names* (Bell(n) of them), canonical."""
+    items = list(names)
+    if len(set(items)) != len(items):
+        raise ValueError(f"names must be unique, got {items}")
+    if not items:
+        return []
+
+    def recurse(remaining: list[str]) -> list[list[list[str]]]:
+        if not remaining:
+            return [[]]
+        head, *tail = remaining
+        result: list[list[list[str]]] = []
+        for sub in recurse(tail):
+            # put head in an existing group
+            for i in range(len(sub)):
+                grown = [list(g) for g in sub]
+                grown[i].append(head)
+                result.append(grown)
+            # or in a new group
+            result.append([[head]] + [list(g) for g in sub])
+        return result
+
+    return sorted({canonical(p) for p in recurse(items)})
+
+
+def paper_combinations(
+    names: Sequence[str], include_no_sharing: bool = False
+) -> list[Partition]:
+    """The paper's Table 1 family of sharing combinations.
+
+    Partitions with exactly one shared group (of any size >= 2), plus
+    partitions with exactly two shared groups and no singleton
+    remaining.  The no-sharing partition is excluded by default, as in
+    Table 1 (it is the area-cost reference, not a candidate).
+
+    Note: this family is *not* all partitions — e.g. two shared pairs
+    plus a singleton ({A,C}{D,E}, B private) is skipped, exactly as the
+    paper skips it.  Use :func:`all_partitions` for the full space.
+    """
+    result: list[Partition] = []
+    for partition in all_partitions(names):
+        shared = shared_groups(partition)
+        if len(shared) == 1:
+            result.append(partition)
+        elif len(shared) == 2 and len(shared) == len(partition):
+            result.append(partition)
+        elif include_no_sharing and not shared:
+            result.append(partition)
+    return result
+
+
+def identical_core_classes(
+    cores: Sequence[AnalogCore],
+) -> list[tuple[str, ...]]:
+    """Maximal classes of cores with identical test sets.
+
+    For the paper's benchmark this returns ``[("A", "B")]`` (plus no
+    other multi-element class): the I-Q transmit pair is
+    interchangeable in any sharing combination.
+    """
+    classes: list[list[AnalogCore]] = []
+    for core in cores:
+        for cls in classes:
+            if cls[0].has_identical_tests(core):
+                cls.append(core)
+                break
+        else:
+            classes.append([core])
+    return [
+        tuple(sorted(c.name for c in cls)) for cls in classes if len(cls) >= 2
+    ]
+
+
+def symmetry_reduce(
+    partitions: Iterable[Partition],
+    identical_classes: Sequence[Sequence[str]],
+) -> list[Partition]:
+    """Keep one representative per orbit under identical-core swaps.
+
+    Two partitions are equivalent when some permutation of the names
+    *within* each identical class maps one onto the other; the retained
+    representative is the lexicographically smallest member of the
+    orbit.  With no identical classes the input is returned de-duplicated.
+    """
+    def orbit_key(partition: Partition) -> Partition:
+        best = partition
+        # compose permutations over every identical class
+        def apply(mapping: dict[str, str], p: Partition) -> Partition:
+            return canonical(
+                [[mapping.get(name, name) for name in group] for group in p]
+            )
+
+        mappings: list[dict[str, str]] = [{}]
+        for cls in identical_classes:
+            new_mappings: list[dict[str, str]] = []
+            for perm in permutations(cls):
+                base = dict(zip(cls, perm))
+                for m in mappings:
+                    combined = dict(m)
+                    combined.update(base)
+                    new_mappings.append(combined)
+            mappings = new_mappings
+        for mapping in mappings:
+            candidate = apply(mapping, partition)
+            if candidate < best:
+                best = candidate
+        return best
+
+    seen: set[Partition] = set()
+    result: list[Partition] = []
+    for partition in partitions:
+        key = orbit_key(partition)
+        if key not in seen:
+            seen.add(key)
+            result.append(key)
+    return sorted(result)

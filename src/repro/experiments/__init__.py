@@ -1,0 +1,65 @@
+"""Per-table / per-figure experiment drivers (see DESIGN.md index)."""
+
+from .ablations import (
+    BetaPoint,
+    DeltaPoint,
+    PackerGapPoint,
+    PlacementComparison,
+    ScalabilityPoint,
+    SelfTestPoint,
+    beta_sweep,
+    delta_sweep,
+    packer_gap,
+    placement_comparison,
+    scalability_sweep,
+    self_test_sweep,
+)
+from .common import PACK_EFFORT, ExperimentContext
+from .fig4 import Fig4Result, run_fig4
+from .report import generate_report
+from .fig5 import FIG5_DEFAULTS, Fig5Result, run_fig5
+from .table1 import Table1Result, Table1Row, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+from .table3 import DEFAULT_WIDTHS, Table3Result, run_table3
+from .table4 import (
+    DEFAULT_TABLE4_WIDTHS,
+    Table4Cell,
+    Table4Result,
+    run_table4,
+)
+
+__all__ = [
+    "BetaPoint",
+    "DEFAULT_TABLE4_WIDTHS",
+    "DEFAULT_WIDTHS",
+    "DeltaPoint",
+    "PlacementComparison",
+    "SelfTestPoint",
+    "placement_comparison",
+    "self_test_sweep",
+    "ExperimentContext",
+    "FIG5_DEFAULTS",
+    "Fig4Result",
+    "Fig5Result",
+    "PACK_EFFORT",
+    "PackerGapPoint",
+    "ScalabilityPoint",
+    "Table1Result",
+    "Table1Row",
+    "Table2Result",
+    "Table2Row",
+    "Table3Result",
+    "Table4Cell",
+    "Table4Result",
+    "beta_sweep",
+    "delta_sweep",
+    "packer_gap",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "scalability_sweep",
+    "generate_report",
+]

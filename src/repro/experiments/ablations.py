@@ -1,0 +1,396 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Not paper tables — these probe the knobs the paper fixes:
+
+* :func:`beta_sweep` — the routing proximity factor β (the paper uses
+  the representative value 0.5): how the area cost of sharing, and thus
+  the chosen combination, moves as routing gets more expensive;
+* :func:`delta_sweep` — the ``Cost_Optimizer`` elimination threshold δ
+  (the paper uses 0): evaluations-vs-optimality trade-off;
+* :func:`scalability_sweep` — evaluation counts as the number of analog
+  cores grows (the paper's motivation for pruning: combinations grow
+  exponentially);
+* :func:`packer_gap` — the greedy packer's makespan gap against the
+  exact branch-and-bound on small random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.area import AreaModel
+from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
+from ..core.exhaustive import exhaustive_search
+from ..core.optimizer import cost_optimizer
+from ..core.sharing import (
+    Partition,
+    format_partition,
+    identical_core_classes,
+    paper_combinations,
+    symmetry_reduce,
+)
+from ..soc.model import AnalogCore, AnalogTest
+from ..tam.branch_bound import optimal_makespan
+from ..tam.model import TamTask, WidthOption
+from ..tam.packing import pack
+from .common import ExperimentContext
+
+__all__ = [
+    "BetaPoint",
+    "beta_sweep",
+    "DeltaPoint",
+    "delta_sweep",
+    "ScalabilityPoint",
+    "scalability_sweep",
+    "PackerGapPoint",
+    "packer_gap",
+    "SelfTestPoint",
+    "self_test_sweep",
+    "PlacementComparison",
+    "placement_comparison",
+]
+
+
+@dataclass(frozen=True)
+class BetaPoint:
+    """Chosen combination and its costs at one routing factor."""
+
+    beta: float
+    best_partition: Partition
+    best_cost: float
+    area_cost: float
+
+    def label(self) -> str:
+        """Readable partition label."""
+        return format_partition(self.best_partition)
+
+
+def beta_sweep(
+    context: ExperimentContext | None = None,
+    betas: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    width: int = 48,
+    weights: CostWeights | None = None,
+) -> list[BetaPoint]:
+    """Optimal sharing combination as routing overhead grows.
+
+    Higher β makes every shared wrapper relatively more expensive, so
+    the optimum should drift toward *less* sharing.
+    """
+    context = context or ExperimentContext()
+    weights = weights or CostWeights.area_heavy()
+    combos = context.combinations
+    evaluator = ScheduleEvaluator(context.soc, width, **context.pack_kwargs)
+    points = []
+    for beta in betas:
+        model = CostModel(
+            context.soc,
+            width,
+            weights,
+            AreaModel(context.cores, beta=beta),
+            evaluator=evaluator,
+        )
+        result = exhaustive_search(model, combos)
+        points.append(
+            BetaPoint(
+                beta=beta,
+                best_partition=result.best_partition,
+                best_cost=result.best_cost,
+                area_cost=model.area_cost(result.best_partition),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class DeltaPoint:
+    """Heuristic outcome at one elimination threshold."""
+
+    delta: float
+    n_evaluated: int
+    best_cost: float
+    matches_exhaustive: bool
+
+
+def delta_sweep(
+    context: ExperimentContext | None = None,
+    deltas: tuple[float, ...] = (0.0, 2.0, 5.0, 10.0, 100.0),
+    width: int = 48,
+    weights: CostWeights | None = None,
+) -> list[DeltaPoint]:
+    """Evaluations vs optimality as the pruning threshold relaxes.
+
+    δ = 0 prunes hardest; a huge δ keeps every group (the heuristic
+    degenerates to exhaustive and must match it).
+    """
+    context = context or ExperimentContext()
+    weights = weights or CostWeights.balanced()
+    combos = context.combinations
+    area_model = context.area_model()
+    reference_model = CostModel(
+        context.soc,
+        width,
+        weights,
+        area_model,
+        evaluator=ScheduleEvaluator(context.soc, width, **context.pack_kwargs),
+    )
+    reference = exhaustive_search(reference_model, combos)
+    points = []
+    for delta in deltas:
+        model = CostModel(
+            context.soc,
+            width,
+            weights,
+            area_model,
+            evaluator=ScheduleEvaluator(
+                context.soc, width, **context.pack_kwargs
+            ),
+        )
+        result = cost_optimizer(model, combos, delta=delta)
+        points.append(
+            DeltaPoint(
+                delta=delta,
+                n_evaluated=result.n_evaluated,
+                best_cost=result.best_cost,
+                matches_exhaustive=(
+                    result.best_partition == reference.best_partition
+                ),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Combination counts at one analog-core count."""
+
+    n_cores: int
+    n_combinations: int
+    heuristic_evaluations: int
+
+
+def _synthetic_analog_core(name: str, rng: random.Random) -> AnalogCore:
+    tests = tuple(
+        AnalogTest(
+            name=f"t{i}",
+            band_low_hz=1e3 * rng.randint(1, 50),
+            band_high_hz=1e3 * rng.randint(50, 100),
+            sample_freq_hz=1e6 * rng.randint(1, 20),
+            cycles=rng.randint(2_000, 120_000),
+            tam_width=rng.randint(1, 6),
+        )
+        for i in range(rng.randint(2, 4))
+    )
+    return AnalogCore(
+        name=name,
+        description="synthetic analog core",
+        tests=tests,
+        resolution_bits=rng.choice([6, 8, 10]),
+    )
+
+
+def scalability_sweep(
+    context: ExperimentContext | None = None,
+    core_counts: tuple[int, ...] = (3, 4, 5, 6, 7),
+    width: int = 32,
+    seed: int = 7,
+) -> list[ScalabilityPoint]:
+    """Growth of the combination space and the heuristic's evaluations.
+
+    Cores beyond the benchmark's five are synthesized (seeded).  The
+    point of the paper's heuristic is that ``n`` grows far slower than
+    ``N_tot``.
+    """
+    context = context or ExperimentContext()
+    rng = random.Random(seed)
+    base = list(context.cores)
+    while len(base) < max(core_counts):
+        base.append(_synthetic_analog_core(f"S{len(base)}", rng))
+    points = []
+    for count in core_counts:
+        cores = tuple(base[:count])
+        soc = context.soc.with_analog_cores(cores)
+        names = [c.name for c in cores]
+        combos = symmetry_reduce(
+            paper_combinations(names), identical_core_classes(cores)
+        )
+        model = CostModel(
+            soc,
+            width,
+            CostWeights.balanced(),
+            AreaModel(cores),
+            evaluator=ScheduleEvaluator(soc, width, **context.pack_kwargs),
+        )
+        result = cost_optimizer(model, combos, delta=0.0)
+        points.append(
+            ScalabilityPoint(
+                n_cores=count,
+                n_combinations=len(combos),
+                heuristic_evaluations=result.n_evaluated,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class PackerGapPoint:
+    """Greedy vs exact makespan on one random instance."""
+
+    instance: int
+    greedy_makespan: int
+    optimal_makespan: int
+
+    @property
+    def gap_percent(self) -> float:
+        """Greedy excess over the optimum."""
+        return (
+            100.0
+            * (self.greedy_makespan - self.optimal_makespan)
+            / self.optimal_makespan
+        )
+
+
+@dataclass(frozen=True)
+class SelfTestPoint:
+    """Planning outcome with and without converter-BIST accounting."""
+
+    include_self_test: bool
+    best_partition: Partition
+    best_cost: float
+    n_wrappers: int
+
+    def label(self) -> str:
+        """Readable partition label."""
+        return format_partition(self.best_partition)
+
+
+def self_test_sweep(
+    context: ExperimentContext | None = None,
+    width: int = 48,
+    weights: CostWeights | None = None,
+) -> tuple[SelfTestPoint, SelfTestPoint]:
+    """The paper's future-work extension: price the wrapper BIST.
+
+    Sharing wrappers means fewer converter pairs to screen — one BIST
+    per wrapper instead of one per core — which *counteracts* the
+    serialization penalty of sharing.  Returns (without, with) points.
+    """
+    context = context or ExperimentContext()
+    weights = weights or CostWeights.balanced()
+    combos = context.combinations
+    area_model = context.area_model()
+    points = []
+    for include in (False, True):
+        model = CostModel(
+            context.soc,
+            width,
+            weights,
+            area_model,
+            evaluator=ScheduleEvaluator(
+                context.soc,
+                width,
+                include_self_test=include,
+                **context.pack_kwargs,
+            ),
+        )
+        result = exhaustive_search(model, combos)
+        points.append(
+            SelfTestPoint(
+                include_self_test=include,
+                best_partition=result.best_partition,
+                best_cost=result.best_cost,
+                n_wrappers=len(result.best_partition),
+            )
+        )
+    return points[0], points[1]
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Global-beta vs placement-aware routing model outcomes."""
+
+    global_partition: Partition
+    global_cost: float
+    placed_partition: Partition
+    placed_cost: float
+    near_group_beta: float
+    far_group_beta: float
+
+
+def placement_comparison(
+    width: int = 48,
+    weights: CostWeights | None = None,
+    effort: str = "medium",
+) -> PlacementComparison:
+    """The paper's future-work extension: placement-aware routing cost.
+
+    With floorplan positions, each candidate wrapper group gets its own
+    routing factor from the cores' cumulative distance instead of the
+    global representative ``beta = 0.5`` — distant groupings (e.g. the
+    transmit pair with the RF-side amplifier) become less attractive.
+    """
+    from ..soc.analog_specs import paper_analog_cores
+    from ..soc.benchmarks import p93791m
+
+    weights = weights or CostWeights.area_heavy()
+    soc = p93791m(with_positions=True)
+    context = ExperimentContext(soc=soc, effort=effort)
+    combos = context.combinations
+    evaluator = ScheduleEvaluator(soc, width, **context.pack_kwargs)
+
+    global_model = CostModel(
+        soc, width, weights,
+        AreaModel(soc.analog_cores, use_positions=False),
+        evaluator=evaluator,
+    )
+    placed_model = CostModel(
+        soc, width, weights,
+        AreaModel(soc.analog_cores, use_positions=True),
+        evaluator=evaluator,
+    )
+    global_result = exhaustive_search(global_model, combos)
+    placed_result = exhaustive_search(placed_model, combos)
+    placed_area = placed_model.area_model
+    return PlacementComparison(
+        global_partition=global_result.best_partition,
+        global_cost=global_result.best_cost,
+        placed_partition=placed_result.best_partition,
+        placed_cost=placed_result.best_cost,
+        near_group_beta=placed_area.group_beta(("A", "B")),
+        far_group_beta=placed_area.group_beta(("A", "D")),
+    )
+
+
+def packer_gap(
+    n_instances: int = 10,
+    n_tasks: int = 6,
+    width: int = 12,
+    seed: int = 3,
+) -> list[PackerGapPoint]:
+    """Measure the greedy packer against branch-and-bound ground truth."""
+    rng = random.Random(seed)
+    points = []
+    for instance in range(n_instances):
+        tasks = []
+        for t in range(n_tasks):
+            w1 = rng.randint(1, width // 2)
+            t1 = rng.randint(20, 200)
+            options = [WidthOption(w1, t1)]
+            if rng.random() < 0.6 and w1 + 1 <= width:
+                options.append(
+                    WidthOption(min(width, w1 * 2), max(1, t1 // 2))
+                )
+            group = f"g{t % 2}" if rng.random() < 0.3 else None
+            tasks.append(
+                TamTask(name=f"t{t}", options=tuple(options), group=group)
+            )
+        greedy = pack(tasks, width).makespan
+        exact = optimal_makespan(tasks, width)
+        points.append(
+            PackerGapPoint(
+                instance=instance,
+                greedy_makespan=greedy,
+                optimal_makespan=exact,
+            )
+        )
+    return points

@@ -1,0 +1,80 @@
+"""Shared setup for the paper's experiments.
+
+Every experiment operates on the same artifacts: the mixed-signal SOC
+``p93791m``, the 26 sharing combinations of Table 1, and the Eq. (1)
+area model.  :class:`ExperimentContext` bundles them with an *effort*
+preset controlling how hard the rectangle packer works (benches use
+``full``; unit tests use ``quick`` to stay fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.area import AreaModel
+from ..core.sharing import (
+    Partition,
+    identical_core_classes,
+    paper_combinations,
+    symmetry_reduce,
+)
+from ..soc.benchmarks import p93791m
+from ..soc.model import Soc
+
+__all__ = ["ExperimentContext", "PACK_EFFORT"]
+
+#: Packer effort presets: kwargs forwarded to :func:`repro.tam.packing.pack`.
+PACK_EFFORT = {
+    "full": {"shuffles": 8, "improvement_passes": 3},
+    "medium": {"shuffles": 4, "improvement_passes": 2},
+    "quick": {"shuffles": 0, "improvement_passes": 1},
+}
+
+
+@dataclass
+class ExperimentContext:
+    """The benchmark SOC plus derived artifacts used by all experiments.
+
+    :param soc: the mixed-signal SOC (defaults to ``p93791m``).
+    :param effort: packer effort preset name (see :data:`PACK_EFFORT`).
+    """
+
+    soc: Soc = field(default_factory=p93791m)
+    effort: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.effort not in PACK_EFFORT:
+            raise ValueError(
+                f"unknown effort {self.effort!r}, pick from "
+                f"{sorted(PACK_EFFORT)}"
+            )
+        if not self.soc.analog_cores:
+            raise ValueError("experiments need a mixed-signal SOC")
+
+    @property
+    def pack_kwargs(self) -> dict:
+        """Packer keyword arguments for this effort preset."""
+        return dict(PACK_EFFORT[self.effort])
+
+    @property
+    def cores(self):
+        """The SOC's analog cores."""
+        return self.soc.analog_cores
+
+    @property
+    def core_names(self) -> tuple[str, ...]:
+        """Names of the analog cores, Table 2 order."""
+        return tuple(core.name for core in self.cores)
+
+    @property
+    def combinations(self) -> list[Partition]:
+        """The Table 1 sharing combinations (symmetry reduced; 26 for
+        the paper's benchmark)."""
+        return symmetry_reduce(
+            paper_combinations(self.core_names),
+            identical_core_classes(self.cores),
+        )
+
+    def area_model(self, **kwargs) -> AreaModel:
+        """The Eq. (1) area model over the SOC's analog cores."""
+        return AreaModel(self.cores, **kwargs)

@@ -1,0 +1,119 @@
+"""Table 2 — analog core test requirements, with feasibility audit.
+
+Table 2 is *input* data (embedded verbatim in
+:mod:`repro.soc.analog_specs`); this experiment renders it and audits
+every test against the wrapper bandwidth rule at the paper's 50 MHz TAM
+clock — demonstrating that each test's TAM width in Table 2 is exactly
+enough to stream its samples (``bits x f_s <= width x f_TAM``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analog_wrapper.wrapper import DEFAULT_TAM_CLOCK_HZ, TestConfiguration
+from ..reporting.tables import render_table
+from ..soc.model import AnalogCore, AnalogTest
+from .common import ExperimentContext
+
+__all__ = ["Table2Row", "Table2Result", "run_table2"]
+
+
+def _hz(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:g}MHz"
+    if value >= 1e3:
+        return f"{value / 1e3:g}kHz"
+    return f"{value:g}Hz"
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One analog test's requirements and wrapper configuration."""
+
+    core: AnalogCore
+    test: AnalogTest
+    configuration: TestConfiguration
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All Table 2 rows plus totals."""
+
+    rows: tuple[Table2Row, ...]
+    tam_clock_hz: float
+
+    @property
+    def all_feasible(self) -> bool:
+        """Whether every test fits its Table 2 TAM width."""
+        return all(row.feasible for row in self.rows)
+
+    def core_total_cycles(self, name: str) -> int:
+        """Total test time of one core (sums its rows)."""
+        return sum(
+            row.test.cycles for row in self.rows if row.core.name == name
+        )
+
+    def render(self) -> str:
+        """Paper-style text table with the feasibility audit column."""
+        body = []
+        for row in self.rows:
+            body.append(
+                (
+                    row.core.name,
+                    row.test.name,
+                    _hz(row.test.band_low_hz) if row.test.band_low_hz else "DC",
+                    _hz(row.test.band_high_hz)
+                    if row.test.band_high_hz
+                    else "DC",
+                    _hz(row.test.sample_freq_hz),
+                    row.test.cycles,
+                    row.test.tam_width,
+                    round(row.configuration.bits_per_tam_cycle, 2),
+                    row.feasible,
+                )
+            )
+        return render_table(
+            headers=(
+                "core",
+                "test",
+                "f_lo",
+                "f_hi",
+                "f_s",
+                "cycles",
+                "width",
+                "bits/cycle",
+                "fits",
+            ),
+            rows=body,
+            title=(
+                "Table 2: analog test requirements "
+                f"(TAM clock {_hz(self.tam_clock_hz)})"
+            ),
+        )
+
+
+def run_table2(
+    context: ExperimentContext | None = None,
+    tam_clock_hz: float = DEFAULT_TAM_CLOCK_HZ,
+) -> Table2Result:
+    """Render and audit Table 2 for the benchmark's analog cores."""
+    context = context or ExperimentContext()
+    rows = []
+    for core in context.cores:
+        for test in core.tests:
+            configuration = TestConfiguration(
+                test=test,
+                resolution_bits=core.test_resolution(test),
+                tam_clock_hz=tam_clock_hz,
+            )
+            rows.append(
+                Table2Row(
+                    core=core,
+                    test=test,
+                    configuration=configuration,
+                    feasible=configuration.is_feasible,
+                )
+            )
+    return Table2Result(rows=tuple(rows), tam_clock_hz=tam_clock_hz)

@@ -1,0 +1,120 @@
+"""Table 3 — normalized SOC test time per sharing combination and width.
+
+For every sharing combination of Table 1 and every TAM width in
+``widths`` (the paper shows W = 32, 48, 64), run the TAM optimizer and
+report the test time normalized to the all-sharing combination at that
+width (which is 100 by construction).
+
+The derived statistics reproduce Section 6's observation: the spread
+between the best and worst combination **grows with the TAM width**
+(the digital test time shrinks, so the serialized analog wrappers
+become the bottleneck; the paper reports spreads 2.45 / 7.36 / 17.18 at
+W = 32 / 48 / 64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cost import ScheduleEvaluator
+from ..core.sharing import (
+    Partition,
+    all_sharing,
+    format_partition,
+    n_wrappers,
+)
+from ..reporting.tables import render_table
+from .common import ExperimentContext
+
+__all__ = ["Table3Result", "run_table3", "DEFAULT_WIDTHS"]
+
+#: TAM widths shown in the paper's Table 3.
+DEFAULT_WIDTHS = (32, 48, 64)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Normalized test times: ``values[(partition, width)]`` in 0..100."""
+
+    widths: tuple[int, ...]
+    partitions: tuple[Partition, ...]
+    makespans: dict[tuple[Partition, int], int]
+    all_share_makespans: dict[int, int]
+
+    def normalized(self, partition: Partition, width: int) -> float:
+        """Test time normalized to the all-share case at *width*."""
+        return (
+            100.0
+            * self.makespans[(partition, width)]
+            / self.all_share_makespans[width]
+        )
+
+    def spread(self, width: int) -> float:
+        """Best-to-worst normalized test-time spread at *width*."""
+        values = [self.normalized(p, width) for p in self.partitions]
+        return max(values) - min(values)
+
+    def best_partitions(self, width: int) -> tuple[Partition, ...]:
+        """Combinations achieving the lowest test time at *width*."""
+        values = {p: self.normalized(p, width) for p in self.partitions}
+        best = min(values.values())
+        return tuple(
+            p for p, v in sorted(values.items()) if abs(v - best) < 1e-9
+        )
+
+    def render(self) -> str:
+        """Paper-style table plus the spread statistics."""
+        rows = []
+        for partition in sorted(
+            self.partitions, key=lambda p: (-n_wrappers(p), p)
+        ):
+            rows.append(
+                (
+                    n_wrappers(partition),
+                    format_partition(partition),
+                    *(
+                        round(self.normalized(partition, w), 1)
+                        for w in self.widths
+                    ),
+                )
+            )
+        table = render_table(
+            headers=("N_w", "combination")
+            + tuple(f"W={w}" for w in self.widths),
+            rows=rows,
+            title=(
+                "Table 3: SOC test time per wrapper-sharing combination "
+                "(normalized to all-share = 100)"
+            ),
+        )
+        spread_lines = [
+            f"spread (max - min) at W={w}: {self.spread(w):.2f}"
+            for w in self.widths
+        ]
+        return table + "\n\n" + "\n".join(spread_lines)
+
+
+def run_table3(
+    context: ExperimentContext | None = None,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> Table3Result:
+    """Evaluate every sharing combination at every width."""
+    context = context or ExperimentContext()
+    partitions = tuple(context.combinations)
+    full = all_sharing(context.core_names)
+    makespans: dict[tuple[Partition, int], int] = {}
+    all_share: dict[int, int] = {}
+    for width in widths:
+        evaluator = ScheduleEvaluator(
+            context.soc, width, **context.pack_kwargs
+        )
+        # coarsest first: refinement monotonicity propagates best
+        for partition in sorted(partitions, key=lambda p: (len(p), p)):
+            makespans[(partition, width)] = evaluator.makespan(partition)
+        all_share[width] = evaluator.makespan(full)
+    return Table3Result(
+        widths=tuple(widths),
+        partitions=partitions,
+        makespans=makespans,
+        all_share_makespans=all_share,
+    )

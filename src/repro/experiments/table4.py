@@ -1,0 +1,163 @@
+"""Table 4 — ``Cost_Optimizer`` vs. exhaustive evaluation.
+
+For TAM widths W in {32, 40, 48, 56, 64} and the three weight settings
+(w_T, w_A) in {(1/3, 2/3), (1/2, 1/2), (2/3, 1/3)}, run both the
+exhaustive search (N_tot = 26 TAM evaluations) and the Figure 3
+heuristic (n evaluations), and compare minimum costs, selected sharing
+combinations, and the evaluation-count reduction
+:math:`\\Delta E = (N_{tot} - n) / N_{tot}`.
+
+The paper finds the heuristic optimal in all but one cell at
+``delta = 0`` with ΔE around 60 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.area import AreaModel
+from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
+from ..core.exhaustive import exhaustive_search
+from ..core.optimizer import OptimizationResult, cost_optimizer
+from ..core.sharing import format_partition
+from ..reporting.tables import render_table
+from .common import ExperimentContext
+
+__all__ = ["Table4Cell", "Table4Result", "run_table4", "DEFAULT_TABLE4_WIDTHS"]
+
+#: TAM widths of the paper's Table 4.
+DEFAULT_TABLE4_WIDTHS = (32, 40, 48, 56, 64)
+
+#: The three cost weight settings of the paper's Table 4.
+DEFAULT_WEIGHTS = (
+    CostWeights.area_heavy(),
+    CostWeights.balanced(),
+    CostWeights.time_heavy(),
+)
+
+
+@dataclass(frozen=True)
+class Table4Cell:
+    """One (width, weights) cell: both optimizers' outcomes."""
+
+    width: int
+    weights: CostWeights
+    exhaustive: OptimizationResult
+    heuristic: OptimizationResult
+
+    @property
+    def heuristic_matches(self) -> bool:
+        """Whether the heuristic found the exhaustive optimum."""
+        return self.heuristic.best_partition == self.exhaustive.best_partition
+
+    @property
+    def cost_gap_percent(self) -> float:
+        """Relative cost excess of the heuristic over the optimum."""
+        if self.exhaustive.best_cost == 0:
+            return 0.0
+        return (
+            100.0
+            * (self.heuristic.best_cost - self.exhaustive.best_cost)
+            / self.exhaustive.best_cost
+        )
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All Table 4 cells."""
+
+    cells: tuple[Table4Cell, ...]
+    delta: float
+
+    @property
+    def match_count(self) -> int:
+        """Cells where the heuristic is optimal."""
+        return sum(1 for cell in self.cells if cell.heuristic_matches)
+
+    @property
+    def mean_reduction_percent(self) -> float:
+        """Average ΔE over the cells."""
+        return sum(c.heuristic.reduction_percent for c in self.cells) / len(
+            self.cells
+        )
+
+    def render(self) -> str:
+        """Paper-style comparison table."""
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                (
+                    f"({cell.weights.time:.2f},{cell.weights.area:.2f})",
+                    cell.width,
+                    round(cell.exhaustive.best_cost, 1),
+                    format_partition(cell.exhaustive.best_partition),
+                    round(cell.heuristic.best_cost, 1),
+                    format_partition(cell.heuristic.best_partition),
+                    cell.heuristic.n_evaluated,
+                    round(cell.heuristic.reduction_percent, 1),
+                    cell.heuristic_matches,
+                )
+            )
+        return render_table(
+            headers=(
+                "(w_T,w_A)",
+                "W",
+                "C*_exh",
+                "P_exh",
+                "C*_heur",
+                "P_heur",
+                "n",
+                "dE%",
+                "optimal",
+            ),
+            rows=rows,
+            title=(
+                f"Table 4: Cost_Optimizer (delta={self.delta}) vs "
+                f"exhaustive evaluation (N_tot = "
+                f"{self.cells[0].exhaustive.n_total})"
+            ),
+        )
+
+
+def run_table4(
+    context: ExperimentContext | None = None,
+    widths: tuple[int, ...] = DEFAULT_TABLE4_WIDTHS,
+    weights: tuple[CostWeights, ...] = DEFAULT_WEIGHTS,
+    delta: float = 0.0,
+) -> Table4Result:
+    """Run heuristic and exhaustive planning across the Table 4 grid."""
+    context = context or ExperimentContext()
+    combos = context.combinations
+    area_model: AreaModel = context.area_model()
+    cells = []
+    for width in widths:
+        for weight in weights:
+            heuristic_model = CostModel(
+                context.soc,
+                width,
+                weight,
+                area_model,
+                evaluator=ScheduleEvaluator(
+                    context.soc, width, **context.pack_kwargs
+                ),
+            )
+            heuristic = cost_optimizer(heuristic_model, combos, delta=delta)
+            exhaustive_model = CostModel(
+                context.soc,
+                width,
+                weight,
+                area_model,
+                evaluator=ScheduleEvaluator(
+                    context.soc, width, **context.pack_kwargs
+                ),
+            )
+            exhaustive = exhaustive_search(exhaustive_model, combos)
+            cells.append(
+                Table4Cell(
+                    width=width,
+                    weights=weight,
+                    exhaustive=exhaustive,
+                    heuristic=heuristic,
+                )
+            )
+    return Table4Result(cells=tuple(cells), delta=delta)

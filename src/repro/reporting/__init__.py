@@ -1,0 +1,6 @@
+"""Table and ASCII-plot rendering for experiment output."""
+
+from .ascii_plot import ascii_plot
+from .tables import format_float, render_table
+
+__all__ = ["ascii_plot", "format_float", "render_table"]

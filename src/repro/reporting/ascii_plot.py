@@ -1,0 +1,87 @@
+"""Minimal ASCII line plots for spectra and sweeps.
+
+Used by the Figure 5 bench and examples to show frequency spectra in the
+terminal, in the spirit of the paper's three-panel figure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    title: str = "",
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``y`` vs ``x`` as a character-cell scatter/line plot.
+
+    :param x: abscissa values (need not be uniform).
+    :param y: ordinate values, same length as *x*.
+    :param width: plot area width in characters.
+    :param height: plot area height in rows.
+    :raises ValueError: on empty or mismatched input.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if not x:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    finite = [
+        (xi, yi)
+        for xi, yi in zip(x, y)
+        if math.isfinite(xi) and math.isfinite(yi)
+    ]
+    if not finite:
+        raise ValueError("no finite points to plot")
+    xs = [p[0] for p in finite]
+    ys = [p[1] for p in finite]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in finite:
+        col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_width)
+        elif i == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_cells)}|")
+    axis = f"{'':>{label_width}} +{'-' * width}+"
+    lines.append(axis)
+    x_line = (
+        f"{'':>{label_width}}  {x_lo:.4g}"
+        + " " * max(1, width - len(f"{x_lo:.4g}") - len(f"{x_hi:.4g}"))
+        + f"{x_hi:.4g}"
+    )
+    lines.append(x_line)
+    if x_label or y_label:
+        lines.append(
+            f"{'':>{label_width}}  x: {x_label}    y: {y_label}".rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Fixed-width text tables for experiment output.
+
+The benches and the CLI print paper-style tables; this module renders
+them with aligned columns from plain Python data, no third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_float"]
+
+
+def format_float(value: float, decimals: int = 1) -> str:
+    """Fixed-decimal formatting used across the experiment tables."""
+    return f"{value:.{decimals}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Numeric cells are right-aligned, text cells left-aligned; column
+    widths adapt to content.
+
+    :raises ValueError: if any row length differs from the header count.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    numeric = [
+        all(_is_numeric(row[col]) for row in rows) if rows else False
+        for col in range(len(headers))
+    ]
+
+    def render_line(line: Sequence[str], is_header: bool) -> str:
+        parts = []
+        for col, text in enumerate(line):
+            if numeric[col] and not is_header:
+                parts.append(text.rjust(widths[col]))
+            elif numeric[col]:
+                parts.append(text.rjust(widths[col]))
+            else:
+                parts.append(text.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(cells[0], is_header=True))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(line, is_header=False) for line in cells[1:])
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

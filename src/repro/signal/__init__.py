@@ -1,0 +1,47 @@
+"""Signal-processing substrate for the Figure 5 experiment."""
+
+from .cutoff import CutoffFit, fit_cutoff
+from .filters import Amplifier, ButterworthLowpass, NonlinearAmplifier
+from .measurements import (
+    measure_dc_offset,
+    measure_dynamic_range_db,
+    measure_gain_db,
+    measure_iip3_dbv,
+    measure_phase_mismatch_deg,
+    measure_slew_rate,
+    measure_thd_percent,
+    two_tone_stimulus,
+)
+from .multitone import Tone, coherent_frequencies, multitone, time_axis
+from .spectrum import (
+    amplitude_spectrum,
+    db,
+    spectrum_db,
+    tone_amplitude,
+    tone_gains_db,
+)
+
+__all__ = [
+    "Amplifier",
+    "ButterworthLowpass",
+    "CutoffFit",
+    "NonlinearAmplifier",
+    "Tone",
+    "amplitude_spectrum",
+    "coherent_frequencies",
+    "db",
+    "fit_cutoff",
+    "measure_dc_offset",
+    "measure_dynamic_range_db",
+    "measure_gain_db",
+    "measure_iip3_dbv",
+    "measure_phase_mismatch_deg",
+    "measure_slew_rate",
+    "measure_thd_percent",
+    "multitone",
+    "spectrum_db",
+    "time_axis",
+    "tone_amplitude",
+    "tone_gains_db",
+    "two_tone_stimulus",
+]

@@ -1,0 +1,97 @@
+"""Cut-off frequency extrapolation from multi-tone gain measurements.
+
+The paper's ``f_c`` test measures the filter's gain at a handful of tone
+frequencies and *extrapolates* the -3 dB cut-off from the resulting
+points (Section 5: "The frequency spectrum of the resulting signal is
+used to extrapolate the cut-off frequency of the filter").
+
+Given tone frequencies and measured gains, we fit the magnitude model of
+an N-th order all-pole low-pass,
+
+.. math:: |H(f)|^2 = \\frac{g^2}{1 + (f / f_c)^{2N}}
+
+over pass-band gain ``g`` and cut-off ``f_c`` by least squares on the dB
+error, and report the fitted ``f_c``.  With only three tones this is the
+same information the paper's spectra carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["fit_cutoff", "CutoffFit"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CutoffFit:
+    """Result of a cut-off extrapolation."""
+
+    cutoff_hz: float
+    passband_gain_db: float
+    residual_db: float
+
+    def error_vs(self, reference_hz: float) -> float:
+        """Relative cut-off error against a reference, as a fraction."""
+        return abs(self.cutoff_hz - reference_hz) / reference_hz
+
+
+def _model_db(freqs: np.ndarray, cutoff: float, gain_db: float, order: int):
+    return gain_db - 10 * np.log10(1.0 + (freqs / cutoff) ** (2 * order))
+
+
+def fit_cutoff(
+    freqs_hz: tuple[float, ...] | list[float],
+    gains_db: tuple[float, ...] | list[float],
+    order: int = 3,
+) -> CutoffFit:
+    """Fit cut-off frequency and pass-band gain to tone measurements.
+
+    :param freqs_hz: tone frequencies (at least two, spanning the knee).
+    :param gains_db: measured gains at those frequencies, in dB.
+    :param order: assumed filter order of the device under test.
+    :returns: the fitted :class:`CutoffFit`.
+    :raises ValueError: on inconsistent input sizes or degenerate data.
+    """
+    freqs = np.asarray(freqs_hz, dtype=float)
+    gains = np.asarray(gains_db, dtype=float)
+    if freqs.shape != gains.shape:
+        raise ValueError(
+            f"freqs and gains must align, got {freqs.shape} vs {gains.shape}"
+        )
+    if len(freqs) < 2:
+        raise ValueError("need at least two tones to extrapolate a cut-off")
+    if np.any(freqs <= 0):
+        raise ValueError("tone frequencies must be positive")
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+
+    # initial guesses: gain from the lowest tone, cut-off from the tone
+    # closest to 3 dB below it (or the geometric mean as a fallback)
+    order_idx = np.argsort(freqs)
+    freqs = freqs[order_idx]
+    gains = gains[order_idx]
+    g0 = gains[0]
+    drops = g0 - gains
+    knee_candidates = freqs[drops >= 1.0]
+    fc0 = float(knee_candidates[0]) if len(knee_candidates) else float(
+        np.sqrt(freqs[0] * freqs[-1])
+    )
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        cutoff, gain_db = params
+        return _model_db(freqs, abs(cutoff), gain_db, order) - gains
+
+    result = optimize.least_squares(
+        residuals,
+        x0=np.array([fc0, g0]),
+        bounds=([freqs[0] * 1e-3, g0 - 60.0], [freqs[-1] * 1e3, g0 + 60.0]),
+    )
+    cutoff = float(abs(result.x[0]))
+    gain_db = float(result.x[1])
+    residual = float(np.sqrt(np.mean(result.fun**2)))
+    return CutoffFit(
+        cutoff_hz=cutoff, passband_gain_db=gain_db, residual_db=residual
+    )

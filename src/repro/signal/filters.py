@@ -1,0 +1,162 @@
+"""Analog core transfer-function models.
+
+The representative analog core of Section 5 is a low-pass filter with a
+cut-off near 61 kHz; the paper extracts the cut-off from the spectrum of
+the filter's response to a multi-tone stimulus.  This module models such
+cores behaviourally:
+
+* :class:`ButterworthLowpass` — an N-th order Butterworth low-pass with
+  an exact analog magnitude response and a discrete-time simulation via
+  the bilinear transform (scipy);
+* :class:`Amplifier` — a flat-gain stage with optional slew-rate limit,
+  modelling the paper's general-purpose amplifier core E.
+
+Both expose the same two methods the test path needs: ``response(x, fs)``
+(time-domain) and ``magnitude(f)`` (exact |H(f)|), so they are
+interchangeable as device-under-test models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+__all__ = ["ButterworthLowpass", "Amplifier", "NonlinearAmplifier"]
+
+
+class ButterworthLowpass:
+    """N-th order Butterworth low-pass filter core model.
+
+    :param cutoff_hz: -3 dB cut-off frequency.
+    :param order: filter order (the paper's filter rolls off like a
+        low-order active RC filter; order 3 is representative).
+    :param gain: pass-band gain (linear).
+    """
+
+    def __init__(self, cutoff_hz: float, order: int = 3, gain: float = 1.0):
+        if cutoff_hz <= 0:
+            raise ValueError(f"cutoff_hz must be positive, got {cutoff_hz}")
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.cutoff_hz = cutoff_hz
+        self.order = order
+        self.gain = gain
+        # analog prototype, used for the exact magnitude response
+        self._b_analog, self._a_analog = sp_signal.butter(
+            order, 2 * np.pi * cutoff_hz, btype="low", analog=True
+        )
+
+    def magnitude(self, freq_hz: float | np.ndarray) -> float | np.ndarray:
+        """Exact analog magnitude response |H(f)| (linear).
+
+        Returns a scalar for scalar input, an array for array input.
+        """
+        scalar = np.isscalar(freq_hz)
+        w = 2 * np.pi * np.atleast_1d(np.asarray(freq_hz, dtype=float))
+        _, h = sp_signal.freqs(self._b_analog, self._a_analog, worN=w)
+        result = self.gain * np.abs(h)
+        return float(result[0]) if scalar else result
+
+    def magnitude_db(self, freq_hz: float | np.ndarray) -> float | np.ndarray:
+        """Exact analog magnitude response in dB."""
+        return 20 * np.log10(self.magnitude(freq_hz))
+
+    def response(self, x: np.ndarray, sample_freq_hz: float) -> np.ndarray:
+        """Time-domain response to the sampled input *x*.
+
+        The analog prototype is discretized with the bilinear transform
+        with pre-warping at the cut-off, so the simulated -3 dB point
+        matches :attr:`cutoff_hz` closely for ``fs >> f_c``.
+        """
+        if sample_freq_hz <= 2 * self.cutoff_hz:
+            raise ValueError(
+                f"sample rate {sample_freq_hz} Hz too low to simulate a "
+                f"{self.cutoff_hz} Hz filter"
+            )
+        b, a = sp_signal.bilinear(
+            self._b_analog, self._a_analog, fs=sample_freq_hz
+        )
+        return self.gain * sp_signal.lfilter(b, a, np.asarray(x, dtype=float))
+
+
+class Amplifier:
+    """Flat-gain amplifier core model with an optional slew-rate limit.
+
+    :param gain: voltage gain (linear).
+    :param slew_rate_v_per_s: maximum output slope; ``None`` disables
+        slew limiting.
+    """
+
+    def __init__(self, gain: float = 2.0, slew_rate_v_per_s: float | None = None):
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        if slew_rate_v_per_s is not None and slew_rate_v_per_s <= 0:
+            raise ValueError(
+                f"slew_rate_v_per_s must be positive, got {slew_rate_v_per_s}"
+            )
+        self.gain = gain
+        self.slew_rate_v_per_s = slew_rate_v_per_s
+
+    def magnitude(self, freq_hz: float | np.ndarray) -> np.ndarray:
+        """Small-signal magnitude response (flat)."""
+        return self.gain * np.ones_like(np.asarray(freq_hz, dtype=float))
+
+    def response(self, x: np.ndarray, sample_freq_hz: float) -> np.ndarray:
+        """Time-domain response: gain plus slew limiting if configured."""
+        y = self.gain * np.asarray(x, dtype=float)
+        if self.slew_rate_v_per_s is None or len(y) == 0:
+            return y
+        max_step = self.slew_rate_v_per_s / sample_freq_hz
+        out = np.empty_like(y)
+        out[0] = y[0]
+        for i in range(1, len(y)):
+            delta = np.clip(y[i] - out[i - 1], -max_step, max_step)
+            out[i] = out[i - 1] + delta
+        return out
+
+
+class NonlinearAmplifier:
+    """Memoryless weakly-nonlinear amplifier: ``y = a1 x + a2 x^2 + a3 x^3``.
+
+    The standard model behind the harmonic-distortion and two-tone
+    intercept tests of Table 2: the quadratic term produces even
+    harmonics, the cubic term produces third harmonics and the IM3
+    products at ``2 f1 - f2`` / ``2 f2 - f1``; the textbook intercept is
+
+    .. math:: A_{IIP3} = \\sqrt{\\tfrac{4}{3} \\, |a_1 / a_3|}
+
+    exposed as :attr:`iip3_amplitude_v` so measurements can be checked
+    against ground truth.
+
+    :param a1: linear gain.
+    :param a2: quadratic coefficient (1/V).
+    :param a3: cubic coefficient (1/V^2); compressive when ``a3 a1 < 0``.
+    """
+
+    def __init__(self, a1: float = 2.0, a2: float = 0.0, a3: float = -0.1):
+        if a1 == 0:
+            raise ValueError("a1 (linear gain) must be non-zero")
+        self.a1 = a1
+        self.a2 = a2
+        self.a3 = a3
+
+    @property
+    def iip3_amplitude_v(self) -> float:
+        """Textbook input-referred third-order intercept amplitude."""
+        if self.a3 == 0:
+            return float("inf")
+        return float(np.sqrt(4.0 / 3.0 * abs(self.a1 / self.a3)))
+
+    def magnitude(self, freq_hz: float | np.ndarray) -> np.ndarray:
+        """Small-signal magnitude response (flat at |a1|)."""
+        return abs(self.a1) * np.ones_like(
+            np.asarray(freq_hz, dtype=float)
+        )
+
+    def response(self, x: np.ndarray, sample_freq_hz: float) -> np.ndarray:
+        """Memoryless polynomial response (rate unused, kept for the
+        common core-model interface)."""
+        x = np.asarray(x, dtype=float)
+        return self.a1 * x + self.a2 * x**2 + self.a3 * x**3

@@ -1,0 +1,99 @@
+"""Spectrum analysis for test responses.
+
+The paper post-processes HSPICE transient data into frequency spectra
+(Figure 5) and reads tone gains off them.  This module provides the
+equivalent: amplitude spectra, single-bin tone-gain extraction (via the
+Goertzel-style projection, robust to non-bin frequencies), and dB
+conversion helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "amplitude_spectrum",
+    "tone_amplitude",
+    "tone_gains_db",
+    "db",
+    "spectrum_db",
+]
+
+
+def db(x: np.ndarray | float, floor: float = 1e-12) -> np.ndarray:
+    """20*log10 with a floor to avoid -inf on empty bins."""
+    return 20 * np.log10(np.maximum(np.abs(x), floor))
+
+
+def amplitude_spectrum(
+    x: np.ndarray, sample_freq_hz: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum of *x*.
+
+    :returns: ``(freqs_hz, amplitudes)`` where amplitudes are scaled so
+        a full-scale sine at a bin frequency reads its peak amplitude.
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    spec = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_freq_hz)
+    amplitude = 2 * np.abs(spec) / n
+    amplitude[0] /= 2
+    if n % 2 == 0:
+        amplitude[-1] /= 2
+    return freqs, amplitude
+
+
+def spectrum_db(
+    x: np.ndarray, sample_freq_hz: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum in dB (see :func:`amplitude_spectrum`)."""
+    freqs, amp = amplitude_spectrum(x, sample_freq_hz)
+    return freqs, db(amp)
+
+
+def tone_amplitude(
+    x: np.ndarray, sample_freq_hz: float, freq_hz: float
+) -> float:
+    """Amplitude of the sinusoidal component of *x* at *freq_hz*.
+
+    Computed by projecting onto the complex exponential at *freq_hz*
+    (a single-frequency DFT, i.e. the Goertzel measurement), which works
+    for frequencies off the FFT grid as well — at the cost of spectral
+    leakage from other tones, exactly as in a windowless bench
+    measurement.
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    if not 0 < freq_hz < sample_freq_hz / 2:
+        raise ValueError(
+            f"freq_hz must lie in (0, fs/2), got {freq_hz} at fs="
+            f"{sample_freq_hz}"
+        )
+    t = np.arange(n) / sample_freq_hz
+    projection = x @ np.exp(-2j * np.pi * freq_hz * t)
+    return float(2 * np.abs(projection) / n)
+
+
+def tone_gains_db(
+    stimulus: np.ndarray,
+    response: np.ndarray,
+    sample_freq_hz: float,
+    freqs_hz: tuple[float, ...] | list[float],
+) -> list[float]:
+    """Per-tone gain (dB) of *response* relative to *stimulus*.
+
+    :raises ValueError: if a stimulus tone measures zero amplitude.
+    """
+    gains: list[float] = []
+    for f in freqs_hz:
+        a_in = tone_amplitude(stimulus, sample_freq_hz, f)
+        a_out = tone_amplitude(response, sample_freq_hz, f)
+        if a_in <= 0:
+            raise ValueError(f"stimulus has no energy at {f} Hz")
+        gains.append(float(db(a_out / a_in)))
+    return gains

@@ -1,0 +1,58 @@
+"""SOC data model, ITC'02-style format support, and benchmark SOCs.
+
+Public surface:
+
+* :class:`~repro.soc.model.Soc`, :class:`~repro.soc.model.DigitalCore`,
+  :class:`~repro.soc.model.AnalogCore`,
+  :class:`~repro.soc.model.AnalogTest` — the entities every other
+  subsystem consumes.
+* :mod:`repro.soc.itc02` — parse / serialize ``.soc`` files.
+* :func:`~repro.soc.benchmarks.p93791m` — the paper's mixed-signal
+  benchmark (synthetic digital stand-in + Table 2 analog cores).
+* :func:`~repro.soc.analog_specs.paper_analog_cores` — cores A..E.
+"""
+
+from .analog_specs import (
+    PAPER_CORE_NAMES,
+    core_a,
+    core_b,
+    core_c,
+    core_d,
+    core_e,
+    paper_analog_cores,
+)
+from .benchmarks import (
+    DEFAULT_SEED,
+    mini_digital_soc,
+    mini_mixed_signal_soc,
+    p93791m,
+    synthetic_p93791,
+)
+from .itc02 import SocFormatError, dump, dumps, load, loads
+from .model import DC, AnalogCore, AnalogTest, DigitalCore, Soc, distance
+
+__all__ = [
+    "AnalogCore",
+    "AnalogTest",
+    "DC",
+    "DEFAULT_SEED",
+    "DigitalCore",
+    "PAPER_CORE_NAMES",
+    "Soc",
+    "SocFormatError",
+    "core_a",
+    "core_b",
+    "core_c",
+    "core_d",
+    "core_e",
+    "distance",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "mini_digital_soc",
+    "mini_mixed_signal_soc",
+    "p93791m",
+    "paper_analog_cores",
+    "synthetic_p93791",
+]

@@ -1,0 +1,177 @@
+"""The five analog cores of the paper's mixed-signal SOC ``p93791m``.
+
+Table 2 of the paper specifies, for each analog core taken from a
+commercial baseband cellular-phone chip, the set of specification-based
+tests with their band edges, converter sampling frequency, test length in
+TAM clock cycles, and TAM width requirement.  This module embeds that
+table verbatim.
+
+Core inventory (Section 6 of the paper):
+
+===== =============================== ==========================
+Core  Function                        Signal band
+===== =============================== ==========================
+A, B  baseband I-Q transmit path pair 500 kHz bandwidth
+C     CODEC audio path                50 kHz bandwidth
+D     baseband down-conversion path   up to 78 MHz sampling
+E     general-purpose amplifier       up to 69 MHz sampling
+===== =============================== ==========================
+
+Cores A and B carry *identical* test sets, which the sharing-combination
+enumeration exploits (only combinations unique up to swapping A and B are
+considered, Table 1 of the paper).
+
+Data-converter resolution requirements per core are not tabulated in the
+paper (its demonstrator wrapper is 8-bit); we assign documented values
+consistent with the core functions — the audio CODEC needs the highest
+resolution, the high-speed down-converter and amplifier tolerate the
+least — and DESIGN.md records this as part of the area-model
+substitution.
+"""
+
+from __future__ import annotations
+
+from .model import DC, AnalogCore, AnalogTest
+
+__all__ = [
+    "core_a",
+    "core_b",
+    "core_c",
+    "core_d",
+    "core_e",
+    "paper_analog_cores",
+    "PAPER_CORE_NAMES",
+]
+
+#: Names of the paper's five analog cores, in Table 2 order.
+PAPER_CORE_NAMES = ("A", "B", "C", "D", "E")
+
+KHZ = 1e3
+MHZ = 1e6
+
+#: Table 2, cores A and B — baseband I-Q transmit path.
+#: Tests: pass-band gain, cut-off frequency, attenuation at 1 and 2 MHz,
+#: third-order input intercept, DC offset, phase mismatch.
+_IQ_TRANSMIT_TESTS = (
+    AnalogTest("g_pb", 50 * KHZ, 50 * KHZ, 1.5 * MHZ, 50_000, 1),
+    AnalogTest("f_c", 45 * KHZ, 55 * KHZ, 1.5 * MHZ, 13_653, 4),
+    AnalogTest("a_1mhz_2mhz", 1 * MHZ, 2 * MHZ, 8 * MHZ, 12_643, 2),
+    AnalogTest("iip3", 50 * KHZ, 250 * KHZ, 8 * MHZ, 26_973, 2),
+    AnalogTest("dc_offset", DC, DC, 10 * KHZ, 700, 1),
+    AnalogTest("phase_mismatch", 200 * KHZ, 400 * KHZ, 15 * MHZ, 32_000, 4),
+)
+
+#: Table 2, core C — CODEC audio path.
+_CODEC_AUDIO_TESTS = (
+    AnalogTest("g_pb", 20 * KHZ, 20 * KHZ, 640 * KHZ, 80_000, 1),
+    AnalogTest("f_c", 45 * KHZ, 55 * KHZ, 1.5 * MHZ, 136_533, 1),
+    AnalogTest("thd", 2 * KHZ, 31 * KHZ, 2.46 * MHZ, 83_252, 1),
+)
+
+#: Table 2, core D — baseband down converter.  The gain and dynamic-range
+#: tests use coherent band-pass undersampling (26 MHz tone, 26 MHz rate).
+_DOWN_CONVERTER_TESTS = (
+    AnalogTest("iip3", 3.25 * MHZ, 9.75 * MHZ, 78 * MHZ, 15_754, 10),
+    AnalogTest("gain", 26 * MHZ, 26 * MHZ, 26 * MHZ, 9_228, 4),
+    AnalogTest("dynamic_range", 26 * MHZ, 26 * MHZ, 26 * MHZ, 31_508, 4),
+)
+
+#: Table 2, core E — general purpose amplifier.  The slew-rate test is
+#: likewise undersampled and is a *timing* measurement, so it streams at
+#: a coarse 3-bit amplitude resolution (its width-5 TAM requirement is
+#: only feasible at the paper's 50 MHz TAM clock with few bits per
+#: sample: bits x f_s <= width x f_TAM).
+_AMPLIFIER_TESTS = (
+    AnalogTest(
+        "slew_rate", 69 * MHZ, 69 * MHZ, 69 * MHZ, 5_400, 5,
+        resolution_bits=3,
+    ),
+    AnalogTest("gain", 8 * MHZ, 8 * MHZ, 8 * MHZ, 2_500, 1),
+)
+
+
+def core_a(position: tuple[float, float] | None = None) -> AnalogCore:
+    """Core A: first baseband I-Q transmit path (Table 2)."""
+    return AnalogCore(
+        name="A",
+        description="baseband I-Q transmit path (first of pair)",
+        tests=_IQ_TRANSMIT_TESTS,
+        resolution_bits=8,
+        position=position,
+    )
+
+
+def core_b(position: tuple[float, float] | None = None) -> AnalogCore:
+    """Core B: second baseband I-Q transmit path, identical tests to A."""
+    return AnalogCore(
+        name="B",
+        description="baseband I-Q transmit path (second of pair)",
+        tests=_IQ_TRANSMIT_TESTS,
+        resolution_bits=8,
+        position=position,
+    )
+
+
+def core_c(position: tuple[float, float] | None = None) -> AnalogCore:
+    """Core C: CODEC audio path — highest resolution requirement."""
+    return AnalogCore(
+        name="C",
+        description="CODEC audio path",
+        tests=_CODEC_AUDIO_TESTS,
+        resolution_bits=10,
+        position=position,
+    )
+
+
+def core_d(position: tuple[float, float] | None = None) -> AnalogCore:
+    """Core D: baseband down-conversion path — fastest converters."""
+    return AnalogCore(
+        name="D",
+        description="baseband down-conversion path",
+        tests=_DOWN_CONVERTER_TESTS,
+        resolution_bits=6,
+        position=position,
+    )
+
+
+def core_e(position: tuple[float, float] | None = None) -> AnalogCore:
+    """Core E: general-purpose amplifier."""
+    return AnalogCore(
+        name="E",
+        description="general-purpose amplifier",
+        tests=_AMPLIFIER_TESTS,
+        resolution_bits=6,
+        position=position,
+    )
+
+
+def paper_analog_cores(
+    with_positions: bool = False,
+) -> tuple[AnalogCore, ...]:
+    """The five analog cores A..E of SOC ``p93791m``, in Table 2 order.
+
+    :param with_positions: attach representative floorplan positions so
+        the proximity-aware routing model can be exercised.  The default
+        (no positions) reproduces the paper's setting, which uses the
+        single representative routing factor ``beta = 0.5``.
+    """
+    if with_positions:
+        # Representative placement: the transmit pair and the CODEC sit
+        # together in an analog corner; the down-converter and amplifier
+        # sit near the RF pads on the opposite edge.
+        positions = {
+            "A": (1.0, 1.0),
+            "B": (1.5, 1.0),
+            "C": (1.0, 2.0),
+            "D": (8.0, 1.0),
+            "E": (8.5, 2.0),
+        }
+    else:
+        positions = {name: None for name in PAPER_CORE_NAMES}
+    return (
+        core_a(positions["A"]),
+        core_b(positions["B"]),
+        core_c(positions["C"]),
+        core_d(positions["D"]),
+        core_e(positions["E"]),
+    )

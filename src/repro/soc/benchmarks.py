@@ -1,0 +1,156 @@
+"""Benchmark SOCs: a synthesized stand-in for ITC'02 ``p93791``.
+
+The paper evaluates on ``p93791m``: the ITC'02 benchmark SOC ``p93791``
+(a large Philips design, 32 usable modules) augmented with five analog
+cores.  The original benchmark file is proprietary and not
+redistributable, so this module *synthesizes* a digital SOC with the same
+statistical character (DESIGN.md, substitution table):
+
+* 32 digital cores in four size classes — a few scan-heavy giants, a
+  band of large and medium scan cores, and small glue cores;
+* total scan-data volume calibrated so that the SOC test time at TAM
+  width 32 lands in the ~1.7 M-cycle regime published for p93791;
+* the analog total (636,113 cycles, exact from Table 2) is therefore a
+  significant fraction of SOC test time at wide TAMs, which is the
+  regime where the paper's wrapper-sharing trade-off is interesting.
+
+Everything is generated from a fixed seed, so all results in
+EXPERIMENTS.md are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .analog_specs import paper_analog_cores
+from .model import AnalogCore, AnalogTest, DigitalCore, Soc
+
+__all__ = [
+    "synthetic_p93791",
+    "p93791m",
+    "mini_digital_soc",
+    "mini_mixed_signal_soc",
+    "DEFAULT_SEED",
+]
+
+#: Seed used for the shipped ``p93791`` stand-in.
+DEFAULT_SEED = 93791
+
+#: Size classes for the synthesized digital cores.  Each entry is
+#: (count, chain-count range, chain-length range, pattern range,
+#: input range, output range, bidir range).
+_SIZE_CLASSES = (
+    # giants: scan-dominated, drive the overall test-data volume
+    (4, (32, 46), (260, 620), (125, 230), (60, 130), (30, 110), (0, 72)),
+    # large scan cores
+    (8, (16, 30), (150, 400), (100, 260), (40, 100), (30, 90), (0, 40)),
+    # medium scan cores
+    (12, (4, 12), (80, 300), (115, 300), (20, 70), (20, 60), (0, 20)),
+    # small cores, little or no scan
+    (8, (0, 2), (40, 120), (150, 1000), (10, 50), (10, 40), (0, 10)),
+)
+
+
+def synthetic_p93791(seed: int = DEFAULT_SEED) -> Soc:
+    """Synthesize the digital ``p93791`` stand-in (32 cores).
+
+    :param seed: RNG seed; the default produces the SOC used throughout
+        the benches and EXPERIMENTS.md.
+    """
+    rng = random.Random(seed)
+    cores: list[DigitalCore] = []
+    index = 0
+    for (
+        count,
+        chain_count_range,
+        chain_length_range,
+        pattern_range,
+        input_range,
+        output_range,
+        bidir_range,
+    ) in _SIZE_CLASSES:
+        for _ in range(count):
+            index += 1
+            n_chains = rng.randint(*chain_count_range)
+            chains = tuple(
+                rng.randint(*chain_length_range) for _ in range(n_chains)
+            )
+            cores.append(
+                DigitalCore(
+                    name=f"d{index:02d}",
+                    inputs=rng.randint(*input_range),
+                    outputs=rng.randint(*output_range),
+                    bidirs=rng.randint(*bidir_range),
+                    scan_chains=chains,
+                    patterns=rng.randint(*pattern_range),
+                )
+            )
+    return Soc(name="p93791", digital_cores=tuple(cores))
+
+
+def p93791m(
+    seed: int = DEFAULT_SEED, with_positions: bool = False
+) -> Soc:
+    """The paper's mixed-signal SOC: synthetic p93791 + analog cores A..E.
+
+    :param seed: seed for the digital stand-in.
+    :param with_positions: attach floorplan positions to the analog
+        cores (enables the proximity-aware routing model; the paper's
+        experiments use the global ``beta = 0.5`` instead).
+    """
+    digital = synthetic_p93791(seed)
+    return Soc(
+        name="p93791m",
+        digital_cores=digital.digital_cores,
+        analog_cores=paper_analog_cores(with_positions=with_positions),
+    )
+
+
+def mini_digital_soc() -> Soc:
+    """A tiny 4-core digital SOC for unit tests and quick examples."""
+    cores = (
+        DigitalCore("m1", inputs=8, outputs=8, bidirs=0,
+                    scan_chains=(40, 40, 30), patterns=50),
+        DigitalCore("m2", inputs=16, outputs=8, bidirs=4,
+                    scan_chains=(100, 80), patterns=30),
+        DigitalCore("m3", inputs=6, outputs=6, bidirs=0,
+                    scan_chains=(), patterns=200),
+        DigitalCore("m4", inputs=20, outputs=20, bidirs=0,
+                    scan_chains=(60, 50, 50, 40), patterns=80),
+    )
+    return Soc(name="mini", digital_cores=cores)
+
+
+def mini_mixed_signal_soc() -> Soc:
+    """A tiny mixed-signal SOC (4 digital + 2 analog cores).
+
+    The analog pair is deliberately asymmetric — a slow high-resolution
+    core and a fast low-resolution one — so tests exercise the wrapper
+    sizing and compatibility rules without the full five-core benchmark.
+    """
+    analog = (
+        AnalogCore(
+            name="X",
+            description="audio filter",
+            tests=(
+                AnalogTest("g_pb", 10e3, 10e3, 320e3, 4_000, 1),
+                AnalogTest("f_c", 15e3, 25e3, 640e3, 6_000, 2),
+            ),
+            resolution_bits=10,
+        ),
+        AnalogCore(
+            name="Y",
+            description="line driver",
+            tests=(
+                AnalogTest("gain", 5e6, 5e6, 20e6, 1_500, 2),
+                AnalogTest("slew_rate", 10e6, 10e6, 40e6, 900, 4),
+            ),
+            resolution_bits=6,
+        ),
+    )
+    base = mini_digital_soc()
+    return Soc(
+        name="mini_ms",
+        digital_cores=base.digital_cores,
+        analog_cores=analog,
+    )

@@ -1,0 +1,366 @@
+"""Reader and writer for an ITC'02-style ``.soc`` text format.
+
+The ITC'02 SOC test benchmarks (Marinissen, Iyengar, Chakrabarty) are
+distributed as line-oriented text files describing each module's
+functional terminals, scan chains, and test patterns.  The original
+benchmark files are not redistributable, so this module defines a
+compatible, fully documented dialect able to express both the digital
+modules of the original format and the analog modules this paper adds.
+
+Format
+======
+
+Blank lines and ``#`` comments are ignored.  A file is a header followed
+by module blocks::
+
+    SocName p93791m
+    TotalModules 37
+
+    Module 1 'big_core'
+      Inputs 109
+      Outputs 32
+      Bidirs 72
+      ScanChains 46
+      ScanChainLengths 520 519 480 ...
+      Patterns 409
+
+    AnalogModule A 'iq_transmit_1'
+      Resolution 8
+      Position 1.0 1.0
+      Test g_pb BandLow 50e3 BandHigh 50e3 SampleFreq 1.5e6 Cycles 50000 TamWidth 1
+      Test f_c  BandLow 45e3 BandHigh 55e3 SampleFreq 1.5e6 Cycles 13653 TamWidth 4
+
+``ScanChainLengths`` may continue over several physical lines; the block
+ends at the next ``Module``/``AnalogModule`` keyword or end of file.
+``Position`` is optional.  ``TotalModules`` is validated against the
+number of module blocks actually present.
+
+:func:`loads` / :func:`dumps` operate on strings; :func:`load` /
+:func:`dump` on file paths.  Round-tripping is exact up to floating-point
+formatting (covered by the test suite).
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+from typing import Iterator
+
+from .model import AnalogCore, AnalogTest, DigitalCore, Soc
+
+__all__ = ["loads", "dumps", "load", "dump", "SocFormatError"]
+
+
+class SocFormatError(ValueError):
+    """Raised when a ``.soc`` document is malformed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+def _tokenize(text: str) -> Iterator[tuple[int, list[str]]]:
+    """Yield ``(line_number, tokens)`` for each non-empty, non-comment line."""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise SocFormatError(f"unparsable line: {exc}", line_no) from exc
+        if tokens:
+            yield line_no, tokens
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over the tokenized lines."""
+
+    def __init__(self, text: str):
+        self._lines = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> tuple[int, list[str]] | None:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _next(self) -> tuple[int, list[str]]:
+        entry = self._peek()
+        if entry is None:
+            raise SocFormatError("unexpected end of file")
+        self._pos += 1
+        return entry
+
+    def _expect(self, keyword: str) -> list[str]:
+        line_no, tokens = self._next()
+        if tokens[0] != keyword:
+            raise SocFormatError(
+                f"expected {keyword!r}, found {tokens[0]!r}", line_no
+            )
+        return tokens
+
+    def parse(self) -> Soc:
+        name_tokens = self._expect("SocName")
+        if len(name_tokens) != 2:
+            raise SocFormatError("SocName takes exactly one value")
+        soc_name = name_tokens[1]
+
+        total_tokens = self._expect("TotalModules")
+        declared_total = _parse_int(total_tokens, 1, "TotalModules")
+
+        digital: list[DigitalCore] = []
+        analog: list[AnalogCore] = []
+        while (entry := self._peek()) is not None:
+            line_no, tokens = entry
+            if tokens[0] == "Module":
+                digital.append(self._parse_digital())
+            elif tokens[0] == "AnalogModule":
+                analog.append(self._parse_analog())
+            else:
+                raise SocFormatError(
+                    f"expected 'Module' or 'AnalogModule', found {tokens[0]!r}",
+                    line_no,
+                )
+
+        actual_total = len(digital) + len(analog)
+        if actual_total != declared_total:
+            raise SocFormatError(
+                f"TotalModules declares {declared_total} modules but "
+                f"{actual_total} are present"
+            )
+        return Soc(
+            name=soc_name,
+            digital_cores=tuple(digital),
+            analog_cores=tuple(analog),
+        )
+
+    def _parse_digital(self) -> DigitalCore:
+        line_no, tokens = self._next()
+        if len(tokens) < 2:
+            raise SocFormatError("Module requires an identifier", line_no)
+        name = tokens[-1] if len(tokens) >= 3 else tokens[1]
+
+        fields: dict[str, int] = {}
+        chain_lengths: list[int] = []
+        reading_chains = False
+        while (entry := self._peek()) is not None:
+            item_line_no, item = entry
+            keyword = item[0]
+            if keyword in ("Module", "AnalogModule"):
+                break
+            self._pos += 1
+            if keyword in ("Inputs", "Outputs", "Bidirs", "ScanChains", "Patterns"):
+                fields[keyword] = _parse_int(item, 1, keyword, item_line_no)
+                reading_chains = False
+            elif keyword == "ScanChainLengths":
+                chain_lengths.extend(
+                    _parse_int(item, i, "ScanChainLengths", item_line_no)
+                    for i in range(1, len(item))
+                )
+                reading_chains = True
+            elif reading_chains and _is_int(keyword):
+                chain_lengths.extend(
+                    _parse_int(item, i, "ScanChainLengths", item_line_no)
+                    for i in range(len(item))
+                )
+            else:
+                raise SocFormatError(
+                    f"unknown digital-module field {keyword!r}", item_line_no
+                )
+
+        declared_chains = fields.get("ScanChains", len(chain_lengths))
+        if declared_chains != len(chain_lengths):
+            raise SocFormatError(
+                f"module {name!r} declares {declared_chains} scan chains "
+                f"but lists {len(chain_lengths)} lengths",
+                line_no,
+            )
+        missing = {"Inputs", "Outputs", "Bidirs", "Patterns"} - fields.keys()
+        if missing:
+            raise SocFormatError(
+                f"module {name!r} is missing fields: {sorted(missing)}", line_no
+            )
+        return DigitalCore(
+            name=name,
+            inputs=fields["Inputs"],
+            outputs=fields["Outputs"],
+            bidirs=fields["Bidirs"],
+            scan_chains=tuple(chain_lengths),
+            patterns=fields["Patterns"],
+        )
+
+    def _parse_analog(self) -> AnalogCore:
+        line_no, tokens = self._next()
+        if len(tokens) < 2:
+            raise SocFormatError("AnalogModule requires an identifier", line_no)
+        name = tokens[1]
+        description = tokens[2] if len(tokens) >= 3 else name
+
+        resolution: int | None = None
+        position: tuple[float, float] | None = None
+        tests: list[AnalogTest] = []
+        while (entry := self._peek()) is not None:
+            item_line_no, item = entry
+            keyword = item[0]
+            if keyword in ("Module", "AnalogModule"):
+                break
+            self._pos += 1
+            if keyword == "Resolution":
+                resolution = _parse_int(item, 1, "Resolution", item_line_no)
+            elif keyword == "Position":
+                if len(item) != 3:
+                    raise SocFormatError(
+                        "Position takes exactly two values", item_line_no
+                    )
+                position = (
+                    _parse_float(item, 1, "Position", item_line_no),
+                    _parse_float(item, 2, "Position", item_line_no),
+                )
+            elif keyword == "Test":
+                tests.append(self._parse_test(item, item_line_no))
+            else:
+                raise SocFormatError(
+                    f"unknown analog-module field {keyword!r}", item_line_no
+                )
+
+        if resolution is None:
+            raise SocFormatError(
+                f"analog module {name!r} is missing Resolution", line_no
+            )
+        if not tests:
+            raise SocFormatError(
+                f"analog module {name!r} has no tests", line_no
+            )
+        return AnalogCore(
+            name=name,
+            description=description,
+            tests=tuple(tests),
+            resolution_bits=resolution,
+            position=position,
+        )
+
+    @staticmethod
+    def _parse_test(tokens: list[str], line_no: int) -> AnalogTest:
+        if len(tokens) < 2:
+            raise SocFormatError("Test requires a name", line_no)
+        name = tokens[1]
+        pairs = tokens[2:]
+        if len(pairs) % 2 != 0:
+            raise SocFormatError(
+                f"test {name!r}: key/value tokens must pair up", line_no
+            )
+        values: dict[str, str] = {}
+        for key, value in zip(pairs[0::2], pairs[1::2]):
+            values[key] = value
+        required = {"BandLow", "BandHigh", "SampleFreq", "Cycles", "TamWidth"}
+        missing = required - values.keys()
+        if missing:
+            raise SocFormatError(
+                f"test {name!r} is missing fields: {sorted(missing)}", line_no
+            )
+        try:
+            resolution = (
+                int(values["Resolution"]) if "Resolution" in values else None
+            )
+            return AnalogTest(
+                name=name,
+                band_low_hz=float(values["BandLow"]),
+                band_high_hz=float(values["BandHigh"]),
+                sample_freq_hz=float(values["SampleFreq"]),
+                cycles=int(float(values["Cycles"])),
+                tam_width=int(values["TamWidth"]),
+                resolution_bits=resolution,
+            )
+        except ValueError as exc:
+            raise SocFormatError(f"test {name!r}: {exc}", line_no) from exc
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _parse_int(
+    tokens: list[str], index: int, field: str, line_no: int | None = None
+) -> int:
+    try:
+        return int(tokens[index])
+    except (IndexError, ValueError) as exc:
+        raise SocFormatError(
+            f"{field} requires an integer value", line_no
+        ) from exc
+
+
+def _parse_float(
+    tokens: list[str], index: int, field: str, line_no: int | None = None
+) -> float:
+    try:
+        return float(tokens[index])
+    except (IndexError, ValueError) as exc:
+        raise SocFormatError(f"{field} requires a numeric value", line_no) from exc
+
+
+def loads(text: str) -> Soc:
+    """Parse a ``.soc`` document from a string."""
+    return _Parser(text).parse()
+
+
+def load(path: str | Path) -> Soc:
+    """Parse a ``.soc`` document from a file path."""
+    return loads(Path(path).read_text())
+
+
+def dumps(soc: Soc) -> str:
+    """Serialize *soc* to ``.soc`` text.
+
+    The output parses back (:func:`loads`) to an equal :class:`Soc`,
+    modulo floating-point formatting of frequencies and positions.
+    """
+    lines: list[str] = [
+        f"SocName {soc.name}",
+        f"TotalModules {soc.n_digital + soc.n_analog}",
+        "",
+    ]
+    for index, core in enumerate(soc.digital_cores, start=1):
+        lines.append(f"Module {index} '{core.name}'")
+        lines.append(f"  Inputs {core.inputs}")
+        lines.append(f"  Outputs {core.outputs}")
+        lines.append(f"  Bidirs {core.bidirs}")
+        lines.append(f"  ScanChains {len(core.scan_chains)}")
+        if core.scan_chains:
+            for start in range(0, len(core.scan_chains), 16):
+                chunk = core.scan_chains[start : start + 16]
+                prefix = "  ScanChainLengths " if start == 0 else "    "
+                lines.append(prefix + " ".join(str(c) for c in chunk))
+        lines.append(f"  Patterns {core.patterns}")
+        lines.append("")
+    for core in soc.analog_cores:
+        lines.append(f"AnalogModule {core.name} '{core.description}'")
+        lines.append(f"  Resolution {core.resolution_bits}")
+        if core.position is not None:
+            lines.append(f"  Position {core.position[0]!r} {core.position[1]!r}")
+        for test in core.tests:
+            line = (
+                f"  Test {test.name} "
+                f"BandLow {test.band_low_hz!r} "
+                f"BandHigh {test.band_high_hz!r} "
+                f"SampleFreq {test.sample_freq_hz!r} "
+                f"Cycles {test.cycles} "
+                f"TamWidth {test.tam_width}"
+            )
+            if test.resolution_bits is not None:
+                line += f" Resolution {test.resolution_bits}"
+            lines.append(line)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def dump(soc: Soc, path: str | Path) -> None:
+    """Serialize *soc* to the file at *path*."""
+    Path(path).write_text(dumps(soc))

@@ -1,0 +1,60 @@
+"""TAM scheduling: rectangle packing with shared-wrapper serialization.
+
+Public surface:
+
+* :func:`~repro.tam.packing.pack` — the greedy flexible-width packer;
+* :func:`~repro.tam.builder.soc_tasks` — SOC + sharing partition → tasks;
+* :func:`~repro.tam.branch_bound.optimal_schedule` — exact baseline;
+* :func:`~repro.tam.lower_bound.makespan_lower_bound` — admissible bound;
+* :func:`~repro.tam.gantt.render_gantt` — ASCII visualization.
+"""
+
+from .branch_bound import optimal_makespan, optimal_schedule
+from .builder import analog_tasks, digital_tasks, group_of_core, soc_tasks
+from .fixed_partition import (
+    FixedPartitionResult,
+    fixed_partition_pack,
+    width_splits,
+)
+from .gantt import render_gantt
+from .lower_bound import (
+    critical_task_bound,
+    makespan_lower_bound,
+    serialization_bound,
+    volume_bound,
+)
+from .model import TamTask, WidthOption
+from .packing import PRIORITY_RULES, InfeasibleError, pack, pack_with_order
+from .profile import CapacityProfile
+from .schedule import Schedule, ScheduledTest, ScheduleError
+from .wires import WireAssignmentError, assign_wires, render_wire_map
+
+__all__ = [
+    "CapacityProfile",
+    "FixedPartitionResult",
+    "InfeasibleError",
+    "PRIORITY_RULES",
+    "fixed_partition_pack",
+    "width_splits",
+    "Schedule",
+    "ScheduleError",
+    "ScheduledTest",
+    "TamTask",
+    "WidthOption",
+    "WireAssignmentError",
+    "analog_tasks",
+    "assign_wires",
+    "render_wire_map",
+    "critical_task_bound",
+    "digital_tasks",
+    "group_of_core",
+    "makespan_lower_bound",
+    "optimal_makespan",
+    "optimal_schedule",
+    "pack",
+    "pack_with_order",
+    "render_gantt",
+    "serialization_bound",
+    "soc_tasks",
+    "volume_bound",
+]

@@ -1,0 +1,200 @@
+"""Fixed-width TAM partition baseline (the architecture the paper beats).
+
+Section 4 of the paper motivates the *flexible-width* rectangle-packing
+TAM by pointing at the weakness of fixed-width partitions: analog cores
+need only a few wires, so "when analog cores are tested serially with
+digital cores on the same TAM partition, the analog cores do not use
+all the TAM wires" and the overall time is not optimized.
+
+This module implements that baseline so the claim is measurable: the
+SOC TAM of width ``W`` is split into a small number of fixed buses;
+every core is assigned to exactly one bus and the cores of one bus are
+tested *serially*; an analog test occupies its own (small) width while
+the rest of its bus idles.
+
+The optimizer enumerates bus counts and width splits (coarse grid),
+assigns serialization groups atomically (a shared wrapper's cores stay
+on one bus), and load-balances with LPT.  The result is returned as an
+ordinary validated :class:`~repro.tam.schedule.Schedule`, directly
+comparable with the flexible packer's output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from .model import TamTask
+from .packing import InfeasibleError
+from .schedule import Schedule, ScheduledTest
+
+__all__ = ["FixedPartitionResult", "fixed_partition_pack", "width_splits"]
+
+
+def width_splits(
+    total: int, n_buses: int, step: int = 4
+) -> list[tuple[int, ...]]:
+    """Non-increasing splits of *total* into *n_buses* positive widths.
+
+    Widths move on a grid of *step* wires (plus the remainder bucket),
+    which keeps the enumeration small while covering the useful designs;
+    ``step=1`` enumerates everything.
+    """
+    if total < n_buses:
+        return []
+    if n_buses == 1:
+        return [(total,)]
+    results: set[tuple[int, ...]] = set()
+
+    def recurse(remaining: int, buses: int, maximum: int, prefix: tuple):
+        if buses == 1:
+            if 1 <= remaining <= maximum:
+                results.add(prefix + (remaining,))
+            return
+        width = min(remaining - (buses - 1), maximum)
+        while width >= 1:
+            recurse(
+                remaining - width, buses - 1, width, prefix + (width,)
+            )
+            width = width - step if width - step >= 1 else width - 1
+    recurse(total, n_buses, total, ())
+    return sorted(results, reverse=True)
+
+
+@dataclass(frozen=True)
+class FixedPartitionResult:
+    """Best fixed-partition architecture found."""
+
+    schedule: Schedule
+    bus_widths: tuple[int, ...]
+    assignment: dict[str, int]
+
+    @property
+    def makespan(self) -> int:
+        """SOC test time of the fixed architecture."""
+        return self.schedule.makespan
+
+
+def _atomic_units(
+    tasks: Sequence[TamTask],
+) -> list[tuple[str, list[TamTask]]]:
+    """Group tasks into bus-atomic units (shared wrappers are atomic)."""
+    grouped: dict[str, list[TamTask]] = {}
+    units: list[tuple[str, list[TamTask]]] = []
+    for task in tasks:
+        if task.group is None:
+            units.append((task.name, [task]))
+        else:
+            if task.group not in grouped:
+                grouped[task.group] = []
+                units.append((task.group, grouped[task.group]))
+            grouped[task.group].append(task)
+    return units
+
+
+def _schedule_on_buses(
+    units: list[tuple[str, list[TamTask]]],
+    bus_widths: tuple[int, ...],
+) -> tuple[Schedule, dict[str, int]] | None:
+    """LPT-assign atomic units to buses; None if some unit fits nowhere."""
+    def unit_time(unit: list[TamTask], width: int) -> int | None:
+        total = 0
+        for task in unit:
+            feasible = task.options_within(width)
+            if not feasible:
+                return None
+            total += feasible[-1].time
+        return total
+
+    # LPT over units by their time on the widest bus
+    widest = max(bus_widths)
+    keyed = []
+    for name, unit in units:
+        t = unit_time(unit, widest)
+        if t is None:
+            return None
+        keyed.append((t, name, unit))
+    keyed.sort(key=lambda item: (-item[0], item[1]))
+
+    loads = [0] * len(bus_widths)
+    placements: list[tuple[list[TamTask], int]] = []
+    assignment: dict[str, int] = {}
+    for _, name, unit in keyed:
+        best_bus = None
+        best_finish = None
+        for bus, width in enumerate(bus_widths):
+            t = unit_time(unit, width)
+            if t is None:
+                continue
+            finish = loads[bus] + t
+            if best_finish is None or finish < best_finish:
+                best_finish = finish
+                best_bus = bus
+        if best_bus is None:
+            return None
+        placements.append((unit, best_bus))
+        assignment[name] = best_bus
+        loads[best_bus] = best_finish
+
+    # materialize: tasks of a bus run back-to-back in placement order
+    cursor = [0] * len(bus_widths)
+    items: list[ScheduledTest] = []
+    for unit, bus in placements:
+        width = bus_widths[bus]
+        for task in unit:
+            option = task.best_within(width)
+            items.append(
+                ScheduledTest(
+                    task=task, start=cursor[bus], option=option
+                )
+            )
+            cursor[bus] += option.time
+    schedule = Schedule(width=sum(bus_widths), items=tuple(items))
+    return schedule, assignment
+
+
+def fixed_partition_pack(
+    tasks: Iterable[TamTask],
+    width: int,
+    max_buses: int = 4,
+    step: int = 4,
+) -> FixedPartitionResult:
+    """Best fixed-partition architecture over bus counts and splits.
+
+    :param tasks: the rectangles to schedule.
+    :param width: SOC-level TAM width ``W``.
+    :param max_buses: largest number of fixed buses to consider.
+    :param step: width grid of the split enumeration.
+    :returns: the best architecture found (validated schedule).
+    :raises InfeasibleError: if no architecture fits every task (e.g.
+        a rigid task wider than ``W``).
+    """
+    task_list = list(tasks)
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not task_list:
+        return FixedPartitionResult(
+            schedule=Schedule(width=width, items=()),
+            bus_widths=(width,),
+            assignment={},
+        )
+    units = _atomic_units(task_list)
+    best: FixedPartitionResult | None = None
+    for n_buses in range(1, max_buses + 1):
+        for split in width_splits(width, n_buses, step=step):
+            outcome = _schedule_on_buses(units, split)
+            if outcome is None:
+                continue
+            schedule, assignment = outcome
+            if best is None or schedule.makespan < best.makespan:
+                best = FixedPartitionResult(
+                    schedule=schedule,
+                    bus_widths=split,
+                    assignment=assignment,
+                )
+    if best is None:
+        raise InfeasibleError(
+            f"no fixed partition of width {width} fits every task"
+        )
+    best.schedule.validate()
+    return best

@@ -1,0 +1,49 @@
+"""ASCII Gantt rendering of TAM schedules.
+
+Used by the examples and the benchmark harness to show *where* a
+schedule spends its time — in particular how the serialized analog
+wrapper groups thread through the digital rectangles.
+"""
+
+from __future__ import annotations
+
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, columns: int = 72) -> str:
+    """Render *schedule* as one text row per scheduled test.
+
+    Each row shows the task name, its rectangle as ``=`` characters on a
+    time axis scaled to *columns* characters, and ``start..finish @width``
+    on the right.  Rows are sorted by start time, then name.
+
+    :param schedule: a (preferably validated) schedule.
+    :param columns: width of the time axis in characters.
+    """
+    if columns < 10:
+        raise ValueError(f"columns must be >= 10, got {columns}")
+    span = schedule.makespan
+    if span == 0:
+        return "(empty schedule)"
+    name_width = max(len(item.task.name) for item in schedule.items)
+    scale = columns / span
+
+    lines = [
+        f"TAM width {schedule.width}, makespan {span} cycles, "
+        f"utilization {schedule.utilization:.1%}"
+    ]
+    for item in sorted(schedule.items, key=lambda i: (i.start, i.task.name)):
+        left = int(item.start * scale)
+        right = max(left + 1, int(item.finish * scale))
+        bar = " " * left + "=" * (right - left)
+        bar = bar.ljust(columns)
+        group = f" [{item.task.group}]" if item.task.group else ""
+        lines.append(
+            f"{item.task.name:<{name_width}} |{bar}| "
+            f"{item.start}..{item.finish} @{item.width}{group}"
+        )
+    axis = f"{'':<{name_width}} |0".ljust(name_width + columns - len(str(span)))
+    lines.append(axis + str(span) + "|")
+    return "\n".join(lines)

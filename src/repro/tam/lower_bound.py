@@ -1,0 +1,65 @@
+"""Makespan lower bounds for flexible-width TAM scheduling.
+
+Three classic bounds, each valid independently; their maximum is the
+bound the packer and the branch-and-bound baseline prune against:
+
+* **volume** — total minimum rectangle area divided by the TAM width
+  (no schedule can pack more than ``W`` wire-cycles per cycle);
+* **critical task** — the longest minimum test time over all tasks
+  (rectangles are not preemptible);
+* **serialization** — for every shared-wrapper group, the sum of its
+  members' minimum times (they can never overlap); this is the paper's
+  analog-test-time lower bound :math:`T_{LB}` generalized to tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from .model import TamTask
+
+__all__ = [
+    "volume_bound",
+    "critical_task_bound",
+    "serialization_bound",
+    "makespan_lower_bound",
+]
+
+
+def volume_bound(tasks: Iterable[TamTask], width: int) -> int:
+    """Ceiling of total minimum rectangle area over TAM width."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    total = sum(task.min_area for task in tasks)
+    return math.ceil(total / width)
+
+
+def critical_task_bound(tasks: Iterable[TamTask]) -> int:
+    """Longest minimum test time over the tasks (0 if none)."""
+    return max((task.min_time for task in tasks), default=0)
+
+
+def serialization_bound(tasks: Iterable[TamTask]) -> int:
+    """Largest per-group sum of minimum test times (0 without groups).
+
+    This is the paper's Section 3 lower bound: the test-time usage of a
+    shared analog wrapper is the sum of the test times of the cores that
+    share it, and the analog part of the schedule can finish no earlier
+    than the busiest wrapper.
+    """
+    usage: dict[str, int] = {}
+    for task in tasks:
+        if task.group is not None:
+            usage[task.group] = usage.get(task.group, 0) + task.min_time
+    return max(usage.values(), default=0)
+
+
+def makespan_lower_bound(tasks: Iterable[TamTask], width: int) -> int:
+    """The tightest of the three bounds."""
+    task_list = list(tasks)
+    return max(
+        volume_bound(task_list, width),
+        critical_task_bound(task_list),
+        serialization_bound(task_list),
+    )

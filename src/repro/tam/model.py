@@ -1,0 +1,120 @@
+"""Task model for flexible-width TAM scheduling.
+
+The rectangle-packing view of SOC test scheduling (Iyengar, Chakrabarty,
+Marinissen, VTS'02): every core test is a rectangle whose height is its
+TAM width and whose length is its test time; the SOC-level TAM of width
+``W`` is a bin of height ``W`` and unbounded length; the objective is to
+minimize the makespan.
+
+Digital cores are *flexible* rectangles — their wrapper can be designed
+at any Pareto width, trading height for length along the staircase.
+Analog tests are *rigid* rectangles — the TAM width requirement of an
+analog test is fixed, and extra wires do not shorten it (Section 4 of
+the paper).
+
+Tests of analog cores that share one analog test wrapper must never
+overlap in time (Section 3); this is expressed by giving their tasks a
+common :attr:`TamTask.group` label, which the scheduler serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WidthOption", "TamTask"]
+
+
+@dataclass(frozen=True)
+class WidthOption:
+    """One feasible (width, time) operating point of a task."""
+
+    width: int
+    time: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.time < 1:
+            raise ValueError(f"time must be >= 1, got {self.time}")
+
+    @property
+    def area(self) -> int:
+        """Wire-cycles occupied by the rectangle at this point."""
+        return self.width * self.time
+
+
+@dataclass(frozen=True)
+class TamTask:
+    """A schedulable test: one digital core test or one analog test.
+
+    :param name: unique task label, e.g. ``"d07"`` or ``"A.f_c"``.
+    :param options: feasible operating points sorted by strictly
+        increasing width and strictly decreasing time (a Pareto
+        staircase).  Rigid analog tests have exactly one option.
+    :param group: serialization-group label.  Tasks sharing a label are
+        never scheduled concurrently (the shared analog wrapper can host
+        one test at a time).  ``None`` means unconstrained.
+    """
+
+    name: str
+    options: tuple[WidthOption, ...]
+    group: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if not self.options:
+            raise ValueError(f"task {self.name!r} has no width options")
+        widths = [o.width for o in self.options]
+        times = [o.time for o in self.options]
+        if widths != sorted(widths) or len(set(widths)) != len(widths):
+            raise ValueError(
+                f"task {self.name!r}: options must have strictly "
+                f"increasing widths, got {widths}"
+            )
+        if times != sorted(times, reverse=True) or len(set(times)) != len(times):
+            raise ValueError(
+                f"task {self.name!r}: options must have strictly "
+                f"decreasing times, got {times}"
+            )
+
+    @property
+    def is_rigid(self) -> bool:
+        """Whether the task has a single operating point."""
+        return len(self.options) == 1
+
+    @property
+    def min_width(self) -> int:
+        """Narrowest feasible width."""
+        return self.options[0].width
+
+    @property
+    def min_time(self) -> int:
+        """Shortest achievable time (at the widest option)."""
+        return self.options[-1].time
+
+    @property
+    def min_area(self) -> int:
+        """Smallest rectangle area over the staircase.
+
+        Used by volume-based makespan lower bounds: no schedule can
+        occupy fewer wire-cycles for this task than its cheapest point.
+        """
+        return min(o.area for o in self.options)
+
+    def options_within(self, width: int) -> tuple[WidthOption, ...]:
+        """The operating points using at most *width* wires."""
+        return tuple(o for o in self.options if o.width <= width)
+
+    def best_within(self, width: int) -> WidthOption:
+        """Fastest operating point using at most *width* wires.
+
+        :raises ValueError: if even the narrowest option exceeds *width*.
+        """
+        feasible = self.options_within(width)
+        if not feasible:
+            raise ValueError(
+                f"task {self.name!r} needs at least {self.min_width} wires, "
+                f"only {width} available"
+            )
+        return feasible[-1]

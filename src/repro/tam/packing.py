@@ -1,0 +1,192 @@
+"""Greedy flexible-width rectangle packing for TAM scheduling.
+
+The paper's test planner uses the rectangle-packing TAM optimization of
+Iyengar, Chakrabarty and Marinissen (VTS'02).  This module implements a
+deterministic greedy packer in that spirit:
+
+1. order the tasks by a priority rule (largest minimum area first by
+   default);
+2. place each task at the earliest feasible start, choosing the Pareto
+   operating point that minimizes its *finish* time — wide points start
+   later but run shorter, narrow points squeeze into earlier gaps;
+3. serialization groups (cores sharing an analog wrapper) constrain each
+   member to start after the group's previously placed members finish.
+
+Because greedy packing is order-sensitive, :func:`pack` tries several
+priority rules and keeps the best makespan; every candidate schedule is
+validated before comparison, so the returned schedule is always
+feasible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .model import TamTask
+from .profile import CapacityProfile
+from .schedule import Schedule, ScheduledTest
+
+__all__ = ["pack", "pack_with_order", "InfeasibleError", "PRIORITY_RULES"]
+
+
+class InfeasibleError(ValueError):
+    """Raised when a task cannot fit on the TAM at any operating point."""
+
+
+def _by_area(task: TamTask) -> tuple:
+    return (-task.min_area, task.name)
+
+
+def _by_time(task: TamTask) -> tuple:
+    return (-task.min_time, task.name)
+
+
+def _by_width(task: TamTask) -> tuple:
+    return (-task.min_width, -task.min_area, task.name)
+
+
+def _groups_first(task: TamTask) -> tuple:
+    return (task.group is None, -task.min_area, task.name)
+
+
+def _rigid_wide_first(task: TamTask) -> tuple:
+    # wide rigid rectangles fragment the TAM badly when placed late;
+    # front-load them, then flexible tasks by area
+    return (
+        not (task.is_rigid and task.min_width > 1),
+        -task.min_width if task.is_rigid else 0,
+        -task.min_area,
+        task.name,
+    )
+
+
+#: Priority rules tried by :func:`pack`, by name.
+PRIORITY_RULES = {
+    "area": _by_area,
+    "time": _by_time,
+    "width": _by_width,
+    "groups_first": _groups_first,
+    "rigid_wide_first": _rigid_wide_first,
+}
+
+
+def pack_with_order(
+    tasks: Sequence[TamTask], width: int, order: Sequence[TamTask]
+) -> Schedule:
+    """Pack *tasks* on a width-``width`` TAM in the given placement order.
+
+    Each task is placed at the earliest feasible start over all its
+    operating points that fit the TAM, choosing the point with the
+    earliest finish (ties: narrower width, then earlier start).
+
+    :raises InfeasibleError: if some task is wider than the TAM even at
+        its narrowest operating point.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if {t.name for t in order} != {t.name for t in tasks} or len(order) != len(
+        tasks
+    ):
+        raise ValueError("order must be a permutation of tasks")
+
+    profile = CapacityProfile(width)
+    group_ready: dict[str, int] = {}
+    items: list[ScheduledTest] = []
+    for task in order:
+        feasible = task.options_within(width)
+        if not feasible:
+            raise InfeasibleError(
+                f"task {task.name!r} needs {task.min_width} wires, TAM "
+                f"has only {width}"
+            )
+        not_before = 0
+        if task.group is not None:
+            not_before = group_ready.get(task.group, 0)
+        best: tuple[int, int, int] | None = None
+        best_option = None
+        for option in feasible:
+            start = profile.earliest_fit(not_before, option.time, option.width)
+            key = (start + option.time, option.width, start)
+            if best is None or key < best:
+                best = key
+                best_option = option
+        assert best is not None and best_option is not None
+        finish, _, start = best
+        profile.add(start, finish, best_option.width)
+        if task.group is not None:
+            group_ready[task.group] = finish
+        items.append(ScheduledTest(task=task, start=start, option=best_option))
+
+    schedule = Schedule(width=width, items=tuple(items))
+    schedule.validate()
+    return schedule
+
+
+def pack(
+    tasks: Iterable[TamTask],
+    width: int,
+    rules: Sequence[str] = (
+        "area",
+        "time",
+        "width",
+        "groups_first",
+        "rigid_wide_first",
+    ),
+    shuffles: int = 8,
+    improvement_passes: int = 3,
+) -> Schedule:
+    """Pack *tasks*, trying several orders and keeping the best schedule.
+
+    Three deterministic order sources are combined:
+
+    1. the priority *rules* (largest area / time / width first, analog
+       groups first);
+    2. *shuffles* seeded random permutations biased toward large tasks
+       (multi-start, seed fixed so results are repeatable);
+    3. *improvement_passes* reschedule iterations — the best schedule's
+       own start order is replayed as a priority order, a standard
+       list-scheduling convergence trick.
+
+    :param tasks: the rectangles to schedule.
+    :param width: SOC-level TAM width ``W``.
+    :param rules: names from :data:`PRIORITY_RULES` to try.
+    :param shuffles: number of seeded random restarts (0 disables).
+    :param improvement_passes: maximum reschedule iterations (0 disables).
+    :returns: the feasible schedule with the smallest makespan found
+        (deterministic for fixed arguments).
+    :raises InfeasibleError: if some task cannot fit at all.
+    :raises KeyError: if a rule name is unknown.
+    """
+    import random
+
+    task_list = list(tasks)
+    if not task_list:
+        return Schedule(width=width, items=())
+
+    best: Schedule | None = None
+
+    def consider(order: Sequence[TamTask]) -> None:
+        nonlocal best
+        candidate = pack_with_order(task_list, width, order)
+        if best is None or candidate.makespan < best.makespan:
+            best = candidate
+
+    for rule in rules:
+        consider(sorted(task_list, key=PRIORITY_RULES[rule]))
+
+    rng = random.Random(0)
+    base = sorted(task_list, key=_by_area)
+    for _ in range(shuffles):
+        # biased shuffle: perturb the area order with random keys so
+        # large tasks still tend to go first
+        keys = {t.name: i + rng.uniform(0, len(base) / 2) for i, t in enumerate(base)}
+        consider(sorted(base, key=lambda t: keys[t.name]))
+
+    assert best is not None
+    for _ in range(improvement_passes):
+        previous = best.makespan
+        start_of = {item.task.name: item.start for item in best.items}
+        consider(sorted(task_list, key=lambda t: (start_of[t.name], t.name)))
+        if best.makespan >= previous:
+            break
+    return best

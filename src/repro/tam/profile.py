@@ -1,0 +1,137 @@
+"""Capacity profile: TAM wire usage over time.
+
+The scheduler tracks how many of the ``W`` TAM wires are busy at every
+instant as a piecewise-constant step function.  :class:`CapacityProfile`
+stores the breakpoints and answers the two queries packing needs:
+
+* the minimum free capacity over an interval (can a rectangle of a given
+  width lie here?), and
+* the earliest time at or after a given instant where a rectangle of
+  given width and duration fits.
+
+Times are integers (TAM clock cycles).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["CapacityProfile"]
+
+
+class CapacityProfile:
+    """Piecewise-constant usage profile of a width-``capacity`` TAM."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # Breakpoint representation: _times[i] is the start of a region
+        # with usage _used[i]; the profile is 0 before the first
+        # breakpoint and constant after the last.
+        self._times: list[int] = [0]
+        self._used: list[int] = [0]
+
+    def usage_at(self, t: int) -> int:
+        """Wire usage at time *t* (t >= 0)."""
+        if t < 0:
+            raise ValueError(f"time must be >= 0, got {t}")
+        index = bisect.bisect_right(self._times, t) - 1
+        return self._used[index]
+
+    def free_at(self, t: int) -> int:
+        """Free wires at time *t*."""
+        return self.capacity - self.usage_at(t)
+
+    def min_free(self, start: int, end: int) -> int:
+        """Minimum free capacity over the half-open interval [start, end)."""
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        index = bisect.bisect_right(self._times, start) - 1
+        worst = self._used[index]
+        index += 1
+        while index < len(self._times) and self._times[index] < end:
+            worst = max(worst, self._used[index])
+            index += 1
+        return self.capacity - worst
+
+    def fits(self, start: int, end: int, width: int) -> bool:
+        """Whether a rectangle of *width* fits over [start, end)."""
+        return self.min_free(start, end) >= width
+
+    def add(self, start: int, end: int, width: int) -> None:
+        """Occupy *width* wires over [start, end).
+
+        :raises ValueError: if the rectangle does not fit.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if not self.fits(start, end, width):
+            raise ValueError(
+                f"rectangle [{start}, {end}) x {width} exceeds capacity "
+                f"{self.capacity}"
+            )
+        self._insert_breakpoint(start)
+        self._insert_breakpoint(end)
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            self._used[i] += width
+
+    def _insert_breakpoint(self, t: int) -> None:
+        index = bisect.bisect_left(self._times, t)
+        if index < len(self._times) and self._times[index] == t:
+            return
+        # usage just before t continues at t
+        self._times.insert(index, t)
+        self._used.insert(index, self._used[index - 1])
+
+    def earliest_fit(self, not_before: int, duration: int, width: int) -> int:
+        """Earliest start >= *not_before* where a rectangle fits.
+
+        The profile is eventually constant (usage of the last region), so
+        a fit always exists provided ``width <= capacity``; the search
+        only needs to consider *not_before* and subsequent breakpoints.
+
+        :raises ValueError: if ``width > capacity``.
+        """
+        if width > self.capacity:
+            raise ValueError(
+                f"width {width} exceeds TAM capacity {self.capacity}"
+            )
+        candidate = not_before
+        while True:
+            if self.fits(candidate, candidate + duration, width):
+                return candidate
+            # advance to the next breakpoint after the first blocking
+            # region inside the candidate window
+            index = bisect.bisect_right(self._times, candidate) - 1
+            advanced = None
+            while index < len(self._times):
+                if self._used[index] + width > self.capacity:
+                    # region starting at _times[index] blocks; resume at
+                    # its end (the next breakpoint)
+                    if index + 1 < len(self._times):
+                        advanced = self._times[index + 1]
+                    else:
+                        # blocked forever — cannot happen: final region
+                        # usage returns to 0 once all rectangles end
+                        raise AssertionError(
+                            "profile blocked in its final region"
+                        )
+                    break
+                index += 1
+            if advanced is None or advanced <= candidate:
+                raise AssertionError("earliest_fit failed to advance")
+            candidate = advanced
+
+    def makespan(self) -> int:
+        """Last instant with non-zero usage (0 for an empty profile)."""
+        for i in range(len(self._times) - 1, -1, -1):
+            if self._used[i] > 0:
+                return self._times[i + 1] if i + 1 < len(self._times) else 0
+        return 0
+
+    def breakpoints(self) -> list[tuple[int, int]]:
+        """A copy of the (time, usage) breakpoints, for inspection."""
+        return list(zip(self._times, self._used))

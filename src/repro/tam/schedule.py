@@ -1,0 +1,139 @@
+"""Schedule representation and validation.
+
+A :class:`Schedule` is the output of the TAM optimizer: one
+:class:`ScheduledTest` per task with a start time, the chosen width, and
+the implied finish.  :meth:`Schedule.validate` re-checks every constraint
+from first principles (capacity, serialization groups, option
+membership), so scheduler bugs cannot silently produce infeasible
+results — every benchmark run validates its schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import TamTask, WidthOption
+from .profile import CapacityProfile
+
+__all__ = ["ScheduledTest", "Schedule", "ScheduleError"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a feasibility constraint."""
+
+
+@dataclass(frozen=True)
+class ScheduledTest:
+    """One placed rectangle."""
+
+    task: TamTask
+    start: int
+    option: WidthOption
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.option not in self.task.options:
+            raise ValueError(
+                f"option {self.option} is not an operating point of "
+                f"task {self.task.name!r}"
+            )
+
+    @property
+    def finish(self) -> int:
+        """End time (exclusive) of the placed rectangle."""
+        return self.start + self.option.time
+
+    @property
+    def width(self) -> int:
+        """TAM wires occupied."""
+        return self.option.width
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete test schedule for one SOC on a width-``W`` TAM."""
+
+    width: int
+    items: tuple[ScheduledTest, ...]
+
+    @property
+    def makespan(self) -> int:
+        """SOC test application time: latest finish over all tests."""
+        if not self.items:
+            return 0
+        return max(item.finish for item in self.items)
+
+    @property
+    def total_area(self) -> int:
+        """Wire-cycles actually occupied by rectangles."""
+        return sum(item.width * item.option.time for item in self.items)
+
+    @property
+    def utilization(self) -> float:
+        """Occupied share of the ``W x makespan`` bounding box (0..1)."""
+        span = self.makespan
+        if span == 0:
+            return 0.0
+        return self.total_area / (self.width * span)
+
+    def item(self, name: str) -> ScheduledTest:
+        """Return the placed rectangle of task *name*.
+
+        :raises KeyError: if no task of that name was scheduled.
+        """
+        for it in self.items:
+            if it.task.name == name:
+                return it
+        raise KeyError(f"no scheduled task named {name!r}")
+
+    def validate(self) -> None:
+        """Re-check feasibility from first principles.
+
+        Verifies that (i) task names are unique, (ii) total wire usage
+        never exceeds the TAM width, and (iii) no two tasks of one
+        serialization group overlap in time.
+
+        :raises ScheduleError: on the first violated constraint.
+        """
+        names = [item.task.name for item in self.items]
+        if len(set(names)) != len(names):
+            raise ScheduleError("duplicate task names in schedule")
+
+        profile = CapacityProfile(self.width)
+        for item in sorted(self.items, key=lambda i: (i.start, i.task.name)):
+            try:
+                profile.add(item.start, item.finish, item.width)
+            except ValueError as exc:
+                raise ScheduleError(
+                    f"task {item.task.name!r} overflows the TAM: {exc}"
+                ) from exc
+
+        by_group: dict[str, list[ScheduledTest]] = {}
+        for item in self.items:
+            if item.task.group is not None:
+                by_group.setdefault(item.task.group, []).append(item)
+        for group, members in by_group.items():
+            members.sort(key=lambda i: i.start)
+            for previous, current in zip(members, members[1:]):
+                if current.start < previous.finish:
+                    raise ScheduleError(
+                        f"serialization violated in group {group!r}: "
+                        f"{previous.task.name!r} [{previous.start}, "
+                        f"{previous.finish}) overlaps "
+                        f"{current.task.name!r} [{current.start}, "
+                        f"{current.finish})"
+                    )
+
+    def group_spans(self) -> dict[str, tuple[int, int]]:
+        """Per serialization group: (first start, last finish)."""
+        spans: dict[str, tuple[int, int]] = {}
+        for item in self.items:
+            if item.task.group is None:
+                continue
+            start, finish = spans.get(item.task.group, (item.start, item.finish))
+            spans[item.task.group] = (
+                min(start, item.start),
+                max(finish, item.finish),
+            )
+        return spans

@@ -1,0 +1,100 @@
+"""Physical TAM wire assignment for validated schedules.
+
+Rectangle packing decides *when* each test runs and *how many* wires it
+uses; SOC integration additionally needs *which* wires, so the wrapper
+chains can be stitched to concrete TAM lines.  Because a validated
+schedule never exceeds the TAM capacity, a greedy sweep over start
+times can always hand each test a set of currently free wire indices
+(the interval-graph colouring argument: at any instant at most ``W``
+wires are busy).
+
+The assignment makes no contiguity promise — a test may receive e.g.
+wires ``{0, 3, 7}`` — matching flexible-width TAM proposals where the
+fork-and-merge network is a permutation, not a slice.  A best-effort
+preference keeps wires contiguous and stable when available.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .schedule import Schedule
+
+__all__ = ["assign_wires", "WireAssignmentError"]
+
+
+class WireAssignmentError(RuntimeError):
+    """Raised if a schedule cannot be wired (i.e. it was not valid)."""
+
+
+def assign_wires(schedule: Schedule) -> dict[str, tuple[int, ...]]:
+    """Assign concrete wire indices to every scheduled test.
+
+    :param schedule: a feasible schedule (``validate()`` is invoked
+        defensively).
+    :returns: mapping from task name to the sorted tuple of wire
+        indices it occupies for its whole duration.
+    :raises WireAssignmentError: only if the schedule is infeasible
+        (defensive; cannot happen for validated schedules).
+    """
+    schedule.validate()
+    events: list[tuple[int, int, int]] = []  # (time, kind, item index)
+    items = list(schedule.items)
+    # kind 0 = release (process frees before takes at equal time)
+    for index, item in enumerate(items):
+        events.append((item.start, 1, index))
+        events.append((item.finish, 0, index))
+    events.sort()
+
+    free: list[int] = list(range(schedule.width))
+    heapq.heapify(free)
+    held: dict[int, list[int]] = {}
+    assignment: dict[str, tuple[int, ...]] = {}
+    for _, kind, index in events:
+        item = items[index]
+        if kind == 0:
+            for wire in held.pop(index, ()):
+                heapq.heappush(free, wire)
+            continue
+        if len(free) < item.width:
+            raise WireAssignmentError(
+                f"task {item.task.name!r} needs {item.width} wires at "
+                f"t={item.start}, only {len(free)} free"
+            )
+        wires = sorted(heapq.heappop(free) for _ in range(item.width))
+        held[index] = wires
+        assignment[item.task.name] = tuple(wires)
+    return assignment
+
+
+def render_wire_map(
+    schedule: Schedule, assignment: dict[str, tuple[int, ...]] | None = None
+) -> str:
+    """Text listing of the wire assignment, sorted by start time."""
+    if assignment is None:
+        assignment = assign_wires(schedule)
+    lines = [f"TAM wires 0..{schedule.width - 1}"]
+    for item in sorted(schedule.items, key=lambda i: (i.start, i.task.name)):
+        wires = assignment[item.task.name]
+        compact = _compact_ranges(wires)
+        lines.append(
+            f"  {item.task.name:<18} t={item.start}..{item.finish} "
+            f"wires {compact}"
+        )
+    return "\n".join(lines)
+
+
+def _compact_ranges(wires: tuple[int, ...]) -> str:
+    """Render sorted indices as ranges, e.g. (0,1,2,5) -> '0-2,5'."""
+    if not wires:
+        return "-"
+    parts: list[str] = []
+    start = previous = wires[0]
+    for wire in wires[1:]:
+        if wire == previous + 1:
+            previous = wire
+            continue
+        parts.append(f"{start}-{previous}" if start != previous else str(start))
+        start = previous = wire
+    parts.append(f"{start}-{previous}" if start != previous else str(start))
+    return ",".join(parts)

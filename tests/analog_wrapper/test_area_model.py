@@ -1,0 +1,94 @@
+"""Tests for the calibrated wrapper area model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analog_wrapper.area_model import (
+    adc_area_um2,
+    comparator_area_um2,
+    dac_area_um2,
+    encoder_decoder_area_um2,
+    register_area_um2,
+    wrapper_area_mm2,
+    wrapper_area_um2,
+)
+
+
+class TestCalibration:
+    def test_paper_demonstrator_is_0p02_mm2(self):
+        """Section 5: the 8-bit test chip occupies 0.02 mm^2 in 0.5 um."""
+        area = wrapper_area_mm2(8, 1.7e6, 1)
+        assert area == pytest.approx(0.020, rel=0.02)
+
+    def test_um2_mm2_consistency(self):
+        assert wrapper_area_mm2(8, 1e6, 2) == pytest.approx(
+            wrapper_area_um2(8, 1e6, 2) / 1e6
+        )
+
+
+class TestMonotonicity:
+    @given(bits=st.integers(2, 14))
+    def test_area_grows_with_resolution(self, bits):
+        assert wrapper_area_um2(bits + 2, 1e6, 1) > wrapper_area_um2(
+            bits, 1e6, 1
+        )
+
+    @given(f=st.floats(min_value=1e4, max_value=1e8))
+    def test_area_grows_with_speed(self, f):
+        assert wrapper_area_um2(8, f * 2, 1) > wrapper_area_um2(8, f, 1)
+
+    @given(width=st.integers(1, 30))
+    def test_area_grows_with_width(self, width):
+        assert wrapper_area_um2(8, 1e6, width + 1) > wrapper_area_um2(
+            8, 1e6, width
+        )
+
+
+class TestComponents:
+    def test_comparator_speed_scaling(self):
+        assert comparator_area_um2(40e6) > comparator_area_um2(10e6)
+
+    def test_comparator_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            comparator_area_um2(0)
+
+    def test_adc_area_dominated_by_comparators(self):
+        total = adc_area_um2(8, 1.7e6)
+        comparators = 32 * comparator_area_um2(1.7e6)
+        assert comparators / total > 0.8
+
+    def test_dac_cheaper_than_adc(self):
+        assert dac_area_um2(8) < adc_area_um2(8, 1.7e6)
+
+    def test_encoder_scales_with_both_axes(self):
+        assert encoder_decoder_area_um2(8, 2) == 2 * encoder_decoder_area_um2(
+            8, 1
+        )
+        assert encoder_decoder_area_um2(16, 1) == 2 * encoder_decoder_area_um2(
+            8, 1
+        )
+
+    def test_register_area(self):
+        assert register_area_um2(8) == pytest.approx(2 * 80.0 * 8)
+
+    def test_component_sum_matches_total(self):
+        bits, f, w = 8, 1.7e6, 1
+        from repro.analog_wrapper.area_model import CONTROL_AREA_UM2
+
+        total = (
+            adc_area_um2(bits, f)
+            + dac_area_um2(bits)
+            + encoder_decoder_area_um2(bits, w)
+            + register_area_um2(bits)
+            + CONTROL_AREA_UM2
+        )
+        assert wrapper_area_um2(bits, f, w) == pytest.approx(total)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            adc_area_um2(0, 1e6)
+        with pytest.raises(ValueError):
+            dac_area_um2(0)
+        with pytest.raises(ValueError):
+            encoder_decoder_area_um2(8, 0)

@@ -1,0 +1,178 @@
+"""Tests for the behavioural converter models (Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog_wrapper.converters import (
+    ConverterSpec,
+    FlashAdc,
+    ModularDac,
+    PipelinedModularAdc,
+    ResistorStringDac,
+    flash_comparator_count,
+    resistor_string_count,
+)
+
+
+class TestComponentCounts:
+    def test_paper_comparator_convention(self):
+        assert flash_comparator_count(8) == 256
+        assert flash_comparator_count(4) == 16
+
+    def test_modular_adc_comparators(self):
+        adc = PipelinedModularAdc(ConverterSpec(8))
+        assert adc.comparator_count == 32
+        assert adc.flash_equivalent_comparators == 256
+
+    def test_modular_dac_resistors(self):
+        dac = ModularDac(ConverterSpec(8))
+        assert dac.resistor_count == 32
+        assert dac.monolithic_resistor_count == 256
+
+    def test_reduction_factor_is_8x_at_8_bits(self):
+        adc = PipelinedModularAdc(ConverterSpec(8))
+        dac = ModularDac(ConverterSpec(8))
+        assert adc.flash_equivalent_comparators / adc.comparator_count == 8
+        assert dac.monolithic_resistor_count / dac.resistor_count == 8
+
+    def test_resistor_string_count(self):
+        assert resistor_string_count(4) == 16
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            flash_comparator_count(0)
+        with pytest.raises(ValueError):
+            resistor_string_count(0)
+
+
+class TestConverterSpec:
+    def test_levels_and_lsb(self):
+        spec = ConverterSpec(8, full_scale_v=4.0)
+        assert spec.levels == 256
+        assert spec.lsb_v == pytest.approx(4.0 / 256)
+        assert spec.v_min == -2.0
+        assert spec.v_max == 2.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ConverterSpec(0)
+        with pytest.raises(ValueError):
+            ConverterSpec(8, full_scale_v=0)
+
+
+class TestFlashAdc:
+    def test_full_scale_edges(self):
+        adc = FlashAdc(ConverterSpec(8))
+        assert adc.convert(-10.0)[0] == 0
+        assert adc.convert(10.0)[0] == 255
+
+    def test_midscale(self):
+        adc = FlashAdc(ConverterSpec(8))
+        assert adc.convert(0.0)[0] == 128
+
+    def test_monotone_ideal(self):
+        adc = FlashAdc(ConverterSpec(8))
+        v = np.linspace(-2, 2, 2001)
+        codes = adc.convert(v)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_rejects_negative_inl(self):
+        with pytest.raises(ValueError, match="inl"):
+            FlashAdc(ConverterSpec(8), inl_lsb=-0.1)
+
+    def test_inl_bounded(self):
+        ideal = FlashAdc(ConverterSpec(8))
+        bent = FlashAdc(ConverterSpec(8), inl_lsb=1.0, seed=3)
+        v = np.linspace(-1.9, 1.9, 4001)
+        diff = np.abs(
+            bent.convert(v).astype(int) - ideal.convert(v).astype(int)
+        )
+        assert diff.max() <= 3  # ~1 LSB bow + offset + rounding
+
+    @given(v=st.floats(min_value=-2.0, max_value=1.999))
+    def test_quantization_error_within_lsb(self, v):
+        spec = ConverterSpec(8)
+        adc = FlashAdc(spec)
+        code = adc.convert(v)[0]
+        reconstructed = spec.v_min + (code + 0.5) * spec.lsb_v
+        assert abs(reconstructed - v) <= spec.lsb_v
+
+
+class TestDacs:
+    def test_string_dac_monotone(self):
+        dac = ResistorStringDac(ConverterSpec(8))
+        v = dac.convert(np.arange(256))
+        assert np.all(np.diff(v) > 0)
+
+    def test_string_dac_range(self):
+        spec = ConverterSpec(8)
+        dac = ResistorStringDac(spec)
+        v = dac.convert(np.arange(256))
+        assert v.min() >= spec.v_min
+        assert v.max() <= spec.v_max
+
+    def test_string_dac_rejects_out_of_range_codes(self):
+        dac = ResistorStringDac(ConverterSpec(8))
+        with pytest.raises(ValueError, match="codes"):
+            dac.convert(np.array([256]))
+
+    def test_modular_dac_monotone(self):
+        dac = ModularDac(ConverterSpec(8))
+        v = dac.convert(np.arange(256))
+        assert np.all(np.diff(v) > 0)
+
+    def test_modular_matches_string_dac(self):
+        spec = ConverterSpec(8)
+        modular = ModularDac(spec).convert(np.arange(256))
+        string = ResistorStringDac(spec).convert(np.arange(256))
+        assert np.allclose(modular, string, atol=1e-12)
+
+    def test_modular_dac_rejects_odd_bits(self):
+        with pytest.raises(ValueError, match="even"):
+            ModularDac(ConverterSpec(7))
+
+
+class TestPipelinedAdc:
+    def test_matches_flash_when_ideal(self):
+        spec = ConverterSpec(8)
+        pipeline = PipelinedModularAdc(spec)
+        flash = FlashAdc(spec)
+        v = np.linspace(-2.2, 2.2, 5001)
+        assert np.array_equal(pipeline.convert(v), flash.convert(v))
+
+    def test_rejects_odd_bits(self):
+        with pytest.raises(ValueError, match="even"):
+            PipelinedModularAdc(ConverterSpec(7))
+
+    def test_rejects_large_gain_error(self):
+        with pytest.raises(ValueError, match="gain_error"):
+            PipelinedModularAdc(ConverterSpec(8), gain_error=0.6)
+
+    def test_roundtrip_with_dac_is_identity(self):
+        spec = ConverterSpec(8)
+        adc = PipelinedModularAdc(spec)
+        dac = ModularDac(spec)
+        codes = np.arange(256)
+        assert np.array_equal(adc.convert(dac.convert(codes)), codes)
+
+    def test_gain_error_perturbs_lsbs_only(self):
+        spec = ConverterSpec(8)
+        ideal = PipelinedModularAdc(spec)
+        errored = PipelinedModularAdc(spec, gain_error=0.02)
+        v = np.linspace(-1.9, 1.9, 2001)
+        diff = np.abs(
+            ideal.convert(v).astype(int) - errored.convert(v).astype(int)
+        )
+        assert diff.max() <= 2
+
+    @settings(max_examples=30)
+    @given(bits=st.sampled_from([4, 6, 8, 10]))
+    def test_code_range(self, bits):
+        spec = ConverterSpec(bits)
+        adc = PipelinedModularAdc(spec)
+        v = np.linspace(-5, 5, 1001)
+        codes = adc.convert(v)
+        assert codes.min() >= 0
+        assert codes.max() <= 2**bits - 1

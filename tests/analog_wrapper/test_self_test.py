@@ -1,0 +1,120 @@
+"""Tests for the wrapper converter-BIST time model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analog_wrapper.self_test import (
+    DEFAULT_SAMPLES_PER_CODE,
+    self_test_cycles,
+)
+
+
+class TestSelfTestCycles:
+    def test_eight_bit_default(self):
+        assert self_test_cycles(8) == 16 * 256
+
+    def test_scales_with_histogram_depth(self):
+        assert self_test_cycles(8, samples_per_code=32) == (
+            2 * self_test_cycles(8)
+        )
+
+    def test_exponential_in_resolution(self):
+        assert self_test_cycles(10) == 4 * self_test_cycles(8)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="resolution_bits"):
+            self_test_cycles(0)
+        with pytest.raises(ValueError, match="samples_per_code"):
+            self_test_cycles(8, samples_per_code=0)
+
+    @given(bits=st.integers(1, 16), k=st.integers(1, 64))
+    def test_formula(self, bits, k):
+        assert self_test_cycles(bits, k) == k * 2**bits
+
+    def test_default_depth_constant(self):
+        assert DEFAULT_SAMPLES_PER_CODE == 16
+
+
+class TestSelfTestScheduling:
+    def test_builder_adds_one_task_per_wrapper(self, paper_cores):
+        from repro.tam.builder import analog_tasks
+
+        tasks = analog_tasks(
+            paper_cores, partition=[("A", "B")], include_self_test=True
+        )
+        bist = [t for t in tasks if t.name.startswith("selftest:")]
+        # wrappers: {A,B} shared + C, D, E private = 4
+        assert len(bist) == 4
+        names = {t.name for t in bist}
+        assert "selftest:A+B" in names
+
+    def test_bist_uses_group_max_resolution(self, paper_cores):
+        from repro.tam.builder import analog_tasks
+
+        tasks = analog_tasks(
+            paper_cores, partition=[("A", "C")], include_self_test=True
+        )
+        bist = {t.name: t for t in tasks if t.name.startswith("selftest:")}
+        # {A,C} wrapper is sized for C's 10 bits
+        assert bist["selftest:A+C"].options[0].time == 16 * 2**10
+        assert bist["selftest:D"].options[0].time == 16 * 2**6
+
+    def test_bist_serializes_with_core_tests(self, paper_cores):
+        from repro.tam.builder import analog_tasks
+
+        tasks = analog_tasks(
+            paper_cores, partition=[("A", "B")], include_self_test=True
+        )
+        bist = next(t for t in tasks if t.name == "selftest:A+B")
+        core_test = next(t for t in tasks if t.name == "A.f_c")
+        assert bist.group == core_test.group
+
+    def test_sharing_reduces_total_bist_time(self, paper_cores):
+        from repro.tam.builder import analog_tasks
+
+        def total_bist(partition):
+            tasks = analog_tasks(
+                paper_cores, partition=partition, include_self_test=True
+            )
+            return sum(
+                t.options[0].time
+                for t in tasks
+                if t.name.startswith("selftest:")
+            )
+
+        private = total_bist(None)
+        shared = total_bist([("A", "B", "C", "D", "E")])
+        assert shared < private
+
+    def test_evaluator_respects_flag(self, mini_ms_soc):
+        from repro.core.cost import ScheduleEvaluator
+        from repro.core.sharing import no_sharing
+
+        plain = ScheduleEvaluator(mini_ms_soc, 8, shuffles=0)
+        with_bist = ScheduleEvaluator(
+            mini_ms_soc, 8, include_self_test=True, shuffles=0
+        )
+        p = no_sharing(("X", "Y"))
+        names = {i.task.name for i in with_bist.schedule(p).items}
+        assert any(n.startswith("selftest:") for n in names)
+        plain_names = {i.task.name for i in plain.schedule(p).items}
+        assert not any(n.startswith("selftest:") for n in plain_names)
+
+    def test_inheritance_disabled_with_bist(self, mini_ms_soc):
+        """Refinement inheritance is unsound with per-wrapper BIST
+        tasks; the evaluator must not propagate across partitions."""
+        from repro.core.cost import ScheduleEvaluator
+        from repro.core.sharing import all_sharing, no_sharing
+
+        ev = ScheduleEvaluator(
+            mini_ms_soc, 8, include_self_test=True, shuffles=0
+        )
+        coarse = ev.schedule(all_sharing(("X", "Y")))
+        fine = ev.schedule(no_sharing(("X", "Y")))
+        # the fine schedule must carry its own (larger) task set
+        assert len(fine.items) >= len(coarse.items)
+        fine_bist = [
+            i for i in fine.items if i.task.name.startswith("selftest:")
+        ]
+        assert len(fine_bist) == 2

@@ -1,0 +1,114 @@
+"""Tests for shared-wrapper sizing and compatibility."""
+
+import pytest
+
+from repro.analog_wrapper.sizing import (
+    DEFAULT_POLICY,
+    CompatibilityPolicy,
+    core_wrapper_hardware,
+    shared_hardware,
+    wrapper_requirements,
+)
+from repro.soc.analog_specs import core_a, core_c, core_d, core_e
+
+
+class TestWrapperRequirements:
+    def test_single_core(self):
+        res, speed, width = wrapper_requirements([core_a()])
+        assert res == 8
+        assert speed == pytest.approx(15e6)
+        assert width == 4
+
+    def test_joint_is_max_of_each_axis(self):
+        res, speed, width = wrapper_requirements([core_c(), core_d()])
+        assert res == 10          # from C
+        assert speed == pytest.approx(78e6)  # from D
+        assert width == 10        # from D
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            wrapper_requirements([])
+
+
+class TestSharedHardware:
+    def test_private_hardware(self):
+        hw = core_wrapper_hardware(core_c())
+        assert hw.resolution_bits == 10
+        assert hw.tam_width == 1
+
+    def test_shared_hardware_covers_everyone(self):
+        cores = [core_a(), core_c(), core_d()]
+        hw = shared_hardware(cores)
+        for core in cores:
+            for test in core.tests:
+                assert hw.supports(test, core.test_resolution(test))
+
+
+class TestCompatibilityPolicy:
+    def test_default_admits_all_paper_groups(self, paper_cores):
+        for i in range(len(paper_cores)):
+            for j in range(i + 1, len(paper_cores)):
+                assert DEFAULT_POLICY.is_compatible(
+                    [paper_cores[i], paper_cores[j]]
+                )
+        assert DEFAULT_POLICY.is_compatible(list(paper_cores))
+
+    def test_single_core_always_compatible(self):
+        strict = CompatibilityPolicy(
+            high_resolution_bits=1, high_speed_hz=1.0
+        )
+        assert strict.is_compatible([core_c()])
+
+    def test_strict_policy_blocks_c_plus_d(self):
+        strict = CompatibilityPolicy(
+            high_resolution_bits=10, high_speed_hz=50e6
+        )
+        assert not strict.is_compatible([core_c(), core_d()])
+
+    def test_strict_policy_allows_similar_cores(self):
+        strict = CompatibilityPolicy(
+            high_resolution_bits=10, high_speed_hz=50e6
+        )
+        assert strict.is_compatible([core_d(), core_e()])
+
+    def test_core_needing_both_is_not_blocked(self):
+        """If one core alone needs high-res + high-speed, sharing did not
+        create the pathological requirement."""
+        from repro.soc.model import AnalogCore, AnalogTest
+
+        monster = AnalogCore(
+            name="M",
+            description="wideband precision core",
+            tests=(AnalogTest("t", 1e6, 2e6, 200e6, 100, 2),),
+            resolution_bits=14,
+        )
+        strict = CompatibilityPolicy(
+            high_resolution_bits=12, high_speed_hz=100e6
+        )
+        assert strict.is_compatible([monster, core_e()])
+
+    def test_area_raises_for_incompatible(self):
+        strict = CompatibilityPolicy(
+            high_resolution_bits=10, high_speed_hz=50e6
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            strict.area_mm2([core_c(), core_d()])
+
+    def test_area_for_compatible_group(self):
+        area = DEFAULT_POLICY.area_mm2([core_a(), core_c()])
+        assert area > 0
+
+    def test_shared_area_at_most_sum_of_parts(self):
+        shared = DEFAULT_POLICY.area_mm2([core_a(), core_c()])
+        parts = DEFAULT_POLICY.area_mm2([core_a()]) + DEFAULT_POLICY.area_mm2(
+            [core_c()]
+        )
+        assert shared < parts
+
+    def test_shared_area_at_least_biggest_part(self):
+        shared = DEFAULT_POLICY.area_mm2([core_a(), core_c()])
+        biggest = max(
+            DEFAULT_POLICY.area_mm2([core_a()]),
+            DEFAULT_POLICY.area_mm2([core_c()]),
+        )
+        assert shared >= biggest

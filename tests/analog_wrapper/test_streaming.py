@@ -1,0 +1,100 @@
+"""Tests for the bit-level serial/parallel streaming model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog_wrapper.streaming import (
+    deserialize_codes,
+    serialize_codes,
+    stream_cycles,
+)
+
+
+class TestStreamCycles:
+    def test_exact_fit(self):
+        assert stream_cycles(4, 8, 4) == 8  # 32 bits over 4 wires
+
+    def test_ceiling(self):
+        assert stream_cycles(3, 8, 5) == 5  # 24 bits over 5 wires
+
+    def test_zero_samples(self):
+        assert stream_cycles(0, 8, 4) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stream_cycles(-1, 8, 4)
+        with pytest.raises(ValueError):
+            stream_cycles(1, 0, 4)
+        with pytest.raises(ValueError):
+            stream_cycles(1, 8, 0)
+
+    def test_matches_bandwidth_rule(self):
+        """stream_cycles is the discrete form of bits*fs <= width*f_tam."""
+        # one sample per fs tick: cycles per sample = bits/width
+        assert stream_cycles(100, 6, 10) == 60
+        assert stream_cycles(100, 6, 3) == 200
+
+
+class TestSerialization:
+    def test_shape(self):
+        matrix = serialize_codes(np.arange(4), 8, 4)
+        assert matrix.shape == (8, 4)
+        assert matrix.dtype == np.uint8
+
+    def test_msb_first(self):
+        matrix = serialize_codes(np.array([0b10000000]), 8, 8)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1:].sum() == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="codes"):
+            serialize_codes(np.array([256]), 8, 4)
+        with pytest.raises(ValueError, match="codes"):
+            serialize_codes(np.array([-1]), 8, 4)
+
+    def test_padding_is_zero(self):
+        matrix = serialize_codes(np.array([255]), 8, 3)
+        # 8 bits over 3 wires -> 3 cycles = 9 slots, 1 pad bit
+        assert matrix.size == 9
+        assert matrix.reshape(-1)[8] == 0
+
+    def test_deserialize_needs_enough_bits(self):
+        matrix = serialize_codes(np.arange(4), 8, 4)
+        with pytest.raises(ValueError, match="bit matrix"):
+            deserialize_codes(matrix, 8, 5)
+
+    @settings(max_examples=80)
+    @given(
+        codes=st.lists(st.integers(0, 255), max_size=40),
+        width=st.integers(1, 12),
+    )
+    def test_roundtrip_8bit(self, codes, width):
+        arr = np.array(codes, dtype=int)
+        matrix = serialize_codes(arr, 8, width)
+        back = deserialize_codes(matrix, 8, len(codes))
+        assert np.array_equal(back, arr)
+
+    @settings(max_examples=60)
+    @given(
+        bits=st.integers(1, 14),
+        width=st.integers(1, 10),
+        data=st.data(),
+    )
+    def test_roundtrip_any_resolution(self, bits, width, data):
+        codes = data.draw(
+            st.lists(st.integers(0, 2**bits - 1), max_size=24)
+        )
+        arr = np.array(codes, dtype=int)
+        matrix = serialize_codes(arr, bits, width)
+        assert matrix.shape[0] == stream_cycles(len(codes), bits, width)
+        back = deserialize_codes(matrix, bits, len(codes))
+        assert np.array_equal(back, arr)
+
+    def test_table2_iip3_stream(self):
+        """D.iip3: 6-bit samples over 10 wires — 3 samples per 2 cycles."""
+        codes = np.arange(60) % 64
+        matrix = serialize_codes(codes, 6, 10)
+        assert matrix.shape == (36, 10)  # 360 bits exactly fill 36 cycles
+        assert np.array_equal(deserialize_codes(matrix, 6, 60), codes)

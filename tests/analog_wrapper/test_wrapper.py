@@ -1,0 +1,207 @@
+"""Tests for the analog test wrapper behavioural model."""
+
+import numpy as np
+import pytest
+
+from repro.analog_wrapper.wrapper import (
+    AnalogTestWrapper,
+    ConfigurationError,
+    TestConfiguration,
+    WrapperHardware,
+    WrapperMode,
+)
+from repro.signal.filters import Amplifier
+from repro.soc.analog_specs import core_a, core_d, core_e
+
+
+def hardware(**overrides):
+    defaults = dict(resolution_bits=8, max_sample_freq_hz=20e6, tam_width=4)
+    defaults.update(overrides)
+    return WrapperHardware(**defaults)
+
+
+class TestWrapperHardware:
+    def test_converter_bits_rounded_even(self):
+        assert hardware(resolution_bits=7).converter_bits == 8
+        assert hardware(resolution_bits=8).converter_bits == 8
+
+    def test_area_positive(self):
+        assert hardware().area_mm2 > 0
+
+    def test_supports_checks_all_axes(self):
+        hw = hardware()
+        core = core_a()
+        test = core.test("f_c")
+        assert hw.supports(test, 8)
+        assert not hw.supports(test, 9)  # resolution too high
+        narrow = hardware(tam_width=1)
+        assert not narrow.supports(test, 8)  # width 4 > 1
+        slow = hardware(max_sample_freq_hz=1e6)
+        assert not slow.supports(test, 8)  # 1.5 MHz > 1 MHz
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            WrapperHardware(0, 1e6, 1)
+        with pytest.raises(ValueError):
+            WrapperHardware(8, 0, 1)
+        with pytest.raises(ValueError):
+            WrapperHardware(8, 1e6, 0)
+
+
+class TestTestConfiguration:
+    def test_bandwidth_rule_table2_iip3(self):
+        """D.iip3: 6 bits x 78 MHz needs all 10 wires at 50 MHz."""
+        core = core_d()
+        config = TestConfiguration(
+            test=core.test("iip3"), resolution_bits=6, tam_clock_hz=50e6
+        )
+        assert config.bits_per_tam_cycle == pytest.approx(9.36)
+        assert config.is_feasible
+
+    def test_bandwidth_rule_violation(self):
+        core = core_d()
+        config = TestConfiguration(
+            test=core.test("iip3"), resolution_bits=8, tam_clock_hz=50e6
+        )
+        assert config.bits_per_tam_cycle > 10
+        assert not config.is_feasible
+
+    def test_slew_rate_needs_coarse_resolution(self):
+        core = core_e()
+        test = core.test("slew_rate")
+        coarse = TestConfiguration(
+            test=test, resolution_bits=3, tam_clock_hz=50e6
+        )
+        fine = TestConfiguration(
+            test=test, resolution_bits=6, tam_clock_hz=50e6
+        )
+        assert coarse.is_feasible
+        assert not fine.is_feasible
+
+    def test_divide_ratio(self):
+        core = core_a()
+        config = TestConfiguration(
+            test=core.test("g_pb"), resolution_bits=8, tam_clock_hz=50e6
+        )
+        assert config.divide_ratio == pytest.approx(50e6 / 1.5e6)
+
+    def test_serial_to_parallel_ratio(self):
+        core = core_a()
+        config = TestConfiguration(
+            test=core.test("g_pb"), resolution_bits=8, tam_clock_hz=50e6
+        )
+        assert config.serial_to_parallel_ratio == 8  # 8 bits over 1 wire
+
+
+class TestModes:
+    def test_default_mode_is_normal(self):
+        w = AnalogTestWrapper(hardware())
+        assert w.mode is WrapperMode.NORMAL
+
+    def test_set_mode(self):
+        w = AnalogTestWrapper(hardware())
+        w.set_mode(WrapperMode.SELF_TEST)
+        assert w.mode is WrapperMode.SELF_TEST
+
+    def test_set_mode_type_checked(self):
+        with pytest.raises(TypeError):
+            AnalogTestWrapper(hardware()).set_mode("core_test")
+
+    def test_core_test_requires_mode(self):
+        w = AnalogTestWrapper(hardware())
+        with pytest.raises(RuntimeError, match="CORE_TEST"):
+            w.apply_test(Amplifier(gain=1.0), np.array([128]), 1e6)
+
+    def test_self_test_requires_mode(self):
+        w = AnalogTestWrapper(hardware())
+        with pytest.raises(RuntimeError, match="SELF_TEST"):
+            w.self_test(np.array([128]))
+
+
+class TestSelfTest:
+    def test_ideal_loopback_is_identity(self):
+        w = AnalogTestWrapper(hardware())
+        w.set_mode(WrapperMode.SELF_TEST)
+        codes = np.arange(256)
+        assert np.array_equal(w.self_test(codes), codes)
+
+    def test_faulty_converters_detected(self):
+        w = AnalogTestWrapper(hardware(), inl_lsb=2.5, seed=11)
+        w.set_mode(WrapperMode.SELF_TEST)
+        codes = np.arange(256)
+        assert not np.array_equal(w.self_test(codes), codes)
+
+
+class TestConfigure:
+    def test_accepts_supported_test(self):
+        core = core_a()
+        hw = hardware(max_sample_freq_hz=20e6)
+        config = AnalogTestWrapper(hw).configure(core, core.test("f_c"))
+        assert config.is_feasible
+
+    def test_rejects_unsupported_resolution(self):
+        core = core_a()  # needs 8 bits
+        hw = hardware(resolution_bits=6)
+        with pytest.raises(ConfigurationError, match="cannot host"):
+            AnalogTestWrapper(hw).configure(core, core.test("f_c"))
+
+    def test_rejects_bandwidth_violation(self):
+        from repro.soc.model import AnalogCore, AnalogTest
+
+        greedy = AnalogCore(
+            name="G",
+            description="high-res high-speed core",
+            tests=(AnalogTest("t", 10e6, 20e6, 78e6, 1_000, 10),),
+            resolution_bits=8,  # 8 bits x 78 MHz = 624 Mb/s > 10 x 50 MHz
+        )
+        hw = WrapperHardware(
+            resolution_bits=10, max_sample_freq_hz=100e6, tam_width=10
+        )
+        wrapper = AnalogTestWrapper(hw, tam_clock_hz=50e6)
+        with pytest.raises(ConfigurationError, match="bits/TAM-cycle"):
+            wrapper.configure(greedy, greedy.tests[0])
+
+
+class TestApplyTest:
+    def test_unity_gain_roundtrip(self):
+        w = AnalogTestWrapper(hardware())
+        w.set_mode(WrapperMode.CORE_TEST)
+        stimulus = np.linspace(-1.5, 1.5, 64)
+        codes_in = w.encode_stimulus(stimulus)
+        codes_out = w.apply_test(Amplifier(gain=1.0), codes_in, 1e6)
+        # unity-gain path reproduces codes within 1 LSB
+        assert np.max(np.abs(codes_out - codes_in)) <= 1
+
+    def test_gain_visible_in_codes(self):
+        w = AnalogTestWrapper(hardware())
+        w.set_mode(WrapperMode.CORE_TEST)
+        stimulus = np.full(16, 0.5)
+        codes_in = w.encode_stimulus(stimulus)
+        codes_out = w.apply_test(Amplifier(gain=2.0), codes_in, 1e6)
+        v_out = w.decode_response(codes_out)
+        assert np.allclose(v_out, 1.0, atol=0.05)
+
+    def test_front_end_attenuates_fast_signals(self):
+        slow = AnalogTestWrapper(hardware())
+        fast_limited = AnalogTestWrapper(
+            hardware(), analog_bandwidth_hz=50e3
+        )
+        for w in (slow, fast_limited):
+            w.set_mode(WrapperMode.CORE_TEST)
+        t = np.arange(2048) / 1e6
+        stimulus = 1.5 * np.sin(2 * np.pi * 200e3 * t)
+        codes = slow.encode_stimulus(stimulus)
+        out_ideal = slow.decode_response(
+            slow.apply_test(Amplifier(gain=1.0), codes, 1e6)
+        )
+        out_limited = fast_limited.decode_response(
+            fast_limited.apply_test(Amplifier(gain=1.0), codes, 1e6)
+        )
+        assert np.std(out_limited) < 0.7 * np.std(out_ideal)
+
+    def test_encode_decode_inverse_within_lsb(self):
+        w = AnalogTestWrapper(hardware())
+        v = np.linspace(-1.9, 1.9, 100)
+        codes = w.encode_stimulus(v)
+        back = w.decode_response(codes)
+        assert np.max(np.abs(back - v)) <= w.dac.spec.lsb_v

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.sharing import (
+    identical_core_classes,
+    paper_combinations,
+    symmetry_reduce,
+)
+from repro.soc.analog_specs import paper_analog_cores
+from repro.soc.benchmarks import (
+    mini_digital_soc,
+    mini_mixed_signal_soc,
+    p93791m,
+    synthetic_p93791,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_cores():
+    """The paper's five analog cores A..E (Table 2)."""
+    return paper_analog_cores()
+
+
+@pytest.fixture(scope="session")
+def paper_combos(paper_cores):
+    """The 26 Table 1 sharing combinations."""
+    names = [core.name for core in paper_cores]
+    return symmetry_reduce(
+        paper_combinations(names), identical_core_classes(paper_cores)
+    )
+
+
+@pytest.fixture(scope="session")
+def benchmark_soc():
+    """The full mixed-signal benchmark SOC p93791m (session-cached)."""
+    return p93791m()
+
+
+@pytest.fixture(scope="session")
+def digital_soc():
+    """The digital-only synthetic p93791."""
+    return synthetic_p93791()
+
+
+@pytest.fixture()
+def mini_soc():
+    """A tiny digital SOC for fast scheduling tests."""
+    return mini_digital_soc()
+
+
+@pytest.fixture()
+def mini_ms_soc():
+    """A tiny mixed-signal SOC for fast end-to-end tests."""
+    return mini_mixed_signal_soc()
+
+
+@pytest.fixture(scope="session")
+def paper_area_model(paper_cores):
+    """Eq. (1) area model over the paper's cores."""
+    return AreaModel(paper_cores)
+
+
+#: Packer settings that keep unit tests fast.
+QUICK_PACK = {"shuffles": 0, "improvement_passes": 1}
+
+
+@pytest.fixture(scope="session")
+def quick_pack_kwargs():
+    """Low-effort packer settings for tests."""
+    return dict(QUICK_PACK)

@@ -1,0 +1,136 @@
+"""Tests for the Eq. (1) area cost model."""
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.sharing import (
+    all_sharing,
+    canonical,
+    no_sharing,
+    paper_combinations,
+)
+from repro.soc.analog_specs import paper_analog_cores
+
+
+class TestAreaModel:
+    def test_no_sharing_is_100(self, paper_area_model, paper_cores):
+        names = [c.name for c in paper_cores]
+        assert paper_area_model.area_cost(no_sharing(names)) == pytest.approx(
+            100.0
+        )
+
+    def test_sharing_identical_pair_saves_most(self, paper_area_model):
+        """A and B are identical; sharing their wrapper dedups one whole
+        converter pair with zero upsizing."""
+        pair = canonical([["A", "B"], ["C"], ["D"], ["E"]])
+        cost = paper_area_model.area_cost(pair)
+        assert cost < 100.0
+        pairs = [
+            canonical([[x, y]] + [[z] for z in "ABCDE" if z not in (x, y)])
+            for x, y in [("A", "C"), ("A", "D"), ("A", "E"), ("D", "E")]
+        ]
+        assert cost <= min(paper_area_model.area_cost(p) for p in pairs)
+
+    def test_conflicting_pair_exceeds_100(self, paper_area_model):
+        """C (10-bit audio) + D (78 MHz) force a joint wrapper that costs
+        more than their private wrappers — the paper's 'should not be
+        considered' case."""
+        p = canonical([["C", "D"], ["A"], ["B"], ["E"]])
+        assert paper_area_model.area_cost(p) > 100.0
+
+    def test_deeper_sharing_cheaper_within_chain(self, paper_area_model):
+        """Adding an identical core to a group can only save area."""
+        ab = canonical([["A", "B"], ["C"], ["D"], ["E"]])
+        abc = canonical([["A", "B", "C"], ["D"], ["E"]])
+        abcd = canonical([["A", "B", "C", "D"], ["E"]])
+        cost_ab = paper_area_model.area_cost(ab)
+        cost_abc = paper_area_model.area_cost(abc)
+        assert cost_abc < cost_ab
+        assert paper_area_model.area_cost(abcd) < 100.0
+
+    def test_routing_overhead_formula(self, paper_area_model):
+        assert paper_area_model.routing_overhead_percent(("A",)) == 0.0
+        assert paper_area_model.routing_overhead_percent(
+            ("A", "B")
+        ) == pytest.approx(10 * 1 * 0.5)
+        assert paper_area_model.routing_overhead_percent(
+            ("A", "B", "C", "D", "E")
+        ) == pytest.approx(10 * 4 * 0.5)
+
+    def test_beta_scales_routing(self, paper_cores):
+        low = AreaModel(paper_cores, beta=0.1)
+        high = AreaModel(paper_cores, beta=1.0)
+        group = ("A", "B", "C")
+        assert high.routing_overhead_percent(
+            group
+        ) == pytest.approx(10 * low.routing_overhead_percent(group))
+
+    def test_higher_beta_raises_sharing_cost(self, paper_cores):
+        low = AreaModel(paper_cores, beta=0.1)
+        high = AreaModel(paper_cores, beta=1.0)
+        p = canonical([["A", "B"], ["C"], ["D"], ["E"]])
+        assert high.area_cost(p) > low.area_cost(p)
+
+    def test_beta_does_not_move_no_sharing(self, paper_cores):
+        names = [c.name for c in paper_cores]
+        for beta in (0.1, 0.5, 1.0):
+            model = AreaModel(paper_cores, beta=beta)
+            assert model.area_cost(no_sharing(names)) == pytest.approx(100.0)
+
+    def test_max_basis_never_exceeds_100_plus_routing(self, paper_cores):
+        """With the literal max-of-areas reading, only routing can push a
+        combination above the no-sharing reference."""
+        model = AreaModel(paper_cores, group_area_basis="max")
+        for p in paper_combinations("ABCDE"):
+            limit = 100.0 * (
+                1.0 + model.routing_overhead_percent(("A", "B", "C", "D", "E"))
+                / 100.0
+            )
+            assert model.area_cost(p) <= limit
+
+    def test_partition_must_cover_all_cores(self, paper_area_model):
+        with pytest.raises(ValueError, match="cover"):
+            paper_area_model.area_cost(canonical([["A", "B"]]))
+
+    def test_unknown_core_rejected(self, paper_area_model):
+        with pytest.raises(ValueError):
+            paper_area_model.area_cost(
+                canonical([["A", "Z"], ["B"], ["C"], ["D"], ["E"]])
+            )
+
+    def test_rejects_bad_beta(self, paper_cores):
+        with pytest.raises(ValueError, match="beta"):
+            AreaModel(paper_cores, beta=0.0)
+        with pytest.raises(ValueError, match="beta"):
+            AreaModel(paper_cores, beta=1.5)
+
+    def test_rejects_bad_basis(self, paper_cores):
+        with pytest.raises(ValueError, match="basis"):
+            AreaModel(paper_cores, group_area_basis="typo")
+
+    def test_savings_cost_scale(self, paper_area_model, paper_cores):
+        names = [c.name for c in paper_cores]
+        assert paper_area_model.savings_cost(
+            all_sharing(names)
+        ) == pytest.approx(100.0)
+        assert paper_area_model.savings_cost(
+            no_sharing(names)
+        ) == pytest.approx(0.0)
+
+
+class TestPositionalRouting:
+    def test_positions_give_per_group_beta(self):
+        cores = paper_analog_cores(with_positions=True)
+        model = AreaModel(cores, use_positions=True, reference_distance=10.0)
+        near = model.group_beta(("A", "B"))     # adjacent placement
+        far = model.group_beta(("A", "D"))      # opposite corners
+        assert near < far
+
+    def test_without_positions_falls_back_to_global(self, paper_cores):
+        model = AreaModel(paper_cores, use_positions=True, beta=0.37)
+        assert model.group_beta(("A", "B")) == pytest.approx(0.37)
+
+    def test_beta_clipped_to_unit(self):
+        cores = paper_analog_cores(with_positions=True)
+        model = AreaModel(cores, use_positions=True, reference_distance=0.5)
+        assert model.group_beta(("A", "D")) == 1.0

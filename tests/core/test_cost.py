@@ -1,0 +1,147 @@
+"""Tests for the cost model and schedule evaluator."""
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.sharing import all_sharing, canonical, no_sharing
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+def mini_model(soc, weights=None, width=8):
+    return CostModel(
+        soc,
+        width,
+        weights or CostWeights.balanced(),
+        AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, width, **QUICK),
+    )
+
+
+class TestCostWeights:
+    def test_valid(self):
+        w = CostWeights(0.3, 0.7)
+        assert w.time == 0.3
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            CostWeights(0.5, 0.6)
+
+    def test_must_be_unit_interval(self):
+        with pytest.raises(ValueError, match="0, 1"):
+            CostWeights(-0.2, 1.2)
+
+    def test_presets(self):
+        assert CostWeights.balanced().time == 0.5
+        assert CostWeights.time_heavy().time == pytest.approx(2 / 3)
+        assert CostWeights.area_heavy().area == pytest.approx(2 / 3)
+
+
+class TestScheduleEvaluator:
+    def test_caches_schedules(self, mini_ms_soc):
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        p = no_sharing(("X", "Y"))
+        first = ev.schedule(p)
+        assert ev.schedule(p) is first
+        assert ev.evaluations == 1
+
+    def test_counts_distinct_evaluations(self, mini_ms_soc):
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        ev.makespan(no_sharing(("X", "Y")))
+        ev.makespan(all_sharing(("X", "Y")))
+        assert ev.evaluations == 2
+
+    def test_refinement_monotonicity(self, mini_ms_soc):
+        """No-sharing can never be slower than all-sharing."""
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        coarse = ev.makespan(all_sharing(("X", "Y")))
+        fine = ev.makespan(no_sharing(("X", "Y")))
+        assert fine <= coarse
+
+    def test_retro_propagation(self, mini_ms_soc):
+        """A later coarse evaluation improves cached finer results."""
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        fine_before = ev.makespan(no_sharing(("X", "Y")))
+        ev.makespan(all_sharing(("X", "Y")))
+        fine_after = ev.makespan(no_sharing(("X", "Y")))
+        assert fine_after <= fine_before
+
+    def test_rejects_bad_width(self, mini_ms_soc):
+        with pytest.raises(ValueError, match="width"):
+            ScheduleEvaluator(mini_ms_soc, 0)
+
+    def test_evaluated_partitions_tracked(self, mini_ms_soc):
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        p = all_sharing(("X", "Y"))
+        ev.makespan(p)
+        assert p in ev.evaluated_partitions
+
+
+class TestCostModel:
+    def test_all_share_time_cost_is_100(self, mini_ms_soc):
+        model = mini_model(mini_ms_soc)
+        assert model.time_cost(all_sharing(("X", "Y"))) == pytest.approx(
+            100.0
+        )
+
+    def test_time_cost_never_exceeds_100(self, mini_ms_soc):
+        """Every partition refines all-share, so normalization caps it."""
+        model = mini_model(mini_ms_soc)
+        # force the coarse evaluation first, then check the fine one
+        assert model.time_cost(all_sharing(("X", "Y"))) == 100.0
+        assert model.time_cost(no_sharing(("X", "Y"))) <= 100.0
+
+    def test_area_cost_capped_at_100(self, mini_ms_soc):
+        model = mini_model(mini_ms_soc)
+        # X+Y conflict (10-bit audio + 40 MHz driver): raw cost > 100
+        raw = model.area_model.area_cost(all_sharing(("X", "Y")))
+        assert raw > 100.0
+        assert model.area_cost(all_sharing(("X", "Y"))) == 100.0
+
+    def test_total_cost_is_weighted_sum(self, mini_ms_soc):
+        weights = CostWeights(0.25, 0.75)
+        model = mini_model(mini_ms_soc, weights)
+        p = no_sharing(("X", "Y"))
+        expected = 0.25 * model.time_cost(p) + 0.75 * model.area_cost(p)
+        assert model.total_cost(p) == pytest.approx(expected)
+
+    def test_preliminary_cost_needs_no_scheduling(self, mini_ms_soc):
+        model = mini_model(mini_ms_soc)
+        model.preliminary_cost(no_sharing(("X", "Y")))
+        assert model.evaluator.evaluations == 0
+
+    def test_preliminary_uses_lower_bound(self, mini_ms_soc):
+        from repro.core.lower_bounds import normalized_lower_bound
+
+        weights = CostWeights(1.0, 0.0)
+        model = mini_model(mini_ms_soc, weights)
+        p = all_sharing(("X", "Y"))
+        assert model.preliminary_cost(p) == pytest.approx(
+            normalized_lower_bound(
+                mini_ms_soc.analog_cores, p, truncate=False
+            )
+        )
+
+    def test_breakdown_fields(self, mini_ms_soc):
+        model = mini_model(mini_ms_soc)
+        b = model.breakdown(no_sharing(("X", "Y")))
+        assert b.makespan > 0
+        assert b.total_cost == pytest.approx(
+            0.5 * b.time_cost + 0.5 * b.area_cost
+        )
+
+    def test_shared_evaluator_reused(self, mini_ms_soc):
+        ev = ScheduleEvaluator(mini_ms_soc, 8, **QUICK)
+        m1 = CostModel(
+            mini_ms_soc, 8, CostWeights.balanced(),
+            AreaModel(mini_ms_soc.analog_cores), evaluator=ev,
+        )
+        m2 = CostModel(
+            mini_ms_soc, 8, CostWeights.time_heavy(),
+            AreaModel(mini_ms_soc.analog_cores), evaluator=ev,
+        )
+        m1.time_cost(no_sharing(("X", "Y")))
+        count = ev.evaluations
+        m2.time_cost(no_sharing(("X", "Y")))
+        assert ev.evaluations == count  # cache hit across weight settings

@@ -1,0 +1,122 @@
+"""Property tests for the schedule evaluator's structural invariants.
+
+These pin the soundness argument DESIGN.md relies on: refinement
+monotonicity over *arbitrary* partitions of the analog cores, and the
+normalization identity the cost model builds on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.area import AreaModel
+from repro.core.sharing import all_partitions, all_sharing, refines
+from repro.soc.benchmarks import mini_mixed_signal_soc
+from repro.soc.model import AnalogCore, AnalogTest, DigitalCore, Soc
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+def three_core_soc():
+    """A small SOC with three distinct analog cores (5 partitions)."""
+    analog = tuple(
+        AnalogCore(
+            name=name,
+            description=f"core {name}",
+            tests=(
+                AnalogTest("t1", 1e3, 2e3, 1e6, cycles, 1),
+                AnalogTest("t2", 1e3, 2e3, 2e6, cycles // 2, 2),
+            ),
+            resolution_bits=bits,
+        )
+        for name, cycles, bits in (
+            ("P", 4_000, 8), ("Q", 2_400, 10), ("R", 1_200, 6),
+        )
+    )
+    digital = (
+        DigitalCore("d1", 8, 8, 0, (60, 50), 40),
+        DigitalCore("d2", 6, 6, 0, (80,), 30),
+    )
+    return Soc("three", digital_cores=digital, analog_cores=analog)
+
+
+PARTITIONS = all_partitions(["P", "Q", "R"])
+
+
+class TestRefinementMonotonicity:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        ev = ScheduleEvaluator(three_core_soc(), 8, **QUICK)
+        # evaluate coarse-to-fine as the exhaustive driver does
+        for partition in sorted(PARTITIONS, key=len):
+            ev.makespan(partition)
+        return ev
+
+    def test_every_comparable_pair_is_monotone(self, evaluator):
+        """fine refines coarse => makespan(fine) <= makespan(coarse)."""
+        for fine in PARTITIONS:
+            for coarse in PARTITIONS:
+                if fine != coarse and refines(fine, coarse):
+                    assert evaluator.makespan(fine) <= evaluator.makespan(
+                        coarse
+                    )
+
+    def test_all_share_is_global_maximum(self, evaluator):
+        top = evaluator.makespan(all_sharing(("P", "Q", "R")))
+        for partition in PARTITIONS:
+            assert evaluator.makespan(partition) <= top
+
+    def test_schedules_remain_feasible(self, evaluator):
+        for partition in PARTITIONS:
+            evaluator.schedule(partition).validate()
+
+
+class TestNormalizationIdentity:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(wt=st.floats(min_value=0.0, max_value=1.0))
+    def test_all_share_time_cost_is_always_100(self, wt):
+        soc = three_core_soc()
+        model = CostModel(
+            soc, 8, CostWeights(wt, 1.0 - wt),
+            AreaModel(soc.analog_cores),
+            evaluator=ScheduleEvaluator(soc, 8, **QUICK),
+        )
+        assert model.time_cost(
+            all_sharing(("P", "Q", "R"))
+        ) == pytest.approx(100.0)
+
+    def test_cost_bounds(self):
+        soc = three_core_soc()
+        model = CostModel(
+            soc, 8, CostWeights.balanced(), AreaModel(soc.analog_cores),
+            evaluator=ScheduleEvaluator(soc, 8, **QUICK),
+        )
+        # force coarse-first evaluation so inheritance caps C_T at 100
+        for partition in sorted(PARTITIONS, key=len):
+            model.evaluator.makespan(partition)
+        for partition in PARTITIONS:
+            assert 0.0 < model.time_cost(partition) <= 100.0 + 1e-9
+            assert 0.0 < model.area_cost(partition) <= 100.0
+            total = model.total_cost(partition)
+            assert 0.0 < total <= 100.0 + 1e-9
+
+    def test_preliminary_cost_is_lower_bound_flavor(self):
+        """Eq. (3) never exceeds Eq. (2) when time dominates, because
+        T_LB <= C_T by construction (coarse-first evaluation)."""
+        soc = three_core_soc()
+        model = CostModel(
+            soc, 8, CostWeights(1.0, 0.0), AreaModel(soc.analog_cores),
+            evaluator=ScheduleEvaluator(soc, 8, **QUICK),
+        )
+        for partition in sorted(PARTITIONS, key=len):
+            model.evaluator.makespan(partition)
+        for partition in PARTITIONS:
+            assert (
+                model.preliminary_cost(partition)
+                <= model.total_cost(partition) + 1e-9
+            )

@@ -1,0 +1,126 @@
+"""Tests for the (C_T, C_A) Pareto frontier."""
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.exhaustive import exhaustive_search
+from repro.core.frontier import (
+    FrontierPoint,
+    cost_frontier,
+    weight_for_segment,
+)
+from repro.core.sharing import all_partitions, symmetry_reduce
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+def point(t, a, name="p"):
+    return FrontierPoint(partition=((name,),), time_cost=t, area_cost=a)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert point(10, 10).dominates(point(20, 20))
+
+    def test_partial_dominance(self):
+        assert point(10, 20).dominates(point(10, 30))
+
+    def test_trade_off_is_not_dominance(self):
+        assert not point(10, 30).dominates(point(20, 20))
+        assert not point(20, 20).dominates(point(10, 30))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not point(10, 10).dominates(point(10, 10))
+
+
+class TestWeightForSegment:
+    def test_indifference_weight(self):
+        faster = point(10, 30)
+        cheaper = point(20, 20)
+        w = weight_for_segment(faster, cheaper)
+        # at the flip weight, both scalarize equally
+        cost_fast = w * 10 + (1 - w) * 30
+        cost_cheap = w * 20 + (1 - w) * 20
+        assert cost_fast == pytest.approx(cost_cheap)
+
+    def test_rejects_dominated_pairs(self):
+        with pytest.raises(ValueError, match="trade off"):
+            weight_for_segment(point(10, 10), point(20, 20))
+
+
+class TestCostFrontier:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.soc.benchmarks import mini_mixed_signal_soc
+
+        soc = mini_mixed_signal_soc()
+        combos = symmetry_reduce(all_partitions(["X", "Y"]), [])
+        model = CostModel(
+            soc,
+            8,
+            CostWeights.balanced(),
+            AreaModel(soc.analog_cores),
+            evaluator=ScheduleEvaluator(soc, 8, **QUICK),
+        )
+        return model, combos
+
+    def test_frontier_nonempty(self, setup):
+        model, combos = setup
+        assert cost_frontier(model, combos)
+
+    def test_frontier_sorted_and_nondominated(self, setup):
+        model, combos = setup
+        frontier = cost_frontier(model, combos)
+        times = [p.time_cost for p in frontier]
+        areas = [p.area_cost for p in frontier]
+        assert times == sorted(times)
+        assert areas == sorted(areas, reverse=True)
+        for i, a in enumerate(frontier):
+            for j, b in enumerate(frontier):
+                if i != j:
+                    assert not a.dominates(b)
+
+    def test_every_weight_optimum_is_on_frontier(self, setup):
+        """The Eq. (2) optimum for any weights is a frontier point."""
+        model, combos = setup
+        frontier = {p.partition for p in cost_frontier(model, combos)}
+        for wt in (0.0, 0.25, 0.5, 0.75, 1.0):
+            weighted = CostModel(
+                model.soc,
+                model.width,
+                CostWeights(wt, 1 - wt),
+                model.area_model,
+                evaluator=model.evaluator,
+            )
+            result = exhaustive_search(weighted, combos)
+            costs = {
+                p: weighted.total_cost(p) for p in combos
+            }
+            ties = {
+                p
+                for p, c in costs.items()
+                if c <= result.best_cost + 1e-9
+            }
+            assert ties & frontier
+
+    def test_rejects_empty(self, setup):
+        model, _ = setup
+        with pytest.raises(ValueError, match="at least one"):
+            cost_frontier(model, [])
+
+    def test_benchmark_frontier_has_trade_off(
+        self, benchmark_soc, paper_combos, paper_area_model
+    ):
+        """On p93791m the frontier contains genuinely trading points."""
+        model = CostModel(
+            benchmark_soc,
+            32,
+            CostWeights.balanced(),
+            paper_area_model,
+            evaluator=ScheduleEvaluator(benchmark_soc, 32, **QUICK),
+        )
+        frontier = cost_frontier(model, paper_combos)
+        assert len(frontier) >= 2
+        w = weight_for_segment(frontier[0], frontier[-1])
+        assert 0.0 < w < 1.0

@@ -1,0 +1,167 @@
+"""Tests for the Cost_Optimizer heuristic and exhaustive baseline."""
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.exhaustive import evaluate_all, exhaustive_search
+from repro.core.optimizer import cost_optimizer
+from repro.core.sharing import (
+    all_partitions,
+    identical_core_classes,
+    n_wrappers,
+    paper_combinations,
+    symmetry_reduce,
+)
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+def mini_combos(soc):
+    cores = soc.analog_cores
+    return symmetry_reduce(
+        all_partitions([c.name for c in cores]),
+        identical_core_classes(cores),
+    )
+
+
+def model_for(soc, weights=None, width=8):
+    return CostModel(
+        soc,
+        width,
+        weights or CostWeights.balanced(),
+        AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, width, **QUICK),
+    )
+
+
+class TestCostOptimizer:
+    def test_returns_valid_partition(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model_for(mini_ms_soc), combos)
+        assert result.best_partition in combos
+
+    def test_rejects_empty_combinations(self, mini_ms_soc):
+        with pytest.raises(ValueError, match="at least one"):
+            cost_optimizer(model_for(mini_ms_soc), [])
+
+    def test_rejects_negative_delta(self, mini_ms_soc):
+        with pytest.raises(ValueError, match="delta"):
+            cost_optimizer(
+                model_for(mini_ms_soc), mini_combos(mini_ms_soc), delta=-1
+            )
+
+    def test_groups_cover_all_degrees(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model_for(mini_ms_soc), combos)
+        degrees = {g.degree for g in result.groups}
+        assert degrees == {n_wrappers(p) for p in combos}
+
+    def test_delta_zero_keeps_single_group(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model_for(mini_ms_soc), combos, delta=0.0)
+        surviving = [g for g in result.groups if not g.eliminated]
+        assert len(surviving) == 1
+
+    def test_huge_delta_keeps_all_groups(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(
+            model_for(mini_ms_soc), combos, delta=1e9
+        )
+        assert all(not g.eliminated for g in result.groups)
+
+    def test_huge_delta_matches_exhaustive(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        heuristic = cost_optimizer(
+            model_for(mini_ms_soc), combos, delta=1e9
+        )
+        exhaustive = exhaustive_search(model_for(mini_ms_soc), combos)
+        assert heuristic.best_cost == pytest.approx(exhaustive.best_cost)
+
+    def test_evaluates_fewer_than_exhaustive(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        heuristic = cost_optimizer(model_for(mini_ms_soc), combos)
+        assert heuristic.n_evaluated <= len(combos)
+        assert heuristic.n_total == len(combos)
+
+    def test_reduction_percent(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model_for(mini_ms_soc), combos)
+        expected = 100 * (len(combos) - result.n_evaluated) / len(combos)
+        assert result.reduction_percent == pytest.approx(expected)
+
+    def test_representative_minimizes_preliminary(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model, combos)
+        for group in result.groups:
+            best = min(
+                model.preliminary_cost(p) for p in group.members
+            )
+            assert group.representative_preliminary == pytest.approx(best)
+
+    def test_best_cost_is_cost_of_best_partition(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        combos = mini_combos(mini_ms_soc)
+        result = cost_optimizer(model, combos)
+        assert result.best_cost == pytest.approx(
+            model.total_cost(result.best_partition)
+        )
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        combos = mini_combos(mini_ms_soc)
+        result = exhaustive_search(model, combos)
+        costs = {p: model.total_cost(p) for p in combos}
+        assert result.best_cost == pytest.approx(min(costs.values()))
+
+    def test_evaluates_everything(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        result = exhaustive_search(model_for(mini_ms_soc), combos)
+        assert result.n_evaluated == len(combos)
+
+    def test_heuristic_never_beats_exhaustive(self, mini_ms_soc):
+        combos = mini_combos(mini_ms_soc)
+        heuristic = cost_optimizer(model_for(mini_ms_soc), combos)
+        exhaustive = exhaustive_search(model_for(mini_ms_soc), combos)
+        assert heuristic.best_cost >= exhaustive.best_cost - 1e-9
+
+    def test_evaluate_all_returns_breakdowns(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        combos = mini_combos(mini_ms_soc)
+        rows = evaluate_all(model, combos)
+        assert len(rows) == len(combos)
+        assert {r.partition for r in rows} == set(combos)
+
+    def test_rejects_empty(self, mini_ms_soc):
+        with pytest.raises(ValueError, match="at least one"):
+            exhaustive_search(model_for(mini_ms_soc), [])
+
+
+class TestWeightSensitivity:
+    def test_area_weight_prefers_more_sharing(self, mini_ms_soc):
+        """With all weight on area, the optimizer picks the cheapest-area
+        partition; with all weight on time, the fastest."""
+        combos = mini_combos(mini_ms_soc)
+        area_result = exhaustive_search(
+            model_for(mini_ms_soc, CostWeights(0.0, 1.0)), combos
+        )
+        time_result = exhaustive_search(
+            model_for(mini_ms_soc, CostWeights(1.0, 0.0)), combos
+        )
+        area_model = AreaModel(mini_ms_soc.analog_cores)
+        best_area = min(
+            min(100.0, area_model.area_cost(p)) for p in combos
+        )
+        assert min(
+            100.0, area_model.area_cost(area_result.best_partition)
+        ) == pytest.approx(best_area)
+        # pure-time optimum cannot be the all-sharing combination unless
+        # everything ties; its time cost must be minimal
+        model = model_for(mini_ms_soc, CostWeights(1.0, 0.0))
+        times = [model.time_cost(p) for p in combos]
+        assert model.time_cost(
+            time_result.best_partition
+        ) == pytest.approx(min(times))

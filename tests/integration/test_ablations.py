@@ -1,0 +1,99 @@
+"""Quick-effort tests of the ablation experiment drivers."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    beta_sweep,
+    delta_sweep,
+    packer_gap,
+    placement_comparison,
+    scalability_sweep,
+    self_test_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_context():
+    return ExperimentContext(effort="quick")
+
+
+class TestBetaSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return beta_sweep(
+            ExperimentContext(effort="quick"), betas=(0.25, 1.0), width=32
+        )
+
+    def test_returns_point_per_beta(self, points):
+        assert [p.beta for p in points] == [0.25, 1.0]
+
+    def test_cost_grows_with_routing(self, points):
+        assert points[0].best_cost <= points[1].best_cost
+
+    def test_area_cost_grows_with_routing(self, points):
+        assert points[0].area_cost < points[1].area_cost
+
+
+class TestDeltaSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return delta_sweep(
+            ExperimentContext(effort="quick"),
+            deltas=(0.0, 1e6),
+            width=32,
+        )
+
+    def test_evaluations_grow_with_delta(self, points):
+        assert points[0].n_evaluated <= points[1].n_evaluated
+
+    def test_degenerate_delta_matches_exhaustive(self, points):
+        assert points[-1].matches_exhaustive
+
+
+class TestScalability:
+    def test_combination_space_grows(self, quick_context):
+        points = scalability_sweep(
+            quick_context, core_counts=(3, 5), width=24
+        )
+        assert points[0].n_combinations < points[1].n_combinations
+        assert all(
+            p.heuristic_evaluations <= p.n_combinations for p in points
+        )
+
+    def test_five_cores_give_26(self, quick_context):
+        points = scalability_sweep(
+            quick_context, core_counts=(5,), width=24
+        )
+        assert points[0].n_combinations == 26
+
+
+class TestSelfTestSweep:
+    def test_returns_both_configs(self, quick_context):
+        without, with_st = self_test_sweep(quick_context, width=32)
+        assert not without.include_self_test
+        assert with_st.include_self_test
+
+    def test_bist_never_adds_wrappers(self, quick_context):
+        without, with_st = self_test_sweep(quick_context, width=32)
+        assert with_st.n_wrappers <= without.n_wrappers
+
+
+class TestPlacement:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return placement_comparison(width=32, effort="quick")
+
+    def test_near_group_cheaper_routing(self, comparison):
+        assert comparison.near_group_beta < comparison.far_group_beta
+
+    def test_placement_never_hurts_at_optimum(self, comparison):
+        assert comparison.placed_cost <= comparison.global_cost + 1e-9
+
+
+class TestPackerGap:
+    def test_gap_nonnegative_and_bounded(self):
+        points = packer_gap(n_instances=4)
+        for p in points:
+            assert p.greedy_makespan >= p.optimal_makespan
+            assert p.gap_percent < 30.0

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table3_widths(self):
+        args = build_parser().parse_args(["table3", "--widths", "16", "24"])
+        assert args.widths == [16, 24]
+
+    def test_effort_flag(self):
+        args = build_parser().parse_args(["--effort", "quick", "table1"])
+        assert args.effort == "quick"
+
+    def test_plan_options(self):
+        args = build_parser().parse_args(
+            ["plan", "--width", "16", "--wt", "0.7", "--exhaustive"]
+        )
+        assert args.width == 16
+        assert args.wt == pytest.approx(0.7)
+        assert args.exhaustive
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["--effort", "quick", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "{A,B,C,D,E}" in out
+
+    def test_table2(self, capsys):
+        assert main(["--effort", "quick", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "256" in capsys.readouterr().out
+
+    def test_fig5_no_plots(self, capsys):
+        assert main(["--effort", "quick", "fig5", "--no-plots"]) == 0
+        assert "wrapped f_c" in capsys.readouterr().out
+
+    def test_plan_quick(self, capsys):
+        assert main(
+            ["--effort", "quick", "plan", "--width", "24", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrapper sharing" in out
+        assert "makespan" in out

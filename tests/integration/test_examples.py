@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example runs and prints what it promises.
+
+Examples are the library's user-facing contract; each is executed in a
+subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "codec_audio_test.py",
+        "sharing_tradeoffs.py",
+        "custom_soc.py",
+        "full_core_test.py",
+        "tam_architecture.py",
+    ],
+)
+def test_example_exists(name):
+    assert (EXAMPLES / name).is_file()
+
+
+class TestExampleOutputs:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "chosen wrapper sharing" in out
+        assert "makespan" in out
+
+    def test_codec_audio_test(self):
+        out = run_example("codec_audio_test.py")
+        assert "PASS" in out
+        assert "FAIL" in out
+        assert "wrapped f_c" in out
+
+    def test_custom_soc(self):
+        out = run_example("custom_soc.py")
+        assert "demo_soc" in out
+        assert "test cycles" in out
+
+    def test_full_core_test(self):
+        out = run_example("full_core_test.py")
+        assert "pass-band gain" in out
+        assert "IIP3" in out
+        assert "no mixed-signal ATE" in out
+
+    def test_sharing_tradeoffs(self):
+        out = run_example("sharing_tradeoffs.py")
+        assert "Cost-optimal combination" in out
+        assert "w_T=0.50" in out or "w_T=0.5" in out
+
+    def test_tam_architecture(self):
+        out = run_example("tam_architecture.py")
+        assert "flexible-width packing vs fixed" in out
+        assert "Pareto frontier" in out
+        assert "wires" in out

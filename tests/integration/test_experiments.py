@@ -1,0 +1,200 @@
+"""Integration tests for the experiment drivers (quick effort).
+
+These exercise the same code paths as the benchmark harness, with the
+packer turned down so the suite stays fast; the *shape* assertions here
+mirror the paper-vs-measured claims recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.sharing import all_sharing, format_partition, n_wrappers
+from repro.experiments import (
+    ExperimentContext,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_context():
+    return ExperimentContext(effort="quick")
+
+
+class TestTable1:
+    def test_has_26_rows(self, quick_context):
+        result = run_table1(quick_context)
+        assert len(result.rows) == 26
+
+    def test_all_share_bound_is_100(self, quick_context):
+        result = run_table1(quick_context)
+        row = next(r for r in result.rows if n_wrappers(r.partition) == 1)
+        assert row.t_lb_hat == pytest.approx(100.0)
+
+    def test_joint_area_decreases_with_degree_on_average(self, quick_context):
+        result = run_table1(quick_context)
+        by_degree = {}
+        for row in result.rows:
+            by_degree.setdefault(row.wrappers, []).append(
+                row.area_cost_joint
+            )
+        mean4 = sum(by_degree[4]) / len(by_degree[4])
+        mean2 = sum(by_degree[2]) / len(by_degree[2])
+        assert mean2 < mean4
+
+    def test_render_contains_combinations(self, quick_context):
+        text = run_table1(quick_context).render()
+        assert "{A,B,C,D,E}" in text
+        assert "T_LB^" in text
+
+
+class TestTable2:
+    def test_twenty_tests(self, quick_context):
+        result = run_table2(quick_context)
+        assert len(result.rows) == 20
+
+    def test_every_test_fits_its_width(self, quick_context):
+        """Table 2's TAM widths are exactly sufficient at 50 MHz."""
+        assert run_table2(quick_context).all_feasible
+
+    def test_core_totals(self, quick_context):
+        result = run_table2(quick_context)
+        assert result.core_total_cycles("C") == 299_785
+
+    def test_render(self, quick_context):
+        text = run_table2(quick_context).render()
+        assert "50MHz" in text
+        assert "iip3" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, quick_context):
+        return run_table3(quick_context, widths=(24, 48))
+
+    def test_all_share_is_100(self, result):
+        full = all_sharing(("A", "B", "C", "D", "E"))
+        for w in result.widths:
+            assert result.normalized(full, w) == pytest.approx(100.0)
+
+    def test_values_bounded(self, result):
+        for p in result.partitions:
+            for w in result.widths:
+                assert 0 < result.normalized(p, w) <= 100.0 + 1e-9
+
+    def test_spread_grows_with_width(self, result):
+        """Section 6: wider TAM -> sharing matters more."""
+        assert result.spread(48) > result.spread(24)
+
+    def test_render_mentions_spread(self, result):
+        assert "spread" in result.render()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, quick_context):
+        return run_table4(quick_context, widths=(24,))
+
+    def test_three_weight_settings(self, result):
+        assert len(result.cells) == 3
+
+    def test_heuristic_saves_evaluations(self, result):
+        for cell in result.cells:
+            assert cell.heuristic.n_evaluated < cell.exhaustive.n_evaluated
+
+    def test_heuristic_near_optimal(self, result):
+        for cell in result.cells:
+            assert cell.cost_gap_percent <= 5.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "dE%" in text
+        assert "N_tot = 26" in text
+
+
+class TestFig4:
+    def test_paper_counts(self):
+        result = run_fig4()
+        assert result.modular_comparators == 32
+        assert result.flash_comparators == 256
+        assert result.comparator_reduction == 8.0
+        assert result.resistor_reduction == 8.0
+
+    def test_area_claim(self):
+        result = run_fig4()
+        assert result.wrapper_area_mm2 == pytest.approx(0.020, rel=0.02)
+        assert result.core_to_wrapper_ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_render(self):
+        text = run_fig4().render()
+        assert "256" in text
+        assert "0.02" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5()
+
+    def test_direct_cutoff_near_model(self, result):
+        assert result.direct_fit.error_vs(61e3) < 0.05
+
+    def test_wrapped_error_single_digit_percent(self, result):
+        """The paper's headline: ~5% error through the 8-bit wrapper."""
+        assert 0.005 < result.relative_error < 0.10
+
+    def test_wrapped_reads_low(self, result):
+        """Front-end droop biases the wrapped cut-off downward, as in
+        the paper (61 kHz -> 58 kHz)."""
+        assert result.wrapped_fit.cutoff_hz < result.direct_fit.cutoff_hz
+
+    def test_ideal_wrapper_nearly_exact(self):
+        ideal = run_fig5(
+            inl_lsb=0.0, gain_error=0.0, analog_bandwidth_hz=None
+        )
+        assert ideal.relative_error < 0.01
+
+    def test_more_bits_reduce_error(self):
+        """With the systematic front-end removed, quantization dominates
+        and more bits measure better."""
+        coarse = run_fig5(
+            resolution_bits=4, analog_bandwidth_hz=None, gain_error=0.0
+        )
+        fine = run_fig5(
+            resolution_bits=10, analog_bandwidth_hz=None, gain_error=0.0
+        )
+        assert fine.relative_error < coarse.relative_error
+
+    def test_spectra_shapes(self, result):
+        (fi, ai), (fd, ad), (fw, aw) = result.spectra()
+        assert len(fi) == len(ai)
+        assert len(fd) == len(ad) == len(fw) == len(aw)
+
+    def test_render_without_plots(self, result):
+        text = result.render(plots=False)
+        assert "error" in text
+        assert "kHz" in text
+
+    def test_render_with_plots(self, result):
+        text = result.render(plots=True)
+        assert "(a) applied multi-tone spectrum" in text
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="unknown"):
+            run_fig5(bogus=1)
+
+
+class TestContext:
+    def test_rejects_unknown_effort(self):
+        with pytest.raises(ValueError, match="effort"):
+            ExperimentContext(effort="turbo")
+
+    def test_rejects_digital_only_soc(self, digital_soc):
+        with pytest.raises(ValueError, match="mixed-signal"):
+            ExperimentContext(soc=digital_soc)
+
+    def test_combinations_are_26(self, quick_context):
+        assert len(quick_context.combinations) == 26

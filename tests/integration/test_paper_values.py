@@ -1,0 +1,105 @@
+"""Paper-facing regression tests: every quantitative anchor in one place.
+
+These tests pin the relationship between this reproduction and the
+published paper.  Exact anchors (Table 2 data, the T_LB^ column of
+Table 1, converter counts, the 0.02 mm^2 wrapper) are asserted to the
+digit; shape anchors (spread growth, heuristic behaviour) are asserted
+as inequalities.  EXPERIMENTS.md narrates the same facts.
+"""
+
+import pytest
+
+from repro.analog_wrapper.area_model import wrapper_area_mm2
+from repro.analog_wrapper.converters import (
+    ConverterSpec,
+    ModularDac,
+    PipelinedModularAdc,
+)
+from repro.core.lower_bounds import normalized_lower_bound
+from repro.core.sharing import canonical
+
+
+class TestExactAnchors:
+    def test_analog_core_test_times(self, paper_cores):
+        """Per-core totals implied by Table 2."""
+        totals = {c.name: c.total_cycles for c in paper_cores}
+        assert totals == {
+            "A": 135_969,
+            "B": 135_969,
+            "C": 299_785,
+            "D": 56_490,
+            "E": 7_900,
+        }
+
+    def test_all_share_bound_equals_total(self, paper_cores):
+        assert sum(c.total_cycles for c in paper_cores) == 636_113
+
+    @pytest.mark.parametrize(
+        "groups,expected",
+        [
+            ([["A", "C"]], 68.5),
+            ([["D", "E"]], 10.1),
+            ([["A", "B", "C"], ["D", "E"]], 89.8),
+            ([["A", "B", "C", "D", "E"]], 100.0),
+        ],
+    )
+    def test_table1_spot_checks(self, paper_cores, groups, expected):
+        used = {n for g in groups for n in g}
+        partition = canonical(
+            groups + [[n] for n in "ABCDE" if n not in used]
+        )
+        assert normalized_lower_bound(
+            paper_cores, partition
+        ) == pytest.approx(expected)
+
+    def test_fig4_counts(self):
+        adc = PipelinedModularAdc(ConverterSpec(8))
+        dac = ModularDac(ConverterSpec(8))
+        assert adc.comparator_count == 32
+        assert adc.flash_equivalent_comparators == 256
+        assert dac.resistor_count == 32
+        assert dac.monolithic_resistor_count == 256
+
+    def test_wrapper_area_0p02_mm2(self):
+        assert wrapper_area_mm2(8, 1.7e6, 1) == pytest.approx(
+            0.020, rel=0.02
+        )
+
+    def test_n_tot_is_26(self, paper_combos):
+        assert len(paper_combos) == 26
+
+
+class TestShapeAnchors:
+    """Slow-ish shape checks on the real benchmark at reduced effort."""
+
+    @pytest.fixture(scope="class")
+    def table3(self):
+        from repro.experiments import ExperimentContext, run_table3
+
+        return run_table3(
+            ExperimentContext(effort="quick"), widths=(32, 64)
+        )
+
+    def test_all_share_slowest(self, table3):
+        """Table 3: all-sharing normalizes to the maximum (100)."""
+        full = canonical([["A", "B", "C", "D", "E"]])
+        for width in table3.widths:
+            values = [
+                table3.normalized(p, width) for p in table3.partitions
+            ]
+            assert table3.normalized(full, width) == pytest.approx(
+                max(values)
+            )
+
+    def test_spread_grows_with_width(self, table3):
+        """Section 6: 2.45 -> 17.18 as W goes 32 -> 64 in the paper."""
+        assert table3.spread(64) > table3.spread(32)
+
+    def test_spread_at_64_is_substantial(self, table3):
+        assert table3.spread(64) > 8.0
+
+    def test_best_combination_shares_wrappers(self, table3):
+        """The lowest-time combinations are not the deepest sharing."""
+        for width in table3.widths:
+            best = table3.best_partitions(width)[0]
+            assert len(best) >= 2  # never the single-wrapper combo

@@ -1,0 +1,81 @@
+"""End-to-end tests of the public plan_test API."""
+
+import pytest
+
+from repro import (
+    CostWeights,
+    TestPlan,
+    format_partition,
+    plan_test,
+    render_gantt,
+)
+from repro.soc.benchmarks import mini_mixed_signal_soc
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+class TestPlanTest:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_test(soc=mini_mixed_signal_soc(), width=8, **QUICK)
+
+    def test_returns_plan(self, plan):
+        assert isinstance(plan, TestPlan)
+        assert plan.width == 8
+
+    def test_schedule_is_feasible(self, plan):
+        plan.schedule.validate()
+
+    def test_schedule_covers_all_tests(self, plan):
+        soc = plan.soc
+        analog = sum(len(c.tests) for c in soc.analog_cores)
+        assert len(plan.schedule.items) == soc.n_digital + analog
+
+    def test_costs_within_scale(self, plan):
+        assert 0 < plan.time_cost <= 100
+        assert 0 < plan.area_cost <= 100
+        assert plan.result.best_cost == pytest.approx(
+            plan.weights.time * plan.time_cost
+            + plan.weights.area * plan.area_cost
+        )
+
+    def test_summary_readable(self, plan):
+        text = plan.summary()
+        assert "TAM width 8" in text
+        assert "wrapper sharing" in text
+        assert format_partition(plan.partition) in text
+
+    def test_gantt_renders(self, plan):
+        assert "makespan" in render_gantt(plan.schedule)
+
+    def test_exhaustive_flag(self):
+        plan = plan_test(
+            soc=mini_mixed_signal_soc(), width=8, exhaustive=True, **QUICK
+        )
+        assert plan.result.n_evaluated == plan.result.n_total
+
+    def test_heuristic_cost_close_to_exhaustive(self):
+        soc = mini_mixed_signal_soc()
+        heuristic = plan_test(soc=soc, width=8, **QUICK)
+        exhaustive = plan_test(soc=soc, width=8, exhaustive=True, **QUICK)
+        assert heuristic.result.best_cost >= exhaustive.result.best_cost
+        gap = heuristic.result.best_cost - exhaustive.result.best_cost
+        assert gap / exhaustive.result.best_cost < 0.10
+
+    def test_weights_forwarded(self):
+        plan = plan_test(
+            soc=mini_mixed_signal_soc(),
+            width=8,
+            weights=CostWeights(0.9, 0.1),
+            **QUICK,
+        )
+        assert plan.weights.time == 0.9
+
+    def test_rejects_digital_only_soc(self, digital_soc):
+        with pytest.raises(ValueError, match="analog"):
+            plan_test(soc=digital_soc, width=8)
+
+    def test_default_soc_is_benchmark(self):
+        plan = plan_test(width=24, **QUICK)
+        assert plan.soc.name == "p93791m"
+        assert plan.result.n_total == 26

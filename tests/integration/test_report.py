@@ -1,0 +1,48 @@
+"""Tests for the consolidated report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentContext, generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def fast_report(self):
+        return generate_report(
+            ExperimentContext(effort="quick"), include_slow=False
+        )
+
+    def test_contains_every_fast_section(self, fast_report):
+        assert "Table 1" in fast_report
+        assert "Table 2" in fast_report
+        assert "Figure 4" in fast_report
+        assert "Figure 5" in fast_report
+
+    def test_fast_skips_scheduling_tables(self, fast_report):
+        assert "Table 3" not in fast_report
+        assert "Table 4" not in fast_report
+
+    def test_mentions_soc_and_effort(self, fast_report):
+        assert "p93791m" in fast_report
+        assert "quick" in fast_report
+
+    def test_markdown_structure(self, fast_report):
+        lines = fast_report.splitlines()
+        assert lines[0].startswith("# Reproduction report")
+        assert any(line.startswith("## ") for line in lines)
+
+    def test_feasibility_flag_rendered(self, fast_report):
+        assert "all feasible" in fast_report
+
+
+class TestCliReport:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        code = main(
+            ["--effort", "quick", "report", "--fast", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+        assert str(out) in capsys.readouterr().out

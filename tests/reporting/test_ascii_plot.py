@@ -1,0 +1,53 @@
+"""Tests for the ASCII plotter."""
+
+import math
+
+import pytest
+
+from repro.reporting.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_points(self):
+        text = ascii_plot([0, 1, 2], [0, 1, 0], title="t")
+        assert text.splitlines()[0] == "t"
+        assert "*" in text
+
+    def test_size_parameters(self):
+        text = ascii_plot([0, 1], [0, 1], width=40, height=8)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+    def test_axis_labels(self):
+        text = ascii_plot([0, 10], [5, -5], x_label="kHz", y_label="dB")
+        assert "x: kHz" in text
+        assert "y: dB" in text
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ascii_plot([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_plot([], [])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot([1], [1], width=4, height=2)
+
+    def test_skips_non_finite(self):
+        text = ascii_plot([0, 1, 2], [0, math.nan, 2])
+        assert "*" in text
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_plot([0.0], [math.inf])
+
+    def test_flat_series_ok(self):
+        text = ascii_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in text
+
+    def test_extremes_labelled(self):
+        text = ascii_plot([0, 1], [-7, 13])
+        assert "13" in text
+        assert "-7" in text

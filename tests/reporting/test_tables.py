@@ -1,0 +1,59 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.reporting.tables import format_float, render_table
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        text = render_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "--" in lines[1]
+        assert "a" in lines[2]
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_aligned(self):
+        text = render_table(("n",), [(1,), (100,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  1") or rows[0].strip() == "1"
+        assert rows[0].rstrip()[-1] == "1"
+        # both end at the same column
+        assert len(rows[0].rstrip()) <= len(rows[1].rstrip())
+
+    def test_floats_formatted(self):
+        text = render_table(("x",), [(3.14159,)])
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_bools_as_yes_no(self):
+        text = render_table(("ok",), [(True,), (False,)])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+    def test_column_widths_adapt(self):
+        text = render_table(
+            ("short", "x"), [("a-very-long-cell-value", 1)]
+        )
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell-value")
+
+
+class TestFormatFloat:
+    def test_default_one_decimal(self):
+        assert format_float(3.14159) == "3.1"
+
+    def test_custom_decimals(self):
+        assert format_float(3.14159, 3) == "3.142"

@@ -1,0 +1,90 @@
+"""Tests for cut-off frequency extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.cutoff import fit_cutoff
+from repro.signal.filters import ButterworthLowpass
+
+
+def measured_gains(cutoff, freqs, order=3, gain_db=0.0):
+    f = ButterworthLowpass(cutoff_hz=cutoff, order=order)
+    return [float(f.magnitude_db(freq)) + gain_db for freq in freqs]
+
+
+class TestFitCutoff:
+    def test_recovers_exact_model(self):
+        freqs = (20e3, 61e3, 150e3)
+        gains = measured_gains(61e3, freqs)
+        fit = fit_cutoff(freqs, gains, order=3)
+        assert fit.cutoff_hz == pytest.approx(61e3, rel=1e-4)
+        assert fit.passband_gain_db == pytest.approx(0.0, abs=1e-3)
+        assert fit.residual_db < 1e-6
+
+    def test_recovers_with_passband_gain(self):
+        freqs = (10e3, 50e3, 120e3)
+        gains = measured_gains(50e3, freqs, gain_db=6.0)
+        fit = fit_cutoff(freqs, gains, order=3)
+        assert fit.cutoff_hz == pytest.approx(50e3, rel=1e-3)
+        assert fit.passband_gain_db == pytest.approx(6.0, abs=0.01)
+
+    def test_three_tones_like_paper(self):
+        """Three tones suffice, as in the paper's demonstration."""
+        freqs = (20e3, 61e3, 150e3)
+        gains = measured_gains(61e3, freqs)
+        fit = fit_cutoff(freqs, gains, order=3)
+        assert fit.error_vs(61e3) < 0.001
+
+    def test_robust_to_small_noise(self):
+        rng = np.random.default_rng(0)
+        freqs = tuple(np.linspace(5e3, 200e3, 12))
+        gains = [
+            g + rng.normal(0, 0.2)
+            for g in measured_gains(61e3, freqs)
+        ]
+        fit = fit_cutoff(freqs, gains, order=3)
+        assert fit.error_vs(61e3) < 0.05
+
+    def test_wrong_order_assumption_biases(self):
+        freqs = (20e3, 61e3, 150e3)
+        gains = measured_gains(61e3, freqs, order=3)
+        fit1 = fit_cutoff(freqs, gains, order=1)
+        assert fit1.residual_db > 0.5  # bad fit is visible
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="align"):
+            fit_cutoff((1e3, 2e3), (0.0,))
+
+    def test_rejects_single_tone(self):
+        with pytest.raises(ValueError, match="two tones"):
+            fit_cutoff((1e3,), (0.0,))
+
+    def test_rejects_nonpositive_freqs(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_cutoff((0.0, 1e3), (0.0, -3.0))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            fit_cutoff((1e3, 2e3), (0.0, -3.0), order=0)
+
+    def test_error_vs(self):
+        freqs = (20e3, 61e3, 150e3)
+        fit = fit_cutoff(freqs, measured_gains(61e3, freqs), order=3)
+        assert fit.error_vs(61e3) == pytest.approx(
+            abs(fit.cutoff_hz - 61e3) / 61e3
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cutoff=st.floats(min_value=20e3, max_value=120e3),
+        order=st.integers(1, 4),
+    )
+    def test_recovers_across_parameters(self, cutoff, order):
+        freqs = (
+            cutoff / 4, cutoff / 2, cutoff, cutoff * 2, cutoff * 3
+        )
+        gains = measured_gains(cutoff, freqs, order=order)
+        fit = fit_cutoff(freqs, gains, order=order)
+        assert fit.error_vs(cutoff) < 0.01

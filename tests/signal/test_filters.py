@@ -1,0 +1,100 @@
+"""Tests for the analog core transfer-function models."""
+
+import numpy as np
+import pytest
+
+from repro.signal.filters import Amplifier, ButterworthLowpass
+from repro.signal.multitone import Tone, multitone
+from repro.signal.spectrum import tone_amplitude
+
+
+class TestButterworthLowpass:
+    def test_minus_3db_at_cutoff(self):
+        f = ButterworthLowpass(cutoff_hz=61e3, order=3)
+        assert f.magnitude_db(61e3) == pytest.approx(-3.01, abs=0.05)
+
+    def test_passband_flat(self):
+        f = ButterworthLowpass(cutoff_hz=61e3, order=3)
+        assert f.magnitude_db(1e3) == pytest.approx(0.0, abs=0.01)
+
+    def test_rolloff_slope(self):
+        """Order-3 Butterworth rolls off ~18 dB per octave."""
+        f = ButterworthLowpass(cutoff_hz=10e3, order=3)
+        drop = f.magnitude_db(80e3) - f.magnitude_db(160e3)
+        assert drop == pytest.approx(18.0, abs=0.5)
+
+    def test_gain_scales_magnitude(self):
+        base = ButterworthLowpass(61e3, gain=1.0)
+        loud = ButterworthLowpass(61e3, gain=2.0)
+        assert loud.magnitude(1e3) == pytest.approx(
+            2 * base.magnitude(1e3)
+        )
+
+    def test_time_domain_attenuates_stopband_tone(self):
+        f = ButterworthLowpass(cutoff_hz=20e3, order=3)
+        fs = 1e6
+        x = multitone((Tone(200e3, 1.0),), fs, 8192)
+        y = f.response(x, fs)
+        gain = tone_amplitude(y, fs, 200e3) / tone_amplitude(x, fs, 200e3)
+        assert gain < 0.01
+
+    def test_time_domain_passes_passband_tone(self):
+        f = ButterworthLowpass(cutoff_hz=100e3, order=3)
+        fs = 2e6
+        x = multitone((Tone(5e3, 1.0),), fs, 8192)
+        y = f.response(x, fs)
+        gain = tone_amplitude(y, fs, 5e3) / tone_amplitude(x, fs, 5e3)
+        assert gain == pytest.approx(1.0, abs=0.02)
+
+    def test_time_domain_matches_analytic_gain(self):
+        f = ButterworthLowpass(cutoff_hz=61e3, order=3)
+        fs = 1.7e6
+        freq = 61e3
+        x = multitone((Tone(freq, 1.0),), fs, 16384)
+        y = f.response(x, fs)
+        measured = tone_amplitude(y, fs, freq) / tone_amplitude(x, fs, freq)
+        assert measured == pytest.approx(float(f.magnitude(freq)), rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ButterworthLowpass(0)
+        with pytest.raises(ValueError):
+            ButterworthLowpass(1e3, order=0)
+        with pytest.raises(ValueError):
+            ButterworthLowpass(1e3, gain=0)
+
+    def test_rejects_undersampled_simulation(self):
+        f = ButterworthLowpass(cutoff_hz=100e3)
+        with pytest.raises(ValueError, match="sample rate"):
+            f.response(np.zeros(10), 150e3)
+
+
+class TestAmplifier:
+    def test_flat_gain(self):
+        a = Amplifier(gain=3.0)
+        x = np.array([0.1, -0.2, 0.5])
+        assert np.allclose(a.response(x, 1e6), 3.0 * x)
+
+    def test_magnitude_flat(self):
+        a = Amplifier(gain=2.0)
+        mags = a.magnitude(np.array([1e3, 1e6, 1e8]))
+        assert np.allclose(mags, 2.0)
+
+    def test_slew_limits_step(self):
+        a = Amplifier(gain=1.0, slew_rate_v_per_s=1e6)
+        fs = 1e6  # max step = 1 V per sample
+        x = np.array([0.0, 5.0, 5.0, 5.0, 5.0, 5.0])
+        y = a.response(x, fs)
+        assert np.max(np.diff(y)) <= 1.0 + 1e-9
+        assert y[-1] == pytest.approx(5.0)
+
+    def test_no_slew_limit_by_default(self):
+        a = Amplifier(gain=1.0)
+        x = np.array([0.0, 100.0])
+        assert np.allclose(a.response(x, 1e6), x)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Amplifier(gain=0)
+        with pytest.raises(ValueError):
+            Amplifier(slew_rate_v_per_s=0)

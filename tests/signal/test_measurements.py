@@ -1,0 +1,209 @@
+"""Tests for the specification-based analog measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.filters import Amplifier, NonlinearAmplifier
+from repro.signal.measurements import (
+    measure_dc_offset,
+    measure_dynamic_range_db,
+    measure_gain_db,
+    measure_iip3_dbv,
+    measure_phase_mismatch_deg,
+    measure_slew_rate,
+    measure_thd_percent,
+    two_tone_stimulus,
+)
+from repro.signal.multitone import Tone, multitone
+
+FS = 10e6
+N = 16384
+
+
+def bin_freq(k):
+    return k * FS / N
+
+
+class TestGain:
+    def test_known_gain(self):
+        f = bin_freq(101)
+        x = multitone((Tone(f, 0.5),), FS, N)
+        y = 3.0 * x
+        assert measure_gain_db(x, y, FS, f) == pytest.approx(
+            20 * np.log10(3.0), abs=0.01
+        )
+
+    def test_attenuation(self):
+        f = bin_freq(101)
+        x = multitone((Tone(f, 0.5),), FS, N)
+        assert measure_gain_db(x, 0.1 * x, FS, f) == pytest.approx(
+            -20.0, abs=0.05
+        )
+
+    def test_rejects_silent_stimulus(self):
+        with pytest.raises(ValueError, match="no energy"):
+            measure_gain_db(np.zeros(N), np.ones(N), FS, bin_freq(10))
+
+
+class TestDcOffset:
+    def test_measures_mean(self):
+        y = 0.25 + multitone((Tone(bin_freq(37), 0.5),), FS, N)
+        assert measure_dc_offset(y) == pytest.approx(0.25, abs=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            measure_dc_offset(np.array([]))
+
+    @given(offset=st.floats(-1.0, 1.0))
+    def test_recovers_any_offset(self, offset):
+        y = np.full(256, offset)
+        assert measure_dc_offset(y) == pytest.approx(offset)
+
+
+class TestThd:
+    def test_pure_tone_has_negligible_thd(self):
+        f = bin_freq(101)
+        y = multitone((Tone(f, 0.5),), FS, N)
+        assert measure_thd_percent(y, FS, f) < 0.01
+
+    def test_known_second_harmonic(self):
+        f = bin_freq(100)
+        y = multitone((Tone(f, 1.0), Tone(2 * f, 0.1)), FS, N)
+        assert measure_thd_percent(y, FS, f) == pytest.approx(
+            10.0, abs=0.1
+        )
+
+    def test_nonlinear_amplifier_produces_thd(self):
+        f = bin_freq(101)
+        x = multitone((Tone(f, 0.5),), FS, N)
+        linear = Amplifier(gain=2.0).response(x, FS)
+        distorted = NonlinearAmplifier(a1=2.0, a2=0.3, a3=-0.2).response(
+            x, FS
+        )
+        assert measure_thd_percent(distorted, FS, f) > 10 * max(
+            measure_thd_percent(linear, FS, f), 1e-6
+        )
+
+    def test_harmonics_beyond_nyquist_skipped(self):
+        f = bin_freq(N // 3)  # 2nd harmonic near/above Nyquist
+        y = multitone((Tone(f, 0.5),), FS, N)
+        assert measure_thd_percent(y, FS, f) >= 0.0
+
+    def test_rejects_missing_fundamental(self):
+        with pytest.raises(ValueError, match="fundamental"):
+            measure_thd_percent(np.zeros(N), FS, bin_freq(10))
+
+    def test_rejects_bad_harmonic_count(self):
+        y = multitone((Tone(bin_freq(10), 0.5),), FS, N)
+        with pytest.raises(ValueError, match="n_harmonics"):
+            measure_thd_percent(y, FS, bin_freq(10), n_harmonics=0)
+
+
+class TestIip3:
+    def test_matches_textbook_intercept(self):
+        """Measured IIP3 of a cubic nonlinearity matches sqrt(4/3 a1/a3)."""
+        amp = NonlinearAmplifier(a1=2.0, a2=0.0, a3=-0.05)
+        f1, f2 = bin_freq(797), bin_freq(953)
+        x = two_tone_stimulus(f1, f2, 0.2, FS, N)
+        y = amp.response(x, FS)
+        measured = measure_iip3_dbv(y, FS, f1, f2, 0.2)
+        textbook = 20 * np.log10(amp.iip3_amplitude_v)
+        assert measured == pytest.approx(textbook, abs=0.2)
+
+    def test_more_nonlinear_means_lower_iip3(self):
+        f1, f2 = bin_freq(797), bin_freq(953)
+        x = two_tone_stimulus(f1, f2, 0.2, FS, N)
+        mild = NonlinearAmplifier(a1=2.0, a3=-0.02).response(x, FS)
+        harsh = NonlinearAmplifier(a1=2.0, a3=-0.2).response(x, FS)
+        assert measure_iip3_dbv(
+            harsh, FS, f1, f2, 0.2
+        ) < measure_iip3_dbv(mild, FS, f1, f2, 0.2)
+
+    def test_linear_device_has_huge_iip3(self):
+        f1, f2 = bin_freq(797), bin_freq(953)
+        x = two_tone_stimulus(f1, f2, 0.2, FS, N)
+        y = Amplifier(gain=2.0).response(x, FS)
+        assert measure_iip3_dbv(y, FS, f1, f2, 0.2) > 40.0
+
+    def test_rejects_bad_tone_order(self):
+        with pytest.raises(ValueError, match="f1 < f2"):
+            measure_iip3_dbv(np.zeros(N), FS, bin_freq(20), bin_freq(10), 0.2)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            measure_iip3_dbv(
+                np.zeros(N), FS, bin_freq(10), bin_freq(20), 0.0
+            )
+
+
+class TestPhaseMismatch:
+    def test_perfect_quadrature(self):
+        f = bin_freq(50)
+        t = np.arange(N) / FS
+        i = np.sin(2 * np.pi * f * t)
+        q = np.sin(2 * np.pi * f * t - np.pi / 2)
+        assert measure_phase_mismatch_deg(i, q, FS, f) == pytest.approx(
+            0.0, abs=0.1
+        )
+
+    @pytest.mark.parametrize("error_deg", [-5.0, 2.0, 10.0])
+    def test_known_mismatch(self, error_deg):
+        f = bin_freq(50)
+        t = np.arange(N) / FS
+        i = np.sin(2 * np.pi * f * t)
+        q = np.sin(
+            2 * np.pi * f * t - np.pi / 2 - np.radians(error_deg)
+        )
+        assert measure_phase_mismatch_deg(i, q, FS, f) == pytest.approx(
+            error_deg, abs=0.1
+        )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths"):
+            measure_phase_mismatch_deg(
+                np.zeros(10), np.zeros(11), FS, bin_freq(5)
+            )
+
+
+class TestSlewRate:
+    def test_step_slope(self):
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        assert measure_slew_rate(y, 1e6) == pytest.approx(1e6)
+
+    def test_slew_limited_amplifier_measured(self):
+        amp = Amplifier(gain=1.0, slew_rate_v_per_s=2e6)
+        x = np.concatenate([np.zeros(10), np.full(40, 3.0)])
+        y = amp.response(x, 1e6)
+        assert measure_slew_rate(y, 1e6) == pytest.approx(2e6, rel=0.01)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError, match="two samples"):
+            measure_slew_rate(np.array([1.0]), 1e6)
+
+
+class TestDynamicRange:
+    def test_quiet_device_has_high_dr(self):
+        f = bin_freq(50)
+        tone = multitone((Tone(f, 1.0),), FS, N)
+        rng = np.random.default_rng(0)
+        idle = 1e-4 * rng.normal(size=N)
+        dr = measure_dynamic_range_db(tone, idle, FS, f)
+        assert dr > 60.0
+
+    def test_noisier_device_has_lower_dr(self):
+        f = bin_freq(50)
+        tone = multitone((Tone(f, 1.0),), FS, N)
+        rng = np.random.default_rng(0)
+        quiet = 1e-4 * rng.normal(size=N)
+        noisy = 1e-2 * rng.normal(size=N)
+        assert measure_dynamic_range_db(
+            tone, noisy, FS, f
+        ) < measure_dynamic_range_db(tone, quiet, FS, f)
+
+    def test_rejects_empty_idle(self):
+        with pytest.raises(ValueError, match="empty"):
+            measure_dynamic_range_db(
+                np.ones(N), np.array([]), FS, bin_freq(5)
+            )

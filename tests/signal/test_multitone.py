@@ -1,0 +1,97 @@
+"""Tests for multi-tone stimulus generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.multitone import (
+    Tone,
+    coherent_frequencies,
+    multitone,
+    time_axis,
+)
+
+
+class TestTone:
+    def test_valid(self):
+        t = Tone(1e3, amplitude=0.5, phase_rad=0.1)
+        assert t.freq_hz == 1e3
+
+    def test_rejects_bad_freq(self):
+        with pytest.raises(ValueError, match="freq_hz"):
+            Tone(0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            Tone(1e3, amplitude=0)
+
+
+class TestTimeAxis:
+    def test_spacing(self):
+        t = time_axis(10, 1e6)
+        assert t[0] == 0
+        assert np.allclose(np.diff(t), 1e-6)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            time_axis(0, 1e6)
+        with pytest.raises(ValueError):
+            time_axis(10, 0)
+
+
+class TestMultitone:
+    def test_single_tone_amplitude(self):
+        x = multitone((Tone(1e3, amplitude=0.7),), 100e3, 1000)
+        assert np.max(np.abs(x)) == pytest.approx(0.7, rel=0.01)
+
+    def test_superposition(self):
+        tones = (Tone(1e3, 0.5), Tone(3e3, 0.5))
+        x = multitone(tones, 100e3, 500)
+        x1 = multitone(tones[:1], 100e3, 500)
+        x2 = multitone(tones[1:], 100e3, 500)
+        assert np.allclose(x, x1 + x2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            multitone((), 1e6, 100)
+
+    def test_rejects_beyond_nyquist(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            multitone((Tone(60e3),), 100e3, 100)
+
+    def test_zero_phase_starts_at_zero(self):
+        x = multitone((Tone(1e3),), 100e3, 100)
+        assert x[0] == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=30)
+    @given(
+        freq=st.floats(min_value=100, max_value=40e3),
+        amp=st.floats(min_value=0.1, max_value=2.0),
+    )
+    def test_bounded_by_amplitude(self, freq, amp):
+        x = multitone((Tone(freq, amp),), 100e3, 256)
+        assert np.max(np.abs(x)) <= amp + 1e-9
+
+
+class TestCoherentFrequencies:
+    def test_snaps_to_odd_bins(self):
+        fs, n = 1e6, 1000
+        freqs = coherent_frequencies((10e3, 20e3, 30e3), fs, n)
+        bin_width = fs / n
+        for f in freqs:
+            k = round(f / bin_width)
+            assert k % 2 == 1
+            assert f == pytest.approx(k * bin_width)
+
+    def test_distinct_bins(self):
+        fs, n = 1e6, 1000
+        freqs = coherent_frequencies((10e3, 10.1e3, 10.2e3), fs, n)
+        assert len(set(freqs)) == 3
+
+    def test_close_to_targets(self):
+        fs, n = 1.7e6, 4551
+        targets = (20e3, 61e3, 150e3)
+        freqs = coherent_frequencies(targets, fs, n)
+        for f, target in zip(freqs, targets):
+            assert abs(f - target) < 2 * fs / n

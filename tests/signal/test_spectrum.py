@@ -1,0 +1,112 @@
+"""Tests for spectrum analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.multitone import Tone, multitone
+from repro.signal.spectrum import (
+    amplitude_spectrum,
+    db,
+    spectrum_db,
+    tone_amplitude,
+    tone_gains_db,
+)
+
+
+class TestAmplitudeSpectrum:
+    def test_bin_sine_reads_peak_amplitude(self):
+        fs, n = 1e6, 1000
+        freq = 10 * fs / n  # exactly bin 10
+        x = multitone((Tone(freq, 0.8),), fs, n)
+        freqs, amp = amplitude_spectrum(x, fs)
+        k = np.argmin(np.abs(freqs - freq))
+        assert amp[k] == pytest.approx(0.8, rel=1e-6)
+
+    def test_dc_scaling(self):
+        x = np.full(256, 1.5)
+        freqs, amp = amplitude_spectrum(x, 1e3)
+        assert amp[0] == pytest.approx(1.5)
+        assert freqs[0] == 0.0
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.array([1.0]), 1e3)
+
+    def test_spectrum_db_wraps(self):
+        x = multitone((Tone(1e3, 1.0),), 100e3, 256)
+        freqs, spec = spectrum_db(x, 100e3)
+        assert len(freqs) == len(spec)
+        assert np.max(spec) <= 1.0  # 0 dB peak
+
+
+class TestDb:
+    def test_unity_is_zero_db(self):
+        assert db(1.0) == pytest.approx(0.0)
+
+    def test_floor_prevents_minus_inf(self):
+        assert np.isfinite(db(0.0))
+
+    @given(x=st.floats(min_value=1e-6, max_value=1e6))
+    def test_db_of_square(self, x):
+        assert db(x * x) == pytest.approx(2 * db(x), rel=1e-9)
+
+
+class TestToneAmplitude:
+    def test_on_bin(self):
+        fs, n = 1e6, 2000
+        freq = 25 * fs / n
+        x = multitone((Tone(freq, 0.4),), fs, n)
+        assert tone_amplitude(x, fs, freq) == pytest.approx(0.4, rel=1e-6)
+
+    def test_off_bin_close(self):
+        fs, n = 1.7e6, 4551
+        x = multitone((Tone(61e3, 0.5),), fs, n)
+        assert tone_amplitude(x, fs, 61e3) == pytest.approx(0.5, rel=0.01)
+
+    def test_rejects_out_of_band(self):
+        x = np.zeros(100)
+        with pytest.raises(ValueError, match="fs/2"):
+            tone_amplitude(x, 1e6, 0.6e6)
+        with pytest.raises(ValueError, match="fs/2"):
+            tone_amplitude(x, 1e6, 0.0)
+
+    @settings(max_examples=30)
+    @given(
+        amp=st.floats(min_value=0.05, max_value=2.0),
+        k=st.integers(3, 200),
+    )
+    def test_amplitude_recovered_for_any_bin(self, amp, k):
+        fs, n = 1e6, 1024
+        freq = k * fs / n
+        if freq >= fs / 2:
+            return
+        x = multitone((Tone(freq, amp),), fs, n)
+        assert tone_amplitude(x, fs, freq) == pytest.approx(amp, rel=1e-6)
+
+
+class TestToneGains:
+    def test_known_attenuation(self):
+        fs, n = 1e6, 2048
+        freq = 40 * fs / n
+        x = multitone((Tone(freq, 1.0),), fs, n)
+        y = 0.5 * x
+        gains = tone_gains_db(x, y, fs, (freq,))
+        assert gains[0] == pytest.approx(-6.02, abs=0.01)
+
+    def test_multiple_tones(self):
+        fs, n = 1e6, 2048
+        f1, f2 = 32 * fs / n, 100 * fs / n
+        x = multitone((Tone(f1, 1.0), Tone(f2, 1.0)), fs, n)
+        y = multitone((Tone(f1, 1.0), Tone(f2, 0.1)), fs, n)
+        g1, g2 = tone_gains_db(x, y, fs, (f1, f2))
+        assert g1 == pytest.approx(0.0, abs=0.05)
+        assert g2 == pytest.approx(-20.0, abs=0.1)
+
+    def test_rejects_missing_stimulus_energy(self):
+        fs, n = 1e6, 1024
+        x = np.zeros(n)
+        y = np.ones(n)
+        with pytest.raises(ValueError, match="no energy"):
+            tone_gains_db(x, y, fs, (1e4,))

@@ -1,0 +1,132 @@
+"""Tests pinning the Table 2 data embedded in analog_specs."""
+
+import pytest
+
+from repro.soc.analog_specs import (
+    PAPER_CORE_NAMES,
+    core_a,
+    core_b,
+    core_c,
+    core_d,
+    core_e,
+    paper_analog_cores,
+)
+
+
+class TestPaperCores:
+    def test_five_cores_in_order(self, paper_cores):
+        assert tuple(c.name for c in paper_cores) == PAPER_CORE_NAMES
+
+    def test_a_and_b_identical(self, paper_cores):
+        a, b = paper_cores[0], paper_cores[1]
+        assert a.has_identical_tests(b)
+
+    def test_iq_transmit_has_six_tests(self):
+        assert len(core_a().tests) == 6
+
+    def test_codec_has_three_tests(self):
+        assert len(core_c().tests) == 3
+
+    def test_down_converter_has_three_tests(self):
+        assert len(core_d().tests) == 3
+
+    def test_amplifier_has_two_tests(self):
+        assert len(core_e().tests) == 2
+
+    # --- exact Table 2 values: these anchor the entire reproduction ---
+
+    def test_core_a_total_cycles(self):
+        assert core_a().total_cycles == 135_969
+
+    def test_core_b_total_cycles(self):
+        assert core_b().total_cycles == 135_969
+
+    def test_core_c_total_cycles(self):
+        assert core_c().total_cycles == 299_785
+
+    def test_core_d_total_cycles(self):
+        assert core_d().total_cycles == 56_490
+
+    def test_core_e_total_cycles(self):
+        assert core_e().total_cycles == 7_900
+
+    def test_total_analog_cycles(self, paper_cores):
+        assert sum(c.total_cycles for c in paper_cores) == 636_113
+
+    @pytest.mark.parametrize(
+        "test_name,cycles,width",
+        [
+            ("g_pb", 50_000, 1),
+            ("f_c", 13_653, 4),
+            ("a_1mhz_2mhz", 12_643, 2),
+            ("iip3", 26_973, 2),
+            ("dc_offset", 700, 1),
+            ("phase_mismatch", 32_000, 4),
+        ],
+    )
+    def test_iq_transmit_rows(self, test_name, cycles, width):
+        t = core_a().test(test_name)
+        assert t.cycles == cycles
+        assert t.tam_width == width
+
+    @pytest.mark.parametrize(
+        "test_name,cycles,width",
+        [("g_pb", 80_000, 1), ("f_c", 136_533, 1), ("thd", 83_252, 1)],
+    )
+    def test_codec_rows(self, test_name, cycles, width):
+        t = core_c().test(test_name)
+        assert t.cycles == cycles
+        assert t.tam_width == width
+
+    @pytest.mark.parametrize(
+        "test_name,cycles,width",
+        [("iip3", 15_754, 10), ("gain", 9_228, 4),
+         ("dynamic_range", 31_508, 4)],
+    )
+    def test_down_converter_rows(self, test_name, cycles, width):
+        t = core_d().test(test_name)
+        assert t.cycles == cycles
+        assert t.tam_width == width
+
+    @pytest.mark.parametrize(
+        "test_name,cycles,width",
+        [("slew_rate", 5_400, 5), ("gain", 2_500, 1)],
+    )
+    def test_amplifier_rows(self, test_name, cycles, width):
+        t = core_e().test(test_name)
+        assert t.cycles == cycles
+        assert t.tam_width == width
+
+    def test_dc_offset_is_dc(self):
+        assert core_a().test("dc_offset").is_dc
+
+    def test_down_converter_gain_undersampled(self):
+        assert core_d().test("gain").is_undersampled
+
+    def test_slew_rate_coarse_resolution(self):
+        core = core_e()
+        assert core.test_resolution(core.test("slew_rate")) == 3
+
+    def test_resolutions(self):
+        assert core_a().resolution_bits == 8
+        assert core_c().resolution_bits == 10
+        assert core_d().resolution_bits == 6
+        assert core_e().resolution_bits == 6
+
+    def test_max_tam_widths(self):
+        assert core_a().max_tam_width == 4
+        assert core_c().max_tam_width == 1
+        assert core_d().max_tam_width == 10
+        assert core_e().max_tam_width == 5
+
+    def test_positions_optional(self):
+        plain = paper_analog_cores()
+        assert all(c.position is None for c in plain)
+        placed = paper_analog_cores(with_positions=True)
+        assert all(c.position is not None for c in placed)
+
+    def test_max_sample_freqs(self):
+        assert core_a().max_sample_freq_hz == pytest.approx(15e6)
+        assert core_c().max_sample_freq_hz == pytest.approx(2.46e6)
+        assert core_d().max_sample_freq_hz == pytest.approx(78e6)
+        assert core_e().max_sample_freq_hz == pytest.approx(69e6)

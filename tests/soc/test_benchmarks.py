@@ -1,0 +1,84 @@
+"""Tests for the synthesized benchmark SOCs."""
+
+import pytest
+
+from repro.soc.benchmarks import (
+    DEFAULT_SEED,
+    mini_digital_soc,
+    mini_mixed_signal_soc,
+    p93791m,
+    synthetic_p93791,
+)
+
+
+class TestSyntheticP93791:
+    def test_core_count(self, digital_soc):
+        assert digital_soc.n_digital == 32
+        assert digital_soc.n_analog == 0
+
+    def test_deterministic(self):
+        assert synthetic_p93791() == synthetic_p93791()
+
+    def test_seed_changes_soc(self):
+        assert synthetic_p93791(seed=1) != synthetic_p93791(DEFAULT_SEED)
+
+    def test_has_scan_heavy_giants(self, digital_soc):
+        flops = sorted(
+            (c.scan_flops for c in digital_soc.digital_cores), reverse=True
+        )
+        assert flops[0] > 10_000
+        assert flops[3] > 5_000
+
+    def test_has_small_cores(self, digital_soc):
+        assert min(c.scan_flops for c in digital_soc.digital_cores) < 500
+
+    def test_names_unique_and_stable(self, digital_soc):
+        names = [c.name for c in digital_soc.digital_cores]
+        assert names == [f"d{i:02d}" for i in range(1, 33)]
+
+    def test_volume_in_calibrated_regime(self, digital_soc):
+        volume = sum(c.test_data_volume for c in digital_soc.digital_cores)
+        # calibrated so W=64 digital-only packing lands near the paper's
+        # analog-bottleneck regime (see DESIGN.md)
+        assert 4e7 < volume < 9e7
+
+
+class TestP93791m:
+    def test_adds_five_analog_cores(self, benchmark_soc):
+        assert benchmark_soc.n_analog == 5
+        assert benchmark_soc.n_digital == 32
+        assert benchmark_soc.name == "p93791m"
+
+    def test_analog_total_is_exact_table2_sum(self, benchmark_soc):
+        assert benchmark_soc.total_analog_cycles == 636_113
+
+    def test_positions_flag(self):
+        soc = p93791m(with_positions=True)
+        assert all(c.position is not None for c in soc.analog_cores)
+
+    def test_digital_part_matches_standalone(self, benchmark_soc):
+        assert (
+            benchmark_soc.digital_cores
+            == synthetic_p93791().digital_cores
+        )
+
+
+class TestMiniSocs:
+    def test_mini_digital(self):
+        soc = mini_digital_soc()
+        assert soc.n_digital == 4
+        assert soc.digital_core("m3").scan_chains == ()
+
+    def test_mini_mixed_signal(self):
+        soc = mini_mixed_signal_soc()
+        assert soc.n_analog == 2
+        x = soc.analog_core("X")
+        y = soc.analog_core("Y")
+        assert x.resolution_bits > y.resolution_bits
+        assert y.max_sample_freq_hz > x.max_sample_freq_hz
+
+    def test_mini_socs_valid_for_planning(self):
+        soc = mini_mixed_signal_soc()
+        assert soc.total_analog_cycles == pytest.approx(
+            sum(c.total_cycles for c in soc.analog_cores)
+        )

@@ -1,0 +1,169 @@
+"""Tests for the ITC'02-style .soc parser and writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.benchmarks import mini_mixed_signal_soc, p93791m
+from repro.soc.itc02 import SocFormatError, dump, dumps, load, loads
+from repro.soc.model import AnalogCore, AnalogTest, DigitalCore, Soc
+
+MINIMAL = """
+SocName tiny
+TotalModules 1
+Module 1 'only'
+  Inputs 2
+  Outputs 3
+  Bidirs 0
+  ScanChains 2
+  ScanChainLengths 10 20
+  Patterns 7
+"""
+
+ANALOG = """
+SocName a
+TotalModules 1
+AnalogModule X 'filter'
+  Resolution 8
+  Test g BandLow 1e3 BandHigh 2e3 SampleFreq 1e6 Cycles 500 TamWidth 2
+"""
+
+
+class TestParsing:
+    def test_minimal_digital(self):
+        soc = loads(MINIMAL)
+        assert soc.name == "tiny"
+        core = soc.digital_core("only")
+        assert core.inputs == 2
+        assert core.scan_chains == (10, 20)
+        assert core.patterns == 7
+
+    def test_minimal_analog(self):
+        soc = loads(ANALOG)
+        core = soc.analog_core("X")
+        assert core.description == "filter"
+        assert core.resolution_bits == 8
+        assert core.tests[0].cycles == 500
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header comment\n\n" + MINIMAL + "\n# trailing\n"
+        assert loads(text).name == "tiny"
+
+    def test_scan_chain_continuation_lines(self):
+        text = """
+SocName s
+TotalModules 1
+Module 1 'c'
+  Inputs 1
+  Outputs 1
+  Bidirs 0
+  ScanChains 4
+  ScanChainLengths 1 2
+    3 4
+  Patterns 1
+"""
+        assert loads(text).digital_core("c").scan_chains == (1, 2, 3, 4)
+
+    def test_wrong_total_modules(self):
+        text = MINIMAL.replace("TotalModules 1", "TotalModules 2")
+        with pytest.raises(SocFormatError, match="TotalModules"):
+            loads(text)
+
+    def test_wrong_scan_chain_count(self):
+        text = MINIMAL.replace("ScanChains 2", "ScanChains 3")
+        with pytest.raises(SocFormatError, match="scan chains"):
+            loads(text)
+
+    def test_missing_field(self):
+        text = MINIMAL.replace("  Patterns 7\n", "")
+        with pytest.raises(SocFormatError, match="Patterns"):
+            loads(text)
+
+    def test_missing_resolution(self):
+        text = ANALOG.replace("  Resolution 8\n", "")
+        with pytest.raises(SocFormatError, match="Resolution"):
+            loads(text)
+
+    def test_missing_test_field(self):
+        text = ANALOG.replace(" TamWidth 2", "")
+        with pytest.raises(SocFormatError, match="TamWidth"):
+            loads(text)
+
+    def test_unknown_keyword(self):
+        text = MINIMAL + "Bogus 3\n"
+        with pytest.raises(SocFormatError):
+            loads(text)
+
+    def test_analog_without_tests(self):
+        text = """
+SocName a
+TotalModules 1
+AnalogModule X 'f'
+  Resolution 8
+"""
+        with pytest.raises(SocFormatError, match="no tests"):
+            loads(text)
+
+    def test_error_reports_line_number(self):
+        text = MINIMAL + "Bogus 3\n"
+        with pytest.raises(SocFormatError, match="line"):
+            loads(text)
+
+    def test_missing_soc_name(self):
+        with pytest.raises(SocFormatError, match="SocName"):
+            loads("TotalModules 0\n")
+
+    def test_position_parsing(self):
+        text = ANALOG.replace(
+            "  Resolution 8", "  Resolution 8\n  Position 1.5 2.5"
+        )
+        assert loads(text).analog_core("X").position == (1.5, 2.5)
+
+
+class TestRoundTrip:
+    def test_mini_mixed_signal(self):
+        soc = mini_mixed_signal_soc()
+        assert loads(dumps(soc)) == soc
+
+    def test_benchmark_round_trip(self, benchmark_soc):
+        assert loads(dumps(benchmark_soc)) == benchmark_soc
+
+    def test_file_round_trip(self, tmp_path):
+        soc = mini_mixed_signal_soc()
+        path = tmp_path / "soc.soc"
+        dump(soc, path)
+        assert load(path) == soc
+
+    @given(
+        n_chains=st.integers(min_value=0, max_value=40),
+        patterns=st.integers(min_value=1, max_value=10**6),
+        inputs=st.integers(min_value=0, max_value=500),
+    )
+    def test_digital_fields_survive(self, n_chains, patterns, inputs):
+        core = DigitalCore(
+            name="c",
+            inputs=inputs,
+            outputs=1,
+            bidirs=0,
+            scan_chains=tuple(range(1, n_chains + 1)),
+            patterns=patterns,
+        )
+        soc = Soc("s", digital_cores=(core,))
+        assert loads(dumps(soc)) == soc
+
+    @given(
+        cycles=st.integers(min_value=1, max_value=10**7),
+        width=st.integers(min_value=1, max_value=32),
+        resolution=st.integers(min_value=1, max_value=16),
+    )
+    def test_analog_fields_survive(self, cycles, width, resolution):
+        core = AnalogCore(
+            name="X",
+            description="d",
+            tests=(
+                AnalogTest("t", 1e3, 2e3, 1e6, cycles, width),
+            ),
+            resolution_bits=resolution,
+        )
+        soc = Soc("s", analog_cores=(core,))
+        assert loads(dumps(soc)) == soc

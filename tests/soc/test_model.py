@@ -1,0 +1,292 @@
+"""Unit tests for the SOC data model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.model import (
+    DC,
+    AnalogCore,
+    AnalogTest,
+    DigitalCore,
+    Soc,
+    distance,
+)
+
+
+def make_test(**overrides):
+    defaults = dict(
+        name="t",
+        band_low_hz=1e3,
+        band_high_hz=2e3,
+        sample_freq_hz=1e6,
+        cycles=100,
+        tam_width=2,
+    )
+    defaults.update(overrides)
+    return AnalogTest(**defaults)
+
+
+def make_core(name="X", tests=None, resolution_bits=8, position=None):
+    return AnalogCore(
+        name=name,
+        description="test core",
+        tests=tests or (make_test(),),
+        resolution_bits=resolution_bits,
+        position=position,
+    )
+
+
+class TestAnalogTest:
+    def test_valid_construction(self):
+        t = make_test()
+        assert t.name == "t"
+        assert t.cycles == 100
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            make_test(name="")
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(ValueError, match="band_low_hz"):
+            make_test(band_low_hz=-1.0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError, match="band_high_hz"):
+            make_test(band_low_hz=5e3, band_high_hz=1e3)
+
+    def test_rejects_zero_sample_freq(self):
+        with pytest.raises(ValueError, match="sample_freq_hz"):
+            make_test(sample_freq_hz=0)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError, match="cycles"):
+            make_test(cycles=0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError, match="tam_width"):
+            make_test(tam_width=0)
+
+    def test_rejects_bad_resolution_override(self):
+        with pytest.raises(ValueError, match="resolution_bits"):
+            make_test(resolution_bits=0)
+
+    def test_dc_test(self):
+        t = make_test(band_low_hz=DC, band_high_hz=DC, sample_freq_hz=1e4)
+        assert t.is_dc
+
+    def test_non_dc_test(self):
+        assert not make_test().is_dc
+
+    def test_undersampled_detection(self):
+        t = make_test(
+            band_low_hz=26e6, band_high_hz=26e6, sample_freq_hz=26e6
+        )
+        assert t.is_undersampled
+
+    def test_nyquist_sampled_is_not_undersampled(self):
+        t = make_test(band_high_hz=2e3, sample_freq_hz=1e6)
+        assert not t.is_undersampled
+
+    def test_duration_seconds(self):
+        t = make_test(cycles=1000, sample_freq_hz=1e6)
+        assert t.duration_seconds == pytest.approx(1e-3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_test().cycles = 5
+
+    @given(
+        cycles=st.integers(min_value=1, max_value=10**9),
+        fs=st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_duration_positive(self, cycles, fs):
+        t = make_test(
+            cycles=cycles, sample_freq_hz=fs,
+            band_low_hz=0.1, band_high_hz=0.4,
+        )
+        assert t.duration_seconds > 0
+
+
+class TestAnalogCore:
+    def test_total_cycles_sums_tests(self):
+        tests = (
+            make_test(name="a", cycles=100),
+            make_test(name="b", cycles=250),
+        )
+        assert make_core(tests=tests).total_cycles == 350
+
+    def test_max_sample_freq(self):
+        tests = (
+            make_test(name="a", sample_freq_hz=1e6),
+            make_test(name="b", sample_freq_hz=5e6),
+        )
+        assert make_core(tests=tests).max_sample_freq_hz == 5e6
+
+    def test_max_tam_width(self):
+        tests = (
+            make_test(name="a", tam_width=1),
+            make_test(name="b", tam_width=7),
+        )
+        assert make_core(tests=tests).max_tam_width == 7
+
+    def test_rejects_no_tests(self):
+        with pytest.raises(ValueError, match="no tests"):
+            AnalogCore("X", "d", tests=(), resolution_bits=8)
+
+    def test_rejects_duplicate_test_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_core(tests=(make_test(name="a"), make_test(name="a")))
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError, match="resolution_bits"):
+            make_core(resolution_bits=0)
+
+    def test_test_lookup(self):
+        core = make_core(tests=(make_test(name="gain"),))
+        assert core.test("gain").name == "gain"
+
+    def test_test_lookup_missing(self):
+        with pytest.raises(KeyError, match="no test"):
+            make_core().test("absent")
+
+    def test_test_resolution_default(self):
+        core = make_core(resolution_bits=10)
+        assert core.test_resolution(core.tests[0]) == 10
+
+    def test_test_resolution_override(self):
+        t = make_test(resolution_bits=3)
+        core = make_core(tests=(t,), resolution_bits=10)
+        assert core.test_resolution(t) == 3
+
+    def test_identical_tests_detection(self):
+        a = make_core(name="A")
+        b = make_core(name="B")
+        assert a.has_identical_tests(b)
+
+    def test_different_resolution_not_identical(self):
+        a = make_core(name="A", resolution_bits=8)
+        b = make_core(name="B", resolution_bits=10)
+        assert not a.has_identical_tests(b)
+
+    def test_different_tests_not_identical(self):
+        a = make_core(name="A", tests=(make_test(cycles=10),))
+        b = make_core(name="B", tests=(make_test(cycles=20),))
+        assert not a.has_identical_tests(b)
+
+
+class TestDigitalCore:
+    def test_scan_flops(self):
+        core = DigitalCore("d", 4, 4, 0, (10, 20, 30), 5)
+        assert core.scan_flops == 60
+
+    def test_scan_in_out_counts(self):
+        core = DigitalCore("d", inputs=4, outputs=6, bidirs=2,
+                           scan_chains=(10,), patterns=5)
+        assert core.scan_inputs == 4 + 2 + 10
+        assert core.scan_outputs == 6 + 2 + 10
+
+    def test_test_data_volume(self):
+        core = DigitalCore("d", 1, 1, 0, (10,), patterns=3)
+        assert core.test_data_volume == 3 * (11 + 11)
+
+    def test_max_useful_width_scan(self):
+        core = DigitalCore("d", inputs=5, outputs=3, bidirs=1,
+                           scan_chains=(10, 10), patterns=2)
+        assert core.max_useful_width == 2 + 6
+
+    def test_max_useful_width_combinational(self):
+        core = DigitalCore("d", inputs=5, outputs=3, bidirs=0,
+                           scan_chains=(), patterns=2)
+        assert core.max_useful_width == 5
+
+    def test_rejects_zero_patterns(self):
+        with pytest.raises(ValueError, match="patterns"):
+            DigitalCore("d", 1, 1, 0, (), 0)
+
+    def test_rejects_negative_terminals(self):
+        with pytest.raises(ValueError, match="inputs"):
+            DigitalCore("d", -1, 1, 0, (), 1)
+
+    def test_rejects_zero_length_chain(self):
+        with pytest.raises(ValueError, match="scan chain"):
+            DigitalCore("d", 1, 1, 0, (10, 0), 1)
+
+    def test_rejects_empty_core(self):
+        with pytest.raises(ValueError, match="no terminals"):
+            DigitalCore("d", 0, 0, 0, (), 1)
+
+    @given(
+        chains=st.lists(
+            st.integers(min_value=1, max_value=500), max_size=8
+        ),
+        patterns=st.integers(min_value=1, max_value=1000),
+    )
+    def test_volume_matches_definition(self, chains, patterns):
+        core = DigitalCore("d", 3, 2, 1, tuple(chains), patterns)
+        expected = patterns * (core.scan_inputs + core.scan_outputs)
+        assert core.test_data_volume == expected
+
+
+class TestSoc:
+    def test_counts(self, mini_ms_soc):
+        assert mini_ms_soc.n_digital == 4
+        assert mini_ms_soc.n_analog == 2
+        assert mini_ms_soc.is_mixed_signal
+
+    def test_digital_only_not_mixed(self, mini_soc):
+        assert not mini_soc.is_mixed_signal
+
+    def test_total_analog_cycles(self, mini_ms_soc):
+        expected = sum(c.total_cycles for c in mini_ms_soc.analog_cores)
+        assert mini_ms_soc.total_analog_cycles == expected
+
+    def test_core_lookup(self, mini_ms_soc):
+        assert mini_ms_soc.digital_core("m1").name == "m1"
+        assert mini_ms_soc.analog_core("X").name == "X"
+
+    def test_missing_core_raises(self, mini_ms_soc):
+        with pytest.raises(KeyError):
+            mini_ms_soc.digital_core("nope")
+        with pytest.raises(KeyError):
+            mini_ms_soc.analog_core("nope")
+
+    def test_duplicate_names_rejected(self):
+        core = DigitalCore("dup", 1, 1, 0, (), 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            Soc("s", digital_cores=(core, core))
+
+    def test_with_analog_cores(self, mini_soc):
+        analog = (make_core(name="Z"),)
+        ms = mini_soc.with_analog_cores(analog)
+        assert ms.n_analog == 1
+        assert ms.digital_cores == mini_soc.digital_cores
+
+    def test_summary_mentions_cores(self, mini_ms_soc):
+        text = mini_ms_soc.summary()
+        assert "4 digital" in text
+        assert "2 analog" in text
+
+
+class TestDistance:
+    def test_euclidean(self):
+        a = make_core(name="A", position=(0.0, 0.0))
+        b = make_core(name="B", position=(3.0, 4.0))
+        assert distance(a, b) == pytest.approx(5.0)
+
+    def test_requires_positions(self):
+        a = make_core(name="A", position=(0.0, 0.0))
+        b = make_core(name="B")
+        with pytest.raises(ValueError, match="positions"):
+            distance(a, b)
+
+    @given(
+        x=st.floats(-100, 100), y=st.floats(-100, 100),
+    )
+    def test_distance_symmetric(self, x, y):
+        a = make_core(name="A", position=(0.0, 0.0))
+        b = make_core(name="B", position=(x, y))
+        assert distance(a, b) == pytest.approx(distance(b, a))
+        assert distance(a, b) == pytest.approx(math.hypot(x, y))

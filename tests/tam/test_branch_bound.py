@@ -1,0 +1,90 @@
+"""Tests for the exact branch-and-bound scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.branch_bound import optimal_makespan, optimal_schedule
+from repro.tam.lower_bound import makespan_lower_bound
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import InfeasibleError, pack
+
+
+def rigid(name, width, time, group=None):
+    return TamTask(name, (WidthOption(width, time),), group=group)
+
+
+class TestOptimalSchedule:
+    def test_empty(self):
+        assert optimal_schedule([], 4).makespan == 0
+
+    def test_single(self):
+        assert optimal_makespan([rigid("a", 2, 30)], 4) == 30
+
+    def test_two_parallel(self):
+        tasks = [rigid("a", 2, 30), rigid("b", 2, 30)]
+        assert optimal_makespan(tasks, 4) == 30
+
+    def test_knows_better_than_greedy_ordering(self):
+        # 3 tasks of widths 3,2,2 on width 4: optimum pairs the two 2s
+        tasks = [rigid("a", 3, 10), rigid("b", 2, 10), rigid("c", 2, 10)]
+        assert optimal_makespan(tasks, 4) == 20
+
+    def test_group_serialization_respected(self):
+        tasks = [
+            rigid("a", 1, 40, group="g"),
+            rigid("b", 1, 40, group="g"),
+        ]
+        assert optimal_makespan(tasks, 8) == 80
+
+    def test_mode_selection(self):
+        task = TamTask("a", (WidthOption(1, 100), WidthOption(4, 20)))
+        assert optimal_makespan([task], 4) == 20
+
+    def test_size_limit(self):
+        tasks = [rigid(f"t{i}", 1, 1) for i in range(10)]
+        with pytest.raises(ValueError, match="limited"):
+            optimal_schedule(tasks, 4, max_tasks=9)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            optimal_schedule([rigid("a", 9, 5)], 4)
+
+    def test_result_validates(self):
+        tasks = [
+            rigid("a", 2, 25),
+            rigid("b", 3, 10),
+            TamTask("c", (WidthOption(1, 40), WidthOption(2, 18))),
+        ]
+        schedule = optimal_schedule(tasks, 4)
+        schedule.validate()
+
+
+@st.composite
+def small_instances(draw):
+    n = draw(st.integers(2, 5))
+    tasks = []
+    for i in range(n):
+        w = draw(st.integers(1, 4))
+        t = draw(st.integers(5, 60))
+        options = [WidthOption(w, t)]
+        if draw(st.booleans()) and t > 2:
+            options.append(WidthOption(w + draw(st.integers(1, 3)), t // 2))
+        group = draw(st.sampled_from([None, "g"]))
+        tasks.append(TamTask(f"t{i}", tuple(options), group=group))
+    return tasks
+
+
+class TestOptimality:
+    @settings(max_examples=25, deadline=None)
+    @given(tasks=small_instances(), width=st.integers(4, 8))
+    def test_never_worse_than_greedy(self, tasks, width):
+        greedy = pack(tasks, width, shuffles=2, improvement_passes=1)
+        exact = optimal_makespan(tasks, width)
+        assert exact <= greedy.makespan
+
+    @settings(max_examples=25, deadline=None)
+    @given(tasks=small_instances(), width=st.integers(4, 8))
+    def test_respects_lower_bound(self, tasks, width):
+        exact = optimal_makespan(tasks, width)
+        assert exact >= makespan_lower_bound(tasks, width)

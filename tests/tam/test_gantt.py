@@ -1,0 +1,50 @@
+"""Tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.tam.gantt import render_gantt
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import pack
+from repro.tam.schedule import Schedule
+
+
+def rigid(name, width, time, group=None):
+    return TamTask(name, (WidthOption(width, time),), group=group)
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt(Schedule(width=4, items=()))
+
+    def test_contains_every_task(self):
+        schedule = pack(
+            [rigid("alpha", 1, 30), rigid("beta", 2, 40)], 4,
+            shuffles=0, improvement_passes=0,
+        )
+        text = render_gantt(schedule)
+        assert "alpha" in text
+        assert "beta" in text
+
+    def test_header_reports_makespan(self):
+        schedule = pack([rigid("a", 1, 30)], 4, shuffles=0)
+        assert "makespan 30" in render_gantt(schedule)
+
+    def test_group_label_shown(self):
+        schedule = pack(
+            [rigid("a", 1, 30, group="w:A")], 4, shuffles=0
+        )
+        assert "[w:A]" in render_gantt(schedule)
+
+    def test_rejects_narrow_canvas(self):
+        schedule = pack([rigid("a", 1, 30)], 4, shuffles=0)
+        with pytest.raises(ValueError, match="columns"):
+            render_gantt(schedule, columns=5)
+
+    def test_bar_lengths_scale(self):
+        schedule = pack(
+            [rigid("long", 1, 100), rigid("short", 1, 10)], 4,
+            shuffles=0, improvement_passes=0,
+        )
+        text = render_gantt(schedule, columns=50)
+        lines = {line.split()[0]: line for line in text.splitlines()[1:-1]}
+        assert lines["long"].count("=") > lines["short"].count("=")

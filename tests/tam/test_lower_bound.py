@@ -1,0 +1,90 @@
+"""Tests for makespan lower bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.lower_bound import (
+    critical_task_bound,
+    makespan_lower_bound,
+    serialization_bound,
+    volume_bound,
+)
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import pack
+
+
+def rigid(name, width, time, group=None):
+    return TamTask(name, (WidthOption(width, time),), group=group)
+
+
+class TestVolumeBound:
+    def test_simple(self):
+        tasks = [rigid("a", 2, 10), rigid("b", 2, 10)]
+        assert volume_bound(tasks, 4) == 10
+
+    def test_ceiling(self):
+        tasks = [rigid("a", 3, 10)]
+        assert volume_bound(tasks, 4) == math.ceil(30 / 4)
+
+    def test_uses_cheapest_option(self):
+        task = TamTask("a", (WidthOption(1, 100), WidthOption(4, 30)))
+        assert volume_bound([task], 4) == 25  # min(100, 120)/4
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            volume_bound([], 0)
+
+
+class TestCriticalAndSerialization:
+    def test_critical(self):
+        tasks = [rigid("a", 1, 500), rigid("b", 4, 10)]
+        assert critical_task_bound(tasks) == 500
+
+    def test_critical_empty(self):
+        assert critical_task_bound([]) == 0
+
+    def test_serialization_sums_groups(self):
+        tasks = [
+            rigid("a", 1, 100, group="g"),
+            rigid("b", 1, 200, group="g"),
+            rigid("c", 1, 250, group="h"),
+        ]
+        assert serialization_bound(tasks) == 300
+
+    def test_serialization_ignores_ungrouped(self):
+        tasks = [rigid("a", 1, 100), rigid("b", 1, 100)]
+        assert serialization_bound(tasks) == 0
+
+
+class TestCombinedBound:
+    def test_takes_max(self):
+        tasks = [
+            rigid("a", 1, 100, group="g"),
+            rigid("b", 1, 150, group="g"),
+        ]
+        assert makespan_lower_bound(tasks, 64) == 250
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.integers(1, 4),
+                st.integers(1, 100),
+                st.sampled_from([None, "g"]),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        width=st.integers(4, 12),
+    )
+    def test_bound_is_admissible(self, specs, width):
+        """No packed schedule ever beats the bound."""
+        tasks = [
+            rigid(f"t{i}", w, t, group=g)
+            for i, (w, t, g) in enumerate(specs)
+        ]
+        schedule = pack(tasks, width, shuffles=2, improvement_passes=1)
+        assert schedule.makespan >= makespan_lower_bound(tasks, width)

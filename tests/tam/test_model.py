@@ -1,0 +1,80 @@
+"""Tests for TAM task modelling."""
+
+import pytest
+
+from repro.tam.model import TamTask, WidthOption
+
+
+class TestWidthOption:
+    def test_area(self):
+        assert WidthOption(3, 100).area == 300
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            WidthOption(0, 10)
+
+    def test_rejects_bad_time(self):
+        with pytest.raises(ValueError, match="time"):
+            WidthOption(1, 0)
+
+
+class TestTamTask:
+    def test_rigid_task(self):
+        t = TamTask("a", (WidthOption(2, 100),))
+        assert t.is_rigid
+        assert t.min_width == 2
+        assert t.min_time == 100
+
+    def test_flexible_task(self):
+        t = TamTask("a", (WidthOption(1, 100), WidthOption(2, 60)))
+        assert not t.is_rigid
+        assert t.min_width == 1
+        assert t.min_time == 60
+
+    def test_min_area_over_staircase(self):
+        t = TamTask("a", (WidthOption(1, 100), WidthOption(4, 30)))
+        assert t.min_area == 100  # 1*100 < 4*30
+
+    def test_rejects_empty_options(self):
+        with pytest.raises(ValueError, match="options"):
+            TamTask("a", ())
+
+    def test_rejects_unsorted_widths(self):
+        with pytest.raises(ValueError, match="widths"):
+            TamTask("a", (WidthOption(2, 50), WidthOption(1, 100)))
+
+    def test_rejects_non_decreasing_times(self):
+        with pytest.raises(ValueError, match="times"):
+            TamTask("a", (WidthOption(1, 100), WidthOption(2, 100)))
+
+    def test_rejects_duplicate_widths(self):
+        with pytest.raises(ValueError, match="widths"):
+            TamTask("a", (WidthOption(1, 100), WidthOption(1, 50)))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            TamTask("", (WidthOption(1, 1),))
+
+    def test_options_within(self):
+        t = TamTask(
+            "a",
+            (WidthOption(1, 100), WidthOption(3, 60), WidthOption(6, 40)),
+        )
+        assert [o.width for o in t.options_within(3)] == [1, 3]
+        assert t.options_within(0) == ()
+
+    def test_best_within(self):
+        t = TamTask(
+            "a", (WidthOption(1, 100), WidthOption(3, 60))
+        )
+        assert t.best_within(2).width == 1
+        assert t.best_within(5).width == 3
+
+    def test_best_within_raises_when_too_narrow(self):
+        t = TamTask("a", (WidthOption(4, 10),))
+        with pytest.raises(ValueError, match="wires"):
+            t.best_within(3)
+
+    def test_group_label(self):
+        t = TamTask("a", (WidthOption(1, 1),), group="w:A+B")
+        assert t.group == "w:A+B"

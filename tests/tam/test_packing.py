@@ -1,0 +1,140 @@
+"""Tests for the greedy rectangle packer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.lower_bound import makespan_lower_bound
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import InfeasibleError, pack, pack_with_order
+
+QUICK = {"shuffles": 2, "improvement_passes": 1}
+
+
+def rigid(name, width, time, group=None):
+    return TamTask(name, (WidthOption(width, time),), group=group)
+
+
+class TestPackBasics:
+    def test_empty(self):
+        schedule = pack([], 4)
+        assert schedule.makespan == 0
+
+    def test_single_task(self):
+        schedule = pack([rigid("a", 2, 50)], 4, **QUICK)
+        assert schedule.makespan == 50
+
+    def test_parallel_when_possible(self):
+        tasks = [rigid("a", 2, 50), rigid("b", 2, 50)]
+        schedule = pack(tasks, 4, **QUICK)
+        assert schedule.makespan == 50
+
+    def test_serial_when_too_wide(self):
+        tasks = [rigid("a", 3, 50), rigid("b", 3, 50)]
+        schedule = pack(tasks, 4, **QUICK)
+        assert schedule.makespan == 100
+
+    def test_infeasible_width(self):
+        with pytest.raises(InfeasibleError, match="wires"):
+            pack([rigid("a", 5, 10)], 4, **QUICK)
+
+    def test_flexible_task_uses_wide_option(self):
+        task = TamTask("a", (WidthOption(1, 100), WidthOption(4, 25)))
+        schedule = pack([task], 4, **QUICK)
+        assert schedule.items[0].width == 4
+        assert schedule.makespan == 25
+
+    def test_flexible_task_narrows_under_pressure(self):
+        tasks = [
+            rigid("big", 3, 100),
+            TamTask("flex", (WidthOption(1, 90), WidthOption(4, 30))),
+        ]
+        schedule = pack(tasks, 4, **QUICK)
+        # narrow option runs alongside 'big'; wide option would wait
+        assert schedule.makespan == 100
+
+    def test_group_serialization(self):
+        tasks = [
+            rigid("a", 1, 50, group="g"),
+            rigid("b", 1, 50, group="g"),
+        ]
+        schedule = pack(tasks, 4, **QUICK)
+        assert schedule.makespan == 100
+
+    def test_ungrouped_tasks_overlap(self):
+        tasks = [rigid("a", 1, 50), rigid("b", 1, 50)]
+        assert pack(tasks, 4, **QUICK).makespan == 50
+
+    def test_deterministic(self):
+        tasks = [rigid(f"t{i}", 1 + i % 3, 10 + 7 * i) for i in range(8)]
+        s1 = pack(tasks, 6, **QUICK)
+        s2 = pack(tasks, 6, **QUICK)
+        assert [
+            (i.task.name, i.start, i.width) for i in s1.items
+        ] == [(i.task.name, i.start, i.width) for i in s2.items]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            pack([rigid("a", 1, 1)], 2, rules=("bogus",))
+
+
+class TestPackWithOrder:
+    def test_order_must_be_permutation(self):
+        a, b = rigid("a", 1, 10), rigid("b", 1, 10)
+        with pytest.raises(ValueError, match="permutation"):
+            pack_with_order([a, b], 4, [a])
+
+    def test_respects_explicit_order(self):
+        a, b = rigid("a", 4, 10), rigid("b", 4, 20)
+        schedule = pack_with_order([a, b], 4, [b, a])
+        assert schedule.item("b").start == 0
+        assert schedule.item("a").start == 20
+
+
+@st.composite
+def task_sets(draw):
+    n = draw(st.integers(1, 10))
+    tasks = []
+    for i in range(n):
+        w1 = draw(st.integers(1, 6))
+        t1 = draw(st.integers(1, 120))
+        options = [WidthOption(w1, t1)]
+        if draw(st.booleans()) and t1 > 1:
+            w2 = draw(st.integers(w1 + 1, 12))
+            t2 = draw(st.integers(1, t1 - 1))
+            options.append(WidthOption(w2, t2))
+        group = draw(
+            st.sampled_from([None, "g1", "g2"])
+        )
+        tasks.append(TamTask(f"t{i}", tuple(options), group=group))
+    return tasks
+
+
+class TestPackProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_sets(), width=st.integers(6, 16))
+    def test_schedules_validate(self, tasks, width):
+        schedule = pack(tasks, width, **QUICK)
+        schedule.validate()  # raises on violation
+        assert len(schedule.items) == len(tasks)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_sets(), width=st.integers(6, 16))
+    def test_never_below_lower_bound(self, tasks, width):
+        schedule = pack(tasks, width, **QUICK)
+        assert schedule.makespan >= makespan_lower_bound(tasks, width)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_sets())
+    def test_wider_tam_never_hurts(self, tasks):
+        narrow = pack(tasks, 12, **QUICK).makespan
+        wide = pack(tasks, 24, **QUICK).makespan
+        # greedy noise is possible but bounded: allow 10% slack
+        assert wide <= narrow * 1.10
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_sets(), width=st.integers(6, 16))
+    def test_more_effort_never_worse(self, tasks, width):
+        quick = pack(tasks, width, shuffles=0, improvement_passes=0)
+        hard = pack(tasks, width, shuffles=6, improvement_passes=2)
+        assert hard.makespan <= quick.makespan

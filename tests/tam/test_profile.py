@@ -1,0 +1,141 @@
+"""Tests for the TAM capacity profile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.profile import CapacityProfile
+
+
+class TestBasics:
+    def test_empty_profile(self):
+        p = CapacityProfile(8)
+        assert p.usage_at(0) == 0
+        assert p.free_at(100) == 8
+        assert p.makespan() == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CapacityProfile(0)
+
+    def test_add_and_query(self):
+        p = CapacityProfile(8)
+        p.add(10, 20, 3)
+        assert p.usage_at(9) == 0
+        assert p.usage_at(10) == 3
+        assert p.usage_at(19) == 3
+        assert p.usage_at(20) == 0
+
+    def test_overlapping_adds_stack(self):
+        p = CapacityProfile(8)
+        p.add(0, 10, 3)
+        p.add(5, 15, 4)
+        assert p.usage_at(7) == 7
+        assert p.usage_at(12) == 4
+
+    def test_add_rejects_overflow(self):
+        p = CapacityProfile(4)
+        p.add(0, 10, 3)
+        with pytest.raises(ValueError, match="exceeds"):
+            p.add(5, 8, 2)
+
+    def test_add_rejects_zero_width(self):
+        p = CapacityProfile(4)
+        with pytest.raises(ValueError, match="width"):
+            p.add(0, 1, 0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            CapacityProfile(4).usage_at(-1)
+
+    def test_min_free_empty_interval(self):
+        with pytest.raises(ValueError, match="empty"):
+            CapacityProfile(4).min_free(5, 5)
+
+    def test_makespan_tracks_last_rectangle(self):
+        p = CapacityProfile(4)
+        p.add(0, 10, 1)
+        p.add(20, 35, 1)
+        assert p.makespan() == 35
+
+
+class TestMinFree:
+    def test_min_over_varying_profile(self):
+        p = CapacityProfile(10)
+        p.add(0, 10, 2)
+        p.add(5, 15, 5)
+        assert p.min_free(0, 5) == 8
+        assert p.min_free(0, 15) == 3
+        assert p.min_free(10, 20) == 5
+
+    def test_fits(self):
+        p = CapacityProfile(10)
+        p.add(0, 10, 8)
+        assert p.fits(0, 10, 2)
+        assert not p.fits(0, 10, 3)
+        assert p.fits(10, 20, 10)
+
+
+class TestEarliestFit:
+    def test_immediate_when_empty(self):
+        p = CapacityProfile(8)
+        assert p.earliest_fit(0, 10, 8) == 0
+
+    def test_waits_for_release(self):
+        p = CapacityProfile(8)
+        p.add(0, 50, 6)
+        assert p.earliest_fit(0, 10, 4) == 50
+
+    def test_finds_gap(self):
+        p = CapacityProfile(8)
+        p.add(0, 10, 6)
+        p.add(30, 40, 6)
+        assert p.earliest_fit(0, 20, 4) == 10
+
+    def test_gap_too_short_is_skipped(self):
+        p = CapacityProfile(8)
+        p.add(0, 10, 6)
+        p.add(15, 40, 6)
+        # 5-cycle gap at t=10 cannot host a 10-cycle rectangle of width 4
+        assert p.earliest_fit(0, 10, 4) == 40
+
+    def test_respects_not_before(self):
+        p = CapacityProfile(8)
+        assert p.earliest_fit(25, 10, 3) == 25
+
+    def test_rejects_overwide(self):
+        p = CapacityProfile(8)
+        with pytest.raises(ValueError, match="exceeds"):
+            p.earliest_fit(0, 10, 9)
+
+    @settings(max_examples=60)
+    @given(
+        rects=st.lists(
+            st.tuples(
+                st.integers(0, 100),   # start
+                st.integers(1, 40),    # duration
+                st.integers(1, 4),     # width
+            ),
+            max_size=12,
+        ),
+        query=st.tuples(
+            st.integers(0, 150), st.integers(1, 30), st.integers(1, 8)
+        ),
+    )
+    def test_earliest_fit_is_sound_and_minimal(self, rects, query):
+        """The found slot fits, and no earlier slot at a breakpoint fits."""
+        p = CapacityProfile(8)
+        for start, duration, width in rects:
+            if p.min_free(start, start + duration) >= width:
+                p.add(start, start + duration, width)
+        not_before, duration, width = query
+        found = p.earliest_fit(not_before, duration, width)
+        assert found >= not_before
+        assert p.fits(found, found + duration, width)
+        # minimality over candidate start points (not_before + breakpoints)
+        candidates = [not_before] + [
+            t for t, _ in p.breakpoints() if not_before <= t < found
+        ]
+        for candidate in candidates:
+            if candidate < found:
+                assert not p.fits(candidate, candidate + duration, width)

@@ -1,0 +1,103 @@
+"""Tests for schedule representation and validation."""
+
+import pytest
+
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.schedule import Schedule, ScheduledTest, ScheduleError
+
+
+def item(name, start, width, time, group=None):
+    task = TamTask(name, (WidthOption(width, time),), group=group)
+    return ScheduledTest(task=task, start=start, option=task.options[0])
+
+
+class TestScheduledTest:
+    def test_finish(self):
+        it = item("a", 10, 2, 30)
+        assert it.finish == 40
+        assert it.width == 2
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start"):
+            item("a", -1, 1, 10)
+
+    def test_rejects_foreign_option(self):
+        t1 = TamTask("a", (WidthOption(1, 10),))
+        with pytest.raises(ValueError, match="operating point"):
+            ScheduledTest(task=t1, start=0, option=WidthOption(2, 5))
+
+
+class TestSchedule:
+    def test_makespan(self):
+        s = Schedule(width=4, items=(item("a", 0, 2, 30), item("b", 10, 2, 30)))
+        assert s.makespan == 40
+
+    def test_empty_schedule(self):
+        s = Schedule(width=4, items=())
+        assert s.makespan == 0
+        assert s.utilization == 0.0
+
+    def test_total_area_and_utilization(self):
+        s = Schedule(width=4, items=(item("a", 0, 4, 10),))
+        assert s.total_area == 40
+        assert s.utilization == 1.0
+
+    def test_item_lookup(self):
+        s = Schedule(width=4, items=(item("a", 0, 1, 5),))
+        assert s.item("a").task.name == "a"
+        with pytest.raises(KeyError):
+            s.item("b")
+
+    def test_validate_accepts_feasible(self):
+        s = Schedule(
+            width=4,
+            items=(item("a", 0, 2, 30), item("b", 0, 2, 30)),
+        )
+        s.validate()
+
+    def test_validate_rejects_capacity_overflow(self):
+        s = Schedule(
+            width=3,
+            items=(item("a", 0, 2, 30), item("b", 0, 2, 30)),
+        )
+        with pytest.raises(ScheduleError, match="overflows"):
+            s.validate()
+
+    def test_validate_rejects_group_overlap(self):
+        s = Schedule(
+            width=8,
+            items=(
+                item("a", 0, 1, 30, group="g"),
+                item("b", 29, 1, 30, group="g"),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="serialization"):
+            s.validate()
+
+    def test_validate_accepts_back_to_back_group(self):
+        s = Schedule(
+            width=8,
+            items=(
+                item("a", 0, 1, 30, group="g"),
+                item("b", 30, 1, 30, group="g"),
+            ),
+        )
+        s.validate()
+
+    def test_validate_rejects_duplicate_names(self):
+        s = Schedule(
+            width=8, items=(item("a", 0, 1, 5), item("a", 10, 1, 5))
+        )
+        with pytest.raises(ScheduleError, match="duplicate"):
+            s.validate()
+
+    def test_group_spans(self):
+        s = Schedule(
+            width=8,
+            items=(
+                item("a", 5, 1, 10, group="g"),
+                item("b", 20, 1, 10, group="g"),
+                item("c", 0, 1, 3),
+            ),
+        )
+        assert s.group_spans() == {"g": (5, 30)}

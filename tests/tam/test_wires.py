@@ -1,0 +1,112 @@
+"""Tests for physical TAM wire assignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import pack
+from repro.tam.wires import _compact_ranges, assign_wires, render_wire_map
+
+
+def rigid(name, width, time, group=None):
+    return TamTask(name, (WidthOption(width, time),), group=group)
+
+
+def overlapping(items):
+    """Pairs of schedule items whose time intervals overlap."""
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if a.start < b.finish and b.start < a.finish:
+                yield a, b
+
+
+class TestAssignWires:
+    def test_counts_match_widths(self):
+        schedule = pack(
+            [rigid("a", 2, 10), rigid("b", 3, 20)], 6, shuffles=0
+        )
+        assignment = assign_wires(schedule)
+        assert len(assignment["a"]) == 2
+        assert len(assignment["b"]) == 3
+
+    def test_concurrent_tasks_get_disjoint_wires(self):
+        tasks = [rigid(f"t{i}", 2, 50) for i in range(3)]
+        schedule = pack(tasks, 6, shuffles=0)
+        assignment = assign_wires(schedule)
+        for a, b in overlapping(schedule.items):
+            assert not set(assignment[a.task.name]) & set(
+                assignment[b.task.name]
+            )
+
+    def test_wires_within_tam(self):
+        schedule = pack(
+            [rigid("a", 4, 10), rigid("b", 4, 10)], 4, shuffles=0
+        )
+        assignment = assign_wires(schedule)
+        for wires in assignment.values():
+            assert all(0 <= w < 4 for w in wires)
+
+    def test_wires_reused_after_release(self):
+        schedule = pack(
+            [rigid("a", 4, 10), rigid("b", 4, 10)], 4, shuffles=0
+        )
+        assignment = assign_wires(schedule)
+        # serial on a width-4 TAM: both must use all wires
+        assert assignment["a"] == assignment["b"] == (0, 1, 2, 3)
+
+    def test_empty_schedule(self):
+        from repro.tam.schedule import Schedule
+
+        assert assign_wires(Schedule(width=4, items=())) == {}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.integers(1, 4),
+                st.integers(1, 60),
+                st.sampled_from([None, "g"]),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        width=st.integers(4, 10),
+    )
+    def test_every_feasible_schedule_is_wirable(self, specs, width):
+        tasks = [
+            rigid(f"t{i}", w, t, group=g)
+            for i, (w, t, g) in enumerate(specs)
+        ]
+        schedule = pack(tasks, width, shuffles=0, improvement_passes=0)
+        assignment = assign_wires(schedule)
+        assert set(assignment) == {t.name for t in tasks}
+        for a, b in overlapping(schedule.items):
+            assert not set(assignment[a.task.name]) & set(
+                assignment[b.task.name]
+            )
+
+    def test_benchmark_schedule_wirable(self, benchmark_soc):
+        from repro.tam.builder import soc_tasks
+
+        tasks = soc_tasks(benchmark_soc, 32)
+        schedule = pack(tasks, 32, shuffles=0, improvement_passes=0)
+        assignment = assign_wires(schedule)
+        assert len(assignment) == len(tasks)
+
+
+class TestRendering:
+    def test_wire_map_lists_tasks(self):
+        schedule = pack(
+            [rigid("alpha", 2, 10), rigid("beta", 1, 10)], 4, shuffles=0
+        )
+        text = render_wire_map(schedule)
+        assert "alpha" in text
+        assert "beta" in text
+        assert "wires" in text
+
+    def test_compact_ranges(self):
+        assert _compact_ranges((0, 1, 2, 5)) == "0-2,5"
+        assert _compact_ranges((3,)) == "3"
+        assert _compact_ranges((0, 2, 4)) == "0,2,4"
+        assert _compact_ranges(()) == "-"

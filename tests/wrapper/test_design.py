@@ -1,0 +1,134 @@
+"""Tests for the digital wrapper design (Design_wrapper)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.model import DigitalCore
+from repro.wrapper.design import (
+    design_wrapper,
+    partition_scan_chains,
+    scan_lengths,
+    test_time as wtest_time,
+)
+
+
+def core(chains=(100, 80, 60), inputs=10, outputs=8, bidirs=2, patterns=50):
+    return DigitalCore(
+        name="c",
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_chains=tuple(chains),
+        patterns=patterns,
+    )
+
+
+class TestPartitionScanChains:
+    def test_single_bin_gets_everything(self):
+        bins = partition_scan_chains((5, 3, 8), 1)
+        assert sorted(bins[0], reverse=True) == [8, 5, 3]
+
+    def test_one_chain_per_bin(self):
+        bins = partition_scan_chains((5, 3, 8), 3)
+        assert sorted(sum(b) for b in bins) == [3, 5, 8]
+
+    def test_balances_loads(self):
+        bins = partition_scan_chains((10, 10, 10, 10), 2)
+        assert [sum(b) for b in bins] == [20, 20]
+
+    def test_empty_chains(self):
+        bins = partition_scan_chains((), 3)
+        assert bins == [[], [], []]
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError, match="bins"):
+            partition_scan_chains((1,), 0)
+
+    @given(
+        chains=st.lists(st.integers(1, 300), min_size=1, max_size=20),
+        bins=st.integers(1, 10),
+    )
+    def test_partition_preserves_chains(self, chains, bins):
+        result = partition_scan_chains(tuple(chains), bins)
+        assert sorted(x for b in result for x in b) == sorted(chains)
+
+    @given(
+        chains=st.lists(st.integers(1, 300), min_size=1, max_size=20),
+        bins=st.integers(1, 10),
+    )
+    def test_bfd_within_two_approx(self, chains, bins):
+        """LPT is a 4/3-approximation; assert the safe 2x bound."""
+        result = partition_scan_chains(tuple(chains), bins)
+        longest = max(sum(b) for b in result)
+        lower = max(max(chains), sum(chains) / bins)
+        assert longest <= 2 * lower
+
+
+class TestDesignWrapper:
+    def test_width_capped_at_useful(self):
+        c = core(chains=(10, 10), inputs=1, outputs=1, bidirs=0)
+        design = design_wrapper(c, 100)
+        assert design.width == c.max_useful_width
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError, match="width"):
+            design_wrapper(core(), 0)
+
+    def test_all_scan_cells_accounted(self):
+        c = core()
+        design = design_wrapper(c, 3)
+        total_scan = sum(
+            sum(chain.scan_segments) for chain in design.chains
+        )
+        assert total_scan == c.scan_flops
+
+    def test_all_io_cells_accounted(self):
+        c = core()
+        design = design_wrapper(c, 3)
+        assert sum(ch.input_cells for ch in design.chains) == (
+            c.inputs + c.bidirs
+        )
+        assert sum(ch.output_cells for ch in design.chains) == (
+            c.outputs + c.bidirs
+        )
+
+    def test_test_time_formula(self):
+        c = core(patterns=10)
+        design = design_wrapper(c, 2)
+        s_i, s_o = design.scan_in_length, design.scan_out_length
+        assert design.test_time == (1 + max(s_i, s_o)) * 10 + min(s_i, s_o)
+
+    def test_combinational_core(self):
+        c = core(chains=(), inputs=6, outputs=4, bidirs=0, patterns=20)
+        t1 = wtest_time(c, 1)
+        t6 = wtest_time(c, 6)
+        assert t6 < t1
+
+    def test_scan_lengths_helper(self):
+        s_i, s_o = scan_lengths(core(), 2)
+        assert s_i > 0 and s_o > 0
+
+    @given(width=st.integers(1, 30))
+    def test_time_positive(self, width):
+        assert wtest_time(core(), width) > 0
+
+    @given(
+        patterns=st.integers(1, 500),
+        width=st.integers(1, 12),
+    )
+    def test_time_scales_with_patterns(self, patterns, width):
+        slow = core(patterns=patterns)
+        fast = core(patterns=patterns + 1)
+        assert wtest_time(fast, width) > wtest_time(slow, width)
+
+    def test_monotone_nonincreasing_in_width(self):
+        c = core(chains=(100, 90, 80, 70, 60), inputs=20, outputs=20)
+        times = [wtest_time(c, w) for w in range(1, 16)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_width_one_time_matches_serial(self):
+        c = core(chains=(50, 30), inputs=4, outputs=4, bidirs=0, patterns=5)
+        s_i = 80 + 4
+        s_o = 80 + 4
+        assert wtest_time(c, 1) == (1 + max(s_i, s_o)) * 5 + min(s_i, s_o)

@@ -1,0 +1,58 @@
+"""Direct tests of the Design_wrapper I/O-cell water-filling step."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wrapper.design import _spread_cells
+
+
+class TestSpreadCells:
+    def test_zero_cells(self):
+        assert _spread_cells(0, [5, 3]) == [0, 0]
+
+    def test_single_chain_takes_all(self):
+        assert _spread_cells(7, [10]) == [7]
+
+    def test_fills_shortest_first(self):
+        cells = _spread_cells(2, [10, 3, 3])
+        assert cells[0] == 0
+        assert cells[1] + cells[2] == 2
+
+    def test_levels_out(self):
+        # loads 0 and 4; six cells: first 4 level chain 0 up, then split
+        cells = _spread_cells(6, [0, 4])
+        loads = [0 + cells[0], 4 + cells[1]]
+        assert abs(loads[0] - loads[1]) <= 1
+        assert sum(cells) == 6
+
+    def test_equal_loads_split_evenly(self):
+        cells = _spread_cells(9, [5, 5, 5])
+        assert sorted(cells) == [3, 3, 3]
+
+    @given(
+        total=st.integers(0, 500),
+        loads=st.lists(st.integers(0, 200), min_size=1, max_size=10),
+    )
+    def test_conservation(self, total, loads):
+        cells = _spread_cells(total, list(loads))
+        assert sum(cells) == total
+        assert all(c >= 0 for c in cells)
+
+    @given(
+        total=st.integers(1, 500),
+        loads=st.lists(st.integers(0, 200), min_size=2, max_size=10),
+    )
+    def test_balances_final_loads(self, total, loads):
+        """Water-filling keeps the max final load within one cell of any
+        exchange-improved assignment: no chain ends more than one cell
+        above another chain that received cells."""
+        cells = _spread_cells(total, list(loads))
+        final = [load + c for load, c in zip(loads, cells)]
+        received = [i for i, c in enumerate(cells) if c > 0]
+        for i in received:
+            assert final[i] <= min(final) + max(loads) + 1 or True
+        # tighter: any receiving chain is within 1 of the minimum final
+        # load (otherwise moving a cell would improve balance)
+        if received:
+            worst_receiver = max(final[i] for i in received)
+            assert worst_receiver <= min(final) + 1

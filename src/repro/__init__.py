@@ -25,7 +25,18 @@ The library covers the whole stack the paper builds on:
   enumeration, Eq. (1) area cost, Eq. (2)/(3) test cost, the
   ``Cost_Optimizer`` heuristic and its exhaustive baseline;
 * :mod:`repro.experiments` — one driver per paper table/figure
-  (Tables 1-4, Figures 4-5) plus ablations.
+  (Tables 1-4, Figures 4-5) plus ablations;
+* :mod:`repro.workloads` — scenario generation beyond the paper's
+  benchmark: seeded synthetic ITC'02-family digital SOCs (``d695`` /
+  ``g1023`` / ``p22810`` / ``p93791`` stand-ins and random families),
+  ADC/DAC/PLL analog-augmentation policies, and a registry of named
+  presets every driver can run against;
+* :mod:`repro.runner` — a batch evaluation engine: (workload x TAM
+  width x optimizer config) grids fanned across ``multiprocessing``
+  workers, with a content-hash keyed on-disk cache for Pareto
+  staircases and job results, streaming JSONL plus summary tables;
+* :mod:`repro.reporting` — monospace tables, ASCII plots, and JSONL
+  helpers the drivers and the sweep engine share.
 
 Quickstart::
 
@@ -33,6 +44,14 @@ Quickstart::
 
     plan = plan_test(width=32)
     print(plan.summary())
+
+Batch evaluation::
+
+    from repro.runner import expand_grid, run_sweep
+
+    sweep = run_sweep(expand_grid(["p93791m", "d695m"], [16, 24, 32]),
+                      workers=4, cache_dir=".repro_cache")
+    print(sweep.render())
 """
 
 from dataclasses import dataclass

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate every paper table and figure.
+"""Command-line interface: paper tables/figures, scenarios, and sweeps.
 
 Usage::
 
@@ -10,10 +10,18 @@ Usage::
     python -m repro fig5                # wrapped vs direct cut-off test
     python -m repro plan  [--width 32 --wt 0.5]
     python -m repro all                 # everything (slow)
+    python -m repro workloads           # list registered scenarios
+    python -m repro generate --seed 7   # emit a synthetic .soc file
+    python -m repro sweep --preset p93791m,d695m --widths 16,24,32 \\
+        --jobs 4                        # parallel cached batch sweep
 
-Each subcommand prints the corresponding table in the paper's layout;
-``plan`` runs the end-to-end flow on ``p93791m`` and prints the chosen
-plan plus its Gantt chart.
+Each table/figure subcommand prints the corresponding table in the
+paper's layout; the global ``--workload`` flag points the
+SOC-dependent ones (``table1``-``table4``, ``plan``, ``report``) at
+any registered scenario instead of the default ``p93791m`` (``fig4``
+and ``fig5`` model converters and signals, not SOCs, so the flag does
+not affect them).  ``sweep`` fans a (workload x width x weight) grid
+across worker processes with an on-disk result cache, streaming JSONL.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import argparse
 import sys
 import time
 
-from . import CostWeights, plan_test, render_gantt
+from . import CostWeights, plan_test, render_gantt, workloads
 from .experiments import (
     ExperimentContext,
     run_fig4,
@@ -34,6 +42,37 @@ from .experiments import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+class _CliError(Exception):
+    """Bad user input: reported as a one-line diagnostic, exit code 2.
+
+    Raised only at input-validation boundaries so genuine internal
+    failures keep their tracebacks.
+    """
+
+
+def _int_list(tokens: list[str]) -> tuple[int, ...]:
+    """Flatten ``["16,24", "32"]``-style width arguments to ints."""
+    values: list[int] = []
+    for token in tokens:
+        for part in token.split(","):
+            if part:
+                try:
+                    values.append(int(part))
+                except ValueError:
+                    raise _CliError(
+                        f"invalid integer {part!r} in {token!r}"
+                    ) from None
+    return tuple(values)
+
+
+def _str_list(tokens: list[str]) -> tuple[str, ...]:
+    """Flatten comma- and space-separated name arguments."""
+    values: list[str] = []
+    for token in tokens:
+        values.extend(part for part in token.split(",") if part)
+    return tuple(values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("full", "medium", "quick"),
         default="medium",
         help="rectangle-packer effort preset (default: medium)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="p93791m",
+        help="registered scenario for the SOC-dependent commands "
+             "(table1-4, plan, report; default: p93791m; see "
+             "'repro workloads')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="workload seed (default: the preset's own)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -102,11 +152,180 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("all", help="run every experiment (slow)")
+
+    sub.add_parser("workloads", help="list registered workload presets")
+
+    pg = sub.add_parser(
+        "generate", help="emit a scenario as an ITC'02-style .soc file"
+    )
+    pg.add_argument(
+        "--preset", default=None,
+        help="emit this registered workload; default: a fresh random "
+             "mixed-signal SOC",
+    )
+    pg.add_argument(
+        "--cores", type=int, default=24,
+        help="digital core count of the random SOC (default: 24)",
+    )
+    pg.add_argument("--adc", type=int, default=2,
+                    help="synthesized ADC cores (random SOC)")
+    pg.add_argument("--dac", type=int, default=2,
+                    help="synthesized DAC cores (random SOC)")
+    pg.add_argument("--pll", type=int, default=1,
+                    help="synthesized PLL cores (random SOC)")
+    pg.add_argument(
+        "--out", default="-",
+        help="output path ('-' = stdout, the default)",
+    )
+    # --seed is also accepted *after* the subcommand; SUPPRESS keeps a
+    # pre-subcommand global --seed intact when the local one is absent.
+    pg.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                    help="generation seed")
+
+    ps = sub.add_parser(
+        "sweep", help="batch-evaluate a workload x width x weight grid"
+    )
+    ps.add_argument(
+        "--preset", nargs="+", default=["p93791m"],
+        help="workload names (comma- or space-separated)",
+    )
+    ps.add_argument(
+        "--widths", nargs="+", default=["16,24,32"],
+        help="TAM widths (comma- or space-separated)",
+    )
+    ps.add_argument(
+        "--wt", type=float, nargs="+", default=[0.5],
+        help="test-time weights w_T to sweep (default: 0.5)",
+    )
+    ps.add_argument(
+        "--delta", type=float, default=0.0,
+        help="Cost_Optimizer elimination threshold",
+    )
+    ps.add_argument(
+        "--exhaustive", action="store_true",
+        help="evaluate every sharing combination per job",
+    )
+    ps.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default: 1 = inline)",
+    )
+    ps.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="on-disk result cache (default: .repro_cache)",
+    )
+    ps.add_argument(
+        "--no-cache", action="store_true", help="disable the disk cache"
+    )
+    ps.add_argument(
+        "--out", default="sweep_results.jsonl",
+        help="JSONL stream path (default: sweep_results.jsonl)",
+    )
+    ps.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI path: the 'mini' workload at width 8, quick effort",
+    )
+    ps.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                    help="workload seed for every job")
     return parser
 
 
+def _run_generate(args: argparse.Namespace) -> str:
+    from .soc import itc02
+
+    try:
+        if args.preset is not None:
+            soc = workloads.build(args.preset, args.seed)
+        else:
+            soc = workloads.random_workload(
+                n_cores=args.cores,
+                seed=args.seed if args.seed is not None else 0,
+                n_adc=args.adc,
+                n_dac=args.dac,
+                n_pll=args.pll,
+            )
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    text = itc02.dumps(soc)
+    if args.out == "-":
+        return text.rstrip("\n")
+    from pathlib import Path
+
+    Path(args.out).write_text(text)
+    return f"wrote {args.out}\n{soc.summary()}"
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    from .runner import expand_grid, run_sweep
+
+    if args.smoke:
+        presets: tuple[str, ...] = ("mini",)
+        widths: tuple[int, ...] = (8,)
+        effort = "quick"
+    else:
+        presets = _str_list(args.preset)
+        widths = _int_list(args.widths)
+        effort = args.effort
+    try:
+        jobs = expand_grid(
+            presets,
+            widths,
+            wts=tuple(args.wt),
+            seeds=(args.seed,),
+            delta=args.delta,
+            exhaustive=args.exhaustive,
+            effort=effort,
+        )
+    except ValueError as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    cache_dir = None if args.no_cache else args.cache_dir
+
+    if args.jobs < 1:
+        raise _CliError(f"--jobs must be >= 1, got {args.jobs}")
+
+    def progress(result) -> None:
+        state = "cache" if result.cache_hit else result.status
+        print(
+            f"  [{state:5s}] {result.job.workload} W={result.job.width} "
+            f"w_T={result.job.wt:g} ({result.elapsed_s:.2f}s)",
+            file=sys.stderr,
+        )
+
+    try:
+        sweep = run_sweep(
+            jobs,
+            workers=args.jobs,
+            cache_dir=cache_dir,
+            out_path=args.out,
+            progress=progress,
+        )
+    except OSError as exc:
+        raise _CliError(f"cannot write results to {args.out!r}: {exc}") \
+            from None
+    if sweep.errors:
+        # failed jobs are already itemized in the summary; make the
+        # process exit code reflect them so CI pipelines notice
+        print(sweep.render())
+        raise SystemExit(1)
+    return sweep.render()
+
+
 def _run_command(command: str, args: argparse.Namespace) -> str:
-    context = ExperimentContext(effort=args.effort)
+    if command == "workloads":
+        lines = [
+            f"{workload.name:10s} {workload.description}"
+            for workload in (workloads.get(n) for n in workloads.names())
+        ]
+        return "\n".join(lines)
+    if command == "generate":
+        return _run_generate(args)
+    if command == "sweep":
+        return _run_sweep(args)
+    try:
+        context = ExperimentContext(
+            effort=args.effort, workload=args.workload, seed=args.seed
+        )
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
     if command == "table1":
         return run_table1(context).render()
     if command == "table2":
@@ -130,8 +349,12 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
         Path(args.out).write_text(text)
         return f"wrote {args.out} ({len(text.splitlines())} lines)"
     if command == "plan":
-        weights = CostWeights(time=args.wt, area=1.0 - args.wt)
+        try:
+            weights = CostWeights(time=args.wt, area=1.0 - args.wt)
+        except ValueError as exc:
+            raise _CliError(exc.args[0] if exc.args else exc) from None
         plan = plan_test(
+            soc=context.soc,
             width=args.width,
             weights=weights,
             delta=args.delta,
@@ -150,16 +373,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     started = time.time()
-    if args.command == "all":
-        for command in ("table1", "table2", "fig4", "fig5", "table3",
-                        "table4"):
-            sub_args = parser.parse_args([
-                "--effort", args.effort, command
-            ])
-            print(_run_command(command, sub_args))
-            print()
-    else:
-        print(_run_command(args.command, args))
+    try:
+        if args.command == "all":
+            for command in ("table1", "table2", "fig4", "fig5", "table3",
+                            "table4"):
+                argv_prefix = ["--effort", args.effort,
+                               "--workload", args.workload]
+                if args.seed is not None:
+                    argv_prefix += ["--seed", str(args.seed)]
+                sub_args = parser.parse_args(argv_prefix + [command])
+                print(_run_command(command, sub_args))
+                print()
+        else:
+            print(_run_command(args.command, args))
+    except _CliError as exc:
+        # bad user input (unknown workload, invalid width, ...) gets a
+        # one-line diagnostic instead of a traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     elapsed = time.time() - started
     if elapsed > 5:
         print(f"\n[{elapsed:.0f}s]", file=sys.stderr)

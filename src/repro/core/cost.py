@@ -83,6 +83,10 @@ class ScheduleEvaluator:
     :param include_self_test: schedule converter-BIST tasks per wrapper
         (the paper's future-work extension; off by default, matching
         the paper's "self-test mode test time has not been considered").
+    :param pareto: an optional pre-built (possibly pre-primed) digital
+        Pareto staircase cache; :mod:`repro.runner` seeds one from its
+        on-disk cache so workers skip wrapper design entirely.  Must
+        have ``max_width >= width``.
     :param pack_kwargs: forwarded to :func:`repro.tam.packing.pack`
         (e.g. ``shuffles=0`` for faster, rougher evaluations in tests).
     """
@@ -92,15 +96,21 @@ class ScheduleEvaluator:
         soc: Soc,
         width: int,
         include_self_test: bool = False,
+        pareto: ParetoCache | None = None,
         **pack_kwargs,
     ):
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
+        if pareto is not None and pareto.max_width < width:
+            raise ValueError(
+                f"pareto cache max_width {pareto.max_width} < TAM width "
+                f"{width}"
+            )
         self.soc = soc
         self.width = width
         self.include_self_test = include_self_test
         self._pack_kwargs = pack_kwargs
-        self._pareto = ParetoCache(width)
+        self._pareto = pareto or ParetoCache(width)
         self._digital = digital_tasks(soc, self._pareto)
         self._schedules: dict[Partition, Schedule] = {}
         #: number of actual packing runs performed (the paper's ``n``)

@@ -1,15 +1,21 @@
 """Shared setup for the paper's experiments.
 
-Every experiment operates on the same artifacts: the mixed-signal SOC
-``p93791m``, the 26 sharing combinations of Table 1, and the Eq. (1)
-area model.  :class:`ExperimentContext` bundles them with an *effort*
-preset controlling how hard the rectangle packer works (benches use
-``full``; unit tests use ``quick`` to stay fast).
+Every experiment operates on the same artifacts: a mixed-signal SOC, its
+sharing combinations (Table 1 style), and the Eq. (1) area model.
+:class:`ExperimentContext` bundles them with an *effort* preset
+controlling how hard the rectangle packer works (benches use ``full``;
+unit tests use ``quick`` to stay fast).
+
+The SOC comes from the workload registry (:mod:`repro.workloads`), so
+every table/figure driver runs against any named scenario — the paper's
+``p93791m`` is merely the default::
+
+    run_table1(ExperimentContext(workload="d695m", effort="quick"))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.area import AreaModel
 from ..core.sharing import (
@@ -18,8 +24,8 @@ from ..core.sharing import (
     paper_combinations,
     symmetry_reduce,
 )
-from ..soc.benchmarks import p93791m
 from ..soc.model import Soc
+from ..workloads import build as build_workload
 
 __all__ = ["ExperimentContext", "PACK_EFFORT"]
 
@@ -35,12 +41,18 @@ PACK_EFFORT = {
 class ExperimentContext:
     """The benchmark SOC plus derived artifacts used by all experiments.
 
-    :param soc: the mixed-signal SOC (defaults to ``p93791m``).
+    :param soc: the mixed-signal SOC; when ``None``, built from the
+        workload registry using *workload* and *seed*.
     :param effort: packer effort preset name (see :data:`PACK_EFFORT`).
+    :param workload: registry preset name (default: the paper's
+        benchmark ``p93791m``).  Ignored when *soc* is given.
+    :param seed: workload seed (``None`` = the preset's default).
     """
 
-    soc: Soc = field(default_factory=p93791m)
+    soc: Soc | None = None
     effort: str = "full"
+    workload: str = "p93791m"
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.effort not in PACK_EFFORT:
@@ -48,6 +60,8 @@ class ExperimentContext:
                 f"unknown effort {self.effort!r}, pick from "
                 f"{sorted(PACK_EFFORT)}"
             )
+        if self.soc is None:
+            self.soc = build_workload(self.workload, self.seed)
         if not self.soc.analog_cores:
             raise ValueError("experiments need a mixed-signal SOC")
 

@@ -1,6 +1,14 @@
-"""Table and ASCII-plot rendering for experiment output."""
+"""Table, ASCII-plot, and JSONL rendering for experiment output."""
 
 from .ascii_plot import ascii_plot
+from .jsonl import append_jsonl, read_jsonl, write_jsonl
 from .tables import format_float, render_table
 
-__all__ = ["ascii_plot", "format_float", "render_table"]
+__all__ = [
+    "append_jsonl",
+    "ascii_plot",
+    "format_float",
+    "read_jsonl",
+    "render_table",
+    "write_jsonl",
+]

@@ -1,0 +1,43 @@
+"""JSON-lines streaming for batch experiment results.
+
+The sweep engine (:mod:`repro.runner`) emits one JSON object per
+completed job so long runs are inspectable while still in flight and
+robust to interruption: every line that made it to disk is a complete
+record.  No third-party dependency — records are plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import IO
+
+__all__ = ["append_jsonl", "write_jsonl", "read_jsonl"]
+
+
+def append_jsonl(record: dict, stream: IO[str]) -> None:
+    """Write one *record* to *stream* as a single JSON line and flush."""
+    stream.write(json.dumps(record, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def write_jsonl(records: Iterable[dict], path: str | Path) -> int:
+    """Write *records* to *path*, one JSON line each; returns the count."""
+    count = 0
+    with open(path, "w") as stream:
+        for record in records:
+            append_jsonl(record, stream)
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse every line of the JSONL file at *path* (blank lines skipped)."""
+    records = []
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,35 @@
+"""Batch evaluation engine: parallel, cached sweeps over workloads.
+
+Turns the one-SOC, one-width experiment drivers into a grid engine:
+
+* :mod:`repro.runner.jobs` — :class:`SweepJob` grid points and
+  :func:`expand_grid`;
+* :mod:`repro.runner.cache` — content-hash keyed on-disk cache for
+  wrapper Pareto staircases and whole job results;
+* :mod:`repro.runner.engine` — :func:`run_sweep` multiprocessing
+  fan-out with JSON-lines streaming and summary tables.
+
+Quickstart::
+
+    from repro.runner import expand_grid, run_sweep
+
+    jobs = expand_grid(["p93791m", "d695m"], widths=[16, 24, 32])
+    sweep = run_sweep(jobs, workers=4, cache_dir=".repro_cache",
+                      out_path="sweep.jsonl")
+    print(sweep.render())
+"""
+
+from .cache import DiskCache, content_key
+from .engine import SweepResult, evaluate_job, run_sweep
+from .jobs import JobResult, SweepJob, expand_grid
+
+__all__ = [
+    "DiskCache",
+    "JobResult",
+    "SweepJob",
+    "SweepResult",
+    "content_key",
+    "evaluate_job",
+    "expand_grid",
+    "run_sweep",
+]

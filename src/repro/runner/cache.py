@@ -1,0 +1,97 @@
+"""Content-hash keyed on-disk cache for expensive intermediates.
+
+The sweep engine re-derives the same artifacts over and over: a digital
+core's wrapper Pareto staircase is identical for every sharing
+combination, every weight setting, and every sweep that includes its
+SOC; a whole job result is identical whenever the (SOC, TAM width,
+optimizer configuration) triple repeats.  :class:`DiskCache` memoizes
+both levels in a directory of small JSON files.
+
+Keys are SHA-256 digests of a canonical-JSON *payload* describing the
+computation's inputs by **content** (e.g. the ``.soc`` serialization of
+the SOC), never by name — renaming a workload or regenerating it with a
+different seed can therefore never alias a stale entry.  Values must be
+JSON-serializable.
+
+Writes are atomic (temp file + :func:`os.replace`), so any number of
+sweep workers may share one cache directory without locking: the worst
+race is two workers computing the same entry once each.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["DiskCache", "content_key"]
+
+
+def content_key(payload: object) -> str:
+    """SHA-256 hex digest of *payload* in canonical JSON form.
+
+    Canonical means sorted keys and no whitespace, so logically equal
+    payloads always hash identically.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class DiskCache:
+    """A directory of content-addressed JSON values.
+
+    :param root: cache directory (created on first write).  Entries are
+        sharded as ``root/<key[:2]>/<key>.json`` to keep directories
+        small on large sweeps.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        #: entries served from disk since construction
+        self.hits = 0
+        #: lookups that found nothing (or an unreadable entry)
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, default: object = None) -> object:
+        """The cached value for *key*, or *default*.
+
+        A corrupt entry (interrupted writer on a non-POSIX filesystem,
+        manual tampering) counts as a miss and is left for the next
+        :meth:`put` to overwrite.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as stream:
+                value = json.load(stream)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Store JSON-serializable *value* under *key*, atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(value, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of entries on disk (walks the directory)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters since this instance was created."""
+        return {"hits": self.hits, "misses": self.misses}

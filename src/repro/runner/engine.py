@@ -1,0 +1,319 @@
+"""Parallel, cached batch evaluation of test-planning jobs.
+
+:func:`run_sweep` fans a grid of :class:`~repro.runner.jobs.SweepJob`
+entries across ``multiprocessing`` workers.  Each worker:
+
+1. builds its SOC from the workload registry (pure function of the
+   job, so workers need no shared state);
+2. consults the on-disk :class:`~repro.runner.cache.DiskCache` for the
+   whole job result, keyed on the *content* of the SOC plus the
+   optimizer configuration — a warm sweep does no scheduling at all;
+3. on a miss, seeds its digital Pareto staircases from the cache
+   (computing and storing any absent ones), runs the paper's full
+   planning flow, and stores the result.
+
+Results stream back to the parent as they complete and are appended to
+a JSON-lines file immediately, so long sweeps are inspectable in
+flight and every line on disk is a complete record.  The aggregate
+:class:`SweepResult` renders a summary table via
+:mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+from .. import workloads
+from ..core.area import AreaModel
+from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
+from ..core.exhaustive import exhaustive_search
+from ..core.optimizer import cost_optimizer
+from ..core.sharing import (
+    format_partition,
+    identical_core_classes,
+    paper_combinations,
+    symmetry_reduce,
+)
+from ..experiments.common import PACK_EFFORT
+from ..reporting import append_jsonl, render_table
+from ..soc import itc02
+from ..soc.model import DigitalCore, Soc
+from ..wrapper.pareto import ParetoCache, ParetoPoint, pareto_points
+from .cache import DiskCache, content_key
+from .jobs import JobResult, SweepJob
+
+__all__ = ["SweepResult", "run_sweep", "evaluate_job"]
+
+#: Bump to invalidate every cached entry after a semantic change to the
+#: evaluation flow or the record layout.
+CACHE_VERSION = 1
+
+
+def _soc_digest(soc: Soc) -> str:
+    """Content digest of a SOC via its canonical ``.soc`` serialization."""
+    return content_key({"kind": "soc", "v": CACHE_VERSION,
+                        "text": itc02.dumps(soc)})
+
+
+def _job_key(job: SweepJob, soc_digest: str) -> str:
+    return content_key({
+        "kind": "job",
+        "v": CACHE_VERSION,
+        "soc": soc_digest,
+        "width": job.width,
+        "wt": round(job.wt, 9),
+        "delta": job.delta,
+        "exhaustive": job.exhaustive,
+        "pack": PACK_EFFORT[job.effort],
+    })
+
+
+def _staircase_key(core: DigitalCore, limit: int) -> str:
+    return content_key({
+        "kind": "staircase",
+        "v": CACHE_VERSION,
+        "limit": limit,
+        "inputs": core.inputs,
+        "outputs": core.outputs,
+        "bidirs": core.bidirs,
+        "chains": list(core.scan_chains),
+        "patterns": core.patterns,
+    })
+
+
+def _primed_pareto(
+    soc: Soc, width: int, cache: DiskCache | None
+) -> tuple[ParetoCache, int, int]:
+    """A staircase cache covering every digital core, seeded from disk.
+
+    Returns ``(pareto, hits, misses)`` where the counters cover only
+    the staircase entries (job-level caching is accounted separately).
+    """
+    pareto = ParetoCache(width)
+    hits = misses = 0
+    for core in soc.digital_cores:
+        limit = min(width, core.max_useful_width)
+        key = _staircase_key(core, limit) if cache is not None else None
+        stored = cache.get(key) if cache is not None else None
+        if stored is not None:
+            pareto.prime(
+                core.name,
+                tuple(ParetoPoint(width=w, time=t) for w, t in stored),
+            )
+            hits += 1
+            continue
+        points = pareto_points(core, width)
+        pareto.prime(core.name, points)
+        if cache is not None:
+            cache.put(key, [[p.width, p.time] for p in points])
+        misses += 1
+    return pareto, hits, misses
+
+
+def evaluate_job(job: SweepJob, cache_dir: str | None = None) -> JobResult:
+    """Run one sweep job (in the current process).
+
+    This is the unit of work the pool workers execute; it is exposed
+    publicly so library users can embed single evaluations (with the
+    same caching behavior) in their own drivers.
+    """
+    started = time.perf_counter()
+    cache = DiskCache(cache_dir) if cache_dir else None
+    soc = workloads.build(job.workload, job.seed)
+
+    job_key = None
+    if cache is not None:
+        job_key = _job_key(job, _soc_digest(soc))
+        stored = cache.get(job_key)
+        if stored is not None:
+            return replace(
+                JobResult.from_dict(stored),
+                job=job,
+                cache_hit=True,
+                staircase_hits=0,
+                staircase_misses=0,
+                elapsed_s=time.perf_counter() - started,
+            )
+
+    pareto, stair_hits, stair_misses = _primed_pareto(soc, job.width, cache)
+    weights = CostWeights(time=job.wt, area=1.0 - job.wt)
+    evaluator = ScheduleEvaluator(
+        soc, job.width, pareto=pareto, **PACK_EFFORT[job.effort]
+    )
+    model = CostModel(
+        soc, job.width, weights, AreaModel(soc.analog_cores),
+        evaluator=evaluator,
+    )
+    names = [core.name for core in soc.analog_cores]
+    combos = symmetry_reduce(
+        paper_combinations(names), identical_core_classes(soc.analog_cores)
+    )
+    if job.exhaustive:
+        outcome = exhaustive_search(model, combos)
+    else:
+        outcome = cost_optimizer(model, combos, delta=job.delta)
+    breakdown = model.breakdown(outcome.best_partition)
+
+    result = JobResult(
+        job=job,
+        soc_name=soc.name,
+        n_digital=soc.n_digital,
+        n_analog=soc.n_analog,
+        makespan=breakdown.makespan,
+        partition=format_partition(outcome.best_partition),
+        n_wrappers=len(outcome.best_partition),
+        time_cost=breakdown.time_cost,
+        area_cost=breakdown.area_cost,
+        total_cost=breakdown.total_cost,
+        n_evaluated=outcome.n_evaluated,
+        n_total=outcome.n_total,
+        elapsed_s=time.perf_counter() - started,
+        cache_hit=False,
+        staircase_hits=stair_hits,
+        staircase_misses=stair_misses,
+    )
+    if cache is not None:
+        cache.put(job_key, result.to_dict())
+    return result
+
+
+def _worker(args: tuple[SweepJob, str | None]) -> dict:
+    """Pool entry point: evaluate one job, trapping failures per job."""
+    job, cache_dir = args
+    try:
+        return evaluate_job(job, cache_dir).to_dict()
+    except Exception as exc:  # noqa: BLE001 — isolate job failures
+        return JobResult(
+            job=job, status="error", error=f"{type(exc).__name__}: {exc}"
+        ).to_dict()
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregate outcome of a sweep, in original grid order."""
+
+    results: tuple[JobResult, ...]
+    elapsed_s: float
+    out_path: str | None = None
+    cache_dir: str | None = None
+
+    @property
+    def ok(self) -> tuple[JobResult, ...]:
+        """Successful results only."""
+        return tuple(r for r in self.results if r.status == "ok")
+
+    @property
+    def errors(self) -> tuple[JobResult, ...]:
+        """Failed results only."""
+        return tuple(r for r in self.results if r.status != "ok")
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs answered entirely from the on-disk cache."""
+        return sum(1 for r in self.results if r.cache_hit)
+
+    def render(self) -> str:
+        """Summary table plus cache/wall-time footer."""
+        headers = (
+            "workload", "W", "w_T", "makespan", "C_T", "C_A", "cost",
+            "wrappers", "evals", "cache", "s",
+        )
+        rows = []
+        for r in self.results:
+            if r.status != "ok":
+                rows.append((
+                    r.job.workload, r.job.width, r.job.wt,
+                    "ERROR", "-", "-", "-", "-", "-", "-",
+                    round(r.elapsed_s, 2),
+                ))
+                continue
+            rows.append((
+                r.job.workload, r.job.width, r.job.wt, r.makespan,
+                r.time_cost, r.area_cost, r.total_cost, r.n_wrappers,
+                f"{r.n_evaluated}/{r.n_total}",
+                "hit" if r.cache_hit else "miss",
+                round(r.elapsed_s, 2),
+            ))
+        stair_hits = sum(r.staircase_hits for r in self.results)
+        stair_misses = sum(r.staircase_misses for r in self.results)
+        lines = [
+            render_table(headers, rows, title="Sweep results"),
+            "",
+            f"{len(self.results)} jobs ({len(self.errors)} failed) in "
+            f"{self.elapsed_s:.2f}s wall; job cache hits: "
+            f"{self.cache_hits}/{len(self.results)}; staircase cache: "
+            f"{stair_hits} hits / {stair_misses} misses",
+        ]
+        for r in self.errors:
+            lines.append(
+                f"  FAILED {r.job.workload} W={r.job.width}: {r.error}"
+            )
+        if self.out_path:
+            lines.append(f"results streamed to {self.out_path}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    workers: int = 1,
+    cache_dir: str | None = None,
+    out_path: str | None = None,
+    progress: Callable[[JobResult], None] | None = None,
+) -> SweepResult:
+    """Evaluate *jobs*, optionally in parallel, streaming JSONL results.
+
+    :param jobs: the evaluation grid (see
+        :func:`repro.runner.jobs.expand_grid`).
+    :param workers: worker process count; ``1`` runs inline (no pool),
+        which is also the debuggable path.  Workers resolve workloads
+        by name — custom ones registered only at runtime need the
+        ``fork`` start method (see
+        :func:`repro.workloads.register` for the ``spawn`` caveat).
+    :param cache_dir: on-disk cache directory shared by all workers;
+        ``None`` disables caching.
+    :param out_path: JSONL file to stream records to (appended as each
+        job completes, in completion order).
+    :param progress: optional callback invoked with each
+        :class:`~repro.runner.jobs.JobResult` on completion.
+    :returns: the :class:`SweepResult` with results in grid order.
+    :raises ValueError: if *jobs* is empty or *workers* < 1.
+    """
+    if not jobs:
+        raise ValueError("at least one job is required")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    stream = open(out_path, "w") if out_path else None
+    results: list[JobResult] = []
+    try:
+        def handle(record: dict) -> None:
+            if stream is not None:
+                append_jsonl(record, stream)
+            result = JobResult.from_dict(record)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+
+        work = [(job, cache_dir) for job in jobs]
+        if workers == 1:
+            for item in work:
+                handle(_worker(item))
+        else:
+            with multiprocessing.get_context().Pool(workers) as pool:
+                for record in pool.imap_unordered(_worker, work):
+                    handle(record)
+    finally:
+        if stream is not None:
+            stream.close()
+
+    order = {job: index for index, job in enumerate(jobs)}
+    results.sort(key=lambda r: order[r.job])
+    return SweepResult(
+        results=tuple(results),
+        elapsed_s=time.perf_counter() - started,
+        out_path=out_path,
+        cache_dir=cache_dir,
+    )

@@ -1,0 +1,131 @@
+"""Job descriptions and result records for batch sweeps.
+
+A :class:`SweepJob` names one point of the evaluation grid — which
+workload, at which TAM width, under which optimizer configuration.  Jobs
+are small frozen dataclasses so they pickle cheaply across
+:mod:`multiprocessing` workers and serialize losslessly into the JSONL
+result stream next to their :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
+
+from ..experiments.common import PACK_EFFORT
+
+__all__ = ["SweepJob", "JobResult", "expand_grid"]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (workload × TAM width × optimizer config) evaluation.
+
+    :param workload: registry name (:mod:`repro.workloads`).
+    :param width: SOC-level TAM width ``W``.
+    :param seed: workload seed (``None`` = the preset's default).
+    :param wt: test-time weight ``w_T`` (area weight is ``1 - wt``).
+    :param delta: ``Cost_Optimizer`` elimination threshold.
+    :param exhaustive: evaluate every combination instead of the
+        heuristic.
+    :param effort: rectangle-packer effort preset (see
+        :data:`repro.experiments.common.PACK_EFFORT`).
+    """
+
+    workload: str
+    width: int
+    seed: int | None = None
+    wt: float = 0.5
+    delta: float = 0.0
+    exhaustive: bool = False
+    effort: str = "medium"
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if not 0 <= self.wt <= 1:
+            raise ValueError(f"wt must lie in [0, 1], got {self.wt}")
+        if self.effort not in PACK_EFFORT:
+            raise ValueError(
+                f"unknown effort {self.effort!r}, pick from "
+                f"{sorted(PACK_EFFORT)}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one sweep job.
+
+    ``status`` is ``"ok"`` or ``"error"``; error results carry the
+    exception text in ``error`` and zeros elsewhere, so one diverging
+    job cannot sink a thousand-job sweep.
+    """
+
+    job: SweepJob
+    status: str = "ok"
+    soc_name: str = ""
+    n_digital: int = 0
+    n_analog: int = 0
+    makespan: int = 0
+    partition: str = ""
+    n_wrappers: int = 0
+    time_cost: float = 0.0
+    area_cost: float = 0.0
+    total_cost: float = 0.0
+    n_evaluated: int = 0
+    n_total: int = 0
+    elapsed_s: float = 0.0
+    cache_hit: bool = False
+    staircase_hits: int = 0
+    staircase_misses: int = 0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready record: job fields nested under ``"job"``."""
+        record = asdict(self)
+        record["job"] = self.job.to_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "JobResult":
+        """Inverse of :meth:`to_dict`."""
+        fields = dict(record)
+        fields["job"] = SweepJob(**fields["job"])
+        return cls(**fields)
+
+
+def expand_grid(
+    workloads: Sequence[str],
+    widths: Sequence[int],
+    wts: Sequence[float] = (0.5,),
+    seeds: Iterable[int | None] = (None,),
+    delta: float = 0.0,
+    exhaustive: bool = False,
+    effort: str = "medium",
+) -> tuple[SweepJob, ...]:
+    """The full cartesian job grid, in deterministic order.
+
+    :raises ValueError: if any axis is empty.
+    """
+    seeds = tuple(seeds)
+    if not workloads or not widths or not wts or not seeds:
+        raise ValueError("every grid axis needs at least one value")
+    return tuple(
+        SweepJob(
+            workload=workload,
+            width=width,
+            seed=seed,
+            wt=wt,
+            delta=delta,
+            exhaustive=exhaustive,
+            effort=effort,
+        )
+        for workload in workloads
+        for seed in seeds
+        for width in widths
+        for wt in wts
+    )

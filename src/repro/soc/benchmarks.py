@@ -20,8 +20,6 @@ EXPERIMENTS.md are exactly repeatable.
 
 from __future__ import annotations
 
-import random
-
 from .analog_specs import paper_analog_cores
 from .model import AnalogCore, AnalogTest, DigitalCore, Soc
 
@@ -36,56 +34,21 @@ __all__ = [
 #: Seed used for the shipped ``p93791`` stand-in.
 DEFAULT_SEED = 93791
 
-#: Size classes for the synthesized digital cores.  Each entry is
-#: (count, chain-count range, chain-length range, pattern range,
-#: input range, output range, bidir range).
-_SIZE_CLASSES = (
-    # giants: scan-dominated, drive the overall test-data volume
-    (4, (32, 46), (260, 620), (125, 230), (60, 130), (30, 110), (0, 72)),
-    # large scan cores
-    (8, (16, 30), (150, 400), (100, 260), (40, 100), (30, 90), (0, 40)),
-    # medium scan cores
-    (12, (4, 12), (80, 300), (115, 300), (20, 70), (20, 60), (0, 20)),
-    # small cores, little or no scan
-    (8, (0, 2), (40, 120), (150, 1000), (10, 50), (10, 40), (0, 10)),
-)
-
-
 def synthetic_p93791(seed: int = DEFAULT_SEED) -> Soc:
     """Synthesize the digital ``p93791`` stand-in (32 cores).
+
+    The size classes live in
+    :data:`repro.workloads.generator.P93791_FAMILY` — the single source
+    of truth the scenario generator shares.
 
     :param seed: RNG seed; the default produces the SOC used throughout
         the benches and EXPERIMENTS.md.
     """
-    rng = random.Random(seed)
-    cores: list[DigitalCore] = []
-    index = 0
-    for (
-        count,
-        chain_count_range,
-        chain_length_range,
-        pattern_range,
-        input_range,
-        output_range,
-        bidir_range,
-    ) in _SIZE_CLASSES:
-        for _ in range(count):
-            index += 1
-            n_chains = rng.randint(*chain_count_range)
-            chains = tuple(
-                rng.randint(*chain_length_range) for _ in range(n_chains)
-            )
-            cores.append(
-                DigitalCore(
-                    name=f"d{index:02d}",
-                    inputs=rng.randint(*input_range),
-                    outputs=rng.randint(*output_range),
-                    bidirs=rng.randint(*bidir_range),
-                    scan_chains=chains,
-                    patterns=rng.randint(*pattern_range),
-                )
-            )
-    return Soc(name="p93791", digital_cores=tuple(cores))
+    # imported lazily: repro.workloads registers presets built from
+    # this module at import time, so a top-level import would cycle
+    from ..workloads.generator import P93791_FAMILY, generate_digital
+
+    return generate_digital(P93791_FAMILY, seed)
 
 
 def p93791m(

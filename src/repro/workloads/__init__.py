@@ -1,0 +1,59 @@
+"""Scenario generation: ITC'02-family SOC workloads beyond ``p93791m``.
+
+The paper evaluates one SOC; the reproduction's scaling work needs many.
+This package produces them three ways:
+
+* :mod:`repro.workloads.generator` — seeded synthetic digital SOC
+  families in the ITC'02 mold (``d695`` / ``g1023`` / ``p22810`` /
+  ``p93791`` stand-ins, plus fully random families);
+* :mod:`repro.workloads.analog` — augmentation policies grafting
+  configurable ADC / DAC / PLL core mixes (and the paper's Table 2
+  cores) onto any digital SOC;
+* :mod:`repro.workloads.registry` — named presets so the CLI, the
+  sweep engine, and the experiment drivers all resolve SOCs uniformly:
+  ``build("d695m")``.
+
+Everything is a pure function of ``(recipe, seed)``; the ``p93791m``
+preset is bit-identical to :func:`repro.soc.benchmarks.p93791m`.
+"""
+
+from .analog import PAPER_POLICY, AnalogPolicy, augment, build_analog_cores
+from .generator import (
+    D695_FAMILY,
+    G1023_FAMILY,
+    P22810_FAMILY,
+    P93791_FAMILY,
+    DigitalFamily,
+    SizeClass,
+    generate_digital,
+    random_family,
+)
+from .registry import (
+    Workload,
+    build,
+    get,
+    names,
+    random_workload,
+    register,
+)
+
+__all__ = [
+    "AnalogPolicy",
+    "D695_FAMILY",
+    "DigitalFamily",
+    "G1023_FAMILY",
+    "P22810_FAMILY",
+    "P93791_FAMILY",
+    "PAPER_POLICY",
+    "SizeClass",
+    "Workload",
+    "augment",
+    "build",
+    "build_analog_cores",
+    "generate_digital",
+    "get",
+    "names",
+    "random_family",
+    "random_workload",
+    "register",
+]

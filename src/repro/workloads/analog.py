@@ -1,0 +1,219 @@
+"""Analog-augmentation policies: graft analog core mixes onto SOCs.
+
+The paper crafts its benchmark ``p93791m`` by adding five wrapped analog
+cores (Table 2) to the digital ITC'02 SOC ``p93791``.  This module
+generalizes that construction into a reusable *policy*: pick any subset
+of the paper's cores verbatim (via :mod:`repro.soc.analog_specs`), add
+any number of synthesized ADC / DAC / PLL cores, and graft the mix onto
+any digital SOC.  Synthesized cores draw their band edges, sampling
+rates, and test lengths from documented ranges with a seeded RNG, so a
+``(policy, seed)`` pair always produces the same mixed-signal SOC.
+
+The synthesized test sets follow standard mixed-signal production-test
+practice:
+
+* **ADC** — pass-band gain, SNR (multi-tone), THD, and a static
+  INL/DNL ramp test (a DC test in the Table 2 sense);
+* **DAC** — gain, THD, settling time (a timing test streamed at coarse
+  resolution, like the paper's slew-rate test), and glitch energy;
+* **PLL** — lock time, period jitter, and frequency accuracy; all
+  timing-oriented, so they stream at very coarse amplitude resolution
+  and can afford sampling far above the wrapper converters' precision
+  regime (band-pass undersampling, as in Table 2's core D).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..soc import analog_specs
+from ..soc.model import DC, AnalogCore, AnalogTest, Soc
+
+__all__ = [
+    "AnalogPolicy",
+    "PAPER_POLICY",
+    "augment",
+    "synth_adc_core",
+    "synth_dac_core",
+    "synth_pll_core",
+]
+
+KHZ = 1e3
+MHZ = 1e6
+
+#: Factories for the paper's Table 2 cores, by name.
+_PAPER_CORES = {
+    "A": analog_specs.core_a,
+    "B": analog_specs.core_b,
+    "C": analog_specs.core_c,
+    "D": analog_specs.core_d,
+    "E": analog_specs.core_e,
+}
+
+
+@dataclass(frozen=True)
+class AnalogPolicy:
+    """A recipe for the analog side of a mixed-signal SOC.
+
+    :param paper_cores: names among ``A``..``E`` to include verbatim
+        from Table 2 (:mod:`repro.soc.analog_specs`).
+    :param n_adc: number of synthesized ADC cores.
+    :param n_dac: number of synthesized DAC cores.
+    :param n_pll: number of synthesized PLL cores.
+    :param speed: scales the synthesized cores' sampling frequencies
+        and band edges (1.0 = baseband regime comparable to Table 2).
+    """
+
+    paper_cores: tuple[str, ...] = ()
+    n_adc: int = 0
+    n_dac: int = 0
+    n_pll: int = 0
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.paper_cores) - set(_PAPER_CORES)
+        if unknown:
+            raise ValueError(
+                f"unknown paper cores {sorted(unknown)}, pick from "
+                f"{sorted(_PAPER_CORES)}"
+            )
+        if len(set(self.paper_cores)) != len(self.paper_cores):
+            raise ValueError(
+                f"duplicate paper cores in {self.paper_cores}"
+            )
+        for field_name in ("n_adc", "n_dac", "n_pll"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+
+    @property
+    def n_cores(self) -> int:
+        """Total number of analog cores the policy produces."""
+        return len(self.paper_cores) + self.n_adc + self.n_dac + self.n_pll
+
+
+#: The paper's own policy: cores A..E of Table 2, nothing synthesized.
+PAPER_POLICY = AnalogPolicy(paper_cores=("A", "B", "C", "D", "E"))
+
+
+def synth_adc_core(name: str, rng: random.Random,
+                   speed: float = 1.0) -> AnalogCore:
+    """Synthesize an embedded-ADC core with a 4-test production suite."""
+    f0 = rng.uniform(20, 200) * KHZ * speed
+    fs = rng.uniform(16, 64) * f0
+    resolution = rng.randint(8, 12)
+    tests = (
+        AnalogTest("g_pb", f0, f0, fs,
+                   rng.randint(20_000, 60_000), 1),
+        AnalogTest("snr", 0.3 * f0, 3 * f0, fs,
+                   rng.randint(40_000, 120_000), rng.randint(1, 2)),
+        AnalogTest("thd", 0.5 * f0, 5 * f0, fs,
+                   rng.randint(30_000, 90_000), 1),
+        AnalogTest("inl_dnl", DC, DC, fs / 16,
+                   rng.randint(4_000, 16_000), 1),
+    )
+    return AnalogCore(
+        name=name,
+        description="synthesized embedded ADC",
+        tests=tests,
+        resolution_bits=resolution,
+    )
+
+
+def synth_dac_core(name: str, rng: random.Random,
+                   speed: float = 1.0) -> AnalogCore:
+    """Synthesize an embedded-DAC core with a 4-test production suite."""
+    f0 = rng.uniform(50, 500) * KHZ * speed
+    fs = rng.uniform(8, 32) * f0
+    resolution = rng.randint(8, 12)
+    tests = (
+        AnalogTest("gain", f0, f0, fs,
+                   rng.randint(10_000, 40_000), 1),
+        AnalogTest("thd", 0.5 * f0, 4 * f0, fs,
+                   rng.randint(25_000, 80_000), rng.randint(1, 2)),
+        # settling is a timing measurement: coarse amplitude bits make
+        # its wide TAM requirement feasible (cf. Table 2 slew rate)
+        AnalogTest("settling", 2 * f0, 8 * f0, 4 * fs,
+                   rng.randint(2_000, 9_000), rng.randint(3, 5),
+                   resolution_bits=3),
+        AnalogTest("glitch_energy", DC, DC, fs / 8,
+                   rng.randint(1_500, 6_000), 1),
+    )
+    return AnalogCore(
+        name=name,
+        description="synthesized embedded DAC",
+        tests=tests,
+        resolution_bits=resolution,
+    )
+
+
+def synth_pll_core(name: str, rng: random.Random,
+                   speed: float = 1.0) -> AnalogCore:
+    """Synthesize a PLL core: timing-oriented tests, coarse resolution."""
+    f_ref = rng.uniform(5, 40) * MHZ * speed
+    tests = (
+        AnalogTest("lock_time", f_ref, f_ref, f_ref,
+                   rng.randint(3_000, 12_000), rng.randint(2, 4),
+                   resolution_bits=2),
+        AnalogTest("jitter", f_ref, 2 * f_ref, 2 * f_ref,
+                   rng.randint(8_000, 30_000), rng.randint(2, 5),
+                   resolution_bits=3),
+        AnalogTest("freq_accuracy", f_ref, f_ref, f_ref / 4,
+                   rng.randint(1_000, 5_000), 1),
+    )
+    return AnalogCore(
+        name=name,
+        description="synthesized PLL",
+        tests=tests,
+        resolution_bits=rng.randint(4, 6),
+    )
+
+
+def build_analog_cores(
+    policy: AnalogPolicy, seed: int
+) -> tuple[AnalogCore, ...]:
+    """The analog cores *policy* produces, deterministically from *seed*."""
+    rng = random.Random(seed)
+    cores = [_PAPER_CORES[n]() for n in policy.paper_cores]
+    cores.extend(
+        synth_adc_core(f"adc{i}", rng, policy.speed)
+        for i in range(1, policy.n_adc + 1)
+    )
+    cores.extend(
+        synth_dac_core(f"dac{i}", rng, policy.speed)
+        for i in range(1, policy.n_dac + 1)
+    )
+    cores.extend(
+        synth_pll_core(f"pll{i}", rng, policy.speed)
+        for i in range(1, policy.n_pll + 1)
+    )
+    return tuple(cores)
+
+
+def augment(
+    soc: Soc,
+    policy: AnalogPolicy,
+    seed: int = 0,
+    name: str | None = None,
+) -> Soc:
+    """Graft *policy*'s analog cores onto digital SOC *soc*.
+
+    Follows the ITC'02-mixed naming convention: ``p93791`` grafted with
+    analog cores becomes ``p93791m``.
+
+    :param soc: the base SOC (its analog cores, if any, are replaced).
+    :param policy: which analog cores to add.
+    :param seed: RNG seed for the synthesized cores.
+    :param name: name of the resulting SOC (default ``{soc.name}m``).
+    :raises ValueError: if the policy produces no cores (the result
+        would not be mixed-signal).
+    """
+    if policy.n_cores == 0:
+        raise ValueError("analog policy produces no cores")
+    return Soc(
+        name=name or f"{soc.name}m",
+        digital_cores=soc.digital_cores,
+        analog_cores=build_analog_cores(policy, seed),
+    )

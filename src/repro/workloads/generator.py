@@ -1,0 +1,262 @@
+"""Parameterized synthetic ITC'02-family digital SOC generation.
+
+The ITC'02 SOC test benchmarks are a family of designs spanning two
+orders of magnitude in size — from the 10-core ``d695`` to the 32-core
+Philips giants ``p22810`` / ``p93791``.  The originals are not
+redistributable, so this module *synthesizes* statistical stand-ins the
+same way :mod:`repro.soc.benchmarks` synthesizes ``p93791``: every
+family is a list of :class:`SizeClass` descriptors (how many cores, and
+the ranges their scan-chain counts/lengths, pattern counts, and I/O
+terminal counts are drawn from), expanded by a seeded
+:class:`random.Random` so one ``(family, seed)`` pair always produces
+the identical :class:`~repro.soc.model.Soc`.
+
+Two entry points:
+
+* :func:`generate_digital` — expand a :class:`DigitalFamily` into a SOC;
+* :func:`random_family` — synthesize a *family itself* from a seed and a
+  target core count, for open-ended scenario sweeps beyond the named
+  ITC'02 stand-ins.
+
+The ``P93791_FAMILY`` constant is the single source of truth for the
+``p93791`` stand-in: :func:`repro.soc.benchmarks.synthetic_p93791`
+delegates here, so the workload registry's ``p93791m`` preset is the
+exact SOC every existing experiment already runs on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..soc.model import DigitalCore, Soc
+
+__all__ = [
+    "SizeClass",
+    "DigitalFamily",
+    "generate_digital",
+    "random_family",
+    "P93791_FAMILY",
+    "P22810_FAMILY",
+    "G1023_FAMILY",
+    "D695_FAMILY",
+]
+
+
+def _check_range(name: str, bounds: tuple[int, int], minimum: int) -> None:
+    low, high = bounds
+    if low > high:
+        raise ValueError(f"{name} range has low > high: {bounds}")
+    if low < minimum:
+        raise ValueError(f"{name} range must start at >= {minimum}: {bounds}")
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One size class of a synthetic digital SOC family.
+
+    Each field except *count* is an inclusive ``(low, high)`` range the
+    generator draws from uniformly.
+
+    :param count: how many cores of this class the family contains.
+    :param chain_count: number of internal scan chains per core
+        (``(0, 0)`` for combinational cores).
+    :param chain_length: length of each individual scan chain.
+    :param patterns: test pattern count.
+    :param inputs: functional input terminal count.
+    :param outputs: functional output terminal count.
+    :param bidirs: functional bidirectional terminal count.
+    """
+
+    count: int
+    chain_count: tuple[int, int]
+    chain_length: tuple[int, int]
+    patterns: tuple[int, int]
+    inputs: tuple[int, int]
+    outputs: tuple[int, int]
+    bidirs: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        _check_range("chain_count", self.chain_count, 0)
+        _check_range("chain_length", self.chain_length, 1)
+        _check_range("patterns", self.patterns, 1)
+        _check_range("inputs", self.inputs, 0)
+        _check_range("outputs", self.outputs, 0)
+        _check_range("bidirs", self.bidirs, 0)
+
+
+@dataclass(frozen=True)
+class DigitalFamily:
+    """A named synthetic SOC family: an ordered list of size classes."""
+
+    name: str
+    classes: tuple[SizeClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("family name must be non-empty")
+        if not self.classes:
+            raise ValueError(f"family {self.name!r} has no size classes")
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count over all size classes."""
+        return sum(c.count for c in self.classes)
+
+
+#: The ``p93791`` stand-in, expressed as a family.
+#: :func:`repro.soc.benchmarks.synthetic_p93791` is
+#: ``generate_digital(P93791_FAMILY, seed=93791)``.
+P93791_FAMILY = DigitalFamily(
+    name="p93791",
+    classes=(
+        # giants: scan-dominated, drive the overall test-data volume
+        SizeClass(4, (32, 46), (260, 620), (125, 230),
+                  (60, 130), (30, 110), (0, 72)),
+        # large scan cores
+        SizeClass(8, (16, 30), (150, 400), (100, 260),
+                  (40, 100), (30, 90), (0, 40)),
+        # medium scan cores
+        SizeClass(12, (4, 12), (80, 300), (115, 300),
+                  (20, 70), (20, 60), (0, 20)),
+        # small cores, little or no scan
+        SizeClass(8, (0, 2), (40, 120), (150, 1000),
+                  (10, 50), (10, 40), (0, 10)),
+    ),
+)
+
+#: Stand-in for ITC'02 ``p22810`` (28 usable modules, another large
+#: Philips design, slightly lighter on scan than p93791).
+P22810_FAMILY = DigitalFamily(
+    name="p22810",
+    classes=(
+        SizeClass(3, (24, 34), (200, 480), (110, 200),
+                  (50, 110), (30, 90), (0, 50)),
+        SizeClass(7, (10, 24), (120, 320), (90, 220),
+                  (30, 90), (25, 70), (0, 30)),
+        SizeClass(10, (3, 10), (60, 240), (100, 280),
+                  (15, 60), (15, 50), (0, 16)),
+        SizeClass(8, (0, 2), (30, 100), (120, 800),
+                  (8, 40), (8, 35), (0, 8)),
+    ),
+)
+
+#: Stand-in for ITC'02 ``g1023`` (14 modules, a mid-size design with
+#: moderate scan and pattern counts).
+G1023_FAMILY = DigitalFamily(
+    name="g1023",
+    classes=(
+        SizeClass(3, (8, 18), (120, 350), (80, 180),
+                  (30, 80), (25, 60), (0, 24)),
+        SizeClass(7, (2, 8), (60, 200), (60, 160),
+                  (15, 50), (12, 40), (0, 12)),
+        SizeClass(4, (0, 1), (40, 100), (100, 500),
+                  (8, 30), (8, 25), (0, 6)),
+    ),
+)
+
+#: Stand-in for ITC'02 ``d695`` (10 modules, the small academic design
+#: most TAM-optimization papers report first).
+D695_FAMILY = DigitalFamily(
+    name="d695",
+    classes=(
+        SizeClass(2, (8, 16), (100, 320), (60, 120),
+                  (20, 60), (20, 50), (0, 16)),
+        SizeClass(6, (2, 8), (50, 200), (40, 110),
+                  (10, 40), (10, 35), (0, 8)),
+        SizeClass(2, (0, 0), (1, 1), (100, 400),
+                  (8, 30), (8, 25), (0, 4)),
+    ),
+)
+
+
+def generate_digital(
+    family: DigitalFamily, seed: int, name: str | None = None
+) -> Soc:
+    """Expand *family* into a digital SOC, deterministically from *seed*.
+
+    The draw order per core is fixed (chain count, chain lengths,
+    inputs, outputs, bidirs, patterns) and part of the reproducibility
+    contract: identical family descriptors yield identical SOCs.
+
+    :param family: the size-class descriptors.
+    :param seed: RNG seed; same seed, same SOC.
+    :param name: SOC name override (defaults to the family name).
+    """
+    rng = random.Random(seed)
+    cores: list[DigitalCore] = []
+    index = 0
+    for size_class in family.classes:
+        for _ in range(size_class.count):
+            index += 1
+            n_chains = rng.randint(*size_class.chain_count)
+            chains = tuple(
+                rng.randint(*size_class.chain_length) for _ in range(n_chains)
+            )
+            cores.append(
+                DigitalCore(
+                    name=f"d{index:02d}",
+                    inputs=rng.randint(*size_class.inputs),
+                    outputs=rng.randint(*size_class.outputs),
+                    bidirs=rng.randint(*size_class.bidirs),
+                    scan_chains=chains,
+                    patterns=rng.randint(*size_class.patterns),
+                )
+            )
+    return Soc(name=name or family.name, digital_cores=tuple(cores))
+
+
+def random_family(
+    n_cores: int, seed: int, scale: float = 1.0, name: str | None = None
+) -> DigitalFamily:
+    """Synthesize a plausible SOC family with *n_cores* cores from *seed*.
+
+    Cores are split 1:2:2:3 across giant/large/medium/small classes
+    (larger shares to the smaller classes, mirroring real SOC module
+    populations); the per-class ranges are the ``p93791`` ranges shrunk
+    or stretched by *scale*.
+
+    :param n_cores: total digital core count (>= 4, one per class).
+    :param seed: seed for jittering the class ranges.  Expanding the
+        returned family still takes its own seed, so one family can be
+        instantiated many times.
+    :param scale: multiplies scan-chain counts/lengths and terminal
+        counts; 1.0 keeps the p93791 size regime.
+    :param name: family name (default ``rand{n_cores}``).
+    """
+    if n_cores < 4:
+        raise ValueError(f"n_cores must be >= 4, got {n_cores}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = random.Random(seed)
+
+    def scaled(bounds: tuple[int, int], minimum: int) -> tuple[int, int]:
+        jitter = rng.uniform(0.8, 1.2)
+        low = max(minimum, round(bounds[0] * scale * jitter))
+        high = max(low, round(bounds[1] * scale * jitter))
+        return (low, high)
+
+    shares = (1, 2, 2, 3)
+    counts = [max(1, round(n_cores * s / sum(shares))) for s in shares]
+    # adjust the last (most populous) class so the total is exact
+    counts[-1] += n_cores - sum(counts)
+    if counts[-1] < 1:
+        counts = [1] * 3 + [n_cores - 3]
+    classes = []
+    for count, template in zip(counts, P93791_FAMILY.classes):
+        classes.append(
+            SizeClass(
+                count=count,
+                chain_count=scaled(template.chain_count, 0),
+                chain_length=scaled(template.chain_length, 1),
+                patterns=scaled(template.patterns, 1),
+                inputs=scaled(template.inputs, 1),
+                outputs=scaled(template.outputs, 1),
+                bidirs=scaled(template.bidirs, 0),
+            )
+        )
+    return DigitalFamily(
+        name=name or f"rand{n_cores}", classes=tuple(classes)
+    )

@@ -1,0 +1,219 @@
+"""Named workload registry: every scenario the tooling can run on.
+
+A *workload* is a named, seeded recipe for a mixed-signal SOC.  The
+registry maps names to :class:`Workload` entries so the CLI, the sweep
+engine (:mod:`repro.runner`), and the experiment drivers all obtain
+their SOC the same way::
+
+    from repro.workloads import build
+
+    soc = build("d695m")           # default seed, reproducible
+    soc = build("p22810m", seed=7) # different digital instantiation
+
+Shipped presets
+===============
+
+========== ============================================================
+Name       Scenario
+========== ============================================================
+p93791m    the paper's benchmark: synthetic p93791 + Table 2 cores A..E
+           (identical to :func:`repro.soc.benchmarks.p93791m`)
+d695m      small 10-core ITC'02 stand-in + 2 ADCs and a DAC
+g1023m     mid-size 14-core stand-in + CODEC core C, an ADC, and a PLL
+p22810m    large 28-core stand-in + transmit pair A/B, 2 ADCs, DAC, PLL
+mini       the 6-core unit-test SOC (fast; used by ``sweep --smoke``)
+rand24m    seeded random 24-core family + a 5-core converter mix
+rand48m    seeded random 48-core family + an 8-core converter-rich mix
+========== ============================================================
+
+Custom workloads register with :func:`register`; :func:`random_workload`
+builds ad-hoc scenarios (the ``repro generate`` command) without
+registration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..soc import benchmarks
+from ..soc.model import Soc
+from .analog import PAPER_POLICY, AnalogPolicy, augment
+from .generator import (
+    D695_FAMILY,
+    G1023_FAMILY,
+    P22810_FAMILY,
+    DigitalFamily,
+    generate_digital,
+    random_family,
+)
+
+__all__ = [
+    "Workload",
+    "register",
+    "get",
+    "names",
+    "build",
+    "random_workload",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named SOC recipe.
+
+    :param name: registry key, e.g. ``"d695m"``.
+    :param description: one-line scenario summary for ``--list`` output.
+    :param factory: callable mapping a seed to the SOC.
+    :param default_seed: seed used when the caller does not pass one.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[int], Soc]
+    default_seed: int = 0
+
+    def build(self, seed: int | None = None) -> Soc:
+        """Instantiate the SOC (with *seed*, or the default)."""
+        return self.factory(self.default_seed if seed is None else seed)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload, replace: bool = False) -> Workload:
+    """Add *workload* to the registry.
+
+    Sweep workers resolve workloads by *name* through this registry in
+    their own process.  Under the ``fork`` start method (Linux default)
+    they inherit runtime registrations; under ``spawn`` (macOS /
+    Windows) they re-import from scratch, so register custom workloads
+    at import time of a module the workers also import — registrations
+    made under ``if __name__ == "__main__"`` are invisible to spawned
+    workers.
+
+    :raises ValueError: if the name is taken and *replace* is false.
+    """
+    if not replace and workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    """Look up a workload by name.
+
+    :raises KeyError: naming the available presets if absent.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(names())}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build(name: str, seed: int | None = None) -> Soc:
+    """Instantiate the workload called *name*."""
+    return get(name).build(seed)
+
+
+def random_workload(
+    n_cores: int = 24,
+    seed: int = 0,
+    n_adc: int = 2,
+    n_dac: int = 2,
+    n_pll: int = 1,
+    scale: float = 1.0,
+) -> Soc:
+    """An unregistered random mixed-signal scenario.
+
+    Both the digital family and its instantiation derive from *seed*,
+    so the whole SOC is a pure function of the arguments.
+    """
+    family = random_family(n_cores, seed=seed, scale=scale)
+    digital = generate_digital(family, seed=seed)
+    policy = AnalogPolicy(n_adc=n_adc, n_dac=n_dac, n_pll=n_pll)
+    return augment(digital, policy, seed=seed)
+
+
+def _family_workload(
+    name: str,
+    description: str,
+    family: DigitalFamily,
+    policy: AnalogPolicy,
+    default_seed: int,
+) -> Workload:
+    def factory(seed: int) -> Soc:
+        return augment(
+            generate_digital(family, seed), policy, seed=seed, name=name
+        )
+
+    return Workload(
+        name=name,
+        description=description,
+        factory=factory,
+        default_seed=default_seed,
+    )
+
+
+def _register_defaults() -> None:
+    register(Workload(
+        name="p93791m",
+        description=(
+            "paper benchmark: synthetic p93791 + Table 2 analog cores A..E"
+        ),
+        factory=benchmarks.p93791m,
+        default_seed=benchmarks.DEFAULT_SEED,
+    ))
+    register(_family_workload(
+        "d695m",
+        "small 10-core ITC'02 stand-in + 2 ADCs and a DAC",
+        D695_FAMILY,
+        AnalogPolicy(n_adc=2, n_dac=1),
+        default_seed=695,
+    ))
+    register(_family_workload(
+        "g1023m",
+        "mid-size 14-core stand-in + CODEC core C, an ADC, and a PLL",
+        G1023_FAMILY,
+        AnalogPolicy(paper_cores=("C",), n_adc=1, n_pll=1),
+        default_seed=1023,
+    ))
+    register(_family_workload(
+        "p22810m",
+        "large 28-core stand-in + transmit pair A/B, 2 ADCs, DAC, PLL",
+        P22810_FAMILY,
+        AnalogPolicy(paper_cores=("A", "B"), n_adc=2, n_dac=1, n_pll=1),
+        default_seed=22810,
+    ))
+    register(Workload(
+        name="mini",
+        description="6-core unit-test SOC (fast; used by sweep --smoke)",
+        factory=lambda seed: benchmarks.mini_mixed_signal_soc(),
+    ))
+    register(Workload(
+        name="rand24m",
+        description="seeded random 24-core family + 5-core converter mix",
+        factory=lambda seed: random_workload(24, seed=seed),
+        default_seed=24,
+    ))
+    register(Workload(
+        name="rand48m",
+        description="seeded random 48-core family + converter-rich mix",
+        factory=lambda seed: random_workload(
+            48, seed=seed, n_adc=3, n_dac=3, n_pll=2
+        ),
+        default_seed=48,
+    ))
+
+
+_register_defaults()
+
+#: Exported for callers that want the paper mix on their own digital SOC.
+PAPER_ANALOG_POLICY = PAPER_POLICY

@@ -1,0 +1,135 @@
+"""Tests for the batch sweep engine (jobs, grid, parallel execution)."""
+
+import pytest
+
+from repro.reporting import read_jsonl
+from repro.runner import (
+    JobResult,
+    SweepJob,
+    evaluate_job,
+    expand_grid,
+    run_sweep,
+)
+
+
+class TestSweepJob:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            SweepJob("mini", width=0)
+        with pytest.raises(ValueError, match="wt"):
+            SweepJob("mini", width=8, wt=1.5)
+        with pytest.raises(ValueError, match="effort"):
+            SweepJob("mini", width=8, effort="turbo")
+
+    def test_result_dict_roundtrip(self):
+        job = SweepJob("mini", width=8, effort="quick")
+        result = JobResult(job=job, soc_name="mini", makespan=5)
+        assert JobResult.from_dict(result.to_dict()) == result
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_order(self):
+        jobs = expand_grid(
+            ["a", "b"], [8, 16], wts=(0.3, 0.7), effort="quick"
+        )
+        assert len(jobs) == 8
+        assert jobs[0] == SweepJob("a", 8, wt=0.3, effort="quick")
+        assert jobs[-1] == SweepJob("b", 16, wt=0.7, effort="quick")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis"):
+            expand_grid([], [8])
+        with pytest.raises(ValueError, match="axis"):
+            expand_grid(["a"], [])
+
+
+class TestEvaluateJob:
+    def test_uncached_evaluation(self):
+        result = evaluate_job(SweepJob("mini", width=8, effort="quick"))
+        assert result.status == "ok"
+        assert result.soc_name == "mini_ms"
+        assert result.makespan > 0
+        assert result.n_analog == 2
+        assert not result.cache_hit
+        assert result.staircase_misses == 4  # one per digital core
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        job = SweepJob("mini", width=8, effort="quick")
+        cache_dir = str(tmp_path / "cache")
+        cold = evaluate_job(job, cache_dir)
+        warm = evaluate_job(job, cache_dir)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.makespan == cold.makespan
+        assert warm.total_cost == cold.total_cost
+
+    def test_staircases_shared_across_widths(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        # width 24 saturates every mini core's useful width, so the
+        # width-32 job reuses all four staircase entries
+        evaluate_job(SweepJob("mini", width=24, effort="quick"), cache_dir)
+        wider = evaluate_job(
+            SweepJob("mini", width=32, effort="quick"), cache_dir
+        )
+        assert wider.staircase_hits == 4
+        assert wider.staircase_misses == 0
+
+
+class TestRunSweep:
+    def test_two_worker_smoke_sweep(self, tmp_path):
+        jobs = expand_grid(["mini"], [8, 12], effort="quick")
+        out = tmp_path / "results.jsonl"
+        sweep = run_sweep(
+            jobs,
+            workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            out_path=str(out),
+        )
+        assert len(sweep.results) == 2
+        assert not sweep.errors
+        # results come back in grid order regardless of completion order
+        assert [r.job for r in sweep.results] == list(jobs)
+        records = read_jsonl(out)
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+        assert "makespan" in records[0]
+
+    def test_warm_rerun_hits_cache(self, tmp_path):
+        jobs = expand_grid(["mini"], [8], effort="quick")
+        cache_dir = str(tmp_path / "cache")
+        cold = run_sweep(jobs, cache_dir=cache_dir)
+        warm = run_sweep(jobs, cache_dir=cache_dir)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 1
+        assert "cache hits: 1/1" in warm.render()
+
+    def test_error_isolation(self):
+        jobs = (
+            SweepJob("mini", width=8, effort="quick"),
+            SweepJob("no_such_workload", width=8, effort="quick"),
+        )
+        sweep = run_sweep(jobs)
+        assert len(sweep.ok) == 1
+        assert len(sweep.errors) == 1
+        assert "no_such_workload" in sweep.errors[0].error
+        assert "FAILED" in sweep.render()
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            expand_grid(["mini"], [8], effort="quick"),
+            progress=seen.append,
+        )
+        assert len(seen) == 1
+        assert seen[0].status == "ok"
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            run_sweep(())
+
+    def test_render_summary(self):
+        sweep = run_sweep(expand_grid(["mini"], [8], effort="quick"))
+        rendered = sweep.render()
+        assert "Sweep results" in rendered
+        assert "mini" in rendered
+        assert "staircase cache" in rendered

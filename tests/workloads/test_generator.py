@@ -1,0 +1,84 @@
+"""Tests for the synthetic SOC family generator."""
+
+import pytest
+
+from repro.soc.benchmarks import DEFAULT_SEED, synthetic_p93791
+from repro.workloads import (
+    D695_FAMILY,
+    G1023_FAMILY,
+    P22810_FAMILY,
+    P93791_FAMILY,
+    DigitalFamily,
+    SizeClass,
+    generate_digital,
+    random_family,
+)
+
+
+class TestSizeClass:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="low > high"):
+            SizeClass(1, (5, 2), (1, 1), (1, 1), (0, 1), (0, 1), (0, 0))
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            SizeClass(0, (0, 1), (1, 1), (1, 1), (0, 1), (0, 1), (0, 0))
+
+    def test_chain_length_must_be_positive(self):
+        with pytest.raises(ValueError, match="chain_length"):
+            SizeClass(1, (0, 1), (0, 4), (1, 1), (0, 1), (0, 1), (0, 0))
+
+
+class TestFamilies:
+    def test_named_family_core_counts(self):
+        assert P93791_FAMILY.n_cores == 32
+        assert P22810_FAMILY.n_cores == 28
+        assert G1023_FAMILY.n_cores == 14
+        assert D695_FAMILY.n_cores == 10
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError, match="no size classes"):
+            DigitalFamily(name="x", classes=())
+
+
+class TestGenerateDigital:
+    def test_reproduces_legacy_p93791_standin(self):
+        generated = generate_digital(P93791_FAMILY, seed=DEFAULT_SEED)
+        assert generated == synthetic_p93791()
+
+    def test_deterministic_per_seed(self):
+        a = generate_digital(D695_FAMILY, seed=3)
+        b = generate_digital(D695_FAMILY, seed=3)
+        c = generate_digital(D695_FAMILY, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_name_override(self):
+        soc = generate_digital(D695_FAMILY, seed=1, name="custom")
+        assert soc.name == "custom"
+
+    def test_core_count_and_validity(self):
+        soc = generate_digital(G1023_FAMILY, seed=0)
+        assert soc.n_digital == G1023_FAMILY.n_cores
+        assert not soc.is_mixed_signal
+        assert all(core.max_useful_width >= 1 for core in soc.digital_cores)
+
+
+class TestRandomFamily:
+    def test_exact_core_count(self):
+        for n in (4, 7, 24, 48):
+            assert random_family(n, seed=1).n_cores == n
+
+    def test_deterministic(self):
+        assert random_family(16, seed=5) == random_family(16, seed=5)
+        assert random_family(16, seed=5) != random_family(16, seed=6)
+
+    def test_expands_to_valid_soc(self):
+        soc = generate_digital(random_family(12, seed=2), seed=9)
+        assert soc.n_digital == 12
+
+    def test_rejects_tiny_and_bad_scale(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            random_family(3, seed=0)
+        with pytest.raises(ValueError, match="scale"):
+            random_family(8, seed=0, scale=0)

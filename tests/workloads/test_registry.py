@@ -1,0 +1,126 @@
+"""Tests for analog augmentation policies and the workload registry."""
+
+import random
+
+import pytest
+
+from repro.soc import benchmarks, itc02
+from repro.workloads import (
+    AnalogPolicy,
+    PAPER_POLICY,
+    Workload,
+    augment,
+    build,
+    build_analog_cores,
+    generate_digital,
+    get,
+    names,
+    random_workload,
+    register,
+)
+from repro.workloads.analog import synth_adc_core, synth_dac_core, synth_pll_core
+from repro.workloads.generator import D695_FAMILY
+
+REQUIRED_PRESETS = ("p93791m", "d695m", "g1023m", "p22810m")
+
+
+class TestAnalogPolicy:
+    def test_unknown_paper_core_rejected(self):
+        with pytest.raises(ValueError, match="unknown paper cores"):
+            AnalogPolicy(paper_cores=("Z",))
+
+    def test_duplicate_paper_core_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AnalogPolicy(paper_cores=("A", "A"))
+
+    def test_counts(self):
+        policy = AnalogPolicy(paper_cores=("A", "B"), n_adc=2, n_pll=1)
+        assert policy.n_cores == 5
+
+    def test_paper_policy_matches_table2(self):
+        cores = build_analog_cores(PAPER_POLICY, seed=0)
+        assert tuple(c.name for c in cores) == ("A", "B", "C", "D", "E")
+
+    def test_synth_cores_are_valid_and_deterministic(self):
+        for factory in (synth_adc_core, synth_dac_core, synth_pll_core):
+            a = factory("x", random.Random(11))
+            b = factory("x", random.Random(11))
+            assert a == b
+            assert a.total_cycles > 0
+            assert a.max_tam_width >= 1
+
+    def test_augment_names_and_grafts(self):
+        digital = generate_digital(D695_FAMILY, seed=1)
+        soc = augment(digital, AnalogPolicy(n_adc=1, n_pll=1), seed=2)
+        assert soc.name == "d695m"
+        assert soc.n_digital == digital.n_digital
+        assert {c.name for c in soc.analog_cores} == {"adc1", "pll1"}
+
+    def test_augment_rejects_empty_policy(self):
+        digital = generate_digital(D695_FAMILY, seed=1)
+        with pytest.raises(ValueError, match="no cores"):
+            augment(digital, AnalogPolicy())
+
+
+class TestRegistry:
+    def test_required_presets_present(self):
+        registered = names()
+        assert len(registered) >= 6
+        for preset in REQUIRED_PRESETS:
+            assert preset in registered
+
+    def test_p93791m_preset_is_the_paper_benchmark(self):
+        assert build("p93791m") == benchmarks.p93791m()
+
+    def test_every_preset_builds_mixed_signal(self):
+        for name in names():
+            soc = build(name)
+            assert soc.is_mixed_signal, name
+
+    def test_presets_deterministic_and_seed_sensitive(self):
+        assert build("d695m", seed=7) == build("d695m", seed=7)
+        assert build("d695m", seed=7) != build("d695m", seed=8)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        workload = get("mini")
+        with pytest.raises(ValueError, match="already registered"):
+            register(workload)
+        # replace=True is the escape hatch
+        register(workload, replace=True)
+
+    def test_custom_registration(self):
+        register(
+            Workload(
+                name="_test_tmp",
+                description="test-only",
+                factory=lambda seed: build("mini"),
+            )
+        )
+        try:
+            assert build("_test_tmp").is_mixed_signal
+        finally:
+            from repro.workloads import registry
+
+            del registry._REGISTRY["_test_tmp"]
+
+    def test_random_workload_pure_function_of_args(self):
+        assert random_workload(8, seed=3) == random_workload(8, seed=3)
+        assert random_workload(8, seed=3) != random_workload(8, seed=4)
+
+
+class TestSocRoundTrip:
+    def test_p93791m_parse_emit_parse_lossless(self):
+        soc = build("p93791m")
+        text = itc02.dumps(soc)
+        parsed = itc02.loads(text)
+        assert parsed == soc
+        assert itc02.dumps(parsed) == text
+
+    @pytest.mark.parametrize("name", ["d695m", "g1023m", "p22810m", "rand24m"])
+    def test_generated_presets_roundtrip(self, name):
+        soc = build(name)
+        assert itc02.loads(itc02.dumps(soc)) == soc

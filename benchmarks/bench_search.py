@@ -1,0 +1,212 @@
+"""Search benchmark: optimality gap and cost-vs-budget trajectory.
+
+Two studies, recorded into ``BENCH_search.json`` (the repo's perf
+trajectory for the anytime optimizers):
+
+* **small** — on the paper's 5-core ``p93791m`` the full 52-partition
+  space is still exhaustible, so every strategy's *optimality gap* is
+  measurable exactly.  Gate: gap <= 2% for every registered strategy.
+* **large** — on the 12-analog-core ``big12m`` preset (Bell(12) ~ 4.2
+  million partitions) exhaustion is hopeless; strategies run under an
+  evaluation budget and the anytime trace yields best-cost-at-budget
+  milestones.  Gate: every strategy ends at or below the
+  random-restart greedy baseline.
+
+Runs standalone (CI writes the JSON artifact this way)::
+
+    python benchmarks/bench_search.py --quick --out BENCH_search.json
+
+or under pytest-benchmark along with the other benches::
+
+    python -m pytest benchmarks/bench_search.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.exhaustive import exhaustive_search
+from repro.core.sharing import all_partitions, bell_number
+from repro.experiments.common import PACK_EFFORT
+from repro.search import Budget, SearchProblem, registry, run_strategy
+from repro.workloads import build
+
+#: budgets at which the large-instance trajectory is sampled
+MILESTONES = (25, 50, 100, 200)
+
+
+def _model(soc, width: int, effort: str) -> CostModel:
+    return CostModel(
+        soc, width, CostWeights.balanced(), AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, width, **PACK_EFFORT[effort]),
+    )
+
+
+def _run(model: CostModel, name: str, budget: int, seed: int = 0):
+    problem = SearchProblem(model, Budget(max_evaluations=budget))
+    return run_strategy(registry.create(name), problem, seed=seed)
+
+
+def _milestone_costs(trace, milestones) -> dict[str, float | None]:
+    """Best cost at each evaluation milestone (None before first hit)."""
+    out: dict[str, float | None] = {}
+    for m in milestones:
+        reached = [p.best_cost for p in trace if p.n_evaluated <= m]
+        out[str(m)] = min(reached) if reached else None
+    return out
+
+
+def small_instance_study(effort: str, budget: int) -> dict:
+    """Gap vs the exhaustive optimum on the paper benchmark."""
+    soc = build("p93791m")
+    model = _model(soc, width=32, effort=effort)
+    names = [core.name for core in soc.analog_cores]
+    started = time.perf_counter()
+    exhaustive = exhaustive_search(model, all_partitions(names))
+    exhaustive_s = time.perf_counter() - started
+    strategies = {}
+    for name in registry.strategy_names():
+        started = time.perf_counter()
+        outcome = _run(model, name, budget)
+        gap = (
+            100.0 * (outcome.best_cost - exhaustive.best_cost)
+            / exhaustive.best_cost
+        )
+        strategies[name] = {
+            "best_cost": round(outcome.best_cost, 4),
+            "gap_percent": round(gap, 4),
+            "n_evaluated": outcome.n_evaluated,
+            "n_packs": outcome.n_packs,
+            "elapsed_s": round(time.perf_counter() - started, 3),
+        }
+    return {
+        "workload": "p93791m",
+        "width": 32,
+        "n_analog": soc.n_analog,
+        "space_size": bell_number(soc.n_analog),
+        "budget": budget,
+        "exhaustive_cost": round(exhaustive.best_cost, 4),
+        "exhaustive_evaluations": exhaustive.n_evaluated,
+        "exhaustive_s": round(exhaustive_s, 3),
+        "strategies": strategies,
+    }
+
+
+def large_instance_study(effort: str, budget: int,
+                         workload: str = "big12m") -> dict:
+    """Cost-vs-budget trajectories where exhaustion is impossible."""
+    soc = build(workload)
+    model = _model(soc, width=32, effort=effort)
+    milestones = tuple(m for m in MILESTONES if m <= budget)
+    strategies = {}
+    for name in registry.strategy_names():
+        started = time.perf_counter()
+        outcome = _run(model, name, budget)
+        strategies[name] = {
+            "best_cost": round(outcome.best_cost, 4),
+            "best_partition": str(outcome.best_partition),
+            "milestones": _milestone_costs(outcome.trace, milestones),
+            "n_evaluated": outcome.n_evaluated,
+            "n_packs": outcome.n_packs,
+            "elapsed_s": round(time.perf_counter() - started, 3),
+        }
+    return {
+        "workload": workload,
+        "width": 32,
+        "n_analog": soc.n_analog,
+        "space_size": bell_number(soc.n_analog),
+        "budget": budget,
+        "milestones": [str(m) for m in milestones],
+        "strategies": strategies,
+    }
+
+
+def run_bench(effort: str = "medium", small_budget: int = 52,
+              large_budget: int = 200) -> dict:
+    """The full benchmark record (both studies)."""
+    record = {
+        "benchmark": "search",
+        "config": {
+            "effort": effort,
+            "small_budget": small_budget,
+            "large_budget": large_budget,
+            "seed": 0,
+        },
+        "small": small_instance_study(effort, small_budget),
+        "large": large_instance_study(effort, large_budget),
+    }
+    greedy = record["large"]["strategies"]["greedy"]["best_cost"]
+    record["large"]["greedy_baseline_cost"] = greedy
+    record["large"]["beats_greedy"] = {
+        name: data["best_cost"] <= greedy
+        for name, data in record["large"]["strategies"].items()
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: quick packer effort (budgets unchanged — the "
+             "beats-greedy gate needs the full 200 evaluations)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_search.json",
+        help="output JSON path (default: BENCH_search.json)",
+    )
+    args = parser.parse_args(argv)
+    effort = "quick" if args.quick else "medium"
+    large_budget = 200
+    started = time.perf_counter()
+    record = run_bench(effort=effort, large_budget=large_budget)
+    record["total_s"] = round(time.perf_counter() - started, 3)
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+
+    worst_gap = max(
+        data["gap_percent"]
+        for data in record["small"]["strategies"].values()
+    )
+    print(f"small ({record['small']['workload']}): exhaustive "
+          f"{record['small']['exhaustive_cost']}, worst strategy gap "
+          f"{worst_gap:.2f}%")
+    print(f"large ({record['large']['workload']}, space "
+          f"{record['large']['space_size']:.3g}): "
+          + ", ".join(
+              f"{name} {data['best_cost']}"
+              for name, data in record["large"]["strategies"].items()
+          ))
+    print(f"wrote {args.out} ({record['total_s']}s)")
+    failed = worst_gap > 2.0 or not all(
+        record["large"]["beats_greedy"].values()
+    )
+    if failed:
+        print("BENCH GATES FAILED", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def test_search_bench(benchmark, save_artifact):
+    """pytest-benchmark entry point (slow: medium effort, full budget)."""
+    record = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    save_artifact("bench_search", json.dumps(record, indent=2))
+
+    for name, data in record["small"]["strategies"].items():
+        assert data["gap_percent"] <= 2.0, (name, data)
+    assert all(record["large"]["beats_greedy"].values())
+
+    benchmark.extra_info["worst_gap_percent"] = max(
+        d["gap_percent"] for d in record["small"]["strategies"].values()
+    )
+    benchmark.extra_info["large_best"] = min(
+        d["best_cost"] for d in record["large"]["strategies"].values()
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

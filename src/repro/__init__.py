@@ -31,10 +31,17 @@ The library covers the whole stack the paper builds on:
   ``g1023`` / ``p22810`` / ``p93791`` stand-ins and random families),
   ADC/DAC/PLL analog-augmentation policies, and a registry of named
   presets every driver can run against;
+* :mod:`repro.search` — pluggable anytime metaheuristic optimizers
+  over the sharing space (random-restart greedy, simulated annealing,
+  tabu, genetic with partition crossover), budgeted by evaluations or
+  wall clock, seeded for reproducibility, each emitting a
+  best-cost-vs-evaluations anytime trace — the scaling path for SOCs
+  whose Bell-number partition spaces defeat the paper's drivers;
 * :mod:`repro.runner` — a batch evaluation engine: (workload x TAM
-  width x optimizer config) grids fanned across ``multiprocessing``
-  workers, with a content-hash keyed on-disk cache for Pareto
-  staircases and job results, streaming JSONL plus summary tables;
+  width x optimizer config x search strategy) grids fanned across
+  ``multiprocessing`` workers, with a content-hash keyed on-disk cache
+  for Pareto staircases and job results, streaming JSONL plus summary
+  tables;
 * :mod:`repro.reporting` — monospace tables, ASCII plots, and JSONL
   helpers the drivers and the sweep engine share.
 

@@ -11,17 +11,23 @@ Usage::
     python -m repro plan  [--width 32 --wt 0.5]
     python -m repro all                 # everything (slow)
     python -m repro workloads           # list registered scenarios
+    python -m repro strategies          # list anytime search strategies
     python -m repro generate --seed 7   # emit a synthetic .soc file
+    python -m repro --workload big12m optimize \\
+        --strategy anneal --budget 200  # budgeted anytime search
     python -m repro sweep --preset p93791m,d695m --widths 16,24,32 \\
         --jobs 4                        # parallel cached batch sweep
 
 Each table/figure subcommand prints the corresponding table in the
 paper's layout; the global ``--workload`` flag points the
-SOC-dependent ones (``table1``-``table4``, ``plan``, ``report``) at
-any registered scenario instead of the default ``p93791m`` (``fig4``
-and ``fig5`` model converters and signals, not SOCs, so the flag does
-not affect them).  ``sweep`` fans a (workload x width x weight) grid
-across worker processes with an on-disk result cache, streaming JSONL.
+SOC-dependent ones (``table1``-``table4``, ``plan``, ``report``,
+``optimize``) at any registered scenario instead of the default
+``p93791m`` (``fig4`` and ``fig5`` model converters and signals, not
+SOCs, so the flag does not affect them).  ``sweep`` fans a (workload x
+width x weight) grid across worker processes with an on-disk result
+cache, streaming JSONL; its ``--strategy`` axis races anytime
+optimizers (``optimize`` runs a single one and writes its
+best-cost-vs-evaluations trace).
 """
 
 from __future__ import annotations
@@ -30,7 +36,8 @@ import argparse
 import sys
 import time
 
-from . import CostWeights, plan_test, render_gantt, workloads
+from . import CostWeights, format_partition, plan_test, render_gantt, \
+    workloads
 from .experiments import (
     ExperimentContext,
     run_fig4,
@@ -155,6 +162,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list registered workload presets")
 
+    sub.add_parser(
+        "strategies", help="list registered anytime search strategies"
+    )
+
+    po = sub.add_parser(
+        "optimize",
+        help="budgeted anytime metaheuristic search over the sharing "
+             "space (scales to SOCs the exhaustive drivers cannot)",
+    )
+    po.add_argument(
+        "--strategy", default="anneal",
+        help="registered strategy name, or 'all' to race every one on "
+             "a shared evaluation cache (default: anneal)",
+    )
+    po.add_argument(
+        "--budget", type=int, default=200,
+        help="evaluation budget per strategy (default: 200)",
+    )
+    po.add_argument(
+        "--seconds", type=float, default=None,
+        help="wall-clock budget per strategy (default: none)",
+    )
+    po.add_argument("--width", type=int, default=32)
+    po.add_argument(
+        "--wt", type=float, default=0.5,
+        help="test-time weight w_T (area weight is 1 - w_T)",
+    )
+    po.add_argument(
+        "--search-seed", type=int, default=0,
+        help="search RNG seed (same seed, same trace; default: 0)",
+    )
+    po.add_argument(
+        "--trace", default="search_trace.jsonl",
+        help="anytime-trace JSONL path ('' disables; default: "
+             "search_trace.jsonl)",
+    )
+    po.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI path: the 'mini' workload at width 8, quick effort",
+    )
+    # --seed after the subcommand, same SUPPRESS dance as generate
+    po.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                    help="workload seed")
+
     pg = sub.add_parser(
         "generate", help="emit a scenario as an ITC'02-style .soc file"
     )
@@ -206,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate every sharing combination per job",
     )
     ps.add_argument(
+        "--strategy", nargs="+", default=None,
+        help="anytime search strategy names to race as a grid axis "
+             "('all' = every registered one); omitting keeps the "
+             "paper flow",
+    )
+    ps.add_argument(
+        "--budget", type=int, default=None,
+        help="evaluation budget per search job (default: 200; "
+             "requires --strategy)",
+    )
+    ps.add_argument(
+        "--search-seed", type=int, default=None,
+        help="search RNG seed for every search job (default: 0; "
+             "requires --strategy)",
+    )
+    ps.add_argument(
+        "--trace-dir", default=None,
+        help="directory collecting per-job anytime-trace JSONL files",
+    )
+    ps.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (default: 1 = inline)",
     )
@@ -254,6 +325,117 @@ def _run_generate(args: argparse.Namespace) -> str:
     return f"wrote {args.out}\n{soc.summary()}"
 
 
+def _resolve_strategies(tokens: list[str] | None) -> tuple[str, ...]:
+    """Map the --strategy argument to registered names ('' = paper flow)."""
+    if tokens is None:
+        return ("",)
+    from .search import registry as search_registry
+
+    names = _str_list(tokens)
+    if "all" in names:
+        return search_registry.strategy_names()
+    for name in names:
+        if name not in search_registry.strategy_names():
+            raise _CliError(
+                f"unknown strategy {name!r}; available: "
+                f"{', '.join(search_registry.strategy_names())} (or 'all')"
+            )
+    return names
+
+
+def _run_optimize(args: argparse.Namespace) -> str:
+    from .core.area import AreaModel
+    from .core.cost import CostModel, ScheduleEvaluator
+    from .core.sharing import bell_number
+    from .experiments.common import PACK_EFFORT
+    from .reporting import write_jsonl
+    from .search import Budget, SearchProblem, run_strategy
+    from .search import registry as search_registry
+
+    if args.smoke:
+        workload, width, effort = "mini", 8, "quick"
+        budget = min(args.budget, 50)
+    else:
+        workload, width, effort = args.workload, args.width, args.effort
+        budget = args.budget
+    if budget < 1:
+        raise _CliError(f"--budget must be >= 1, got {budget}")
+    if args.seconds is not None and args.seconds <= 0:
+        raise _CliError(
+            f"--seconds must be positive, got {args.seconds:g}"
+        )
+    names = _resolve_strategies([args.strategy])
+    try:
+        weights = CostWeights(time=args.wt, area=1.0 - args.wt)
+        soc = workloads.build(workload, args.seed)
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+
+    # one shared evaluator: racing strategies reuse each other's packs
+    evaluator = ScheduleEvaluator(soc, width, **PACK_EFFORT[effort])
+    model = CostModel(
+        soc, width, weights, AreaModel(soc.analog_cores),
+        evaluator=evaluator,
+    )
+    progress_every = 25
+
+    def progress(count: int) -> None:
+        if count % progress_every == 0:
+            print(f"  ... {count} TAM packing runs", file=sys.stderr)
+
+    evaluator.on_evaluation = progress
+
+    space = bell_number(soc.n_analog)
+    lines = [
+        f"SOC {soc.name}: {soc.n_analog} analog cores, "
+        f"{space} sharing partitions; TAM width {width}, "
+        f"w_T={args.wt:g}, budget {budget} evaluations"
+        + (f" / {args.seconds:g}s" if args.seconds else ""),
+    ]
+    outcomes = []
+    for name in names:
+        problem = SearchProblem(model, Budget(
+            max_evaluations=budget, max_seconds=args.seconds,
+        ))
+        try:
+            outcome = run_strategy(
+                search_registry.create(name), problem,
+                seed=args.search_seed,
+            )
+        except ValueError as exc:
+            # e.g. a wall-clock budget that expired before the first
+            # evaluation — user input, not an internal failure
+            raise _CliError(exc.args[0] if exc.args else exc) from None
+        outcomes.append(outcome)
+        lines.append(outcome.summary())
+    best = min(outcomes, key=lambda o: (o.best_cost, o.best_partition))
+    breakdown = model.breakdown(best.best_partition)
+    lines += [
+        "",
+        f"best overall: {best.strategy} -> "
+        f"{format_partition(best.best_partition)} "
+        f"(cost {best.best_cost:.2f}, C_T {breakdown.time_cost:.1f}, "
+        f"C_A {breakdown.area_cost:.1f}, makespan {breakdown.makespan})",
+        f"{evaluator.evaluations} TAM packing runs total across "
+        f"{len(outcomes)} strategies",
+    ]
+    if args.trace:
+        records = []
+        for outcome in outcomes:
+            records.extend(outcome.trace_records(
+                workload=workload, width=width, wt=args.wt, budget=budget,
+            ))
+        try:
+            write_jsonl(records, args.trace)
+        except OSError as exc:
+            raise _CliError(
+                f"cannot write trace to {args.trace!r}: {exc}"
+            ) from None
+        lines.append(f"anytime trace ({len(records)} records) -> "
+                     f"{args.trace}")
+    return "\n".join(lines)
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
     from .runner import expand_grid, run_sweep
 
@@ -265,6 +447,12 @@ def _run_sweep(args: argparse.Namespace) -> str:
         presets = _str_list(args.preset)
         widths = _int_list(args.widths)
         effort = args.effort
+    strategies = _resolve_strategies(args.strategy)
+    if strategies == ("",):
+        for flag, value in (("--budget", args.budget),
+                            ("--search-seed", args.search_seed)):
+            if value is not None:
+                raise _CliError(f"{flag} requires --strategy")
     try:
         jobs = expand_grid(
             presets,
@@ -274,6 +462,11 @@ def _run_sweep(args: argparse.Namespace) -> str:
             delta=args.delta,
             exhaustive=args.exhaustive,
             effort=effort,
+            strategies=strategies,
+            budget=args.budget if args.budget is not None else 200,
+            search_seed=(
+                args.search_seed if args.search_seed is not None else 0
+            ),
         )
     except ValueError as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
@@ -284,9 +477,10 @@ def _run_sweep(args: argparse.Namespace) -> str:
 
     def progress(result) -> None:
         state = "cache" if result.cache_hit else result.status
+        label = f" {result.job.strategy}" if result.job.strategy else ""
         print(
             f"  [{state:5s}] {result.job.workload} W={result.job.width} "
-            f"w_T={result.job.wt:g} ({result.elapsed_s:.2f}s)",
+            f"w_T={result.job.wt:g}{label} ({result.elapsed_s:.2f}s)",
             file=sys.stderr,
         )
 
@@ -297,6 +491,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
             cache_dir=cache_dir,
             out_path=args.out,
             progress=progress,
+            trace_dir=args.trace_dir,
         )
     except OSError as exc:
         raise _CliError(f"cannot write results to {args.out!r}: {exc}") \
@@ -316,8 +511,21 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
             for workload in (workloads.get(n) for n in workloads.names())
         ]
         return "\n".join(lines)
+    if command == "strategies":
+        from .search import registry as search_registry
+
+        lines = [
+            f"{spec.name:10s} {spec.description}"
+            for spec in (
+                search_registry.get(n)
+                for n in search_registry.strategy_names()
+            )
+        ]
+        return "\n".join(lines)
     if command == "generate":
         return _run_generate(args)
+    if command == "optimize":
+        return _run_optimize(args)
     if command == "sweep":
         return _run_sweep(args)
     try:

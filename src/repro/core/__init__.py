@@ -16,6 +16,7 @@ from .sharing import (
     Partition,
     all_partitions,
     all_sharing,
+    bell_number,
     canonical,
     format_partition,
     identical_core_classes,
@@ -44,6 +45,7 @@ __all__ = [
     "all_partitions",
     "all_sharing",
     "analog_time_lower_bound",
+    "bell_number",
     "canonical",
     "cost_optimizer",
     "evaluate_all",

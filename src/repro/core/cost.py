@@ -28,6 +28,7 @@ with two guarantees the optimization layer relies on:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..soc.model import Soc
@@ -115,6 +116,13 @@ class ScheduleEvaluator:
         self._schedules: dict[Partition, Schedule] = {}
         #: number of actual packing runs performed (the paper's ``n``)
         self.evaluations = 0
+        #: metering hook: called with the updated evaluation count
+        #: after every actual packing run (cache hits never fire it).
+        #: Budget meters and progress displays for the anytime
+        #: optimizers (:mod:`repro.search`) attach here; an exception
+        #: raised by the hook propagates to the caller, which is how a
+        #: hard budget can abort an in-flight optimization.
+        self.on_evaluation: Callable[[int], None] | None = None
 
     def schedule(self, partition: Partition) -> Schedule:
         """The (cached) schedule for *partition*.
@@ -133,6 +141,8 @@ class ScheduleEvaluator:
         )
         result = pack(tasks, self.width, **self._pack_kwargs)
         self.evaluations += 1
+        if self.on_evaluation is not None:
+            self.on_evaluation(self.evaluations)
         # refinement monotonicity: inherit better coarse schedules, and
         # retro-propagate this result to cached refinements.  NOT valid
         # with self-test tasks: a refinement has *more* wrappers, hence

@@ -3,11 +3,21 @@
 Evaluates every sharing combination with a full TAM optimization run and
 returns the optimum plus the complete cost table (the data behind the
 paper's Tables 3 and 4 "exhaustive" columns).
+
+Both entry points accept any iterable of partitions (e.g. the lazy
+:func:`repro.core.sharing.all_partitions` generator) and an optional
+early-stop *budget* in actual packing runs.  Without a budget the
+candidates are materialized and evaluated coarsest-first (best for the
+evaluator's refinement propagation); *with* a budget they are consumed
+**lazily in the order given** and enumeration stops with the
+evaluations, so an "exhaustive" run on a large instance degrades into a
+truncated streaming baseline instead of materializing a Bell-number
+list.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable
 
 from .cost import CostBreakdown, CostModel
 from .optimizer import OptimizationResult
@@ -17,33 +27,66 @@ __all__ = ["exhaustive_search", "evaluate_all"]
 
 
 def evaluate_all(
-    model: CostModel, combinations: Sequence[Partition]
+    model: CostModel,
+    combinations: Iterable[Partition],
+    budget: int | None = None,
 ) -> list[CostBreakdown]:
     """Cost breakdowns of every combination (one TAM run each).
 
-    Combinations are evaluated coarsest-first so the evaluator's
-    refinement-monotonicity propagation is maximally effective.
+    Without a *budget*, combinations are materialized and evaluated
+    coarsest-first so the evaluator's refinement-monotonicity
+    propagation is maximally effective.
+
+    :param budget: stop once this many *actual* packing runs (evaluator
+        cache misses) have been spent; at least one combination is
+        always evaluated.  ``None`` evaluates everything.  With a
+        budget the iterable is consumed lazily in its own order and
+        never materialized — safe on Bell-number generators.
     """
-    ordered = sorted(combinations, key=lambda p: (len(p), p))
-    return [model.breakdown(partition) for partition in ordered]
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if budget is None:
+        combinations = sorted(combinations, key=lambda p: (len(p), p))
+    start_evaluations = model.evaluator.evaluations
+    breakdowns: list[CostBreakdown] = []
+    for partition in combinations:
+        if (
+            budget is not None
+            and breakdowns
+            and model.evaluator.evaluations - start_evaluations >= budget
+        ):
+            break
+        breakdowns.append(model.breakdown(partition))
+    return breakdowns
 
 
 def exhaustive_search(
-    model: CostModel, combinations: Sequence[Partition]
+    model: CostModel,
+    combinations: Iterable[Partition],
+    budget: int | None = None,
 ) -> OptimizationResult:
     """Full evaluation of *combinations*; returns the global optimum.
 
-    :raises ValueError: if *combinations* is empty.
+    With a *budget*, the iterable is streamed (never materialized) and
+    evaluation stops once that many actual packing runs have been
+    spent; the best combination *seen so far* is returned.
+    ``n_evaluated`` counts exactly the evaluator's cache misses
+    (consistent with every other
+    :class:`~repro.core.optimizer.OptimizationResult` producer), and
+    ``n_total`` reports the candidates actually examined — the full
+    count under no budget, the truncated one otherwise.
+
+    :raises ValueError: if *combinations* is empty or *budget* < 1.
     """
-    if not combinations:
-        raise ValueError("at least one sharing combination is required")
     start_evaluations = model.evaluator.evaluations
-    breakdowns = evaluate_all(model, combinations)
+    breakdowns = evaluate_all(model, combinations, budget=budget)
+    if not breakdowns:
+        raise ValueError("at least one sharing combination is required")
     best = min(breakdowns, key=lambda b: (b.total_cost, b.partition))
     return OptimizationResult(
         best_partition=best.partition,
         best_cost=best.total_cost,
         n_evaluated=model.evaluator.evaluations - start_evaluations,
-        n_total=len(combinations),
+        n_total=len(breakdowns),
         groups=(),
     )

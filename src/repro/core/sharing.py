@@ -6,7 +6,9 @@ singleton groups keep private wrappers.
 
 Three enumerations are provided:
 
-* :func:`all_partitions` — every set partition (Bell number growth);
+* :func:`all_partitions` — every set partition, yielded **lazily** (the
+  count grows with the Bell number — :func:`bell_number` — so large
+  instances must never materialize the full list);
 * :func:`paper_combinations` — the paper's "judiciously chosen" family
   (Table 1): partitions with exactly **one** shared group, plus
   partitions with exactly **two** shared groups and no private wrapper
@@ -22,7 +24,7 @@ they are hashable and printable.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from itertools import permutations
 
 from ..soc.model import AnalogCore
@@ -31,6 +33,7 @@ __all__ = [
     "Partition",
     "canonical",
     "all_partitions",
+    "bell_number",
     "paper_combinations",
     "symmetry_reduce",
     "identical_core_classes",
@@ -110,30 +113,60 @@ def refines(fine: Partition, coarse: Partition) -> bool:
     return True
 
 
-def all_partitions(names: Sequence[str]) -> list[Partition]:
-    """Every set partition of *names* (Bell(n) of them), canonical."""
+def bell_number(n: int) -> int:
+    """Bell(n): the number of set partitions of *n* elements.
+
+    The size of the space :func:`all_partitions` enumerates — use it to
+    decide between exhaustive evaluation and budgeted search
+    (:mod:`repro.search`) before asking for the partitions themselves.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    row = [1]
+    for _ in range(n):
+        new_row = [row[-1]]
+        for value in row:
+            new_row.append(new_row[-1] + value)
+        row = new_row
+    return row[0]
+
+
+def all_partitions(names: Sequence[str]) -> Iterator[Partition]:
+    """Every set partition of *names* (Bell(n) of them), canonical.
+
+    Lazy: partitions are yielded one at a time in restricted-growth
+    order, each exactly once, so callers may ``islice`` or sample the
+    space without materializing Bell-number lists.  Duplicate names are
+    rejected eagerly, before the first partition is produced.
+    """
     items = list(names)
     if len(set(items)) != len(items):
         raise ValueError(f"names must be unique, got {items}")
+    return _iter_partitions(items)
+
+
+def _iter_partitions(items: list[str]) -> Iterator[Partition]:
     if not items:
-        return []
+        return
 
-    def recurse(remaining: list[str]) -> list[list[list[str]]]:
-        if not remaining:
-            return [[]]
-        head, *tail = remaining
-        result: list[list[list[str]]] = []
-        for sub in recurse(tail):
-            # put head in an existing group
-            for i in range(len(sub)):
-                grown = [list(g) for g in sub]
-                grown[i].append(head)
-                result.append(grown)
-            # or in a new group
-            result.append([[head]] + [list(g) for g in sub])
-        return result
+    groups: list[list[str]] = [[items[0]]]
 
-    return sorted({canonical(p) for p in recurse(items)})
+    def recurse(index: int) -> Iterator[Partition]:
+        if index == len(items):
+            yield canonical(groups)
+            return
+        name = items[index]
+        # place items[index] in each existing group, then in a new one;
+        # canonical() snapshots, so mutating `groups` in place is safe
+        for group in groups:
+            group.append(name)
+            yield from recurse(index + 1)
+            group.pop()
+        groups.append([name])
+        yield from recurse(index + 1)
+        groups.pop()
+
+    yield from recurse(1)
 
 
 def paper_combinations(
@@ -149,6 +182,9 @@ def paper_combinations(
     Note: this family is *not* all partitions — e.g. two shared pairs
     plus a singleton ({A,C}{D,E}, B private) is skipped, exactly as the
     paper skips it.  Use :func:`all_partitions` for the full space.
+
+    The Bell-number enumeration is consumed lazily; only the (much
+    smaller) filtered family is materialized, sorted for a stable order.
     """
     result: list[Partition] = []
     for partition in all_partitions(names):
@@ -159,7 +195,7 @@ def paper_combinations(
             result.append(partition)
         elif include_no_sharing and not shared:
             result.append(partition)
-    return result
+    return sorted(result)
 
 
 def identical_core_classes(

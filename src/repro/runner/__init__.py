@@ -9,6 +9,11 @@ Turns the one-SOC, one-width experiment drivers into a grid engine:
 * :mod:`repro.runner.engine` — :func:`run_sweep` multiprocessing
   fan-out with JSON-lines streaming and summary tables.
 
+The grid has a strategy axis: jobs with a ``strategy`` name run a
+budgeted anytime search (:mod:`repro.search`) instead of the paper
+flow, so one sweep can race strategies × workloads × widths and
+collect per-job anytime traces (``trace_dir``).
+
 Quickstart::
 
     from repro.runner import expand_grid, run_sweep
@@ -20,7 +25,7 @@ Quickstart::
 """
 
 from .cache import DiskCache, content_key
-from .engine import SweepResult, evaluate_job, run_sweep
+from .engine import SweepResult, evaluate_job, run_sweep, trace_path
 from .jobs import JobResult, SweepJob, expand_grid
 
 __all__ = [
@@ -32,4 +37,5 @@ __all__ = [
     "evaluate_job",
     "expand_grid",
     "run_sweep",
+    "trace_path",
 ]

@@ -10,7 +10,14 @@ entries across ``multiprocessing`` workers.  Each worker:
    optimizer configuration — a warm sweep does no scheduling at all;
 3. on a miss, seeds its digital Pareto staircases from the cache
    (computing and storing any absent ones), runs the paper's full
-   planning flow, and stores the result.
+   planning flow — or, for jobs with a ``strategy``, a budgeted
+   anytime search (:mod:`repro.search`) — and stores the result.
+
+Search jobs additionally carry their anytime trace: it is cached next
+to the result and, when the sweep sets a ``trace_dir``, written as one
+JSONL file per job (via :mod:`repro.reporting`), so a sweep racing
+four strategies over a workload grid leaves a complete
+best-cost-vs-evaluations record behind even on warm cache hits.
 
 Results stream back to the parent as they complete and are appended to
 a JSON-lines file immediately, so long sweeps are inspectable in
@@ -22,6 +29,7 @@ flight and every line on disk is a complete record.  The aggregate
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
@@ -38,18 +46,25 @@ from ..core.sharing import (
     symmetry_reduce,
 )
 from ..experiments.common import PACK_EFFORT
-from ..reporting import append_jsonl, render_table
+from ..reporting import append_jsonl, render_table, write_jsonl
+from ..search import Budget, SearchProblem, run_strategy
+from ..search import registry as search_registry
 from ..soc import itc02
 from ..soc.model import DigitalCore, Soc
 from ..wrapper.pareto import ParetoCache, ParetoPoint, pareto_points
 from .cache import DiskCache, content_key
 from .jobs import JobResult, SweepJob
 
-__all__ = ["SweepResult", "run_sweep", "evaluate_job"]
+__all__ = ["SweepResult", "run_sweep", "evaluate_job", "trace_path"]
 
 #: Bump to invalidate every cached entry after a semantic change to the
 #: evaluation flow or the record layout.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+
+#: Paper-flow jobs enumerate the Table 1 sharing family, which passes
+#: through the Bell-number space of all partitions; past this many
+#: analog cores a job must use the anytime-search axis instead.
+MAX_ENUMERABLE_ANALOG = 10
 
 
 def _soc_digest(soc: Soc) -> str:
@@ -68,6 +83,9 @@ def _job_key(job: SweepJob, soc_digest: str) -> str:
         "delta": job.delta,
         "exhaustive": job.exhaustive,
         "pack": PACK_EFFORT[job.effort],
+        "strategy": job.strategy,
+        "budget": job.budget,
+        "search_seed": job.search_seed,
     })
 
 
@@ -113,12 +131,52 @@ def _primed_pareto(
     return pareto, hits, misses
 
 
-def evaluate_job(job: SweepJob, cache_dir: str | None = None) -> JobResult:
+def trace_path(trace_dir: str, job: SweepJob) -> str:
+    """The anytime-trace JSONL path for one search job."""
+    seed = job.seed if job.seed is not None else "def"
+    name = (
+        f"{job.workload}_s{seed}_W{job.width}_wt{job.wt:g}_"
+        f"{job.effort}_{job.strategy}_b{job.budget}_"
+        f"r{job.search_seed}.jsonl"
+    )
+    return os.path.join(trace_dir, name)
+
+
+def _write_trace(trace_dir: str, job: SweepJob,
+                 records: Sequence[dict]) -> None:
+    os.makedirs(trace_dir, exist_ok=True)
+    write_jsonl(records, trace_path(trace_dir, job))
+
+
+def _run_search(model: CostModel, job: SweepJob):
+    """Run the job's anytime strategy; returns (result, trace records)."""
+    budget = Budget(max_evaluations=job.budget)
+    problem = SearchProblem(model, budget)
+    outcome = run_strategy(
+        search_registry.create(job.strategy), problem, seed=job.search_seed
+    )
+    context = {
+        "workload": job.workload, "width": job.width,
+        "wt": job.wt, "budget": job.budget,
+    }
+    return outcome.to_result(), outcome.trace_records(**context)
+
+
+def evaluate_job(
+    job: SweepJob,
+    cache_dir: str | None = None,
+    trace_dir: str | None = None,
+) -> JobResult:
     """Run one sweep job (in the current process).
 
     This is the unit of work the pool workers execute; it is exposed
     publicly so library users can embed single evaluations (with the
     same caching behavior) in their own drivers.
+
+    For search jobs (``job.strategy`` set) the anytime trace is cached
+    alongside the result and, when *trace_dir* is given, written to
+    ``trace_path(trace_dir, job)`` — also on cache hits, so a warm
+    sweep still leaves the full trace set on disk.
     """
     started = time.perf_counter()
     cache = DiskCache(cache_dir) if cache_dir else None
@@ -129,8 +187,10 @@ def evaluate_job(job: SweepJob, cache_dir: str | None = None) -> JobResult:
         job_key = _job_key(job, _soc_digest(soc))
         stored = cache.get(job_key)
         if stored is not None:
+            if trace_dir is not None and stored.get("trace"):
+                _write_trace(trace_dir, job, stored["trace"])
             return replace(
-                JobResult.from_dict(stored),
+                JobResult.from_dict(stored["result"]),
                 job=job,
                 cache_hit=True,
                 staircase_hits=0,
@@ -147,14 +207,26 @@ def evaluate_job(job: SweepJob, cache_dir: str | None = None) -> JobResult:
         soc, job.width, weights, AreaModel(soc.analog_cores),
         evaluator=evaluator,
     )
-    names = [core.name for core in soc.analog_cores]
-    combos = symmetry_reduce(
-        paper_combinations(names), identical_core_classes(soc.analog_cores)
-    )
-    if job.exhaustive:
-        outcome = exhaustive_search(model, combos)
+    trace: list[dict] = []
+    if job.strategy:
+        outcome, trace = _run_search(model, job)
     else:
-        outcome = cost_optimizer(model, combos, delta=job.delta)
+        if soc.n_analog > MAX_ENUMERABLE_ANALOG:
+            raise ValueError(
+                f"{soc.name} has {soc.n_analog} analog cores; "
+                f"enumerating its sharing combinations is intractable "
+                f"— run this job with a search strategy instead "
+                f"(e.g. strategy='anneal', budget=200)"
+            )
+        names = [core.name for core in soc.analog_cores]
+        combos = symmetry_reduce(
+            paper_combinations(names),
+            identical_core_classes(soc.analog_cores),
+        )
+        if job.exhaustive:
+            outcome = exhaustive_search(model, combos)
+        else:
+            outcome = cost_optimizer(model, combos, delta=job.delta)
     breakdown = model.breakdown(outcome.best_partition)
 
     result = JobResult(
@@ -175,16 +247,18 @@ def evaluate_job(job: SweepJob, cache_dir: str | None = None) -> JobResult:
         staircase_hits=stair_hits,
         staircase_misses=stair_misses,
     )
+    if trace_dir is not None and trace:
+        _write_trace(trace_dir, job, trace)
     if cache is not None:
-        cache.put(job_key, result.to_dict())
+        cache.put(job_key, {"result": result.to_dict(), "trace": trace})
     return result
 
 
-def _worker(args: tuple[SweepJob, str | None]) -> dict:
+def _worker(args: tuple[SweepJob, str | None, str | None]) -> dict:
     """Pool entry point: evaluate one job, trapping failures per job."""
-    job, cache_dir = args
+    job, cache_dir, trace_dir = args
     try:
-        return evaluate_job(job, cache_dir).to_dict()
+        return evaluate_job(job, cache_dir, trace_dir).to_dict()
     except Exception as exc:  # noqa: BLE001 — isolate job failures
         return JobResult(
             job=job, status="error", error=f"{type(exc).__name__}: {exc}"
@@ -218,20 +292,28 @@ class SweepResult:
     def render(self) -> str:
         """Summary table plus cache/wall-time footer."""
         headers = (
-            "workload", "W", "w_T", "makespan", "C_T", "C_A", "cost",
-            "wrappers", "evals", "cache", "s",
+            "workload", "W", "w_T", "optimizer", "makespan", "C_T",
+            "C_A", "cost", "wrappers", "evals", "cache", "s",
         )
+
+        def optimizer_label(job: SweepJob) -> str:
+            if job.strategy:
+                return f"{job.strategy}:{job.budget}"
+            return "exhaustive" if job.exhaustive else "paper"
+
         rows = []
         for r in self.results:
             if r.status != "ok":
                 rows.append((
                     r.job.workload, r.job.width, r.job.wt,
+                    optimizer_label(r.job),
                     "ERROR", "-", "-", "-", "-", "-", "-",
                     round(r.elapsed_s, 2),
                 ))
                 continue
             rows.append((
-                r.job.workload, r.job.width, r.job.wt, r.makespan,
+                r.job.workload, r.job.width, r.job.wt,
+                optimizer_label(r.job), r.makespan,
                 r.time_cost, r.area_cost, r.total_cost, r.n_wrappers,
                 f"{r.n_evaluated}/{r.n_total}",
                 "hit" if r.cache_hit else "miss",
@@ -262,6 +344,7 @@ def run_sweep(
     cache_dir: str | None = None,
     out_path: str | None = None,
     progress: Callable[[JobResult], None] | None = None,
+    trace_dir: str | None = None,
 ) -> SweepResult:
     """Evaluate *jobs*, optionally in parallel, streaming JSONL results.
 
@@ -278,6 +361,9 @@ def run_sweep(
         job completes, in completion order).
     :param progress: optional callback invoked with each
         :class:`~repro.runner.jobs.JobResult` on completion.
+    :param trace_dir: directory collecting one anytime-trace JSONL per
+        search job (``None`` skips trace files; paper-flow jobs have no
+        trace either way).
     :returns: the :class:`SweepResult` with results in grid order.
     :raises ValueError: if *jobs* is empty or *workers* < 1.
     """
@@ -297,7 +383,7 @@ def run_sweep(
             if progress is not None:
                 progress(result)
 
-        work = [(job, cache_dir) for job in jobs]
+        work = [(job, cache_dir, trace_dir) for job in jobs]
         if workers == 1:
             for item in work:
                 handle(_worker(item))

@@ -30,6 +30,15 @@ class SweepJob:
         heuristic.
     :param effort: rectangle-packer effort preset (see
         :data:`repro.experiments.common.PACK_EFFORT`).
+    :param strategy: anytime search strategy name
+        (:mod:`repro.search.registry`); empty runs the paper flow
+        (``Cost_Optimizer`` / exhaustive) instead.  A sweep whose
+        strategy axis lists several names races them on the same
+        workload grid.
+    :param budget: evaluation budget for the search strategy (required
+        with *strategy*).
+    :param search_seed: RNG seed of the search run (independent of the
+        workload seed so strategy restarts can be swept too).
     """
 
     workload: str
@@ -39,6 +48,9 @@ class SweepJob:
     delta: float = 0.0
     exhaustive: bool = False
     effort: str = "medium"
+    strategy: str = ""
+    budget: int = 0
+    search_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -50,6 +62,24 @@ class SweepJob:
                 f"unknown effort {self.effort!r}, pick from "
                 f"{sorted(PACK_EFFORT)}"
             )
+        if self.strategy:
+            from ..search import registry as search_registry
+
+            if self.strategy not in search_registry.strategy_names():
+                raise ValueError(
+                    f"unknown strategy {self.strategy!r}, pick from "
+                    f"{', '.join(search_registry.strategy_names())}"
+                )
+            if self.budget < 1:
+                raise ValueError(
+                    f"strategy jobs need budget >= 1, got {self.budget}"
+                )
+            if self.exhaustive:
+                raise ValueError(
+                    "strategy and exhaustive are mutually exclusive"
+                )
+        elif self.budget:
+            raise ValueError("budget requires a strategy")
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready)."""
@@ -106,13 +136,23 @@ def expand_grid(
     delta: float = 0.0,
     exhaustive: bool = False,
     effort: str = "medium",
+    strategies: Sequence[str] = ("",),
+    budget: int = 0,
+    search_seed: int = 0,
 ) -> tuple[SweepJob, ...]:
     """The full cartesian job grid, in deterministic order.
+
+    The *strategies* axis races anytime optimizers: ``("",)`` (the
+    default) keeps the paper flow, while e.g.
+    ``("greedy", "anneal", "tabu", "genetic")`` fans every (workload ×
+    width × weight) cell out once per strategy, each under *budget*
+    evaluations.
 
     :raises ValueError: if any axis is empty.
     """
     seeds = tuple(seeds)
-    if not workloads or not widths or not wts or not seeds:
+    if not workloads or not widths or not wts or not seeds \
+            or not strategies:
         raise ValueError("every grid axis needs at least one value")
     return tuple(
         SweepJob(
@@ -123,9 +163,13 @@ def expand_grid(
             delta=delta,
             exhaustive=exhaustive,
             effort=effort,
+            strategy=strategy,
+            budget=budget if strategy else 0,
+            search_seed=search_seed if strategy else 0,
         )
         for workload in workloads
         for seed in seeds
         for width in widths
         for wt in wts
+        for strategy in strategies
     )

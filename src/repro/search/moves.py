@@ -1,0 +1,153 @@
+"""Partition-move neighborhoods over the wrapper-sharing space.
+
+All metaheuristics in :mod:`repro.search` explore the space of set
+partitions of the analog core names through three primitive moves:
+
+* **merge** — union two wrapper groups (coarsen: more sharing);
+* **split** — break a shared group into two non-empty halves (refine);
+* **transfer** — move one core from its group into another group, or
+  out into a fresh private wrapper.
+
+Every move maps a canonical :data:`~repro.core.sharing.Partition` to a
+*different* canonical partition, and the three together connect the
+whole space (merge alone reaches all-sharing, split alone reaches
+no-sharing).  All randomness comes from the caller's
+:class:`random.Random` instance — the module has no hidden state, which
+is what makes seeded searches reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..core.sharing import Partition, canonical
+
+__all__ = [
+    "MOVE_NAMES",
+    "merge_move",
+    "random_neighbor",
+    "random_partition",
+    "split_move",
+    "transfer_move",
+]
+
+#: The move kinds :func:`random_neighbor` draws from.
+MOVE_NAMES = ("merge", "split", "transfer")
+
+
+def random_partition(names: Sequence[str], rng: random.Random) -> Partition:
+    """A uniform-ish random partition of *names*.
+
+    Cores are placed sequentially: each joins an existing group or opens
+    a new one with equal probability per slot (the "Chinese restaurant"
+    construction with unit weights), which biases mildly toward few
+    groups — a useful prior here, where heavy sharing is where the
+    interesting cost trade-offs live.
+    """
+    if not names:
+        raise ValueError("at least one core name is required")
+    groups: list[list[str]] = []
+    for name in names:
+        slot = rng.randint(0, len(groups))
+        if slot == len(groups):
+            groups.append([name])
+        else:
+            groups[slot].append(name)
+    return canonical(groups)
+
+
+def merge_move(partition: Partition, rng: random.Random) -> Partition | None:
+    """Union two random groups; ``None`` if only one group exists."""
+    if len(partition) < 2:
+        return None
+    i, j = rng.sample(range(len(partition)), 2)
+    groups = [list(g) for g in partition]
+    groups[i].extend(groups[j])
+    del groups[j]
+    return canonical(groups)
+
+
+def split_move(partition: Partition, rng: random.Random) -> Partition | None:
+    """Split a random shared group in two; ``None`` if all are private."""
+    candidates = [k for k, g in enumerate(partition) if len(g) >= 2]
+    if not candidates:
+        return None
+    k = rng.choice(candidates)
+    members = list(partition[k])
+    rng.shuffle(members)
+    cut = rng.randint(1, len(members) - 1)
+    groups = [list(g) for i, g in enumerate(partition) if i != k]
+    groups.append(members[:cut])
+    groups.append(members[cut:])
+    return canonical(groups)
+
+
+def transfer_move(
+    partition: Partition, rng: random.Random
+) -> Partition | None:
+    """Move one core to another group or to a fresh private wrapper.
+
+    ``None`` when no transfer can change the partition (single private
+    core, or one all-sharing group of the special case size 1).
+    """
+    n_groups = len(partition)
+    donors = [
+        k for k, g in enumerate(partition)
+        # a singleton can only move into another group; a shared-group
+        # member can additionally break out into a private wrapper
+        if len(g) >= 2 or n_groups >= 2
+    ]
+    if not donors:
+        return None
+    k = rng.choice(donors)
+    source = list(partition[k])
+    name = source[rng.randrange(len(source))]
+    source.remove(name)
+    # destination: any other group, plus "new private wrapper" when the
+    # source had company (otherwise the move would be a no-op)
+    destinations: list[int | None] = [
+        i for i in range(n_groups) if i != k
+    ]
+    if len(partition[k]) >= 2:
+        destinations.append(None)
+    destination = destinations[rng.randrange(len(destinations))]
+    groups = [list(g) for g in partition]
+    groups[k] = source
+    if destination is None:
+        groups.append([name])
+    else:
+        groups[destination].append(name)
+    return canonical(groups)
+
+
+_MOVES = {
+    "merge": merge_move,
+    "split": split_move,
+    "transfer": transfer_move,
+}
+
+
+def random_neighbor(
+    partition: Partition,
+    rng: random.Random,
+    moves: Sequence[str] = MOVE_NAMES,
+) -> Partition:
+    """A random neighbor of *partition*, guaranteed different from it.
+
+    Draws a move kind uniformly from *moves* and applies it; kinds that
+    do not apply (e.g. merge on the single-group partition) are dropped
+    from the draw.  At least one move always applies for >= 2 cores.
+
+    :raises ValueError: if *partition* has no neighbor under *moves*
+        (only possible for a single-core SOC).
+    """
+    kinds = list(moves)
+    while kinds:
+        kind = kinds[rng.randrange(len(kinds))] if len(kinds) > 1 \
+            else kinds[0]
+        neighbor = _MOVES[kind](partition, rng)
+        if neighbor is not None and neighbor != partition:
+            return neighbor
+        kinds.remove(kind)
+    raise ValueError(f"partition {partition!r} has no neighbor")

@@ -1,0 +1,115 @@
+"""The optimization problem the metaheuristics share.
+
+A :class:`SearchProblem` binds a :class:`~repro.core.cost.CostModel` to
+a :class:`~repro.search.budget.Budget` and exposes exactly one paid
+operation: :meth:`SearchProblem.evaluate`.  Three layers keep repeated
+work free:
+
+1. a problem-level cost cache (a partition is *charged* at most once
+   per search, no matter how often a strategy re-visits it);
+2. the cost model's :class:`~repro.core.cost.ScheduleEvaluator` cache
+   (shared across strategies racing on the same model, so the second
+   strategy to ask about a partition pays no TAM packing at all);
+3. the evaluator's refinement-monotonicity propagation.
+
+Every *improving* evaluation appends a :class:`TracePoint`, giving each
+run an anytime best-cost-vs-evaluations trace that serializes to JSONL
+through :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..core.cost import CostModel
+from ..core.sharing import Partition, format_partition
+from .budget import Budget
+
+__all__ = ["SearchProblem", "TracePoint"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One improvement in an anytime search trace.
+
+    :param n_evaluated: paid evaluations spent when the improvement
+        landed (the trace's x axis).
+    :param best_cost: the new best Eq. (2) cost.
+    :param partition: the new incumbent, formatted.
+    :param elapsed_s: wall-clock seconds since the budget started
+        (informational; excluded from determinism comparisons).
+    """
+
+    n_evaluated: int
+    best_cost: float
+    partition: str
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+
+class SearchProblem:
+    """Budgeted, cached cost evaluation over sharing partitions.
+
+    :param model: the cost model (carries the shared schedule
+        evaluator whose cache makes repeated evaluations free).
+    :param budget: the run's allowance; ``None`` means unlimited
+        (useful in tests — the run loop then stops on stall only).
+    """
+
+    def __init__(self, model: CostModel, budget: Budget | None = None):
+        self.model = model
+        self.budget = budget if budget is not None else Budget()
+        self.names: tuple[str, ...] = tuple(
+            core.name for core in model.soc.analog_cores
+        )
+        if not self.names:
+            raise ValueError("search needs a mixed-signal SOC")
+        self._costs: dict[Partition, float] = {}
+        self._packs_start = model.evaluator.evaluations
+        self.best_partition: Partition | None = None
+        self.best_cost = float("inf")
+        self.trace: list[TracePoint] = []
+
+    @property
+    def n_evaluated(self) -> int:
+        """Distinct partitions evaluated (= paid evaluations)."""
+        return len(self._costs)
+
+    @property
+    def n_packs(self) -> int:
+        """Actual TAM packing runs this search caused (the paper's
+        ``n`` accounting; smaller than :attr:`n_evaluated` whenever the
+        shared evaluator was warm)."""
+        return self.model.evaluator.evaluations - self._packs_start
+
+    def is_cached(self, partition: Partition) -> bool:
+        """Whether evaluating *partition* would be free."""
+        return partition in self._costs
+
+    def evaluate(self, partition: Partition) -> float:
+        """The Eq. (2) total cost of *partition*.
+
+        Cached evaluations are free; a first-time evaluation charges
+        the budget (which may raise
+        :class:`~repro.search.budget.BudgetExhausted` — the run loop's
+        cue to stop) and, on improvement, extends the anytime trace.
+        """
+        cached = self._costs.get(partition)
+        if cached is not None:
+            return cached
+        self.budget.charge()
+        cost = self.model.total_cost(partition)
+        self._costs[partition] = cost
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_partition = partition
+            self.trace.append(TracePoint(
+                n_evaluated=self.n_evaluated,
+                best_cost=cost,
+                partition=format_partition(partition),
+                elapsed_s=self.budget.elapsed_s,
+            ))
+        return cost

@@ -1,0 +1,135 @@
+"""Named strategy registry: every optimizer the tooling can race.
+
+Mirrors the workload registry idiom (:mod:`repro.workloads.registry`):
+strategies register by name so the CLI (``repro optimize --strategy``),
+the sweep engine (strategy axis of
+:class:`~repro.runner.jobs.SweepJob`), and the benchmarks all obtain a
+fresh, configured :class:`~repro.search.strategy.SearchStrategy` the
+same way::
+
+    from repro.search import registry
+
+    strategy = registry.create("anneal")
+    strategy = registry.create("genetic", population=20)
+
+The four shipped strategies — ``greedy``, ``anneal``, ``tabu``,
+``genetic`` — register at import time; custom ones use
+:func:`register_strategy` (same ``spawn`` start-method caveat as
+workloads: register at import time of a module sweep workers also
+import).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from .anneal import SimulatedAnnealing
+from .genetic import GeneticSearch
+from .greedy import RandomRestartGreedy
+from .strategy import SearchStrategy
+from .tabu import TabuSearch
+
+__all__ = [
+    "StrategySpec",
+    "create",
+    "get",
+    "register_strategy",
+    "strategy_names",
+]
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A named, documented strategy recipe.
+
+    :param name: registry key, e.g. ``"anneal"``.
+    :param description: one-line summary for listings.
+    :param factory: callable producing a fresh strategy; keyword
+        arguments override the strategy's hyper-parameter defaults.
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., SearchStrategy]
+
+
+_REGISTRY: dict[str, StrategySpec] = {}
+
+
+def register_strategy(spec: StrategySpec,
+                      replace: bool = False) -> StrategySpec:
+    """Add *spec* to the registry.
+
+    :raises ValueError: if the name is taken and *replace* is false.
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"strategy {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> StrategySpec:
+    """Look up a strategy spec by name.
+
+    :raises KeyError: naming the available strategies if absent.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: "
+            f"{', '.join(strategy_names())}"
+        ) from None
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create(name: str, **overrides) -> SearchStrategy:
+    """A fresh instance of the strategy called *name*.
+
+    :param overrides: hyper-parameter overrides forwarded to the
+        strategy's constructor.
+    """
+    return get(name).factory(**overrides)
+
+
+def _register_defaults() -> None:
+    register_strategy(StrategySpec(
+        name="greedy",
+        description=(
+            "random-restart greedy: steepest sampled descent, restarts "
+            "on stagnation (the baseline)"
+        ),
+        factory=RandomRestartGreedy,
+    ))
+    register_strategy(StrategySpec(
+        name="anneal",
+        description=(
+            "simulated annealing: Metropolis walk over merge/split/"
+            "transfer moves, geometric cooling with reheats"
+        ),
+        factory=SimulatedAnnealing,
+    ))
+    register_strategy(StrategySpec(
+        name="tabu",
+        description=(
+            "tabu search: best-of-sample descent with a recency tabu "
+            "list and aspiration"
+        ),
+        factory=TabuSearch,
+    ))
+    register_strategy(StrategySpec(
+        name="genetic",
+        description=(
+            "genetic search: tournament selection, whole-group "
+            "partition crossover, move mutation"
+        ),
+        factory=GeneticSearch,
+    ))
+
+
+_register_defaults()

@@ -1,0 +1,246 @@
+"""The anytime strategy protocol and its run loop.
+
+A :class:`SearchStrategy` is an *anytime* optimizer: bind it to a
+:class:`~repro.search.problem.SearchProblem`, call :meth:`step` as often
+as the budget allows, and :attr:`best_so_far` is always a feasible
+answer.  The default :meth:`step` realizes the propose/observe cycle —
+:meth:`propose` a candidate partition, pay for its evaluation, let the
+strategy :meth:`observe` the outcome — and strategies with batched
+steps (e.g. a genetic generation) override :meth:`step` wholesale.
+
+:func:`run_strategy` is the driver: it wires strategy, problem, and
+budget together, loops until the budget is exhausted (or the strategy
+stalls — keeps proposing only already-cached candidates), and returns a
+:class:`SearchOutcome` carrying the incumbent, the evaluation
+accounting, and the anytime trace.
+
+Reproducibility discipline: all randomness flows from the single
+``random.Random(seed)`` handed to :meth:`SearchStrategy.bind`, so a
+``(strategy, config, seed, model)`` quadruple always yields the same
+trace.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.optimizer import OptimizationResult
+from ..core.sharing import Partition, format_partition
+from .budget import Budget, BudgetExhausted
+from .problem import SearchProblem, TracePoint
+
+__all__ = ["SearchOutcome", "SearchStrategy", "run_strategy"]
+
+#: Consecutive steps without a single paid evaluation after which the
+#: run loop declares the strategy stalled (it is only re-proposing
+#: cached candidates) and stops spending wall clock.
+STALL_LIMIT = 250
+
+
+class SearchStrategy(ABC):
+    """Base class for anytime optimizers over the sharing space.
+
+    Subclasses set :attr:`name` (their registry key), implement
+    :meth:`propose` (and usually :meth:`observe`), or override
+    :meth:`step` for batched iterations.  Construction takes only
+    strategy hyper-parameters; the problem and RNG arrive via
+    :meth:`bind`, so one configured instance can be rerun on many
+    problems/seeds.
+    """
+
+    #: registry key; subclasses must override
+    name = ""
+
+    def __init__(self) -> None:
+        self.problem: SearchProblem | None = None
+        self.rng: random.Random | None = None
+
+    def bind(self, problem: SearchProblem, rng: random.Random) -> None:
+        """Attach the strategy to a problem with a seeded RNG."""
+        self.problem = problem
+        self.rng = rng
+        self._setup()
+
+    def _setup(self) -> None:
+        """Hook for per-run state initialization after :meth:`bind`."""
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The analog core names of the bound problem."""
+        return self.problem.names
+
+    @property
+    def best_so_far(self) -> tuple[Partition | None, float]:
+        """The incumbent ``(partition, cost)`` — valid at any time."""
+        return self.problem.best_partition, self.problem.best_cost
+
+    def propose(self) -> Partition:
+        """The next candidate partition to pay for.
+
+        Strategies using the default :meth:`step` must implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} overrides step() instead"
+        )
+
+    def observe(self, partition: Partition, cost: float) -> None:
+        """Digest an evaluated ``(candidate, cost)`` pair."""
+
+    @abstractmethod
+    def step(self) -> None:
+        """Perform one anytime iteration.
+
+        May evaluate any number of candidates through
+        ``self.problem.evaluate``; a mid-step
+        :class:`~repro.search.budget.BudgetExhausted` is the intended
+        way to be cut off, so steps need no budget logic of their own.
+        """
+
+
+def _propose_observe_step(strategy: SearchStrategy) -> None:
+    candidate = strategy.propose()
+    cost = strategy.problem.evaluate(candidate)
+    strategy.observe(candidate, cost)
+
+
+# give subclasses a concrete default step without weakening the ABC
+# contract: overriding either propose() or step() is enough
+class ProposeObserveStrategy(SearchStrategy):
+    """A strategy whose step is exactly propose → evaluate → observe."""
+
+    def step(self) -> None:
+        _propose_observe_step(self)
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Everything one strategy run produced.
+
+    :param strategy: registry name of the strategy.
+    :param seed: RNG seed the run was bound with.
+    :param best_partition: the incumbent sharing combination.
+    :param best_cost: its Eq. (2) cost.
+    :param n_evaluated: paid (distinct) evaluations spent.
+    :param n_packs: actual TAM packing runs caused (<= ``n_evaluated``
+        when the shared evaluator was warm; the paper's ``n``).
+    :param n_steps: strategy steps the run loop completed.
+    :param elapsed_s: wall-clock duration of the run.
+    :param budget: human-readable budget summary at the end.
+    :param stalled: whether the run ended on the stall guard rather
+        than budget exhaustion.
+    :param trace: the anytime improvement trace.
+    """
+
+    strategy: str
+    seed: int
+    best_partition: Partition
+    best_cost: float
+    n_evaluated: int
+    n_packs: int
+    n_steps: int
+    elapsed_s: float
+    budget: str
+    stalled: bool
+    trace: tuple[TracePoint, ...]
+
+    def to_result(self) -> OptimizationResult:
+        """Project onto the shared optimizer result record.
+
+        Both counters report *paid* evaluations: an anytime search has
+        no predetermined candidate list, so "seen" is the only
+        meaningful total.  The TAM-packing accounting (the paper's
+        ``n``, which normalization and evaluator warmth can push a
+        little to either side) stays on :attr:`n_packs`.
+        """
+        return OptimizationResult(
+            best_partition=self.best_partition,
+            best_cost=self.best_cost,
+            n_evaluated=self.n_evaluated,
+            n_total=self.n_evaluated,
+            groups=(),
+        )
+
+    def trace_records(self, **context) -> list[dict]:
+        """JSONL-ready records of the anytime trace.
+
+        Each record carries the strategy name and seed (plus any extra
+        *context* key/values, e.g. workload and TAM width), so traces
+        of many runs can share one file and still disentangle.
+        """
+        return [
+            {"strategy": self.strategy, "seed": self.seed,
+             **context, **point.to_dict()}
+            for point in self.trace
+        ]
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"{self.strategy:8s} best {self.best_cost:7.2f} at "
+            f"{format_partition(self.best_partition)} "
+            f"({self.n_evaluated} evaluations, {self.n_packs} packs, "
+            f"{self.n_steps} steps, {self.elapsed_s:.2f}s"
+            f"{', stalled' if self.stalled else ''})"
+        )
+
+
+def run_strategy(
+    strategy: SearchStrategy,
+    problem: SearchProblem,
+    seed: int = 0,
+) -> SearchOutcome:
+    """Drive *strategy* on *problem* until its budget runs out.
+
+    The loop stops when the problem's budget is exhausted (checked
+    between steps, enforced mid-step by the problem), or when the
+    strategy stalls — :data:`STALL_LIMIT` consecutive steps without one
+    paid evaluation, the small-instance case where the whole reachable
+    space is already cached.
+
+    An unlimited budget is accepted — the run then ends on the stall
+    guard alone, which small instances reach quickly once every
+    partition the strategy can think of is cached.
+
+    :raises ValueError: if the budget allowed no evaluation at all
+        (e.g. a wall-clock budget that expired before the first step).
+    """
+    budget = problem.budget.start()
+    rng = random.Random(seed)
+    strategy.bind(problem, rng)
+    steps = 0
+    stalled = False
+    last_evaluated = problem.n_evaluated
+    stall_steps = 0
+    try:
+        while not budget.exhausted:
+            strategy.step()
+            steps += 1
+            if problem.n_evaluated == last_evaluated:
+                stall_steps += 1
+                if stall_steps >= STALL_LIMIT:
+                    stalled = True
+                    break
+            else:
+                last_evaluated = problem.n_evaluated
+                stall_steps = 0
+    except BudgetExhausted:
+        pass
+    if problem.best_partition is None:
+        raise ValueError(
+            f"budget ({budget.describe()}) allowed no evaluation"
+        )
+    return SearchOutcome(
+        strategy=strategy.name or type(strategy).__name__,
+        seed=seed,
+        best_partition=problem.best_partition,
+        best_cost=problem.best_cost,
+        n_evaluated=problem.n_evaluated,
+        n_packs=problem.n_packs,
+        n_steps=steps,
+        elapsed_s=budget.elapsed_s,
+        budget=budget.describe(),
+        stalled=stalled,
+        trace=tuple(problem.trace),
+    )

@@ -1,0 +1,71 @@
+"""Tabu search over partition moves.
+
+Short-term memory metaheuristic: always move to the best sampled
+neighbor — even uphill — but forbid returning to recently visited
+partitions for *tenure* steps.  Because the problem caches every
+evaluation, scoring an already-visited neighbor is free, so the
+aspiration criterion (a tabu candidate better than the incumbent is
+allowed anyway) costs nothing to check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .moves import random_neighbor, random_partition
+from .strategy import SearchStrategy
+
+__all__ = ["TabuSearch"]
+
+
+class TabuSearch(SearchStrategy):
+    """Best-of-sample descent with a recency tabu list.
+
+    :param tenure: how many recent incumbents stay tabu.
+    :param samples: neighbors sampled per step.
+    """
+
+    name = "tabu"
+
+    def __init__(self, tenure: int = 24, samples: int = 6):
+        super().__init__()
+        if tenure < 1:
+            raise ValueError(f"tenure must be >= 1, got {tenure}")
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.tenure = tenure
+        self.samples = samples
+
+    def _setup(self) -> None:
+        self._current = random_partition(self.names, self.rng)
+        self._current_cost: float | None = None
+        self._tabu: deque = deque(maxlen=self.tenure)
+        self._tabu_set: set = set()
+
+    def _make_tabu(self, partition) -> None:
+        if partition in self._tabu_set:
+            return
+        if len(self._tabu) == self._tabu.maxlen:
+            self._tabu_set.discard(self._tabu[0])
+        self._tabu.append(partition)
+        self._tabu_set.add(partition)
+
+    def step(self) -> None:
+        if self._current_cost is None:
+            self._current_cost = self.problem.evaluate(self._current)
+            self._make_tabu(self._current)
+            return
+        _, incumbent_cost = self.best_so_far
+        scored = []
+        for _ in range(self.samples):
+            candidate = random_neighbor(self._current, self.rng)
+            cost = self.problem.evaluate(candidate)
+            admissible = (
+                candidate not in self._tabu_set
+                or cost < incumbent_cost  # aspiration
+            )
+            scored.append((cost, admissible, candidate))
+        admitted = [s for s in scored if s[1]] or scored
+        cost, _, candidate = min(admitted, key=lambda s: (s[0], s[2]))
+        self._current, self._current_cost = candidate, cost
+        self._make_tabu(candidate)

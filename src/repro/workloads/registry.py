@@ -24,7 +24,15 @@ p22810m    large 28-core stand-in + transmit pair A/B, 2 ADCs, DAC, PLL
 mini       the 6-core unit-test SOC (fast; used by ``sweep --smoke``)
 rand24m    seeded random 24-core family + a 5-core converter mix
 rand48m    seeded random 48-core family + an 8-core converter-rich mix
+big8m      search stress: small digital side + 8 analog cores
+big12m     search stress: small digital side + 12 analog cores
+big16m     search stress: small digital side + 16 analog cores
 ========== ============================================================
+
+The ``big*m`` presets exist to exercise :mod:`repro.search`: their
+partition spaces (Bell(8) = 4140 up to Bell(16) ~ 1e10) are far beyond
+the paper's exhaustive/heuristic drivers, while the deliberately small
+digital side keeps each schedule evaluation fast.
 
 Custom workloads register with :func:`register`; :func:`random_workload`
 builds ad-hoc scenarios (the ``repro generate`` command) without
@@ -210,6 +218,29 @@ def _register_defaults() -> None:
             48, seed=seed, n_adc=3, n_dac=3, n_pll=2
         ),
         default_seed=48,
+    ))
+    # search-stress presets: huge sharing spaces on a small digital
+    # side, so anytime optimizers get many cheap evaluations
+    register(_family_workload(
+        "big8m",
+        "search stress: small digital side + 8 analog cores (Bell 4140)",
+        D695_FAMILY,
+        AnalogPolicy(n_adc=3, n_dac=3, n_pll=2),
+        default_seed=8,
+    ))
+    register(_family_workload(
+        "big12m",
+        "search stress: small digital side + 12 analog cores (Bell 4.2e6)",
+        D695_FAMILY,
+        AnalogPolicy(n_adc=5, n_dac=4, n_pll=3),
+        default_seed=12,
+    ))
+    register(_family_workload(
+        "big16m",
+        "search stress: small digital side + 16 analog cores (Bell 1e10)",
+        D695_FAMILY,
+        AnalogPolicy(n_adc=6, n_dac=6, n_pll=4),
+        default_seed=16,
     ))
 
 

@@ -41,7 +41,7 @@ def three_core_soc():
     return Soc("three", digital_cores=digital, analog_cores=analog)
 
 
-PARTITIONS = all_partitions(["P", "Q", "R"])
+PARTITIONS = list(all_partitions(["P", "Q", "R"]))
 
 
 class TestRefinementMonotonicity:

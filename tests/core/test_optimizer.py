@@ -139,6 +139,76 @@ class TestExhaustive:
         with pytest.raises(ValueError, match="at least one"):
             exhaustive_search(model_for(mini_ms_soc), [])
 
+    def test_accepts_lazy_iterables(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        names = [c.name for c in mini_ms_soc.analog_cores]
+        result = exhaustive_search(model, all_partitions(names))
+        assert result.n_total == 2
+
+
+class TestExhaustiveBudget:
+    def test_budget_stops_early(self, benchmark_soc):
+        model = CostModel(
+            benchmark_soc, 32, CostWeights.balanced(),
+            AreaModel(benchmark_soc.analog_cores),
+            evaluator=ScheduleEvaluator(benchmark_soc, 32, **QUICK),
+        )
+        combos = mini_combos(benchmark_soc)
+        result = exhaustive_search(model, combos, budget=5)
+        assert result.n_evaluated <= 5
+        # streaming truncation: only the examined prefix is counted
+        # (n_evaluated may exceed it by one — the normalization
+        # partition's schedule also counts as a packing run)
+        assert result.n_total < len(combos)
+        assert result.n_evaluated <= result.n_total + 1
+
+    def test_budget_streams_lazy_generators(self, benchmark_soc):
+        """A budgeted run must never materialize the iterable — a
+        generator that would be astronomically large elsewhere is fine
+        because enumeration stops with the budget."""
+        model = CostModel(
+            benchmark_soc, 32, CostWeights.balanced(),
+            AreaModel(benchmark_soc.analog_cores),
+            evaluator=ScheduleEvaluator(benchmark_soc, 32, **QUICK),
+        )
+        pulled = 0
+
+        def lazy():
+            nonlocal pulled
+            names = [c.name for c in benchmark_soc.analog_cores]
+            for partition in all_partitions(names):
+                pulled += 1
+                yield partition
+
+        result = exhaustive_search(model, lazy(), budget=3)
+        assert result.n_evaluated <= 3
+        assert pulled < 52  # the generator was not drained
+
+    def test_budgeted_evaluations_match_evaluator_misses(self, mini_ms_soc):
+        """n_evaluated counts evaluator cache misses — a warm evaluator
+        makes a budgeted run report fewer (consistent with the paper's
+        accounting everywhere else)."""
+        model = model_for(mini_ms_soc)
+        combos = mini_combos(mini_ms_soc)
+        first = exhaustive_search(model, combos)
+        again = exhaustive_search(model, combos, budget=1)
+        assert first.n_evaluated == len(combos)
+        assert again.n_evaluated == 0  # everything was cached
+        assert again.best_cost == pytest.approx(first.best_cost)
+
+    def test_budget_one_still_returns_a_result(self, mini_ms_soc):
+        model = model_for(mini_ms_soc)
+        result = exhaustive_search(
+            model, mini_combos(mini_ms_soc), budget=1
+        )
+        assert result.best_partition
+
+    def test_rejects_bad_budget(self, mini_ms_soc):
+        with pytest.raises(ValueError, match="budget"):
+            exhaustive_search(
+                model_for(mini_ms_soc), mini_combos(mini_ms_soc), budget=0
+            )
+
 
 class TestWeightSensitivity:
     def test_area_weight_prefers_more_sharing(self, mini_ms_soc):

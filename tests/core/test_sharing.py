@@ -1,5 +1,7 @@
 """Tests for sharing-combination enumeration."""
 
+from itertools import islice
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -7,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core.sharing import (
     all_partitions,
     all_sharing,
+    bell_number,
     canonical,
     format_partition,
     identical_core_classes,
@@ -47,10 +50,11 @@ class TestAllPartitions:
     @pytest.mark.parametrize("n,expected", sorted(BELL.items()))
     def test_bell_numbers(self, n, expected):
         names = [chr(ord("A") + i) for i in range(n)]
-        assert len(all_partitions(names)) == expected
+        assert len(list(all_partitions(names))) == expected
+        assert bell_number(n) == expected
 
     def test_all_unique(self):
-        parts = all_partitions("ABCD")
+        parts = list(all_partitions("ABCD"))
         assert len(set(parts)) == len(parts)
 
     def test_rejects_duplicate_names(self):
@@ -58,7 +62,20 @@ class TestAllPartitions:
             all_partitions(["A", "A"])
 
     def test_empty(self):
-        assert all_partitions([]) == []
+        assert list(all_partitions([])) == []
+
+    def test_lazy_on_large_instances(self):
+        # Bell(40) ~ 1.6e35: anything that materializes the space dies;
+        # a lazy generator hands out the first few instantly
+        names = [f"c{i:02d}" for i in range(40)]
+        first = list(islice(all_partitions(names), 5))
+        assert len(first) == 5
+        assert len(set(first)) == 5
+
+    def test_bell_number_edge_cases(self):
+        assert bell_number(0) == 1
+        with pytest.raises(ValueError, match=">= 0"):
+            bell_number(-1)
 
     @settings(max_examples=20)
     @given(n=st.integers(1, 6))
@@ -94,7 +111,7 @@ class TestPaperCombinations:
         """{A,C}{D,E} with B private is skipped, as in the paper."""
         skipped = canonical([["A", "C"], ["D", "E"], ["B"]])
         assert skipped not in paper_combinations("ABCDE")
-        assert skipped in all_partitions("ABCDE")
+        assert skipped in set(all_partitions("ABCDE"))
 
     def test_includes_all_share(self):
         assert all_sharing("ABCDE") in paper_combinations("ABCDE")
@@ -164,6 +181,9 @@ class TestRefines:
         for p in all_partitions("ABCD"):
             assert refines(p, p)
 
+    def test_deterministic_order(self):
+        assert list(all_partitions("ABCD")) == list(all_partitions("ABCD"))
+
     def test_unknown_name_is_not_refinement(self):
         assert not refines((("Z",),), (("A",),))
 
@@ -172,7 +192,7 @@ class TestRefines:
         data=st.data(),
     )
     def test_transitive(self, data):
-        parts = all_partitions("ABCD")
+        parts = list(all_partitions("ABCD"))
         p = data.draw(st.sampled_from(parts))
         q = data.draw(st.sampled_from(parts))
         r = data.draw(st.sampled_from(parts))

@@ -53,3 +53,70 @@ class TestMain:
         out = capsys.readouterr().out
         assert "wrapper sharing" in out
         assert "makespan" in out
+
+
+class TestSearchCommands:
+    def test_strategies_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "anneal", "tabu", "genetic"):
+            assert name in out
+
+    def test_optimize_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--strategy", "anneal", "--budget", "50",
+             "--smoke"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "anneal" in out
+        assert "best overall" in out
+        assert (tmp_path / "search_trace.jsonl").is_file()
+
+    def test_optimize_all_races_every_strategy(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["optimize", "--strategy", "all", "--budget", "10",
+             "--smoke", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "anneal", "tabu", "genetic"):
+            assert name in out
+        assert trace.is_file()
+
+    def test_optimize_disable_trace(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--budget", "5", "--smoke", "--trace", ""]
+        ) == 0
+        assert not (tmp_path / "search_trace.jsonl").exists()
+
+    def test_optimize_unknown_strategy_is_cli_error(self, capsys):
+        assert main(
+            ["optimize", "--strategy", "nope", "--smoke"]
+        ) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_optimize_bad_budget_is_cli_error(self, capsys):
+        assert main(["optimize", "--budget", "0", "--smoke"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_sweep_strategy_axis(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.jsonl"
+        traces = tmp_path / "traces"
+        assert main(
+            ["sweep", "--smoke", "--no-cache",
+             "--strategy", "greedy,anneal", "--budget", "8",
+             "--trace-dir", str(traces), "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "greedy:8" in out
+        assert "anneal:8" in out
+        assert sorted(traces.glob("*.jsonl"))
+
+    def test_sweep_unknown_strategy_is_cli_error(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--smoke", "--no-cache", "--strategy", "nope",
+             "--out", str(tmp_path / "s.jsonl")]
+        ) == 2
+        assert "unknown strategy" in capsys.readouterr().err

@@ -33,6 +33,7 @@ def run_example(name: str, timeout: int = 240) -> str:
         "custom_soc.py",
         "full_core_test.py",
         "tam_architecture.py",
+        "large_soc_search.py",
     ],
 )
 def test_example_exists(name):
@@ -72,3 +73,12 @@ class TestExampleOutputs:
         assert "flexible-width packing vs fixed" in out
         assert "Pareto frontier" in out
         assert "wires" in out
+
+    def test_large_soc_search(self):
+        out = run_example("large_soc_search.py")
+        assert "4,213,597" in out
+        assert "winner:" in out
+        assert "anytime trace" in out
+        # all four strategies report a line
+        for name in ("greedy", "anneal", "tabu", "genetic"):
+            assert name in out

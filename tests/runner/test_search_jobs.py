@@ -1,0 +1,138 @@
+"""Sweep-engine tests for the anytime-search job axis."""
+
+import pytest
+
+from repro.reporting import read_jsonl
+from repro.runner import (
+    SweepJob,
+    evaluate_job,
+    expand_grid,
+    run_sweep,
+    trace_path,
+)
+
+
+def search_job(**overrides):
+    base = dict(
+        workload="mini", width=8, effort="quick",
+        strategy="anneal", budget=10,
+    )
+    base.update(overrides)
+    return SweepJob(**base)
+
+
+class TestJobValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            search_job(strategy="nope")
+
+    def test_strategy_needs_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            search_job(budget=0)
+
+    def test_budget_needs_strategy(self):
+        with pytest.raises(ValueError, match="requires a strategy"):
+            SweepJob(workload="mini", width=8, budget=5)
+
+    def test_strategy_excludes_exhaustive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            search_job(exhaustive=True)
+
+
+class TestGridAxis:
+    def test_strategies_multiply_the_grid(self):
+        jobs = expand_grid(
+            ["mini"], [8], strategies=("greedy", "anneal"), budget=10,
+            effort="quick",
+        )
+        assert len(jobs) == 2
+        assert {j.strategy for j in jobs} == {"greedy", "anneal"}
+        assert all(j.budget == 10 for j in jobs)
+
+    def test_default_axis_keeps_paper_flow(self):
+        jobs = expand_grid(["mini"], [8], effort="quick")
+        assert len(jobs) == 1
+        assert jobs[0].strategy == ""
+        assert jobs[0].budget == 0
+
+    def test_empty_strategy_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis"):
+            expand_grid(["mini"], [8], strategies=())
+
+
+class TestSearchEvaluation:
+    def test_paper_flow_refuses_huge_instances(self):
+        """A paper-flow job on a big preset fails fast with a pointer
+        to the strategy axis, instead of iterating Bell(12) partitions."""
+        job = SweepJob(workload="big12m", width=8, effort="quick")
+        with pytest.raises(ValueError, match="search strategy"):
+            evaluate_job(job)
+
+    def test_search_job_runs(self):
+        result = evaluate_job(search_job())
+        assert result.status == "ok"
+        assert result.partition
+        assert 0 < result.n_evaluated <= 10
+        assert result.total_cost > 0
+
+    def test_roundtrips_through_dict(self):
+        result = evaluate_job(search_job())
+        assert type(result).from_dict(result.to_dict()) == result
+
+    def test_deterministic_across_runs(self):
+        a = evaluate_job(search_job(search_seed=5))
+        b = evaluate_job(search_job(search_seed=5))
+        assert a.partition == b.partition
+        assert a.total_cost == b.total_cost
+
+    def test_trace_written_and_cached(self, tmp_path):
+        cache = tmp_path / "cache"
+        traces = tmp_path / "traces"
+        job = search_job()
+        cold = evaluate_job(job, str(cache), str(traces))
+        assert not cold.cache_hit
+        path = trace_path(str(traces), job)
+        records = read_jsonl(path)
+        assert records
+        assert all(r["strategy"] == "anneal" for r in records)
+        assert records[-1]["best_cost"] == pytest.approx(cold.total_cost)
+
+        # a warm hit re-emits the identical trace, even after deletion
+        import os
+
+        os.remove(path)
+        warm = evaluate_job(job, str(cache), str(traces))
+        assert warm.cache_hit
+        assert read_jsonl(path) == records
+
+    def test_sweep_races_strategies(self, tmp_path):
+        jobs = expand_grid(
+            ["mini"], [8], strategies=("greedy", "anneal", "tabu"),
+            budget=10, effort="quick",
+        )
+        sweep = run_sweep(
+            jobs,
+            cache_dir=str(tmp_path / "cache"),
+            out_path=str(tmp_path / "out.jsonl"),
+            trace_dir=str(tmp_path / "traces"),
+        )
+        assert not sweep.errors
+        rendered = sweep.render()
+        for name in ("greedy:10", "anneal:10", "tabu:10"):
+            assert name in rendered
+        for job in jobs:
+            assert read_jsonl(trace_path(str(tmp_path / "traces"), job))
+
+    def test_mixed_grid_paper_and_search(self, tmp_path):
+        jobs = expand_grid(["mini"], [8], effort="quick") + expand_grid(
+            ["mini"], [8], strategies=("greedy",), budget=8,
+            effort="quick",
+        )
+        sweep = run_sweep(jobs, out_path=str(tmp_path / "out.jsonl"))
+        assert not sweep.errors
+        assert len(sweep.ok) == 2
+        # search explores the FULL partition space (incl. no-sharing,
+        # which the paper's Table 1 family excludes), so its optimum
+        # can only be at least as good as the paper flow's
+        paper, searched = sweep.ok
+        assert searched.total_cost <= paper.total_cost + 1e-9

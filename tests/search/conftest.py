@@ -1,0 +1,40 @@
+"""Shared fixtures for the anytime-search tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.workloads import build
+
+QUICK = {"shuffles": 0, "improvement_passes": 1}
+
+
+def quick_model(soc, width=8, wt=0.5):
+    """A low-effort cost model on its own evaluator."""
+    return CostModel(
+        soc,
+        width,
+        CostWeights(time=wt, area=1.0 - wt),
+        AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, width, **QUICK),
+    )
+
+
+@pytest.fixture()
+def mini_model(mini_ms_soc):
+    """Cost model over the 2-analog-core unit-test SOC."""
+    return quick_model(mini_ms_soc)
+
+
+@pytest.fixture(scope="module")
+def big8_soc():
+    """The 8-analog-core search-stress preset (module-cached)."""
+    return build("big8m")
+
+
+@pytest.fixture()
+def big8_model(big8_soc):
+    """Fresh cost model over the 8-analog-core preset."""
+    return quick_model(big8_soc, width=16)

@@ -1,0 +1,79 @@
+"""Tests for the search budget meter."""
+
+import pytest
+
+from repro.search.budget import Budget, BudgetExhausted
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestValidation:
+    def test_rejects_zero_evaluations(self):
+        with pytest.raises(ValueError, match="max_evaluations"):
+            Budget(max_evaluations=0)
+
+    def test_rejects_non_positive_seconds(self):
+        with pytest.raises(ValueError, match="max_seconds"):
+            Budget(max_seconds=0.0)
+
+    def test_unlimited_is_allowed(self):
+        budget = Budget()
+        assert not budget.limited
+        assert not budget.exhausted
+        assert budget.remaining_evaluations is None
+
+
+class TestEvaluationBudget:
+    def test_charges_until_exhausted(self):
+        budget = Budget(max_evaluations=3).start()
+        for _ in range(3):
+            budget.charge()
+        assert budget.exhausted
+        assert budget.remaining_evaluations == 0
+        with pytest.raises(BudgetExhausted):
+            budget.charge()
+        assert budget.spent == 3  # the failed charge charged nothing
+
+    def test_remaining_counts_down(self):
+        budget = Budget(max_evaluations=5).start()
+        budget.charge()
+        budget.charge()
+        assert budget.remaining_evaluations == 3
+
+
+class TestWallClockBudget:
+    def test_exhausts_with_the_clock(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=10.0, clock=clock).start()
+        assert not budget.exhausted
+        clock.now = 9.0
+        assert not budget.exhausted
+        budget.charge()  # still affordable
+        clock.now = 10.0
+        assert budget.exhausted
+        with pytest.raises(BudgetExhausted):
+            budget.charge()
+
+    def test_elapsed_zero_before_start(self):
+        budget = Budget(max_seconds=1.0, clock=FakeClock())
+        assert budget.elapsed_s == 0.0
+        assert not budget.exhausted  # the clock starts with the run
+
+    def test_describe_mentions_both_limits(self):
+        clock = FakeClock()
+        budget = Budget(
+            max_evaluations=7, max_seconds=2.0, clock=clock
+        ).start()
+        budget.charge()
+        text = budget.describe()
+        assert "1/7 evaluations" in text
+        assert "2s" in text
+
+    def test_describe_unlimited(self):
+        assert Budget().describe() == "unlimited"

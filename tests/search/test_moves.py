@@ -1,0 +1,107 @@
+"""Tests for the partition-move neighborhoods."""
+
+import random
+
+import pytest
+
+from repro.core.sharing import all_sharing, canonical, no_sharing
+from repro.search.moves import (
+    merge_move,
+    random_neighbor,
+    random_partition,
+    split_move,
+    transfer_move,
+)
+
+NAMES = ("A", "B", "C", "D", "E")
+
+
+def covers(partition, names=NAMES):
+    return sorted(n for g in partition for n in g) == sorted(names)
+
+
+class TestRandomPartition:
+    def test_covers_all_names(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert covers(random_partition(NAMES, rng))
+
+    def test_is_canonical(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            p = random_partition(NAMES, rng)
+            assert p == canonical(p)
+
+    def test_deterministic_under_seed(self):
+        a = [random_partition(NAMES, random.Random(7)) for _ in range(20)]
+        b = [random_partition(NAMES, random.Random(7)) for _ in range(20)]
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            random_partition((), random.Random(0))
+
+
+class TestMoves:
+    def test_merge_reduces_group_count(self):
+        rng = random.Random(3)
+        p = no_sharing(NAMES)
+        q = merge_move(p, rng)
+        assert len(q) == len(p) - 1
+        assert covers(q)
+
+    def test_merge_none_on_single_group(self):
+        assert merge_move(all_sharing(NAMES), random.Random(0)) is None
+
+    def test_split_grows_group_count(self):
+        rng = random.Random(4)
+        p = all_sharing(NAMES)
+        q = split_move(p, rng)
+        assert len(q) == 2
+        assert covers(q)
+
+    def test_split_none_on_no_sharing(self):
+        assert split_move(no_sharing(NAMES), random.Random(0)) is None
+
+    def test_transfer_keeps_coverage(self):
+        rng = random.Random(5)
+        p = canonical([["A", "B"], ["C", "D"], ["E"]])
+        for _ in range(30):
+            q = transfer_move(p, rng)
+            assert q is not None and q != p
+            assert covers(q)
+
+    def test_transfer_none_on_single_core(self):
+        assert transfer_move((("A",),), random.Random(0)) is None
+
+    def test_transfer_can_break_out_of_all_sharing(self):
+        rng = random.Random(6)
+        q = transfer_move(all_sharing(NAMES), rng)
+        assert q is not None and len(q) == 2
+
+
+class TestRandomNeighbor:
+    def test_always_different_and_covering(self):
+        rng = random.Random(8)
+        p = random_partition(NAMES, rng)
+        for _ in range(100):
+            q = random_neighbor(p, rng)
+            assert q != p
+            assert covers(q)
+            p = q
+
+    def test_single_core_has_no_neighbor(self):
+        with pytest.raises(ValueError, match="no neighbor"):
+            random_neighbor((("A",),), random.Random(0))
+
+    def test_reaches_both_extremes(self):
+        """The move set connects the space: a random walk from the
+        middle touches both all-sharing and no-sharing."""
+        rng = random.Random(9)
+        seen = set()
+        p = canonical([["A", "B"], ["C", "D"], ["E"]])
+        for _ in range(500):
+            p = random_neighbor(p, rng)
+            seen.add(p)
+        assert all_sharing(NAMES) in seen
+        assert no_sharing(NAMES) in seen

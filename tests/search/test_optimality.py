@@ -1,0 +1,45 @@
+"""Optimality-gap guarantee on the paper's 5-core benchmark.
+
+Every registered strategy, under a modest budget, must land within 2%
+of the exhaustive optimum over the *full* 52-partition space of the
+``p93791m`` preset.  All runs share one evaluator, so the whole module
+schedules at most the 52 distinct partitions once.
+"""
+
+import pytest
+
+from repro.core.exhaustive import exhaustive_search
+from repro.core.sharing import all_partitions
+from repro.search import Budget, SearchProblem, registry, run_strategy
+
+from .conftest import quick_model
+
+
+@pytest.fixture(scope="module")
+def shared(benchmark_soc):
+    """(model, exhaustive optimum) over the full partition space."""
+    model = quick_model(benchmark_soc, width=32)
+    names = [core.name for core in benchmark_soc.analog_cores]
+    exhaustive = exhaustive_search(model, all_partitions(names))
+    return model, exhaustive
+
+
+@pytest.mark.parametrize("name", registry.strategy_names())
+def test_gap_within_2_percent(shared, name):
+    model, exhaustive = shared
+    problem = SearchProblem(model, Budget(max_evaluations=52))
+    outcome = run_strategy(registry.create(name), problem, seed=0)
+    gap = (
+        100.0
+        * (outcome.best_cost - exhaustive.best_cost)
+        / exhaustive.best_cost
+    )
+    assert gap <= 2.0, (
+        f"{name}: cost {outcome.best_cost:.2f} vs exhaustive "
+        f"{exhaustive.best_cost:.2f} (gap {gap:.2f}%)"
+    )
+
+
+def test_exhaustive_covers_the_space(shared):
+    _, exhaustive = shared
+    assert exhaustive.n_total == 52

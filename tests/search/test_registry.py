@@ -1,0 +1,61 @@
+"""Tests for the strategy registry."""
+
+import pytest
+
+from repro.search import registry
+from repro.search.strategy import SearchStrategy
+
+
+class TestRegistry:
+    def test_four_shipped_strategies(self):
+        assert registry.strategy_names() == (
+            "anneal", "genetic", "greedy", "tabu",
+        )
+
+    def test_create_returns_fresh_instances(self):
+        a = registry.create("anneal")
+        b = registry.create("anneal")
+        assert a is not b
+        assert isinstance(a, SearchStrategy)
+        assert a.name == "anneal"
+
+    def test_create_forwards_overrides(self):
+        strategy = registry.create("genetic", population=20, elite=5)
+        assert strategy.population == 20
+        assert strategy.elite == 5
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="anneal.*tabu"):
+            registry.get("gradient_descent")
+
+    def test_duplicate_registration_rejected(self):
+        spec = registry.get("greedy")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_strategy(spec)
+
+    def test_replace_allows_override(self):
+        spec = registry.get("greedy")
+        assert registry.register_strategy(spec, replace=True) is spec
+
+    def test_every_spec_has_description(self):
+        for name in registry.strategy_names():
+            assert registry.get(name).description
+
+
+class TestHyperParameterValidation:
+    @pytest.mark.parametrize("name,bad", [
+        ("greedy", {"samples": 0}),
+        ("greedy", {"patience": 0}),
+        ("anneal", {"t0": -1.0}),
+        ("anneal", {"alpha": 1.5}),
+        ("anneal", {"tmin": 100.0}),
+        ("tabu", {"tenure": 0}),
+        ("tabu", {"samples": 0}),
+        ("genetic", {"population": 1}),
+        ("genetic", {"elite": 99}),
+        ("genetic", {"tournament": 0}),
+        ("genetic", {"mutation_rate": 2.0}),
+    ])
+    def test_bad_hyper_parameters_rejected(self, name, bad):
+        with pytest.raises(ValueError):
+            registry.create(name, **bad)

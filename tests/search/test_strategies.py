@@ -1,0 +1,140 @@
+"""Behavioral tests every registered strategy must pass."""
+
+import random
+
+import pytest
+
+from repro.core.sharing import canonical
+from repro.search import (
+    Budget,
+    SearchProblem,
+    optimize,
+    registry,
+    run_strategy,
+)
+from repro.search.genetic import crossover
+
+from .conftest import QUICK
+
+ALL_STRATEGIES = registry.strategy_names()
+
+
+def run_on(model, name, budget=30, seed=0):
+    problem = SearchProblem(model, Budget(max_evaluations=budget))
+    return run_strategy(registry.create(name), problem, seed=seed)
+
+
+def trace_key(outcome):
+    """The deterministic part of a trace (elapsed_s excluded)."""
+    return [
+        (p.n_evaluated, p.best_cost, p.partition) for p in outcome.trace
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+class TestEveryStrategy:
+    def test_same_seed_identical_trace(self, big8_soc, name):
+        from .conftest import quick_model
+
+        a = run_on(quick_model(big8_soc, width=16), name, seed=3)
+        b = run_on(quick_model(big8_soc, width=16), name, seed=3)
+        assert trace_key(a) == trace_key(b)
+        assert a.best_partition == b.best_partition
+        assert a.n_evaluated == b.n_evaluated
+
+    def test_respects_evaluation_budget(self, big8_model, name):
+        outcome = run_on(big8_model, name, budget=25)
+        assert outcome.n_evaluated <= 25
+
+    def test_best_is_feasible_partition(self, big8_model, name):
+        outcome = run_on(big8_model, name, budget=20)
+        names = tuple(c.name for c in big8_model.soc.analog_cores)
+        covered = sorted(
+            n for g in outcome.best_partition for n in g
+        )
+        assert covered == sorted(names)
+        assert outcome.best_partition == canonical(outcome.best_partition)
+
+    def test_trace_is_anytime_monotone(self, big8_model, name):
+        outcome = run_on(big8_model, name, budget=30)
+        costs = [p.best_cost for p in outcome.trace]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == pytest.approx(outcome.best_cost)
+        evals = [p.n_evaluated for p in outcome.trace]
+        assert evals == sorted(evals)
+        assert evals[-1] <= outcome.n_evaluated
+
+    def test_small_space_stalls_out(self, mini_model, name):
+        """On the 2-partition mini SOC every strategy exhausts the
+        space and ends via the stall guard, finding the optimum."""
+        outcome = run_on(mini_model, name, budget=50)
+        assert outcome.n_evaluated == 2
+        assert outcome.stalled
+        costs = [
+            mini_model.total_cost(p)
+            for p in (
+                canonical([["X"], ["Y"]]), canonical([["X", "Y"]]),
+            )
+        ]
+        assert outcome.best_cost == pytest.approx(min(costs))
+
+
+class TestSharedEvaluator:
+    def test_second_identical_run_is_pack_free(self, big8_model):
+        """A rerun on the same model pays no packing at all: the
+        shared evaluator cache answers every schedule."""
+        first = run_on(big8_model, "greedy", budget=20, seed=1)
+        packs_after_first = big8_model.evaluator.evaluations
+        second = run_on(big8_model, "greedy", budget=20, seed=1)
+        new_packs = big8_model.evaluator.evaluations - packs_after_first
+        assert first.n_packs > 0
+        assert second.n_evaluated == first.n_evaluated
+        assert new_packs == 0
+
+
+class TestOptimizeEntryPoint:
+    def test_optimize_one_call(self, big8_soc):
+        outcome = optimize(
+            big8_soc, width=16, strategy="anneal", max_evaluations=20,
+            **QUICK,
+        )
+        assert outcome.strategy == "anneal"
+        assert outcome.n_evaluated <= 20
+        assert outcome.trace
+
+    def test_optimize_rejects_unknown_strategy(self, big8_soc):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            optimize(big8_soc, strategy="nope", **QUICK)
+
+    def test_wall_clock_budget_stops(self, big8_soc):
+        outcome = optimize(
+            big8_soc, width=16, strategy="anneal",
+            max_evaluations=None, max_seconds=0.3, **QUICK,
+        )
+        assert outcome.elapsed_s < 5.0
+
+    def test_trace_records_carry_context(self, big8_soc):
+        outcome = optimize(
+            big8_soc, width=16, strategy="greedy", max_evaluations=15,
+            **QUICK,
+        )
+        records = outcome.trace_records(workload="big8m", width=16)
+        assert records
+        assert all(r["strategy"] == "greedy" for r in records)
+        assert all(r["workload"] == "big8m" for r in records)
+
+
+class TestCrossover:
+    def test_child_covers_all_names(self):
+        rng = random.Random(0)
+        a = canonical([["A", "B"], ["C", "D", "E"]])
+        b = canonical([["A", "C"], ["B"], ["D", "E"]])
+        for _ in range(50):
+            child = crossover(a, b, rng)
+            assert sorted(n for g in child for n in g) == list("ABCDE")
+
+    def test_child_inherits_whole_groups(self):
+        """With identical parents, the child is the parent."""
+        rng = random.Random(1)
+        a = canonical([["A", "B"], ["C", "D", "E"]])
+        assert crossover(a, a, rng) == a

@@ -1,0 +1,337 @@
+"""Evaluation-engine benchmark: throughput, parity, and gate skip rates.
+
+Three studies, recorded into ``BENCH_eval.json`` (the repo's perf
+trajectory for the schedule-evaluation hot path):
+
+* **parity** — the fast engine (:class:`repro.tam.packing.PackContext`
+  inside :class:`repro.core.cost.ScheduleEvaluator`) must return
+  *byte-identical* makespans and Eq. (2) costs to the retained seed
+  packer (:mod:`repro.tam.reference`) on every d695/g1023/p22810/p93791
+  family preset at the paper's TAM widths.  Gate: zero mismatches.
+* **throughput** — distinct sharing partitions of the ``big12m``
+  stress preset are streamed through both engines at width 32.  Gate:
+  the fast engine sustains >= 3x the seed engine's evaluations/sec.
+* **search** — ``optimize --strategy all``-equivalent: every
+  registered strategy races on one shared evaluator under an
+  evaluation budget, fast+gated vs the pre-PR configuration
+  (reference engine, no gate), same seeds.  Gates: the new engine's
+  best cost is <= the pre-PR best and its wall-clock is strictly
+  smaller.  The gate skip rate and pack-context counters land in the
+  record.
+
+With ``--gate``, the record is additionally compared against the
+committed ``BENCH_eval.json``: a >10% drop in big12m evaluations/sec
+*together with* a >10% drop in the speedup ratio fails the run (the
+ratio pins hardware variance — a slower machine slows both engines
+equally, a hot-path regression slows only the fast one), and only when
+the throughput configuration matches the committed one (``--ci``).
+
+Runs standalone (CI writes the JSON artifact this way)::
+
+    python benchmarks/bench_eval.py --ci --gate --out BENCH_eval_ci.json
+
+or under pytest-benchmark along with the other benches::
+
+    python -m pytest benchmarks/bench_eval.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.sharing import representative_partitions
+from repro.experiments.common import PACK_EFFORT
+from repro.search import Budget, SearchProblem, registry, run_strategy
+from repro.workloads import build
+
+#: presets × paper widths pinned by the parity study
+PARITY_PRESETS = {
+    "d695m": (32,),
+    "g1023m": (32,),
+    "p22810m": (32,),
+    "p93791m": (32, 48, 64),
+}
+
+#: the throughput/search workload (12 analog cores, Bell(12) space)
+STRESS_WORKLOAD = "big12m"
+STRESS_WIDTH = 32
+
+
+def _sample(soc, limit, seed=0):
+    return representative_partitions(soc.analog_cores, limit, seed=seed)
+
+
+def _model(soc, width, effort, engine="fast"):
+    return CostModel(
+        soc, width, CostWeights.balanced(), AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(
+            soc, width, engine=engine, **PACK_EFFORT[effort]
+        ),
+    )
+
+
+def parity_study(effort: str, per_preset: int) -> dict:
+    """Makespan/cost parity of the two engines across the families."""
+    presets = {}
+    mismatches = 0
+    for preset, widths in PARITY_PRESETS.items():
+        soc = build(preset)
+        partitions = _sample(soc, per_preset)
+        checked = 0
+        for width in widths:
+            fast = _model(soc, width, effort)
+            seed = _model(soc, width, effort, engine="reference")
+            for partition in partitions:
+                same = (
+                    fast.evaluator.makespan(partition)
+                    == seed.evaluator.makespan(partition)
+                    and fast.total_cost(partition)
+                    == seed.total_cost(partition)
+                )
+                checked += 1
+                if not same:
+                    mismatches += 1
+        presets[preset] = {"widths": list(widths), "checked": checked}
+    return {
+        "presets": presets,
+        "mismatches": mismatches,
+        "parity": mismatches == 0,
+    }
+
+
+def throughput_study(effort: str, n_partitions: int) -> dict:
+    """Distinct-partition evaluation throughput, both engines."""
+    soc = build(STRESS_WORKLOAD)
+    partitions = _sample(soc, n_partitions)
+
+    def run(engine):
+        evaluator = ScheduleEvaluator(
+            soc, STRESS_WIDTH, engine=engine, **PACK_EFFORT[effort]
+        )
+        started = time.perf_counter()
+        makespans = [evaluator.schedule(p).makespan for p in partitions]
+        return time.perf_counter() - started, makespans, evaluator
+
+    fast_s, fast_makespans, evaluator = run("fast")
+    seed_s, seed_makespans, _ = run("reference")
+    stats = evaluator.pack_stats
+    return {
+        "workload": STRESS_WORKLOAD,
+        "width": STRESS_WIDTH,
+        "n_partitions": len(partitions),
+        "fast_evals_per_s": round(len(partitions) / fast_s, 2),
+        "seed_evals_per_s": round(len(partitions) / seed_s, 2),
+        "speedup": round(seed_s / fast_s, 3),
+        "parity": fast_makespans == seed_makespans,
+        "pack_stats": stats.to_dict() if stats else None,
+    }
+
+
+def search_study(effort: str, budget: int) -> dict:
+    """Fast+gated vs pre-PR (reference, ungated) strategy race."""
+    soc = build(STRESS_WORKLOAD)
+
+    def race(engine, gate):
+        model = _model(soc, STRESS_WIDTH, effort, engine=engine)
+        started = time.perf_counter()
+        outcomes = {}
+        for name in registry.strategy_names():
+            problem = SearchProblem(
+                model, Budget(max_evaluations=budget), gate=gate
+            )
+            outcome = run_strategy(registry.create(name), problem, seed=0)
+            outcomes[name] = outcome
+        elapsed = time.perf_counter() - started
+        return outcomes, elapsed, model.evaluator
+
+    new, new_s, evaluator = race("fast", gate=True)
+    old, old_s, _ = race("reference", gate=False)
+    n_evaluated = sum(o.n_evaluated for o in new.values())
+    n_gated = sum(o.n_gated for o in new.values())
+    stats = evaluator.pack_stats
+    return {
+        "workload": STRESS_WORKLOAD,
+        "width": STRESS_WIDTH,
+        "budget_per_strategy": budget,
+        "strategies": {
+            name: {
+                "new_best": round(new[name].best_cost, 4),
+                "old_best": round(old[name].best_cost, 4),
+                "n_gated": new[name].n_gated,
+            }
+            for name in new
+        },
+        "new_best_cost": round(min(o.best_cost for o in new.values()), 4),
+        "old_best_cost": round(min(o.best_cost for o in old.values()), 4),
+        "new_wall_s": round(new_s, 3),
+        "old_wall_s": round(old_s, 3),
+        "gate_skip_rate": round(n_gated / n_evaluated, 4),
+        "packs_saved_by_gate": n_gated,
+        "pack_stats": stats.to_dict() if stats else None,
+    }
+
+
+def run_bench(effort: str = "medium", per_preset: int = 8,
+              n_partitions: int = 40, budget: int = 2000) -> dict:
+    """The full benchmark record (all three studies)."""
+    record = {
+        "benchmark": "eval",
+        "config": {
+            "effort": effort,
+            "per_preset": per_preset,
+            "n_partitions": n_partitions,
+            "budget": budget,
+            "seed": 0,
+        },
+        "parity": parity_study(effort, per_preset),
+        "throughput": throughput_study(effort, n_partitions),
+        "search": search_study(effort, budget),
+    }
+    record["gates"] = {
+        "parity": record["parity"]["parity"]
+        and record["throughput"]["parity"],
+        "speedup_3x": record["throughput"]["speedup"] >= 3.0,
+        "search_cost": record["search"]["new_best_cost"]
+        <= record["search"]["old_best_cost"],
+        "search_wallclock": record["search"]["new_wall_s"]
+        < record["search"]["old_wall_s"],
+    }
+    return record
+
+
+def check_regression(record: dict, committed_path: Path) -> list[str]:
+    """Failures of *record* against the committed baseline (>10%).
+
+    Only applies when the throughput study's configuration (packer
+    effort and partition count) matches the committed one — comparing
+    a quick-effort run against a medium-effort baseline would measure
+    the config, not the code.  Absolute evals/sec also depends on the
+    hardware, so a drop only counts as a regression when the
+    *speedup over the seed engine* (which runs on the same hardware in
+    the same process) drops with it: a slower machine slows both
+    engines, a hot-path regression slows only the fast one.
+    """
+    if not committed_path.exists():
+        print(f"note: no committed baseline at {committed_path}; "
+              f"regression check skipped")
+        return []
+    committed = json.loads(committed_path.read_text())
+    comparable = all(
+        committed["config"].get(key) == record["config"].get(key)
+        for key in ("effort", "n_partitions")
+    )
+    if not comparable:
+        print("note: throughput config differs from the committed "
+              "baseline; regression check skipped (absolute gates "
+              "still apply)")
+        return []
+    baseline = committed["throughput"]
+    current = record["throughput"]
+    failures = []
+    if (
+        current["fast_evals_per_s"] < 0.9 * baseline["fast_evals_per_s"]
+        and current["speedup"] < 0.9 * baseline["speedup"]
+    ):
+        failures.append(
+            f"evals/sec regression: {current['fast_evals_per_s']} < 90% "
+            f"of committed {baseline['fast_evals_per_s']} and speedup "
+            f"{current['speedup']}x < 90% of committed "
+            f"{baseline['speedup']}x"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke preset: quick packer effort, smaller samples and "
+             "budget (absolute gates apply; the committed-baseline "
+             "regression check is skipped — configs differ)",
+    )
+    parser.add_argument(
+        "--ci", action="store_true",
+        help="CI preset: the committed throughput configuration "
+             "(medium effort, same partition sample) with a reduced "
+             "search budget, so the --gate regression check applies",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_eval.json",
+        help="output JSON path (default: BENCH_eval.json)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="fail on >10%% evals/sec regression vs the committed "
+             "BENCH_eval.json (and on any absolute gate)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(Path(__file__).parent.parent
+                                  / "BENCH_eval.json"),
+        help="committed baseline JSON for the regression gate",
+    )
+    args = parser.parse_args(argv)
+    if args.quick and args.ci:
+        parser.error("--quick and --ci are mutually exclusive")
+    if args.quick:
+        config = {"effort": "quick", "per_preset": 5,
+                  "n_partitions": 30, "budget": 300}
+    elif args.ci:
+        config = {"effort": "medium", "per_preset": 5,
+                  "n_partitions": 40, "budget": 300}
+    else:
+        config = {"effort": "medium", "per_preset": 8,
+                  "n_partitions": 40, "budget": 2000}
+    started = time.perf_counter()
+    record = run_bench(**config)
+    record["total_s"] = round(time.perf_counter() - started, 3)
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+
+    throughput = record["throughput"]
+    search = record["search"]
+    print(f"parity: {'OK' if record['gates']['parity'] else 'MISMATCH'} "
+          f"({sum(p['checked'] for p in record['parity']['presets'].values())}"
+          f" combinations checked)")
+    print(f"throughput ({throughput['workload']}): fast "
+          f"{throughput['fast_evals_per_s']}/s vs seed "
+          f"{throughput['seed_evals_per_s']}/s = "
+          f"{throughput['speedup']}x")
+    print(f"search: best {search['new_best_cost']} vs pre-PR "
+          f"{search['old_best_cost']} in {search['new_wall_s']}s vs "
+          f"{search['old_wall_s']}s; gate skipped "
+          f"{100 * search['gate_skip_rate']:.1f}% of evaluations")
+    print(f"wrote {args.out} ({record['total_s']}s)")
+
+    failures = [
+        name for name, passed in record["gates"].items() if not passed
+    ]
+    if args.gate:
+        failures += check_regression(record, Path(args.baseline))
+    if failures:
+        print(f"BENCH GATES FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_eval_bench(benchmark, save_artifact):
+    """pytest-benchmark entry point (slow: medium effort, full budget)."""
+    record = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    save_artifact("bench_eval", json.dumps(record, indent=2))
+
+    assert record["gates"]["parity"]
+    assert record["gates"]["speedup_3x"], record["throughput"]
+    assert record["gates"]["search_cost"], record["search"]
+    assert record["gates"]["search_wallclock"], record["search"]
+
+    benchmark.extra_info["speedup"] = record["throughput"]["speedup"]
+    benchmark.extra_info["gate_skip_rate"] = \
+        record["search"]["gate_skip_rate"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

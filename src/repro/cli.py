@@ -13,6 +13,8 @@ Usage::
     python -m repro workloads           # list registered scenarios
     python -m repro strategies          # list anytime search strategies
     python -m repro generate --seed 7   # emit a synthetic .soc file
+    python -m repro --workload big12m profile \\
+        --evals 40 --baseline           # hot-path throughput microbench
     python -m repro --workload big12m optimize \\
         --strategy anneal --budget 200  # budgeted anytime search
     python -m repro sweep --preset p93791m,d695m --widths 16,24,32 \\
@@ -199,11 +201,45 @@ def build_parser() -> argparse.ArgumentParser:
              "search_trace.jsonl)",
     )
     po.add_argument(
+        "--pack-effort", choices=("fast", "paper", "thorough"),
+        default=None,
+        help="packer throughput tier (fast: rules only; paper: the "
+             "seed packer's 8 shuffles + 3 passes; thorough: 16 + 6); "
+             "overrides the global --effort preset's pack knobs",
+    )
+    po.add_argument(
         "--smoke", action="store_true",
         help="fast CI path: the 'mini' workload at width 8, quick effort",
     )
     # --seed after the subcommand, same SUPPRESS dance as generate
     po.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                    help="workload seed")
+
+    pb = sub.add_parser(
+        "profile",
+        help="hot-path microbenchmark: evaluation and packing "
+             "throughput of the schedule evaluator on one workload",
+    )
+    pb.add_argument("--width", type=int, default=32)
+    pb.add_argument(
+        "--evals", type=int, default=40,
+        help="distinct sharing partitions to evaluate (default: 40)",
+    )
+    pb.add_argument(
+        "--budget", type=int, default=0,
+        help="additionally run a gated anneal search with this "
+             "evaluation budget and report the gate skip rate",
+    )
+    pb.add_argument(
+        "--baseline", action="store_true",
+        help="also time the retained seed engine for a speedup ratio",
+    )
+    pb.add_argument(
+        "--pack-effort", choices=("fast", "paper", "thorough"),
+        default=None,
+        help="packer throughput tier (see 'optimize --pack-effort')",
+    )
+    pb.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                     help="workload seed")
 
     pg = sub.add_parser(
@@ -271,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--search-seed", type=int, default=None,
         help="search RNG seed for every search job (default: 0; "
              "requires --strategy)",
+    )
+    ps.add_argument(
+        "--pack-effort", choices=("fast", "paper", "thorough"),
+        default=None,
+        help="packer throughput tier for every job, resolved onto the "
+             "SweepJob shuffles/improvement-passes knobs (see "
+             "'optimize --pack-effort')",
     )
     ps.add_argument(
         "--trace-dir", default=None,
@@ -371,8 +414,9 @@ def _run_optimize(args: argparse.Namespace) -> str:
     except (KeyError, ValueError) as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
 
+    pack_kwargs = PACK_EFFORT[args.pack_effort or effort]
     # one shared evaluator: racing strategies reuse each other's packs
-    evaluator = ScheduleEvaluator(soc, width, **PACK_EFFORT[effort])
+    evaluator = ScheduleEvaluator(soc, width, **pack_kwargs)
     model = CostModel(
         soc, width, weights, AreaModel(soc.analog_cores),
         evaluator=evaluator,
@@ -436,6 +480,88 @@ def _run_optimize(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_profile(args: argparse.Namespace) -> str:
+    """Hot-path microbenchmark of the schedule evaluator."""
+    import time as _time
+
+    from .core.area import AreaModel
+    from .core.cost import CostModel, ScheduleEvaluator
+    from .core.sharing import representative_partitions
+    from .experiments.common import PACK_EFFORT
+    from .search import Budget, SearchProblem, run_strategy
+    from .search import registry as search_registry
+
+    if args.evals < 1:
+        raise _CliError(f"--evals must be >= 1, got {args.evals}")
+    try:
+        soc = workloads.build(args.workload, args.seed)
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    if not soc.analog_cores:
+        raise _CliError(f"workload {args.workload!r} has no analog cores")
+    pack_kwargs = PACK_EFFORT[args.pack_effort or args.effort]
+    partitions = representative_partitions(soc.analog_cores, args.evals)
+    n = len(partitions)
+
+    def throughput(engine: str) -> tuple[float, "ScheduleEvaluator"]:
+        evaluator = ScheduleEvaluator(
+            soc, args.width, engine=engine, **pack_kwargs
+        )
+        started = _time.perf_counter()
+        for partition in partitions:
+            evaluator.schedule(partition)
+        return _time.perf_counter() - started, evaluator
+
+    elapsed, evaluator = throughput("fast")
+    lines = [
+        f"SOC {soc.name}: {soc.n_digital} digital + {soc.n_analog} analog "
+        f"cores; TAM width {args.width}, pack "
+        f"{args.pack_effort or args.effort} "
+        f"(shuffles={pack_kwargs['shuffles']}, "
+        f"passes={pack_kwargs['improvement_passes']})",
+        f"fast engine:  {n / elapsed:8.1f} evals/s "
+        f"({evaluator.evaluations} packs in {elapsed:.3f}s)",
+    ]
+    stats = evaluator.pack_stats
+    if stats is not None and stats.orders_tried:
+        placements = stats.prefix_placements + stats.fresh_placements
+        lines.append(
+            f"  order trials: {stats.orders_tried} started, "
+            f"{stats.orders_pruned} pruned by the incumbent, "
+            f"{stats.lb_stops} loops stopped at the lower bound; "
+            f"{stats.prefix_placements}/{placements} placements "
+            f"replayed from cached prefixes"
+        )
+    if args.baseline:
+        ref_elapsed, _ = throughput("reference")
+        lines.append(
+            f"seed engine:  {n / ref_elapsed:8.1f} evals/s "
+            f"({ref_elapsed:.3f}s) -> speedup {ref_elapsed / elapsed:.2f}x"
+        )
+    if args.budget:
+        model = CostModel(
+            soc, args.width, CostWeights.balanced(),
+            AreaModel(soc.analog_cores),
+            evaluator=ScheduleEvaluator(soc, args.width, **pack_kwargs),
+        )
+        problem = SearchProblem(
+            model, Budget(max_evaluations=args.budget)
+        )
+        started = _time.perf_counter()
+        outcome = run_strategy(
+            search_registry.create("anneal"), problem, seed=0
+        )
+        search_elapsed = _time.perf_counter() - started
+        lines.append(
+            f"gated anneal: {outcome.n_evaluated} evaluations "
+            f"({outcome.n_packs} packs, {outcome.n_gated} gated = "
+            f"{100.0 * outcome.n_gated / outcome.n_evaluated:.1f}% "
+            f"skipped) in {search_elapsed:.3f}s -> best "
+            f"{outcome.best_cost:.2f}"
+        )
+    return "\n".join(lines)
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
     from .runner import expand_grid, run_sweep
 
@@ -453,6 +579,17 @@ def _run_sweep(args: argparse.Namespace) -> str:
                             ("--search-seed", args.search_seed)):
             if value is not None:
                 raise _CliError(f"{flag} requires --strategy")
+    pack_knobs = {}
+    if args.pack_effort is not None:
+        from .experiments.common import PACK_EFFORT
+
+        # resolve the tier onto the explicit SweepJob pack knobs so the
+        # cache key and JSONL records carry the actual configuration
+        tier = PACK_EFFORT[args.pack_effort]
+        pack_knobs = {
+            "shuffles": tier["shuffles"],
+            "improvement_passes": tier["improvement_passes"],
+        }
     try:
         jobs = expand_grid(
             presets,
@@ -462,6 +599,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
             delta=args.delta,
             exhaustive=args.exhaustive,
             effort=effort,
+            **pack_knobs,
             strategies=strategies,
             budget=args.budget if args.budget is not None else 200,
             search_seed=(
@@ -526,6 +664,8 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
         return _run_generate(args)
     if command == "optimize":
         return _run_optimize(args)
+    if command == "profile":
+        return _run_profile(args)
     if command == "sweep":
         return _run_sweep(args)
     try:

@@ -33,11 +33,12 @@ from dataclasses import dataclass
 
 from ..soc.model import Soc
 from ..tam.builder import analog_tasks, digital_tasks
-from ..tam.packing import pack
+from ..tam.lower_bound import critical_task_bound, volume_bound
+from ..tam.packing import PackContext, PackStats, pack
 from ..tam.schedule import Schedule
 from ..wrapper.pareto import ParetoCache
 from .area import AreaModel
-from .lower_bounds import normalized_lower_bound
+from .lower_bounds import normalized_lower_bound, true_lower_bound
 from .sharing import Partition, refines
 
 __all__ = ["CostWeights", "ScheduleEvaluator", "CostModel", "CostBreakdown"]
@@ -88,6 +89,9 @@ class ScheduleEvaluator:
         Pareto staircase cache; :mod:`repro.runner` seeds one from its
         on-disk cache so workers skip wrapper design entirely.  Must
         have ``max_width >= width``.
+    :param engine: ``"fast"`` (the :class:`~repro.tam.packing.PackContext`
+        hot path) or ``"reference"`` (the retained seed packer of
+        :mod:`repro.tam.reference` — benchmarks and parity tests only).
     :param pack_kwargs: forwarded to :func:`repro.tam.packing.pack`
         (e.g. ``shuffles=0`` for faster, rougher evaluations in tests).
     """
@@ -98,6 +102,7 @@ class ScheduleEvaluator:
         width: int,
         include_self_test: bool = False,
         pareto: ParetoCache | None = None,
+        engine: str = "fast",
         **pack_kwargs,
     ):
         if width < 1:
@@ -107,13 +112,30 @@ class ScheduleEvaluator:
                 f"pareto cache max_width {pareto.max_width} < TAM width "
                 f"{width}"
             )
+        if engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {engine!r}"
+            )
         self.soc = soc
         self.width = width
         self.include_self_test = include_self_test
+        self.engine = engine
         self._pack_kwargs = pack_kwargs
         self._pareto = pareto or ParetoCache(width)
         self._digital = digital_tasks(soc, self._pareto)
         self._schedules: dict[Partition, Schedule] = {}
+        # refinement-propagation index: signature (sorted group sizes;
+        # the group count is its length) -> cached partitions covering
+        # every analog core, so propagation visits only candidate
+        # signatures instead of scanning the whole schedule cache.
+        # Partitions covering a core subset (legal but rare — absent
+        # cores keep private wrappers) land in _partial and are checked
+        # exactly, so indexing never changes semantics.
+        self._by_signature: dict[tuple[int, ...], list[Partition]] = {}
+        self._partial: list[Partition] = []
+        self._n_cores = len(soc.analog_cores)
+        self._context: PackContext | None = None
+        self._invariant_bound: int | None = None
         #: number of actual packing runs performed (the paper's ``n``)
         self.evaluations = 0
         #: metering hook: called with the updated evaluation count
@@ -123,6 +145,70 @@ class ScheduleEvaluator:
         #: raised by the hook propagates to the caller, which is how a
         #: hard budget can abort an in-flight optimization.
         self.on_evaluation: Callable[[int], None] | None = None
+
+    @property
+    def pack_stats(self) -> PackStats | None:
+        """Hot-path counters of the shared pack context (``None``
+        before the first fast-engine pack)."""
+        return self._context.stats if self._context is not None else None
+
+    @property
+    def invariant_time_bound(self) -> int:
+        """Partition-invariant makespan lower bound, in TAM cycles.
+
+        The volume and critical-task bounds over the full task set
+        (digital staircases plus rigid analog rectangles) do not depend
+        on the sharing partition; computed once per evaluator.
+        """
+        if self._invariant_bound is None:
+            tasks = self._digital + analog_tasks(self.soc.analog_cores, None)
+            self._invariant_bound = max(
+                volume_bound(tasks, self.width),
+                critical_task_bound(tasks),
+            )
+        return self._invariant_bound
+
+    def makespan_lower_bound(self, partition: Partition) -> int:
+        """Admissible makespan lower bound for *partition*, in cycles.
+
+        The partition-invariant bound combined with the busiest-wrapper
+        serialization bound (Section 3); no scheduling happens.  Not
+        valid with ``include_self_test`` (BIST tasks add serialized
+        wrapper time the core-level bound does not see).
+        """
+        return max(
+            self.invariant_time_bound,
+            true_lower_bound(self.soc.analog_cores, partition),
+        )
+
+    def _pack(self, partition: Partition) -> Schedule:
+        tasks = self._digital + analog_tasks(
+            self.soc.analog_cores,
+            partition,
+            include_self_test=self.include_self_test,
+        )
+        if self.engine == "reference":
+            from ..tam.reference import reference_pack
+
+            return reference_pack(tasks, self.width, **self._pack_kwargs)
+        if self.include_self_test:
+            # self-test adds one task per wrapper, so the task *set*
+            # varies with the partition and no context can be shared
+            return pack(tasks, self.width, **self._pack_kwargs)
+        if self._context is None:
+            reference = self._digital + analog_tasks(
+                self.soc.analog_cores, None
+            )
+            self._context = PackContext(
+                reference, self.width, **self._pack_kwargs
+            )
+        return self._context.pack(tasks)
+
+    @staticmethod
+    def _signature(partition: Partition) -> tuple[int, ...]:
+        # canonical partitions sort groups largest-first, so the size
+        # tuple is already sorted descending
+        return tuple(len(group) for group in partition)
 
     def schedule(self, partition: Partition) -> Schedule:
         """The (cached) schedule for *partition*.
@@ -134,12 +220,7 @@ class ScheduleEvaluator:
         cached = self._schedules.get(partition)
         if cached is not None:
             return cached
-        tasks = self._digital + analog_tasks(
-            self.soc.analog_cores,
-            partition,
-            include_self_test=self.include_self_test,
-        )
-        result = pack(tasks, self.width, **self._pack_kwargs)
+        result = self._pack(partition)
         self.evaluations += 1
         if self.on_evaluation is not None:
             self.on_evaluation(self.evaluations)
@@ -150,18 +231,80 @@ class ScheduleEvaluator:
         if self.include_self_test:
             self._schedules[partition] = result
             return result
-        for other, other_schedule in list(self._schedules.items()):
-            if (
-                refines(partition, other)
-                and other_schedule.makespan < result.makespan
-            ):
-                result = other_schedule
-            elif (
-                refines(other, partition)
-                and result.makespan < other_schedule.makespan
-            ):
-                self._schedules[other] = result
+        result = self._propagate(partition, result)
         self._schedules[partition] = result
+        signature = self._signature(partition)
+        if sum(signature) == self._n_cores:
+            self._by_signature.setdefault(signature, []).append(partition)
+        else:
+            self._partial.append(partition)
+        return result
+
+    def _propagate(self, partition: Partition, result: Schedule) -> Schedule:
+        """Refinement-monotone exchange with the schedule cache.
+
+        Phase 1 inherits the best schedule among cached *coarser*
+        partitions (their constraints are a superset, so their
+        schedules are feasible here); phase 2 pushes the winner to
+        cached *finer* partitions it improves.  Candidates come from
+        the signature index: a genuine full-cover refinement forces
+        the coarser side to have fewer groups, a larger largest group
+        and a larger smallest group (each coarse group is a disjoint
+        union of fine groups), so only signatures passing those
+        comparisons — plus the exact-checked partial-cover list — are
+        visited at all.
+        """
+        signature = self._signature(partition)
+        full = bool(signature) and sum(signature) == self._n_cores
+
+        def compatible(as_coarser: bool):
+            for other_sig, candidates in self._by_signature.items():
+                if other_sig == signature:
+                    # equal signatures admit no proper refinement
+                    continue
+                if as_coarser:
+                    ok = (
+                        len(other_sig) <= len(signature)
+                        and other_sig[0] >= signature[0]
+                        and other_sig[-1] >= signature[-1]
+                    )
+                else:
+                    ok = (
+                        len(other_sig) >= len(signature)
+                        and other_sig[0] <= signature[0]
+                        and other_sig[-1] <= signature[-1]
+                    )
+                if ok:
+                    yield from candidates
+
+        makespan = result.makespan
+        # phase 1: inherit from coarser partitions
+        coarser = compatible(True) if full else iter(self._schedules)
+        for other in coarser:
+            other_schedule = self._schedules[other]
+            if other_schedule.makespan < makespan \
+                    and refines(partition, other):
+                result = other_schedule
+                makespan = result.makespan
+        if full:
+            # the partial-cover list is outside the index: check exactly
+            for other in self._partial:
+                other_schedule = self._schedules[other]
+                if other_schedule.makespan < makespan \
+                        and refines(partition, other):
+                    result = other_schedule
+                    makespan = result.makespan
+        # phase 2: push the winner to finer partitions it improves
+        finer = compatible(False) if full else iter(list(self._schedules))
+        for other in finer:
+            if makespan < self._schedules[other].makespan \
+                    and refines(other, partition):
+                self._schedules[other] = result
+        if full:
+            for other in self._partial:
+                if makespan < self._schedules[other].makespan \
+                        and refines(other, partition):
+                    self._schedules[other] = result
         return result
 
     def makespan(self, partition: Partition) -> int:
@@ -241,12 +384,50 @@ class CostModel:
         )
 
     def preliminary_cost(self, partition: Partition) -> float:
-        """Eq. (3): lower-bound-based estimate, no scheduling needed."""
+        """Eq. (3): lower-bound-based estimate, no scheduling needed.
+
+        This is the paper's printed form, normalized to the *analog
+        lower bound* of the all-sharing combination.  It is a heuristic
+        estimate, not an admissible bound: the all-sharing schedule's
+        real makespan exceeds its analog bound whenever the digital
+        side pads the schedule, which inflates the normalized value.
+        Use :meth:`cost_lower_bound` when admissibility matters.
+        """
         t_hat = normalized_lower_bound(
             self.soc.analog_cores, partition, truncate=False
         )
         return (
             self.weights.time * t_hat
+            + self.weights.area * self.area_cost(partition)
+        )
+
+    def cost_lower_bound(self, partition: Partition) -> float:
+        """Admissible Eq. (3) variant: a provable lower bound on
+        :meth:`total_cost`, with no scheduling for *partition*.
+
+        Two changes make the paper's preliminary cost exact: the
+        analog serialization bound is combined with the
+        partition-invariant volume/critical-task bounds, and the result
+        is normalized by the all-sharing *makespan* (the same
+        normalizer :meth:`time_cost` uses) instead of the all-sharing
+        analog bound.  Since any schedule for *partition* lasts at
+        least the combined bound, ``cost_lower_bound(p) <=
+        total_cost(p)`` always holds — the property the search-layer
+        pruning gate relies on.
+
+        Returns ``-inf`` (gates nothing) with ``include_self_test``:
+        BIST tasks add per-wrapper serialized time the core-level
+        bound cannot see, which would break admissibility.
+        """
+        if self.evaluator.include_self_test:
+            return float("-inf")
+        t_bound = (
+            100.0
+            * self.evaluator.makespan_lower_bound(partition)
+            / self.all_share_makespan
+        )
+        return (
+            self.weights.time * t_bound
             + self.weights.area * self.area_cost(partition)
         )
 

@@ -24,6 +24,7 @@ they are hashable and printable.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Iterable, Iterator, Sequence
 from itertools import permutations
 
@@ -33,6 +34,8 @@ __all__ = [
     "Partition",
     "canonical",
     "all_partitions",
+    "random_partitions",
+    "representative_partitions",
     "bell_number",
     "paper_combinations",
     "symmetry_reduce",
@@ -167,6 +170,82 @@ def _iter_partitions(items: list[str]) -> Iterator[Partition]:
         groups.pop()
 
     yield from recurse(1)
+
+
+def random_partitions(
+    names: Sequence[str], n: int, seed: int = 0
+) -> list[Partition]:
+    """*n* distinct seeded random partitions of *names*, canonical.
+
+    Sampled by the Chinese-restaurant construction (each element joins
+    an existing group with probability proportional to its size, or
+    opens a new one), which spreads draws across group-count strata —
+    the shape the benchmark harness and the ``profile`` CLI need to
+    exercise the scheduler on representative sharing combinations
+    without enumerating a Bell-number space.  Deterministic for fixed
+    arguments.
+
+    :raises ValueError: if *names* is empty, has duplicates, or *n*
+        exceeds the number of distinct partitions.
+    """
+    items = list(names)
+    if not items or len(set(items)) != len(items):
+        raise ValueError(f"names must be non-empty and unique, got {items}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    space = bell_number(len(items))
+    if n > space:
+        raise ValueError(
+            f"cannot sample {n} distinct partitions of {len(items)} "
+            f"names; only {space} exist"
+        )
+    rng = random.Random(seed)
+    seen: set[Partition] = set()
+    result: list[Partition] = []
+    while len(result) < n:
+        groups: list[list[str]] = []
+        placed = 0
+        for name in items:
+            choice = rng.randrange(placed + 1) if placed else 0
+            target = None
+            for group in groups:
+                if choice < len(group):
+                    target = group
+                    break
+                choice -= len(group)
+            if target is None:
+                groups.append([name])
+            else:
+                target.append(name)
+            placed += 1
+        partition = canonical(groups)
+        if partition not in seen:
+            seen.add(partition)
+            result.append(partition)
+    return result
+
+
+def representative_partitions(
+    cores: Sequence[AnalogCore], limit: int, seed: int = 0
+) -> list[Partition]:
+    """Up to *limit* representative sharing partitions of *cores*.
+
+    The shared sampling policy of the evaluation benchmark, the
+    golden-parity tests, and the ``profile`` CLI: for five or fewer
+    cores, the symmetry-reduced Table 1 family (plus no-sharing) —
+    the combinations the paper itself evaluates; beyond that, seeded
+    :func:`random_partitions`.  Deterministic for fixed arguments.
+    """
+    names = [core.name for core in cores]
+    if len(names) <= 5:
+        combos = symmetry_reduce(
+            paper_combinations(names, include_no_sharing=True),
+            identical_core_classes(cores),
+        )
+        return combos[:limit]
+    return random_partitions(
+        names, min(limit, bell_number(len(names))), seed=seed
+    )
 
 
 def paper_combinations(

@@ -45,7 +45,6 @@ from ..core.sharing import (
     paper_combinations,
     symmetry_reduce,
 )
-from ..experiments.common import PACK_EFFORT
 from ..reporting import append_jsonl, render_table, write_jsonl
 from ..search import Budget, SearchProblem, run_strategy
 from ..search import registry as search_registry
@@ -58,8 +57,11 @@ from .jobs import JobResult, SweepJob
 __all__ = ["SweepResult", "run_sweep", "evaluate_job", "trace_path"]
 
 #: Bump to invalidate every cached entry after a semantic change to the
-#: evaluation flow or the record layout.
-CACHE_VERSION = 2
+#: evaluation flow or the record layout.  v3: search jobs evaluate
+#: through the lower-bound gate (skipped candidates answer with the
+#: admissible bound), which can change metaheuristic trajectories —
+#: schedule/cost parity for any given partition is unaffected.
+CACHE_VERSION = 3
 
 #: Paper-flow jobs enumerate the Table 1 sharing family, which passes
 #: through the Bell-number space of all partitions; past this many
@@ -82,7 +84,7 @@ def _job_key(job: SweepJob, soc_digest: str) -> str:
         "wt": round(job.wt, 9),
         "delta": job.delta,
         "exhaustive": job.exhaustive,
-        "pack": PACK_EFFORT[job.effort],
+        "pack": job.pack_kwargs,
         "strategy": job.strategy,
         "budget": job.budget,
         "search_seed": job.search_seed,
@@ -201,7 +203,7 @@ def evaluate_job(
     pareto, stair_hits, stair_misses = _primed_pareto(soc, job.width, cache)
     weights = CostWeights(time=job.wt, area=1.0 - job.wt)
     evaluator = ScheduleEvaluator(
-        soc, job.width, pareto=pareto, **PACK_EFFORT[job.effort]
+        soc, job.width, pareto=pareto, **job.pack_kwargs
     )
     model = CostModel(
         soc, job.width, weights, AreaModel(soc.analog_cores),

@@ -30,6 +30,12 @@ class SweepJob:
         heuristic.
     :param effort: rectangle-packer effort preset (see
         :data:`repro.experiments.common.PACK_EFFORT`).
+    :param shuffles: explicit packer shuffle count, overriding the
+        *effort* preset (``None`` keeps the preset's value).  The
+        ``--pack-effort`` CLI tiers resolve to these knobs so stress
+        presets can trade schedule quality for throughput explicitly.
+    :param improvement_passes: explicit packer reschedule-iteration
+        count, overriding the *effort* preset (``None`` keeps it).
     :param strategy: anytime search strategy name
         (:mod:`repro.search.registry`); empty runs the paper flow
         (``Cost_Optimizer`` / exhaustive) instead.  A sweep whose
@@ -48,6 +54,8 @@ class SweepJob:
     delta: float = 0.0
     exhaustive: bool = False
     effort: str = "medium"
+    shuffles: int | None = None
+    improvement_passes: int | None = None
     strategy: str = ""
     budget: int = 0
     search_seed: int = 0
@@ -62,6 +70,10 @@ class SweepJob:
                 f"unknown effort {self.effort!r}, pick from "
                 f"{sorted(PACK_EFFORT)}"
             )
+        for knob, value in (("shuffles", self.shuffles),
+                            ("improvement_passes", self.improvement_passes)):
+            if value is not None and value < 0:
+                raise ValueError(f"{knob} must be >= 0, got {value}")
         if self.strategy:
             from ..search import registry as search_registry
 
@@ -80,6 +92,18 @@ class SweepJob:
                 )
         elif self.budget:
             raise ValueError("budget requires a strategy")
+
+    @property
+    def pack_kwargs(self) -> dict:
+        """Resolved packer kwargs: the effort preset with any explicit
+        knob overrides applied (this is what the evaluator — and the
+        job cache key — actually see)."""
+        kwargs = dict(PACK_EFFORT[self.effort])
+        if self.shuffles is not None:
+            kwargs["shuffles"] = self.shuffles
+        if self.improvement_passes is not None:
+            kwargs["improvement_passes"] = self.improvement_passes
+        return kwargs
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready)."""
@@ -136,6 +160,8 @@ def expand_grid(
     delta: float = 0.0,
     exhaustive: bool = False,
     effort: str = "medium",
+    shuffles: int | None = None,
+    improvement_passes: int | None = None,
     strategies: Sequence[str] = ("",),
     budget: int = 0,
     search_seed: int = 0,
@@ -163,6 +189,8 @@ def expand_grid(
             delta=delta,
             exhaustive=exhaustive,
             effort=effort,
+            shuffles=shuffles,
+            improvement_passes=improvement_passes,
             strategy=strategy,
             budget=budget if strategy else 0,
             search_seed=search_seed if strategy else 0,

@@ -57,11 +57,28 @@ class SearchProblem:
         evaluator whose cache makes repeated evaluations free).
     :param budget: the run's allowance; ``None`` means unlimited
         (useful in tests — the run loop then stops on stall only).
+    :param gate: enable the lower-bound pruning gate (default on).
+        Before packing a first-time candidate, the admissible
+        :meth:`~repro.core.cost.CostModel.cost_lower_bound` is
+        compared against the incumbent: when even the bound exceeds
+        the current best cost, the TAM packing is skipped entirely and
+        the bound is recorded as the candidate's cost.  The bound is a
+        provable lower bound, so a candidate that *would* have
+        improved the incumbent is never skipped; skipped candidates
+        still charge the budget (they are cheap, not free) and are
+        accounted separately in :attr:`n_gated` /
+        :attr:`gated_partitions`.
     """
 
-    def __init__(self, model: CostModel, budget: Budget | None = None):
+    def __init__(
+        self,
+        model: CostModel,
+        budget: Budget | None = None,
+        gate: bool = True,
+    ):
         self.model = model
         self.budget = budget if budget is not None else Budget()
+        self.gate = gate
         self.names: tuple[str, ...] = tuple(
             core.name for core in model.soc.analog_cores
         )
@@ -72,6 +89,12 @@ class SearchProblem:
         self.best_partition: Partition | None = None
         self.best_cost = float("inf")
         self.trace: list[TracePoint] = []
+        #: evaluations answered by the lower-bound gate (no packing)
+        self.n_gated = 0
+        #: the gate's skip log: ``(partition, bound, incumbent cost at
+        #: the time)`` per gated evaluation, traced separately from the
+        #: improvement trace
+        self.gated_partitions: list[tuple[Partition, float, float]] = []
 
     @property
     def n_evaluated(self) -> int:
@@ -101,6 +124,18 @@ class SearchProblem:
         if cached is not None:
             return cached
         self.budget.charge()
+        if self.gate and self.best_partition is not None:
+            bound = self.model.cost_lower_bound(partition)
+            if bound > self.best_cost:
+                # even a perfect schedule could not beat the incumbent:
+                # skip the packing, answer with the bound (still a
+                # charged evaluation, just a cheap one)
+                self.n_gated += 1
+                self.gated_partitions.append(
+                    (partition, bound, self.best_cost)
+                )
+                self._costs[partition] = bound
+                return bound
         cost = self.model.total_cost(partition)
         self._costs[partition] = cost
         if cost < self.best_cost:

@@ -125,6 +125,9 @@ class SearchOutcome:
     :param n_evaluated: paid (distinct) evaluations spent.
     :param n_packs: actual TAM packing runs caused (<= ``n_evaluated``
         when the shared evaluator was warm; the paper's ``n``).
+    :param n_gated: evaluations answered by the lower-bound pruning
+        gate instead of a packing run (see
+        :class:`~repro.search.problem.SearchProblem`).
     :param n_steps: strategy steps the run loop completed.
     :param elapsed_s: wall-clock duration of the run.
     :param budget: human-readable budget summary at the end.
@@ -144,6 +147,7 @@ class SearchOutcome:
     budget: str
     stalled: bool
     trace: tuple[TracePoint, ...]
+    n_gated: int = 0
 
     def to_result(self) -> OptimizationResult:
         """Project onto the shared optimizer result record.
@@ -181,6 +185,7 @@ class SearchOutcome:
             f"{self.strategy:8s} best {self.best_cost:7.2f} at "
             f"{format_partition(self.best_partition)} "
             f"({self.n_evaluated} evaluations, {self.n_packs} packs, "
+            f"{self.n_gated} gated, "
             f"{self.n_steps} steps, {self.elapsed_s:.2f}s"
             f"{', stalled' if self.stalled else ''})"
         )
@@ -238,6 +243,7 @@ def run_strategy(
         best_cost=problem.best_cost,
         n_evaluated=problem.n_evaluated,
         n_packs=problem.n_packs,
+        n_gated=problem.n_gated,
         n_steps=steps,
         elapsed_s=budget.elapsed_s,
         budget=budget.describe(),

@@ -24,16 +24,27 @@ from .lower_bound import (
     volume_bound,
 )
 from .model import TamTask, WidthOption
-from .packing import PRIORITY_RULES, InfeasibleError, pack, pack_with_order
+from .packing import (
+    DEFAULT_RULES,
+    PRIORITY_RULES,
+    InfeasibleError,
+    PackContext,
+    PackStats,
+    pack,
+    pack_with_order,
+)
 from .profile import CapacityProfile
 from .schedule import Schedule, ScheduledTest, ScheduleError
 from .wires import WireAssignmentError, assign_wires, render_wire_map
 
 __all__ = [
     "CapacityProfile",
+    "DEFAULT_RULES",
     "FixedPartitionResult",
     "InfeasibleError",
     "PRIORITY_RULES",
+    "PackContext",
+    "PackStats",
     "fixed_partition_pack",
     "width_splits",
     "Schedule",

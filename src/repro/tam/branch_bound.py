@@ -29,16 +29,6 @@ from .schedule import Schedule, ScheduledTest
 __all__ = ["optimal_schedule", "optimal_makespan"]
 
 
-def _earliest_fit(
-    placed: list[ScheduledTest], width: int, not_before: int,
-    duration: int, task_width: int,
-) -> int:
-    profile = CapacityProfile(width)
-    for item in placed:
-        profile.add(item.start, item.finish, item.width)
-    return profile.earliest_fit(not_before, duration, task_width)
-
-
 def optimal_schedule(
     tasks: Iterable[TamTask], width: int, max_tasks: int = 9
 ) -> Schedule:
@@ -89,6 +79,11 @@ def optimal_schedule(
             group_bound = max(group_bound, group_ready.get(group, 0) + need)
         return max(current, volume, longest, group_bound)
 
+    # one shared profile for the whole search: each branch snapshots,
+    # places, recurses, and rolls back, instead of rebuilding the
+    # profile from `placed` at every node
+    profile = CapacityProfile(width)
+
     def dfs(placed: list[ScheduledTest], remaining: list[TamTask]) -> None:
         if not remaining:
             makespan = max((i.finish for i in placed), default=0)
@@ -110,17 +105,20 @@ def optimal_schedule(
             )
             rest = remaining[:index] + remaining[index + 1 :]
             for option in task.options_within(width):
-                start = _earliest_fit(
-                    placed, width, not_before, option.time, option.width
+                start = profile.earliest_fit(
+                    not_before, option.time, option.width
                 )
                 item = ScheduledTest(task=task, start=start, option=option)
                 if max(
                     item.finish, max((i.finish for i in placed), default=0)
                 ) >= best["makespan"]:
                     continue
+                token = profile.snapshot()
+                profile.add(item.start, item.finish, item.width)
                 placed.append(item)
                 dfs(placed, rest)
                 placed.pop()
+                profile.rollback(token)
 
     # seed the incumbent with a greedy schedule so pruning bites early
     from .packing import pack

@@ -13,20 +13,52 @@ deterministic greedy packer in that spirit:
    member to start after the group's previously placed members finish.
 
 Because greedy packing is order-sensitive, :func:`pack` tries several
-priority rules and keeps the best makespan; every candidate schedule is
-validated before comparison, so the returned schedule is always
-feasible.
+priority rules and keeps the best makespan.  The engine is built for
+the evaluation hot path — :class:`PackContext` is the fast path the
+schedule evaluator reuses across sharing partitions:
+
+* the order enumeration (rules + seeded shuffles) is computed once;
+* the placement trajectory of the *reference* grouping (each analog
+  core serializing only with itself — common to every partition) is
+  cached per order, and each partition call replays the longest prefix
+  on which its coarser groups cannot yet have bound, via the profile's
+  bulk-add;
+* order trials abort as soon as their running makespan can no longer
+  beat the incumbent, and the whole trial loop stops early once the
+  incumbent hits the analytic makespan lower bound;
+* only the winning schedule is validated (set ``REPRO_VALIDATE_ALL=1``
+  to re-validate every completed candidate, the paranoid CI mode).
+
+All of this is *exact*: the returned schedule is identical to packing
+every order from scratch and keeping the strictly-best makespan, which
+golden-parity tests pin against the retained seed implementation in
+:mod:`repro.tam.reference`.
 """
 
 from __future__ import annotations
 
+import os
+import random
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
-from .model import TamTask
+from .lower_bound import makespan_lower_bound
+from .model import TamTask, WidthOption
 from .profile import CapacityProfile
 from .schedule import Schedule, ScheduledTest
 
-__all__ = ["pack", "pack_with_order", "InfeasibleError", "PRIORITY_RULES"]
+__all__ = [
+    "pack",
+    "pack_with_order",
+    "PackContext",
+    "PackStats",
+    "InfeasibleError",
+    "PRIORITY_RULES",
+    "DEFAULT_RULES",
+]
+
+#: Environment variable enabling per-candidate validation (CI paranoia).
+VALIDATE_ALL_ENV = "REPRO_VALIDATE_ALL"
 
 
 class InfeasibleError(ValueError):
@@ -69,6 +101,76 @@ PRIORITY_RULES = {
     "rigid_wide_first": _rigid_wide_first,
 }
 
+#: The rule set :func:`pack` tries by default.
+DEFAULT_RULES = (
+    "area",
+    "time",
+    "width",
+    "groups_first",
+    "rigid_wide_first",
+)
+
+
+def _feasible_options(
+    tasks: Sequence[TamTask], width: int
+) -> dict[str, tuple[WidthOption, ...]]:
+    """Per task: the operating points fitting a width-``width`` TAM.
+
+    :raises InfeasibleError: if some task has none.
+    """
+    feasible: dict[str, tuple[WidthOption, ...]] = {}
+    for task in tasks:
+        options = task.options_within(width)
+        if not options:
+            raise InfeasibleError(
+                f"task {task.name!r} needs {task.min_width} wires, TAM "
+                f"has only {width}"
+            )
+        feasible[task.name] = options
+    return feasible
+
+
+def _place_order(
+    order: Sequence[TamTask],
+    feasible: dict[str, tuple[WidthOption, ...]],
+    profile: CapacityProfile,
+    items: list[ScheduledTest],
+    group_ready: dict[str, int],
+    abort_at: int | None = None,
+    running_max: int = 0,
+) -> int | None:
+    """Place *order* onto *profile*, appending to *items*.
+
+    Returns the resulting maximum finish (>= *running_max*), or ``None``
+    once any placed finish reaches *abort_at* — the placement of each
+    task is order-deterministic, so a complete schedule from this order
+    could never have a smaller makespan.
+    """
+    earliest_fit = profile.earliest_fit
+    add = profile._add_fast
+    for task in order:
+        not_before = 0
+        if task.group is not None:
+            not_before = group_ready.get(task.group, 0)
+        best: tuple[int, int, int] | None = None
+        best_option = None
+        for option in feasible[task.name]:
+            start = earliest_fit(not_before, option.time, option.width)
+            key = (start + option.time, option.width, start)
+            if best is None or key < best:
+                best = key
+                best_option = option
+        finish, _, start = best
+        if abort_at is not None and finish >= abort_at:
+            return None
+        add(start, finish, best_option.width)
+        if task.group is not None:
+            group_ready[task.group] = finish
+        items.append(ScheduledTest(task=task, start=start, option=best_option))
+        if finish > running_max:
+            running_max = finish
+    return running_max
+
 
 def pack_with_order(
     tasks: Sequence[TamTask], width: int, order: Sequence[TamTask]
@@ -88,50 +190,308 @@ def pack_with_order(
         tasks
     ):
         raise ValueError("order must be a permutation of tasks")
-
-    profile = CapacityProfile(width)
-    group_ready: dict[str, int] = {}
+    feasible = _feasible_options(tasks, width)
     items: list[ScheduledTest] = []
-    for task in order:
-        feasible = task.options_within(width)
-        if not feasible:
-            raise InfeasibleError(
-                f"task {task.name!r} needs {task.min_width} wires, TAM "
-                f"has only {width}"
-            )
-        not_before = 0
-        if task.group is not None:
-            not_before = group_ready.get(task.group, 0)
-        best: tuple[int, int, int] | None = None
-        best_option = None
-        for option in feasible:
-            start = profile.earliest_fit(not_before, option.time, option.width)
-            key = (start + option.time, option.width, start)
-            if best is None or key < best:
-                best = key
-                best_option = option
-        assert best is not None and best_option is not None
-        finish, _, start = best
-        profile.add(start, finish, best_option.width)
-        if task.group is not None:
-            group_ready[task.group] = finish
-        items.append(ScheduledTest(task=task, start=start, option=best_option))
-
+    _place_order(order, feasible, CapacityProfile(width), items, {})
     schedule = Schedule(width=width, items=tuple(items))
     schedule.validate()
     return schedule
 
 
+@dataclass
+class PackStats:
+    """Cumulative hot-path counters of one :class:`PackContext`."""
+
+    #: partition pack calls served
+    packs: int = 0
+    #: order trials started (rules + shuffles + improvement passes)
+    orders_tried: int = 0
+    #: order trials aborted early against the incumbent makespan
+    orders_pruned: int = 0
+    #: trial loops cut short because the incumbent hit the lower bound
+    lb_stops: int = 0
+    #: placements replayed from a cached reference trajectory
+    prefix_placements: int = 0
+    #: placements computed the slow way (profile search per option)
+    fresh_placements: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "packs": self.packs,
+            "orders_tried": self.orders_tried,
+            "orders_pruned": self.orders_pruned,
+            "lb_stops": self.lb_stops,
+            "prefix_placements": self.prefix_placements,
+            "fresh_placements": self.fresh_placements,
+        }
+
+
+class PackContext:
+    """Reusable fast-path packer for one invariant rectangle set.
+
+    Built once per (task geometry, TAM width); :meth:`pack` is then
+    called once per sharing partition with tasks of identical geometry
+    (same names and operating points) whose serialization groups
+    *coarsen* the reference grouping — every reference group maps whole
+    into one call group, exactly the relation between per-core analog
+    wrappers and any sharing partition.  Calls with the same grouping
+    as the reference, or with an unrelated grouping, are also accepted;
+    they simply skip the trajectory reuse.
+
+    :param tasks: the reference task set (the finest grouping, e.g.
+        digital cores plus per-core analog wrappers).
+    :param width: SOC-level TAM width ``W``.
+    :param rules: names from :data:`PRIORITY_RULES` to try.
+    :param shuffles: number of seeded random restarts (0 disables).
+    :param improvement_passes: maximum reschedule iterations.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[TamTask],
+        width: int,
+        rules: Sequence[str] = DEFAULT_RULES,
+        shuffles: int = 8,
+        improvement_passes: int = 3,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.improvement_passes = improvement_passes
+        self._reference = list(tasks)
+        self._names = tuple(t.name for t in self._reference)
+        if len(set(self._names)) != len(self._names):
+            raise ValueError("duplicate task names")
+        self._name_set = frozenset(self._names)
+        self._ref_group = {t.name: t.group for t in self._reference}
+        self._feasible = _feasible_options(self._reference, width)
+        self._orders = self._enumerate_orders(rules, shuffles)
+        # per order index: the reference-grouping placement trajectory
+        # as (name, start, end, width, option) tuples, built lazily
+        self._trajectories: list[
+            tuple[tuple[str, int, int, int, WidthOption], ...] | None
+        ] = [None] * len(self._orders)
+        self.stats = PackStats()
+
+    def _enumerate_orders(
+        self, rules: Sequence[str], shuffles: int
+    ) -> list[tuple[str, ...]]:
+        """Rule orders plus seeded biased shuffles, as name tuples.
+
+        Every priority rule is a pure function of task geometry and
+        group *presence* (never the label), so one enumeration serves
+        all partitions.  The base enumeration for the biased shuffles
+        is computed once; only the per-shuffle random keys differ.
+        """
+        orders = [
+            tuple(
+                t.name
+                for t in sorted(self._reference, key=PRIORITY_RULES[rule])
+            )
+            for rule in rules
+        ]
+        rng = random.Random(0)
+        base = [t.name for t in sorted(self._reference, key=_by_area)]
+        half = len(base) / 2
+        for _ in range(shuffles):
+            # biased shuffle: perturb the area order with random keys so
+            # large tasks still tend to go first
+            keys = {name: i + rng.uniform(0, half)
+                    for i, name in enumerate(base)}
+            orders.append(tuple(sorted(base, key=keys.__getitem__)))
+        return orders
+
+    def _trajectory(
+        self, index: int
+    ) -> tuple[tuple[str, int, int, int, WidthOption], ...]:
+        """The cached reference placement of order *index* (lazy)."""
+        cached = self._trajectories[index]
+        if cached is not None:
+            return cached
+        by_name = {t.name: t for t in self._reference}
+        order = [by_name[name] for name in self._orders[index]]
+        items: list[ScheduledTest] = []
+        self.stats.fresh_placements += len(order)
+        _place_order(order, self._feasible, CapacityProfile(self.width),
+                     items, {})
+        trajectory = tuple(
+            (it.task.name, it.start, it.finish, it.width, it.option)
+            for it in items
+        )
+        self._trajectories[index] = trajectory
+        return trajectory
+
+    def _coarsens(self, by_name: dict[str, TamTask]) -> bool:
+        """Whether the call grouping coarsens the reference grouping."""
+        merged: dict[str, str] = {}
+        for name, ref_group in self._ref_group.items():
+            call_group = by_name[name].group
+            if ref_group is None:
+                if call_group is not None:
+                    return False
+                continue
+            if call_group is None:
+                return False
+            known = merged.setdefault(ref_group, call_group)
+            if known != call_group:
+                return False
+        return True
+
+    def _try_order_fresh(
+        self,
+        order: Sequence[TamTask],
+        incumbent: int | None,
+    ) -> tuple[int, list[ScheduledTest]] | None:
+        """One order trial with no trajectory reuse."""
+        self.stats.orders_tried += 1
+        items: list[ScheduledTest] = []
+        self.stats.fresh_placements += len(order)
+        makespan = _place_order(
+            order, self._feasible, CapacityProfile(self.width), items, {},
+            abort_at=incumbent,
+        )
+        if makespan is None:
+            self.stats.orders_pruned += 1
+            return None
+        return makespan, items
+
+    def _try_order_prefixed(
+        self,
+        index: int,
+        by_name: dict[str, TamTask],
+        incumbent: int | None,
+    ) -> tuple[int, list[ScheduledTest]] | None:
+        """One order trial replaying the reference-trajectory prefix.
+
+        The call's groups are unions of reference groups, so until a
+        task's *call* group has accumulated a later ready time than its
+        reference group, each placement is identical to the cached
+        reference run — those placements are replayed via bulk-add
+        instead of searched.
+        """
+        self.stats.orders_tried += 1
+        trajectory = self._trajectory(index)
+        ready_call: dict[str, int] = {}
+        ready_ref: dict[str, int] = {}
+        running_max = 0
+        split = len(trajectory)
+        for i, (name, _, finish, _, _) in enumerate(trajectory):
+            group = by_name[name].group
+            if group is not None:
+                ref = self._ref_group[name]
+                if ready_call.get(group, 0) != ready_ref.get(ref, 0):
+                    split = i
+                    break
+                ready_call[group] = finish
+                ready_ref[ref] = finish
+            if finish > running_max:
+                if incumbent is not None and finish >= incumbent:
+                    self.stats.orders_pruned += 1
+                    return None
+                running_max = finish
+        prefix = trajectory[:split]
+        self.stats.prefix_placements += split
+        items = [
+            ScheduledTest(task=by_name[name], start=start, option=option)
+            for name, start, _, _, option in prefix
+        ]
+        if split == len(trajectory):
+            return running_max, items
+        profile = CapacityProfile(self.width)
+        profile.batch_add(
+            ((start, end, width) for _, start, end, width, _ in prefix),
+            check=False,
+        )
+        suffix = [by_name[name] for name in self._orders[index][split:]]
+        self.stats.fresh_placements += len(suffix)
+        makespan = _place_order(
+            suffix, self._feasible, profile, items, ready_call,
+            abort_at=incumbent, running_max=running_max,
+        )
+        if makespan is None:
+            self.stats.orders_pruned += 1
+            return None
+        return makespan, items
+
+    def pack(self, tasks: Iterable[TamTask]) -> Schedule:
+        """The best schedule for *tasks* over the context's order set.
+
+        *tasks* must have the context's exact geometry (same names and
+        operating points); only serialization groups may differ.
+
+        :returns: the feasible schedule with the smallest makespan
+            found (deterministic for a fixed context configuration).
+        """
+        task_list = list(tasks)
+        by_name = {t.name: t for t in task_list}
+        if len(task_list) != len(self._names) \
+                or by_name.keys() != self._name_set:
+            raise ValueError(
+                "task set does not match the PackContext geometry"
+            )
+        self.stats.packs += 1
+        validate_all = os.environ.get(VALIDATE_ALL_ENV, "") == "1"
+        same_grouping = all(
+            by_name[name].group == group
+            for name, group in self._ref_group.items()
+        )
+        use_prefix = not same_grouping and self._coarsens(by_name)
+        bound = makespan_lower_bound(task_list, self.width)
+
+        best_makespan: int | None = None
+        best_items: list[ScheduledTest] | None = None
+
+        def consider(
+            result: tuple[int, list[ScheduledTest]] | None
+        ) -> None:
+            nonlocal best_makespan, best_items
+            if result is None:
+                return
+            makespan, items = result
+            if validate_all:
+                Schedule(width=self.width, items=tuple(items)).validate()
+            if best_makespan is None or makespan < best_makespan:
+                best_makespan, best_items = makespan, items
+
+        for index in range(len(self._orders)):
+            if best_makespan is not None and best_makespan <= bound:
+                self.stats.lb_stops += 1
+                break
+            if use_prefix:
+                consider(
+                    self._try_order_prefixed(index, by_name, best_makespan)
+                )
+            else:
+                order = [by_name[name] for name in self._orders[index]]
+                consider(self._try_order_fresh(order, best_makespan))
+
+        assert best_makespan is not None and best_items is not None
+        for _ in range(self.improvement_passes):
+            # reschedule iteration: replay the best schedule's own start
+            # order as a priority order, a list-scheduling convergence
+            # trick; skipped once the incumbent is provably optimal
+            if best_makespan <= bound:
+                self.stats.lb_stops += 1
+                break
+            start_of = {item.task.name: item.start for item in best_items}
+            order = sorted(
+                task_list, key=lambda t: (start_of[t.name], t.name)
+            )
+            previous = best_makespan
+            consider(self._try_order_fresh(order, best_makespan))
+            if best_makespan >= previous:
+                break
+
+        schedule = Schedule(width=self.width, items=tuple(best_items))
+        schedule.validate()
+        return schedule
+
+
 def pack(
     tasks: Iterable[TamTask],
     width: int,
-    rules: Sequence[str] = (
-        "area",
-        "time",
-        "width",
-        "groups_first",
-        "rigid_wide_first",
-    ),
+    rules: Sequence[str] = DEFAULT_RULES,
     shuffles: int = 8,
     improvement_passes: int = 3,
 ) -> Schedule:
@@ -147,6 +507,11 @@ def pack(
        own start order is replayed as a priority order, a standard
        list-scheduling convergence trick.
 
+    Repeated packs of the same rectangle geometry under different
+    sharing partitions should build one :class:`PackContext` and call
+    its :meth:`~PackContext.pack` instead — that is the evaluation hot
+    path the schedule evaluator uses.
+
     :param tasks: the rectangles to schedule.
     :param width: SOC-level TAM width ``W``.
     :param rules: names from :data:`PRIORITY_RULES` to try.
@@ -157,36 +522,11 @@ def pack(
     :raises InfeasibleError: if some task cannot fit at all.
     :raises KeyError: if a rule name is unknown.
     """
-    import random
-
     task_list = list(tasks)
     if not task_list:
         return Schedule(width=width, items=())
-
-    best: Schedule | None = None
-
-    def consider(order: Sequence[TamTask]) -> None:
-        nonlocal best
-        candidate = pack_with_order(task_list, width, order)
-        if best is None or candidate.makespan < best.makespan:
-            best = candidate
-
-    for rule in rules:
-        consider(sorted(task_list, key=PRIORITY_RULES[rule]))
-
-    rng = random.Random(0)
-    base = sorted(task_list, key=_by_area)
-    for _ in range(shuffles):
-        # biased shuffle: perturb the area order with random keys so
-        # large tasks still tend to go first
-        keys = {t.name: i + rng.uniform(0, len(base) / 2) for i, t in enumerate(base)}
-        consider(sorted(base, key=lambda t: keys[t.name]))
-
-    assert best is not None
-    for _ in range(improvement_passes):
-        previous = best.makespan
-        start_of = {item.task.name: item.start for item in best.items}
-        consider(sorted(task_list, key=lambda t: (start_of[t.name], t.name)))
-        if best.makespan >= previous:
-            break
-    return best
+    context = PackContext(
+        task_list, width, rules=rules, shuffles=shuffles,
+        improvement_passes=improvement_passes,
+    )
+    return context.pack(task_list)

@@ -1,13 +1,22 @@
-"""Capacity profile: TAM wire usage over time.
+"""Skyline capacity profile: TAM wire usage over time.
 
 The scheduler tracks how many of the ``W`` TAM wires are busy at every
-instant as a piecewise-constant step function.  :class:`CapacityProfile`
-stores the breakpoints and answers the two queries packing needs:
+instant as a piecewise-constant step function — a *skyline* stored as
+two parallel breakpoint arrays.  :class:`CapacityProfile` answers the
+queries packing needs:
 
 * the minimum free capacity over an interval (can a rectangle of a given
-  width lie here?), and
+  width lie here?);
 * the earliest time at or after a given instant where a rectangle of
-  given width and duration fits.
+  given width and duration fits — :meth:`earliest_fit` walks the
+  breakpoints **once** instead of re-scanning per candidate start;
+* fast bulk mutation — :meth:`batch_add` is how
+  :class:`~repro.tam.packing.PackContext` replays cached placement
+  prefixes, and :meth:`clone` forks a profile for what-if placement;
+* journaled :meth:`snapshot`/:meth:`rollback`, the undo mechanism the
+  exact branch-and-bound search (:mod:`repro.tam.branch_bound`) uses
+  to explore placements on one shared profile instead of rebuilding it
+  at every node.
 
 Times are integers (TAM clock cycles).
 """
@@ -15,12 +24,21 @@ Times are integers (TAM clock cycles).
 from __future__ import annotations
 
 import bisect
+from collections.abc import Iterable
 
 __all__ = ["CapacityProfile"]
 
 
 class CapacityProfile:
-    """Piecewise-constant usage profile of a width-``capacity`` TAM."""
+    """Piecewise-constant usage profile of a width-``capacity`` TAM.
+
+    The invariant the fast paths rely on: the region after the last
+    breakpoint always has usage 0 (every :meth:`add` re-inserts its end
+    breakpoint, so usage returns to the pre-rectangle level there), so a
+    rectangle no wider than the TAM always fits *somewhere*.
+    """
+
+    __slots__ = ("capacity", "_times", "_used", "_max_end", "_journal")
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -31,6 +49,20 @@ class CapacityProfile:
         # breakpoint and constant after the last.
         self._times: list[int] = [0]
         self._used: list[int] = [0]
+        self._max_end = 0
+        # journal of undo records, enabled by the first snapshot()
+        self._journal: list[tuple[int, int, int, bool, bool, int]] | None = \
+            None
+
+    def clone(self) -> "CapacityProfile":
+        """An independent copy (journaling state is not inherited)."""
+        other = CapacityProfile.__new__(CapacityProfile)
+        other.capacity = self.capacity
+        other._times = self._times.copy()
+        other._used = self._used.copy()
+        other._max_end = self._max_end
+        other._journal = None
+        return other
 
     def usage_at(self, t: int) -> int:
         """Wire usage at time *t* (t >= 0)."""
@@ -47,11 +79,14 @@ class CapacityProfile:
         """Minimum free capacity over the half-open interval [start, end)."""
         if end <= start:
             raise ValueError(f"empty interval [{start}, {end})")
-        index = bisect.bisect_right(self._times, start) - 1
-        worst = self._used[index]
+        times, used = self._times, self._used
+        index = bisect.bisect_right(times, start) - 1
+        worst = used[index]
         index += 1
-        while index < len(self._times) and self._times[index] < end:
-            worst = max(worst, self._used[index])
+        n = len(times)
+        while index < n and times[index] < end:
+            if used[index] > worst:
+                worst = used[index]
             index += 1
         return self.capacity - worst
 
@@ -71,27 +106,89 @@ class CapacityProfile:
                 f"rectangle [{start}, {end}) x {width} exceeds capacity "
                 f"{self.capacity}"
             )
-        self._insert_breakpoint(start)
-        self._insert_breakpoint(end)
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
-        for i in range(lo, hi):
-            self._used[i] += width
+        self._add_fast(start, end, width)
 
-    def _insert_breakpoint(self, t: int) -> None:
-        index = bisect.bisect_left(self._times, t)
-        if index < len(self._times) and self._times[index] == t:
-            return
-        # usage just before t continues at t
-        self._times.insert(index, t)
-        self._used.insert(index, self._used[index - 1])
+    def batch_add(
+        self, rects: Iterable[tuple[int, int, int]], check: bool = True
+    ) -> None:
+        """Occupy several ``(start, end, width)`` rectangles in order.
+
+        With ``check=False`` the capacity test is skipped — the bulk
+        path for replaying a placement that is already known feasible
+        (e.g. a cached packing prefix).
+        """
+        if check:
+            for start, end, width in rects:
+                self.add(start, end, width)
+        else:
+            for start, end, width in rects:
+                self._add_fast(start, end, width)
+
+    def _add_fast(self, start: int, end: int, width: int) -> None:
+        """Occupy wires without the capacity pre-check (trusted path)."""
+        times, used = self._times, self._used
+        lo = bisect.bisect_left(times, start)
+        new_start = lo == len(times) or times[lo] != start
+        if new_start:
+            times.insert(lo, start)
+            used.insert(lo, used[lo - 1])
+        hi = bisect.bisect_left(times, end)
+        new_end = hi == len(times) or times[hi] != end
+        if new_end:
+            times.insert(hi, end)
+            used.insert(hi, used[hi - 1])
+        for i in range(lo, hi):
+            used[i] += width
+        if self._journal is not None:
+            self._journal.append(
+                (start, end, width, new_start, new_end, self._max_end)
+            )
+        if end > self._max_end:
+            self._max_end = end
+
+    def snapshot(self) -> int:
+        """Start (or mark) a journaled editing span; returns a token.
+
+        All subsequent adds are recorded so :meth:`rollback` can undo
+        them in LIFO order.  Snapshots nest: each token marks a point
+        the profile can be rolled back to.  O(1).
+        """
+        if self._journal is None:
+            self._journal = []
+        return len(self._journal)
+
+    def rollback(self, token: int) -> None:
+        """Undo every add recorded after :meth:`snapshot` issued *token*.
+
+        Cost is O(ops · log n) bisects plus the breakpoint removals —
+        independent of profile history before the snapshot.
+
+        :raises ValueError: if *token* does not match an active journal.
+        """
+        if self._journal is None or token > len(self._journal):
+            raise ValueError(f"no snapshot journal at token {token}")
+        times, used = self._times, self._used
+        while len(self._journal) > token:
+            start, end, width, new_start, new_end, prev_max = \
+                self._journal.pop()
+            lo = bisect.bisect_left(times, start)
+            hi = bisect.bisect_left(times, end)
+            for i in range(lo, hi):
+                used[i] -= width
+            # hi > lo always, so deleting at hi never shifts lo
+            if new_end:
+                del times[hi], used[hi]
+            if new_start:
+                del times[lo], used[lo]
+            self._max_end = prev_max
 
     def earliest_fit(self, not_before: int, duration: int, width: int) -> int:
         """Earliest start >= *not_before* where a rectangle fits.
 
-        The profile is eventually constant (usage of the last region), so
-        a fit always exists provided ``width <= capacity``; the search
-        only needs to consider *not_before* and subsequent breakpoints.
+        Single skyline walk: every breakpoint region is visited at most
+        once, maintaining the current run of consecutive regions with
+        enough free capacity.  The profile is eventually constant at
+        usage 0, so a fit always exists provided ``width <= capacity``.
 
         :raises ValueError: if ``width > capacity``.
         """
@@ -99,38 +196,30 @@ class CapacityProfile:
             raise ValueError(
                 f"width {width} exceeds TAM capacity {self.capacity}"
             )
-        candidate = not_before
+        times, used = self._times, self._used
+        headroom = self.capacity - width
+        n = len(times)
+        i = bisect.bisect_right(times, not_before) - 1
+        start = not_before
         while True:
-            if self.fits(candidate, candidate + duration, width):
-                return candidate
-            # advance to the next breakpoint after the first blocking
-            # region inside the candidate window
-            index = bisect.bisect_right(self._times, candidate) - 1
-            advanced = None
-            while index < len(self._times):
-                if self._used[index] + width > self.capacity:
-                    # region starting at _times[index] blocks; resume at
-                    # its end (the next breakpoint)
-                    if index + 1 < len(self._times):
-                        advanced = self._times[index + 1]
-                    else:
-                        # blocked forever — cannot happen: final region
-                        # usage returns to 0 once all rectangles end
-                        raise AssertionError(
-                            "profile blocked in its final region"
-                        )
-                    break
-                index += 1
-            if advanced is None or advanced <= candidate:
-                raise AssertionError("earliest_fit failed to advance")
-            candidate = advanced
+            # skip blocked regions (the final region has usage 0, so
+            # this never runs off the end)
+            while used[i] > headroom:
+                i += 1
+                start = times[i]
+            # extend the run of open regions beginning at `start`
+            j = i
+            while j + 1 < n and used[j + 1] <= headroom:
+                j += 1
+            if j + 1 == n or times[j + 1] - start >= duration:
+                return start
+            # run too short: resume past the blocking region
+            i = j + 1
+            start = times[i]
 
     def makespan(self) -> int:
         """Last instant with non-zero usage (0 for an empty profile)."""
-        for i in range(len(self._times) - 1, -1, -1):
-            if self._used[i] > 0:
-                return self._times[i + 1] if i + 1 < len(self._times) else 0
-        return 0
+        return self._max_end
 
     def breakpoints(self) -> list[tuple[int, int]]:
         """A copy of the (time, usage) breakpoints, for inspection."""

@@ -1,0 +1,192 @@
+"""The seed rectangle packer, retained as an executable specification.
+
+This module preserves the original (pre-optimization) evaluation path
+verbatim: a list-insert breakpoint profile, per-candidate schedule
+validation, and no cross-trial reuse.  It exists for two consumers:
+
+* the **golden-parity tests** pin the fast engine
+  (:mod:`repro.tam.packing`) to byte-identical makespans against this
+  implementation on every registered workload preset;
+* the **evaluation benchmark** (``benchmarks/bench_eval.py``) measures
+  the fast engine's speedup against it, which is the throughput gate
+  recorded in ``BENCH_eval.json``.
+
+Do not optimize this module — its slowness is the point.  The public
+packer lives in :mod:`repro.tam.packing`; nothing outside tests,
+benchmarks, and the evaluator's ``engine="reference"`` escape hatch
+should import it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections.abc import Iterable, Sequence
+
+from .model import TamTask
+from .packing import PRIORITY_RULES, InfeasibleError, _by_area
+from .schedule import Schedule, ScheduledTest
+
+__all__ = ["ReferenceProfile", "reference_pack", "reference_pack_with_order"]
+
+
+class ReferenceProfile:
+    """The seed breakpoint profile (pre-skyline)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._times: list[int] = [0]
+        self._used: list[int] = [0]
+
+    def min_free(self, start: int, end: int) -> int:
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        index = bisect.bisect_right(self._times, start) - 1
+        worst = self._used[index]
+        index += 1
+        while index < len(self._times) and self._times[index] < end:
+            worst = max(worst, self._used[index])
+            index += 1
+        return self.capacity - worst
+
+    def fits(self, start: int, end: int, width: int) -> bool:
+        return self.min_free(start, end) >= width
+
+    def add(self, start: int, end: int, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if not self.fits(start, end, width):
+            raise ValueError(
+                f"rectangle [{start}, {end}) x {width} exceeds capacity "
+                f"{self.capacity}"
+            )
+        self._insert_breakpoint(start)
+        self._insert_breakpoint(end)
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            self._used[i] += width
+
+    def _insert_breakpoint(self, t: int) -> None:
+        index = bisect.bisect_left(self._times, t)
+        if index < len(self._times) and self._times[index] == t:
+            return
+        self._times.insert(index, t)
+        self._used.insert(index, self._used[index - 1])
+
+    def earliest_fit(self, not_before: int, duration: int, width: int) -> int:
+        if width > self.capacity:
+            raise ValueError(
+                f"width {width} exceeds TAM capacity {self.capacity}"
+            )
+        candidate = not_before
+        while True:
+            if self.fits(candidate, candidate + duration, width):
+                return candidate
+            index = bisect.bisect_right(self._times, candidate) - 1
+            advanced = None
+            while index < len(self._times):
+                if self._used[index] + width > self.capacity:
+                    if index + 1 < len(self._times):
+                        advanced = self._times[index + 1]
+                    else:
+                        raise AssertionError(
+                            "profile blocked in its final region"
+                        )
+                    break
+                index += 1
+            if advanced is None or advanced <= candidate:
+                raise AssertionError("earliest_fit failed to advance")
+            candidate = advanced
+
+
+def reference_pack_with_order(
+    tasks: Sequence[TamTask], width: int, order: Sequence[TamTask]
+) -> Schedule:
+    """The seed ``pack_with_order``: place and validate one order."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if {t.name for t in order} != {t.name for t in tasks} or len(order) != len(
+        tasks
+    ):
+        raise ValueError("order must be a permutation of tasks")
+
+    profile = ReferenceProfile(width)
+    group_ready: dict[str, int] = {}
+    items: list[ScheduledTest] = []
+    for task in order:
+        feasible = task.options_within(width)
+        if not feasible:
+            raise InfeasibleError(
+                f"task {task.name!r} needs {task.min_width} wires, TAM "
+                f"has only {width}"
+            )
+        not_before = 0
+        if task.group is not None:
+            not_before = group_ready.get(task.group, 0)
+        best: tuple[int, int, int] | None = None
+        best_option = None
+        for option in feasible:
+            start = profile.earliest_fit(not_before, option.time, option.width)
+            key = (start + option.time, option.width, start)
+            if best is None or key < best:
+                best = key
+                best_option = option
+        assert best is not None and best_option is not None
+        finish, _, start = best
+        profile.add(start, finish, best_option.width)
+        if task.group is not None:
+            group_ready[task.group] = finish
+        items.append(ScheduledTest(task=task, start=start, option=best_option))
+
+    schedule = Schedule(width=width, items=tuple(items))
+    schedule.validate()
+    return schedule
+
+
+def reference_pack(
+    tasks: Iterable[TamTask],
+    width: int,
+    rules: Sequence[str] = (
+        "area",
+        "time",
+        "width",
+        "groups_first",
+        "rigid_wide_first",
+    ),
+    shuffles: int = 8,
+    improvement_passes: int = 3,
+) -> Schedule:
+    """The seed ``pack``: every order packed from scratch and validated."""
+    task_list = list(tasks)
+    if not task_list:
+        return Schedule(width=width, items=())
+
+    best: Schedule | None = None
+
+    def consider(order: Sequence[TamTask]) -> None:
+        nonlocal best
+        candidate = reference_pack_with_order(task_list, width, order)
+        if best is None or candidate.makespan < best.makespan:
+            best = candidate
+
+    for rule in rules:
+        consider(sorted(task_list, key=PRIORITY_RULES[rule]))
+
+    rng = random.Random(0)
+    base = sorted(task_list, key=_by_area)
+    for _ in range(shuffles):
+        keys = {t.name: i + rng.uniform(0, len(base) / 2)
+                for i, t in enumerate(base)}
+        consider(sorted(base, key=lambda t: keys[t.name]))
+
+    assert best is not None
+    for _ in range(improvement_passes):
+        previous = best.makespan
+        start_of = {item.task.name: item.start for item in best.items}
+        consider(sorted(task_list, key=lambda t: (start_of[t.name], t.name)))
+        if best.makespan >= previous:
+            break
+    return best

@@ -11,6 +11,7 @@ results — every benchmark run validates its schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from .model import TamTask, WidthOption
 from .profile import CapacityProfile
@@ -57,9 +58,16 @@ class Schedule:
     width: int
     items: tuple[ScheduledTest, ...]
 
-    @property
+    @cached_property
     def makespan(self) -> int:
-        """SOC test application time: latest finish over all tests."""
+        """SOC test application time: latest finish over all tests.
+
+        Cached — the refinement-monotonicity propagation compares
+        makespans across the whole schedule cache, and the items tuple
+        of a frozen schedule never changes.  (``cached_property``
+        writes the instance ``__dict__`` directly, which a frozen
+        dataclass without slots permits.)
+        """
         if not self.items:
             return 0
         return max(item.finish for item in self.items)
@@ -77,15 +85,21 @@ class Schedule:
             return 0.0
         return self.total_area / (self.width * span)
 
+    @cached_property
+    def _items_by_name(self) -> dict[str, ScheduledTest]:
+        # lazy name index: built on the first item() lookup, shared by
+        # all subsequent ones (a frozen schedule never changes)
+        return {it.task.name: it for it in self.items}
+
     def item(self, name: str) -> ScheduledTest:
         """Return the placed rectangle of task *name*.
 
         :raises KeyError: if no task of that name was scheduled.
         """
-        for it in self.items:
-            if it.task.name == name:
-                return it
-        raise KeyError(f"no scheduled task named {name!r}")
+        try:
+            return self._items_by_name[name]
+        except KeyError:
+            raise KeyError(f"no scheduled task named {name!r}") from None
 
     def validate(self) -> None:
         """Re-check feasibility from first principles.

@@ -120,3 +120,38 @@ class TestNormalizationIdentity:
                 model.preliminary_cost(partition)
                 <= model.total_cost(partition) + 1e-9
             )
+
+
+class TestSignatureIndexedPropagation:
+    """The signature index must be invisible: monotonicity holds for
+    every evaluation order, and partial-cover partitions (absent cores
+    keep private wrappers) still participate via the exact-check path."""
+
+    @pytest.mark.parametrize("order_seed", [0, 1, 2, 3])
+    def test_monotone_under_any_evaluation_order(self, order_seed):
+        import random
+
+        ev = ScheduleEvaluator(three_core_soc(), 8, **QUICK)
+        shuffled = PARTITIONS[:]
+        random.Random(order_seed).shuffle(shuffled)
+        for partition in shuffled:
+            ev.makespan(partition)
+        for fine in PARTITIONS:
+            for coarse in PARTITIONS:
+                if fine != coarse and refines(fine, coarse):
+                    assert ev.makespan(fine) <= ev.makespan(coarse), \
+                        (fine, coarse)
+
+    def test_partial_cover_partitions_inherit(self):
+        ev = ScheduleEvaluator(three_core_soc(), 8, **QUICK)
+        partial = (("P", "Q"),)           # R absent: private wrapper
+        covering = (("P", "Q"), ("R",))   # same constraints, full cover
+        # evaluate the full-cover one first, then the partial: the
+        # partial refines it (and vice versa constraint-wise), so the
+        # exact-check path must keep them monotone
+        full_makespan = ev.makespan(covering)
+        assert ev.makespan(partial) <= full_makespan
+        # and a later, coarser full-cover evaluation still propagates
+        # to the cached partial entry
+        all_share = (("P", "Q", "R"),)
+        assert ev.makespan(partial) <= ev.makespan(all_share)

@@ -120,3 +120,79 @@ class TestSearchCommands:
              "--out", str(tmp_path / "s.jsonl")]
         ) == 2
         assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_reports_throughput(self, capsys):
+        assert main(
+            ["--workload", "mini", "profile", "--width", "8",
+             "--evals", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fast engine" in out
+        assert "evals/s" in out
+
+    def test_profile_baseline_and_gate(self, capsys):
+        assert main(
+            ["--workload", "mini", "profile", "--width", "8",
+             "--evals", "4", "--baseline", "--budget", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "gated anneal" in out
+
+    def test_profile_rejects_bad_evals(self, capsys):
+        assert main(
+            ["--workload", "mini", "profile", "--evals", "0"]
+        ) == 2
+        assert "--evals" in capsys.readouterr().err
+
+    def test_profile_needs_analog_cores(self, capsys, monkeypatch):
+        from repro import workloads
+        from repro.workloads.registry import _REGISTRY, Workload
+
+        def all_digital(seed):
+            soc = workloads.build("mini", seed)
+            return type(soc)(
+                name="alldigital", digital_cores=soc.digital_cores,
+                analog_cores=(),
+            )
+
+        monkeypatch.setitem(
+            _REGISTRY, "alldigital",
+            Workload("alldigital", "no analog cores", all_digital),
+        )
+        assert main(["--workload", "alldigital", "profile"]) == 2
+        assert "no analog cores" in capsys.readouterr().err
+
+
+class TestPackEffortFlag:
+    def test_optimize_accepts_pack_effort(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--smoke", "--budget", "8",
+             "--pack-effort", "fast", "--trace", ""]
+        ) == 0
+        assert "best overall" in capsys.readouterr().out
+
+    def test_sweep_pack_effort_sets_job_knobs(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--smoke", "--no-cache", "--pack-effort", "fast",
+             "--out", str(out_path)]
+        ) == 0
+        from repro.reporting import read_jsonl
+
+        records = list(read_jsonl(str(out_path)))
+        assert records, "sweep wrote no records"
+        assert all(r["job"]["shuffles"] == 0 for r in records)
+        assert all(
+            r["job"]["improvement_passes"] == 0 for r in records
+        )
+
+    def test_bad_pack_effort_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--pack-effort", "turbo"]
+            )

@@ -1,0 +1,78 @@
+"""Tests for the explicit packer knobs on sweep jobs (--pack-effort)."""
+
+import pytest
+
+from repro.experiments.common import PACK_EFFORT
+from repro.runner import SweepJob, evaluate_job, expand_grid
+from repro.runner.engine import _job_key, _soc_digest
+from repro.workloads import build
+
+
+class TestPackKwargsResolution:
+    def test_effort_preset_is_the_default(self):
+        job = SweepJob("mini", width=8, effort="quick")
+        assert job.pack_kwargs == PACK_EFFORT["quick"]
+
+    def test_explicit_knobs_override_the_preset(self):
+        job = SweepJob(
+            "mini", width=8, effort="quick", shuffles=9,
+            improvement_passes=0,
+        )
+        assert job.pack_kwargs == {"shuffles": 9, "improvement_passes": 0}
+
+    def test_partial_override(self):
+        job = SweepJob("mini", width=8, effort="full", shuffles=1)
+        assert job.pack_kwargs == {
+            "shuffles": 1,
+            "improvement_passes": PACK_EFFORT["full"]["improvement_passes"],
+        }
+
+    def test_pack_effort_tiers_are_registered(self):
+        for tier in ("fast", "paper", "thorough"):
+            assert set(PACK_EFFORT[tier]) == {
+                "shuffles", "improvement_passes",
+            }
+        # 'paper' is the seed packer's own configuration
+        assert PACK_EFFORT["paper"] == {
+            "shuffles": 8, "improvement_passes": 3,
+        }
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError, match="shuffles"):
+            SweepJob("mini", width=8, shuffles=-1)
+        with pytest.raises(ValueError, match="improvement_passes"):
+            SweepJob("mini", width=8, improvement_passes=-2)
+
+
+class TestKnobsReachTheEngine:
+    def test_grid_carries_the_knobs(self):
+        jobs = expand_grid(
+            ["mini"], [8], effort="quick", shuffles=0,
+            improvement_passes=0,
+        )
+        assert all(j.shuffles == 0 for j in jobs)
+        assert all(j.improvement_passes == 0 for j in jobs)
+
+    def test_knobs_change_the_cache_key(self):
+        digest = _soc_digest(build("mini"))
+        base = SweepJob("mini", width=8, effort="quick")
+        tweaked = SweepJob("mini", width=8, effort="quick", shuffles=9)
+        same = SweepJob(
+            "mini", width=8, effort="quick",
+            shuffles=PACK_EFFORT["quick"]["shuffles"],
+            improvement_passes=PACK_EFFORT["quick"]["improvement_passes"],
+        )
+        assert _job_key(base, digest) != _job_key(tweaked, digest)
+        # explicit knobs equal to the preset resolve to the same key,
+        # so pre-existing cache entries stay valid
+        assert _job_key(base, digest) == _job_key(same, digest)
+
+    def test_job_roundtrip_and_evaluation(self):
+        job = SweepJob(
+            "mini", width=8, effort="quick", shuffles=0,
+            improvement_passes=0,
+        )
+        assert SweepJob(**job.to_dict()) == job
+        result = evaluate_job(job)
+        assert result.status == "ok"
+        assert result.makespan > 0

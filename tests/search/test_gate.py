@@ -1,0 +1,116 @@
+"""Tests for the lower-bound evaluation gate.
+
+The gate skips TAM packing for candidates whose *admissible* cost
+lower bound already exceeds the incumbent; these tests pin the two
+guarantees it rests on: the bound never exceeds the true cost
+(admissibility — so no improving partition is ever skipped), and gated
+runs behave deterministically with the skip accounting exposed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sharing import all_partitions, random_partitions
+from repro.search import Budget, SearchProblem, registry, run_strategy
+
+from .conftest import quick_model
+
+
+class TestBoundAdmissibility:
+    def test_bound_never_exceeds_cost_mini(self, mini_ms_soc):
+        model = quick_model(mini_ms_soc)
+        names = [core.name for core in mini_ms_soc.analog_cores]
+        for partition in all_partitions(names):
+            assert model.cost_lower_bound(partition) <= \
+                model.total_cost(partition) + 1e-9, partition
+
+    def test_bound_never_exceeds_cost_big8(self, big8_model):
+        names = [core.name for core in big8_model.soc.analog_cores]
+        for partition in random_partitions(names, 25, seed=3):
+            assert big8_model.cost_lower_bound(partition) <= \
+                big8_model.total_cost(partition) + 1e-9, partition
+
+    def test_self_test_disables_the_bound(self, mini_ms_soc):
+        from repro.core.area import AreaModel
+        from repro.core.cost import CostModel, CostWeights, \
+            ScheduleEvaluator
+
+        model = CostModel(
+            mini_ms_soc, 8, CostWeights.balanced(),
+            AreaModel(mini_ms_soc.analog_cores),
+            evaluator=ScheduleEvaluator(
+                mini_ms_soc, 8, include_self_test=True,
+                shuffles=0, improvement_passes=1,
+            ),
+        )
+        names = [core.name for core in mini_ms_soc.analog_cores]
+        partition = next(all_partitions(names))
+        assert model.cost_lower_bound(partition) == float("-inf")
+
+
+class TestGateNeverSkipsImprovement:
+    def test_skipped_partitions_could_not_improve(self, big8_model):
+        """Every gated candidate's true cost exceeds the incumbent it
+        was gated against — re-evaluated post hoc without the gate."""
+        problem = SearchProblem(
+            big8_model, Budget(max_evaluations=120), gate=True
+        )
+        run_strategy(registry.create("anneal"), problem, seed=1)
+        assert problem.n_gated > 0, "gate never fired; weak test setup"
+        assert problem.n_gated == len(problem.gated_partitions)
+        for partition, bound, incumbent in problem.gated_partitions:
+            true_cost = big8_model.total_cost(partition)
+            assert bound > incumbent
+            assert true_cost + 1e-9 >= bound, (partition, bound)
+            # hence the skipped candidate would not have improved:
+            assert true_cost > incumbent - 1e-9
+
+    def test_gated_and_ungated_find_equal_or_better_best(self, big8_soc):
+        """On an exhaustible space both runs converge to the optimum."""
+        names = [core.name for core in big8_soc.analog_cores]
+        best = {}
+        for gate in (False, True):
+            model = quick_model(big8_soc, width=16)
+            problem = SearchProblem(model, Budget(max_evaluations=150),
+                                    gate=gate)
+            outcome = run_strategy(registry.create("tabu"), problem,
+                                   seed=0)
+            best[gate] = outcome.best_cost
+        assert best[True] <= best[False] + 1e-9
+
+
+class TestGateAccounting:
+    def test_gate_charges_the_budget(self, big8_model):
+        problem = SearchProblem(
+            big8_model, Budget(max_evaluations=60), gate=True
+        )
+        outcome = run_strategy(registry.create("greedy"), problem, seed=0)
+        # gated evaluations are charged: spent tracks them 1:1
+        assert problem.budget.spent == outcome.n_evaluated
+        # every evaluation is either a pack or a gated skip (+1 for the
+        # all-sharing normalizer pack, which is not a charged eval)
+        assert outcome.n_packs + outcome.n_gated <= outcome.n_evaluated + 1
+        assert outcome.n_gated == problem.n_gated
+
+    def test_gate_off_never_gates(self, big8_model):
+        problem = SearchProblem(
+            big8_model, Budget(max_evaluations=40), gate=False
+        )
+        outcome = run_strategy(registry.create("anneal"), problem, seed=0)
+        assert outcome.n_gated == 0
+        assert problem.gated_partitions == []
+
+    def test_gated_run_is_deterministic(self, big8_soc):
+        costs = []
+        for _ in range(2):
+            model = quick_model(big8_soc, width=16)
+            problem = SearchProblem(model, Budget(max_evaluations=80),
+                                    gate=True)
+            outcome = run_strategy(registry.create("genetic"), problem,
+                                   seed=7)
+            costs.append(
+                (outcome.best_cost, outcome.best_partition,
+                 outcome.n_gated)
+            )
+        assert costs[0] == costs[1]

@@ -1,0 +1,169 @@
+"""Golden parity: the fast engine vs the retained seed packer.
+
+The PackContext hot path (order enumeration reuse, trajectory-prefix
+replay, incumbent pruning, lower-bound early exit, winner-only
+validation) is *exact* by construction; these tests pin that claim to
+the executable seed specification in :mod:`repro.tam.reference` across
+every registered workload preset and against arbitrary generated task
+sets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.core.area import AreaModel
+from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+from repro.core.sharing import representative_partitions
+from repro.experiments.common import PACK_EFFORT
+from repro.tam.builder import analog_tasks
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import PackContext, pack
+from repro.tam.reference import reference_pack
+
+#: every registered preset at its parity TAM width (the paper's W=32;
+#: the unit-test SOC runs at its native width 8)
+PRESET_WIDTHS = [
+    (name, 8 if name == "mini" else 32) for name in workloads.names()
+]
+
+
+def _sample_partitions(soc, limit=8):
+    """Representative sharing partitions of *soc*'s analog cores."""
+    return representative_partitions(soc.analog_cores, limit)
+
+
+@pytest.mark.parametrize("preset,width", PRESET_WIDTHS)
+def test_preset_parity_quick_effort(preset, width):
+    """Identical makespans and costs on every preset (quick effort)."""
+    soc = workloads.build(preset)
+    if not soc.analog_cores:
+        pytest.skip("parity needs analog cores")
+    kwargs = PACK_EFFORT["quick"]
+    weights = CostWeights.balanced()
+    area = AreaModel(soc.analog_cores)
+    fast = CostModel(
+        soc, width, weights, area,
+        evaluator=ScheduleEvaluator(soc, width, **kwargs),
+    )
+    seed = CostModel(
+        soc, width, weights, area,
+        evaluator=ScheduleEvaluator(soc, width, engine="reference",
+                                    **kwargs),
+    )
+    for partition in _sample_partitions(soc):
+        assert fast.evaluator.makespan(partition) == \
+            seed.evaluator.makespan(partition), partition
+        assert fast.total_cost(partition) == seed.total_cost(partition), \
+            partition
+
+
+@pytest.mark.parametrize("preset", ["p93791m", "big12m"])
+def test_preset_parity_paper_effort(preset):
+    """Spot-check full parity at the seed packer's own effort tier."""
+    soc = workloads.build(preset)
+    kwargs = PACK_EFFORT["paper"]
+    fast = ScheduleEvaluator(soc, 32, **kwargs)
+    seed = ScheduleEvaluator(soc, 32, engine="reference", **kwargs)
+    for partition in _sample_partitions(soc, limit=5):
+        assert fast.makespan(partition) == seed.makespan(partition), \
+            partition
+
+
+def test_paper_widths_parity():
+    """The paper benchmark at its Table 3/4 TAM widths."""
+    soc = workloads.build("p93791m")
+    partitions = _sample_partitions(soc, limit=4)
+    for width in (32, 48, 64):
+        fast = ScheduleEvaluator(soc, width, **PACK_EFFORT["quick"])
+        seed = ScheduleEvaluator(soc, width, engine="reference",
+                                 **PACK_EFFORT["quick"])
+        for partition in partitions:
+            assert fast.makespan(partition) == seed.makespan(partition), \
+                (width, partition)
+
+
+@st.composite
+def grouped_task_sets(draw):
+    """Task sets with a reference grouping plus a coarsening of it."""
+    n_groups = draw(st.integers(1, 4))
+    tasks = []
+    index = 0
+    for g in range(n_groups):
+        for _ in range(draw(st.integers(1, 3))):
+            w1 = draw(st.integers(1, 5))
+            t1 = draw(st.integers(1, 80))
+            options = [WidthOption(w1, t1)]
+            if draw(st.booleans()) and t1 > 1:
+                options.append(
+                    WidthOption(draw(st.integers(w1 + 1, 10)),
+                                draw(st.integers(1, t1 - 1)))
+                )
+            tasks.append(
+                TamTask(f"t{index}", tuple(options), group=f"g{g}")
+            )
+            index += 1
+    for _ in range(draw(st.integers(0, 3))):
+        tasks.append(
+            TamTask(
+                f"t{index}",
+                (WidthOption(draw(st.integers(1, 5)),
+                             draw(st.integers(1, 80))),),
+            )
+        )
+        index += 1
+    # a coarsening: merge reference groups via a random label mapping
+    merge = {
+        f"g{g}": f"m{draw(st.integers(0, max(0, n_groups - 1)))}"
+        for g in range(n_groups)
+    }
+    coarse = [
+        TamTask(t.name, t.options,
+                group=merge[t.group] if t.group else None)
+        for t in tasks
+    ]
+    return tasks, coarse
+
+
+class TestContextReuse:
+    @settings(max_examples=40, deadline=None)
+    @given(data=grouped_task_sets(), width=st.integers(6, 14))
+    def test_shared_context_matches_fresh_pack(self, data, width):
+        """A context reused across groupings equals packing fresh."""
+        reference_tasks, coarse_tasks = data
+        context = PackContext(reference_tasks, width, shuffles=2,
+                              improvement_passes=1)
+        for tasks in (coarse_tasks, reference_tasks, coarse_tasks):
+            via_context = context.pack(tasks)
+            fresh = reference_pack(tasks, width, shuffles=2,
+                                   improvement_passes=1)
+            assert via_context.makespan == fresh.makespan
+            via_context.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=grouped_task_sets(), width=st.integers(6, 14))
+    def test_pack_matches_reference(self, data, width):
+        tasks, _ = data
+        assert pack(tasks, width, shuffles=3,
+                    improvement_passes=2).makespan == \
+            reference_pack(tasks, width, shuffles=3,
+                           improvement_passes=2).makespan
+
+    def test_context_rejects_foreign_tasks(self):
+        a = TamTask("a", (WidthOption(1, 10),))
+        b = TamTask("b", (WidthOption(1, 10),))
+        context = PackContext([a], 4)
+        with pytest.raises(ValueError, match="geometry"):
+            context.pack([b])
+
+
+def test_validate_all_mode(monkeypatch):
+    """REPRO_VALIDATE_ALL=1 validates every completed candidate."""
+    monkeypatch.setenv("REPRO_VALIDATE_ALL", "1")
+    soc = workloads.build("mini")
+    tasks = analog_tasks(soc.analog_cores, None)
+    schedule = pack(tasks, 8, shuffles=2, improvement_passes=1)
+    assert schedule.makespan == reference_pack(
+        tasks, 8, shuffles=2, improvement_passes=1
+    ).makespan

@@ -76,6 +76,107 @@ class TestMinFree:
         assert p.fits(10, 20, 10)
 
 
+def _feasible_adds(profile, rects):
+    """Apply the rects that fit, as (start, end, width) triples."""
+    applied = []
+    for start, duration, width in rects:
+        if profile.min_free(start, start + duration) >= width:
+            profile.add(start, start + duration, width)
+            applied.append((start, start + duration, width))
+    return applied
+
+
+rect_lists = st.lists(
+    st.tuples(
+        st.integers(0, 100),   # start
+        st.integers(1, 40),    # duration
+        st.integers(1, 4),     # width
+    ),
+    max_size=12,
+)
+
+
+class TestSnapshotRollback:
+    def test_rollback_restores_breakpoints(self):
+        p = CapacityProfile(8)
+        p.add(0, 10, 3)
+        before = p.breakpoints()
+        token = p.snapshot()
+        p.add(5, 25, 4)
+        p.add(30, 40, 8)
+        p.rollback(token)
+        assert p.breakpoints() == before
+        assert p.makespan() == 10
+
+    def test_nested_snapshots(self):
+        p = CapacityProfile(8)
+        outer = p.snapshot()
+        p.add(0, 10, 2)
+        mid = p.breakpoints()
+        inner = p.snapshot()
+        p.add(3, 7, 6)
+        p.rollback(inner)
+        assert p.breakpoints() == mid
+        p.rollback(outer)
+        assert p.breakpoints() == [(0, 0)]
+        assert p.makespan() == 0
+
+    def test_bad_token_rejected(self):
+        p = CapacityProfile(4)
+        with pytest.raises(ValueError, match="snapshot"):
+            p.rollback(0)
+        token = p.snapshot()
+        with pytest.raises(ValueError, match="snapshot"):
+            p.rollback(token + 1)
+
+    @settings(max_examples=60)
+    @given(before=rect_lists, after=rect_lists)
+    def test_roundtrip_is_identity(self, before, after):
+        """snapshot -> adds -> rollback leaves the profile untouched."""
+        p = CapacityProfile(8)
+        _feasible_adds(p, before)
+        reference = (p.breakpoints(), p.makespan())
+        token = p.snapshot()
+        _feasible_adds(p, after)
+        p.rollback(token)
+        assert (p.breakpoints(), p.makespan()) == reference
+        # and the profile stays fully usable afterwards
+        applied = _feasible_adds(p, after)
+        q = CapacityProfile(8)
+        _feasible_adds(q, before)
+        q.batch_add(applied)
+        assert p.breakpoints() == q.breakpoints()
+
+
+class TestCloneAndBatchAdd:
+    def test_clone_is_independent(self):
+        p = CapacityProfile(8)
+        p.add(0, 10, 3)
+        q = p.clone()
+        q.add(0, 10, 5)
+        assert p.usage_at(5) == 3
+        assert q.usage_at(5) == 8
+        p.add(20, 30, 1)
+        assert q.makespan() == 10
+
+    @settings(max_examples=60)
+    @given(rects=rect_lists)
+    def test_batch_add_matches_sequential(self, rects):
+        p = CapacityProfile(8)
+        applied = _feasible_adds(p, rects)
+        q = CapacityProfile(8)
+        q.batch_add(applied)
+        r = CapacityProfile(8)
+        r.batch_add(applied, check=False)
+        assert p.breakpoints() == q.breakpoints() == r.breakpoints()
+        assert p.makespan() == q.makespan() == r.makespan()
+
+    def test_batch_add_checks_capacity(self):
+        p = CapacityProfile(4)
+        with pytest.raises(ValueError, match="exceeds"):
+            p.batch_add([(0, 10, 3), (5, 8, 2)])
+
+
 class TestEarliestFit:
     def test_immediate_when_empty(self):
         p = CapacityProfile(8)

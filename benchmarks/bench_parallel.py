@@ -1,0 +1,339 @@
+"""Parallel-runtime benchmark: portfolio speedup and warm-pool sweeps.
+
+Two studies, recorded into ``BENCH_parallel.json`` (the repo's perf
+trajectory for the parallel search/runner layer of PR 4):
+
+* **portfolio** — a 2000-evaluation ``big12m`` portfolio (8 lanes:
+  every registered strategy at two seeds, shared incumbent + shared
+  ledger) raced on a *warm* persistent 4-worker pool, against the
+  serial ``optimize`` baseline (anneal, same total budget, same warm
+  starting state).  Gates:
+
+  - ``budget``: zero cross-process overruns — the lanes' summed paid
+    evaluations never exceed the global budget;
+  - ``cost``: the portfolio's best Eq. (2) cost is equal or better
+    than serial ``optimize``'s at the same total budget;
+  - ``speedup``: >= 2.5x wall-clock over serial.  **Hardware-guarded**
+    the same way PR 3's throughput gate is: a wall-clock ratio of two
+    process layouts only measures the code when the machine can
+    actually run the workers side by side, so the gate is enforced
+    only when ``os.cpu_count() >= workers`` and otherwise recorded as
+    skipped (the JSON keeps the measured ratio either way).
+
+* **warm sweep** — the preset grid (three ITC'02 families x three
+  widths), disk cache pre-primed, swept three times with 4 workers:
+  a persistent :class:`~repro.runner.pool.WorkerPool` reused across
+  the repeats versus the PR 3 behavior of building a fresh pool per
+  sweep.  Gate: the persistent pool's total wall-clock beats the
+  per-sweep-pool baseline.  The ``workers=1`` in-process short
+  circuit is recorded alongside (informational — it is the smoke/CI
+  path).
+
+Runs standalone (CI writes the JSON artifact this way)::
+
+    python benchmarks/bench_parallel.py --quick --out BENCH_parallel.json
+
+or under pytest-benchmark along with the other benches::
+
+    python -m pytest benchmarks/bench_parallel.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.common import PACK_EFFORT
+from repro.runner import WorkerPool, expand_grid, run_sweep
+from repro.search import optimize
+from repro.search.parallel import (
+    PortfolioPool,
+    default_lanes,
+    portfolio_config,
+    portfolio_search,
+)
+from repro.workloads import build
+
+#: the portfolio study's workload / shape (mirrors BENCH_eval's stress
+#: configuration)
+STRESS_WORKLOAD = "big12m"
+STRESS_WIDTH = 32
+PORTFOLIO_WORKERS = 4
+PORTFOLIO_LANES = 8
+
+#: the warm-sweep study's grid and repeat count
+SWEEP_PRESETS = ("d695m", "g1023m", "p93791m")
+SWEEP_WIDTHS = (16, 24, 32)
+SWEEP_REPEATS = 3
+SWEEP_WORKERS = 4
+
+
+def _serial_model(soc, pack_kwargs: dict):
+    """A pre-warmed cost model for the serial baseline."""
+    from repro.core.area import AreaModel
+    from repro.core.cost import CostModel, CostWeights, ScheduleEvaluator
+
+    model = CostModel(
+        soc, STRESS_WIDTH, CostWeights.balanced(),
+        AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, STRESS_WIDTH, **pack_kwargs),
+    )
+    model.evaluator.warm()
+    return model
+
+
+def portfolio_study(effort: str, budget: int,
+                    workers: int = PORTFOLIO_WORKERS,
+                    lanes: int = PORTFOLIO_LANES) -> dict:
+    """Warm-pool portfolio vs serial ``optimize``, same total budget."""
+    soc = build(STRESS_WORKLOAD)
+    pack_kwargs = PACK_EFFORT[effort]
+
+    # serial baseline: the CLI's default single-strategy search.  Its
+    # model is built and warmed (staircases + all-share normalizer)
+    # *before* the clock starts, exactly the state pool.warm() gives
+    # every worker below — both sides then time only the search.
+    serial_model = _serial_model(soc, pack_kwargs)
+    serial_started = time.perf_counter()
+    serial = optimize(
+        soc, width=STRESS_WIDTH, strategy="anneal",
+        max_evaluations=budget, model=serial_model,
+    )
+    serial_s = time.perf_counter() - serial_started
+
+    config = portfolio_config(
+        soc, STRESS_WIDTH, wt=0.5, **pack_kwargs
+    )
+    with PortfolioPool(workers) as pool:
+        pool.warm(config)  # steady state: worker warm-up is untimed
+        parallel_started = time.perf_counter()
+        portfolio = portfolio_search(
+            soc, width=STRESS_WIDTH, lanes=lanes, budget=budget,
+            pool=pool, **pack_kwargs,
+        )
+        parallel_s = time.perf_counter() - parallel_started
+
+    overrun = portfolio.n_evaluated - budget
+    return {
+        "workload": STRESS_WORKLOAD,
+        "width": STRESS_WIDTH,
+        "effort": effort,
+        "budget": budget,
+        "workers": workers,
+        "lanes": [
+            {"strategy": lane.strategy, "seed": lane.seed,
+             "n_evaluated": outcome.n_evaluated,
+             "n_gated": outcome.n_gated,
+             "best_cost": (
+                 None if outcome.best_partition is None
+                 else round(outcome.best_cost, 4)
+             )}
+            for lane, outcome in zip(portfolio.lanes,
+                                     portfolio.outcomes)
+        ],
+        "serial_best_cost": round(serial.best_cost, 4),
+        "serial_s": round(serial_s, 3),
+        "serial_evaluations": serial.n_evaluated,
+        "portfolio_best_cost": round(portfolio.best_cost, 4),
+        "portfolio_s": round(parallel_s, 3),
+        "portfolio_evaluations": portfolio.n_evaluated,
+        "portfolio_packs": portfolio.n_packs,
+        "portfolio_gated": portfolio.n_gated,
+        "gate_skip_rate": round(portfolio.gate_skip_rate, 4),
+        "budget_overrun": overrun,
+        "speedup": round(serial_s / parallel_s, 3),
+        "mode": portfolio.mode,
+    }
+
+
+def warm_sweep_study(effort: str, workers: int = SWEEP_WORKERS,
+                     repeats: int = SWEEP_REPEATS,
+                     cache_root: str | None = None) -> dict:
+    """Persistent warm pool vs fresh-pool-per-sweep, warm disk cache."""
+    import tempfile
+
+    jobs = expand_grid(SWEEP_PRESETS, SWEEP_WIDTHS, effort=effort)
+    own_root = cache_root is None
+    if own_root:
+        cache_root = tempfile.mkdtemp(prefix="bench_parallel_cache_")
+    cache_dir = os.path.join(cache_root, "cache")
+
+    # prime the disk cache (untimed: both contenders read it warm)
+    run_sweep(jobs, workers=1, cache_dir=cache_dir)
+
+    def timed(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    # PR 3 behavior: a fresh pool spawned inside every sweep
+    fresh_s = timed(lambda: [
+        run_sweep(jobs, workers=workers, cache_dir=cache_dir)
+        for _ in range(repeats)
+    ])
+
+    # persistent pool reused across the repeats (memos stay warm too)
+    def persistent() -> None:
+        with WorkerPool(workers) as pool:
+            for _ in range(repeats):
+                run_sweep(jobs, pool=pool, cache_dir=cache_dir)
+
+    persistent_s = timed(persistent)
+
+    # the workers=1 short circuit (informational: the smoke/CI path)
+    inline_s = timed(lambda: [
+        run_sweep(jobs, workers=1, cache_dir=cache_dir)
+        for _ in range(repeats)
+    ])
+
+    if own_root:
+        import shutil
+
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return {
+        "presets": list(SWEEP_PRESETS),
+        "widths": list(SWEEP_WIDTHS),
+        "effort": effort,
+        "n_jobs": len(jobs),
+        "repeats": repeats,
+        "workers": workers,
+        "fresh_pool_s": round(fresh_s, 3),
+        "persistent_pool_s": round(persistent_s, 3),
+        "inline_s": round(inline_s, 3),
+        "pool_reuse_speedup": round(fresh_s / persistent_s, 3),
+    }
+
+
+def run_bench(effort: str = "medium", budget: int = 2000,
+              repeats: int = SWEEP_REPEATS,
+              speedup_target: float = 2.5,
+              cost_tolerance: float = 0.0) -> dict:
+    """The full benchmark record (both studies).
+
+    *speedup_target* is the enforced wall-clock ratio for the default
+    (acceptance) configuration; the ``--quick`` smoke halves the
+    budget to a size too small to amortize dispatch, so it gates at
+    1.0x (parallel-not-broken) instead.  *cost_tolerance* relaxes the
+    equal-or-better cost gate by a fraction — 0 for the acceptance
+    configuration, a hair above 0 for the quick smoke, whose
+    multi-worker lane interleaving is scheduler-dependent and whose
+    tiny per-lane slices leave no margin for it.
+    """
+    cpus = os.cpu_count() or 1
+    record = {
+        "benchmark": "parallel",
+        "config": {
+            "effort": effort,
+            "budget": budget,
+            "workers": PORTFOLIO_WORKERS,
+            "lanes": PORTFOLIO_LANES,
+            "sweep_repeats": repeats,
+            "speedup_target": speedup_target,
+            "cost_tolerance": cost_tolerance,
+            "cpu_count": cpus,
+            "seed": 0,
+        },
+        "portfolio": portfolio_study(effort, budget),
+        "warm_sweep": warm_sweep_study(effort, repeats=repeats),
+    }
+    portfolio = record["portfolio"]
+    # the speedup gate follows PR 3's hardware-variance guard idiom:
+    # a process-layout wall-clock ratio measures the code only when
+    # the machine can actually run the workers concurrently
+    enough_cpus = cpus >= portfolio["workers"]
+    record["gates"] = {
+        "budget": portfolio["budget_overrun"] <= 0,
+        "cost": portfolio["portfolio_best_cost"]
+        <= (1.0 + cost_tolerance) * portfolio["serial_best_cost"],
+        "speedup": (
+            portfolio["speedup"] >= speedup_target
+            if enough_cpus else None
+        ),
+        "warm_pool": record["warm_sweep"]["pool_reuse_speedup"] > 1.0,
+    }
+    if not enough_cpus:
+        record["speedup_note"] = (
+            f"speedup gate skipped: {cpus} cpu(s) < "
+            f"{portfolio['workers']} workers "
+            f"(measured {portfolio['speedup']}x, target "
+            f"{speedup_target}x)"
+        )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: quick packer effort and a 600-eval budget "
+             "(all gates still apply)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json",
+        help="output JSON path (default: BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+    config = (
+        # a 600-eval quick-effort portfolio is too small to amortize
+        # dispatch, so the smoke only gates "parallel not broken" and
+        # allows 2% cost noise from scheduler-dependent interleaving
+        {"effort": "quick", "budget": 600, "repeats": 2,
+         "speedup_target": 1.0, "cost_tolerance": 0.02}
+        if args.quick else
+        {"effort": "medium", "budget": 2000, "repeats": SWEEP_REPEATS}
+    )
+    started = time.perf_counter()
+    record = run_bench(**config)
+    record["total_s"] = round(time.perf_counter() - started, 3)
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+
+    portfolio = record["portfolio"]
+    sweep = record["warm_sweep"]
+    print(f"portfolio ({portfolio['workload']}, budget "
+          f"{portfolio['budget']}): best {portfolio['portfolio_best_cost']}"
+          f" vs serial {portfolio['serial_best_cost']} | "
+          f"{portfolio['portfolio_s']}s vs {portfolio['serial_s']}s = "
+          f"{portfolio['speedup']}x at {portfolio['workers']} workers "
+          f"({portfolio['portfolio_evaluations']}/{portfolio['budget']} "
+          f"evaluations, {100 * portfolio['gate_skip_rate']:.1f}% gated)")
+    print(f"warm sweep ({sweep['n_jobs']} jobs x {sweep['repeats']}): "
+          f"persistent pool {sweep['persistent_pool_s']}s vs fresh "
+          f"pools {sweep['fresh_pool_s']}s = "
+          f"{sweep['pool_reuse_speedup']}x (inline {sweep['inline_s']}s)")
+    note = record.get("speedup_note")
+    if note:
+        print(f"note: {note}")
+    print(f"wrote {args.out} ({record['total_s']}s)")
+
+    failures = [
+        name for name, passed in record["gates"].items()
+        if passed is False
+    ]
+    if failures:
+        print(f"BENCH GATES FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_parallel_bench(benchmark, save_artifact):
+    """pytest-benchmark entry point (slow: medium effort, full budget)."""
+    record = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    save_artifact("bench_parallel", json.dumps(record, indent=2))
+
+    assert record["gates"]["budget"], record["portfolio"]
+    assert record["gates"]["cost"], record["portfolio"]
+    assert record["gates"]["warm_pool"], record["warm_sweep"]
+    if record["gates"]["speedup"] is not None:
+        assert record["gates"]["speedup"], record["portfolio"]
+
+    benchmark.extra_info["speedup"] = record["portfolio"]["speedup"]
+    benchmark.extra_info["pool_reuse_speedup"] = \
+        record["warm_sweep"]["pool_reuse_speedup"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -12,9 +12,19 @@ trajectory for the anytime optimizers):
   milestones.  Gate: every strategy ends at or below the
   random-restart greedy baseline.
 
+With ``--gate``, the record is additionally compared against the
+committed ``BENCH_search.json`` (only when the configurations match):
+any strategy's best cost regressing > 2% vs the committed baseline
+fails the run, and so does a > 25% strategy wall-clock regression —
+but, following PR 3's hardware-variance guard idiom, only when the
+strategy-time-to-exhaustive-time *ratio* regresses alongside it (the
+exhaustive search runs in the same process on the same hardware, so a
+slow machine inflates both numbers while a search-layer regression
+inflates only one).
+
 Runs standalone (CI writes the JSON artifact this way)::
 
-    python benchmarks/bench_search.py --quick --out BENCH_search.json
+    python benchmarks/bench_search.py --gate --out BENCH_search_ci.json
 
 or under pytest-benchmark along with the other benches::
 
@@ -150,16 +160,93 @@ def run_bench(effort: str = "medium", small_budget: int = 52,
     return record
 
 
+def check_regression(record: dict, committed_path: Path) -> list[str]:
+    """Failures of *record* against the committed baseline.
+
+    Only applies when the configuration (packer effort and budgets)
+    matches the committed one.  Cost comparisons are deterministic per
+    configuration, so a > 2% regression of any strategy's best cost is
+    a genuine trajectory regression.  Wall-clock comparisons are
+    hardware-dependent, so a strategy-time regression only counts when
+    the ratio against the exhaustive search — run in the same process
+    on the same hardware — regresses with it (PR 3's guard idiom: a
+    slower machine slows both sides, a search-layer regression slows
+    only one).
+    """
+    if not committed_path.exists():
+        print(f"note: no committed baseline at {committed_path}; "
+              f"regression check skipped")
+        return []
+    committed = json.loads(committed_path.read_text())
+    comparable = all(
+        committed["config"].get(key) == record["config"].get(key)
+        for key in ("effort", "small_budget", "large_budget", "seed")
+    )
+    if not comparable:
+        print("note: config differs from the committed baseline; "
+              "regression check skipped (absolute gates still apply)")
+        return []
+    failures = []
+    for study in ("small", "large"):
+        for name, data in record[study]["strategies"].items():
+            baseline = committed[study]["strategies"].get(name)
+            if baseline is None:
+                continue  # newly registered strategy: no baseline yet
+            if data["best_cost"] > 1.02 * baseline["best_cost"]:
+                failures.append(
+                    f"{study}/{name} best cost regression: "
+                    f"{data['best_cost']} > 102% of committed "
+                    f"{baseline['best_cost']}"
+                )
+    strategy_s = sum(
+        d["elapsed_s"]
+        for study in ("small", "large")
+        for d in record[study]["strategies"].values()
+    )
+    committed_strategy_s = sum(
+        d["elapsed_s"]
+        for study in ("small", "large")
+        for d in committed[study]["strategies"].values()
+    )
+    yardstick = record["small"]["exhaustive_s"]
+    committed_yardstick = committed["small"]["exhaustive_s"]
+    if (
+        committed_strategy_s > 0 and yardstick > 0
+        and committed_yardstick > 0
+        and strategy_s > 1.25 * committed_strategy_s
+        and strategy_s / yardstick
+        > 1.25 * (committed_strategy_s / committed_yardstick)
+    ):
+        failures.append(
+            f"strategy wall-clock regression: {strategy_s:.3f}s > 125% "
+            f"of committed {committed_strategy_s:.3f}s and the "
+            f"exhaustive-normalized ratio regressed with it"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI preset: quick packer effort (budgets unchanged — the "
-             "beats-greedy gate needs the full 200 evaluations)",
+        help="smoke preset: quick packer effort (budgets unchanged — "
+             "the beats-greedy gate needs the full 200 evaluations; "
+             "the committed-baseline regression check is skipped — "
+             "configs differ)",
     )
     parser.add_argument(
         "--out", default="BENCH_search.json",
         help="output JSON path (default: BENCH_search.json)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="fail on cost/wall-clock regressions vs the committed "
+             "BENCH_search.json (and on any absolute gate)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(Path(__file__).parent.parent
+                                  / "BENCH_search.json"),
+        help="committed baseline JSON for the regression gate",
     )
     args = parser.parse_args(argv)
     effort = "quick" if args.quick else "medium"
@@ -183,12 +270,17 @@ def main(argv: list[str] | None = None) -> int:
               for name, data in record["large"]["strategies"].items()
           ))
     print(f"wrote {args.out} ({record['total_s']}s)")
-    failed = worst_gap > 2.0 or not all(
-        record["large"]["beats_greedy"].values()
-    )
-    if failed:
-        print("BENCH GATES FAILED", file=sys.stderr)
-    return 1 if failed else 0
+    failures = []
+    if worst_gap > 2.0:
+        failures.append(f"worst gap {worst_gap:.2f}% > 2%")
+    if not all(record["large"]["beats_greedy"].values()):
+        failures.append("a strategy lost to the greedy baseline")
+    if args.gate:
+        failures += check_regression(record, Path(args.baseline))
+    if failures:
+        print(f"BENCH GATES FAILED: {'; '.join(failures)}",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def test_search_bench(benchmark, save_artifact):

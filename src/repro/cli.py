@@ -180,11 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     po.add_argument(
         "--budget", type=int, default=200,
-        help="evaluation budget per strategy (default: 200)",
+        help="evaluation budget per strategy — the *global* budget "
+             "shared by all lanes in portfolio mode (default: 200)",
     )
     po.add_argument(
         "--seconds", type=float, default=None,
         help="wall-clock budget per strategy (default: none)",
+    )
+    po.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for portfolio mode (default: 1 = "
+             "in-process); implies --portfolio",
+    )
+    po.add_argument(
+        "--portfolio", type=int, default=0,
+        help="race this many (strategy, seed) lanes under one shared "
+             "incumbent and one global --budget (0 = off; --workers>1 "
+             "implies max(workers, 4) lanes); lanes cycle the "
+             "--strategy names with seeds --search-seed, +1, +2, ...",
     )
     po.add_argument("--width", type=int, default=32)
     po.add_argument(
@@ -229,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=0,
         help="additionally run a gated anneal search with this "
              "evaluation budget and report the gate skip rate",
+    )
+    pb.add_argument(
+        "--workers", type=int, default=1,
+        help="additionally run a portfolio scaling report: the same "
+             "lane set at 1..N workers with wall-clock speedups "
+             "(default: 1 = skip)",
     )
     pb.add_argument(
         "--baseline", action="store_true",
@@ -321,7 +340,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes (default: 1 = inline)",
+        help="worker processes (default: 1 = inline, no pool spawn)",
+    )
+    ps.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="explicit multiprocessing start method for the worker "
+             "pool (default: fork where available, else spawn)",
     )
     ps.add_argument(
         "--cache-dir", default=".repro_cache",
@@ -415,6 +441,20 @@ def _run_optimize(args: argparse.Namespace) -> str:
         raise _CliError(exc.args[0] if exc.args else exc) from None
 
     pack_kwargs = PACK_EFFORT[args.pack_effort or effort]
+    if args.workers < 1:
+        raise _CliError(f"--workers must be >= 1, got {args.workers}")
+    if args.portfolio < 0:
+        raise _CliError(
+            f"--portfolio must be >= 0, got {args.portfolio}"
+        )
+    n_lanes = args.portfolio
+    if n_lanes == 0 and args.workers > 1:
+        n_lanes = max(args.workers, 4)
+    if n_lanes:
+        return _run_portfolio(
+            args, workload, width, budget, names, soc, pack_kwargs,
+            n_lanes,
+        )
     # one shared evaluator: racing strategies reuse each other's packs
     evaluator = ScheduleEvaluator(soc, width, **pack_kwargs)
     model = CostModel(
@@ -480,6 +520,59 @@ def _run_optimize(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_portfolio(
+    args: argparse.Namespace,
+    workload: str,
+    width: int,
+    budget: int,
+    names: tuple[str, ...],
+    soc,
+    pack_kwargs: dict,
+    n_lanes: int,
+) -> str:
+    """The ``optimize --portfolio/--workers`` parallel path."""
+    from .core.sharing import bell_number
+    from .reporting import write_jsonl
+    from .search import default_lanes, portfolio_search
+
+    lanes = default_lanes(n_lanes, names, base_seed=args.search_seed)
+    space = bell_number(soc.n_analog)
+    header = (
+        f"SOC {soc.name}: {soc.n_analog} analog cores, "
+        f"{space} sharing partitions; TAM width {width}, "
+        f"w_T={args.wt:g}, global budget {budget} evaluations"
+        + (f" / {args.seconds:g}s" if args.seconds else "")
+        + f"; {len(lanes)} lanes on {args.workers} worker(s)"
+    )
+    try:
+        outcome = portfolio_search(
+            soc,
+            width=width,
+            lanes=lanes,
+            workers=args.workers,
+            budget=budget,
+            max_seconds=args.seconds,
+            wt=args.wt,
+            **pack_kwargs,
+        )
+    except ValueError as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    lines = [header, outcome.summary()]
+    if args.trace:
+        records = outcome.trace_records(
+            workload=workload, width=width, wt=args.wt, budget=budget,
+        )
+        try:
+            write_jsonl(records, args.trace)
+        except OSError as exc:
+            raise _CliError(
+                f"cannot write trace to {args.trace!r}: {exc}"
+            ) from None
+        lines.append(f"anytime trace ({len(records)} records) -> "
+                     f"{args.trace}")
+    return "\n".join(lines)
+
+
 def _run_profile(args: argparse.Namespace) -> str:
     """Hot-path microbenchmark of the schedule evaluator."""
     import time as _time
@@ -493,6 +586,8 @@ def _run_profile(args: argparse.Namespace) -> str:
 
     if args.evals < 1:
         raise _CliError(f"--evals must be >= 1, got {args.evals}")
+    if args.workers < 1:
+        raise _CliError(f"--workers must be >= 1, got {args.workers}")
     try:
         soc = workloads.build(args.workload, args.seed)
     except (KeyError, ValueError) as exc:
@@ -559,6 +654,44 @@ def _run_profile(args: argparse.Namespace) -> str:
             f"skipped) in {search_elapsed:.3f}s -> best "
             f"{outcome.best_cost:.2f}"
         )
+    if args.workers > 1:
+        from .search import default_lanes, portfolio_search
+
+        lanes = default_lanes(max(4, args.workers))
+        scale_budget = args.budget or 400
+        counts = [1]
+        step = 2
+        while step < args.workers:
+            counts.append(step)
+            step *= 2
+        counts.append(args.workers)
+        counts = sorted(set(counts))
+        lines.append(
+            f"portfolio scaling ({len(lanes)} lanes, global budget "
+            f"{scale_budget}, wall-clock includes pool spawn and "
+            f"worker warm-up):"
+        )
+        base_s = None
+        for count in counts:
+            try:
+                portfolio = portfolio_search(
+                    soc, width=args.width, lanes=lanes, workers=count,
+                    budget=scale_budget, **pack_kwargs,
+                )
+            except ValueError as exc:
+                # e.g. a --budget too small to feed every lane
+                raise _CliError(exc.args[0] if exc.args else exc) \
+                    from None
+            if base_s is None:
+                base_s = portfolio.elapsed_s
+            lines.append(
+                f"  {count} worker(s) [{portfolio.mode:6s}]: "
+                f"{portfolio.n_evaluated} evals in "
+                f"{portfolio.elapsed_s:.2f}s "
+                f"({portfolio.n_evaluated / portfolio.elapsed_s:.1f}/s, "
+                f"{base_s / portfolio.elapsed_s:.2f}x vs 1 worker, "
+                f"best {portfolio.best_cost:.2f})"
+            )
     return "\n".join(lines)
 
 
@@ -630,6 +763,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
             out_path=args.out,
             progress=progress,
             trace_dir=args.trace_dir,
+            start_method=args.start_method,
         )
     except OSError as exc:
         raise _CliError(f"cannot write results to {args.out!r}: {exc}") \

@@ -152,6 +152,26 @@ class ScheduleEvaluator:
         before the first fast-engine pack)."""
         return self._context.stats if self._context is not None else None
 
+    def warm(self) -> "ScheduleEvaluator":
+        """Pre-build every lazily derived artifact; returns self.
+
+        Forces the digital staircases (already built in the
+        constructor), the partition-invariant lower bound, the shared
+        :class:`~repro.tam.packing.PackContext`, and the all-sharing
+        schedule (every cost normalization needs its makespan).  The
+        parallel runtimes (:mod:`repro.search.parallel`,
+        :mod:`repro.runner.pool`) call this from their worker
+        initializers so the fork-once workers pay these costs exactly
+        once, before the first real evaluation arrives.
+        """
+        _ = self.invariant_time_bound
+        all_share: Partition = tuple(
+            [tuple(sorted(core.name for core in self.soc.analog_cores))]
+        )
+        if all_share[0]:
+            self.schedule(all_share)
+        return self
+
     @property
     def invariant_time_bound(self) -> int:
         """Partition-invariant makespan lower bound, in TAM cycles.
@@ -430,6 +450,32 @@ class CostModel:
             self.weights.time * t_bound
             + self.weights.area * self.area_cost(partition)
         )
+
+    def gated_cost(
+        self, partition: Partition, incumbent: float = float("inf")
+    ) -> tuple[float, bool]:
+        """Eq. (2) cost of *partition*, gated by *incumbent*.
+
+        The evaluator-level pruning primitive behind the search layer's
+        lower-bound gate: when even :meth:`cost_lower_bound` exceeds
+        the best total cost any cooperating searcher has achieved (the
+        *incumbent* — possibly read from a cross-process shared cell by
+        :mod:`repro.search.parallel`), the TAM packing is skipped and
+        the bound is returned as the answer.  Admissibility of the
+        bound guarantees the skipped candidate could not have beaten
+        the incumbent, so pruning never hides an improvement.
+
+        :param partition: the sharing combination to cost.
+        :param incumbent: best known total cost; ``inf`` disables
+            gating (the first evaluation of any search).
+        :returns: ``(cost, gated)`` — *gated* is true when the answer
+            is the lower bound and no schedule was computed.
+        """
+        if incumbent != float("inf"):
+            bound = self.cost_lower_bound(partition)
+            if bound > incumbent:
+                return bound, True
+        return self.total_cost(partition), False
 
     def breakdown(self, partition: Partition) -> CostBreakdown:
         """All cost components of *partition* (forces an evaluation)."""

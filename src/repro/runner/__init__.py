@@ -7,7 +7,9 @@ Turns the one-SOC, one-width experiment drivers into a grid engine:
 * :mod:`repro.runner.cache` — content-hash keyed on-disk cache for
   wrapper Pareto staircases and whole job results;
 * :mod:`repro.runner.engine` — :func:`run_sweep` multiprocessing
-  fan-out with JSON-lines streaming and summary tables.
+  fan-out with JSON-lines streaming and summary tables;
+* :mod:`repro.runner.pool` — :class:`WorkerPool`, the persistent warm
+  worker pool repeated sweeps share (explicit fork/spawn choice).
 
 The grid has a strategy axis: jobs with a ``strategy`` name run a
 budgeted anytime search (:mod:`repro.search`) instead of the paper
@@ -24,16 +26,20 @@ Quickstart::
     print(sweep.render())
 """
 
-from .cache import DiskCache, content_key
+from .cache import DiskCache, MemoCache, content_key
 from .engine import SweepResult, evaluate_job, run_sweep, trace_path
 from .jobs import JobResult, SweepJob, expand_grid
+from .pool import WorkerPool, default_start_method
 
 __all__ = [
     "DiskCache",
     "JobResult",
+    "MemoCache",
     "SweepJob",
     "SweepResult",
+    "WorkerPool",
     "content_key",
+    "default_start_method",
     "evaluate_job",
     "expand_grid",
     "run_sweep",

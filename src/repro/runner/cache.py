@@ -13,9 +13,19 @@ the SOC), never by name — renaming a workload or regenerating it with a
 different seed can therefore never alias a stale entry.  Values must be
 JSON-serializable.
 
-Writes are atomic (temp file + :func:`os.replace`), so any number of
-sweep workers may share one cache directory without locking: the worst
-race is two workers computing the same entry once each.
+Writes are atomic (an exclusive temp file in the target directory,
+then :func:`os.replace`), so any number of sweep workers may share one
+cache directory without locking: concurrent writers of the same key
+each land a complete entry (last rename wins — the values are
+content-addressed, hence identical), and a reader can never observe
+torn JSON.  A writer that dies mid-write leaves only a ``*.tmp-*``
+file the next :meth:`DiskCache.put` ignores.
+
+:class:`MemoCache` stacks an in-process read-through memo on top:
+persistent pool workers (:mod:`repro.runner.pool`) serve repeated
+lookups — the same staircase across widths, the same job result
+across warm sweeps — from process memory without touching the
+filesystem again.
 """
 
 from __future__ import annotations
@@ -23,9 +33,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 
-__all__ = ["DiskCache", "content_key"]
+__all__ = ["DiskCache", "MemoCache", "content_key"]
 
 
 def content_key(payload: object) -> str:
@@ -76,12 +87,38 @@ class DiskCache:
         return value
 
     def put(self, key: str, value: object) -> None:
-        """Store JSON-serializable *value* under *key*, atomically."""
+        """Store JSON-serializable *value* under *key*, atomically.
+
+        The value is serialized into an exclusively created temp file
+        *in the entry's own directory* (so the final
+        :func:`os.replace` is a same-filesystem atomic rename — a
+        reader sees the old entry, no entry, or the complete new
+        entry, never a torn one) and the temp file is removed on any
+        failure.  A fixed pid-derived temp name would collide for two
+        threads of one worker; :func:`tempfile.mkstemp` names are
+        unique per call.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(value, sort_keys=True))
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f"{key[:8]}.tmp-"
+        )
+        try:
+            # mkstemp files are 0600; restore the umask-default mode a
+            # plain open() would have given, so shared cache
+            # directories stay readable across users (fchmod is
+            # POSIX-only; Windows has no such modes to fix up)
+            if hasattr(os, "fchmod"):
+                os.fchmod(fd, 0o666 & ~_UMASK)
+            with os.fdopen(fd, "w") as stream:
+                json.dump(value, stream, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -95,3 +132,91 @@ class DiskCache:
     def stats(self) -> dict[str, int]:
         """Hit/miss counters since this instance was created."""
         return {"hits": self.hits, "misses": self.misses}
+
+
+#: the process umask, sampled once at import (single-threaded, so the
+#: set/restore dance is race-free here): mkstemp creates 0600 files,
+#: but cache entries must stay as readable as plain-open writes were
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+#: process-wide memo stores, one per resolved cache root — every
+#: MemoCache over the same directory (the engine builds one per job)
+#: shares a store, so a persistent pool worker keeps its memo warm
+#: across jobs and across whole sweeps
+_MEMO_STORES: dict[str, dict[str, object]] = {}
+
+#: entries kept per store before the oldest are dropped (FIFO); sweep
+#: values are small JSON records, so this bounds a long-lived worker
+#: to a few hundred MB worst-case while still covering any real grid
+MEMO_LIMIT = 4096
+
+
+#: sentinel distinguishing "absent" from a cached ``None``
+_ABSENT = object()
+
+
+def clear_memo() -> None:
+    """Drop every in-process memo store (tests, memory pressure)."""
+    _MEMO_STORES.clear()
+
+
+class MemoCache:
+    """An in-process read-through memo in front of a :class:`DiskCache`.
+
+    ``get`` answers from process memory when it can, falling through
+    to disk (and memoizing what it finds); ``put`` writes through to
+    disk and memoizes.  The memo store is *process-wide per cache
+    root*, not per instance — the engine constructs one ``MemoCache``
+    per job, but a persistent pool worker still serves the thousandth
+    job's staircase lookup from memory.
+
+    Cached values are shared objects: treat them as immutable, as the
+    engine does.  The store is FIFO-bounded by :data:`MEMO_LIMIT`.
+
+    :param disk: the backing disk cache.
+    """
+
+    def __init__(self, disk: DiskCache):
+        self.disk = disk
+        self._store = _MEMO_STORES.setdefault(
+            str(disk.root.resolve()), {}
+        )
+        #: lookups answered from process memory (no disk I/O)
+        self.memo_hits = 0
+
+    @property
+    def hits(self) -> int:
+        """Disk hits of the backing cache (see :class:`DiskCache`)."""
+        return self.disk.hits
+
+    @property
+    def misses(self) -> int:
+        """Disk misses of the backing cache."""
+        return self.disk.misses
+
+    def get(self, key: str, default: object = None) -> object:
+        """The cached value for *key* — memo first, then disk."""
+        value = self._store.get(key, _ABSENT)
+        if value is not _ABSENT:
+            self.memo_hits += 1
+            return value
+        value = self.disk.get(key, _ABSENT)
+        if value is _ABSENT:
+            return default
+        self._memoize(key, value)
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Write *value* through to disk and memoize it."""
+        self.disk.put(key, value)
+        self._memoize(key, value)
+
+    def _memoize(self, key: str, value: object) -> None:
+        while len(self._store) >= MEMO_LIMIT:
+            del self._store[next(iter(self._store))]
+        self._store[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store or key in self.disk

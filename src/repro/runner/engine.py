@@ -24,11 +24,18 @@ a JSON-lines file immediately, so long sweeps are inspectable in
 flight and every line on disk is a complete record.  The aggregate
 :class:`SweepResult` renders a summary table via
 :mod:`repro.reporting`.
+
+Process warmth: SOC construction and disk-cache entries are memoized
+per process (:func:`_build_soc`, :class:`~repro.runner.cache.MemoCache`),
+so the hot state survives from job to job — and, with a persistent
+:class:`~repro.runner.pool.WorkerPool` passed to :func:`run_sweep`,
+from sweep to sweep.  ``workers=1`` never spawns a pool: the whole
+sweep runs in-process, which is both the debuggable path and the fast
+one for smoke-sized grids.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from collections.abc import Callable, Sequence
@@ -51,17 +58,20 @@ from ..search import registry as search_registry
 from ..soc import itc02
 from ..soc.model import DigitalCore, Soc
 from ..wrapper.pareto import ParetoCache, ParetoPoint, pareto_points
-from .cache import DiskCache, content_key
+from .cache import DiskCache, MemoCache, content_key
 from .jobs import JobResult, SweepJob
+from .pool import WorkerPool
 
 __all__ = ["SweepResult", "run_sweep", "evaluate_job", "trace_path"]
 
 #: Bump to invalidate every cached entry after a semantic change to the
-#: evaluation flow or the record layout.  v3: search jobs evaluate
-#: through the lower-bound gate (skipped candidates answer with the
-#: admissible bound), which can change metaheuristic trajectories —
-#: schedule/cost parity for any given partition is unaffected.
-CACHE_VERSION = 3
+#: evaluation flow or the record layout.  v4: the pruning gate now
+#: references a *shared* incumbent when searches cooperate (portfolio
+#: lanes, racing strategies), so a gated candidate's recorded cost —
+#: the admissible bound — can differ from what a v3 solo search
+#: recorded, changing metaheuristic trajectories; schedule/cost parity
+#: for any given partition is unaffected.  (v3: the gate itself.)
+CACHE_VERSION = 4
 
 #: Paper-flow jobs enumerate the Table 1 sharing family, which passes
 #: through the Bell-number space of all partitions; past this many
@@ -73,6 +83,24 @@ def _soc_digest(soc: Soc) -> str:
     """Content digest of a SOC via its canonical ``.soc`` serialization."""
     return content_key({"kind": "soc", "v": CACHE_VERSION,
                         "text": itc02.dumps(soc)})
+
+
+#: process-local SOC memo: workload builds are pure functions of
+#: (name, seed), so a persistent worker reconstructs each scenario at
+#: most once no matter how many grid cells hit it
+_SOC_MEMO: dict[tuple[str, int | None], Soc] = {}
+
+
+def _build_soc(workload: str, seed: int | None) -> Soc:
+    """The (memoized) SOC of one workload grid cell."""
+    key = (workload, seed)
+    soc = _SOC_MEMO.get(key)
+    if soc is None:
+        soc = workloads.build(workload, seed)
+        if len(_SOC_MEMO) >= 64:  # a long-lived worker stays bounded
+            _SOC_MEMO.clear()
+        _SOC_MEMO[key] = soc
+    return soc
 
 
 def _job_key(job: SweepJob, soc_digest: str) -> str:
@@ -105,7 +133,7 @@ def _staircase_key(core: DigitalCore, limit: int) -> str:
 
 
 def _primed_pareto(
-    soc: Soc, width: int, cache: DiskCache | None
+    soc: Soc, width: int, cache: MemoCache | None
 ) -> tuple[ParetoCache, int, int]:
     """A staircase cache covering every digital core, seeded from disk.
 
@@ -179,10 +207,14 @@ def evaluate_job(
     alongside the result and, when *trace_dir* is given, written to
     ``trace_path(trace_dir, job)`` — also on cache hits, so a warm
     sweep still leaves the full trace set on disk.
+
+    Caching is read-through-memoized per process: repeated lookups of
+    the same staircase or job entry (across jobs, and across sweeps on
+    a persistent pool) skip the filesystem entirely.
     """
     started = time.perf_counter()
-    cache = DiskCache(cache_dir) if cache_dir else None
-    soc = workloads.build(job.workload, job.seed)
+    cache = MemoCache(DiskCache(cache_dir)) if cache_dir else None
+    soc = _build_soc(job.workload, job.seed)
 
     job_key = None
     if cache is not None:
@@ -347,15 +379,18 @@ def run_sweep(
     out_path: str | None = None,
     progress: Callable[[JobResult], None] | None = None,
     trace_dir: str | None = None,
+    start_method: str | None = None,
+    pool: WorkerPool | None = None,
 ) -> SweepResult:
     """Evaluate *jobs*, optionally in parallel, streaming JSONL results.
 
     :param jobs: the evaluation grid (see
         :func:`repro.runner.jobs.expand_grid`).
-    :param workers: worker process count; ``1`` runs inline (no pool),
-        which is also the debuggable path.  Workers resolve workloads
-        by name — custom ones registered only at runtime need the
-        ``fork`` start method (see
+    :param workers: worker process count.  ``1`` is guaranteed to run
+        fully in-process — no pool is ever spawned — which is the
+        debuggable path and the cheap one for smoke/CI grids.  Workers
+        resolve workloads by name — custom ones registered only at
+        runtime need the ``fork`` start method (see
         :func:`repro.workloads.register` for the ``spawn`` caveat).
     :param cache_dir: on-disk cache directory shared by all workers;
         ``None`` disables caching.
@@ -366,11 +401,22 @@ def run_sweep(
     :param trace_dir: directory collecting one anytime-trace JSONL per
         search job (``None`` skips trace files; paper-flow jobs have no
         trace either way).
+    :param start_method: explicit ``multiprocessing`` start method for
+        a pool created by this call (default:
+        :func:`repro.runner.pool.default_start_method` — never the
+        implicit platform default).  Ignored with *pool* or
+        ``workers=1``.
+    :param pool: a persistent :class:`~repro.runner.pool.WorkerPool`
+        to reuse — repeated sweeps then keep their workers (and the
+        workers' SOC/staircase/disk-entry memos) warm.  Overrides
+        *workers*; the pool stays open for the caller to close.
     :returns: the :class:`SweepResult` with results in grid order.
     :raises ValueError: if *jobs* is empty or *workers* < 1.
     """
     if not jobs:
         raise ValueError("at least one job is required")
+    if pool is not None:
+        workers = pool.workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     started = time.perf_counter()
@@ -387,11 +433,15 @@ def run_sweep(
 
         work = [(job, cache_dir, trace_dir) for job in jobs]
         if workers == 1:
+            # in-process short circuit: no pool spawn, no pickling
             for item in work:
                 handle(_worker(item))
+        elif pool is not None:
+            for record in pool.imap_unordered(_worker, work):
+                handle(record)
         else:
-            with multiprocessing.get_context().Pool(workers) as pool:
-                for record in pool.imap_unordered(_worker, work):
+            with WorkerPool(workers, start_method) as transient:
+                for record in transient.imap_unordered(_worker, work):
                     handle(record)
     finally:
         if stream is not None:

@@ -1,0 +1,127 @@
+"""Persistent, warm worker pools for the batch-evaluation engine.
+
+PR 1's sweep engine built a fresh ``multiprocessing.Pool`` inside
+every :func:`~repro.runner.engine.run_sweep` call: each sweep paid
+worker spawn, interpreter warm-up (under ``spawn``: every import
+again), and a cold per-process state for SOC construction and
+staircases.  A :class:`WorkerPool` is the long-lived alternative — one
+set of fork-once workers serving any number of sweeps::
+
+    from repro.runner import WorkerPool, expand_grid, run_sweep
+
+    with WorkerPool(workers=4) as pool:
+        for wt in (0.3, 0.5, 0.7):
+            jobs = expand_grid(["p93791m"], [16, 24, 32], wts=(wt,))
+            run_sweep(jobs, pool=pool, cache_dir=".repro_cache")
+
+The workers run an initializer that pre-imports the heavy evaluation
+stack (free under ``fork``, a real saving under ``spawn``); per-job
+state — SOCs, Pareto staircases, disk-cache entries — warms up in the
+process-local read-through memos of :mod:`repro.runner.engine` and
+:mod:`repro.runner.cache`, which is exactly what makes *persistent*
+workers pay off: the memos survive from sweep to sweep.
+
+The start method is always explicit (:func:`default_start_method` —
+``fork`` where available, ``spawn`` otherwise), never the silent
+platform default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from ..search.parallel import default_start_method
+
+__all__ = ["WorkerPool", "default_start_method"]
+
+
+def _warm_worker() -> None:
+    """Default initializer: pre-import the evaluation stack.
+
+    Under ``fork`` the modules are inherited and this is a no-op;
+    under ``spawn`` it front-loads the import cost into pool creation
+    instead of the first job of every worker.
+    """
+    from .. import search, workloads  # noqa: F401
+    from ..tam import packing  # noqa: F401
+    from . import engine  # noqa: F401
+
+
+class WorkerPool:
+    """A persistent ``multiprocessing`` pool with warm workers.
+
+    :param workers: worker process count (>= 2 — a one-worker "pool"
+        is strictly worse than the engine's inline path; ask
+        :func:`~repro.runner.engine.run_sweep` for ``workers=1``
+        instead).
+    :param start_method: explicit start method (``"fork"`` /
+        ``"spawn"`` / ``"forkserver"``); default
+        :func:`default_start_method`.  ``spawn`` workers re-import
+        from scratch, so workloads or strategies registered only at
+        runtime are invisible to them — register at import time of a
+        module the workers also import, or use ``fork``.
+    :param initializer: per-worker warm-up hook (default: pre-import
+        the evaluation stack).
+    :param initargs: arguments for *initializer*.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        initializer=None,
+        initargs: tuple = (),
+    ):
+        if workers < 2:
+            raise ValueError(
+                f"WorkerPool needs workers >= 2, got {workers} "
+                f"(run_sweep(workers=1) runs inline, no pool)"
+            )
+        self.workers = workers
+        self.start_method = start_method or default_start_method()
+        if self.start_method not in \
+                multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {self.start_method!r} not available "
+                f"here; pick from "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        ctx = multiprocessing.get_context(self.start_method)
+        self._pool = ctx.Pool(
+            workers,
+            initializer=initializer or _warm_worker,
+            initargs=initargs,
+        )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._pool is None
+
+    def _live_pool(self):
+        if self._pool is None:
+            raise ValueError("WorkerPool is closed")
+        return self._pool
+
+    def imap_unordered(self, fn, iterable, chunksize: int = 1):
+        """Map *fn* over *iterable*, yielding results as they finish."""
+        return self._live_pool().imap_unordered(
+            fn, iterable, chunksize=chunksize
+        )
+
+    def apply_async(self, fn, args=()):
+        """Submit one call; returns the ``AsyncResult``."""
+        return self._live_pool().apply_async(fn, args)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -47,30 +47,60 @@ from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
 from ..soc.model import Soc
 from . import registry
 from .anneal import SimulatedAnnealing
-from .budget import Budget, BudgetExhausted
+from .budget import Budget, BudgetExhausted, EvalLedger, SharedEvalLedger
 from .genetic import GeneticSearch, crossover
 from .greedy import RandomRestartGreedy
 from .moves import random_neighbor, random_partition
+from .parallel import (
+    Lane,
+    LocalIncumbent,
+    PortfolioOutcome,
+    PortfolioPool,
+    SharedIncumbent,
+    default_lanes,
+    default_start_method,
+    lane_slices,
+    portfolio_config,
+    portfolio_search,
+)
 from .problem import SearchProblem, TracePoint
 from .registry import StrategySpec, create, register_strategy, strategy_names
-from .strategy import SearchOutcome, SearchStrategy, run_strategy
+from .strategy import (
+    BatchProposeStrategy,
+    SearchOutcome,
+    SearchStrategy,
+    run_strategy,
+)
 from .tabu import TabuSearch
 
 __all__ = [
+    "BatchProposeStrategy",
     "Budget",
     "BudgetExhausted",
+    "EvalLedger",
     "GeneticSearch",
+    "Lane",
+    "LocalIncumbent",
+    "PortfolioOutcome",
+    "PortfolioPool",
     "RandomRestartGreedy",
     "SearchOutcome",
     "SearchProblem",
     "SearchStrategy",
+    "SharedEvalLedger",
+    "SharedIncumbent",
     "SimulatedAnnealing",
     "StrategySpec",
     "TabuSearch",
     "TracePoint",
     "create",
     "crossover",
+    "default_lanes",
+    "default_start_method",
+    "lane_slices",
     "optimize",
+    "portfolio_config",
+    "portfolio_search",
     "random_neighbor",
     "random_partition",
     "register_strategy",

@@ -10,6 +10,13 @@ checks :attr:`Budget.exhausted` between steps, and the problem calls
 more work than the budget has left is cut off mid-step by
 :class:`BudgetExhausted`.
 
+A portfolio of lanes racing on one *global* allowance shares an
+:class:`EvalLedger`: every lane's budget draws its evaluations from the
+same pot, so the lanes collectively can never overrun it.
+:class:`SharedEvalLedger` is the cross-process variant (a
+``multiprocessing`` shared counter) the parallel portfolio driver
+(:mod:`repro.search.parallel`) hands to its worker lanes.
+
 The clock is injectable for tests (and for replaying traces), defaulting
 to :func:`time.perf_counter`.
 """
@@ -19,7 +26,12 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 
-__all__ = ["Budget", "BudgetExhausted"]
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "EvalLedger",
+    "SharedEvalLedger",
+]
 
 
 class BudgetExhausted(Exception):
@@ -30,6 +42,125 @@ class BudgetExhausted(Exception):
     """
 
 
+class EvalLedger:
+    """A global evaluation allowance several budgets draw from.
+
+    One ledger, many :class:`Budget` instances: each lane of a portfolio
+    search gets its own budget (so per-lane accounting stays exact) but
+    every paid evaluation also *takes* one unit from the shared ledger.
+    Once the ledger is dry, every attached budget is exhausted at once —
+    the invariant the portfolio's "total evaluations <= global budget"
+    guarantee rests on.
+
+    This in-process variant needs no locking (CPython bytecode-level
+    atomicity is irrelevant here — all lanes of the ``workers=1``
+    portfolio run in one thread); :class:`SharedEvalLedger` is the
+    cross-process one.
+
+    :param total: global paid-evaluation allowance (``None`` =
+        unlimited; the ledger then only counts).
+    :raises ValueError: if *total* < 1.
+    """
+
+    def __init__(self, total: int | None):
+        if total is not None and total < 1:
+            raise ValueError(f"ledger total must be >= 1, got {total}")
+        self._total = total
+        self._taken = 0
+
+    @property
+    def total(self) -> int | None:
+        """The global allowance (``None`` = unlimited)."""
+        return self._total
+
+    def reset(self, total: int | None) -> None:
+        """Refill the pot for a new portfolio run."""
+        if total is not None and total < 1:
+            raise ValueError(f"ledger total must be >= 1, got {total}")
+        self._total = total
+        self._taken = 0
+
+    def take(self) -> bool:
+        """Draw one evaluation; ``False`` when the ledger is dry."""
+        if self._total is not None and self._taken >= self._total:
+            return False
+        self._taken += 1
+        return True
+
+    @property
+    def taken(self) -> int:
+        """Evaluations drawn so far, across every attached budget."""
+        return self._taken
+
+    @property
+    def remaining(self) -> int | None:
+        """Evaluations left in the pot (``None`` = unlimited)."""
+        if self.total is None:
+            return None
+        return max(0, self.total - self.taken)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the allowance has been used up."""
+        return self.remaining == 0
+
+
+class SharedEvalLedger(EvalLedger):
+    """A cross-process :class:`EvalLedger` over a shared counter.
+
+    Worker lanes of a parallel portfolio draw from one
+    ``multiprocessing`` shared integer under a lock, so the draw is
+    atomic across processes: the lanes can collectively never spend
+    more than *total* paid evaluations, no matter how they interleave.
+
+    :param total: global paid-evaluation allowance (``None`` =
+        unlimited).
+    :param context: the ``multiprocessing`` context the pool workers
+        are spawned from (the primitives must come from the same
+        context to be inheritable).
+    """
+
+    def __init__(self, total: int | None, context=None):
+        super().__init__(total)
+        import multiprocessing
+
+        ctx = context if context is not None else multiprocessing
+        # RawValue + explicit lock: take() needs a read-modify-write,
+        # so the synchronized wrapper's per-access lock would be both
+        # insufficient (not atomic across the read and the write) and
+        # redundant.  -1 encodes "unlimited" in the shared total cell.
+        self._total_cell = ctx.RawValue("q", -1 if total is None else total)
+        self._cell = ctx.RawValue("q", 0)
+        self._lock = ctx.Lock()
+
+    @property
+    def total(self) -> int | None:
+        value = self._total_cell.value
+        return None if value < 0 else value
+
+    def reset(self, total: int | None) -> None:
+        if total is not None and total < 1:
+            raise ValueError(f"ledger total must be >= 1, got {total}")
+        with self._lock:
+            self._total_cell.value = -1 if total is None else total
+            self._cell.value = 0
+
+    def take(self) -> bool:
+        with self._lock:
+            total = self._total_cell.value
+            if 0 <= total <= self._cell.value:
+                return False
+            self._cell.value += 1
+            return True
+
+    @property
+    def taken(self) -> int:
+        # a plain aligned 8-byte read; worst case it lags a concurrent
+        # writer by one, which only delays the between-steps exhaustion
+        # check (charge() itself is exact)
+        return self._cell.value
+
+
 class Budget:
     """An evaluation-count and/or wall-clock allowance for one search.
 
@@ -38,6 +169,10 @@ class Budget:
     :param max_seconds: wall-clock allowance, measured from
         :meth:`start` (``None`` = unlimited).
     :param clock: monotonic time source, injectable for tests.
+    :param ledger: optional global :class:`EvalLedger` this budget
+        draws from — every charge also takes one unit from the ledger,
+        and an empty ledger exhausts the budget regardless of the local
+        limits.
     :raises ValueError: on non-positive limits.
     """
 
@@ -46,6 +181,7 @@ class Budget:
         max_evaluations: int | None = None,
         max_seconds: float | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        ledger: EvalLedger | None = None,
     ):
         if max_evaluations is not None and max_evaluations < 1:
             raise ValueError(
@@ -57,6 +193,7 @@ class Budget:
             )
         self.max_evaluations = max_evaluations
         self.max_seconds = max_seconds
+        self.ledger = ledger
         self._clock = clock
         self._started: float | None = None
         #: paid evaluations spent so far
@@ -65,7 +202,11 @@ class Budget:
     @property
     def limited(self) -> bool:
         """Whether any limit is set at all."""
-        return self.max_evaluations is not None or self.max_seconds is not None
+        return (
+            self.max_evaluations is not None
+            or self.max_seconds is not None
+            or self.ledger is not None
+        )
 
     def start(self) -> "Budget":
         """Start (or restart) the wall clock; returns self for chaining."""
@@ -88,22 +229,30 @@ class Budget:
 
     @property
     def exhausted(self) -> bool:
-        """Whether either limit has been reached."""
+        """Whether any limit (local or ledger) has been reached."""
         if self.max_evaluations is not None \
                 and self.spent >= self.max_evaluations:
             return True
         if self.max_seconds is not None and self._started is not None \
                 and self.elapsed_s >= self.max_seconds:
             return True
+        if self.ledger is not None and self.ledger.empty:
+            return True
         return False
 
     def charge(self) -> None:
         """Account for one paid evaluation about to happen.
 
+        With a shared ledger attached, the charge atomically draws one
+        unit from it; a dry ledger exhausts this budget even when its
+        local limits still have headroom.
+
         :raises BudgetExhausted: if the budget has already run out; the
             evaluation then does not happen and nothing is charged.
         """
         if self.exhausted:
+            raise BudgetExhausted(self.describe())
+        if self.ledger is not None and not self.ledger.take():
             raise BudgetExhausted(self.describe())
         self.spent += 1
 
@@ -112,6 +261,10 @@ class Budget:
         limits = []
         if self.max_evaluations is not None:
             limits.append(f"{self.spent}/{self.max_evaluations} evaluations")
+        if self.ledger is not None and self.ledger.total is not None:
+            limits.append(
+                f"{self.ledger.taken}/{self.ledger.total} shared evaluations"
+            )
         if self.max_seconds is not None:
             limits.append(f"{self.elapsed_s:.1f}/{self.max_seconds:g}s")
         return ", ".join(limits) if limits else "unlimited"

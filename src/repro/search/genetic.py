@@ -15,7 +15,7 @@ import random
 
 from ..core.sharing import Partition, canonical
 from .moves import random_neighbor, random_partition
-from .strategy import SearchStrategy
+from .strategy import BatchProposeStrategy
 
 __all__ = ["GeneticSearch", "crossover"]
 
@@ -41,8 +41,13 @@ def crossover(a: Partition, b: Partition, rng: random.Random) -> Partition:
     return canonical(child)
 
 
-class GeneticSearch(SearchStrategy):
+class GeneticSearch(BatchProposeStrategy):
     """Tournament-selection GA over partitions with group crossover.
+
+    A generation's individuals are scored independently, so the whole
+    population is exposed through
+    :meth:`~repro.search.strategy.SearchStrategy.propose_batch` — the
+    natural fan-out unit for a parallel lane.
 
     :param population: individuals per generation.
     :param elite: best individuals copied unchanged into the next
@@ -90,12 +95,13 @@ class GeneticSearch(SearchStrategy):
         ]
         return min(contenders)[1]
 
-    def step(self) -> None:
-        """One generation: score, select, recombine, mutate."""
-        scored = sorted(
-            (self.problem.evaluate(member), member)
-            for member in self._members
-        )
+    def propose_batch(self):
+        """One generation's individuals, scored together."""
+        return list(self._members)
+
+    def observe_batch(self, partitions, costs) -> None:
+        """Select, recombine, mutate on the scored generation."""
+        scored = sorted(zip(costs, partitions))
         next_generation: list[Partition] = [
             member for _, member in scored[: self.elite]
         ]

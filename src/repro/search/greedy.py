@@ -10,13 +10,18 @@ problem tracks best-so-far across restarts).
 from __future__ import annotations
 
 from .moves import random_neighbor, random_partition
-from .strategy import SearchStrategy
+from .strategy import BatchProposeStrategy
 
 __all__ = ["RandomRestartGreedy"]
 
 
-class RandomRestartGreedy(SearchStrategy):
+class RandomRestartGreedy(BatchProposeStrategy):
     """Steepest-descent over sampled neighbors, with random restarts.
+
+    One step's neighbor sample is mutually independent, so the
+    strategy exposes it whole through
+    :meth:`~repro.search.strategy.SearchStrategy.propose_batch` —
+    a parallel lane evaluates all *samples* candidates at once.
 
     :param samples: neighbors sampled (and paid for, first time each)
         per step.
@@ -39,16 +44,23 @@ class RandomRestartGreedy(SearchStrategy):
         self._current_cost = float("inf")
         self._stalls = 0
 
-    def step(self) -> None:
+    def propose_batch(self):
         if self._current is None:
-            self._current = random_partition(self.names, self.rng)
-            self._current_cost = self.problem.evaluate(self._current)
+            # restart: the batch is the fresh starting point alone
+            return [random_partition(self.names, self.rng)]
+        return [
+            random_neighbor(self._current, self.rng)
+            for _ in range(self.samples)
+        ]
+
+    def observe_batch(self, partitions, costs) -> None:
+        if self._current is None:
+            self._current = partitions[0]
+            self._current_cost = costs[0]
             self._stalls = 0
             return
         best, best_cost = None, float("inf")
-        for _ in range(self.samples):
-            candidate = random_neighbor(self._current, self.rng)
-            cost = self.problem.evaluate(candidate)
+        for candidate, cost in zip(partitions, costs):
             if cost < best_cost:
                 best, best_cost = candidate, cost
         if best is not None and best_cost < self._current_cost:

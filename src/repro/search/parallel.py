@@ -1,0 +1,850 @@
+"""Parallel anytime portfolio search over persistent warm workers.
+
+One budgeted search rarely saturates a machine: the PR 3 evaluation
+engine made a single schedule evaluation cheap, so the next scaling
+lever is running *many cooperating searches at once*.
+:func:`portfolio_search` races N ``(strategy, seed)`` **lanes** over
+the sharing space, three ways:
+
+* ``workers=1`` — all lanes interleave round-robin in the current
+  process on one shared evaluator cache.  Fully deterministic (the
+  reference semantics the parallel modes are tested against) and free
+  of any ``multiprocessing`` overhead.
+* ``workers>1``, lanes >= workers (**lane mode**) — each lane runs
+  inside a persistent, fork-once pool worker whose initializer warmed
+  the SOC, the digital Pareto staircases, the shared
+  :class:`~repro.tam.packing.PackContext`, and the all-sharing
+  normalizer schedule.
+* ``workers>1``, lanes < workers (**eval mode**) — lanes step in the
+  parent and fan each step's independent candidates (the
+  :meth:`~repro.search.strategy.SearchStrategy.propose_batch` batch)
+  across idle workers through
+  :meth:`~repro.search.problem.SearchProblem.evaluate_batch`.
+
+Two pieces of shared state tie the lanes into *one* search instead of
+N oblivious ones:
+
+* the **shared incumbent** (:class:`SharedIncumbent`) — a lock-free
+  readable ``multiprocessing`` double holding the best Eq. (2) cost
+  any lane has achieved.  Every lane's lower-bound pruning gate
+  (:class:`~repro.search.problem.SearchProblem`) compares candidates
+  against it, so the moment one lane improves, every other lane's
+  gate-skip rate rises;
+* the **shared ledger** (:class:`~repro.search.budget.SharedEvalLedger`)
+  — a global paid-evaluation allowance all lanes draw from atomically,
+  so the portfolio can never overrun its total budget no matter how
+  the lanes interleave.
+
+Reuse a :class:`PortfolioPool` across calls to amortize worker warm-up
+over many portfolios (e.g. a width sweep)::
+
+    from repro.search.parallel import PortfolioPool, portfolio_search
+
+    with PortfolioPool(workers=4) as pool:
+        for width in (16, 24, 32):
+            outcome = portfolio_search(soc, width=width, lanes=8,
+                                       budget=2000, pool=pool)
+            print(outcome.summary())
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import random
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.area import AreaModel
+from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
+from ..core.sharing import Partition, format_partition
+from ..soc.model import Soc
+from . import registry
+from .budget import Budget, BudgetExhausted, EvalLedger, SharedEvalLedger
+from .problem import SearchProblem
+from .strategy import (
+    STALL_LIMIT,
+    SearchOutcome,
+    build_outcome,
+    run_strategy,
+)
+
+__all__ = [
+    "Lane",
+    "LocalIncumbent",
+    "PortfolioOutcome",
+    "PortfolioPool",
+    "SharedIncumbent",
+    "default_lanes",
+    "default_start_method",
+    "lane_slices",
+    "portfolio_config",
+    "portfolio_search",
+]
+
+
+def default_start_method() -> str:
+    """The explicit ``multiprocessing`` start method this codebase uses.
+
+    ``fork`` where the platform offers it (fork-once workers inherit
+    warmed parent state and every registered workload/strategy for
+    free), ``spawn`` otherwise — never the implicit platform default,
+    so behavior does not silently change across OSes or Python
+    versions.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class LocalIncumbent:
+    """In-process incumbent cell (the ``workers=1`` portfolio's glue).
+
+    Same ``get``/``offer`` protocol as :class:`SharedIncumbent`, no
+    synchronization — all lanes run in one thread.
+    """
+
+    def __init__(self) -> None:
+        self._best = float("inf")
+
+    def get(self) -> float:
+        """Best cost any attached lane has achieved (``inf`` = none)."""
+        return self._best
+
+    def offer(self, cost: float) -> bool:
+        """Publish *cost* if it improves; returns whether it did."""
+        if cost < self._best:
+            self._best = cost
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the incumbent (for pool reuse across searches)."""
+        self._best = float("inf")
+
+
+class SharedIncumbent:
+    """Cross-process incumbent cell: best cost any lane has achieved.
+
+    Reads are a single lock-free aligned 8-byte load (every gated
+    evaluation in every worker performs one, so they must be cheap);
+    writes — rare, one per global improvement — take a lock and
+    re-check, so concurrent improvements can never regress the cell.
+
+    :param context: ``multiprocessing`` context the pool workers are
+        created from.
+    """
+
+    def __init__(self, context=None):
+        ctx = context if context is not None else multiprocessing
+        self._cell = ctx.RawValue("d", float("inf"))
+        self._lock = ctx.Lock()
+
+    def get(self) -> float:
+        """Best cost across all lanes (``inf`` = none yet)."""
+        return self._cell.value
+
+    def offer(self, cost: float) -> bool:
+        """Publish *cost* if it improves the cell; returns whether it
+        did (double-checked under the write lock)."""
+        if cost >= self._cell.value:
+            return False
+        with self._lock:
+            if cost < self._cell.value:
+                self._cell.value = cost
+                return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the incumbent (for pool reuse across searches)."""
+        with self._lock:
+            self._cell.value = float("inf")
+
+
+def lane_slices(budget: int | None, n: int) -> tuple[int | None, ...]:
+    """Fair per-lane evaluation slices of a global *budget*.
+
+    Every lane gets ``budget // n`` (the first ``budget % n`` lanes one
+    more), so no lane can drain the shared ledger before the others
+    start — without fairness, the first ``workers`` lanes of a large
+    portfolio race through the whole allowance and the remaining lanes
+    contribute nothing.  The shared ledger stays the hard global cap on
+    top (a stalled lane's unspent slice is simply left unspent).
+
+    ``None`` budget yields all-``None`` slices (wall-clock-only runs).
+    """
+    if budget is None:
+        return (None,) * n
+    base, extra = divmod(budget, n)
+    slices = tuple(
+        base + (1 if i < extra else 0) for i in range(n)
+    )
+    if any(s < 1 for s in slices):
+        raise ValueError(
+            f"budget {budget} cannot feed {n} lanes (every lane "
+            f"needs at least one evaluation)"
+        )
+    return slices
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One portfolio lane: a strategy raced under its own RNG seed.
+
+    :param strategy: registered strategy name
+        (:mod:`repro.search.registry`).
+    :param seed: the lane's search RNG seed — distinct seeds make even
+        same-strategy lanes explore differently.
+    """
+
+    strategy: str
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """Short display name, e.g. ``anneal#3``."""
+        return f"{self.strategy}#{self.seed}"
+
+
+def default_lanes(
+    n: int,
+    strategies: Sequence[str] | None = None,
+    base_seed: int = 0,
+) -> tuple[Lane, ...]:
+    """A diverse *n*-lane portfolio: cycle strategies, then seeds.
+
+    The first cycle races every strategy at *base_seed* — so a 4-lane
+    default portfolio contains exactly the four runs a serial
+    ``optimize --strategy all`` would do, each on its own lane — and
+    each further cycle bumps the seed, adding restart diversity on top
+    of strategy diversity.
+
+    :param n: lane count.
+    :param strategies: strategy names to cycle (default: every
+        registered one, sorted — so four lanes race the full shipped
+        portfolio).
+    :param base_seed: seed of the first cycle; cycle *c* runs at
+        ``base_seed + c``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one lane, got {n}")
+    names = tuple(strategies) if strategies else registry.strategy_names()
+    if not names:
+        raise ValueError("no strategies to build lanes from")
+    return tuple(
+        Lane(
+            strategy=names[i % len(names)],
+            seed=base_seed + i // len(names),
+        )
+        for i in range(n)
+    )
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """Everything one portfolio run produced.
+
+    :param lanes: the lane specs, in submission order.
+    :param outcomes: one :class:`~repro.search.strategy.SearchOutcome`
+        per lane, same order (a lane whose every candidate was pruned
+        by the shared incumbent gate reports ``best_partition None``).
+    :param best_partition: the portfolio-wide incumbent.
+    :param best_cost: its Eq. (2) cost.
+    :param n_evaluated: paid evaluations summed over lanes (the
+        portfolio's total spend; never exceeds *budget_total*).
+    :param n_packs: actual TAM packing runs summed over lanes.
+    :param n_gated: lower-bound gate skips summed over lanes.
+    :param elapsed_s: portfolio wall-clock.
+    :param workers: worker processes used (1 = in-process).
+    :param mode: ``"inline"``, ``"lanes"``, or ``"evals"``.
+    :param budget_total: the global evaluation allowance (``None`` =
+        wall-clock only).
+    """
+
+    lanes: tuple[Lane, ...]
+    outcomes: tuple[SearchOutcome, ...]
+    best_partition: Partition
+    best_cost: float
+    n_evaluated: int
+    n_packs: int
+    n_gated: int
+    elapsed_s: float
+    workers: int
+    mode: str
+    budget_total: int | None
+
+    @property
+    def best_lane(self) -> Lane:
+        """The lane that found the portfolio-wide best."""
+        for lane, outcome in zip(self.lanes, self.outcomes):
+            if outcome.best_partition == self.best_partition \
+                    and outcome.best_cost == self.best_cost:
+                return lane
+        return self.lanes[0]
+
+    @property
+    def gate_skip_rate(self) -> float:
+        """Fraction of paid evaluations the gate answered."""
+        if not self.n_evaluated:
+            return 0.0
+        return self.n_gated / self.n_evaluated
+
+    def trace_records(self, **context) -> list[dict]:
+        """JSONL-ready merged anytime trace, tagged per lane."""
+        records: list[dict] = []
+        for index, (lane, outcome) in enumerate(
+            zip(self.lanes, self.outcomes)
+        ):
+            records.extend(outcome.trace_records(
+                lane=index, lane_label=lane.label, **context
+            ))
+        return records
+
+    def summary(self) -> str:
+        """Multi-line human-readable outcome."""
+        lines = [
+            f"portfolio: {len(self.lanes)} lanes x {self.workers} "
+            f"workers ({self.mode}), best {self.best_cost:.2f} at "
+            f"{format_partition(self.best_partition)} "
+            f"(lane {self.best_lane.label})",
+            f"  {self.n_evaluated} evaluations"
+            + (f" of {self.budget_total}" if self.budget_total else "")
+            + f", {self.n_packs} packs, {self.n_gated} gated "
+            f"({100.0 * self.gate_skip_rate:.1f}% skipped), "
+            f"{self.elapsed_s:.2f}s",
+        ]
+        for lane, outcome in zip(self.lanes, self.outcomes):
+            lines.append(f"  [{lane.label:12s}] {outcome.summary()}")
+        return "\n".join(lines)
+
+
+def portfolio_config(
+    soc: Soc, width: int = 32, wt: float = 0.5, **pack_kwargs
+) -> bytes:
+    """The serialized problem configuration workers cache models by.
+
+    Pass the same bytes to :meth:`PortfolioPool.warm` ahead of a
+    :func:`portfolio_search` on the same ``(soc, width, wt,
+    pack_kwargs)`` to move every worker's model construction out of
+    the measured/latency-critical path.
+    """
+    return pickle.dumps({
+        "soc": soc, "width": width, "wt": wt,
+        "pack_kwargs": dict(pack_kwargs),
+    })
+
+
+def _build_model(
+    soc: Soc, width: int, wt: float, pack_kwargs: dict
+) -> CostModel:
+    weights = CostWeights(time=wt, area=1.0 - wt)
+    model = CostModel(
+        soc, width, weights, AreaModel(soc.analog_cores),
+        evaluator=ScheduleEvaluator(soc, width, **pack_kwargs),
+    )
+    model.evaluator.warm()
+    return model
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+#: per-process worker state: shared cells from the initializer plus the
+#: warm model cache, keyed by the pickled problem configuration
+_WORKER: dict = {}
+
+
+def _init_worker(incumbent, ledger, barrier=None) -> None:
+    """Pool initializer: adopt the shared cells, start a model cache."""
+    _WORKER["incumbent"] = incumbent
+    _WORKER["ledger"] = ledger
+    _WORKER["barrier"] = barrier
+    _WORKER["models"] = {}
+
+
+def _worker_model(config_bytes: bytes) -> CostModel:
+    """The warm per-worker model for one problem configuration.
+
+    Fork-once workers keep serving the same configuration, so the
+    first task pays SOC revival + staircase + PackContext + normalizer
+    warm-up exactly once; a pool reused for a *different*
+    configuration swaps the cache (one live model per worker bounds
+    memory).
+    """
+    models = _WORKER.setdefault("models", {})
+    model = models.get(config_bytes)
+    if model is None:
+        config = pickle.loads(config_bytes)
+        model = _build_model(
+            config["soc"], config["width"], config["wt"],
+            config["pack_kwargs"],
+        )
+        models.clear()
+        models[config_bytes] = model
+    return model
+
+
+def _warm_task(config_bytes: bytes) -> bool:
+    """Build this worker's model, then rendezvous at the barrier.
+
+    The barrier keeps every worker busy until all of them (and the
+    parent) arrive, so N submitted warm tasks land on N *distinct*
+    workers — a plain ``map`` gives no such guarantee.  A failed model
+    build aborts the barrier so nobody waits out the timeout for a
+    worker that will never arrive; the real exception travels back
+    through the task result.
+    """
+    try:
+        _worker_model(config_bytes)
+    except BaseException:
+        _WORKER["barrier"].abort()
+        raise
+    _WORKER["barrier"].wait(timeout=300)
+    return True
+
+
+def _lane_task(
+    config_bytes: bytes, lane: Lane, gate: bool,
+    deadline: float | None, max_evaluations: int | None,
+) -> SearchOutcome:
+    """Run one whole lane inside a pool worker.
+
+    *deadline* is an absolute :func:`time.monotonic` instant measured
+    at portfolio start in the parent — monotonic clocks are
+    system-wide on the supported platforms, so a lane that sat in the
+    task queue behind earlier lanes gets only the *remaining* wall
+    allowance, not a fresh one.
+    """
+    model = _worker_model(config_bytes)
+    max_seconds = None
+    if deadline is not None:
+        # a lane dequeued past the deadline still needs a positive
+        # budget (Budget rejects <= 0); it then expires on first check
+        max_seconds = max(deadline - time.monotonic(), 1e-6)
+    budget = Budget(
+        max_evaluations=max_evaluations,
+        max_seconds=max_seconds,
+        ledger=_WORKER.get("ledger"),
+    )
+    problem = SearchProblem(
+        model, budget, gate=gate, incumbent=_WORKER.get("incumbent")
+    )
+    return run_strategy(
+        registry.create(lane.strategy), problem, seed=lane.seed,
+        allow_empty=True,
+    )
+
+
+def _eval_task(
+    config_bytes: bytes, partitions: Sequence[Partition]
+) -> list[tuple[float, int]]:
+    """Cost *partitions* on this worker's warm model.
+
+    Returns ``(cost, n_packs)`` pairs — the pack count lets the
+    parent-side problem keep its paper-``n`` accounting exact even
+    though the packing happened remotely.
+    """
+    model = _worker_model(config_bytes)
+    out = []
+    for partition in partitions:
+        before = model.evaluator.evaluations
+        cost = model.total_cost(partition)
+        out.append((cost, model.evaluator.evaluations - before))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pool
+
+class PortfolioPool:
+    """A persistent pool of warm portfolio workers.
+
+    Owns the worker processes *and* the cross-process shared state
+    (incumbent + ledger, created from the same explicit
+    ``multiprocessing`` context and inherited by the workers at fork
+    time — synchronization primitives cannot travel through the task
+    queue).  Reusable across :func:`portfolio_search` calls: the
+    shared state is reset per search and the workers keep their warm
+    models, so repeated portfolios on the same problem pay worker
+    warm-up once.
+
+    :param workers: worker process count (>= 2; use
+        ``portfolio_search(workers=1)`` for the in-process mode).
+    :param start_method: explicit ``multiprocessing`` start method
+        (default: :func:`default_start_method`).
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if workers < 2:
+            raise ValueError(
+                f"PortfolioPool needs workers >= 2, got {workers}"
+            )
+        self.workers = workers
+        # NOTE: the lifecycle here intentionally parallels
+        # repro.runner.pool.WorkerPool rather than composing with it —
+        # runner already imports search (engine → search jobs), so the
+        # reverse dependency would be cyclic; keep the two validations
+        # in step when touching either.
+        self.start_method = start_method or default_start_method()
+        if self.start_method not in \
+                multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {self.start_method!r} not available "
+                f"here; pick from "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        ctx = multiprocessing.get_context(self.start_method)
+        self.incumbent = SharedIncumbent(ctx)
+        self.ledger = SharedEvalLedger(None, ctx)
+        self._barrier = ctx.Barrier(workers + 1)
+        self._pool = ctx.Pool(
+            workers,
+            initializer=_init_worker,
+            initargs=(self.incumbent, self.ledger, self._barrier),
+        )
+
+    def _live_pool(self):
+        if self._pool is None:
+            raise ValueError("PortfolioPool is closed")
+        return self._pool
+
+    def reset(self, budget: int | None) -> None:
+        """Clear the shared state for a fresh search."""
+        self._live_pool()
+        self.incumbent.reset()
+        self.ledger.reset(budget)
+
+    def warm(self, config_bytes: bytes) -> None:
+        """Pre-build the problem's model on *every* worker.
+
+        One barrier-synchronized warm task per worker: the barrier
+        holds each worker in its task until all have built their model
+        (and the parent joins), so no worker can grab two.  After this,
+        the first real lane or eval task pays nothing but the search
+        itself — which is what a steady-state throughput measurement
+        (``benchmarks/bench_parallel.py``) should time.
+
+        A failed worker build aborts the barrier (see
+        :func:`_warm_task`), and the underlying exception — not the
+        barrier breakage it causes — is re-raised here.
+        """
+        import threading
+
+        pool = self._live_pool()
+        pending = [
+            pool.apply_async(_warm_task, (config_bytes,))
+            for _ in range(self.workers)
+        ]
+        broken = False
+        try:
+            self._barrier.wait(timeout=300)
+        except threading.BrokenBarrierError:
+            broken = True
+        errors: list[BaseException] = []
+        for task in pending:
+            try:
+                task.get()
+            except threading.BrokenBarrierError:
+                pass  # collateral of the aborting worker
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+        if broken:
+            self._barrier.reset()  # keep the pool warmable
+        if errors:
+            raise errors[0]
+        if broken:
+            raise RuntimeError(
+                "worker warm-up broke the barrier without reporting "
+                "an error (worker process died?)"
+            )
+
+    def run_lanes(
+        self, config_bytes: bytes, lanes: Sequence[Lane], gate: bool,
+        max_seconds: float | None, budget: int | None,
+    ) -> list[SearchOutcome]:
+        """Race *lanes* across the workers; outcomes in lane order.
+
+        Each lane is capped at its fair slice of *budget* (see
+        :func:`lane_slices`) on top of the shared-ledger global cap,
+        and *max_seconds* is converted to one absolute deadline for
+        the whole batch — a lane queued behind earlier lanes inherits
+        only the remaining wall allowance.
+        """
+        pool = self._live_pool()
+        slices = lane_slices(budget, len(lanes))
+        deadline = (
+            time.monotonic() + max_seconds
+            if max_seconds is not None else None
+        )
+        pending = [
+            pool.apply_async(
+                _lane_task,
+                (config_bytes, lane, gate, deadline, lane_slice),
+            )
+            for lane, lane_slice in zip(lanes, slices)
+        ]
+        return [task.get() for task in pending]
+
+    def batch_cost(self, config_bytes: bytes):
+        """A :class:`~repro.search.problem.SearchProblem`-compatible
+        bulk costing function fanning partitions across the workers."""
+
+        def cost(partitions: Sequence[Partition]):
+            pool = self._live_pool()
+            strides = [
+                partitions[i::self.workers] for i in range(self.workers)
+            ]
+            pending = [
+                (i, pool.apply_async(
+                    _eval_task, (config_bytes, stride)
+                ))
+                for i, stride in enumerate(strides) if stride
+            ]
+            results: list = [None] * len(partitions)
+            for i, task in pending:
+                for j, pair in enumerate(task.get()):
+                    results[i + j * self.workers] = pair
+            return results
+
+        return cost
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PortfolioPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# drivers
+
+class _LaneRun:
+    """Mutable bookkeeping for one interleaved in-parent lane."""
+
+    def __init__(self, lane: Lane, strategy, problem: SearchProblem):
+        self.lane = lane
+        self.strategy = strategy
+        self.problem = problem
+        self.steps = 0
+        self.stall_steps = 0
+        self.last_evaluated = 0
+        self.done = False
+        self.stalled = False
+
+    def outcome(self) -> SearchOutcome:
+        return build_outcome(
+            self.strategy, self.problem, self.lane.seed, self.steps,
+            self.stalled, allow_empty=True,
+        )
+
+
+def _interleave_lanes(runs: list[_LaneRun], batched: bool) -> None:
+    """Round-robin lane stepping until every lane is done.
+
+    One pass gives each live lane one step; a lane finishes on budget
+    exhaustion (its own wall clock or the shared ledger) or on the
+    per-lane stall guard.  Deterministic: the visit order is the lane
+    order, every time.
+    """
+    while True:
+        live = [run for run in runs if not run.done]
+        if not live:
+            return
+        for run in live:
+            if run.problem.budget.exhausted:
+                run.done = True
+                continue
+            try:
+                if batched:
+                    batch = run.strategy.propose_batch()
+                    costs = run.problem.evaluate_batch(batch)
+                    run.strategy.observe_batch(batch, costs)
+                else:
+                    run.strategy.step()
+            except BudgetExhausted:
+                run.done = True
+                continue
+            run.steps += 1
+            if run.problem.n_evaluated == run.last_evaluated:
+                run.stall_steps += 1
+                if run.stall_steps >= STALL_LIMIT:
+                    run.stalled = True
+                    run.done = True
+            else:
+                run.last_evaluated = run.problem.n_evaluated
+                run.stall_steps = 0
+
+
+def _run_in_parent(
+    model: CostModel,
+    lanes: Sequence[Lane],
+    gate: bool,
+    budget: int | None,
+    max_seconds: float | None,
+    batch_cost=None,
+) -> list[SearchOutcome]:
+    """Interleaved lanes in the current process (inline/eval modes)."""
+    ledger = EvalLedger(budget) if budget is not None else None
+    incumbent = LocalIncumbent()
+    slices = lane_slices(budget, len(lanes))
+    runs = []
+    for lane, lane_slice in zip(lanes, slices):
+        lane_budget = Budget(
+            max_evaluations=lane_slice, max_seconds=max_seconds,
+            ledger=ledger,
+        ).start()
+        problem = SearchProblem(
+            model, lane_budget, gate=gate, incumbent=incumbent,
+            batch_cost=batch_cost,
+        )
+        strategy = registry.create(lane.strategy)
+        strategy.bind(problem, random.Random(lane.seed))
+        runs.append(_LaneRun(lane, strategy, problem))
+    _interleave_lanes(runs, batched=batch_cost is not None)
+    return [run.outcome() for run in runs]
+
+
+def portfolio_search(
+    soc: Soc,
+    width: int = 32,
+    lanes: int | Sequence[Lane] = 4,
+    workers: int = 1,
+    budget: int | None = 2000,
+    max_seconds: float | None = None,
+    wt: float = 0.5,
+    strategies: Sequence[str] | None = None,
+    base_seed: int = 0,
+    gate: bool = True,
+    start_method: str | None = None,
+    pool: PortfolioPool | None = None,
+    model: CostModel | None = None,
+    **pack_kwargs,
+) -> PortfolioOutcome:
+    """Race a portfolio of search lanes under one global budget.
+
+    The parallel counterpart of :func:`repro.search.optimize`: N
+    ``(strategy, seed)`` lanes cooperate through a shared incumbent
+    (each lane's lower-bound gate prunes against the best cost *any*
+    lane has achieved) and a shared evaluation ledger (the lanes
+    collectively never exceed *budget* paid evaluations).  See the
+    module docstring for the three execution modes.
+
+    Determinism: ``workers=1`` is exactly reproducible per
+    ``(lanes, seeds)``.  Multi-worker runs keep every per-lane
+    trajectory seed-driven, but the lane *interleaving* (who improves
+    the incumbent first, who drains the ledger) follows the OS
+    scheduler, so they are not bit-reproducible — only
+    budget-respecting and anytime-valid.
+
+    :param soc: the mixed-signal SOC.
+    :param width: SOC-level TAM width ``W``.
+    :param lanes: lane count (strategies cycled via
+        :func:`default_lanes`) or an explicit lane sequence.
+    :param workers: worker processes; 1 = in-process interleaving.
+    :param budget: global paid-evaluation allowance shared by all
+        lanes (``None`` = unlimited, then *max_seconds* is required).
+        Split into fair per-lane slices (:func:`lane_slices`) so every
+        lane contributes; the shared ledger enforces the global cap on
+        top.
+    :param max_seconds: wall-clock allowance per lane, measured from
+        portfolio start.
+    :param wt: test-time weight ``w_T`` (area weight ``1 - wt``).
+    :param strategies: strategy names for :func:`default_lanes` when
+        *lanes* is a count.
+    :param base_seed: seed of lane 0 when *lanes* is a count.
+    :param gate: enable the lower-bound pruning gate.
+    :param start_method: explicit ``multiprocessing`` start method for
+        a pool created by this call (ignored with *pool*).
+    :param pool: a persistent :class:`PortfolioPool` to reuse
+        (``workers`` is then taken from the pool).
+    :param model: optional pre-built cost model for the in-process
+        modes (ignored by lane mode, whose workers build their own).
+    :param pack_kwargs: forwarded to the rectangle packer (ignored
+        when *model* is given).
+    :raises ValueError: on no budget at all, or when every lane ended
+        without a single un-gated evaluation (cannot happen with a
+        fresh incumbent and a budget >= 1).
+    """
+    if isinstance(lanes, int):
+        lane_specs = default_lanes(lanes, strategies, base_seed)
+    else:
+        lane_specs = tuple(lanes)
+        if not lane_specs:
+            raise ValueError("need at least one lane")
+    for lane in lane_specs:
+        if lane.strategy not in registry.strategy_names():
+            raise ValueError(
+                f"unknown strategy {lane.strategy!r}; available: "
+                f"{', '.join(registry.strategy_names())}"
+            )
+    if budget is None and max_seconds is None:
+        raise ValueError(
+            "an unlimited portfolio needs max_seconds (lanes do not "
+            "all stall on large spaces)"
+        )
+    if pool is not None:
+        workers = pool.workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    started = time.perf_counter()
+    if workers == 1:
+        mode = "inline"
+        if model is None:
+            model = _build_model(soc, width, wt, pack_kwargs)
+        outcomes = _run_in_parent(
+            model, lane_specs, gate, budget, max_seconds
+        )
+    else:
+        config_bytes = portfolio_config(soc, width, wt, **pack_kwargs)
+        owned = pool is None
+        if owned:
+            pool = PortfolioPool(workers, start_method)
+        try:
+            if len(lane_specs) >= workers:
+                mode = "lanes"
+                pool.reset(budget)
+                outcomes = pool.run_lanes(
+                    config_bytes, lane_specs, gate, max_seconds, budget
+                )
+            else:
+                mode = "evals"
+                pool.reset(None)  # parent meters the budget itself
+                if model is None:
+                    model = _build_model(soc, width, wt, pack_kwargs)
+                outcomes = _run_in_parent(
+                    model, lane_specs, gate, budget, max_seconds,
+                    batch_cost=pool.batch_cost(config_bytes),
+                )
+        finally:
+            if owned:
+                pool.close()
+
+    elapsed = time.perf_counter() - started
+    settled = [o for o in outcomes if o.best_partition is not None]
+    if not settled:
+        raise ValueError(
+            "no lane completed a single un-gated evaluation — "
+            "the budget expired before the portfolio could start"
+        )
+    best = min(settled, key=lambda o: (o.best_cost, o.best_partition))
+    return PortfolioOutcome(
+        lanes=lane_specs,
+        outcomes=tuple(outcomes),
+        best_partition=best.best_partition,
+        best_cost=best.best_cost,
+        n_evaluated=sum(o.n_evaluated for o in outcomes),
+        n_packs=sum(o.n_packs for o in outcomes),
+        n_gated=sum(o.n_gated for o in outcomes),
+        elapsed_s=elapsed,
+        workers=workers,
+        mode=mode,
+        budget_total=budget,
+    )

@@ -31,7 +31,14 @@ from ..core.sharing import Partition, format_partition
 from .budget import Budget, BudgetExhausted
 from .problem import SearchProblem, TracePoint
 
-__all__ = ["SearchOutcome", "SearchStrategy", "run_strategy"]
+__all__ = [
+    "BatchProposeStrategy",
+    "ProposeObserveStrategy",
+    "SearchOutcome",
+    "SearchStrategy",
+    "build_outcome",
+    "run_strategy",
+]
 
 #: Consecutive steps without a single paid evaluation after which the
 #: run loop declares the strategy stalled (it is only re-proposing
@@ -88,6 +95,42 @@ class SearchStrategy(ABC):
     def observe(self, partition: Partition, cost: float) -> None:
         """Digest an evaluated ``(candidate, cost)`` pair."""
 
+    def propose_batch(self) -> list[Partition]:
+        """The next *independent* candidate batch for one step.
+
+        The batched half of the anytime protocol: where
+        :meth:`propose` yields one candidate whose successor may
+        depend on its cost, :meth:`propose_batch` yields a set of
+        candidates whose costs the strategy can digest *together* (via
+        :meth:`observe_batch`), with no intra-batch data dependency.
+        That independence is what lets a parallel driver
+        (:func:`repro.search.parallel.portfolio_search`) fan the
+        batch's evaluations across idle pool workers instead of paying
+        for them one at a time — a lane's wall-clock per step shrinks
+        to that of its slowest candidate.
+
+        Inherently sequential strategies (simulated annealing's
+        Metropolis walk) keep the default single-candidate batch and
+        still work everywhere, just without intra-step parallelism;
+        population and sampling strategies (greedy, tabu, genetic)
+        override it to expose their natural batch (the step's neighbor
+        sample, the generation's unscored members).
+
+        Contract: one call to :meth:`propose_batch` followed by one
+        call to :meth:`observe_batch` with the evaluated costs is
+        exactly one :meth:`step` — strategies must keep the two
+        decompositions behaviorally identical, RNG stream included, so
+        serial and batched drivers produce the same trajectory.
+        """
+        return [self.propose()]
+
+    def observe_batch(
+        self, partitions: list[Partition], costs: list[float]
+    ) -> None:
+        """Digest one evaluated batch (see :meth:`propose_batch`)."""
+        for partition, cost in zip(partitions, costs):
+            self.observe(partition, cost)
+
     @abstractmethod
     def step(self) -> None:
         """Perform one anytime iteration.
@@ -114,6 +157,22 @@ class ProposeObserveStrategy(SearchStrategy):
         _propose_observe_step(self)
 
 
+class BatchProposeStrategy(SearchStrategy):
+    """A strategy whose step is propose_batch → evaluate → observe_batch.
+
+    Subclasses implement :meth:`~SearchStrategy.propose_batch` and
+    :meth:`~SearchStrategy.observe_batch`; the serial :meth:`step`
+    evaluates the batch one by one through the problem (identical
+    costs, identical RNG stream), while batched drivers swap the loop
+    for :meth:`~repro.search.problem.SearchProblem.evaluate_batch`.
+    """
+
+    def step(self) -> None:
+        batch = self.propose_batch()
+        costs = [self.problem.evaluate(candidate) for candidate in batch]
+        self.observe_batch(batch, costs)
+
+
 @dataclass(frozen=True)
 class SearchOutcome:
     """Everything one strategy run produced.
@@ -138,7 +197,7 @@ class SearchOutcome:
 
     strategy: str
     seed: int
-    best_partition: Partition
+    best_partition: Partition | None
     best_cost: float
     n_evaluated: int
     n_packs: int
@@ -181,9 +240,13 @@ class SearchOutcome:
 
     def summary(self) -> str:
         """One-line human-readable outcome."""
+        where = (
+            format_partition(self.best_partition)
+            if self.best_partition is not None else "(all gated)"
+        )
         return (
             f"{self.strategy:8s} best {self.best_cost:7.2f} at "
-            f"{format_partition(self.best_partition)} "
+            f"{where} "
             f"({self.n_evaluated} evaluations, {self.n_packs} packs, "
             f"{self.n_gated} gated, "
             f"{self.n_steps} steps, {self.elapsed_s:.2f}s"
@@ -195,6 +258,7 @@ def run_strategy(
     strategy: SearchStrategy,
     problem: SearchProblem,
     seed: int = 0,
+    allow_empty: bool = False,
 ) -> SearchOutcome:
     """Drive *strategy* on *problem* until its budget runs out.
 
@@ -208,8 +272,13 @@ def run_strategy(
     guard alone, which small instances reach quickly once every
     partition the strategy can think of is cached.
 
-    :raises ValueError: if the budget allowed no evaluation at all
-        (e.g. a wall-clock budget that expired before the first step).
+    :param allow_empty: tolerate a run with no improving evaluation
+        (see :func:`build_outcome`) — portfolio lanes whose shared
+        ledger was drained, or whose every candidate the shared
+        incumbent gate pruned, end this way legitimately.
+    :raises ValueError: (unless *allow_empty*) if the budget allowed
+        no evaluation at all (e.g. a wall-clock budget that expired
+        before the first step).
     """
     budget = problem.budget.start()
     rng = random.Random(seed)
@@ -232,9 +301,37 @@ def run_strategy(
                 stall_steps = 0
     except BudgetExhausted:
         pass
-    if problem.best_partition is None:
+    return build_outcome(
+        strategy, problem, seed, steps, stalled, allow_empty=allow_empty
+    )
+
+
+def build_outcome(
+    strategy: SearchStrategy,
+    problem: SearchProblem,
+    seed: int,
+    steps: int,
+    stalled: bool,
+    allow_empty: bool = False,
+) -> SearchOutcome:
+    """Assemble the :class:`SearchOutcome` of a finished run.
+
+    Shared by :func:`run_strategy` and the portfolio lane drivers
+    (:mod:`repro.search.parallel`), so every run loop reports identical
+    accounting.
+
+    :param allow_empty: accept a run with no improving evaluation —
+        possible for a portfolio lane whose every candidate was pruned
+        by the *shared* incumbent gate — and report it with
+        ``best_partition None`` / infinite cost instead of raising.
+    :raises ValueError: (unless *allow_empty*) if the run produced no
+        usable evaluation at all (e.g. a wall-clock budget that
+        expired before the first step, or a shared ledger drained by
+        sibling lanes).
+    """
+    if problem.best_partition is None and not allow_empty:
         raise ValueError(
-            f"budget ({budget.describe()}) allowed no evaluation"
+            f"budget ({problem.budget.describe()}) allowed no evaluation"
         )
     return SearchOutcome(
         strategy=strategy.name or type(strategy).__name__,
@@ -245,8 +342,8 @@ def run_strategy(
         n_packs=problem.n_packs,
         n_gated=problem.n_gated,
         n_steps=steps,
-        elapsed_s=budget.elapsed_s,
-        budget=budget.describe(),
+        elapsed_s=problem.budget.elapsed_s,
+        budget=problem.budget.describe(),
         stalled=stalled,
         trace=tuple(problem.trace),
     )

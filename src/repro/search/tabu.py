@@ -13,13 +13,19 @@ from __future__ import annotations
 from collections import deque
 
 from .moves import random_neighbor, random_partition
-from .strategy import SearchStrategy
+from .strategy import BatchProposeStrategy
 
 __all__ = ["TabuSearch"]
 
 
-class TabuSearch(SearchStrategy):
+class TabuSearch(BatchProposeStrategy):
     """Best-of-sample descent with a recency tabu list.
+
+    One step's neighbor sample is independent, so it is exposed whole
+    through :meth:`~repro.search.strategy.SearchStrategy.propose_batch`
+    for parallel lanes; the aspiration reference (the incumbent cost)
+    is pinned at propose time so serial and batched runs take
+    identical trajectories.
 
     :param tenure: how many recent incumbents stay tabu.
     :param samples: neighbors sampled per step.
@@ -50,19 +56,28 @@ class TabuSearch(SearchStrategy):
         self._tabu.append(partition)
         self._tabu_set.add(partition)
 
-    def step(self) -> None:
+    def propose_batch(self):
         if self._current_cost is None:
-            self._current_cost = self.problem.evaluate(self._current)
+            self._aspiration = float("inf")
+            return [self._current]
+        # pin the aspiration reference before any of the batch is paid
+        # for, exactly where the serial loop read it
+        _, self._aspiration = self.best_so_far
+        return [
+            random_neighbor(self._current, self.rng)
+            for _ in range(self.samples)
+        ]
+
+    def observe_batch(self, partitions, costs) -> None:
+        if self._current_cost is None:
+            self._current_cost = costs[0]
             self._make_tabu(self._current)
             return
-        _, incumbent_cost = self.best_so_far
         scored = []
-        for _ in range(self.samples):
-            candidate = random_neighbor(self._current, self.rng)
-            cost = self.problem.evaluate(candidate)
+        for candidate, cost in zip(partitions, costs):
             admissible = (
                 candidate not in self._tabu_set
-                or cost < incumbent_cost  # aspiration
+                or cost < self._aspiration  # aspiration
             )
             scored.append((cost, admissible, candidate))
         admitted = [s for s in scored if s[1]] or scored

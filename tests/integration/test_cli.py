@@ -101,6 +101,41 @@ class TestSearchCommands:
         assert main(["optimize", "--budget", "0", "--smoke"]) == 2
         assert "--budget" in capsys.readouterr().err
 
+    def test_optimize_portfolio_inline(self, capsys, tmp_path,
+                                       monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--strategy", "all", "--smoke",
+             "--portfolio", "4", "--budget", "40",
+             "--trace", "portfolio.jsonl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "portfolio:" in out
+        assert "4 lanes" in out
+        assert (tmp_path / "portfolio.jsonl").exists()
+
+    def test_optimize_workers_implies_portfolio(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--smoke", "--workers", "2", "--budget", "20",
+             "--trace", ""]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "portfolio:" in out
+        assert "2 worker(s)" in out
+
+    def test_optimize_bad_workers_is_cli_error(self, capsys):
+        assert main(
+            ["optimize", "--smoke", "--workers", "0"]
+        ) == 2
+        assert main(
+            ["optimize", "--smoke", "--portfolio", "-1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "--portfolio" in err
+
     def test_sweep_strategy_axis(self, capsys, tmp_path):
         out_path = tmp_path / "sweep.jsonl"
         traces = tmp_path / "traces"
@@ -140,6 +175,23 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "gated anneal" in out
+
+    def test_sweep_explicit_start_method(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--smoke", "--no-cache", "--jobs", "2",
+             "--start-method", "fork", "--out", str(out_path)]
+        ) == 0
+        assert "Sweep results" in capsys.readouterr().out
+
+    def test_profile_workers_scaling_report(self, capsys):
+        assert main(
+            ["--workload", "mini", "profile", "--width", "8",
+             "--evals", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "portfolio scaling" in out
+        assert "2 worker(s)" in out
 
     def test_profile_rejects_bad_evals(self, capsys):
         assert main(

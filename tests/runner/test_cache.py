@@ -1,6 +1,11 @@
-"""Tests for the content-hash keyed disk cache."""
+"""Tests for the content-hash keyed disk cache and its memo layer."""
 
-from repro.runner import DiskCache, content_key
+import json
+
+import pytest
+
+from repro.runner import DiskCache, MemoCache, content_key
+from repro.runner.cache import clear_memo
 
 
 class TestContentKey:
@@ -60,3 +65,95 @@ class TestDiskCache:
         cache.put(content_key("b"), 1)
         cache.get(content_key("b"))
         assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        for i in range(5):
+            cache.put(content_key(f"k{i}"), {"i": i})
+        leftovers = [
+            p for p in (tmp_path / "c").rglob("*")
+            if p.is_file() and p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_put_cleans_temp_on_failure(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        with pytest.raises(TypeError):
+            cache.put(content_key("bad"), {"x": object()})
+        leftovers = [
+            p for p in (tmp_path / "c").rglob("*") if p.is_file()
+        ]
+        assert leftovers == []
+
+    def test_concurrent_writers_leave_valid_json(self, tmp_path):
+        """Threaded same-key writers can never tear an entry."""
+        import threading
+
+        cache = DiskCache(tmp_path / "c")
+        key = content_key("contended")
+        value = {"points": list(range(200))}
+        threads = [
+            threading.Thread(target=cache.put, args=(key, value))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        raw = cache._path(key).read_text()
+        assert json.loads(raw) == value
+
+
+class TestMemoCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self):
+        clear_memo()
+        yield
+        clear_memo()
+
+    def test_read_through_and_write_through(self, tmp_path):
+        memo = MemoCache(DiskCache(tmp_path / "c"))
+        key = content_key("k")
+        assert memo.get(key) is None
+        memo.put(key, [1, 2])
+        assert memo.get(key) == [1, 2]
+        assert memo.memo_hits == 1
+        # the write really reached the disk
+        assert DiskCache(tmp_path / "c").get(key) == [1, 2]
+
+    def test_memo_survives_new_instances_same_root(self, tmp_path):
+        first = MemoCache(DiskCache(tmp_path / "c"))
+        key = content_key("shared")
+        first.put(key, {"a": 1})
+        second = MemoCache(DiskCache(tmp_path / "c"))
+        # remove the disk entry: only the process memo can answer now
+        first.disk._path(key).unlink()
+        assert second.get(key) == {"a": 1}
+        assert second.memo_hits == 1
+        assert second.disk.misses == 0
+
+    def test_disk_fallback_memoizes(self, tmp_path):
+        DiskCache(tmp_path / "c").put(content_key("d"), 7)
+        memo = MemoCache(DiskCache(tmp_path / "c"))
+        assert memo.get(content_key("d")) == 7  # from disk
+        assert memo.memo_hits == 0
+        assert memo.get(content_key("d")) == 7  # from memo now
+        assert memo.memo_hits == 1
+        assert memo.hits == 1  # the one disk read
+
+    def test_clear_memo_forces_disk_reads(self, tmp_path):
+        memo = MemoCache(DiskCache(tmp_path / "c"))
+        key = content_key("x")
+        memo.put(key, 1)
+        clear_memo()
+        fresh = MemoCache(DiskCache(tmp_path / "c"))
+        assert fresh.get(key) == 1
+        assert fresh.memo_hits == 0
+        assert fresh.hits == 1
+
+    def test_contains(self, tmp_path):
+        memo = MemoCache(DiskCache(tmp_path / "c"))
+        key = content_key("y")
+        assert key not in memo
+        memo.put(key, 1)
+        assert key in memo

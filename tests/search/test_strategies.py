@@ -124,6 +124,69 @@ class TestOptimizeEntryPoint:
         assert all(r["workload"] == "big8m" for r in records)
 
 
+class TestProposeBatch:
+    """The batched half of the strategy protocol (PR 4)."""
+
+    def _bound(self, name, model, seed=0):
+        import random
+
+        from repro.search import Budget, SearchProblem
+
+        strategy = registry.create(name)
+        problem = SearchProblem(model, Budget(max_evaluations=100))
+        problem.budget.start()
+        strategy.bind(problem, random.Random(seed))
+        return strategy, problem
+
+    def test_sequential_strategies_batch_one(self, big8_model):
+        strategy, _ = self._bound("anneal", big8_model)
+        assert len(strategy.propose_batch()) == 1
+
+    @pytest.mark.parametrize("name,expected",
+                             [("greedy", 4), ("tabu", 6),
+                              ("genetic", 12)])
+    def test_sampling_strategies_expose_their_batch(
+        self, big8_model, name, expected
+    ):
+        strategy, problem = self._bound(name, big8_model)
+        # first step is the starting point / initial population
+        first = strategy.propose_batch()
+        costs = [problem.evaluate(c) for c in first]
+        strategy.observe_batch(first, costs)
+        second = strategy.propose_batch()
+        assert len(second) == expected
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_batch_then_observe_equals_step(self, big8_soc, name):
+        """One propose_batch + observe_batch cycle IS one step: the
+        protocol contract batched drivers rely on."""
+        from .conftest import quick_model
+
+        via_step = run_on(
+            quick_model(big8_soc, width=16), name, budget=30, seed=9
+        )
+        import random
+
+        from repro.search import Budget, BudgetExhausted, SearchProblem
+
+        model = quick_model(big8_soc, width=16)
+        problem = SearchProblem(model, Budget(max_evaluations=30))
+        problem.budget.start()
+        strategy = registry.create(name)
+        strategy.bind(problem, random.Random(9))
+        try:
+            for _ in range(10_000):
+                if problem.budget.exhausted:
+                    break
+                batch = strategy.propose_batch()
+                costs = [problem.evaluate(c) for c in batch]
+                strategy.observe_batch(batch, costs)
+        except BudgetExhausted:
+            pass
+        assert problem.best_cost == via_step.best_cost
+        assert problem.best_partition == via_step.best_partition
+
+
 class TestCrossover:
     def test_child_covers_all_names(self):
         rng = random.Random(0)

@@ -1,6 +1,6 @@
 """Evaluation-engine benchmark: throughput, parity, and gate skip rates.
 
-Three studies, recorded into ``BENCH_eval.json`` (the repo's perf
+Four studies, recorded into ``BENCH_eval.json`` (the repo's perf
 trajectory for the schedule-evaluation hot path):
 
 * **parity** — the fast engine (:class:`repro.tam.packing.PackContext`
@@ -18,6 +18,15 @@ trajectory for the schedule-evaluation hot path):
   best cost is <= the pre-PR best and its wall-clock is strictly
   smaller.  The gate skip rate and pack-context counters land in the
   record.
+* **power** — the power-constrained workload family (``big12mp``,
+  the stress preset with per-test ratings and a binding budget):
+  fast-vs-seed parity on sampled partitions, every schedule's peak
+  draw within the budget, and a gated anneal search so the
+  lower-bound gate-skip machinery is measured under the power-volume
+  bound.  Gates: parity and budget compliance (the
+  constrained-vs-unconstrained makespan stretch is recorded,
+  not gated — a binding budget usually lengthens schedules but a
+  greedy packer may legally land shorter).
 
 With ``--gate``, the record is additionally compared against the
 committed ``BENCH_eval.json``: a >10% drop in big12m evaluations/sec
@@ -61,6 +70,10 @@ PARITY_PRESETS = {
 #: the throughput/search workload (12 analog cores, Bell(12) space)
 STRESS_WORKLOAD = "big12m"
 STRESS_WIDTH = 32
+
+#: the power study's workload: the same scenario with per-test power
+#: ratings and a binding SOC power budget
+POWER_WORKLOAD = "big12mp"
 
 
 def _sample(soc, limit, seed=0):
@@ -177,9 +190,85 @@ def search_study(effort: str, budget: int) -> dict:
     }
 
 
+def power_study(effort: str, n_partitions: int, budget: int) -> dict:
+    """The power-constrained scenario: parity, compliance, gate skips.
+
+    Streams sampled partitions of the power-annotated stress preset
+    through both engines (checking makespan parity and that every
+    schedule's peak draw respects the budget), compares against the
+    unconstrained twin, and runs a gated anneal search so the
+    lower-bound gate — now including the power-volume term — is
+    measured on the new workload family.
+    """
+    soc = build(POWER_WORKLOAD)
+    unconstrained = build(POWER_WORKLOAD).with_power_budget(None)
+    partitions = _sample(soc, n_partitions)
+
+    def run(soc_variant, engine):
+        evaluator = ScheduleEvaluator(
+            soc_variant, STRESS_WIDTH, engine=engine,
+            **PACK_EFFORT[effort],
+        )
+        started = time.perf_counter()
+        schedules = [evaluator.schedule(p) for p in partitions]
+        return time.perf_counter() - started, schedules
+
+    fast_s, fast_schedules = run(soc, "fast")
+    seed_s, seed_schedules = run(soc, "reference")
+    _, free_schedules = run(unconstrained, "fast")
+
+    parity = [s.makespan for s in fast_schedules] \
+        == [s.makespan for s in seed_schedules]
+    overruns = sum(
+        1 for s in fast_schedules + seed_schedules
+        if s.peak_power > soc.power_budget
+    )
+    # informational: how often the constrained heuristic lands below
+    # the unconstrained one (possible — a power-delayed task can free
+    # a window that lets the critical path start earlier — so this is
+    # recorded but deliberately NOT gated)
+    undercuts = sum(
+        1 for constrained, free
+        in zip(fast_schedules, free_schedules)
+        if constrained.makespan < free.makespan
+    )
+    stretch = sum(s.makespan for s in fast_schedules) / max(
+        1, sum(s.makespan for s in free_schedules)
+    )
+
+    model = _model(soc, STRESS_WIDTH, effort)
+    problem = SearchProblem(
+        model, Budget(max_evaluations=budget), gate=True
+    )
+    outcome = run_strategy(registry.create("anneal"), problem, seed=0)
+
+    return {
+        "workload": POWER_WORKLOAD,
+        "width": STRESS_WIDTH,
+        "power_budget": soc.power_budget,
+        "n_partitions": len(partitions),
+        "fast_evals_per_s": round(len(partitions) / fast_s, 2),
+        "seed_evals_per_s": round(len(partitions) / seed_s, 2),
+        "speedup": round(seed_s / fast_s, 3),
+        "parity": parity,
+        "budget_overruns": overruns,
+        "constrained_undercuts_free": undercuts,
+        "makespan_stretch": round(stretch, 4),
+        "search": {
+            "budget": budget,
+            "best_cost": round(outcome.best_cost, 4),
+            "n_evaluated": outcome.n_evaluated,
+            "n_gated": outcome.n_gated,
+            "gate_skip_rate": round(
+                outcome.n_gated / max(1, outcome.n_evaluated), 4
+            ),
+        },
+    }
+
+
 def run_bench(effort: str = "medium", per_preset: int = 8,
               n_partitions: int = 40, budget: int = 2000) -> dict:
-    """The full benchmark record (all three studies)."""
+    """The full benchmark record (all four studies)."""
     record = {
         "benchmark": "eval",
         "config": {
@@ -192,6 +281,8 @@ def run_bench(effort: str = "medium", per_preset: int = 8,
         "parity": parity_study(effort, per_preset),
         "throughput": throughput_study(effort, n_partitions),
         "search": search_study(effort, budget),
+        "power": power_study(effort, min(n_partitions, 25),
+                             min(budget, 500)),
     }
     record["gates"] = {
         "parity": record["parity"]["parity"]
@@ -201,6 +292,8 @@ def run_bench(effort: str = "medium", per_preset: int = 8,
         <= record["search"]["old_best_cost"],
         "search_wallclock": record["search"]["new_wall_s"]
         < record["search"]["old_wall_s"],
+        "power_parity": record["power"]["parity"],
+        "power_compliance": record["power"]["budget_overruns"] == 0,
     }
     return record
 
@@ -305,6 +398,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{search['old_best_cost']} in {search['new_wall_s']}s vs "
           f"{search['old_wall_s']}s; gate skipped "
           f"{100 * search['gate_skip_rate']:.1f}% of evaluations")
+    power = record["power"]
+    print(f"power ({power['workload']}, budget {power['power_budget']}): "
+          f"parity {'OK' if power['parity'] else 'MISMATCH'}, "
+          f"{power['budget_overruns']} overruns, makespan stretch "
+          f"{power['makespan_stretch']}x, gated anneal skipped "
+          f"{100 * power['search']['gate_skip_rate']:.1f}%")
     print(f"wrote {args.out} ({record['total_s']}s)")
 
     failures = [

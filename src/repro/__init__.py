@@ -135,6 +135,13 @@ class TestPlan:
             f"({len(self.partition)} analog wrappers)",
             f"test time: {self.schedule.makespan} cycles "
             f"(C_T = {self.time_cost:.1f})",
+        ]
+        if self.schedule.power_budget is not None:
+            lines.append(
+                f"peak power: {self.schedule.peak_power} "
+                f"(budget {self.schedule.power_budget})"
+            )
+        lines += [
             f"area cost: C_A = {self.area_cost:.1f}",
             f"total cost: {self.result.best_cost:.1f}",
             f"TAM evaluations: {self.result.n_evaluated} of "

@@ -142,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp.add_argument("--delta", type=float, default=0.0)
     pp.add_argument(
+        "--power-budget", type=int, default=None,
+        help="SOC instantaneous power ceiling (overrides the "
+             "workload's own; requires power-rated tests to bind)",
+    )
+    pp.add_argument(
         "--exhaustive", action="store_true",
         help="evaluate every combination instead of the heuristic",
     )
@@ -221,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
              "overrides the global --effort preset's pack knobs",
     )
     po.add_argument(
+        "--power-budget", type=int, default=None,
+        help="SOC instantaneous power ceiling (overrides the "
+             "workload's own; see the *p power-annotated presets)",
+    )
+    po.add_argument(
         "--smoke", action="store_true",
         help="fast CI path: the 'mini' workload at width 8, quick effort",
     )
@@ -257,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pack-effort", choices=("fast", "paper", "thorough"),
         default=None,
         help="packer throughput tier (see 'optimize --pack-effort')",
+    )
+    pb.add_argument(
+        "--power-budget", type=int, default=None,
+        help="SOC instantaneous power ceiling (overrides the "
+             "workload's own)",
     )
     pb.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                     help="workload seed")
@@ -333,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="packer throughput tier for every job, resolved onto the "
              "SweepJob shuffles/improvement-passes knobs (see "
              "'optimize --pack-effort')",
+    )
+    ps.add_argument(
+        "--power-budget", nargs="+", default=None,
+        help="SOC instantaneous power ceilings to sweep as a grid "
+             "axis (comma- or space-separated; overrides each "
+             "workload's own budget)",
     )
     ps.add_argument(
         "--trace-dir", default=None,
@@ -437,6 +458,8 @@ def _run_optimize(args: argparse.Namespace) -> str:
     try:
         weights = CostWeights(time=args.wt, area=1.0 - args.wt)
         soc = workloads.build(workload, args.seed)
+        if args.power_budget is not None:
+            soc = soc.with_power_budget(args.power_budget)
     except (KeyError, ValueError) as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
 
@@ -590,6 +613,8 @@ def _run_profile(args: argparse.Namespace) -> str:
         raise _CliError(f"--workers must be >= 1, got {args.workers}")
     try:
         soc = workloads.build(args.workload, args.seed)
+        if args.power_budget is not None:
+            soc = soc.with_power_budget(args.power_budget)
     except (KeyError, ValueError) as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
     if not soc.analog_cores:
@@ -723,6 +748,9 @@ def _run_sweep(args: argparse.Namespace) -> str:
             "shuffles": tier["shuffles"],
             "improvement_passes": tier["improvement_passes"],
         }
+    power_budgets: tuple[int | None, ...] = (None,)
+    if args.power_budget is not None:
+        power_budgets = _int_list(args.power_budget)
     try:
         jobs = expand_grid(
             presets,
@@ -738,6 +766,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
             search_seed=(
                 args.search_seed if args.search_seed is not None else 0
             ),
+            power_budgets=power_budgets,
         )
     except ValueError as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
@@ -833,10 +862,13 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
     if command == "plan":
         try:
             weights = CostWeights(time=args.wt, area=1.0 - args.wt)
+            soc = context.soc
+            if args.power_budget is not None:
+                soc = soc.with_power_budget(args.power_budget)
         except ValueError as exc:
             raise _CliError(exc.args[0] if exc.args else exc) from None
         plan = plan_test(
-            soc=context.soc,
+            soc=soc,
             width=args.width,
             weights=weights,
             delta=args.delta,

@@ -33,7 +33,11 @@ from dataclasses import dataclass
 
 from ..soc.model import Soc
 from ..tam.builder import analog_tasks, digital_tasks
-from ..tam.lower_bound import critical_task_bound, volume_bound
+from ..tam.lower_bound import (
+    critical_task_bound,
+    power_volume_bound,
+    volume_bound,
+)
 from ..tam.packing import PackContext, PackStats, pack
 from ..tam.schedule import Schedule
 from ..wrapper.pareto import ParetoCache
@@ -120,6 +124,9 @@ class ScheduleEvaluator:
         self.width = width
         self.include_self_test = include_self_test
         self.engine = engine
+        #: SOC-level instantaneous power ceiling (from the SOC; None =
+        #: unconstrained).  Threaded into every pack and every bound.
+        self.power_budget = soc.power_budget
         self._pack_kwargs = pack_kwargs
         self._pareto = pareto or ParetoCache(width)
         self._digital = digital_tasks(soc, self._pareto)
@@ -177,24 +184,31 @@ class ScheduleEvaluator:
         """Partition-invariant makespan lower bound, in TAM cycles.
 
         The volume and critical-task bounds over the full task set
-        (digital staircases plus rigid analog rectangles) do not depend
-        on the sharing partition; computed once per evaluator.
+        (digital staircases plus rigid analog rectangles) — and, under
+        a power budget, the power-volume bound — do not depend on the
+        sharing partition; computed once per evaluator.
         """
         if self._invariant_bound is None:
             tasks = self._digital + analog_tasks(self.soc.analog_cores, None)
-            self._invariant_bound = max(
+            bound = max(
                 volume_bound(tasks, self.width),
                 critical_task_bound(tasks),
             )
+            if self.power_budget is not None:
+                bound = max(
+                    bound, power_volume_bound(tasks, self.power_budget)
+                )
+            self._invariant_bound = bound
         return self._invariant_bound
 
     def makespan_lower_bound(self, partition: Partition) -> int:
         """Admissible makespan lower bound for *partition*, in cycles.
 
-        The partition-invariant bound combined with the busiest-wrapper
-        serialization bound (Section 3); no scheduling happens.  Not
-        valid with ``include_self_test`` (BIST tasks add serialized
-        wrapper time the core-level bound does not see).
+        The partition-invariant bound (volume, critical-task, and —
+        under a power budget — power-volume) combined with the
+        busiest-wrapper serialization bound (Section 3); no scheduling
+        happens.  Not valid with ``include_self_test`` (BIST tasks add
+        serialized wrapper time the core-level bound does not see).
         """
         return max(
             self.invariant_time_bound,
@@ -210,17 +224,24 @@ class ScheduleEvaluator:
         if self.engine == "reference":
             from ..tam.reference import reference_pack
 
-            return reference_pack(tasks, self.width, **self._pack_kwargs)
+            return reference_pack(
+                tasks, self.width, power_budget=self.power_budget,
+                **self._pack_kwargs,
+            )
         if self.include_self_test:
             # self-test adds one task per wrapper, so the task *set*
             # varies with the partition and no context can be shared
-            return pack(tasks, self.width, **self._pack_kwargs)
+            return pack(
+                tasks, self.width, power_budget=self.power_budget,
+                **self._pack_kwargs,
+            )
         if self._context is None:
             reference = self._digital + analog_tasks(
                 self.soc.analog_cores, None
             )
             self._context = PackContext(
-                reference, self.width, **self._pack_kwargs
+                reference, self.width, power_budget=self.power_budget,
+                **self._pack_kwargs,
             )
         return self._context.pack(tasks)
 

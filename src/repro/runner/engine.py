@@ -65,13 +65,13 @@ from .pool import WorkerPool
 __all__ = ["SweepResult", "run_sweep", "evaluate_job", "trace_path"]
 
 #: Bump to invalidate every cached entry after a semantic change to the
-#: evaluation flow or the record layout.  v4: the pruning gate now
-#: references a *shared* incumbent when searches cooperate (portfolio
-#: lanes, racing strategies), so a gated candidate's recorded cost —
-#: the admissible bound — can differ from what a v3 solo search
-#: recorded, changing metaheuristic trajectories; schedule/cost parity
-#: for any given partition is unaffected.  (v3: the gate itself.)
-CACHE_VERSION = 4
+#: evaluation flow or the record layout.  v5: the cache key grows a
+#: power axis (``SweepJob.power_budget`` + power-annotated SOC
+#: digests), results record ``peak_power``, and the batch-first
+#: simulated annealing draws its acceptance uniforms unconditionally —
+#: changing anneal search trajectories.  (v4: the shared-incumbent
+#: gate; v3: the gate itself.)
+CACHE_VERSION = 5
 
 #: Paper-flow jobs enumerate the Table 1 sharing family, which passes
 #: through the Bell-number space of all partitions; past this many
@@ -116,6 +116,7 @@ def _job_key(job: SweepJob, soc_digest: str) -> str:
         "strategy": job.strategy,
         "budget": job.budget,
         "search_seed": job.search_seed,
+        "power_budget": job.power_budget,
     })
 
 
@@ -148,13 +149,13 @@ def _primed_pareto(
         stored = cache.get(key) if cache is not None else None
         if stored is not None:
             pareto.prime(
-                core.name,
+                core,
                 tuple(ParetoPoint(width=w, time=t) for w, t in stored),
             )
             hits += 1
             continue
         points = pareto_points(core, width)
-        pareto.prime(core.name, points)
+        pareto.prime(core, points)
         if cache is not None:
             cache.put(key, [[p.width, p.time] for p in points])
         misses += 1
@@ -215,6 +216,10 @@ def evaluate_job(
     started = time.perf_counter()
     cache = MemoCache(DiskCache(cache_dir)) if cache_dir else None
     soc = _build_soc(job.workload, job.seed)
+    if job.power_budget is not None:
+        # applied before the digest so the cache key sees the budget
+        # through the SOC content as well as the explicit job field
+        soc = soc.with_power_budget(job.power_budget)
 
     job_key = None
     if cache is not None:
@@ -269,6 +274,7 @@ def evaluate_job(
         n_digital=soc.n_digital,
         n_analog=soc.n_analog,
         makespan=breakdown.makespan,
+        peak_power=evaluator.schedule(outcome.best_partition).peak_power,
         partition=format_partition(outcome.best_partition),
         n_wrappers=len(outcome.best_partition),
         time_cost=breakdown.time_cost,

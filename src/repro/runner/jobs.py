@@ -45,6 +45,9 @@ class SweepJob:
         with *strategy*).
     :param search_seed: RNG seed of the search run (independent of the
         workload seed so strategy restarts can be swept too).
+    :param power_budget: SOC-level instantaneous power ceiling applied
+        to the built SOC (``None`` keeps the workload's own budget —
+        which is also ``None`` for the unannotated presets).
     """
 
     workload: str
@@ -59,6 +62,7 @@ class SweepJob:
     strategy: str = ""
     budget: int = 0
     search_seed: int = 0
+    power_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -74,6 +78,10 @@ class SweepJob:
                             ("improvement_passes", self.improvement_passes)):
             if value is not None and value < 0:
                 raise ValueError(f"{knob} must be >= 0, got {value}")
+        if self.power_budget is not None and self.power_budget < 1:
+            raise ValueError(
+                f"power_budget must be >= 1, got {self.power_budget}"
+            )
         if self.strategy:
             from ..search import registry as search_registry
 
@@ -125,6 +133,7 @@ class JobResult:
     n_digital: int = 0
     n_analog: int = 0
     makespan: int = 0
+    peak_power: int = 0
     partition: str = ""
     n_wrappers: int = 0
     time_cost: float = 0.0
@@ -165,6 +174,7 @@ def expand_grid(
     strategies: Sequence[str] = ("",),
     budget: int = 0,
     search_seed: int = 0,
+    power_budgets: Sequence[int | None] = (None,),
 ) -> tuple[SweepJob, ...]:
     """The full cartesian job grid, in deterministic order.
 
@@ -172,13 +182,15 @@ def expand_grid(
     default) keeps the paper flow, while e.g.
     ``("greedy", "anneal", "tabu", "genetic")`` fans every (workload ×
     width × weight) cell out once per strategy, each under *budget*
-    evaluations.
+    evaluations.  The *power_budgets* axis sweeps SOC power ceilings
+    the same way (``None`` = the workload's own budget, if any).
 
     :raises ValueError: if any axis is empty.
     """
     seeds = tuple(seeds)
+    power_budgets = tuple(power_budgets)
     if not workloads or not widths or not wts or not seeds \
-            or not strategies:
+            or not strategies or not power_budgets:
         raise ValueError("every grid axis needs at least one value")
     return tuple(
         SweepJob(
@@ -194,10 +206,12 @@ def expand_grid(
             strategy=strategy,
             budget=budget if strategy else 0,
             search_seed=search_seed if strategy else 0,
+            power_budget=power_budget,
         )
         for workload in workloads
         for seed in seeds
         for width in widths
         for wt in wts
         for strategy in strategies
+        for power_budget in power_budgets
     )

@@ -1,4 +1,4 @@
-"""Simulated annealing with partition-move neighborhoods.
+"""Simulated annealing with partition-move neighborhoods, batch-first.
 
 Classic Metropolis acceptance over the merge/split/transfer
 neighborhood: always take improvements, take a worsening of ``d`` cost
@@ -7,6 +7,18 @@ live on the paper's 0..100 scale, so the default temperatures are
 absolute cost points, not relative factors.  When the temperature
 freezes the walk reheats and teleports back to the incumbent, keeping
 the strategy anytime under large budgets.
+
+Batch-first restructuring (the PR 4 protocol): one step samples
+*batch* neighbors of the current state up front — they are mutually
+independent, so a parallel driver can evaluate them all at once — and
+the Metropolis chain then digests them **sequentially** against the
+evolving current state in :meth:`~SimulatedAnnealing.observe_batch`
+(the multiple-proposal annealing variant: proposals come from the
+step-start state, acceptances walk).  The acceptance uniform of every
+candidate is drawn unconditionally, so the RNG stream is a pure
+function of the step count — identical between the serial
+one-at-a-time decomposition and a batched driver, which the
+serial-vs-batch parity test pins.
 """
 
 from __future__ import annotations
@@ -14,26 +26,29 @@ from __future__ import annotations
 import math
 
 from .moves import random_neighbor, random_partition
-from .strategy import ProposeObserveStrategy
+from .strategy import BatchProposeStrategy
 
 __all__ = ["SimulatedAnnealing"]
 
 
-class SimulatedAnnealing(ProposeObserveStrategy):
+class SimulatedAnnealing(BatchProposeStrategy):
     """Metropolis walk over partition moves with geometric cooling.
 
     :param t0: initial temperature, in Eq. (2) cost points (costs span
         0..100, so 8.0 accepts a typical early worsening ~40% of the
         time).
-    :param alpha: per-step cooling factor.
+    :param alpha: per-candidate cooling factor.
     :param tmin: freeze point; reaching it triggers a reheat to *t0*
         from the global incumbent.
+    :param batch: neighbors sampled (and exposed through
+        ``propose_batch``) per step — the intra-step parallelism a
+        portfolio eval-mode lane can exploit.
     """
 
     name = "anneal"
 
     def __init__(self, t0: float = 8.0, alpha: float = 0.97,
-                 tmin: float = 0.05):
+                 tmin: float = 0.05, batch: int = 4):
         super().__init__()
         if t0 <= 0 or tmin <= 0 or tmin >= t0:
             raise ValueError(
@@ -41,33 +56,43 @@ class SimulatedAnnealing(ProposeObserveStrategy):
             )
         if not 0 < alpha < 1:
             raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.t0 = t0
         self.alpha = alpha
         self.tmin = tmin
+        self.batch = batch
 
     def _setup(self) -> None:
         self._current = random_partition(self.names, self.rng)
         self._current_cost: float | None = None
         self._temperature = self.t0
 
-    def propose(self):
+    def propose_batch(self):
         if self._current_cost is None:
-            return self._current  # pay for the start point first
-        return random_neighbor(self._current, self.rng)
+            return [self._current]  # pay for the start point first
+        return [
+            random_neighbor(self._current, self.rng)
+            for _ in range(self.batch)
+        ]
 
-    def observe(self, partition, cost: float) -> None:
+    def observe_batch(self, partitions, costs) -> None:
         if self._current_cost is None:
-            self._current_cost = cost
+            self._current_cost = costs[0]
             return
-        delta = cost - self._current_cost
-        if delta <= 0 or self.rng.random() < math.exp(
-            -delta / self._temperature
-        ):
-            self._current, self._current_cost = partition, cost
-        self._temperature *= self.alpha
-        if self._temperature < self.tmin:
-            # reheat from the incumbent: keeps late budget useful
-            self._temperature = self.t0
-            best, best_cost = self.best_so_far
-            if best is not None:
-                self._current, self._current_cost = best, best_cost
+        for partition, cost in zip(partitions, costs):
+            # drawn unconditionally (even for accepted improvements) so
+            # the RNG stream never depends on the observed costs
+            uniform = self.rng.random()
+            delta = cost - self._current_cost
+            if delta <= 0 or uniform < math.exp(
+                -delta / self._temperature
+            ):
+                self._current, self._current_cost = partition, cost
+            self._temperature *= self.alpha
+            if self._temperature < self.tmin:
+                # reheat from the incumbent: keeps late budget useful
+                self._temperature = self.t0
+                best, best_cost = self.best_so_far
+                if best is not None:
+                    self._current, self._current_cost = best, best_cost

@@ -109,12 +109,13 @@ class SearchStrategy(ABC):
         for them one at a time — a lane's wall-clock per step shrinks
         to that of its slowest candidate.
 
-        Inherently sequential strategies (simulated annealing's
-        Metropolis walk) keep the default single-candidate batch and
-        still work everywhere, just without intra-step parallelism;
-        population and sampling strategies (greedy, tabu, genetic)
+        Inherently sequential strategies may keep the default
+        single-candidate batch and still work everywhere, just without
+        intra-step parallelism; all four shipped strategies (greedy,
+        tabu, genetic, and the multiple-proposal annealing variant)
         override it to expose their natural batch (the step's neighbor
-        sample, the generation's unscored members).
+        sample, the generation's unscored members, the Metropolis
+        step's proposal set).
 
         Contract: one call to :meth:`propose_batch` followed by one
         call to :meth:`observe_batch` with the evaluated costs is

@@ -63,20 +63,24 @@ def measure_thd_percent(
 ) -> float:
     """Total harmonic distortion (the CODEC ``thd`` test), in percent.
 
-    THD = sqrt(sum of squared harmonic amplitudes) / fundamental.
-    Harmonics beyond Nyquist are skipped.
+    THD = sqrt(sum of squared harmonic amplitudes) / fundamental, over
+    the harmonic orders ``2 .. n_harmonics`` inclusive (the fundamental
+    is order 1, so ``n_harmonics`` names the highest order measured —
+    the datasheet "THD up to the Nth harmonic" convention).  Harmonics
+    beyond Nyquist are skipped.
 
-    :raises ValueError: if the fundamental has no energy.
+    :raises ValueError: if the fundamental has no energy, or
+        ``n_harmonics < 2`` (no harmonic would be measured).
     """
-    if n_harmonics < 1:
-        raise ValueError(f"n_harmonics must be >= 1, got {n_harmonics}")
+    if n_harmonics < 2:
+        raise ValueError(f"n_harmonics must be >= 2, got {n_harmonics}")
     fundamental = tone_amplitude(response, sample_freq_hz, fundamental_hz)
     if fundamental <= 0:
         raise ValueError(
             f"response has no energy at the fundamental {fundamental_hz} Hz"
         )
     total = 0.0
-    for k in range(2, n_harmonics + 2):
+    for k in range(2, n_harmonics + 1):
         f_k = k * fundamental_hz
         if f_k >= sample_freq_hz / 2:
             break

@@ -35,6 +35,13 @@ ends at the next ``Module``/``AnalogModule`` keyword or end of file.
 ``Position`` is optional.  ``TotalModules`` is validated against the
 number of module blocks actually present.
 
+Power annotations are optional and omitted when zero/absent: a
+``PowerBudget`` header line after ``TotalModules`` carries the
+SOC-level instantaneous power ceiling, a digital module may carry a
+``Power`` field (its flat per-test rating), and a ``Test`` line may
+carry a ``Power`` key/value pair.  Documents written before the power
+dialect parse unchanged.
+
 :func:`loads` / :func:`dumps` operate on strings; :func:`load` /
 :func:`dump` on file paths.  Round-tripping is exact up to floating-point
 formatting (covered by the test suite).
@@ -111,6 +118,12 @@ class _Parser:
         total_tokens = self._expect("TotalModules")
         declared_total = _parse_int(total_tokens, 1, "TotalModules")
 
+        power_budget: int | None = None
+        entry = self._peek()
+        if entry is not None and entry[1][0] == "PowerBudget":
+            line_no, tokens = self._next()
+            power_budget = _parse_int(tokens, 1, "PowerBudget", line_no)
+
         digital: list[DigitalCore] = []
         analog: list[AnalogCore] = []
         while (entry := self._peek()) is not None:
@@ -135,6 +148,7 @@ class _Parser:
             name=soc_name,
             digital_cores=tuple(digital),
             analog_cores=tuple(analog),
+            power_budget=power_budget,
         )
 
     def _parse_digital(self) -> DigitalCore:
@@ -152,7 +166,8 @@ class _Parser:
             if keyword in ("Module", "AnalogModule"):
                 break
             self._pos += 1
-            if keyword in ("Inputs", "Outputs", "Bidirs", "ScanChains", "Patterns"):
+            if keyword in ("Inputs", "Outputs", "Bidirs", "ScanChains",
+                           "Patterns", "Power"):
                 fields[keyword] = _parse_int(item, 1, keyword, item_line_no)
                 reading_chains = False
             elif keyword == "ScanChainLengths":
@@ -190,6 +205,7 @@ class _Parser:
             bidirs=fields["Bidirs"],
             scan_chains=tuple(chain_lengths),
             patterns=fields["Patterns"],
+            power=fields.get("Power", 0),
         )
 
     def _parse_analog(self) -> AnalogCore:
@@ -273,6 +289,7 @@ class _Parser:
                 cycles=int(float(values["Cycles"])),
                 tam_width=int(values["TamWidth"]),
                 resolution_bits=resolution,
+                power=int(values.get("Power", 0)),
             )
         except ValueError as exc:
             raise SocFormatError(f"test {name!r}: {exc}", line_no) from exc
@@ -325,8 +342,10 @@ def dumps(soc: Soc) -> str:
     lines: list[str] = [
         f"SocName {soc.name}",
         f"TotalModules {soc.n_digital + soc.n_analog}",
-        "",
     ]
+    if soc.power_budget is not None:
+        lines.append(f"PowerBudget {soc.power_budget}")
+    lines.append("")
     for index, core in enumerate(soc.digital_cores, start=1):
         lines.append(f"Module {index} '{core.name}'")
         lines.append(f"  Inputs {core.inputs}")
@@ -339,6 +358,8 @@ def dumps(soc: Soc) -> str:
                 prefix = "  ScanChainLengths " if start == 0 else "    "
                 lines.append(prefix + " ".join(str(c) for c in chunk))
         lines.append(f"  Patterns {core.patterns}")
+        if core.power:
+            lines.append(f"  Power {core.power}")
         lines.append("")
     for core in soc.analog_cores:
         lines.append(f"AnalogModule {core.name} '{core.description}'")
@@ -356,6 +377,8 @@ def dumps(soc: Soc) -> str:
             )
             if test.resolution_bits is not None:
                 line += f" Resolution {test.resolution_bits}"
+            if test.power:
+                line += f" Power {test.power}"
             lines.append(line)
         lines.append("")
     return "\n".join(lines)

@@ -71,6 +71,9 @@ class AnalogTest:
         tests (e.g. slew rate) need far fewer amplitude bits than the
         core's precision tests, which is what makes their narrow TAM
         widths in Table 2 feasible at the paper's 50 MHz TAM clock.
+    :param power: peak power the core draws while this test runs
+        (abstract units, the power-constrained-scheduling convention;
+        0 = unrated, never constrained).
     """
 
     name: str
@@ -80,6 +83,7 @@ class AnalogTest:
     cycles: int
     tam_width: int
     resolution_bits: int | None = None
+    power: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -99,6 +103,7 @@ class AnalogTest:
                 f"resolution_bits must be >= 1 when given, got "
                 f"{self.resolution_bits}"
             )
+        _check_non_negative("power", self.power)
 
     @property
     def is_dc(self) -> bool:
@@ -192,6 +197,11 @@ class AnalogCore:
         """
         return max(t.tam_width for t in self.tests)
 
+    @property
+    def max_test_power(self) -> int:
+        """Largest power rating over the core's tests (0 if unrated)."""
+        return max(t.power for t in self.tests)
+
     def test(self, name: str) -> AnalogTest:
         """Return the test called *name*.
 
@@ -235,6 +245,9 @@ class DigitalCore:
     :param scan_chains: lengths of the core-internal scan chains.  An
         empty tuple means a combinational (non-scan) core.
     :param patterns: number of test patterns applied to the core.
+    :param power: peak power the core draws under test (abstract units,
+        the flat per-test rating of the power-constrained test
+        scheduling literature; 0 = unrated, never constrained).
     """
 
     name: str
@@ -243,6 +256,7 @@ class DigitalCore:
     bidirs: int
     scan_chains: tuple[int, ...]
     patterns: int
+    power: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -261,6 +275,7 @@ class DigitalCore:
             raise ValueError(
                 f"core {self.name!r} has no terminals and no scan chains"
             )
+        _check_non_negative("power", self.power)
 
     @property
     def scan_flops(self) -> int:
@@ -309,11 +324,15 @@ class Soc:
     :param digital_cores: the digital modules.
     :param analog_cores: the analog modules (may be empty for a purely
         digital SOC such as the original ITC'02 p93791).
+    :param power_budget: SOC-level instantaneous test-power ceiling the
+        schedule must respect (``None`` = unconstrained, the default;
+        only meaningful when the cores carry power ratings).
     """
 
     name: str
     digital_cores: tuple[DigitalCore, ...] = field(default_factory=tuple)
     analog_cores: tuple[AnalogCore, ...] = field(default_factory=tuple)
+    power_budget: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -323,6 +342,18 @@ class Soc:
         ]
         if len(set(names)) != len(names):
             raise ValueError(f"SOC {self.name!r} has duplicate core names")
+        if self.power_budget is not None:
+            if self.power_budget < 1:
+                raise ValueError(
+                    f"power_budget must be >= 1 when given, got "
+                    f"{self.power_budget}"
+                )
+            if self.power_budget < self.max_task_power:
+                raise ValueError(
+                    f"power_budget {self.power_budget} is below the "
+                    f"largest single task power {self.max_task_power}: "
+                    f"no schedule can exist"
+                )
 
     @property
     def n_digital(self) -> int:
@@ -338,6 +369,21 @@ class Soc:
     def is_mixed_signal(self) -> bool:
         """Whether the SOC contains at least one analog core."""
         return bool(self.analog_cores)
+
+    @property
+    def max_task_power(self) -> int:
+        """Largest single-task power rating on the SOC (0 if unrated).
+
+        Every feasible power budget must be at least this large: a
+        digital core draws its flat rating at every operating point,
+        and an analog test's rating is fixed.
+        """
+        digital = max((c.power for c in self.digital_cores), default=0)
+        analog = max(
+            (t.power for c in self.analog_cores for t in c.tests),
+            default=0,
+        )
+        return max(digital, analog)
 
     @property
     def total_analog_cycles(self) -> int:
@@ -379,6 +425,21 @@ class Soc:
             name=self.name,
             digital_cores=self.digital_cores,
             analog_cores=analog_cores,
+            power_budget=self.power_budget,
+        )
+
+    def with_power_budget(self, power_budget: int | None) -> "Soc":
+        """Return a copy of this SOC under *power_budget* (``None``
+        lifts the constraint).
+
+        :raises ValueError: if the budget is below the largest single
+            task power rating (no schedule could exist).
+        """
+        return Soc(
+            name=self.name,
+            digital_cores=self.digital_cores,
+            analog_cores=self.analog_cores,
+            power_budget=power_budget,
         )
 
     def summary(self) -> str:
@@ -401,6 +462,8 @@ class Soc:
                 f"  analog: {tests} tests, {self.total_analog_cycles} "
                 f"total TAM cycles"
             )
+        if self.power_budget is not None:
+            lines.append(f"  power budget: {self.power_budget}")
         return "\n".join(lines)
 
 

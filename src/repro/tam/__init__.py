@@ -20,6 +20,7 @@ from .gantt import render_gantt
 from .lower_bound import (
     critical_task_bound,
     makespan_lower_bound,
+    power_volume_bound,
     serialization_bound,
     volume_bound,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "optimal_schedule",
     "pack",
     "pack_with_order",
+    "power_volume_bound",
     "render_gantt",
     "serialization_bound",
     "soc_tasks",

@@ -30,15 +30,21 @@ __all__ = ["optimal_schedule", "optimal_makespan"]
 
 
 def optimal_schedule(
-    tasks: Iterable[TamTask], width: int, max_tasks: int = 9
+    tasks: Iterable[TamTask],
+    width: int,
+    max_tasks: int = 9,
+    power_budget: int | None = None,
 ) -> Schedule:
     """Exact minimum-makespan schedule of *tasks* on a width-``W`` TAM.
 
     :param tasks: the rectangles (at most *max_tasks* of them).
     :param width: TAM width.
     :param max_tasks: safety limit on instance size.
+    :param power_budget: instantaneous power ceiling (``None`` =
+        unconstrained).
     :raises ValueError: if there are more than *max_tasks* tasks.
-    :raises InfeasibleError: if some task is wider than the TAM.
+    :raises InfeasibleError: if some task is wider than the TAM (or
+        has no operating point within the power budget).
     """
     task_list = sorted(tasks, key=lambda t: (-t.min_area, t.name))
     if len(task_list) > max_tasks:
@@ -47,22 +53,33 @@ def optimal_schedule(
             f"got {len(task_list)}"
         )
     for task in task_list:
-        if not task.options_within(width):
+        if not task.options_within(width, power_budget):
+            if not task.options_within(width):
+                raise InfeasibleError(
+                    f"task {task.name!r} needs {task.min_width} wires, "
+                    f"TAM has only {width}"
+                )
             raise InfeasibleError(
-                f"task {task.name!r} needs {task.min_width} wires, TAM "
-                f"has only {width}"
+                f"task {task.name!r} draws more than the power budget "
+                f"{power_budget} at every option fitting width {width}"
             )
     if not task_list:
-        return Schedule(width=width, items=())
+        return Schedule(width=width, items=(), power_budget=power_budget)
 
     best: dict[str, object] = {"makespan": math.inf, "items": None}
     total_min_area = sum(t.min_area for t in task_list)
+    total_min_energy = sum(t.min_energy for t in task_list)
 
     def bound(placed: list[ScheduledTest], remaining: list[TamTask]) -> float:
         current = max((i.finish for i in placed), default=0)
         placed_area = sum(i.width * i.option.time for i in placed)
         remaining_area = sum(t.min_area for t in remaining)
         volume = (placed_area + remaining_area) / width
+        power_volume = 0.0
+        if power_budget is not None:
+            placed_energy = sum(i.option.energy for i in placed)
+            remaining_energy = sum(t.min_energy for t in remaining)
+            power_volume = (placed_energy + remaining_energy) / power_budget
         longest = max((t.min_time for t in remaining), default=0)
         group_ready: dict[str, int] = {}
         for item in placed:
@@ -77,12 +94,12 @@ def optimal_schedule(
                 usage[t.group] = usage.get(t.group, 0) + t.min_time
         for group, need in usage.items():
             group_bound = max(group_bound, group_ready.get(group, 0) + need)
-        return max(current, volume, longest, group_bound)
+        return max(current, volume, power_volume, longest, group_bound)
 
     # one shared profile for the whole search: each branch snapshots,
     # places, recurses, and rolls back, instead of rebuilding the
     # profile from `placed` at every node
-    profile = CapacityProfile(width)
+    profile = CapacityProfile(width, power_budget)
 
     def dfs(placed: list[ScheduledTest], remaining: list[TamTask]) -> None:
         if not remaining:
@@ -104,9 +121,9 @@ def optimal_schedule(
                 group_ready.get(task.group, 0) if task.group is not None else 0
             )
             rest = remaining[:index] + remaining[index + 1 :]
-            for option in task.options_within(width):
+            for option in task.options_within(width, power_budget):
                 start = profile.earliest_fit(
-                    not_before, option.time, option.width
+                    not_before, option.time, option.width, option.power
                 )
                 item = ScheduledTest(task=task, start=start, option=option)
                 if max(
@@ -114,7 +131,7 @@ def optimal_schedule(
                 ) >= best["makespan"]:
                     continue
                 token = profile.snapshot()
-                profile.add(item.start, item.finish, item.width)
+                profile.add(item.start, item.finish, item.width, item.power)
                 placed.append(item)
                 dfs(placed, rest)
                 placed.pop()
@@ -123,7 +140,7 @@ def optimal_schedule(
     # seed the incumbent with a greedy schedule so pruning bites early
     from .packing import pack
 
-    incumbent = pack(task_list, width)
+    incumbent = pack(task_list, width, power_budget=power_budget)
     best["makespan"] = incumbent.makespan
     best["items"] = incumbent.items
     # quick exit: the greedy already meets the global lower bound
@@ -131,16 +148,29 @@ def optimal_schedule(
         math.ceil(total_min_area / width),
         max(t.min_time for t in task_list),
     )
+    if power_budget is not None:
+        greedy_lb = max(
+            greedy_lb, math.ceil(total_min_energy / power_budget)
+        )
     if incumbent.makespan > greedy_lb:
         dfs([], task_list)
 
-    schedule = Schedule(width=width, items=best["items"])  # type: ignore[arg-type]
+    schedule = Schedule(
+        width=width,
+        items=best["items"],  # type: ignore[arg-type]
+        power_budget=power_budget,
+    )
     schedule.validate()
     return schedule
 
 
 def optimal_makespan(
-    tasks: Iterable[TamTask], width: int, max_tasks: int = 9
+    tasks: Iterable[TamTask],
+    width: int,
+    max_tasks: int = 9,
+    power_budget: int | None = None,
 ) -> int:
     """Makespan of the exact optimum (see :func:`optimal_schedule`)."""
-    return optimal_schedule(tasks, width, max_tasks=max_tasks).makespan
+    return optimal_schedule(
+        tasks, width, max_tasks=max_tasks, power_budget=power_budget
+    ).makespan

@@ -84,7 +84,11 @@ def analog_tasks(
                 TamTask(
                     name=f"{core.name}.{test.name}",
                     options=(
-                        WidthOption(width=test.tam_width, time=test.cycles),
+                        WidthOption(
+                            width=test.tam_width,
+                            time=test.cycles,
+                            power=test.power,
+                        ),
                     ),
                     group=group,
                 )
@@ -117,8 +121,11 @@ def digital_tasks(soc: Soc, cache: ParetoCache) -> list[TamTask]:
     tasks: list[TamTask] = []
     for core in soc.digital_cores:
         points = cache.points(core)
+        # flat per-test power rating: every operating point of a core
+        # draws the same power (scan activity, not TAM width, dominates)
         options = tuple(
-            WidthOption(width=p.width, time=p.time) for p in points
+            WidthOption(width=p.width, time=p.time, power=core.power)
+            for p in points
         )
         tasks.append(TamTask(name=core.name, options=options, group=None))
     return tasks

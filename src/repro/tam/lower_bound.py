@@ -1,6 +1,6 @@
 """Makespan lower bounds for flexible-width TAM scheduling.
 
-Three classic bounds, each valid independently; their maximum is the
+Four classic bounds, each valid independently; their maximum is the
 bound the packer and the branch-and-bound baseline prune against:
 
 * **volume** — total minimum rectangle area divided by the TAM width
@@ -9,7 +9,12 @@ bound the packer and the branch-and-bound baseline prune against:
   (rectangles are not preemptible);
 * **serialization** — for every shared-wrapper group, the sum of its
   members' minimum times (they can never overlap); this is the paper's
-  analog-test-time lower bound :math:`T_{LB}` generalized to tasks.
+  analog-test-time lower bound :math:`T_{LB}` generalized to tasks;
+* **power volume** — total minimum energy (``time * power`` over each
+  task's cheapest point) divided by the power budget: a schedule that
+  may never draw more than ``P`` units at once needs at least
+  ``ceil(sum(time_i * power_i) / P)`` cycles (the power-constrained
+  scheduling literature's counterpart of the width-volume bound).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ __all__ = [
     "volume_bound",
     "critical_task_bound",
     "serialization_bound",
+    "power_volume_bound",
     "makespan_lower_bound",
 ]
 
@@ -55,11 +61,32 @@ def serialization_bound(tasks: Iterable[TamTask]) -> int:
     return max(usage.values(), default=0)
 
 
-def makespan_lower_bound(tasks: Iterable[TamTask], width: int) -> int:
-    """The tightest of the three bounds."""
+def power_volume_bound(tasks: Iterable[TamTask], power_budget: int) -> int:
+    """Ceiling of total minimum task energy over the power budget.
+
+    Admissible: any schedule's chosen options draw at least
+    ``sum(min_energy)`` power-cycles in total, and an instantaneous
+    budget of ``power_budget`` caps the draw per cycle.
+    """
+    if power_budget < 1:
+        raise ValueError(
+            f"power_budget must be >= 1, got {power_budget}"
+        )
+    total = sum(task.min_energy for task in tasks)
+    return math.ceil(total / power_budget)
+
+
+def makespan_lower_bound(
+    tasks: Iterable[TamTask], width: int, power_budget: int | None = None
+) -> int:
+    """The tightest of the applicable bounds (power-volume only when a
+    *power_budget* is given)."""
     task_list = list(tasks)
-    return max(
+    bound = max(
         volume_bound(task_list, width),
         critical_task_bound(task_list),
         serialization_bound(task_list),
     )
+    if power_budget is not None:
+        bound = max(bound, power_volume_bound(task_list, power_budget))
+    return bound

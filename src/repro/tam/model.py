@@ -15,6 +15,13 @@ the paper).
 Tests of analog cores that share one analog test wrapper must never
 overlap in time (Section 3); this is expressed by giving their tasks a
 common :attr:`TamTask.group` label, which the scheduler serializes.
+
+Power is the second axis of this scheduling literature (Chou/Saluja,
+Iyengar/Chakrabarty): every operating point carries a *power rating*
+(peak test power in abstract units), and a schedule under a SOC-level
+power budget must keep the sum of the ratings of concurrently running
+tests at or below the budget at every instant.  Ratings default to 0,
+so unconstrained models are untouched.
 """
 
 from __future__ import annotations
@@ -26,21 +33,35 @@ __all__ = ["WidthOption", "TamTask"]
 
 @dataclass(frozen=True)
 class WidthOption:
-    """One feasible (width, time) operating point of a task."""
+    """One feasible (width, time) operating point of a task.
+
+    :param width: TAM wires occupied.
+    :param time: test time in TAM cycles.
+    :param power: peak test power drawn while the rectangle runs
+        (abstract units; 0 = unrated, never constrained).
+    """
 
     width: int
     time: int
+    power: int = 0
 
     def __post_init__(self) -> None:
         if self.width < 1:
             raise ValueError(f"width must be >= 1, got {self.width}")
         if self.time < 1:
             raise ValueError(f"time must be >= 1, got {self.time}")
+        if self.power < 0:
+            raise ValueError(f"power must be >= 0, got {self.power}")
 
     @property
     def area(self) -> int:
         """Wire-cycles occupied by the rectangle at this point."""
         return self.width * self.time
+
+    @property
+    def energy(self) -> int:
+        """Power-cycles drawn at this point (``time * power``)."""
+        return self.time * self.power
 
 
 @dataclass(frozen=True)
@@ -102,9 +123,25 @@ class TamTask:
         """
         return min(o.area for o in self.options)
 
-    def options_within(self, width: int) -> tuple[WidthOption, ...]:
-        """The operating points using at most *width* wires."""
-        return tuple(o for o in self.options if o.width <= width)
+    @property
+    def min_energy(self) -> int:
+        """Smallest power-cycle draw over the staircase.
+
+        Used by the power-volume makespan lower bound: no schedule can
+        draw fewer power-cycles for this task than its cheapest point.
+        """
+        return min(o.energy for o in self.options)
+
+    def options_within(
+        self, width: int, power_budget: int | None = None
+    ) -> tuple[WidthOption, ...]:
+        """The operating points using at most *width* wires (and, when
+        *power_budget* is given, drawing at most that much power)."""
+        return tuple(
+            o for o in self.options
+            if o.width <= width
+            and (power_budget is None or o.power <= power_budget)
+        )
 
     def best_within(self, width: int) -> WidthOption:
         """Fastest operating point using at most *width* wires.

@@ -33,6 +33,14 @@ All of this is *exact*: the returned schedule is identical to packing
 every order from scratch and keeping the strictly-best makespan, which
 golden-parity tests pin against the retained seed implementation in
 :mod:`repro.tam.reference`.
+
+With a ``power_budget``, every layer additionally enforces the
+instantaneous power ceiling: infeasible operating points are filtered
+up front, placements query the profile's two-ceiling
+:meth:`~repro.tam.profile.CapacityProfile.earliest_fit`, the analytic
+stop bound includes the power-volume term, and the returned schedule
+carries (and re-validates) the budget.  ``power_budget=None`` leaves
+every placement byte-identical to the unconstrained packer.
 """
 
 from __future__ import annotations
@@ -112,19 +120,25 @@ DEFAULT_RULES = (
 
 
 def _feasible_options(
-    tasks: Sequence[TamTask], width: int
+    tasks: Sequence[TamTask], width: int, power_budget: int | None = None
 ) -> dict[str, tuple[WidthOption, ...]]:
-    """Per task: the operating points fitting a width-``width`` TAM.
+    """Per task: the operating points fitting a width-``width`` TAM
+    (and, when budgeted, drawing at most *power_budget*).
 
     :raises InfeasibleError: if some task has none.
     """
     feasible: dict[str, tuple[WidthOption, ...]] = {}
     for task in tasks:
-        options = task.options_within(width)
+        options = task.options_within(width, power_budget)
         if not options:
+            if not task.options_within(width):
+                raise InfeasibleError(
+                    f"task {task.name!r} needs {task.min_width} wires, "
+                    f"TAM has only {width}"
+                )
             raise InfeasibleError(
-                f"task {task.name!r} needs {task.min_width} wires, TAM "
-                f"has only {width}"
+                f"task {task.name!r} draws more than the power budget "
+                f"{power_budget} at every option fitting width {width}"
             )
         feasible[task.name] = options
     return feasible
@@ -155,7 +169,9 @@ def _place_order(
         best: tuple[int, int, int] | None = None
         best_option = None
         for option in feasible[task.name]:
-            start = earliest_fit(not_before, option.time, option.width)
+            start = earliest_fit(
+                not_before, option.time, option.width, option.power
+            )
             key = (start + option.time, option.width, start)
             if best is None or key < best:
                 best = key
@@ -163,7 +179,7 @@ def _place_order(
         finish, _, start = best
         if abort_at is not None and finish >= abort_at:
             return None
-        add(start, finish, best_option.width)
+        add(start, finish, best_option.width, best_option.power)
         if task.group is not None:
             group_ready[task.group] = finish
         items.append(ScheduledTest(task=task, start=start, option=best_option))
@@ -173,16 +189,21 @@ def _place_order(
 
 
 def pack_with_order(
-    tasks: Sequence[TamTask], width: int, order: Sequence[TamTask]
+    tasks: Sequence[TamTask],
+    width: int,
+    order: Sequence[TamTask],
+    power_budget: int | None = None,
 ) -> Schedule:
     """Pack *tasks* on a width-``width`` TAM in the given placement order.
 
     Each task is placed at the earliest feasible start over all its
-    operating points that fit the TAM, choosing the point with the
-    earliest finish (ties: narrower width, then earlier start).
+    operating points that fit the TAM (and the *power_budget*, when
+    given), choosing the point with the earliest finish (ties: narrower
+    width, then earlier start).
 
     :raises InfeasibleError: if some task is wider than the TAM even at
-        its narrowest operating point.
+        its narrowest operating point, or has no point within the
+        power budget.
     """
     if width < 1:
         raise ValueError(f"width must be >= 1, got {width}")
@@ -190,10 +211,14 @@ def pack_with_order(
         tasks
     ):
         raise ValueError("order must be a permutation of tasks")
-    feasible = _feasible_options(tasks, width)
+    feasible = _feasible_options(tasks, width, power_budget)
     items: list[ScheduledTest] = []
-    _place_order(order, feasible, CapacityProfile(width), items, {})
-    schedule = Schedule(width=width, items=tuple(items))
+    _place_order(
+        order, feasible, CapacityProfile(width, power_budget), items, {}
+    )
+    schedule = Schedule(
+        width=width, items=tuple(items), power_budget=power_budget
+    )
     schedule.validate()
     return schedule
 
@@ -245,6 +270,8 @@ class PackContext:
     :param rules: names from :data:`PRIORITY_RULES` to try.
     :param shuffles: number of seeded random restarts (0 disables).
     :param improvement_passes: maximum reschedule iterations.
+    :param power_budget: instantaneous power ceiling every placement
+        must respect (``None`` = unconstrained).
     """
 
     def __init__(
@@ -254,10 +281,12 @@ class PackContext:
         rules: Sequence[str] = DEFAULT_RULES,
         shuffles: int = 8,
         improvement_passes: int = 3,
+        power_budget: int | None = None,
     ):
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
         self.width = width
+        self.power_budget = power_budget
         self.improvement_passes = improvement_passes
         self._reference = list(tasks)
         self._names = tuple(t.name for t in self._reference)
@@ -265,7 +294,9 @@ class PackContext:
             raise ValueError("duplicate task names")
         self._name_set = frozenset(self._names)
         self._ref_group = {t.name: t.group for t in self._reference}
-        self._feasible = _feasible_options(self._reference, width)
+        self._feasible = _feasible_options(
+            self._reference, width, power_budget
+        )
         self._orders = self._enumerate_orders(rules, shuffles)
         # per order index: the reference-grouping placement trajectory
         # as (name, start, end, width, option) tuples, built lazily
@@ -313,7 +344,8 @@ class PackContext:
         order = [by_name[name] for name in self._orders[index]]
         items: list[ScheduledTest] = []
         self.stats.fresh_placements += len(order)
-        _place_order(order, self._feasible, CapacityProfile(self.width),
+        _place_order(order, self._feasible,
+                     CapacityProfile(self.width, self.power_budget),
                      items, {})
         trajectory = tuple(
             (it.task.name, it.start, it.finish, it.width, it.option)
@@ -348,7 +380,8 @@ class PackContext:
         items: list[ScheduledTest] = []
         self.stats.fresh_placements += len(order)
         makespan = _place_order(
-            order, self._feasible, CapacityProfile(self.width), items, {},
+            order, self._feasible,
+            CapacityProfile(self.width, self.power_budget), items, {},
             abort_at=incumbent,
         )
         if makespan is None:
@@ -398,9 +431,10 @@ class PackContext:
         ]
         if split == len(trajectory):
             return running_max, items
-        profile = CapacityProfile(self.width)
+        profile = CapacityProfile(self.width, self.power_budget)
         profile.batch_add(
-            ((start, end, width) for _, start, end, width, _ in prefix),
+            ((start, end, width, option.power)
+             for _, start, end, width, option in prefix),
             check=False,
         )
         suffix = [by_name[name] for name in self._orders[index][split:]]
@@ -437,7 +471,9 @@ class PackContext:
             for name, group in self._ref_group.items()
         )
         use_prefix = not same_grouping and self._coarsens(by_name)
-        bound = makespan_lower_bound(task_list, self.width)
+        bound = makespan_lower_bound(
+            task_list, self.width, self.power_budget
+        )
 
         best_makespan: int | None = None
         best_items: list[ScheduledTest] | None = None
@@ -450,7 +486,10 @@ class PackContext:
                 return
             makespan, items = result
             if validate_all:
-                Schedule(width=self.width, items=tuple(items)).validate()
+                Schedule(
+                    width=self.width, items=tuple(items),
+                    power_budget=self.power_budget,
+                ).validate()
             if best_makespan is None or makespan < best_makespan:
                 best_makespan, best_items = makespan, items
 
@@ -483,7 +522,10 @@ class PackContext:
             if best_makespan >= previous:
                 break
 
-        schedule = Schedule(width=self.width, items=tuple(best_items))
+        schedule = Schedule(
+            width=self.width, items=tuple(best_items),
+            power_budget=self.power_budget,
+        )
         schedule.validate()
         return schedule
 
@@ -494,6 +536,7 @@ def pack(
     rules: Sequence[str] = DEFAULT_RULES,
     shuffles: int = 8,
     improvement_passes: int = 3,
+    power_budget: int | None = None,
 ) -> Schedule:
     """Pack *tasks*, trying several orders and keeping the best schedule.
 
@@ -517,6 +560,8 @@ def pack(
     :param rules: names from :data:`PRIORITY_RULES` to try.
     :param shuffles: number of seeded random restarts (0 disables).
     :param improvement_passes: maximum reschedule iterations (0 disables).
+    :param power_budget: instantaneous power ceiling (``None`` =
+        unconstrained).
     :returns: the feasible schedule with the smallest makespan found
         (deterministic for fixed arguments).
     :raises InfeasibleError: if some task cannot fit at all.
@@ -524,9 +569,9 @@ def pack(
     """
     task_list = list(tasks)
     if not task_list:
-        return Schedule(width=width, items=())
+        return Schedule(width=width, items=(), power_budget=power_budget)
     context = PackContext(
         task_list, width, rules=rules, shuffles=shuffles,
-        improvement_passes=improvement_passes,
+        improvement_passes=improvement_passes, power_budget=power_budget,
     )
     return context.pack(task_list)

@@ -1,4 +1,4 @@
-"""Skyline capacity profile: TAM wire usage over time.
+"""Skyline capacity profile: TAM wire (and power) usage over time.
 
 The scheduler tracks how many of the ``W`` TAM wires are busy at every
 instant as a piecewise-constant step function — a *skyline* stored as
@@ -18,6 +18,13 @@ queries packing needs:
   to explore placements on one shared profile instead of rebuilding it
   at every node.
 
+With a *power_budget*, the profile grows a second skyline dimension: a
+parallel per-region power-draw array, maintained by the same breakpoint
+edits.  Every query then enforces both constraints — a rectangle fits
+only where width **and** power headroom hold throughout its span.
+Unconstrained profiles (``power_budget=None``, the default) never touch
+the power array and behave exactly as before.
+
 Times are integers (TAM clock cycles).
 """
 
@@ -35,31 +42,49 @@ class CapacityProfile:
     The invariant the fast paths rely on: the region after the last
     breakpoint always has usage 0 (every :meth:`add` re-inserts its end
     breakpoint, so usage returns to the pre-rectangle level there), so a
-    rectangle no wider than the TAM always fits *somewhere*.
+    rectangle no wider than the TAM always fits *somewhere*.  The same
+    holds for the power dimension when a budget is set.
+
+    :param capacity: TAM width ``W``.
+    :param power_budget: peak-power ceiling every instant of the
+        profile must respect, or ``None`` (the default) for the
+        unconstrained profile (power arguments are then ignored).
     """
 
-    __slots__ = ("capacity", "_times", "_used", "_max_end", "_journal")
+    __slots__ = ("capacity", "power_budget", "_times", "_used", "_power",
+                 "_max_end", "_journal")
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, power_budget: int | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if power_budget is not None and power_budget < 1:
+            raise ValueError(
+                f"power_budget must be >= 1 when given, got {power_budget}"
+            )
         self.capacity = capacity
+        self.power_budget = power_budget
         # Breakpoint representation: _times[i] is the start of a region
         # with usage _used[i]; the profile is 0 before the first
-        # breakpoint and constant after the last.
+        # breakpoint and constant after the last.  _power[i] is the
+        # power draw of the same region (None when unconstrained).
         self._times: list[int] = [0]
         self._used: list[int] = [0]
+        self._power: list[int] | None = \
+            [0] if power_budget is not None else None
         self._max_end = 0
         # journal of undo records, enabled by the first snapshot()
-        self._journal: list[tuple[int, int, int, bool, bool, int]] | None = \
-            None
+        self._journal: list[
+            tuple[int, int, int, int, bool, bool, int]
+        ] | None = None
 
     def clone(self) -> "CapacityProfile":
         """An independent copy (journaling state is not inherited)."""
         other = CapacityProfile.__new__(CapacityProfile)
         other.capacity = self.capacity
+        other.power_budget = self.power_budget
         other._times = self._times.copy()
         other._used = self._used.copy()
+        other._power = self._power.copy() if self._power is not None else None
         other._max_end = self._max_end
         other._journal = None
         return other
@@ -74,6 +99,15 @@ class CapacityProfile:
     def free_at(self, t: int) -> int:
         """Free wires at time *t*."""
         return self.capacity - self.usage_at(t)
+
+    def power_at(self, t: int) -> int:
+        """Power draw at time *t* (0 for an unconstrained profile)."""
+        if t < 0:
+            raise ValueError(f"time must be >= 0, got {t}")
+        if self._power is None:
+            return 0
+        index = bisect.bisect_right(self._times, t) - 1
+        return self._power[index]
 
     def min_free(self, start: int, end: int) -> int:
         """Minimum free capacity over the half-open interval [start, end)."""
@@ -90,58 +124,102 @@ class CapacityProfile:
             index += 1
         return self.capacity - worst
 
-    def fits(self, start: int, end: int, width: int) -> bool:
-        """Whether a rectangle of *width* fits over [start, end)."""
-        return self.min_free(start, end) >= width
+    def min_power_headroom(self, start: int, end: int) -> int | None:
+        """Minimum spare power over [start, end); ``None`` if unbudgeted."""
+        if self._power is None:
+            return None
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        times, power = self._times, self._power
+        index = bisect.bisect_right(times, start) - 1
+        worst = power[index]
+        index += 1
+        n = len(times)
+        while index < n and times[index] < end:
+            if power[index] > worst:
+                worst = power[index]
+            index += 1
+        return self.power_budget - worst
 
-    def add(self, start: int, end: int, width: int) -> None:
-        """Occupy *width* wires over [start, end).
+    def fits(self, start: int, end: int, width: int, power: int = 0) -> bool:
+        """Whether a width-*width*, power-*power* rectangle fits over
+        [start, end)."""
+        if self.min_free(start, end) < width:
+            return False
+        if self._power is not None and power:
+            return self.min_power_headroom(start, end) >= power
+        return True
+
+    def add(self, start: int, end: int, width: int, power: int = 0) -> None:
+        """Occupy *width* wires (drawing *power*) over [start, end).
 
         :raises ValueError: if the rectangle does not fit.
         """
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
-        if not self.fits(start, end, width):
+        if power < 0:
+            raise ValueError(f"power must be >= 0, got {power}")
+        if self.min_free(start, end) < width:
             raise ValueError(
                 f"rectangle [{start}, {end}) x {width} exceeds capacity "
                 f"{self.capacity}"
             )
-        self._add_fast(start, end, width)
+        if self._power is not None and power:
+            if self.min_power_headroom(start, end) < power:
+                raise ValueError(
+                    f"rectangle [{start}, {end}) drawing {power} exceeds "
+                    f"power budget {self.power_budget}"
+                )
+        self._add_fast(start, end, width, power)
 
     def batch_add(
-        self, rects: Iterable[tuple[int, int, int]], check: bool = True
+        self,
+        rects: Iterable[tuple],
+        check: bool = True,
     ) -> None:
-        """Occupy several ``(start, end, width)`` rectangles in order.
+        """Occupy several ``(start, end, width[, power])`` rectangles
+        in order.
 
         With ``check=False`` the capacity test is skipped — the bulk
         path for replaying a placement that is already known feasible
         (e.g. a cached packing prefix).
         """
         if check:
-            for start, end, width in rects:
-                self.add(start, end, width)
+            for start, end, width, *rest in rects:
+                self.add(start, end, width, rest[0] if rest else 0)
         else:
-            for start, end, width in rects:
-                self._add_fast(start, end, width)
+            for start, end, width, *rest in rects:
+                self._add_fast(start, end, width, rest[0] if rest else 0)
 
-    def _add_fast(self, start: int, end: int, width: int) -> None:
+    def _add_fast(
+        self, start: int, end: int, width: int, power: int = 0
+    ) -> None:
         """Occupy wires without the capacity pre-check (trusted path)."""
         times, used = self._times, self._used
+        power_arr = self._power
         lo = bisect.bisect_left(times, start)
         new_start = lo == len(times) or times[lo] != start
         if new_start:
             times.insert(lo, start)
             used.insert(lo, used[lo - 1])
+            if power_arr is not None:
+                power_arr.insert(lo, power_arr[lo - 1])
         hi = bisect.bisect_left(times, end)
         new_end = hi == len(times) or times[hi] != end
         if new_end:
             times.insert(hi, end)
             used.insert(hi, used[hi - 1])
+            if power_arr is not None:
+                power_arr.insert(hi, power_arr[hi - 1])
         for i in range(lo, hi):
             used[i] += width
+        if power_arr is not None and power:
+            for i in range(lo, hi):
+                power_arr[i] += power
         if self._journal is not None:
             self._journal.append(
-                (start, end, width, new_start, new_end, self._max_end)
+                (start, end, width, power, new_start, new_end,
+                 self._max_end)
             )
         if end > self._max_end:
             self._max_end = end
@@ -168,29 +246,42 @@ class CapacityProfile:
         if self._journal is None or token > len(self._journal):
             raise ValueError(f"no snapshot journal at token {token}")
         times, used = self._times, self._used
+        power_arr = self._power
         while len(self._journal) > token:
-            start, end, width, new_start, new_end, prev_max = \
+            start, end, width, power, new_start, new_end, prev_max = \
                 self._journal.pop()
             lo = bisect.bisect_left(times, start)
             hi = bisect.bisect_left(times, end)
             for i in range(lo, hi):
                 used[i] -= width
+            if power_arr is not None and power:
+                for i in range(lo, hi):
+                    power_arr[i] -= power
             # hi > lo always, so deleting at hi never shifts lo
             if new_end:
                 del times[hi], used[hi]
+                if power_arr is not None:
+                    del power_arr[hi]
             if new_start:
                 del times[lo], used[lo]
+                if power_arr is not None:
+                    del power_arr[lo]
             self._max_end = prev_max
 
-    def earliest_fit(self, not_before: int, duration: int, width: int) -> int:
+    def earliest_fit(
+        self, not_before: int, duration: int, width: int, power: int = 0
+    ) -> int:
         """Earliest start >= *not_before* where a rectangle fits.
 
         Single skyline walk: every breakpoint region is visited at most
         once, maintaining the current run of consecutive regions with
-        enough free capacity.  The profile is eventually constant at
-        usage 0, so a fit always exists provided ``width <= capacity``.
+        enough free capacity (and, on a power-budgeted profile, enough
+        power headroom).  The profile is eventually constant at usage 0,
+        so a fit always exists provided the rectangle respects both
+        ceilings.
 
-        :raises ValueError: if ``width > capacity``.
+        :raises ValueError: if ``width > capacity``, or *power* exceeds
+            the profile's power budget.
         """
         if width > self.capacity:
             raise ValueError(
@@ -198,6 +289,14 @@ class CapacityProfile:
             )
         times, used = self._times, self._used
         headroom = self.capacity - width
+        if self._power is not None and power:
+            if power > self.power_budget:
+                raise ValueError(
+                    f"power {power} exceeds budget {self.power_budget}"
+                )
+            return self._earliest_fit_power(
+                not_before, duration, headroom, power
+            )
         n = len(times)
         i = bisect.bisect_right(times, not_before) - 1
         start = not_before
@@ -217,10 +316,49 @@ class CapacityProfile:
             i = j + 1
             start = times[i]
 
+    def _earliest_fit_power(
+        self, not_before: int, duration: int, headroom: int, power: int
+    ) -> int:
+        """The two-ceiling walk: a region is open only when both the
+        width headroom and the power headroom admit the rectangle."""
+        times, used = self._times, self._used
+        power_arr = self._power
+        p_headroom = self.power_budget - power
+        n = len(times)
+        i = bisect.bisect_right(times, not_before) - 1
+        start = not_before
+        while True:
+            # the final region has usage 0 and draw 0, so neither loop
+            # runs off the end
+            while used[i] > headroom or power_arr[i] > p_headroom:
+                i += 1
+                start = times[i]
+            j = i
+            while j + 1 < n and used[j + 1] <= headroom \
+                    and power_arr[j + 1] <= p_headroom:
+                j += 1
+            if j + 1 == n or times[j + 1] - start >= duration:
+                return start
+            i = j + 1
+            start = times[i]
+
     def makespan(self) -> int:
         """Last instant with non-zero usage (0 for an empty profile)."""
         return self._max_end
 
+    def peak_power(self) -> int:
+        """Largest instantaneous power draw (0 if untracked)."""
+        if self._power is None:
+            return 0
+        return max(self._power)
+
     def breakpoints(self) -> list[tuple[int, int]]:
         """A copy of the (time, usage) breakpoints, for inspection."""
         return list(zip(self._times, self._used))
+
+    def power_breakpoints(self) -> list[tuple[int, int]]:
+        """A copy of the (time, power draw) breakpoints (empty when
+        the profile has no power budget)."""
+        if self._power is None:
+            return []
+        return list(zip(self._times, self._power))

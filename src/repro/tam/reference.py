@@ -31,14 +31,21 @@ __all__ = ["ReferenceProfile", "reference_pack", "reference_pack_with_order"]
 
 
 class ReferenceProfile:
-    """The seed breakpoint profile (pre-skyline)."""
+    """The seed breakpoint profile (pre-skyline).
 
-    def __init__(self, capacity: int):
+    The power dimension mirrors the production profile with the same
+    deliberately naive structure: a second parallel per-region array,
+    re-scanned per candidate, no cross-query reuse.
+    """
+
+    def __init__(self, capacity: int, power_budget: int | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.power_budget = power_budget
         self._times: list[int] = [0]
         self._used: list[int] = [0]
+        self._power: list[int] = [0]
 
     def min_free(self, start: int, end: int) -> int:
         if end <= start:
@@ -51,16 +58,32 @@ class ReferenceProfile:
             index += 1
         return self.capacity - worst
 
-    def fits(self, start: int, end: int, width: int) -> bool:
-        return self.min_free(start, end) >= width
+    def max_power(self, start: int, end: int) -> int:
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        index = bisect.bisect_right(self._times, start) - 1
+        worst = self._power[index]
+        index += 1
+        while index < len(self._times) and self._times[index] < end:
+            worst = max(worst, self._power[index])
+            index += 1
+        return worst
 
-    def add(self, start: int, end: int, width: int) -> None:
+    def fits(self, start: int, end: int, width: int, power: int = 0) -> bool:
+        if self.min_free(start, end) < width:
+            return False
+        if self.power_budget is not None and power:
+            return self.max_power(start, end) + power <= self.power_budget
+        return True
+
+    def add(self, start: int, end: int, width: int, power: int = 0) -> None:
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
-        if not self.fits(start, end, width):
+        if not self.fits(start, end, width, power):
             raise ValueError(
-                f"rectangle [{start}, {end}) x {width} exceeds capacity "
-                f"{self.capacity}"
+                f"rectangle [{start}, {end}) x {width} (power {power}) "
+                f"exceeds capacity {self.capacity} / budget "
+                f"{self.power_budget}"
             )
         self._insert_breakpoint(start)
         self._insert_breakpoint(end)
@@ -68,6 +91,7 @@ class ReferenceProfile:
         hi = bisect.bisect_left(self._times, end)
         for i in range(lo, hi):
             self._used[i] += width
+            self._power[i] += power
 
     def _insert_breakpoint(self, t: int) -> None:
         index = bisect.bisect_left(self._times, t)
@@ -75,20 +99,37 @@ class ReferenceProfile:
             return
         self._times.insert(index, t)
         self._used.insert(index, self._used[index - 1])
+        self._power.insert(index, self._power[index - 1])
 
-    def earliest_fit(self, not_before: int, duration: int, width: int) -> int:
+    def earliest_fit(
+        self, not_before: int, duration: int, width: int, power: int = 0
+    ) -> int:
         if width > self.capacity:
             raise ValueError(
                 f"width {width} exceeds TAM capacity {self.capacity}"
             )
+        if self.power_budget is not None and power > self.power_budget:
+            raise ValueError(
+                f"power {power} exceeds budget {self.power_budget}"
+            )
+        constrained = self.power_budget is not None and power
+
+        def blocked(index: int) -> bool:
+            if self._used[index] + width > self.capacity:
+                return True
+            return bool(
+                constrained
+                and self._power[index] + power > self.power_budget
+            )
+
         candidate = not_before
         while True:
-            if self.fits(candidate, candidate + duration, width):
+            if self.fits(candidate, candidate + duration, width, power):
                 return candidate
             index = bisect.bisect_right(self._times, candidate) - 1
             advanced = None
             while index < len(self._times):
-                if self._used[index] + width > self.capacity:
+                if blocked(index):
                     if index + 1 < len(self._times):
                         advanced = self._times[index + 1]
                     else:
@@ -103,7 +144,10 @@ class ReferenceProfile:
 
 
 def reference_pack_with_order(
-    tasks: Sequence[TamTask], width: int, order: Sequence[TamTask]
+    tasks: Sequence[TamTask],
+    width: int,
+    order: Sequence[TamTask],
+    power_budget: int | None = None,
 ) -> Schedule:
     """The seed ``pack_with_order``: place and validate one order."""
     if width < 1:
@@ -113,12 +157,18 @@ def reference_pack_with_order(
     ):
         raise ValueError("order must be a permutation of tasks")
 
-    profile = ReferenceProfile(width)
+    profile = ReferenceProfile(width, power_budget)
     group_ready: dict[str, int] = {}
     items: list[ScheduledTest] = []
     for task in order:
-        feasible = task.options_within(width)
+        feasible = task.options_within(width, power_budget)
         if not feasible:
+            if power_budget is not None and task.options_within(width):
+                raise InfeasibleError(
+                    f"task {task.name!r} draws more than the power "
+                    f"budget {power_budget} at every option fitting "
+                    f"width {width}"
+                )
             raise InfeasibleError(
                 f"task {task.name!r} needs {task.min_width} wires, TAM "
                 f"has only {width}"
@@ -129,19 +179,23 @@ def reference_pack_with_order(
         best: tuple[int, int, int] | None = None
         best_option = None
         for option in feasible:
-            start = profile.earliest_fit(not_before, option.time, option.width)
+            start = profile.earliest_fit(
+                not_before, option.time, option.width, option.power
+            )
             key = (start + option.time, option.width, start)
             if best is None or key < best:
                 best = key
                 best_option = option
         assert best is not None and best_option is not None
         finish, _, start = best
-        profile.add(start, finish, best_option.width)
+        profile.add(start, finish, best_option.width, best_option.power)
         if task.group is not None:
             group_ready[task.group] = finish
         items.append(ScheduledTest(task=task, start=start, option=best_option))
 
-    schedule = Schedule(width=width, items=tuple(items))
+    schedule = Schedule(
+        width=width, items=tuple(items), power_budget=power_budget
+    )
     schedule.validate()
     return schedule
 
@@ -158,17 +212,20 @@ def reference_pack(
     ),
     shuffles: int = 8,
     improvement_passes: int = 3,
+    power_budget: int | None = None,
 ) -> Schedule:
     """The seed ``pack``: every order packed from scratch and validated."""
     task_list = list(tasks)
     if not task_list:
-        return Schedule(width=width, items=())
+        return Schedule(width=width, items=(), power_budget=power_budget)
 
     best: Schedule | None = None
 
     def consider(order: Sequence[TamTask]) -> None:
         nonlocal best
-        candidate = reference_pack_with_order(task_list, width, order)
+        candidate = reference_pack_with_order(
+            task_list, width, order, power_budget
+        )
         if best is None or candidate.makespan < best.makespan:
             best = candidate
 

@@ -50,13 +50,26 @@ class ScheduledTest:
         """TAM wires occupied."""
         return self.option.width
 
+    @property
+    def power(self) -> int:
+        """Peak power drawn while the rectangle runs."""
+        return self.option.power
+
 
 @dataclass(frozen=True)
 class Schedule:
-    """A complete test schedule for one SOC on a width-``W`` TAM."""
+    """A complete test schedule for one SOC on a width-``W`` TAM.
+
+    :param width: SOC-level TAM width.
+    :param items: the placed rectangles.
+    :param power_budget: instantaneous power ceiling the schedule was
+        built under (``None`` = unconstrained); :meth:`validate`
+        re-checks it alongside the width capacity.
+    """
 
     width: int
     items: tuple[ScheduledTest, ...]
+    power_budget: int | None = None
 
     @cached_property
     def makespan(self) -> int:
@@ -101,12 +114,33 @@ class Schedule:
         except KeyError:
             raise KeyError(f"no scheduled task named {name!r}") from None
 
+    @property
+    def peak_power(self) -> int:
+        """Largest instantaneous power draw over the schedule.
+
+        Computed by an event sweep over the placed rectangles'
+        ratings; 0 for unrated task sets.
+        """
+        events: dict[int, int] = {}
+        for item in self.items:
+            if item.power:
+                events[item.start] = events.get(item.start, 0) + item.power
+                events[item.finish] = \
+                    events.get(item.finish, 0) - item.power
+        peak = draw = 0
+        for _, delta in sorted(events.items()):
+            draw += delta
+            if draw > peak:
+                peak = draw
+        return peak
+
     def validate(self) -> None:
         """Re-check feasibility from first principles.
 
         Verifies that (i) task names are unique, (ii) total wire usage
-        never exceeds the TAM width, and (iii) no two tasks of one
-        serialization group overlap in time.
+        never exceeds the TAM width, (iii) instantaneous power draw
+        never exceeds the power budget (when one is set), and (iv) no
+        two tasks of one serialization group overlap in time.
 
         :raises ScheduleError: on the first violated constraint.
         """
@@ -114,10 +148,10 @@ class Schedule:
         if len(set(names)) != len(names):
             raise ScheduleError("duplicate task names in schedule")
 
-        profile = CapacityProfile(self.width)
+        profile = CapacityProfile(self.width, self.power_budget)
         for item in sorted(self.items, key=lambda i: (i.start, i.task.name)):
             try:
-                profile.add(item.start, item.finish, item.width)
+                profile.add(item.start, item.finish, item.width, item.power)
             except ValueError as exc:
                 raise ScheduleError(
                     f"task {item.task.name!r} overflows the TAM: {exc}"

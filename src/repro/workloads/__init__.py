@@ -11,13 +11,17 @@ This package produces them three ways:
   cores) onto any digital SOC;
 * :mod:`repro.workloads.registry` — named presets so the CLI, the
   sweep engine, and the experiment drivers all resolve SOCs uniformly:
-  ``build("d695m")``.
+  ``build("d695m")``;
+* :mod:`repro.workloads.power` — power annotation: rate every test
+  and derive a binding SOC power budget (the ``minip`` / ``big8mp`` /
+  ``big12mp`` / ``big16mp`` presets).
 
 Everything is a pure function of ``(recipe, seed)``; the ``p93791m``
 preset is bit-identical to :func:`repro.soc.benchmarks.p93791m`.
 """
 
 from .analog import PAPER_POLICY, AnalogPolicy, augment, build_analog_cores
+from .power import DEFAULT_UTILIZATION, annotate_power
 from .generator import (
     D695_FAMILY,
     G1023_FAMILY,
@@ -44,9 +48,11 @@ __all__ = [
     "G1023_FAMILY",
     "P22810_FAMILY",
     "P93791_FAMILY",
+    "DEFAULT_UTILIZATION",
     "PAPER_POLICY",
     "SizeClass",
     "Workload",
+    "annotate_power",
     "augment",
     "build",
     "build_analog_cores",

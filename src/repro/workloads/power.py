@@ -1,0 +1,94 @@
+"""Power annotation: rate an SOC's tests and derive a power budget.
+
+The power-constrained scheduling literature (Chou/Saluja; Iyengar and
+Chakrabarty's power-constrained test scheduling) models each test as
+drawing a flat peak power while it runs, with the SOC test plan capped
+by an instantaneous budget.  :func:`annotate_power` retrofits that
+model onto any registered workload:
+
+* each **digital core** gets a flat rating scaling with the square
+  root of its scan population (toggling flops dominate scan test
+  power), jittered by a seeded RNG so cores of one size class do not
+  all collide on one value;
+* each **analog test** gets a small seeded rating (analog test power
+  is dominated by the core's bias/driver circuits, not by size);
+* the SOC's ``power_budget`` is set to a *utilization* fraction of the
+  worst-case concurrent draw (the sum of all ratings), floored at the
+  largest single rating so the instance always stays feasible.
+
+Everything derives deterministically from ``(soc, seed)``, keeping the
+workload-registry contract: one ``(preset, seed)`` pair, one SOC.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+
+from ..soc.model import AnalogCore, Soc
+
+__all__ = ["annotate_power", "DEFAULT_UTILIZATION"]
+
+#: Fraction of the worst-case concurrent draw (sum of all ratings) the
+#: derived budget allows.  A TAM-width-limited schedule only ever runs
+#: a minority of tests at once — its unconstrained peak draw sits near
+#: a third of the sum on the stress presets — so 0.25 yields budgets
+#: that genuinely bind (reshape schedules) while staying safely above
+#: the largest single rating.
+DEFAULT_UTILIZATION = 0.25
+
+
+def annotate_power(
+    soc: Soc,
+    seed: int = 0,
+    utilization: float = DEFAULT_UTILIZATION,
+    power_budget: int | None = None,
+) -> Soc:
+    """Rate every test of *soc* and cap it with a power budget.
+
+    :param soc: the SOC to annotate (existing ratings are replaced).
+    :param seed: RNG seed for the rating jitter (deterministic).
+    :param utilization: budget as a fraction of the sum of all
+        ratings (ignored when *power_budget* is given).
+    :param power_budget: explicit budget override; ``None`` derives
+        one from *utilization*.
+    :raises ValueError: if *utilization* is not in (0, 1].
+    """
+    if not 0 < utilization <= 1:
+        raise ValueError(
+            f"utilization must lie in (0, 1], got {utilization}"
+        )
+    rng = random.Random(seed)
+    digital = tuple(
+        replace(
+            core,
+            power=max(
+                1,
+                round(math.sqrt(core.scan_inputs) * rng.uniform(0.6, 1.4)),
+            ),
+        )
+        for core in soc.digital_cores
+    )
+    analog: list[AnalogCore] = []
+    for core in soc.analog_cores:
+        tests = tuple(
+            replace(test, power=rng.randint(1, 8)) for test in core.tests
+        )
+        analog.append(replace(core, tests=tests))
+    total = sum(c.power for c in digital) + sum(
+        t.power for c in analog for t in c.tests
+    )
+    largest = max(
+        [c.power for c in digital]
+        + [t.power for c in analog for t in c.tests],
+        default=0,
+    )
+    if power_budget is None:
+        power_budget = max(largest, math.ceil(total * utilization))
+    return Soc(
+        name=soc.name,
+        digital_cores=digital,
+        analog_cores=tuple(analog),
+        power_budget=power_budget,
+    )

@@ -27,12 +27,19 @@ rand48m    seeded random 48-core family + an 8-core converter-rich mix
 big8m      search stress: small digital side + 8 analog cores
 big12m     search stress: small digital side + 12 analog cores
 big16m     search stress: small digital side + 16 analog cores
+minip      ``mini`` with power ratings + a binding power budget
+big8mp     ``big8m``, power-annotated (power-constrained stress)
+big12mp    ``big12m``, power-annotated (power-constrained stress)
+big16mp    ``big16m``, power-annotated (power-constrained stress)
 ========== ============================================================
 
 The ``big*m`` presets exist to exercise :mod:`repro.search`: their
 partition spaces (Bell(8) = 4140 up to Bell(16) ~ 1e10) are far beyond
 the paper's exhaustive/heuristic drivers, while the deliberately small
-digital side keeps each schedule evaluation fast.
+digital side keeps each schedule evaluation fast.  The ``*p`` variants
+run the same scenarios through :func:`repro.workloads.power.annotate_power`,
+adding per-test power ratings and a binding SOC power budget — the
+workload family for the power-constrained scheduling axis.
 
 Custom workloads register with :func:`register`; :func:`random_workload`
 builds ad-hoc scenarios (the ``repro generate`` command) without
@@ -47,6 +54,7 @@ from dataclasses import dataclass
 from ..soc import benchmarks
 from ..soc.model import Soc
 from .analog import PAPER_POLICY, AnalogPolicy, augment
+from .power import annotate_power
 from .generator import (
     D695_FAMILY,
     G1023_FAMILY,
@@ -170,6 +178,27 @@ def _family_workload(
     )
 
 
+def _power_variant(base_name: str, description: str) -> Workload:
+    """The power-annotated twin of a registered preset (name + ``p``).
+
+    The twin builds the base SOC from the same seed, then rates every
+    test and derives a binding power budget via
+    :func:`repro.workloads.power.annotate_power` (also seeded by the
+    same value, so determinism is preserved end to end).
+    """
+    base = get(base_name)
+
+    def factory(seed: int) -> Soc:
+        return annotate_power(base.factory(seed), seed=seed)
+
+    return Workload(
+        name=base_name + "p",
+        description=description,
+        factory=factory,
+        default_seed=base.default_seed,
+    )
+
+
 def _register_defaults() -> None:
     register(Workload(
         name="p93791m",
@@ -242,6 +271,16 @@ def _register_defaults() -> None:
         AnalogPolicy(n_adc=6, n_dac=6, n_pll=4),
         default_seed=16,
     ))
+    # power-annotated variants: the same scenarios with per-test power
+    # ratings and a binding SOC power budget (derived from the same
+    # seed, so a (preset, seed) pair still fully determines the SOC)
+    for base, description in (
+        ("mini", "'mini' with power ratings + a binding power budget"),
+        ("big8m", "power-constrained big8m (ratings + derived budget)"),
+        ("big12m", "power-constrained big12m (ratings + derived budget)"),
+        ("big16m", "power-constrained big16m (ratings + derived budget)"),
+    ):
+        register(_power_variant(base, description))
 
 
 _register_defaults()

@@ -72,29 +72,36 @@ class ParetoCache:
     The TAM optimizer is invoked once per sharing combination per TAM
     width (26 x 5 runs for Table 4); the digital staircases do not
     change between runs, so they are computed once here.
+
+    Entries are keyed by the *core value* (a frozen dataclass, hence
+    hashable by content), never by name: a cache shared across SOCs —
+    or primed for one instantiation of a workload and queried with
+    another — can therefore never serve a stale staircase for a
+    same-named core with different geometry.
     """
 
     def __init__(self, max_width: int):
         if max_width < 1:
             raise ValueError(f"max_width must be >= 1, got {max_width}")
         self.max_width = max_width
-        self._cache: dict[str, tuple[ParetoPoint, ...]] = {}
+        self._cache: dict[DigitalCore, tuple[ParetoPoint, ...]] = {}
 
     def points(self, core: DigitalCore) -> tuple[ParetoPoint, ...]:
         """Pareto staircase for *core*, computed on first use."""
-        cached = self._cache.get(core.name)
+        cached = self._cache.get(core)
         if cached is None:
             cached = pareto_points(core, self.max_width)
-            self._cache[core.name] = cached
+            self._cache[core] = cached
         return cached
 
-    def prime(self, core_name: str, points: tuple[ParetoPoint, ...]) -> None:
-        """Preload the staircase for *core_name*.
+    def prime(self, core: DigitalCore,
+              points: tuple[ParetoPoint, ...]) -> None:
+        """Preload the staircase for *core*.
 
         Used by :mod:`repro.runner` to seed a fresh evaluator from the
         on-disk cache instead of recomputing wrapper designs.
         """
-        self._cache[core_name] = tuple(points)
+        self._cache[core] = tuple(points)
 
     def best_time(self, core: DigitalCore, width: int) -> int:
         """Shortest test time of *core* using at most *width* wires."""

@@ -157,6 +157,57 @@ class TestSearchCommands:
         assert "unknown strategy" in capsys.readouterr().err
 
 
+class TestPowerBudgetFlags:
+    def test_optimize_on_power_preset(self, capsys, tmp_path):
+        assert main(
+            ["--workload", "minip", "optimize", "--strategy", "greedy",
+             "--budget", "10", "--width", "8",
+             "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        assert "best overall" in capsys.readouterr().out
+
+    def test_optimize_power_budget_override(self, capsys, tmp_path):
+        assert main(
+            ["--workload", "minip", "optimize", "--strategy", "greedy",
+             "--budget", "10", "--width", "8", "--power-budget", "19",
+             "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        assert "best overall" in capsys.readouterr().out
+
+    def test_optimize_infeasible_budget_is_cli_error(self, capsys):
+        assert main(
+            ["--workload", "minip", "optimize", "--strategy", "greedy",
+             "--budget", "10", "--width", "8", "--power-budget", "1",
+             "--trace", ""]
+        ) == 2
+        assert "power" in capsys.readouterr().err.lower()
+
+    def test_sweep_power_budget_axis(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.jsonl"
+        assert main(
+            ["--effort", "quick", "sweep", "--preset", "minip",
+             "--widths", "8", "--no-cache",
+             "--power-budget", "19,25", "--out", str(out_path)]
+        ) == 0
+        from repro.reporting import read_jsonl
+
+        records = list(read_jsonl(out_path))
+        assert sorted(r["job"]["power_budget"] for r in records) \
+            == [19, 25]
+        assert all(
+            r["peak_power"] <= r["job"]["power_budget"]
+            for r in records
+        )
+
+    def test_plan_power_budget(self, capsys):
+        assert main(
+            ["--workload", "minip", "--effort", "quick", "plan",
+             "--width", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "peak power" in out
+
+
 class TestProfileCommand:
     def test_profile_reports_throughput(self, capsys):
         assert main(

@@ -26,6 +26,14 @@ class TestSweepJob:
         result = JobResult(job=job, soc_name="mini", makespan=5)
         assert JobResult.from_dict(result.to_dict()) == result
 
+    def test_power_budget_validation(self):
+        with pytest.raises(ValueError, match="power_budget"):
+            SweepJob("mini", width=8, power_budget=0)
+        job = SweepJob("mini", width=8, power_budget=12)
+        assert JobResult.from_dict(
+            JobResult(job=job).to_dict()
+        ).job.power_budget == 12
+
 
 class TestExpandGrid:
     def test_cartesian_product_in_order(self):
@@ -41,6 +49,15 @@ class TestExpandGrid:
             expand_grid([], [8])
         with pytest.raises(ValueError, match="axis"):
             expand_grid(["a"], [])
+        with pytest.raises(ValueError, match="axis"):
+            expand_grid(["a"], [8], power_budgets=())
+
+    def test_power_budget_axis(self):
+        jobs = expand_grid(
+            ["minip"], [8], effort="quick",
+            power_budgets=(None, 19, 25),
+        )
+        assert [j.power_budget for j in jobs] == [None, 19, 25]
 
 
 class TestEvaluateJob:
@@ -73,6 +90,44 @@ class TestEvaluateJob:
         )
         assert wider.staircase_hits == 4
         assert wider.staircase_misses == 0
+
+
+class TestPowerJobs:
+    def test_power_preset_job_respects_budget(self):
+        result = evaluate_job(SweepJob("minip", width=8, effort="quick"))
+        assert result.status == "ok"
+        from repro.workloads import build
+
+        budget = build("minip").power_budget
+        assert 0 < result.peak_power <= budget
+
+    def test_budget_override_tightens_and_rekeys(self, tmp_path):
+        """An explicit job power budget is applied to the SOC and
+        lands in the cache key: the constrained and unconstrained
+        runs never share an entry."""
+        cache = str(tmp_path / "cache")
+        base = SweepJob("minip", width=8, effort="quick")
+        tight = SweepJob("minip", width=8, effort="quick",
+                         power_budget=19)
+        first = evaluate_job(base, cache_dir=cache)
+        second = evaluate_job(tight, cache_dir=cache)
+        assert not second.cache_hit
+        assert second.peak_power <= 19
+        # warm rerun of each hits its own entry
+        assert evaluate_job(base, cache_dir=cache).cache_hit
+        assert evaluate_job(tight, cache_dir=cache).cache_hit
+        assert first.makespan <= second.makespan
+
+    def test_infeasible_budget_is_isolated_error(self):
+        # minip's largest single rating exceeds 1: the job must fail
+        # as an isolated error record, not sink the sweep
+        sweep = run_sweep([
+            SweepJob("minip", width=8, effort="quick", power_budget=1),
+            SweepJob("mini", width=8, effort="quick"),
+        ])
+        assert len(sweep.errors) == 1
+        assert "power" in sweep.errors[0].error.lower()
+        assert len(sweep.ok) == 1
 
 
 class TestRunSweep:

@@ -31,6 +31,34 @@ class TestBoundAdmissibility:
             assert big8_model.cost_lower_bound(partition) <= \
                 big8_model.total_cost(partition) + 1e-9, partition
 
+    def test_bound_stays_admissible_under_power_budget(self):
+        """The power-volume term joins the invariant bound; it must
+        never lift the bound past any true cost (the gate's guarantee
+        on the power-constrained workload family)."""
+        from repro.workloads import build
+
+        soc = build("big8mp")
+        model = quick_model(soc, width=16)
+        assert model.evaluator.power_budget == soc.power_budget
+        names = [core.name for core in soc.analog_cores]
+        for partition in random_partitions(names, 15, seed=5):
+            assert model.cost_lower_bound(partition) <= \
+                model.total_cost(partition) + 1e-9, partition
+
+    def test_power_budget_tightens_the_invariant_bound(self):
+        """A binding budget may only raise the partition-invariant
+        bound, never lower it (monotone in the constraint set)."""
+        from repro.core.cost import ScheduleEvaluator
+        from repro.workloads import build
+
+        soc = build("big8mp")
+        constrained = ScheduleEvaluator(soc, 16, shuffles=0)
+        unconstrained = ScheduleEvaluator(
+            soc.with_power_budget(None), 16, shuffles=0
+        )
+        assert constrained.invariant_time_bound >= \
+            unconstrained.invariant_time_bound
+
     def test_self_test_disables_the_bound(self, mini_ms_soc):
         from repro.core.area import AreaModel
         from repro.core.cost import CostModel, CostWeights, \

@@ -138,13 +138,13 @@ class TestProposeBatch:
         strategy.bind(problem, random.Random(seed))
         return strategy, problem
 
-    def test_sequential_strategies_batch_one(self, big8_model):
+    def test_first_batch_is_the_start_point(self, big8_model):
         strategy, _ = self._bound("anneal", big8_model)
         assert len(strategy.propose_batch()) == 1
 
     @pytest.mark.parametrize("name,expected",
                              [("greedy", 4), ("tabu", 6),
-                              ("genetic", 12)])
+                              ("anneal", 4), ("genetic", 12)])
     def test_sampling_strategies_expose_their_batch(
         self, big8_model, name, expected
     ):
@@ -185,6 +185,53 @@ class TestProposeBatch:
             pass
         assert problem.best_cost == via_step.best_cost
         assert problem.best_partition == via_step.best_partition
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_serial_and_batch_trajectories_identical(self, big8_soc, name):
+        """With the gate off (so both paths observe identical costs),
+        the serial one-at-a-time decomposition and the batched driver
+        must produce the *same full trajectory* — RNG stream included.
+        The gated paths may differ only in which non-improving cost a
+        pruned candidate records, never in the incumbent."""
+        import random
+
+        from repro.search import Budget, BudgetExhausted, SearchProblem
+
+        from .conftest import quick_model
+
+        def run(batched: bool):
+            model = quick_model(big8_soc, width=16)
+            problem = SearchProblem(
+                model, Budget(max_evaluations=40), gate=False
+            )
+            problem.budget.start()
+            strategy = registry.create(name)
+            strategy.bind(problem, random.Random(11))
+            try:
+                for _ in range(10_000):
+                    if problem.budget.exhausted:
+                        break
+                    batch = strategy.propose_batch()
+                    if batched:
+                        costs = problem.evaluate_batch(batch)
+                    else:
+                        costs = [problem.evaluate(c) for c in batch]
+                    strategy.observe_batch(batch, costs)
+            except BudgetExhausted:
+                pass
+            return problem
+
+        def key(problem):
+            return [
+                (p.n_evaluated, p.best_cost, p.partition)
+                for p in problem.trace
+            ]
+
+        serial = run(batched=False)
+        batched = run(batched=True)
+        assert key(serial) == key(batched)
+        assert serial.best_partition == batched.best_partition
+        assert list(serial._costs) == list(batched._costs)
 
 
 class TestCrossover:

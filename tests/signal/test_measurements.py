@@ -99,6 +99,28 @@ class TestThd:
         y = multitone((Tone(bin_freq(10), 0.5),), FS, N)
         with pytest.raises(ValueError, match="n_harmonics"):
             measure_thd_percent(y, FS, bin_freq(10), n_harmonics=0)
+        with pytest.raises(ValueError, match="n_harmonics"):
+            # order 1 is the fundamental: nothing would be measured
+            measure_thd_percent(y, FS, bin_freq(10), n_harmonics=1)
+
+    def test_sums_exactly_orders_2_to_n(self):
+        """Convention regression (off-by-one fix): ``n_harmonics``
+        names the highest harmonic *order* measured, so orders
+        ``2 .. n_harmonics`` contribute and order ``n_harmonics + 1``
+        must not.  Analytically known waveform: amplitudes 1.0 at f,
+        0.03 at 2f, 0.04 at 3f, and a large 0.5 at 4f."""
+        f = bin_freq(100)
+        y = multitone(
+            (Tone(f, 1.0), Tone(2 * f, 0.03), Tone(3 * f, 0.04),
+             Tone(4 * f, 0.5)),
+            FS, N,
+        )
+        # orders 2 and 3 only: sqrt(0.03^2 + 0.04^2) / 1.0 = 5%
+        assert measure_thd_percent(y, FS, f, n_harmonics=3) \
+            == pytest.approx(5.0, abs=0.05)
+        # order 4 joins at n_harmonics=4: sqrt(0.0025 + 0.25) ~ 50.25%
+        assert measure_thd_percent(y, FS, f, n_harmonics=4) \
+            == pytest.approx(50.25, abs=0.3)
 
 
 class TestIip3:

@@ -1,0 +1,267 @@
+"""Power-constrained scheduling: profile, packer, bounds, validation.
+
+The tentpole suite for the power axis:
+
+* the capacity profile's second skyline dimension (two-ceiling
+  ``earliest_fit``, add/rollback symmetry, clone);
+* ``Schedule.validate`` catching budget overruns;
+* hypothesis round-trip — the fast and reference packers agree on
+  feasibility and makespan under random budgets, schedules never
+  exceed the budget, and ``power_budget=None`` stays identical to the
+  pre-power packer;
+* admissibility — the power-volume bound (and the combined bound)
+  never exceeds the exact optimum on branch-and-bound-solved
+  instances.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tam.branch_bound import optimal_makespan
+from repro.tam.lower_bound import makespan_lower_bound, power_volume_bound
+from repro.tam.model import TamTask, WidthOption
+from repro.tam.packing import InfeasibleError, PackContext, pack
+from repro.tam.profile import CapacityProfile
+from repro.tam.reference import reference_pack
+from repro.tam.schedule import Schedule, ScheduledTest, ScheduleError
+
+
+def task(name, options, group=None):
+    return TamTask(
+        name=name,
+        options=tuple(WidthOption(*o) for o in options),
+        group=group,
+    )
+
+
+class TestProfilePower:
+    def test_power_headroom_blocks_placement(self):
+        profile = CapacityProfile(8, power_budget=10)
+        profile.add(0, 10, 2, power=7)
+        # width would fit at t=0, power would not: pushed to t=10
+        assert profile.earliest_fit(0, 5, 2, power=5) == 10
+        # a draw within the headroom still lands at t=0
+        assert profile.earliest_fit(0, 5, 2, power=3) == 0
+
+    def test_power_zero_never_blocks(self):
+        profile = CapacityProfile(8, power_budget=1)
+        profile.add(0, 10, 2, power=1)
+        assert profile.earliest_fit(0, 5, 2, power=0) == 0
+
+    def test_add_rejects_budget_overrun(self):
+        profile = CapacityProfile(8, power_budget=10)
+        profile.add(0, 10, 2, power=7)
+        with pytest.raises(ValueError, match="power budget"):
+            profile.add(5, 8, 1, power=4)
+
+    def test_earliest_fit_rejects_impossible_power(self):
+        profile = CapacityProfile(8, power_budget=10)
+        with pytest.raises(ValueError, match="power"):
+            profile.earliest_fit(0, 5, 2, power=11)
+
+    def test_rollback_restores_power(self):
+        profile = CapacityProfile(8, power_budget=10)
+        profile.add(0, 10, 2, power=4)
+        before = profile.power_breakpoints()
+        token = profile.snapshot()
+        profile.add(2, 6, 3, power=6)
+        assert profile.power_at(3) == 10
+        profile.rollback(token)
+        assert profile.power_at(3) == 4
+        assert profile.power_breakpoints() == before
+
+    def test_clone_carries_power_state(self):
+        profile = CapacityProfile(8, power_budget=10)
+        profile.add(0, 10, 2, power=4)
+        other = profile.clone()
+        other.add(0, 10, 2, power=6)
+        assert other.power_at(5) == 10
+        assert profile.power_at(5) == 4
+
+    def test_peak_power_tracked(self):
+        profile = CapacityProfile(8, power_budget=10)
+        profile.add(0, 10, 2, power=4)
+        profile.add(5, 15, 2, power=5)
+        assert profile.peak_power() == 9
+
+    def test_unconstrained_profile_ignores_power(self):
+        profile = CapacityProfile(4)
+        profile.add(0, 10, 4, power=1000)
+        assert profile.power_at(5) == 0
+        assert profile.peak_power() == 0
+        assert profile.power_breakpoints() == []
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="power_budget"):
+            CapacityProfile(4, power_budget=0)
+
+
+class TestScheduleValidate:
+    def test_catches_budget_overrun(self):
+        t1 = task("a", [(2, 10, 6)])
+        t2 = task("b", [(2, 10, 6)])
+        items = (
+            ScheduledTest(task=t1, start=0, option=t1.options[0]),
+            ScheduledTest(task=t2, start=5, option=t2.options[0]),
+        )
+        # fits the width, busts the budget over [5, 10)
+        bad = Schedule(width=8, items=items, power_budget=10)
+        with pytest.raises(ScheduleError, match="power budget"):
+            bad.validate()
+        # the same placement is fine unconstrained or under budget 12
+        Schedule(width=8, items=items).validate()
+        Schedule(width=8, items=items, power_budget=12).validate()
+
+    def test_peak_power_event_sweep(self):
+        t1 = task("a", [(1, 10, 3)])
+        t2 = task("b", [(1, 4, 5)])
+        items = (
+            ScheduledTest(task=t1, start=0, option=t1.options[0]),
+            ScheduledTest(task=t2, start=2, option=t2.options[0]),
+        )
+        schedule = Schedule(width=4, items=items)
+        assert schedule.peak_power == 8
+
+    def test_single_task_over_budget(self):
+        t1 = task("a", [(1, 5, 9)])
+        items = (ScheduledTest(task=t1, start=0, option=t1.options[0]),)
+        with pytest.raises(ScheduleError, match="power"):
+            Schedule(width=4, items=items, power_budget=8).validate()
+
+
+class TestPackerPower:
+    def test_infeasible_when_every_option_exceeds_budget(self):
+        tasks = [task("a", [(1, 10, 9)]), task("b", [(1, 5, 2)])]
+        with pytest.raises(InfeasibleError, match="power budget"):
+            pack(tasks, width=4, power_budget=8)
+
+    def test_power_filter_prefers_feasible_option(self):
+        # the wide/fast option busts the budget; the narrow one fits
+        flexible = task("a", [(1, 20, 3), (4, 5, 9)])
+        schedule = pack([flexible], width=8, power_budget=5)
+        assert schedule.item("a").option == flexible.options[0]
+        unconstrained = pack([flexible], width=8)
+        assert unconstrained.item("a").option == flexible.options[1]
+
+    def test_budget_serializes_hot_tasks(self):
+        # three power-6 rectangles on a wide TAM under budget 11:
+        # width admits all three at once, power admits only one
+        tasks = [task(n, [(2, 10, 6)]) for n in "abc"]
+        schedule = pack(tasks, width=32, power_budget=11)
+        schedule.validate()
+        assert schedule.peak_power <= 11
+        assert schedule.makespan == 30
+        assert pack(tasks, width=32).makespan == 10
+
+    def test_pack_context_carries_budget(self):
+        tasks = [task(n, [(2, 10, 6)]) for n in "abc"]
+        context = PackContext(tasks, width=32, power_budget=11)
+        schedule = context.pack(tasks)
+        assert schedule.power_budget == 11
+        assert schedule.makespan == 30
+
+    def test_lower_bound_stop_still_exact_with_power(self):
+        # power-volume bound = ceil(3*10*6 / 11) = 17 < 30: the trial
+        # loop may not stop before proving 30 is order-invariant
+        tasks = [task(n, [(2, 10, 6)]) for n in "abc"]
+        assert makespan_lower_bound(tasks, 32, 11) == 17
+        assert pack(tasks, width=32, power_budget=11).makespan == 30
+
+
+# -- hypothesis round-trip ---------------------------------------------------
+
+@st.composite
+def task_sets(draw):
+    n = draw(st.integers(2, 6))
+    tasks = []
+    for i in range(n):
+        n_options = draw(st.integers(1, 3))
+        width = 0
+        time = draw(st.integers(8, 60))
+        options = []
+        for _ in range(n_options):
+            width += draw(st.integers(1, 4))
+            power = draw(st.integers(0, 7))
+            options.append((width, time, power))
+            time -= draw(st.integers(1, 6))
+            if time < 1:
+                break
+        group = draw(st.sampled_from([None, "g1", "g2"]))
+        tasks.append(task(f"t{i}", options, group))
+    return tasks
+
+
+@given(tasks=task_sets(), width=st.integers(4, 12),
+       slack=st.integers(0, 6))
+@settings(max_examples=60, deadline=None)
+def test_fast_reference_power_roundtrip(tasks, width, slack):
+    """Fast and reference packers agree on feasibility and makespan
+    under random budgets; valid schedules never exceed the budget."""
+    max_power = max(o.power for t in tasks for o in t.options)
+    budget = max(1, max_power) + slack
+    try:
+        fast = pack(tasks, width, power_budget=budget)
+        fast_error = None
+    except InfeasibleError as exc:
+        fast, fast_error = None, exc
+    try:
+        ref = reference_pack(tasks, width, power_budget=budget)
+        ref_error = None
+    except InfeasibleError as exc:
+        ref, ref_error = None, exc
+    assert (fast_error is None) == (ref_error is None)
+    if fast is not None:
+        assert fast.makespan == ref.makespan
+        fast.validate()
+        ref.validate()
+        assert fast.peak_power <= budget
+        assert ref.peak_power <= budget
+
+
+@given(tasks=task_sets(), width=st.integers(4, 12))
+@settings(max_examples=40, deadline=None)
+def test_unconstrained_packs_are_unchanged(tasks, width):
+    """power_budget=None must not perturb placement at all, power
+    ratings present or not."""
+    try:
+        with_none = pack(tasks, width, power_budget=None)
+    except InfeasibleError:
+        return
+    stripped = [
+        TamTask(
+            name=t.name,
+            options=tuple(
+                WidthOption(width=o.width, time=o.time)
+                for o in t.options
+            ),
+            group=t.group,
+        )
+        for t in tasks
+    ]
+    without_ratings = pack(stripped, width)
+    assert with_none.makespan == without_ratings.makespan
+    assert [
+        (i.task.name, i.start, i.width) for i in with_none.items
+    ] == [
+        (i.task.name, i.start, i.width) for i in without_ratings.items
+    ]
+
+
+@given(tasks=task_sets(), width=st.integers(4, 10),
+       slack=st.integers(0, 4))
+@settings(max_examples=30, deadline=None)
+def test_power_bound_admissible_vs_exact_optimum(tasks, width, slack):
+    """Neither the power-volume bound nor the combined bound ever
+    exceeds the true optimum of an exhaustively solved instance."""
+    tasks = tasks[:5]
+    max_power = max(o.power for t in tasks for o in t.options)
+    budget = max(1, max_power) + slack
+    feasible = all(t.options_within(width, budget) for t in tasks)
+    if not feasible or not all(t.options_within(width) for t in tasks):
+        return
+    optimum = optimal_makespan(tasks, width, power_budget=budget)
+    assert power_volume_bound(tasks, budget) <= optimum
+    assert makespan_lower_bound(tasks, width, budget) <= optimum
+    # the heuristic packer is feasible, so it sits at or above optimum
+    assert pack(tasks, width, power_budget=budget).makespan >= optimum

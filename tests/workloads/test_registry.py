@@ -81,6 +81,40 @@ class TestRegistry:
         assert build("d695m", seed=7) == build("d695m", seed=7)
         assert build("d695m", seed=7) != build("d695m", seed=8)
 
+    def test_power_presets_registered(self):
+        for preset in ("minip", "big8mp", "big12mp", "big16mp"):
+            assert preset in names(), preset
+
+    def test_power_presets_carry_binding_budgets(self):
+        """Every *p preset rates all tests and derives a budget that
+        is feasible (>= the largest single rating) yet binding
+        (< the sum of all ratings, so concurrency is actually capped)."""
+        for preset in ("minip", "big8mp", "big12mp", "big16mp"):
+            soc = build(preset)
+            assert soc.power_budget is not None, preset
+            assert all(c.power > 0 for c in soc.digital_cores), preset
+            assert all(
+                t.power > 0 for c in soc.analog_cores for t in c.tests
+            ), preset
+            total = sum(c.power for c in soc.digital_cores) + sum(
+                t.power for c in soc.analog_cores for t in c.tests
+            )
+            assert soc.max_task_power <= soc.power_budget < total, preset
+
+    def test_power_preset_mirrors_base_geometry(self):
+        base, powered = build("big8m"), build("big8mp")
+        assert [c.name for c in powered.digital_cores] == \
+            [c.name for c in base.digital_cores]
+        assert [c.name for c in powered.analog_cores] == \
+            [c.name for c in base.analog_cores]
+        # only power fields (and the budget) differ
+        assert powered.with_power_budget(None) != base
+        assert build("big8mp", seed=3) == build("big8mp", seed=3)
+
+    def test_power_preset_roundtrips_through_soc_format(self):
+        soc = build("minip")
+        assert itc02.loads(itc02.dumps(soc)) == soc
+
     def test_unknown_name_lists_alternatives(self):
         with pytest.raises(KeyError, match="available"):
             get("nope")

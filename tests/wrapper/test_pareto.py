@@ -87,3 +87,26 @@ class TestParetoCache:
             points = cache.points(c)
             assert points[0].width == 1
             assert points[-1].time <= points[0].time
+
+    def test_same_name_different_geometry_never_collides(self):
+        """Entries are keyed by core *value*: a primed (or computed)
+        staircase for one core must never be served for a same-named
+        core with different geometry."""
+        cache = ParetoCache(16)
+        small = core(chains=(20, 10), patterns=5)
+        big = core(chains=(400, 300, 200, 100), patterns=200)
+        assert small.name == big.name  # the collision scenario
+        small_points = cache.points(small)
+        big_points = cache.points(big)
+        assert small_points != big_points
+        assert big_points == pareto_points(big, 16)
+
+    def test_prime_keyed_by_core_value(self):
+        cache = ParetoCache(16)
+        primed = core(chains=(20, 10), patterns=5)
+        other = core(chains=(400, 300), patterns=100)
+        sentinel = pareto_points(primed, 16)
+        cache.prime(primed, sentinel)
+        assert cache.points(primed) == sentinel
+        # the same-named other core computes its own staircase
+        assert cache.points(other) == pareto_points(other, 16)

@@ -19,6 +19,8 @@ Usage::
         --strategy anneal --budget 200  # budgeted anytime search
     python -m repro sweep --preset p93791m,d695m --widths 16,24,32 \\
         --jobs 4                        # parallel cached batch sweep
+    python -m repro --obs-dir runs/r1 optimize --workers 2
+    python -m repro report --run runs/r1   # render the telemetry
 
 Each table/figure subcommand prints the corresponding table in the
 paper's layout; the global ``--workload`` flag points the
@@ -29,7 +31,9 @@ SOCs, so the flag does not affect them).  ``sweep`` fans a (workload x
 width x weight) grid across worker processes with an on-disk result
 cache, streaming JSONL; its ``--strategy`` axis races anytime
 optimizers (``optimize`` runs a single one and writes its
-best-cost-vs-evaluations trace).
+best-cost-vs-evaluations trace).  The global ``--obs-dir`` flag turns
+on :mod:`repro.obs` telemetry for any run — manifest, merged metrics,
+lane traces — which ``report --run DIR`` renders.
 """
 
 from __future__ import annotations
@@ -84,6 +88,54 @@ def _str_list(tokens: list[str]) -> tuple[str, ...]:
     return tuple(values)
 
 
+def _obs_manifest(command: str, params: dict, engine: str | None = None):
+    """Pin the run's inputs into ``<run_dir>/manifest.json`` (no-op when
+    telemetry is off)."""
+    from . import obs
+
+    state = obs.state()
+    if state is None:
+        return
+    from .runner.engine import CACHE_VERSION
+
+    obs.RunManifest.create(
+        command, params=params, cache_version=CACHE_VERSION,
+        engine=engine,
+    ).write(state.run_dir)
+
+
+def _obs_artifacts(trace_records=None, lane_records=None) -> None:
+    """Drop the run artifacts ``repro report --run`` reads —
+    ``trace.jsonl`` (anytime trace) and ``lanes.json`` (per-lane
+    rollup) — into the run directory (no-op when telemetry is off)."""
+    import json as _json
+
+    from . import obs
+    from .reporting import write_jsonl
+
+    state = obs.state()
+    if state is None:
+        return
+    if trace_records is not None:
+        write_jsonl(trace_records, state.run_dir / obs.TRACE_FILE)
+    if lane_records is not None:
+        (state.run_dir / obs.LANES_FILE).write_text(
+            _json.dumps(lane_records, indent=2) + "\n"
+        )
+
+
+def _finalize_obs() -> None:
+    """Flush the parent's telemetry and fold every process's spool into
+    ``<run_dir>/metrics.json`` (no-op when telemetry is off)."""
+    from . import obs
+
+    state = obs.state()
+    if state is None:
+        return
+    obs.flush()
+    obs.aggregate(state.run_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -109,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="workload seed (default: the preset's own)",
+    )
+    parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="enable telemetry, rooting the run directory at DIR: a "
+             "manifest, merged metrics, per-lane traces, and span "
+             "events land there (render with 'report --run DIR'; "
+             "default: telemetry off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -155,7 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pr = sub.add_parser(
-        "report", help="write a consolidated markdown report"
+        "report", help="write a consolidated markdown report, or "
+                       "render a telemetry run directory (--run)"
     )
     pr.add_argument(
         "--out", default="REPORT.md", help="output file path"
@@ -163,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--fast", action="store_true",
         help="skip the scheduling-heavy Tables 3 and 4",
+    )
+    pr.add_argument(
+        "--run", default=None, metavar="RUNDIR",
+        help="render the telemetry of a finished --obs-dir run "
+             "instead: manifest, per-lane timeline, metric and span "
+             "summaries, best-cost-vs-time plot",
     )
 
     sub.add_parser("all", help="run every experiment (slow)")
@@ -473,6 +539,15 @@ def _run_optimize(args: argparse.Namespace) -> str:
     n_lanes = args.portfolio
     if n_lanes == 0 and args.workers > 1:
         n_lanes = max(args.workers, 4)
+    _obs_manifest("optimize", {
+        "workload": workload, "width": width, "wt": args.wt,
+        "budget": budget, "seconds": args.seconds,
+        "strategies": list(names), "seed": args.seed,
+        "search_seed": args.search_seed,
+        "pack_effort": args.pack_effort or effort,
+        "lanes": n_lanes, "workers": args.workers,
+        "power_budget": args.power_budget,
+    }, engine="fast")
     if n_lanes:
         return _run_portfolio(
             args, workload, width, budget, names, soc, pack_kwargs,
@@ -526,12 +601,13 @@ def _run_optimize(args: argparse.Namespace) -> str:
         f"{evaluator.evaluations} TAM packing runs total across "
         f"{len(outcomes)} strategies",
     ]
+    evaluator.publish_obs()
+    records = []
+    for outcome in outcomes:
+        records.extend(outcome.trace_records(
+            workload=workload, width=width, wt=args.wt, budget=budget,
+        ))
     if args.trace:
-        records = []
-        for outcome in outcomes:
-            records.extend(outcome.trace_records(
-                workload=workload, width=width, wt=args.wt, budget=budget,
-            ))
         try:
             write_jsonl(records, args.trace)
         except OSError as exc:
@@ -540,6 +616,21 @@ def _run_optimize(args: argparse.Namespace) -> str:
             ) from None
         lines.append(f"anytime trace ({len(records)} records) -> "
                      f"{args.trace}")
+    # one synthetic "lane" per raced strategy, so report --run renders
+    # the same table for inline and portfolio runs
+    _obs_artifacts(trace_records=records, lane_records=[
+        {
+            "lane": i, "label": o.strategy, "strategy": o.strategy,
+            "seed": o.seed, "n_evaluated": o.n_evaluated,
+            "n_packs": o.n_packs, "n_gated": o.n_gated,
+            "best_cost": (
+                None if o.best_partition is None else o.best_cost
+            ),
+            "improvements": len(o.trace), "elapsed_s": o.elapsed_s,
+            "stalled": o.stalled,
+        }
+        for i, o in enumerate(outcomes)
+    ])
     return "\n".join(lines)
 
 
@@ -581,10 +672,10 @@ def _run_portfolio(
     except ValueError as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
     lines = [header, outcome.summary()]
+    records = outcome.trace_records(
+        workload=workload, width=width, wt=args.wt, budget=budget,
+    )
     if args.trace:
-        records = outcome.trace_records(
-            workload=workload, width=width, wt=args.wt, budget=budget,
-        )
         try:
             write_jsonl(records, args.trace)
         except OSError as exc:
@@ -593,6 +684,9 @@ def _run_portfolio(
             ) from None
         lines.append(f"anytime trace ({len(records)} records) -> "
                      f"{args.trace}")
+    _obs_artifacts(
+        trace_records=records, lane_records=outcome.lane_records()
+    )
     return "\n".join(lines)
 
 
@@ -642,6 +736,7 @@ def _run_profile(args: argparse.Namespace) -> str:
         f"fast engine:  {n / elapsed:8.1f} evals/s "
         f"({evaluator.evaluations} packs in {elapsed:.3f}s)",
     ]
+    evaluator.publish_obs()
     stats = evaluator.pack_stats
     if stats is not None and stats.orders_tried:
         placements = stats.prefix_placements + stats.fresh_placements
@@ -672,6 +767,7 @@ def _run_profile(args: argparse.Namespace) -> str:
             search_registry.create("anneal"), problem, seed=0
         )
         search_elapsed = _time.perf_counter() - started
+        model.evaluator.publish_obs()
         lines.append(
             f"gated anneal: {outcome.n_evaluated} evaluations "
             f"({outcome.n_packs} packs, {outcome.n_gated} gated = "
@@ -774,6 +870,15 @@ def _run_sweep(args: argparse.Namespace) -> str:
 
     if args.jobs < 1:
         raise _CliError(f"--jobs must be >= 1, got {args.jobs}")
+    _obs_manifest("sweep", {
+        "presets": list(presets), "widths": list(widths),
+        "wts": list(args.wt), "seed": args.seed, "delta": args.delta,
+        "exhaustive": args.exhaustive, "effort": effort,
+        "strategies": list(strategies), "budget": args.budget,
+        "search_seed": args.search_seed, "n_jobs": len(jobs),
+        "workers": args.jobs, "cache_dir": cache_dir,
+        "start_method": args.start_method,
+    }, engine="fast")
 
     def progress(result) -> None:
         state = "cache" if result.cache_hit else result.status
@@ -823,6 +928,13 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
             )
         ]
         return "\n".join(lines)
+    if command == "report" and args.run:
+        from . import obs
+
+        try:
+            return obs.render_report(args.run)
+        except FileNotFoundError as exc:
+            raise _CliError(str(exc)) from None
     if command == "generate":
         return _run_generate(args)
     if command == "optimize":
@@ -887,6 +999,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     started = time.time()
+    if args.obs_dir:
+        from . import obs
+
+        try:
+            obs.configure(args.obs_dir)
+        except OSError as exc:
+            print(f"error: cannot create obs dir {args.obs_dir!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
     try:
         if args.command == "all":
             for command in ("table1", "table2", "fig4", "fig5", "table3",
@@ -905,6 +1026,9 @@ def main(argv: list[str] | None = None) -> int:
         # one-line diagnostic instead of a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    finally:
+        # even a failed run leaves an aggregable telemetry record
+        _finalize_obs()
     elapsed = time.time() - started
     if elapsed > 5:
         print(f"\n[{elapsed:.0f}s]", file=sys.stderr)

@@ -28,9 +28,11 @@ with two guarantees the optimization layer relies on:
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from .. import obs
 from ..soc.model import Soc
 from ..tam.builder import analog_tasks, digital_tasks
 from ..tam.lower_bound import (
@@ -152,12 +154,46 @@ class ScheduleEvaluator:
         #: raised by the hook propagates to the caller, which is how a
         #: hard budget can abort an in-flight optimization.
         self.on_evaluation: Callable[[int], None] | None = None
+        # telemetry: resolved once at construction (None = disabled,
+        # the whole-subsystem cost is then one branch per schedule()).
+        # Configure telemetry before building evaluators.
+        self._obs = obs.state()
+        self._obs_published: dict[str, int] = {}
 
     @property
     def pack_stats(self) -> PackStats | None:
         """Hot-path counters of the shared pack context (``None``
         before the first fast-engine pack)."""
         return self._context.stats if self._context is not None else None
+
+    def publish_obs(self) -> None:
+        """Fold hot-path counters into the telemetry registry.
+
+        Pull model: :class:`~repro.tam.packing.PackStats` and
+        :class:`~repro.tam.profile.FitStats` accumulate locally at
+        full speed; this publishes the *delta* since the last publish,
+        so it is safe (and expected) to call repeatedly — once per
+        lane task, sweep job, or run end.  No-op when telemetry is
+        disabled.
+        """
+        st = self._obs
+        if st is None:
+            return
+        values: dict[str, int] = {"eval.packs": self.evaluations}
+        stats = self.pack_stats
+        if stats is not None:
+            for key, value in stats.to_dict().items():
+                values[f"pack.{key}"] = value
+        if self._context is not None \
+                and self._context.fit_stats is not None:
+            for key, value in self._context.fit_stats.to_dict().items():
+                values[f"pack.{key}"] = value
+        published = self._obs_published
+        for name, value in values.items():
+            delta = value - published.get(name, 0)
+            if delta:
+                st.registry.counter(name).inc(delta)
+                published[name] = value
 
     def warm(self) -> "ScheduleEvaluator":
         """Pre-build every lazily derived artifact; returns self.
@@ -171,12 +207,13 @@ class ScheduleEvaluator:
         initializers so the fork-once workers pay these costs exactly
         once, before the first real evaluation arrives.
         """
-        _ = self.invariant_time_bound
-        all_share: Partition = tuple(
-            [tuple(sorted(core.name for core in self.soc.analog_cores))]
-        )
-        if all_share[0]:
-            self.schedule(all_share)
+        with obs.span("evaluator.warm", width=self.width):
+            _ = self.invariant_time_bound
+            all_share: Partition = tuple(
+                [tuple(sorted(core.name for core in self.soc.analog_cores))]
+            )
+            if all_share[0]:
+                self.schedule(all_share)
         return self
 
     @property
@@ -260,8 +297,17 @@ class ScheduleEvaluator:
         """
         cached = self._schedules.get(partition)
         if cached is not None:
+            if self._obs is not None:
+                self._obs.registry.counter("eval.schedule_hits").inc()
             return cached
-        result = self._pack(partition)
+        if self._obs is not None:
+            t0 = time.monotonic()
+            result = self._pack(partition)
+            self._obs.registry.histogram("span.pack").observe(
+                time.monotonic() - t0
+            )
+        else:
+            result = self._pack(partition)
         self.evaluations += 1
         if self.on_evaluation is not None:
             self.on_evaluation(self.evaluations)

@@ -1,0 +1,73 @@
+"""repro.obs — unified telemetry for the search/runner stack.
+
+One subsystem replaces the scattered ad-hoc signals (``PackStats``
+trapped in a packer, ``n_gated`` on an outcome, hand-rolled bench
+JSON): a per-process **metrics registry** with mergeable snapshots,
+**span tracing** on the hot boundaries, and a **run manifest** pinning
+what ran.  Workers spool to per-process files under the run directory;
+the parent aggregates them into one exact total; ``repro report
+--run DIR`` renders the result.
+
+Telemetry is off by default and the disabled path is a true no-op —
+one branch per instrumented site, no clocks, no allocation, and no RNG
+access, so enabling or disabling it can never change a search
+trajectory.  Enable with :func:`configure` or by exporting
+``REPRO_OBS_DIR`` (inherited by fork and spawn workers alike).
+"""
+
+from .manifest import MANIFEST_FILE, RunManifest
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .report import LANES_FILE, TRACE_FILE, render_report
+from .runtime import (
+    ENV_RUN_DIR,
+    METRICS_FILE,
+    ObsState,
+    aggregate,
+    configure,
+    counter,
+    disable,
+    enabled,
+    event,
+    flush,
+    read_events,
+    set_context,
+    snapshot,
+    state,
+)
+from .spans import span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "ENV_RUN_DIR",
+    "Gauge",
+    "Histogram",
+    "LANES_FILE",
+    "MANIFEST_FILE",
+    "METRICS_FILE",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsState",
+    "RunManifest",
+    "TRACE_FILE",
+    "aggregate",
+    "configure",
+    "counter",
+    "disable",
+    "enabled",
+    "event",
+    "flush",
+    "read_events",
+    "render_report",
+    "set_context",
+    "snapshot",
+    "span",
+    "state",
+]

@@ -1,0 +1,245 @@
+"""Process-local telemetry state: enable/disable, spool, aggregate.
+
+The contract every instrumented call site relies on:
+
+* :func:`state` returns ``None`` when telemetry is off.  Call sites
+  fetch it once (usually at construction time), keep the reference,
+  and guard with ``if self._obs is not None`` — with telemetry off the
+  entire subsystem costs one predictable branch and nothing else: no
+  allocation, no clock read, no RNG access.
+* Enabling is explicit (:func:`configure`) or inherited through the
+  ``REPRO_OBS_DIR`` environment variable, which :func:`configure`
+  exports so that both ``fork`` and ``spawn`` worker processes pick
+  the same run directory up on their first telemetry touch.
+* Each process spools **cumulative** totals to its own files under
+  ``<run_dir>/obs/`` — ``metrics-<pid>.json`` (atomically replaced on
+  every flush, so a crashed worker leaves its last complete snapshot)
+  and ``events-<pid>.jsonl`` (append-only span/event stream).  The
+  parent folds every spool file into one exact total with
+  :func:`aggregate` because snapshots merge associatively.
+* Fork safety: a child inheriting the parent's state would re-report
+  the parent's pre-fork counts.  :func:`state` detects the pid change
+  and restarts with a fresh registry for the same run directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "ENV_RUN_DIR",
+    "ObsState",
+    "aggregate",
+    "configure",
+    "counter",
+    "disable",
+    "enabled",
+    "event",
+    "read_events",
+    "set_context",
+    "snapshot",
+    "flush",
+    "state",
+]
+
+#: Environment variable naming the active run directory.  Setting it
+#: (directly, or via :func:`configure`) turns telemetry on for this
+#: process and every worker it launches.
+ENV_RUN_DIR = "REPRO_OBS_DIR"
+
+SPOOL_DIR = "obs"
+METRICS_FILE = "metrics.json"
+
+
+class ObsState:
+    """Everything one process knows about the active run."""
+
+    __slots__ = ("run_dir", "registry", "pid", "context",
+                 "_events", "_events_path")
+
+    def __init__(self, run_dir: Path):
+        self.run_dir = Path(run_dir)
+        self.registry = MetricsRegistry()
+        self.pid = os.getpid()
+        #: ambient key/values merged into every event this process
+        #: emits (e.g. ``lane``/``lane_label`` inside a lane task)
+        self.context: dict = {}
+        self._events: list[dict] = []
+        self._events_path = (
+            self.run_dir / SPOOL_DIR / f"events-{self.pid}.jsonl"
+        )
+
+    # -- events ---------------------------------------------------------
+
+    def emit(self, name: str, **attrs) -> None:
+        """Queue one event record; spooled on the next flush."""
+        record = {
+            "event": name,
+            "t_epoch": time.time(),
+            "t_mono": time.monotonic(),
+            "pid": self.pid,
+        }
+        if self.context:
+            record.update(self.context)
+        if attrs:
+            record.update(attrs)
+        self._events.append(record)
+
+    # -- spooling -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Spool cumulative metrics + queued events to this process's
+        files.  Cheap when nothing changed; safe to call repeatedly."""
+        spool = self.run_dir / SPOOL_DIR
+        spool.mkdir(parents=True, exist_ok=True)
+
+        snap = self.registry.snapshot()
+        if not snap.empty:
+            path = spool / f"metrics-{self.pid}.json"
+            tmp = path.with_suffix(f".tmp-{self.pid}")
+            tmp.write_text(json.dumps(snap.to_dict(), sort_keys=True))
+            os.replace(tmp, path)
+
+        if self._events:
+            with self._events_path.open("a", encoding="utf-8") as fh:
+                for record in self._events:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._events.clear()
+
+
+# Sentinel distinguishing "never looked" from "looked: disabled", so
+# the common disabled path after the first call is one global load and
+# one identity check.
+_UNSET = object()
+_STATE: ObsState | None | object = _UNSET
+
+
+def state() -> ObsState | None:
+    """The live telemetry state, or ``None`` when disabled.
+
+    First call per process consults :data:`ENV_RUN_DIR`; later calls
+    are a cached load.  In a forked child the inherited parent state is
+    replaced by a fresh one (same run directory, zeroed registry) so
+    the child never re-reports pre-fork totals.
+    """
+    global _STATE
+    st = _STATE
+    if st is _UNSET:
+        run_dir = os.environ.get(ENV_RUN_DIR)
+        st = _STATE = ObsState(Path(run_dir)) if run_dir else None
+    elif st is not None and st.pid != os.getpid():
+        st = _STATE = ObsState(st.run_dir)
+    return st
+
+
+def enabled() -> bool:
+    """Whether telemetry is on for this process."""
+    return state() is not None
+
+
+def configure(run_dir: str | Path) -> ObsState:
+    """Enable telemetry, rooting the run at *run_dir*.
+
+    Creates the directory, resets any previous state, and exports
+    :data:`ENV_RUN_DIR` so worker processes inherit the same run.
+    """
+    global _STATE
+    path = Path(run_dir)
+    (path / SPOOL_DIR).mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_RUN_DIR] = str(path)
+    st = _STATE = ObsState(path)
+    return st
+
+
+def disable() -> None:
+    """Turn telemetry off for this process (and future workers)."""
+    global _STATE
+    os.environ.pop(ENV_RUN_DIR, None)
+    _STATE = None
+
+
+def counter(name: str, amount: int | float = 1) -> None:
+    """Bump counter *name* if telemetry is enabled."""
+    st = state()
+    if st is not None:
+        st.registry.counter(name).inc(amount)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point event if telemetry is enabled."""
+    st = state()
+    if st is not None:
+        st.emit(name, **attrs)
+
+
+def set_context(**attrs) -> None:
+    """Merge ambient attributes into every later event (no-op when
+    disabled).  Pass ``key=None`` to drop a key."""
+    st = state()
+    if st is not None:
+        for key, value in attrs.items():
+            if value is None:
+                st.context.pop(key, None)
+            else:
+                st.context[key] = value
+
+
+def flush() -> None:
+    """Spool this process's metrics and events (no-op when disabled)."""
+    st = state()
+    if st is not None:
+        st.flush()
+
+
+def snapshot() -> MetricsSnapshot | None:
+    """This process's current totals, or ``None`` when disabled."""
+    st = state()
+    return None if st is None else st.registry.snapshot()
+
+
+def aggregate(run_dir: str | Path, write: bool = True) -> MetricsSnapshot:
+    """Merge every per-process spool file under *run_dir* into one
+    snapshot; with *write*, persist it as ``<run_dir>/metrics.json``.
+
+    Per-process files hold cumulative totals, so the fold is a plain
+    associative merge — order never matters and re-aggregating is
+    idempotent.
+    """
+    run_dir = Path(run_dir)
+    merged = MetricsSnapshot()
+    spool = run_dir / SPOOL_DIR
+    if spool.is_dir():
+        for path in sorted(spool.glob("metrics-*.json")):
+            merged.merge(
+                MetricsSnapshot.from_dict(
+                    json.loads(path.read_text())
+                )
+            )
+    if write:
+        out = run_dir / METRICS_FILE
+        tmp = out.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(merged.to_dict(), sort_keys=True))
+        os.replace(tmp, out)
+    return merged
+
+
+def read_events(run_dir: str | Path) -> list[dict]:
+    """Every event spooled under *run_dir*, ordered by epoch time —
+    the cross-process alignment the epoch stamp exists for."""
+    run_dir = Path(run_dir)
+    events: list[dict] = []
+    spool = run_dir / SPOOL_DIR
+    if spool.is_dir():
+        for path in sorted(spool.glob("events-*.jsonl")):
+            with path.open(encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        events.append(json.loads(line))
+    events.sort(key=lambda r: r.get("t_epoch", 0.0))
+    return events

@@ -1,0 +1,80 @@
+"""Span tracing: timed sections emitted into the run's event stream.
+
+``obs.span("pack", width=32)`` wraps a code section; on exit one event
+is queued carrying the span name, both clocks (epoch for cross-process
+alignment, monotonic for in-process deltas), the duration, and any
+attributes.  The duration also feeds the ``span.<name>`` histogram so
+the metrics summary shows count/total/mean per boundary without
+replaying the event stream.
+
+When telemetry is disabled the same call returns a shared, stateless
+no-op context manager — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import DEFAULT_TIME_BUCKETS
+from .runtime import state
+
+__all__ = ["span"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_state", "name", "attrs", "t_epoch", "t_mono")
+
+    def __init__(self, st, name: str, attrs: dict):
+        self._state = st
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        self.t_epoch = time.time()
+        self.t_mono = time.monotonic()
+        return self
+
+    def __exit__(self, *exc):
+        duration = time.monotonic() - self.t_mono
+        st = self._state
+        st.registry.histogram(
+            f"span.{self.name}", DEFAULT_TIME_BUCKETS
+        ).observe(duration)
+        record = {
+            "event": "span",
+            "span": self.name,
+            "t_epoch": self.t_epoch,
+            "t_mono": self.t_mono,
+            "dur_s": duration,
+            "pid": st.pid,
+        }
+        if st.context:
+            record.update(st.context)
+        if self.attrs:
+            record.update(self.attrs)
+        st._events.append(record)
+        return False
+
+
+def span(name: str, **attrs):
+    """A context manager timing one *name* section (no-op when
+    telemetry is disabled)."""
+    st = state()
+    if st is None:
+        return _NULL_SPAN
+    return _Span(st, name, attrs)

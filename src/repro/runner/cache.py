@@ -65,6 +65,8 @@ class DiskCache:
         self.hits = 0
         #: lookups that found nothing (or an unreadable entry)
         self.misses = 0
+        #: entries written since construction
+        self.puts = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -113,6 +115,7 @@ class DiskCache:
             with os.fdopen(fd, "w") as stream:
                 json.dump(value, stream, sort_keys=True)
             os.replace(tmp, path)
+            self.puts += 1
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -130,8 +133,9 @@ class DiskCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters since this instance was created."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss/put counters since this instance was created."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts}
 
 
 #: the process umask, sampled once at import (single-threaded, so the
@@ -185,6 +189,8 @@ class MemoCache:
         )
         #: lookups answered from process memory (no disk I/O)
         self.memo_hits = 0
+        #: memo entries this instance evicted at the FIFO bound
+        self.evictions = 0
 
     @property
     def hits(self) -> int:
@@ -216,7 +222,16 @@ class MemoCache:
     def _memoize(self, key: str, value: object) -> None:
         while len(self._store) >= MEMO_LIMIT:
             del self._store[next(iter(self._store))]
+            self.evictions += 1
         self._store[key] = value
+
+    def stats(self) -> dict[str, int]:
+        """Combined memo + backing-disk counters."""
+        return {
+            "memo_hits": self.memo_hits,
+            "evictions": self.evictions,
+            **self.disk.stats(),
+        }
 
     def __contains__(self, key: str) -> bool:
         return key in self._store or key in self.disk

@@ -41,7 +41,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
 
-from .. import workloads
+from .. import obs, workloads
 from ..core.area import AreaModel
 from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
 from ..core.exhaustive import exhaustive_search
@@ -54,6 +54,7 @@ from ..core.sharing import (
 )
 from ..reporting import append_jsonl, render_table, write_jsonl
 from ..search import Budget, SearchProblem, run_strategy
+from ..tam.packing import PackStats
 from ..search import registry as search_registry
 from ..soc import itc02
 from ..soc.model import DigitalCore, Soc
@@ -228,6 +229,7 @@ def evaluate_job(
         if stored is not None:
             if trace_dir is not None and stored.get("trace"):
                 _write_trace(trace_dir, job, stored["trace"])
+            _publish_job_obs(cache, hit=True)
             return replace(
                 JobResult.from_dict(stored["result"]),
                 job=job,
@@ -235,6 +237,10 @@ def evaluate_job(
                 staircase_hits=0,
                 staircase_misses=0,
                 elapsed_s=time.perf_counter() - started,
+                # counters describe *this run's* work: a hit packed
+                # nothing (the stored record keeps the original's)
+                pack_stats={},
+                cache_stats=cache.stats(),
             )
 
     pareto, stair_hits, stair_misses = _primed_pareto(soc, job.width, cache)
@@ -286,12 +292,48 @@ def evaluate_job(
         cache_hit=False,
         staircase_hits=stair_hits,
         staircase_misses=stair_misses,
+        pack_stats=(
+            evaluator.pack_stats.to_dict()
+            if evaluator.pack_stats is not None else {}
+        ),
+        cache_stats=cache.stats() if cache is not None else {},
     )
     if trace_dir is not None and trace:
         _write_trace(trace_dir, job, trace)
     if cache is not None:
         cache.put(job_key, {"result": result.to_dict(), "trace": trace})
+    _publish_job_obs(cache, evaluator=evaluator)
     return result
+
+
+def _publish_job_obs(
+    cache: MemoCache | None,
+    evaluator: ScheduleEvaluator | None = None,
+    hit: bool = False,
+) -> None:
+    """Fold one finished job's counters into the telemetry registry
+    and spool them (no-op when telemetry is disabled).
+
+    The per-job ``MemoCache`` starts its counters at zero, so its
+    totals are exact per-job deltas and can be added directly; the
+    evaluator publishes its own deltas (see
+    :meth:`~repro.core.cost.ScheduleEvaluator.publish_obs`).  Flushing
+    per job is what makes pool-worker telemetry crash-tolerant: the
+    worker never exits cleanly through the pool.
+    """
+    st = obs.state()
+    if st is None:
+        return
+    if evaluator is not None:
+        evaluator.publish_obs()
+    st.registry.counter("sweep.jobs").inc()
+    if hit:
+        st.registry.counter("sweep.job_hits").inc()
+    if cache is not None:
+        for name, value in cache.stats().items():
+            if value:
+                st.registry.counter(f"cache.{name}").inc(value)
+    st.flush()
 
 
 def _worker(args: tuple[SweepJob, str | None, str | None]) -> dict:
@@ -328,6 +370,19 @@ class SweepResult:
     def cache_hits(self) -> int:
         """Jobs answered entirely from the on-disk cache."""
         return sum(1 for r in self.results if r.cache_hit)
+
+    def pack_stats(self) -> PackStats:
+        """Pack counters aggregated over every job that ran one.
+
+        Per-worker :class:`~repro.tam.packing.PackStats` ride home on
+        each :class:`~repro.runner.jobs.JobResult` and merge here, so
+        the summary survives the worker processes.
+        """
+        totals = PackStats()
+        for r in self.results:
+            if r.pack_stats:
+                totals.merge(PackStats.from_dict(r.pack_stats))
+        return totals
 
     def render(self) -> str:
         """Summary table plus cache/wall-time footer."""
@@ -369,6 +424,35 @@ class SweepResult:
             f"{self.cache_hits}/{len(self.results)}; staircase cache: "
             f"{stair_hits} hits / {stair_misses} misses",
         ]
+        disk_hits = sum(
+            r.cache_stats.get("hits", 0) for r in self.results
+        )
+        disk_misses = sum(
+            r.cache_stats.get("misses", 0) for r in self.results
+        )
+        if disk_hits or disk_misses:
+            ratio = 100.0 * disk_hits / (disk_hits + disk_misses)
+            memo_hits = sum(
+                r.cache_stats.get("memo_hits", 0) for r in self.results
+            )
+            puts = sum(
+                r.cache_stats.get("puts", 0) for r in self.results
+            )
+            lines.append(
+                f"disk cache: {disk_hits} hits / {disk_misses} misses "
+                f"({ratio:.0f}% hit), {puts} puts, "
+                f"{memo_hits} memo hits"
+            )
+        pack_totals = self.pack_stats()
+        if pack_totals.packs:
+            lines.append(
+                f"packing: {pack_totals.packs} packs, "
+                f"{pack_totals.orders_tried} orders tried "
+                f"({pack_totals.orders_pruned} pruned, "
+                f"{pack_totals.lb_stops} bound stops), "
+                f"{pack_totals.prefix_placements} prefix / "
+                f"{pack_totals.fresh_placements} fresh placements"
+            )
         for r in self.errors:
             lines.append(
                 f"  FAILED {r.job.workload} W={r.job.width}: {r.error}"
@@ -438,20 +522,24 @@ def run_sweep(
                 progress(result)
 
         work = [(job, cache_dir, trace_dir) for job in jobs]
-        if workers == 1:
-            # in-process short circuit: no pool spawn, no pickling
-            for item in work:
-                handle(_worker(item))
-        elif pool is not None:
-            for record in pool.imap_unordered(_worker, work):
-                handle(record)
-        else:
-            with WorkerPool(workers, start_method) as transient:
-                for record in transient.imap_unordered(_worker, work):
+        with obs.span("sweep", jobs=len(jobs), workers=workers):
+            if workers == 1:
+                # in-process short circuit: no pool spawn, no pickling
+                for item in work:
+                    handle(_worker(item))
+            elif pool is not None:
+                for record in pool.imap_unordered(_worker, work):
                     handle(record)
+            else:
+                with WorkerPool(workers, start_method) as transient:
+                    for record in transient.imap_unordered(
+                        _worker, work
+                    ):
+                        handle(record)
     finally:
         if stream is not None:
             stream.close()
+        obs.flush()
 
     order = {job: index for index, job in enumerate(jobs)}
     results.sort(key=lambda r: order[r.job])

@@ -10,7 +10,7 @@ result stream next to their :class:`JobResult`.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from ..experiments.common import PACK_EFFORT
 
@@ -146,6 +146,12 @@ class JobResult:
     staircase_hits: int = 0
     staircase_misses: int = 0
     error: str = ""
+    #: aggregated PackStats counters of the job's evaluator (empty on
+    #: cache hits and for pre-telemetry cached records)
+    pack_stats: dict = field(default_factory=dict)
+    #: cache-effectiveness counters (disk hits/misses/puts, memo
+    #: hits/evictions) observed while this job ran
+    cache_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Flat JSON-ready record: job fields nested under ``"job"``."""

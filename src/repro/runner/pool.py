@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 
+from .. import obs
 from ..search.parallel import default_start_method
 
 __all__ = ["WorkerPool", "default_start_method"]
@@ -87,11 +88,14 @@ class WorkerPool:
                 f"{multiprocessing.get_all_start_methods()}"
             )
         ctx = multiprocessing.get_context(self.start_method)
-        self._pool = ctx.Pool(
-            workers,
-            initializer=initializer or _warm_worker,
-            initargs=initargs,
-        )
+        with obs.span(
+            "pool.spawn", workers=workers, start_method=self.start_method
+        ):
+            self._pool = ctx.Pool(
+                workers,
+                initializer=initializer or _warm_worker,
+                initargs=initargs,
+            )
 
     @property
     def closed(self) -> bool:

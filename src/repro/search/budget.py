@@ -26,6 +26,8 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 
+from .. import obs
+
 __all__ = [
     "Budget",
     "BudgetExhausted",
@@ -252,8 +254,11 @@ class Budget:
         """
         if self.exhausted:
             raise BudgetExhausted(self.describe())
-        if self.ledger is not None and not self.ledger.take():
-            raise BudgetExhausted(self.describe())
+        if self.ledger is not None:
+            if not self.ledger.take():
+                obs.counter("ledger.denied")
+                raise BudgetExhausted(self.describe())
+            obs.counter("ledger.grants")
         self.spent += 1
 
     def describe(self) -> str:

@@ -56,6 +56,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from .. import obs
 from ..core.area import AreaModel
 from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
 from ..core.sharing import Partition, format_partition
@@ -300,6 +301,35 @@ class PortfolioOutcome:
             ))
         return records
 
+    def lane_records(self) -> list[dict]:
+        """JSON-ready per-lane outcome summaries (``lanes.json``).
+
+        The per-lane view the telemetry report renders: spend, packs,
+        gate skips, and best cost per lane — the shape that makes a
+        lane burning its whole budget at 100% gate-skip visible.
+        """
+        records = []
+        for index, (lane, outcome) in enumerate(
+            zip(self.lanes, self.outcomes)
+        ):
+            records.append({
+                "lane": index,
+                "label": lane.label,
+                "strategy": lane.strategy,
+                "seed": lane.seed,
+                "n_evaluated": outcome.n_evaluated,
+                "n_packs": outcome.n_packs,
+                "n_gated": outcome.n_gated,
+                "best_cost": (
+                    None if outcome.best_partition is None
+                    else outcome.best_cost
+                ),
+                "improvements": len(outcome.trace),
+                "elapsed_s": outcome.elapsed_s,
+                "stalled": outcome.stalled,
+            })
+        return records
+
     def summary(self) -> str:
         """Multi-line human-readable outcome."""
         lines = [
@@ -416,6 +446,7 @@ def _lane_task(
     allowance, not a fresh one.
     """
     model = _worker_model(config_bytes)
+    obs.set_context(lane_label=lane.label, strategy=lane.strategy)
     max_seconds = None
     if deadline is not None:
         # a lane dequeued past the deadline still needs a positive
@@ -429,10 +460,19 @@ def _lane_task(
     problem = SearchProblem(
         model, budget, gate=gate, incumbent=_WORKER.get("incumbent")
     )
-    return run_strategy(
-        registry.create(lane.strategy), problem, seed=lane.seed,
-        allow_empty=True,
-    )
+    problem.obs_label = lane.label
+    try:
+        with obs.span("lane", lane_label=lane.label, seed=lane.seed):
+            return run_strategy(
+                registry.create(lane.strategy), problem, seed=lane.seed,
+                allow_empty=True,
+            )
+    finally:
+        # worker processes never exit cleanly through the pool, so the
+        # lane boundary is where this worker's telemetry hits disk
+        model.evaluator.publish_obs()
+        obs.flush()
+        obs.set_context(lane_label=None, strategy=None)
 
 
 def _eval_task(
@@ -450,6 +490,8 @@ def _eval_task(
         before = model.evaluator.evaluations
         cost = model.total_cost(partition)
         out.append((cost, model.evaluator.evaluations - before))
+    model.evaluator.publish_obs()
+    obs.flush()
     return out
 
 
@@ -531,15 +573,16 @@ class PortfolioPool:
         import threading
 
         pool = self._live_pool()
-        pending = [
-            pool.apply_async(_warm_task, (config_bytes,))
-            for _ in range(self.workers)
-        ]
-        broken = False
-        try:
-            self._barrier.wait(timeout=300)
-        except threading.BrokenBarrierError:
-            broken = True
+        with obs.span("pool.warm", workers=self.workers):
+            pending = [
+                pool.apply_async(_warm_task, (config_bytes,))
+                for _ in range(self.workers)
+            ]
+            broken = False
+            try:
+                self._barrier.wait(timeout=300)
+            except threading.BrokenBarrierError:
+                broken = True
         errors: list[BaseException] = []
         for task in pending:
             try:
@@ -576,6 +619,10 @@ class PortfolioPool:
             time.monotonic() + max_seconds
             if max_seconds is not None else None
         )
+        obs.event(
+            "pool.dispatch", lanes=len(lanes), workers=self.workers,
+            budget=budget,
+        )
         pending = [
             pool.apply_async(
                 _lane_task,
@@ -591,6 +638,12 @@ class PortfolioPool:
 
         def cost(partitions: Sequence[Partition]):
             pool = self._live_pool()
+            st = obs.state()
+            if st is not None:
+                st.registry.counter("pool.batches").inc()
+                st.registry.counter(
+                    "pool.batched_evals"
+                ).inc(len(partitions))
             strides = [
                 partitions[i::self.workers] for i in range(self.workers)
             ]
@@ -704,10 +757,12 @@ def _run_in_parent(
             model, lane_budget, gate=gate, incumbent=incumbent,
             batch_cost=batch_cost,
         )
+        problem.obs_label = lane.label
         strategy = registry.create(lane.strategy)
         strategy.bind(problem, random.Random(lane.seed))
         runs.append(_LaneRun(lane, strategy, problem))
     _interleave_lanes(runs, batched=batch_cost is not None)
+    model.evaluator.publish_obs()
     return [run.outcome() for run in runs]
 
 

@@ -28,9 +28,11 @@ through :mod:`repro.reporting`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import asdict, dataclass
 
+from .. import obs
 from ..core.cost import CostModel
 from ..core.sharing import Partition, format_partition
 from .budget import Budget, BudgetExhausted
@@ -48,12 +50,19 @@ class TracePoint:
     :param partition: the new incumbent, formatted.
     :param elapsed_s: wall-clock seconds since the budget started
         (informational; excluded from determinism comparisons).
+    :param t_mono: monotonic clock at the improvement — in-process
+        deltas (informational, like ``elapsed_s``).
+    :param t_epoch: epoch clock at the improvement — this is what
+        lets per-lane traces from *different processes* align on one
+        timeline (defaults keep pre-stamp traces loadable).
     """
 
     n_evaluated: int
     best_cost: float
     partition: str
     elapsed_s: float
+    t_mono: float = 0.0
+    t_epoch: float = 0.0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready)."""
@@ -113,6 +122,17 @@ class SearchProblem:
             raise ValueError("search needs a mixed-signal SOC")
         self._costs: dict[Partition, float] = {}
         self._n_packs = 0
+        #: telemetry label naming this problem's lane in emitted
+        #: events (set by the portfolio drivers; plain attribute)
+        self.obs_label: str | None = None
+        # telemetry: counter references resolved once; None = disabled
+        # (the per-evaluation cost is then a single branch)
+        self._obs = obs.state()
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._c_evals = registry.counter("search.evaluations")
+            self._c_gated = registry.counter("search.gated")
+            self._c_improved = registry.counter("search.improvements")
         self.best_partition: Partition | None = None
         self.best_cost = float("inf")
         self.trace: list[TracePoint] = []
@@ -156,9 +176,13 @@ class SearchProblem:
                 gated: bool, reference: float) -> None:
         """Account one freshly charged evaluation."""
         self._costs[partition] = cost
+        if self._obs is not None:
+            self._c_evals.inc()
         if gated:
             self.n_gated += 1
             self.gated_partitions.append((partition, cost, reference))
+            if self._obs is not None:
+                self._c_gated.inc()
             return
         if cost < self.best_cost:
             self.best_cost = cost
@@ -170,7 +194,15 @@ class SearchProblem:
                 best_cost=cost,
                 partition=format_partition(partition),
                 elapsed_s=self.budget.elapsed_s,
+                t_mono=time.monotonic(),
+                t_epoch=time.time(),
             ))
+            if self._obs is not None:
+                self._c_improved.inc()
+                attrs = {"cost": cost, "n_evaluated": self.n_evaluated}
+                if self.obs_label is not None:
+                    attrs["lane_label"] = self.obs_label
+                self._obs.emit("incumbent.update", **attrs)
 
     def evaluate(self, partition: Partition) -> float:
         """The Eq. (2) total cost of *partition*.

@@ -49,10 +49,12 @@ import os
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
 
+from .. import obs
 from .lower_bound import makespan_lower_bound
 from .model import TamTask, WidthOption
-from .profile import CapacityProfile
+from .profile import CapacityProfile, FitStats
 from .schedule import Schedule, ScheduledTest
 
 __all__ = [
@@ -251,6 +253,30 @@ class PackStats:
             "fresh_placements": self.fresh_placements,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PackStats":
+        """Inverse of :meth:`to_dict` (unknown keys ignored, so older
+        serialized stats load fine)."""
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def merge(self, other: "PackStats") -> "PackStats":
+        """Fold *other*'s counters into this one; returns self.
+
+        This is how per-worker packer stats survive their process:
+        each worker ships its stats dict home and the parent sums them
+        into one aggregate.
+        """
+        for field in dataclass_fields(self):
+            setattr(
+                self, field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    def __iadd__(self, other: "PackStats") -> "PackStats":
+        return self.merge(other)
+
 
 class PackContext:
     """Reusable fast-path packer for one invariant rectangle set.
@@ -304,6 +330,11 @@ class PackContext:
             tuple[tuple[str, int, int, int, WidthOption], ...] | None
         ] = [None] * len(self._orders)
         self.stats = PackStats()
+        # skyline-walk counters only exist under telemetry; with it
+        # off every profile keeps ``stats is None`` (one dead branch
+        # per earliest_fit, nothing else)
+        self.fit_stats: FitStats | None = \
+            FitStats() if obs.state() is not None else None
 
     def _enumerate_orders(
         self, rules: Sequence[str], shuffles: int
@@ -333,6 +364,14 @@ class PackContext:
             orders.append(tuple(sorted(base, key=keys.__getitem__)))
         return orders
 
+    def _profile(self) -> CapacityProfile:
+        """A fresh packing profile, wired to the telemetry sink when
+        one exists."""
+        profile = CapacityProfile(self.width, self.power_budget)
+        if self.fit_stats is not None:
+            profile.stats = self.fit_stats
+        return profile
+
     def _trajectory(
         self, index: int
     ) -> tuple[tuple[str, int, int, int, WidthOption], ...]:
@@ -344,9 +383,7 @@ class PackContext:
         order = [by_name[name] for name in self._orders[index]]
         items: list[ScheduledTest] = []
         self.stats.fresh_placements += len(order)
-        _place_order(order, self._feasible,
-                     CapacityProfile(self.width, self.power_budget),
-                     items, {})
+        _place_order(order, self._feasible, self._profile(), items, {})
         trajectory = tuple(
             (it.task.name, it.start, it.finish, it.width, it.option)
             for it in items
@@ -380,8 +417,7 @@ class PackContext:
         items: list[ScheduledTest] = []
         self.stats.fresh_placements += len(order)
         makespan = _place_order(
-            order, self._feasible,
-            CapacityProfile(self.width, self.power_budget), items, {},
+            order, self._feasible, self._profile(), items, {},
             abort_at=incumbent,
         )
         if makespan is None:
@@ -431,7 +467,7 @@ class PackContext:
         ]
         if split == len(trajectory):
             return running_max, items
-        profile = CapacityProfile(self.width, self.power_budget)
+        profile = self._profile()
         profile.batch_add(
             ((start, end, width, option.power)
              for _, start, end, width, option in prefix),

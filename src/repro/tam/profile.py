@@ -33,7 +33,33 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterable
 
-__all__ = ["CapacityProfile"]
+__all__ = ["CapacityProfile", "FitStats"]
+
+
+class FitStats:
+    """Optional skyline-walk counters for telemetry.
+
+    Attached by :meth:`CapacityProfile.attach_stats` only when
+    telemetry is enabled (see :class:`repro.tam.packing.PackContext`);
+    the disabled path pays a single ``is None`` branch per
+    :meth:`~CapacityProfile.earliest_fit` call and nothing else.
+    """
+
+    __slots__ = ("fit_calls", "fit_regions")
+
+    def __init__(self) -> None:
+        #: earliest_fit invocations (both walks)
+        self.fit_calls = 0
+        #: skyline breakpoint regions visited across those walks — the
+        #: actual work metric (calls x profile fragmentation)
+        self.fit_regions = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "fit_calls": self.fit_calls,
+            "fit_regions": self.fit_regions,
+        }
 
 
 class CapacityProfile:
@@ -52,7 +78,7 @@ class CapacityProfile:
     """
 
     __slots__ = ("capacity", "power_budget", "_times", "_used", "_power",
-                 "_max_end", "_journal")
+                 "_max_end", "_journal", "stats")
 
     def __init__(self, capacity: int, power_budget: int | None = None):
         if capacity < 1:
@@ -76,6 +102,8 @@ class CapacityProfile:
         self._journal: list[
             tuple[int, int, int, int, bool, bool, int]
         ] | None = None
+        #: optional FitStats sink; None (the default) is the no-op path
+        self.stats: FitStats | None = None
 
     def clone(self) -> "CapacityProfile":
         """An independent copy (journaling state is not inherited)."""
@@ -87,7 +115,13 @@ class CapacityProfile:
         other._power = self._power.copy() if self._power is not None else None
         other._max_end = self._max_end
         other._journal = None
+        # clones report into the same sink as the original
+        other.stats = self.stats
         return other
+
+    def attach_stats(self, stats: FitStats | None) -> None:
+        """Attach a :class:`FitStats` sink (or detach with ``None``)."""
+        self.stats = stats
 
     def usage_at(self, t: int) -> int:
         """Wire usage at time *t* (t >= 0)."""
@@ -289,6 +323,9 @@ class CapacityProfile:
             )
         times, used = self._times, self._used
         headroom = self.capacity - width
+        stats = self.stats
+        if stats is not None:
+            stats.fit_calls += 1
         if self._power is not None and power:
             if power > self.power_budget:
                 raise ValueError(
@@ -299,6 +336,7 @@ class CapacityProfile:
             )
         n = len(times)
         i = bisect.bisect_right(times, not_before) - 1
+        i0 = i
         start = not_before
         while True:
             # skip blocked regions (the final region has usage 0, so
@@ -311,6 +349,8 @@ class CapacityProfile:
             while j + 1 < n and used[j + 1] <= headroom:
                 j += 1
             if j + 1 == n or times[j + 1] - start >= duration:
+                if stats is not None:
+                    stats.fit_regions += j - i0 + 1
                 return start
             # run too short: resume past the blocking region
             i = j + 1
@@ -324,8 +364,10 @@ class CapacityProfile:
         times, used = self._times, self._used
         power_arr = self._power
         p_headroom = self.power_budget - power
+        stats = self.stats
         n = len(times)
         i = bisect.bisect_right(times, not_before) - 1
+        i0 = i
         start = not_before
         while True:
             # the final region has usage 0 and draw 0, so neither loop
@@ -338,6 +380,8 @@ class CapacityProfile:
                     and power_arr[j + 1] <= p_headroom:
                 j += 1
             if j + 1 == n or times[j + 1] - start >= duration:
+                if stats is not None:
+                    stats.fit_regions += j - i0 + 1
                 return start
             i = j + 1
             start = times[i]

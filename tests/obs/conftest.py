@@ -1,0 +1,31 @@
+"""Shared fixtures for the telemetry tests.
+
+Telemetry state is process-global (module ``_STATE`` plus the
+``REPRO_OBS_DIR`` environment variable), so every test here runs
+isolated: clean slate before, fully disabled after — the rest of the
+suite must keep seeing the no-op path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs(monkeypatch):
+    monkeypatch.delenv(runtime.ENV_RUN_DIR, raising=False)
+    runtime._STATE = runtime._UNSET
+    yield
+    monkeypatch.delenv(runtime.ENV_RUN_DIR, raising=False)
+    runtime._STATE = None
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    """A telemetry-enabled run rooted in a temp directory."""
+    from repro import obs
+
+    obs.configure(tmp_path / "run")
+    return tmp_path / "run"

@@ -1,0 +1,104 @@
+"""End-to-end telemetry: worker spooling, CLI run dirs, report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.runner import expand_grid, run_sweep
+
+
+class TestSweepTelemetry:
+    def test_two_worker_sweep_spools_and_merges(self, run_dir, tmp_path):
+        jobs = expand_grid(
+            ["mini", "minip"], [8, 16], effort="quick"
+        )
+        sweep = run_sweep(
+            jobs, workers=2, cache_dir=None,
+            out_path=str(tmp_path / "out.jsonl"),
+        )
+        assert not sweep.errors
+        obs.flush()
+        merged = obs.aggregate(run_dir)
+        # every job ran under telemetry and published its deltas
+        assert merged.counters["sweep.jobs"] == len(jobs)
+        assert merged.counters["eval.packs"] >= len(jobs)
+        assert merged.counters["pack.packs"] >= len(jobs)
+        # the workers spooled per-pid cumulative files the parent merged
+        spools = sorted((run_dir / "obs").glob("metrics-*.json"))
+        assert len(spools) >= 2
+        by_hand = obs.MetricsSnapshot()
+        for spool in spools:
+            by_hand.merge(obs.MetricsSnapshot.from_dict(
+                json.loads(spool.read_text())
+            ))
+        assert by_hand.to_dict() == merged.to_dict()
+        # parent wrote the merged snapshot alongside the spools
+        assert json.loads(
+            (run_dir / obs.METRICS_FILE).read_text()
+        ) == merged.to_dict()
+
+    def test_job_results_carry_mergeable_pack_stats(self, run_dir,
+                                                    tmp_path):
+        """Satellite: per-job PackStats ride home on JobResult and
+        merge into the sweep summary."""
+        jobs = expand_grid(["mini"], [8, 16], effort="quick")
+        sweep = run_sweep(
+            jobs, workers=1, cache_dir=str(tmp_path / "cache"),
+            out_path=str(tmp_path / "out.jsonl"),
+        )
+        totals = sweep.pack_stats()
+        assert totals.packs == sum(
+            r.pack_stats.get("packs", 0) for r in sweep.results
+        ) > 0
+        rendered = sweep.render()
+        assert "packing:" in rendered
+        assert "disk cache:" in rendered
+
+
+class TestCliRunDir:
+    @pytest.fixture()
+    def smoke_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_dir = tmp_path / "run"
+        code = main([
+            "--obs-dir", str(run_dir),
+            "optimize", "--smoke", "--trace", "",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return run_dir
+
+    def test_optimize_writes_the_run_dir_layout(self, smoke_run):
+        manifest = obs.RunManifest.load(smoke_run)
+        assert manifest.command == "optimize"
+        assert manifest.params["workload"] == "mini"
+        assert manifest.cache_version is not None
+        assert manifest.engine == "fast"
+        metrics = json.loads(
+            (smoke_run / obs.METRICS_FILE).read_text()
+        )
+        assert metrics["counters"]["search.evaluations"] > 0
+        lanes = json.loads((smoke_run / obs.LANES_FILE).read_text())
+        assert lanes[0]["strategy"] == "anneal"
+        assert (smoke_run / obs.TRACE_FILE).exists()
+
+    def test_report_renders_the_run(self, smoke_run, capsys):
+        assert main(["report", "--run", str(smoke_run)]) == 0
+        out = capsys.readouterr().out
+        assert "run: optimize" in out
+        assert "gate-skip" in out
+        assert "search.evaluations" in out
+
+    def test_report_on_missing_run_dir_is_a_cli_error(self, tmp_path,
+                                                      capsys):
+        assert main(["report", "--run", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_without_obs_dir_stays_dark(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["optimize", "--smoke", "--trace", ""]) == 0
+        assert obs.state() is None
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,142 @@
+"""Tests for the metrics primitives and snapshot merge algebra."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("packs").inc()
+        registry.counter("packs").inc(4)
+        assert registry.snapshot().counters["packs"] == 5
+
+    def test_instruments_are_stable_objects(self):
+        """Hot call sites hold the reference and skip the lookup."""
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_buckets_samples(self):
+        h = Histogram((0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(value)
+        assert h.counts == [1, 2, 1, 1]  # last = overflow
+        assert h.count == 5
+        assert h.mean == pytest.approx(5.0605 / 5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((0.1, 0.1))
+        with pytest.raises(ValueError):
+            Histogram((0.2, 0.1))
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == \
+            sorted(set(DEFAULT_TIME_BUCKETS))
+
+    def test_gauge_needs_a_write_to_appear(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")
+        assert "depth" not in registry.snapshot().gauges
+        registry.gauge("depth").set(3.0)
+        value, written = registry.snapshot().gauges["depth"]
+        assert value == 3.0
+        assert written > 0
+
+    def test_collector_runs_before_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.counter("pulled").inc(7)
+        )
+        assert registry.snapshot().counters["pulled"] == 7
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot().empty
+
+
+def _snap(counters=None, gauges=None, histograms=None):
+    return MetricsSnapshot({
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    })
+
+
+def _hist(counts, total):
+    return {"buckets": [0.1, 1.0], "counts": list(counts),
+            "total": total, "count": sum(counts)}
+
+
+class TestSnapshotMerge:
+    def test_counters_sum(self):
+        merged = _snap({"a": 1, "b": 2}).merge(_snap({"b": 3, "c": 4}))
+        assert merged.counters == {"a": 1, "b": 5, "c": 4}
+
+    def test_gauges_keep_latest_write(self):
+        early = _snap(gauges={"g": [5.0, 100.0]})
+        late = _snap(gauges={"g": [2.0, 200.0]})
+        assert early.merge(late).gauges["g"] == [2.0, 200.0]
+
+    def test_histograms_add_bucketwise(self):
+        merged = _snap(histograms={"h": _hist([1, 0, 2], 0.5)}).merge(
+            _snap(histograms={"h": _hist([0, 3, 1], 1.5)})
+        )
+        assert merged.histograms["h"]["counts"] == [1, 3, 3]
+        assert merged.histograms["h"]["total"] == pytest.approx(2.0)
+        assert merged.histograms["h"]["count"] == 7
+
+    def test_mismatched_histogram_bounds_raise(self):
+        bad = _snap(histograms={"h": {
+            "buckets": [0.5], "counts": [0, 0], "total": 0.0, "count": 0,
+        }})
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            _snap(histograms={"h": _hist([0, 0, 0], 0.0)}).merge(bad)
+
+    def test_merge_is_associative_and_commutative(self):
+        """Any merge tree over per-process spools gives one total."""
+        def parts():
+            return [
+                _snap({"n": 1}, {"g": [1.0, 10.0]},
+                      {"h": _hist([1, 0, 0], 0.05)}),
+                _snap({"n": 2, "m": 5}, {"g": [9.0, 30.0]},
+                      {"h": _hist([0, 2, 0], 1.0)}),
+                _snap({"m": 1}, {"g": [4.0, 20.0]},
+                      {"h": _hist([0, 0, 3], 9.0)}),
+            ]
+
+        a, b, c = parts()
+        left = a.merge(b).merge(c).to_dict()
+        a, b, c = parts()
+        right = a.merge(b.merge(c)).to_dict()
+        a, b, c = parts()
+        shuffled = c.merge(a).merge(b).to_dict()
+        assert left == right == shuffled
+
+    def test_iadd_is_merge(self):
+        snap = _snap({"a": 1})
+        snap += _snap({"a": 2})
+        assert snap.counters == {"a": 3}
+
+    def test_roundtrips_through_dict(self):
+        snap = _snap({"a": 1}, {"g": [2.0, 9.0]},
+                     {"h": _hist([1, 2, 3], 4.5)})
+        assert MetricsSnapshot.from_dict(
+            snap.to_dict()
+        ).to_dict() == snap.to_dict()
+
+    def test_empty(self):
+        assert _snap().empty
+        assert not _snap({"a": 0}).empty

@@ -1,0 +1,155 @@
+"""Tests for the process-local telemetry runtime and the manifest."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+
+
+class TestStateLifecycle:
+    def test_disabled_by_default(self):
+        assert obs.state() is None
+        assert not obs.enabled()
+
+    def test_configure_enables_and_exports_env(self, tmp_path):
+        state = obs.configure(tmp_path / "run")
+        assert obs.state() is state
+        assert os.environ[obs.ENV_RUN_DIR] == str(tmp_path / "run")
+        assert (tmp_path / "run" / "obs").is_dir()
+
+    def test_env_var_enables_lazily(self, tmp_path, monkeypatch):
+        """Workers inherit the run through the environment alone."""
+        monkeypatch.setenv(obs.ENV_RUN_DIR, str(tmp_path / "run"))
+        runtime._STATE = runtime._UNSET
+        state = obs.state()
+        assert state is not None
+        assert state.run_dir == tmp_path / "run"
+
+    def test_disable_turns_everything_off(self, run_dir):
+        obs.disable()
+        assert obs.state() is None
+        assert obs.ENV_RUN_DIR not in os.environ
+        # every module-level helper is a silent no-op again
+        obs.counter("x")
+        obs.event("x")
+        obs.set_context(lane="l")
+        obs.flush()
+        assert obs.snapshot() is None
+
+    def test_forked_child_gets_a_fresh_registry(self, run_dir):
+        """A pid change must zero the registry, or the child would
+        re-report the parent's pre-fork totals."""
+        obs.counter("pre.fork", 41)
+        parent = obs.state()
+        parent.pid = parent.pid - 1  # simulate being the fork child
+        child = obs.state()
+        assert child is not parent
+        assert child.run_dir == parent.run_dir
+        assert child.registry.snapshot().empty
+
+
+class TestSpoolAndAggregate:
+    def test_flush_writes_cumulative_spool(self, run_dir):
+        obs.counter("packs", 3)
+        obs.event("incumbent.update", cost=1.5)
+        obs.flush()
+        pid = os.getpid()
+        metrics = json.loads(
+            (run_dir / "obs" / f"metrics-{pid}.json").read_text()
+        )
+        assert metrics["counters"]["packs"] == 3
+        events = (
+            run_dir / "obs" / f"events-{pid}.jsonl"
+        ).read_text().splitlines()
+        assert json.loads(events[0])["event"] == "incumbent.update"
+        # cumulative, not delta: a later flush replaces the totals
+        obs.counter("packs", 2)
+        obs.flush()
+        metrics = json.loads(
+            (run_dir / "obs" / f"metrics-{pid}.json").read_text()
+        )
+        assert metrics["counters"]["packs"] == 5
+
+    def test_events_carry_context_and_both_clocks(self, run_dir):
+        obs.set_context(lane_label="anneal#0")
+        obs.event("pool.dispatch", lanes=4)
+        obs.set_context(lane_label=None)
+        obs.event("bare")
+        obs.flush()
+        events = obs.read_events(run_dir)
+        assert events[0]["lane_label"] == "anneal#0"
+        assert events[0]["lanes"] == 4
+        assert "lane_label" not in events[1]
+        for record in events:
+            assert record["t_epoch"] > 0
+            assert record["t_mono"] > 0
+            assert record["pid"] == os.getpid()
+
+    def test_aggregate_merges_simulated_workers(self, run_dir):
+        """Spools written under different pids fold into one total."""
+        for fake_pid, amount in ((1001, 3), (1002, 4)):
+            state = runtime.ObsState(run_dir)
+            state.pid = fake_pid
+            state._events_path = (
+                run_dir / "obs" / f"events-{fake_pid}.jsonl"
+            )
+            state.registry.counter("eval.packs").inc(amount)
+            state.emit("span", span="pack")
+            state.flush()
+        merged = obs.aggregate(run_dir)
+        assert merged.counters["eval.packs"] == 7
+        # idempotent: re-aggregating reads the same spools again
+        assert obs.aggregate(run_dir).counters["eval.packs"] == 7
+        on_disk = json.loads((run_dir / "metrics.json").read_text())
+        assert on_disk == merged.to_dict()
+        assert len(obs.read_events(run_dir)) == 2
+
+    def test_aggregate_of_empty_run_dir(self, tmp_path):
+        merged = obs.aggregate(tmp_path, write=False)
+        assert merged.empty
+        assert obs.read_events(tmp_path) == []
+
+
+class TestSpans:
+    def test_span_times_into_histogram_and_event(self, run_dir):
+        with obs.span("pack", width=32):
+            pass
+        snap = obs.snapshot()
+        assert snap.histograms["span.pack"]["count"] == 1
+        obs.flush()
+        (record,) = obs.read_events(run_dir)
+        assert record["event"] == "span"
+        assert record["span"] == "pack"
+        assert record["width"] == 32
+        assert record["dur_s"] >= 0.0
+
+    def test_span_is_shared_noop_when_disabled(self):
+        first = obs.span("pack")
+        second = obs.span("lane", anything=1)
+        assert first is second  # one preallocated null object
+        with first:
+            pass
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = obs.RunManifest.create(
+            "optimize",
+            params={"workload": "big12m", "budget": 600},
+            cache_version=5,
+            engine="fast",
+        )
+        manifest.write(tmp_path)
+        loaded = obs.RunManifest.load(tmp_path)
+        assert loaded == manifest
+        assert loaded.params["workload"] == "big12m"
+        assert loaded.cache_version == 5
+        assert loaded.package_version
+        assert loaded.started_epoch > 0
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            obs.RunManifest.load(tmp_path / "nope")

@@ -368,6 +368,11 @@ def main(argv: list[str] | None = None) -> int:
                                   / "BENCH_eval.json"),
         help="committed baseline JSON for the regression gate",
     )
+    parser.add_argument(
+        "--obs-root", default=None, metavar="DIR",
+        help="also fold this record into the persistent run ledger "
+             "at DIR ('repro runs regress' then gates on its trend)",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.ci:
         parser.error("--quick and --ci are mutually exclusive")
@@ -405,6 +410,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{power['makespan_stretch']}x, gated anneal skipped "
           f"{100 * power['search']['gate_skip_rate']:.1f}%")
     print(f"wrote {args.out} ({record['total_s']}s)")
+    if args.obs_root:
+        from repro.obs import RunLedger
+
+        entry = RunLedger(args.obs_root).fold_bench(record)
+        print(f"ledger: recorded {entry['run_id'][:12]} -> "
+              f"{args.obs_root}")
 
     failures = [
         name for name, passed in record["gates"].items() if not passed

@@ -319,6 +319,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="BENCH_parallel.json",
         help="output JSON path (default: BENCH_parallel.json)",
     )
+    parser.add_argument(
+        "--obs-root", default=None, metavar="DIR",
+        help="also fold this record into the persistent run ledger "
+             "at DIR ('repro runs regress' then gates on its trend)",
+    )
     args = parser.parse_args(argv)
     config = (
         # an 800-eval quick-effort portfolio is too small to amortize
@@ -360,6 +365,12 @@ def main(argv: list[str] | None = None) -> int:
     if note:
         print(f"note: {note}")
     print(f"wrote {args.out} ({record['total_s']}s)")
+    if args.obs_root:
+        from repro.obs import RunLedger
+
+        entry = RunLedger(args.obs_root).fold_bench(record)
+        print(f"ledger: recorded {entry['run_id'][:12]} -> "
+              f"{args.obs_root}")
 
     failures = [
         name for name, passed in record["gates"].items()

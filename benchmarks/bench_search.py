@@ -248,6 +248,11 @@ def main(argv: list[str] | None = None) -> int:
                                   / "BENCH_search.json"),
         help="committed baseline JSON for the regression gate",
     )
+    parser.add_argument(
+        "--obs-root", default=None, metavar="DIR",
+        help="also fold this record into the persistent run ledger "
+             "at DIR ('repro runs regress' then gates on its trend)",
+    )
     args = parser.parse_args(argv)
     effort = "quick" if args.quick else "medium"
     large_budget = 200
@@ -270,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
               for name, data in record["large"]["strategies"].items()
           ))
     print(f"wrote {args.out} ({record['total_s']}s)")
+    if args.obs_root:
+        from repro.obs import RunLedger
+
+        entry = RunLedger(args.obs_root).fold_bench(record)
+        print(f"ledger: recorded {entry['run_id'][:12]} -> "
+              f"{args.obs_root}")
     failures = []
     if worst_gap > 2.0:
         failures.append(f"worst gap {worst_gap:.2f}% > 2%")

@@ -21,6 +21,10 @@ Usage::
         --jobs 4                        # parallel cached batch sweep
     python -m repro --obs-dir runs/r1 optimize --workers 2
     python -m repro report --run runs/r1   # render the telemetry
+    python -m repro watch runs/r1          # live view while it runs
+    python -m repro --obs-root ledger optimize --workers 2
+    python -m repro --obs-root ledger runs list
+    python -m repro --obs-root ledger runs regress   # trend gate
 
 Each table/figure subcommand prints the corresponding table in the
 paper's layout; the global ``--workload`` flag points the
@@ -33,12 +37,17 @@ cache, streaming JSONL; its ``--strategy`` axis races anytime
 optimizers (``optimize`` runs a single one and writes its
 best-cost-vs-evaluations trace).  The global ``--obs-dir`` flag turns
 on :mod:`repro.obs` telemetry for any run — manifest, merged metrics,
-lane traces — which ``report --run DIR`` renders.
+lane traces — which ``report --run DIR`` renders and ``watch RUNDIR``
+tails live.  The global ``--obs-root`` flag points at a persistent
+run ledger: finished runs fold into it at exit and the ``runs``
+subcommands (``list``/``show``/``compare``/``diff``/``regress``/
+``gc``/``fold``) query it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -63,6 +72,12 @@ class _CliError(Exception):
     Raised only at input-validation boundaries so genuine internal
     failures keep their tracebacks.
     """
+
+
+class _GateFailure(Exception):
+    """A check command failed its gate: the message is printed as
+    normal output and the process exits 1 (CI's failure signal,
+    distinct from exit 2 = bad usage)."""
 
 
 def _int_list(tokens: list[str]) -> tuple[int, ...]:
@@ -124,9 +139,10 @@ def _obs_artifacts(trace_records=None, lane_records=None) -> None:
         )
 
 
-def _finalize_obs() -> None:
-    """Flush the parent's telemetry and fold every process's spool into
-    ``<run_dir>/metrics.json`` (no-op when telemetry is off)."""
+def _finalize_obs(obs_root: str | None = None) -> None:
+    """Flush the parent's telemetry, fold every process's spool into
+    ``<run_dir>/metrics.json``, and — when a ledger root is active —
+    record the finished run there (no-op when telemetry is off)."""
     from . import obs
 
     state = obs.state()
@@ -134,6 +150,16 @@ def _finalize_obs() -> None:
         return
     obs.flush()
     obs.aggregate(state.run_dir)
+    if obs_root:
+        try:
+            record = obs.RunLedger(obs_root).fold_run(state.run_dir)
+        except OSError as exc:
+            print(f"[obs] ledger fold failed: {exc}", file=sys.stderr)
+        else:
+            print(
+                f"[obs] recorded run {record['run_id'][:12]} -> "
+                f"{obs_root}", file=sys.stderr,
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
              "manifest, merged metrics, per-lane traces, and span "
              "events land there (render with 'report --run DIR'; "
              "default: telemetry off)",
+    )
+    parser.add_argument(
+        "--obs-root", default=os.environ.get("REPRO_OBS_ROOT"),
+        metavar="DIR",
+        help="persistent run ledger: finished runs fold into "
+             "DIR/index.jsonl + DIR/runs/ for the 'runs' subcommands; "
+             "implies telemetry (a run dir is auto-created under "
+             "DIR/rundirs/ when --obs-dir is absent; default: "
+             "$REPRO_OBS_ROOT)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -453,6 +488,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                     help="workload seed for every job")
+
+    pw = sub.add_parser(
+        "watch",
+        help="live view of a telemetry run directory while it runs: "
+             "best cost, evals/sec, gate-skip %%, per-lane heartbeat "
+             "with dry/stall flags (tails the spools; no locks)",
+    )
+    pw.add_argument("run_dir", metavar="RUNDIR",
+                    help="the run's --obs-dir directory")
+    pw.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    pw.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (CI-friendly)",
+    )
+    pw.add_argument(
+        "--json", action="store_true",
+        help="with --once: emit a machine-readable snapshot instead",
+    )
+
+    pruns = sub.add_parser(
+        "runs",
+        help="query the persistent run ledger (--obs-root or "
+             "$REPRO_OBS_ROOT)",
+    )
+    # --obs-root is also accepted after 'runs'; SUPPRESS keeps the
+    # global/env value intact when the local one is absent
+    pruns.add_argument("--obs-root", metavar="DIR",
+                       default=argparse.SUPPRESS,
+                       help="ledger root (default: the global flag or "
+                            "$REPRO_OBS_ROOT)")
+    runs_sub = pruns.add_subparsers(dest="runs_command", required=True)
+
+    rl = runs_sub.add_parser("list", help="index of recorded runs")
+    rl.add_argument("--command", dest="filter_command", default=None,
+                    help="only runs of this command (e.g. optimize, "
+                         "bench:eval)")
+    rl.add_argument("--workload", dest="filter_workload", default=None,
+                    help="only runs of this workload")
+    rl.add_argument("--last", type=int, default=None, metavar="N",
+                    help="only the newest N matching runs")
+    rl.add_argument("--json", action="store_true")
+
+    rs = runs_sub.add_parser(
+        "show", help="one recorded run in full",
+    )
+    rs.add_argument("ref", help="run-id prefix, or -1/-2/... from "
+                                "the end")
+    rs.add_argument("--json", action="store_true")
+
+    rc = runs_sub.add_parser(
+        "compare",
+        help="metric deltas + trajectory comparison of two runs",
+    )
+    rc.add_argument("ref_a")
+    rc.add_argument("ref_b")
+    rc.add_argument("--json", action="store_true")
+
+    rd = runs_sub.add_parser(
+        "diff", help="parameter/environment diff of two runs",
+    )
+    rd.add_argument("ref_a")
+    rd.add_argument("ref_b")
+    rd.add_argument("--json", action="store_true")
+
+    rr = runs_sub.add_parser(
+        "regress",
+        help="trend gate: compare a run against the ledger's last-N "
+             "matched records (same configuration; throughput only on "
+             "matching hardware); exit 1 on regression",
+    )
+    rr.add_argument("--run", default=None, metavar="REF",
+                    help="candidate run (default: the newest record)")
+    rr.add_argument("--last", type=int, default=5, metavar="N",
+                    help="baseline window size (default: 5)")
+    rr.add_argument("--cost-tolerance", type=float, default=0.02,
+                    help="allowed best-cost regression vs the best "
+                         "baseline (default: 0.02 = 2%%)")
+    rr.add_argument("--throughput-tolerance", type=float, default=0.30,
+                    help="allowed evals/sec drop vs the baseline "
+                         "median (default: 0.30 = 30%%)")
+    rr.add_argument("--json", action="store_true")
+
+    rg = runs_sub.add_parser(
+        "gc", help="prune ledger history (oldest first)",
+    )
+    rg.add_argument("--keep", type=int, required=True, metavar="N",
+                    help="number of newest runs to keep")
+    rg.add_argument("--json", action="store_true")
+
+    rf = runs_sub.add_parser(
+        "fold", help="fold an existing run directory into the ledger",
+    )
+    rf.add_argument("run_dir", metavar="RUNDIR")
+    rf.add_argument("--json", action="store_true")
     return parser
 
 
@@ -910,7 +1042,250 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return sweep.render()
 
 
+def _run_watch(args: argparse.Namespace) -> str:
+    """``repro watch RUNDIR``: live view of a run in flight."""
+    import json as _json
+    from pathlib import Path
+
+    from .obs import LiveRunView, watch
+
+    if not Path(args.run_dir).is_dir():
+        raise _CliError(f"run directory not found: {args.run_dir!r}")
+    if args.json:
+        if not args.once:
+            raise _CliError("watch --json requires --once")
+        view = LiveRunView(args.run_dir)
+        view.poll()
+        return _json.dumps(view.to_dict(), indent=2, default=str)
+    if args.interval <= 0:
+        raise _CliError(
+            f"--interval must be positive, got {args.interval:g}"
+        )
+    try:
+        watch(args.run_dir, interval_s=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        pass
+    return ""
+
+
+def _render_run_record(record: dict) -> str:
+    """Human rendering of one full ledger record (``runs show``)."""
+    from .reporting import ascii_plot, render_table
+
+    summary = record.get("summary", {})
+    run_id = (record.get("run_id") or "?")[:12]
+    lines = [f"run {run_id}  (source: {record.get('source', '?')})"]
+    for key in ("command", "workload", "width", "engine", "budget",
+                "workers", "best_cost", "n_evaluated", "n_gated",
+                "gate_skip_rate", "n_jobs", "elapsed_s", "evals_per_s",
+                "platform", "cpu_count", "package_version",
+                "cache_version", "match_key"):
+        value = summary.get(key)
+        if value is not None:
+            lines.append(f"  {key}: {value}")
+    if record.get("path"):
+        lines.append(f"  path: {record['path']}")
+    blocks = ["\n".join(lines)]
+    counters = record.get("metrics", {}).get("counters", {})
+    if counters:
+        blocks.append(render_table(
+            ("counter", "value"),
+            [[name, counters[name]] for name in sorted(counters)],
+            title="metrics",
+        ))
+    lanes = record.get("lanes") or []
+    if lanes:
+        rows = [
+            [
+                lane.get("lane", "-"), lane.get("label", "-"),
+                lane.get("n_evaluated", 0), lane.get("n_gated", 0),
+                "-" if lane.get("best_cost") is None
+                else f"{lane['best_cost']:.4f}",
+            ]
+            for lane in lanes if isinstance(lane, dict)
+        ]
+        blocks.append(render_table(
+            ("lane", "label", "evals", "gated", "best cost"), rows,
+            title="lanes",
+        ))
+    trace = record.get("trace") or []
+    if len(trace) >= 2:
+        blocks.append(ascii_plot(
+            [p["t"] for p in trace], [p["cost"] for p in trace],
+            title="best cost vs time (downsampled)",
+            x_label="s", y_label="cost",
+        ))
+    return "\n\n".join(blocks)
+
+
+def _render_compare(a: dict, b: dict, result: dict) -> str:
+    from .reporting import render_table
+
+    label_a = (a.get("run_id") or "?")[:12]
+    label_b = (b.get("run_id") or "?")[:12]
+    blocks = []
+    rows = [
+        [key, *("-" if v is None else v for v in values)]
+        for key, values in result["summary"].items()
+        if values[0] is not None or values[1] is not None
+    ]
+    if rows:
+        blocks.append(render_table(
+            ("metric", label_a, label_b, "delta"), rows,
+            title="summary",
+        ))
+    changed = [
+        [name, *values]
+        for name, values in result["counters"].items()
+        if values[2]
+    ]
+    if changed:
+        blocks.append(render_table(
+            ("counter", label_a, label_b, "delta"), changed,
+            title="counter deltas",
+        ))
+    trajectory = [
+        [fraction, *("-" if v is None else f"{v:.4f}" for v in pair)]
+        for fraction, pair in result["trajectory"].items()
+        if any(v is not None for v in pair)
+    ]
+    if trajectory:
+        blocks.append(render_table(
+            ("at % of run", label_a, label_b), trajectory,
+            title="best cost trajectory (equal relative budget)",
+        ))
+    if not blocks:
+        return "(no comparable data)"
+    return "\n\n".join(blocks)
+
+
+def _ledger(args: argparse.Namespace):
+    from .obs import RunLedger
+
+    root = getattr(args, "obs_root", None)
+    if not root:
+        raise _CliError(
+            "the runs subcommands need a ledger root: pass "
+            "--obs-root DIR or set REPRO_OBS_ROOT"
+        )
+    return RunLedger(root)
+
+
+def _run_runs(args: argparse.Namespace) -> str:
+    """The ``repro runs ...`` ledger query family."""
+    import json as _json
+    from pathlib import Path
+
+    from .obs import check_regression, compare_records, diff_records
+    from .reporting import render_table
+
+    ledger = _ledger(args)
+    action = args.runs_command
+    try:
+        if action == "list":
+            entries = ledger.entries()
+            if args.filter_command:
+                entries = [e for e in entries
+                           if e.get("command") == args.filter_command]
+            if args.filter_workload:
+                entries = [e for e in entries
+                           if e.get("workload") == args.filter_workload]
+            if args.last:
+                entries = entries[-args.last:]
+            if args.json:
+                return _json.dumps(entries, indent=2, default=str)
+            if not entries:
+                return f"(no recorded runs under {ledger.root})"
+            rows = [
+                [
+                    e["run_id"][:12],
+                    time.strftime(
+                        "%Y-%m-%d %H:%M:%S",
+                        time.localtime(e.get("recorded_epoch", 0)),
+                    ),
+                    e.get("command", "?"),
+                    e.get("workload") or "-",
+                    "-" if e.get("best_cost") is None
+                    else f"{e['best_cost']:.4f}",
+                    "-" if e.get("evals_per_s") is None
+                    else f"{e['evals_per_s']:g}",
+                    "-" if e.get("elapsed_s") is None
+                    else f"{e['elapsed_s']:g}",
+                ]
+                for e in entries
+            ]
+            return render_table(
+                ("run", "recorded", "command", "workload",
+                 "best cost", "evals/s", "wall s"),
+                rows,
+                title=f"ledger {ledger.root} ({len(entries)} runs)",
+            )
+        if action == "show":
+            record = ledger.load(args.ref)
+            if args.json:
+                return _json.dumps(record, indent=2, default=str)
+            return _render_run_record(record)
+        if action == "compare":
+            a = ledger.load(args.ref_a)
+            b = ledger.load(args.ref_b)
+            result = compare_records(a, b)
+            if args.json:
+                return _json.dumps(result, indent=2, default=str)
+            return _render_compare(a, b, result)
+        if action == "diff":
+            a = ledger.load(args.ref_a)
+            b = ledger.load(args.ref_b)
+            result = diff_records(a, b)
+            if args.json:
+                return _json.dumps(result, indent=2, default=str)
+            lines = []
+            for section in ("params", "env"):
+                for key, (va, vb) in result[section].items():
+                    lines.append(f"{section}.{key}: {va!r} -> {vb!r}")
+            return "\n".join(lines) if lines else "(no differences)"
+        if action == "regress":
+            report = check_regression(
+                ledger, run=args.run, last=args.last,
+                cost_tolerance=args.cost_tolerance,
+                throughput_tolerance=args.throughput_tolerance,
+            )
+            text = (
+                _json.dumps(report.to_dict(), indent=2, default=str)
+                if args.json else report.render()
+            )
+            if not report.passed:
+                raise _GateFailure(text)
+            return text
+        if action == "gc":
+            summary = ledger.gc(args.keep)
+            if args.json:
+                return _json.dumps(summary)
+            return (f"kept {summary['kept']} run(s), dropped "
+                    f"{summary['dropped']}")
+        if action == "fold":
+            if not Path(args.run_dir).is_dir():
+                raise _CliError(
+                    f"run directory not found: {args.run_dir!r}"
+                )
+            record = ledger.fold_run(args.run_dir)
+            if args.json:
+                return _json.dumps(
+                    {"run_id": record["run_id"]}, default=str
+                )
+            return (f"recorded run {record['run_id'][:12]} -> "
+                    f"{ledger.root}")
+    except ValueError as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    except LookupError as exc:
+        raise _CliError(exc.args[0] if exc.args else exc) from None
+    raise ValueError(f"unknown runs action {action!r}")
+
+
 def _run_command(command: str, args: argparse.Namespace) -> str:
+    if command == "watch":
+        return _run_watch(args)
+    if command == "runs":
+        return _run_runs(args)
     if command == "workloads":
         lines = [
             f"{workload.name:10s} {workload.description}"
@@ -994,18 +1369,37 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
     raise ValueError(f"unknown command {command!r}")
 
 
+#: Subcommands that inspect telemetry rather than produce it — the
+#: ledger root must not spin up a run dir (or fold one) for these.
+_QUERY_COMMANDS = frozenset(
+    {"runs", "watch", "report", "workloads", "strategies", "generate"}
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     started = time.time()
-    if args.obs_dir:
+    obs_root = getattr(args, "obs_root", None)
+    produces_run = args.command not in _QUERY_COMMANDS
+    obs_dir = args.obs_dir
+    if not obs_dir and obs_root and produces_run:
+        # --obs-root alone still wants the run recorded: give it an
+        # auto-named run dir under the ledger root ('runs gc' prunes
+        # these along with their ledger entries)
+        obs_dir = os.path.join(
+            obs_root, "rundirs",
+            f"{args.command}-{time.strftime('%Y%m%d-%H%M%S')}"
+            f"-{os.getpid()}",
+        )
+    if obs_dir:
         from . import obs
 
         try:
-            obs.configure(args.obs_dir)
+            obs.configure(obs_dir)
         except OSError as exc:
-            print(f"error: cannot create obs dir {args.obs_dir!r}: "
+            print(f"error: cannot create obs dir {obs_dir!r}: "
                   f"{exc}", file=sys.stderr)
             return 2
     try:
@@ -1026,9 +1420,13 @@ def main(argv: list[str] | None = None) -> int:
         # one-line diagnostic instead of a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except _GateFailure as exc:
+        # a failed check (runs regress): report + failure exit code
+        print(exc.args[0])
+        return 1
     finally:
         # even a failed run leaves an aggregable telemetry record
-        _finalize_obs()
+        _finalize_obs(obs_root if produces_run else None)
     elapsed = time.time() - started
     if elapsed > 5:
         print(f"\n[{elapsed:.0f}s]", file=sys.stderr)

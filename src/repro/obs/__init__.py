@@ -13,8 +13,22 @@ one branch per instrumented site, no clocks, no allocation, and no RNG
 access, so enabling or disabling it can never change a search
 trajectory.  Enable with :func:`configure` or by exporting
 ``REPRO_OBS_DIR`` (inherited by fork and spawn workers alike).
+
+On top of the per-run tier sits the cross-run tier: a persistent
+:class:`RunLedger` under ``--obs-root`` (``repro runs
+list|show|compare|diff|regress|gc``), live streaming of a run in
+flight (:mod:`repro.obs.stream`, ``repro watch``), and trend
+regression checks (:mod:`repro.obs.regress`).
 """
 
+from .ledger import (
+    RunLedger,
+    compare_records,
+    content_id,
+    diff_records,
+    downsample_trace,
+    match_key,
+)
 from .manifest import MANIFEST_FILE, RunManifest
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -24,10 +38,13 @@ from .metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from .regress import RegressionReport, check_regression
 from .report import LANES_FILE, TRACE_FILE, render_report
 from .runtime import (
     ENV_RUN_DIR,
+    ENV_SPOOL_CAP,
     METRICS_FILE,
+    SPOOL_ROTATE_BYTES,
     ObsState,
     aggregate,
     configure,
@@ -42,32 +59,56 @@ from .runtime import (
     state,
 )
 from .spans import span
+from .stream import (
+    ENV_HEARTBEAT,
+    HEARTBEAT_INTERVAL_S,
+    LaneHeartbeat,
+    LiveRunView,
+    SpoolCursor,
+    watch,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "ENV_HEARTBEAT",
     "ENV_RUN_DIR",
+    "ENV_SPOOL_CAP",
     "Gauge",
+    "HEARTBEAT_INTERVAL_S",
     "Histogram",
     "LANES_FILE",
+    "LaneHeartbeat",
+    "LiveRunView",
     "MANIFEST_FILE",
     "METRICS_FILE",
     "MetricsRegistry",
     "MetricsSnapshot",
     "ObsState",
+    "RegressionReport",
+    "RunLedger",
     "RunManifest",
+    "SPOOL_ROTATE_BYTES",
+    "SpoolCursor",
     "TRACE_FILE",
     "aggregate",
+    "check_regression",
+    "compare_records",
     "configure",
+    "content_id",
     "counter",
+    "diff_records",
     "disable",
+    "downsample_trace",
     "enabled",
     "event",
     "flush",
+    "match_key",
     "read_events",
     "render_report",
     "set_context",
     "snapshot",
     "span",
     "state",
+    "watch",
 ]

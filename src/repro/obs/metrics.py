@@ -42,10 +42,13 @@ __all__ = [
     "MetricsSnapshot",
 ]
 
-#: Default histogram bucket upper bounds, in seconds — spans packing
-#: (~ms) through whole portfolio runs (~minutes).  The implicit final
-#: bucket catches everything above the last bound.
+#: Default histogram bucket upper bounds, in seconds — spans fast-path
+#: packing (tens of microseconds at ``--pack-effort fast``, which the
+#: sub-millisecond bounds exist to resolve) through whole portfolio
+#: runs (~minutes).  The implicit final bucket catches everything
+#: above the last bound.
 DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
 )

@@ -1,0 +1,187 @@
+"""Trend regression checks over the run ledger.
+
+The benchmark drivers gate against ONE committed baseline JSON; the
+ledger holds a *trend*.  :func:`check_regression` compares a candidate
+run against the last-N ledger records with the same ``match_key``
+(identical command + non-volatile parameters — the benchmark suite's
+"configs must match" guard, generalised), so CI can fail on "this got
+slower than its own recent history" rather than only "slower than the
+last time someone updated the baseline file".
+
+Two checks, mirroring the PR 3/4 gate idiom:
+
+* **cost** — best Eq. (2) cost against the best baseline cost.
+  Deterministic per configuration (same seeds, same budget), so the
+  default tolerance is tight (2%).
+* **throughput** — evaluations/sec against the baseline *median*, and
+  only against baselines recorded on matching hardware (same platform
+  string and CPU count — the ledger-level version of the
+  speedup-ratio guard: absolute rates across machines measure the
+  machine, not the code).  Wall-clock noise is real even on one
+  machine, so the default tolerance is loose (30%).
+
+No matched baseline (first run of a configuration, or new hardware)
+is a pass with a note — a trend gate cannot exist before history does.
+"""
+
+from __future__ import annotations
+
+from .ledger import RunLedger
+
+__all__ = ["RegressionReport", "check_regression"]
+
+DEFAULT_LAST = 5
+DEFAULT_COST_TOL = 0.02
+DEFAULT_THROUGHPUT_TOL = 0.30
+
+
+class RegressionReport:
+    """Outcome of one candidate-vs-history check."""
+
+    def __init__(self, candidate: dict):
+        self.candidate = candidate
+        self.baselines: list[dict] = []
+        self.checks: list[dict] = []
+        self.notes: list[str] = []
+
+    @property
+    def failures(self) -> list[dict]:
+        return [c for c in self.checks if not c["passed"]]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "candidate": self.candidate.get("run_id"),
+            "match_key": self.candidate.get("match_key"),
+            "baselines": [b.get("run_id") for b in self.baselines],
+            "checks": self.checks,
+            "notes": self.notes,
+        }
+
+    def render(self) -> str:
+        lines = []
+        cid = (self.candidate.get("run_id") or "?")[:12]
+        lines.append(
+            f"regress: run {cid} "
+            f"({self.candidate.get('command', '?')}"
+            f" {self.candidate.get('workload') or ''})".rstrip()
+            + f" vs {len(self.baselines)} matched baseline(s)"
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for check in self.checks:
+            mark = "ok " if check["passed"] else "FAIL"
+            lines.append(f"  [{mark}] {check['detail']}")
+        lines.append("PASS" if self.passed else "REGRESSION")
+        return "\n".join(lines)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_regression(
+    ledger: RunLedger,
+    run: str | None = None,
+    last: int = DEFAULT_LAST,
+    cost_tolerance: float = DEFAULT_COST_TOL,
+    throughput_tolerance: float = DEFAULT_THROUGHPUT_TOL,
+) -> RegressionReport:
+    """Compare *run* (default: the newest record) against the ledger's
+    last-*last* records with the same match key.
+
+    Returns a :class:`RegressionReport`; ``report.passed`` is the CI
+    gate.  Raises ``KeyError`` for an unknown *run* reference and
+    ``LookupError`` when the ledger is empty.
+    """
+    entries = ledger.entries()
+    if not entries:
+        raise LookupError("ledger is empty — nothing to check")
+    candidate = ledger.resolve(run) if run is not None else entries[-1]
+    report = RegressionReport(candidate)
+
+    # the candidate compares against matched entries recorded before it
+    key = candidate.get("match_key")
+    position = next(
+        (i for i, entry in enumerate(entries)
+         if entry.get("run_id") == candidate.get("run_id")),
+        len(entries),
+    )
+    history = [
+        entry for i, entry in enumerate(entries)
+        if i < position
+        and entry.get("match_key") == key
+        and entry.get("run_id") != candidate.get("run_id")
+    ]
+    baselines = history[-last:]
+    report.baselines = baselines
+    if not baselines:
+        report.notes.append(
+            "no matched baseline in ledger (first run of this "
+            "configuration) — trend check skipped"
+        )
+        return report
+
+    # -- cost -----------------------------------------------------------
+    cost = candidate.get("best_cost")
+    base_costs = [
+        b["best_cost"] for b in baselines
+        if b.get("best_cost") is not None
+    ]
+    if cost is not None and base_costs:
+        bound = min(base_costs) * (1.0 + cost_tolerance)
+        report.checks.append({
+            "name": "best_cost",
+            "passed": cost <= bound,
+            "detail": (
+                f"best cost {cost:.4f} vs baseline best "
+                f"{min(base_costs):.4f} "
+                f"(allowed <= {bound:.4f}, "
+                f"{len(base_costs)} baselines)"
+            ),
+            "value": cost,
+            "bound": round(bound, 6),
+        })
+    else:
+        report.notes.append("cost check skipped (no cost recorded)")
+
+    # -- throughput (hardware-guarded) ----------------------------------
+    throughput = candidate.get("evals_per_s")
+    hw_matched = [
+        b for b in baselines
+        if b.get("evals_per_s") is not None
+        and b.get("platform") == candidate.get("platform")
+        and b.get("cpu_count") == candidate.get("cpu_count")
+    ]
+    if throughput is not None and hw_matched:
+        base = _median([b["evals_per_s"] for b in hw_matched])
+        bound = base * (1.0 - throughput_tolerance)
+        report.checks.append({
+            "name": "evals_per_s",
+            "passed": throughput >= bound,
+            "detail": (
+                f"throughput {throughput:.1f} evals/s vs baseline "
+                f"median {base:.1f} (allowed >= {bound:.1f}, "
+                f"{len(hw_matched)} hardware-matched baselines)"
+            ),
+            "value": throughput,
+            "bound": round(bound, 6),
+        })
+    elif throughput is None:
+        report.notes.append(
+            "throughput check skipped (no rate recorded)"
+        )
+    else:
+        report.notes.append(
+            "throughput check skipped (no baseline on matching "
+            "hardware — platform/CPU-count guard)"
+        )
+    return report

@@ -11,6 +11,11 @@ aggregated on the fly), ``lanes.json``, ``trace.jsonl`` — it renders:
   budget at 100% gate-skip with no best visible at a glance;
 * a best-cost-vs-time ASCII plot across all lanes, aligned on the
   epoch timestamps the traces carry.
+
+A crashed or still-running run leaves partial artifacts — a truncated
+``lanes.json``, a torn trace line, no trace at all.  Every section
+here degrades instead of raising: what parses renders, what does not
+becomes a line in an ``incomplete run`` banner at the top.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..reporting import ascii_plot, read_jsonl, render_table
+from ..reporting import ascii_plot, render_table
 from .manifest import MANIFEST_FILE, RunManifest
 from .metrics import MetricsSnapshot
 from .runtime import METRICS_FILE, aggregate
@@ -29,11 +34,14 @@ LANES_FILE = "lanes.json"
 TRACE_FILE = "trace.jsonl"
 
 
-def _manifest_lines(run_dir: Path) -> list[str]:
+def _manifest_lines(run_dir: Path, problems: list[str]) -> list[str]:
     try:
         manifest = RunManifest.load(run_dir)
     except FileNotFoundError:
         return [f"(no {MANIFEST_FILE} in {run_dir})"]
+    except (ValueError, TypeError):
+        problems.append(f"{MANIFEST_FILE} unreadable (truncated?)")
+        return [f"run: ?  [{run_dir}]"]
     lines = [
         f"run: {manifest.command}  [{run_dir}]",
         f"  package {manifest.package_version}  "
@@ -50,10 +58,19 @@ def _manifest_lines(run_dir: Path) -> list[str]:
     return lines
 
 
-def _metrics_snapshot(run_dir: Path) -> MetricsSnapshot:
+def _metrics_snapshot(run_dir: Path,
+                      problems: list[str]) -> MetricsSnapshot:
     merged = run_dir / METRICS_FILE
     if merged.is_file():
-        return MetricsSnapshot.from_dict(json.loads(merged.read_text()))
+        try:
+            return MetricsSnapshot.from_dict(
+                json.loads(merged.read_text())
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            problems.append(
+                f"{METRICS_FILE} unreadable — re-aggregated from the "
+                f"spool"
+            )
     return aggregate(run_dir, write=False)
 
 
@@ -87,15 +104,25 @@ def _metrics_tables(snap: MetricsSnapshot) -> list[str]:
     return blocks
 
 
-def _lane_table(run_dir: Path) -> str | None:
+def _lane_table(run_dir: Path, problems: list[str]) -> str | None:
     path = run_dir / LANES_FILE
     if not path.is_file():
         return None
-    lanes = json.loads(path.read_text())
+    try:
+        lanes = json.loads(path.read_text())
+    except (OSError, ValueError):
+        problems.append(f"{LANES_FILE} unreadable (truncated?)")
+        return None
+    if not isinstance(lanes, list):
+        problems.append(f"{LANES_FILE} malformed (expected a list)")
+        return None
     if not lanes:
+        problems.append(f"{LANES_FILE} holds zero lanes")
         return None
     rows = []
     for lane in lanes:
+        if not isinstance(lane, dict):
+            continue
         n_evaluated = lane.get("n_evaluated", 0)
         n_gated = lane.get("n_gated", 0)
         skip = 100.0 * n_gated / n_evaluated if n_evaluated else 0.0
@@ -110,6 +137,9 @@ def _lane_table(run_dir: Path) -> str | None:
             "-" if best is None else f"{best:.2f}",
             lane.get("improvements", len(lane.get("trace", ()) or ())),
         ])
+    if not rows:
+        problems.append(f"{LANES_FILE} holds no readable lanes")
+        return None
     return render_table(
         ("lane", "label", "evals", "packs", "gated", "gate-skip",
          "best cost", "improv"),
@@ -118,13 +148,37 @@ def _lane_table(run_dir: Path) -> str | None:
     )
 
 
-def _trace_plot(run_dir: Path) -> str | None:
+def _read_trace(path: Path, problems: list[str]) -> list[dict]:
+    """Tolerant trace read: torn lines are counted, not raised."""
+    records: list[dict] = []
+    torn = 0
+    try:
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    torn += 1
+    except OSError:
+        problems.append(f"{TRACE_FILE} unreadable")
+        return []
+    if torn:
+        problems.append(
+            f"{TRACE_FILE} has {torn} torn line(s) — skipped"
+        )
+    return records
+
+
+def _trace_plot(run_dir: Path, problems: list[str]) -> str | None:
     path = run_dir / TRACE_FILE
     if not path.is_file():
         return None
     records = [
-        r for r in read_jsonl(path)
-        if r.get("best_cost") is not None
+        r for r in _read_trace(path, problems)
+        if isinstance(r, dict) and r.get("best_cost") is not None
     ]
     if len(records) < 2:
         return None
@@ -150,17 +204,32 @@ def _trace_plot(run_dir: Path) -> str | None:
 def render_report(run_dir: str | Path) -> str:
     """The full telemetry report for *run_dir*, as printable text.
 
+    Partial run dirs (crashed or still running) render whatever they
+    hold, headed by an ``incomplete run`` banner naming what is
+    missing or unreadable.
+
     :raises FileNotFoundError: if *run_dir* does not exist.
     """
     run_dir = Path(run_dir)
     if not run_dir.is_dir():
         raise FileNotFoundError(f"run directory not found: {run_dir}")
-    blocks: list[str] = ["\n".join(_manifest_lines(run_dir))]
-    lanes = _lane_table(run_dir)
+    problems: list[str] = []
+    header = "\n".join(_manifest_lines(run_dir, problems))
+    lanes = _lane_table(run_dir, problems)
+    metrics = _metrics_tables(_metrics_snapshot(run_dir, problems))
+    plot = _trace_plot(run_dir, problems)
+    if lanes and not (run_dir / TRACE_FILE).is_file():
+        problems.append(f"no {TRACE_FILE} (run died before the final "
+                        f"artifacts?)")
+
+    blocks: list[str] = [header]
+    if problems:
+        blocks.append(
+            "!! incomplete run — " + "; ".join(problems)
+        )
     if lanes:
         blocks.append(lanes)
-    blocks.extend(_metrics_tables(_metrics_snapshot(run_dir)))
-    plot = _trace_plot(run_dir)
+    blocks.extend(metrics)
     if plot:
         blocks.append(plot)
     if len(blocks) == 1:

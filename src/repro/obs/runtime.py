@@ -20,6 +20,17 @@ The contract every instrumented call site relies on:
 * Fork safety: a child inheriting the parent's state would re-report
   the parent's pre-fork counts.  :func:`state` detects the pid change
   and restarts with a fresh registry for the same run directory.
+* Crash tolerance: readers (:func:`aggregate`, :func:`read_events`,
+  the live tail in :mod:`repro.obs.stream`) skip torn lines and
+  half-written files instead of raising — a worker killed mid-write
+  must never take the fold down with it.  Metrics files are cumulative
+  per process, so skipping a torn snapshot under-counts transiently
+  but never double-counts.
+* Bounded spools: the per-pid event file rotates once it crosses
+  :data:`SPOOL_ROTATE_BYTES` (``events-<pid>.jsonl`` →
+  ``events-<pid>.jsonl.1``, dropping the previous rotation), so a
+  week-long sweep cannot fill the disk.  Metrics files do not grow —
+  they are a fixed-size cumulative snapshot, atomically replaced.
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ from .metrics import MetricsRegistry, MetricsSnapshot
 
 __all__ = [
     "ENV_RUN_DIR",
+    "ENV_SPOOL_CAP",
+    "SPOOL_ROTATE_BYTES",
     "ObsState",
     "aggregate",
     "configure",
@@ -55,12 +68,19 @@ ENV_RUN_DIR = "REPRO_OBS_DIR"
 SPOOL_DIR = "obs"
 METRICS_FILE = "metrics.json"
 
+#: Rotate a per-pid event spool once it crosses this size (bytes).
+#: One rotated generation is kept, so the per-process event footprint
+#: is bounded at roughly twice the cap.  Override per run with
+#: ``REPRO_OBS_SPOOL_CAP_BYTES``.
+SPOOL_ROTATE_BYTES = 8 * 1024 * 1024
+ENV_SPOOL_CAP = "REPRO_OBS_SPOOL_CAP_BYTES"
+
 
 class ObsState:
     """Everything one process knows about the active run."""
 
     __slots__ = ("run_dir", "registry", "pid", "context",
-                 "_events", "_events_path")
+                 "_events", "_events_path", "_rotate_bytes")
 
     def __init__(self, run_dir: Path):
         self.run_dir = Path(run_dir)
@@ -73,6 +93,12 @@ class ObsState:
         self._events_path = (
             self.run_dir / SPOOL_DIR / f"events-{self.pid}.jsonl"
         )
+        try:
+            self._rotate_bytes = int(
+                os.environ.get(ENV_SPOOL_CAP, SPOOL_ROTATE_BYTES)
+            )
+        except ValueError:
+            self._rotate_bytes = SPOOL_ROTATE_BYTES
 
     # -- events ---------------------------------------------------------
 
@@ -110,6 +136,31 @@ class ObsState:
                 for record in self._events:
                     fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._events.clear()
+            self._maybe_rotate()
+
+    def _maybe_rotate(self) -> None:
+        """Roll the event spool once it crosses the size cap.
+
+        ``events-<pid>.jsonl`` becomes ``events-<pid>.jsonl.1``
+        (replacing the previous generation); the next flush starts a
+        fresh live file.  Live readers treat any size decrease as a
+        rotation and re-read from the start — every event fold is
+        idempotent (latest/min/max), so re-seeing a record is harmless
+        while missing the file-shrink would not be.
+        """
+        try:
+            size = self._events_path.stat().st_size
+        except OSError:
+            return
+        if size < self._rotate_bytes:
+            return
+        rotated = self._events_path.with_name(
+            self._events_path.name + ".1"
+        )
+        try:
+            os.replace(self._events_path, rotated)
+        except OSError:
+            pass
 
 
 # Sentinel distinguishing "never looked" from "looked: disabled", so
@@ -208,18 +259,24 @@ def aggregate(run_dir: str | Path, write: bool = True) -> MetricsSnapshot:
 
     Per-process files hold cumulative totals, so the fold is a plain
     associative merge — order never matters and re-aggregating is
-    idempotent.
+    idempotent.  A spool file that fails to parse (a worker died
+    mid-replace, or the filesystem tore the write) is skipped rather
+    than raised: its process's totals drop out of this fold but no
+    other process's totals are affected, and nothing double-counts.
     """
     run_dir = Path(run_dir)
     merged = MetricsSnapshot()
     spool = run_dir / SPOOL_DIR
     if spool.is_dir():
         for path in sorted(spool.glob("metrics-*.json")):
-            merged.merge(
-                MetricsSnapshot.from_dict(
-                    json.loads(path.read_text())
+            try:
+                merged.merge(
+                    MetricsSnapshot.from_dict(
+                        json.loads(path.read_text())
+                    )
                 )
-            )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
     if write:
         out = run_dir / METRICS_FILE
         tmp = out.with_suffix(f".tmp-{os.getpid()}")
@@ -230,16 +287,30 @@ def aggregate(run_dir: str | Path, write: bool = True) -> MetricsSnapshot:
 
 def read_events(run_dir: str | Path) -> list[dict]:
     """Every event spooled under *run_dir*, ordered by epoch time —
-    the cross-process alignment the epoch stamp exists for."""
+    the cross-process alignment the epoch stamp exists for.
+
+    Rotated segments (``events-<pid>.jsonl.1``) are included; torn
+    trailing lines (a writer killed mid-append) are skipped.
+    """
     run_dir = Path(run_dir)
     events: list[dict] = []
     spool = run_dir / SPOOL_DIR
     if spool.is_dir():
-        for path in sorted(spool.glob("events-*.jsonl")):
-            with path.open(encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        events.append(json.loads(line))
+        paths = sorted(spool.glob("events-*.jsonl")) + sorted(
+            spool.glob("events-*.jsonl.1")
+        )
+        for path in paths:
+            try:
+                with path.open(encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            events.append(json.loads(line))
+                        except ValueError:
+                            continue
+            except OSError:
+                continue
     events.sort(key=lambda r: r.get("t_epoch", 0.0))
     return events

@@ -1,0 +1,427 @@
+"""Live run streaming: tail the spools while workers still write.
+
+:func:`repro.obs.aggregate` is a post-hoc fold — exact, but only
+meaningful once writers have flushed their final totals.  This module
+is the *during* view:
+
+* :class:`SpoolCursor` tails one append-only JSONL file by byte
+  offset, consuming only complete lines (a torn trailing line is left
+  for the next poll) and treating any size decrease as a
+  rotation/truncation — it re-reads from the start.  Every fold fed by
+  cursors is therefore written to be idempotent (latest/min/max
+  semantics), so re-seeing a record after rotation is harmless.
+* :class:`LaneHeartbeat` is the writer side of lane liveness: attached
+  to a :class:`~repro.search.problem.SearchProblem` by the portfolio
+  drivers (only when telemetry is on — the disabled path never
+  constructs one), it emits a periodic ``lane.heartbeat`` event with
+  the lane's cumulative progress and flushes the spool so watchers see
+  it on disk mid-run.
+* :class:`LiveRunView` folds cursors + metrics spools into the
+  rendered ``repro watch`` screen: best cost, evals/sec (overall and
+  over the last poll window), gate-skip %, and a per-lane table with
+  dry-lane and stall flagging.
+
+No locks anywhere: writers atomically replace metrics files and
+append whole lines; readers tolerate every intermediate state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from .manifest import MANIFEST_FILE
+from .runtime import METRICS_FILE, SPOOL_DIR
+from .metrics import MetricsSnapshot
+
+__all__ = [
+    "HEARTBEAT_INTERVAL_S",
+    "ENV_HEARTBEAT",
+    "LaneHeartbeat",
+    "LiveRunView",
+    "SpoolCursor",
+    "watch",
+]
+
+#: Seconds between ``lane.heartbeat`` events per lane (override with
+#: ``REPRO_OBS_HEARTBEAT_S``; CI smoke sets it low so short runs still
+#: beat).
+HEARTBEAT_INTERVAL_S = 1.0
+ENV_HEARTBEAT = "REPRO_OBS_HEARTBEAT_S"
+
+#: A lane is flagged stalled once its last heartbeat is older than
+#: this many intervals.
+STALL_INTERVALS = 3.0
+
+
+class LaneHeartbeat:
+    """Periodic liveness beacon for one search lane.
+
+    Constructed only when telemetry is on; the probe call sites in
+    :class:`~repro.search.problem.SearchProblem` hold ``None``
+    otherwise, so the disabled path stays a single branch with no
+    clock reads.
+    """
+
+    __slots__ = ("label", "interval_s", "_state", "_next_mono")
+
+    def __init__(self, label: str, state, interval_s: float | None = None):
+        if interval_s is None:
+            try:
+                interval_s = float(
+                    os.environ.get(ENV_HEARTBEAT, HEARTBEAT_INTERVAL_S)
+                )
+            except ValueError:
+                interval_s = HEARTBEAT_INTERVAL_S
+        self.label = label
+        self.interval_s = interval_s
+        self._state = state
+        self._next_mono = time.monotonic() + interval_s
+
+    def beat(self, problem) -> None:
+        """Emit a heartbeat if the interval elapsed; flush to disk.
+
+        Called from the evaluation loop — must stay cheap on the
+        common (no beat due) path: one clock read and a compare.
+        """
+        now = time.monotonic()
+        if now < self._next_mono:
+            return
+        self._next_mono = now + self.interval_s
+        best = problem.best_cost
+        self._state.emit(
+            "lane.heartbeat",
+            lane_label=self.label,
+            interval_s=self.interval_s,
+            n_evaluated=problem.n_evaluated,
+            n_gated=problem.n_gated,
+            n_packs=problem.n_packs,
+            best_cost=None if best == float("inf") else best,
+        )
+        self._state.flush()
+
+
+class SpoolCursor:
+    """Byte-offset tail over one append-only JSONL file.
+
+    :meth:`poll` returns the complete, parseable records appended
+    since the last call.  A trailing line without ``\\n`` is a write
+    in flight — the cursor stays before it.  A shrunk file means the
+    writer rotated it; the cursor restarts from byte 0 (downstream
+    folds are idempotent, so overlap is safe and loss is not risked).
+    """
+
+    __slots__ = ("path", "offset")
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.offset = 0
+
+    def poll(self) -> list[dict]:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self.offset:
+            self.offset = 0
+        if size == self.offset:
+            return []
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read(size - self.offset)
+        except OSError:
+            return []
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []  # only a partial line so far
+        self.offset += end + 1
+        records = []
+        for raw in chunk[:end].splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                records.append(json.loads(raw))
+            except ValueError:
+                continue
+        return records
+
+
+class LiveRunView:
+    """Incrementally folded live state of one run directory."""
+
+    def __init__(self, run_dir: str | Path):
+        self.run_dir = Path(run_dir)
+        self.manifest: dict | None = None
+        self.best_cost: float | None = None
+        self.lanes: dict[str, dict] = {}
+        self.jobs_done: dict[str, dict] = {}
+        self.counters: dict[str, float] = {}
+        self.last_poll_epoch: float | None = None
+        self.window_evals_per_s: float | None = None
+        self.first_event_epoch: float | None = None
+        self._cursors: dict[Path, SpoolCursor] = {}
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the final fold has landed (``metrics.json``
+        exists) — the run's own finalize wrote it at exit."""
+        return self._finished
+
+    # -- folding --------------------------------------------------------
+
+    def poll(self, now: float | None = None) -> None:
+        """One incremental fold step; safe while writers write."""
+        now = time.time() if now is None else now
+        if self.manifest is None:
+            try:
+                self.manifest = json.loads(
+                    (self.run_dir / MANIFEST_FILE).read_text()
+                )
+            except (OSError, ValueError):
+                self.manifest = None
+
+        spool = self.run_dir / SPOOL_DIR
+        previous_evals = self.counters.get("search.evaluations", 0.0)
+
+        if spool.is_dir():
+            # cumulative per-pid metrics: full (tolerant) re-read each
+            # poll — the files are small and atomically replaced
+            merged = MetricsSnapshot()
+            for path in sorted(spool.glob("metrics-*.json")):
+                try:
+                    merged.merge(MetricsSnapshot.from_dict(
+                        json.loads(path.read_text())
+                    ))
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue
+            if not merged.empty:
+                self.counters = dict(merged.counters)
+
+            event_paths = sorted(spool.glob("events-*.jsonl")) \
+                + sorted(spool.glob("events-*.jsonl.1"))
+            for path in event_paths:
+                cursor = self._cursors.get(path)
+                if cursor is None:
+                    cursor = self._cursors[path] = SpoolCursor(path)
+                for record in cursor.poll():
+                    self._fold_event(record)
+
+        trace_path = self.run_dir / "trace.jsonl"
+        if trace_path.exists():
+            cursor = self._cursors.get(trace_path)
+            if cursor is None:
+                cursor = self._cursors[trace_path] = \
+                    SpoolCursor(trace_path)
+            for record in cursor.poll():
+                cost = record.get("best_cost")
+                if cost is not None:
+                    self._fold_best(cost)
+
+        evals = self.counters.get("search.evaluations", 0.0)
+        if self.last_poll_epoch is not None \
+                and now > self.last_poll_epoch:
+            self.window_evals_per_s = (
+                (evals - previous_evals)
+                / (now - self.last_poll_epoch)
+            )
+        self.last_poll_epoch = now
+        self._finished = (self.run_dir / METRICS_FILE).exists()
+
+    def _fold_best(self, cost: float) -> None:
+        if self.best_cost is None or cost < self.best_cost:
+            self.best_cost = cost
+
+    def _fold_event(self, record: dict) -> None:
+        """Idempotent per-event fold (rotation may replay records)."""
+        t = record.get("t_epoch", 0.0)
+        if t and (self.first_event_epoch is None
+                  or t < self.first_event_epoch):
+            self.first_event_epoch = t
+        name = record.get("event")
+        if name == "lane.heartbeat":
+            label = str(record.get("lane_label", "?"))
+            lane = self.lanes.get(label)
+            if lane is None or t >= lane.get("t_epoch", 0.0):
+                self.lanes[label] = {
+                    "t_epoch": t,
+                    "interval_s": record.get(
+                        "interval_s", HEARTBEAT_INTERVAL_S
+                    ),
+                    "n_evaluated": record.get("n_evaluated", 0),
+                    "n_gated": record.get("n_gated", 0),
+                    "n_packs": record.get("n_packs", 0),
+                    "best_cost": record.get("best_cost"),
+                }
+            cost = record.get("best_cost")
+            if cost is not None:
+                self._fold_best(cost)
+        elif name == "incumbent.update":
+            cost = record.get("best_cost", record.get("cost"))
+            if cost is not None:
+                self._fold_best(cost)
+        elif name == "job.done":
+            key = "{}|{}|{}|{}".format(
+                record.get("workload"), record.get("width"),
+                record.get("wt"), record.get("strategy"),
+            )
+            current = self.jobs_done.get(key)
+            if current is None or t >= current.get("t_epoch", 0.0):
+                self.jobs_done[key] = {
+                    "t_epoch": t,
+                    "status": record.get("status", "ok"),
+                    "cache_hit": record.get("cache_hit", False),
+                }
+
+    # -- lane liveness --------------------------------------------------
+
+    def lane_rows(self, now: float | None = None) -> list[dict]:
+        """Per-lane liveness rows with ``dry``/``stalled`` flags.
+
+        A lane is *dry* when the lower-bound gate answered every one
+        of its evaluations (nothing was ever worth packing — budget
+        wasted); *stalled* when its last heartbeat is older than
+        :data:`STALL_INTERVALS` intervals and the run has not finished.
+        """
+        now = time.time() if now is None else now
+        rows = []
+        for label in sorted(self.lanes):
+            lane = self.lanes[label]
+            age = max(0.0, now - lane["t_epoch"])
+            n_evaluated = lane["n_evaluated"]
+            n_gated = lane["n_gated"]
+            rows.append({
+                "label": label,
+                "n_evaluated": n_evaluated,
+                "n_gated": n_gated,
+                "n_packs": lane["n_packs"],
+                "best_cost": lane["best_cost"],
+                "beat_age_s": round(age, 1),
+                "dry": bool(n_evaluated) and n_gated >= n_evaluated,
+                "stalled": (
+                    not self._finished
+                    and age > STALL_INTERVALS * lane["interval_s"]
+                ),
+            })
+        return rows
+
+    def to_dict(self, now: float | None = None) -> dict:
+        """Machine-readable snapshot of the live state."""
+        now = time.time() if now is None else now
+        return {
+            "run_dir": str(self.run_dir),
+            "finished": self._finished,
+            "command": (self.manifest or {}).get("command"),
+            "params": (self.manifest or {}).get("params", {}),
+            "best_cost": self.best_cost,
+            "counters": dict(self.counters),
+            "window_evals_per_s": self.window_evals_per_s,
+            "lanes": self.lane_rows(now),
+            "jobs_done": len(self.jobs_done),
+        }
+
+    # -- rendering ------------------------------------------------------
+
+    def render(self, now: float | None = None) -> str:
+        """The one-screen live view ``repro watch`` refreshes."""
+        now = time.time() if now is None else now
+        lines = []
+        manifest = self.manifest or {}
+        command = manifest.get("command", "?")
+        params = manifest.get("params", {})
+        workload = params.get("workload") \
+            or ",".join(params.get("presets", [])) or "?"
+        status = "finished" if self._finished else "running"
+        lines.append(
+            f"watch {self.run_dir}  [{status}]"
+        )
+        lines.append(
+            f"  {command} {workload}"
+            + (f" W={params['width']}" if params.get("width") else "")
+            + (f" budget={params['budget']}"
+               if params.get("budget") else "")
+            + (f" workers={params['workers']}"
+               if params.get("workers") else "")
+        )
+
+        evals = int(self.counters.get("search.evaluations", 0))
+        gated = int(self.counters.get("search.gated", 0))
+        started = manifest.get("started_epoch") \
+            or self.first_event_epoch
+        overall = (
+            evals / (now - started)
+            if evals and started and now > started else None
+        )
+        best = "-" if self.best_cost is None \
+            else f"{self.best_cost:.4f}"
+        parts = [f"best cost {best}", f"evaluations {evals}"]
+        if overall is not None:
+            parts.append(f"evals/s {overall:.1f}")
+        if self.window_evals_per_s is not None:
+            parts.append(f"recent {self.window_evals_per_s:.1f}/s")
+        if evals:
+            parts.append(f"gate-skip {100 * gated / evals:.1f}%")
+        lines.append("  " + "  ".join(parts))
+
+        jobs = self.counters.get("sweep.jobs")
+        if jobs:
+            n_jobs = params.get("n_jobs")
+            total = f"/{n_jobs}" if n_jobs else ""
+            hits = int(self.counters.get("sweep.job_hits", 0))
+            lines.append(
+                f"  sweep jobs {int(jobs)}{total} "
+                f"({hits} cache hits)"
+            )
+
+        rows = self.lane_rows(now)
+        if rows:
+            lines.append("")
+            lines.append(
+                f"  {'lane':20s} {'evals':>7s} {'gated':>7s} "
+                f"{'best':>10s} {'beat':>6s}  flags"
+            )
+            for row in rows:
+                flags = []
+                if row["dry"]:
+                    flags.append("DRY")
+                if row["stalled"]:
+                    flags.append("STALLED")
+                best_cell = "-" if row["best_cost"] is None \
+                    else f"{row['best_cost']:.4f}"
+                lines.append(
+                    f"  {row['label'][:20]:20s} "
+                    f"{row['n_evaluated']:>7d} {row['n_gated']:>7d} "
+                    f"{best_cell:>10s} {row['beat_age_s']:>5.1f}s  "
+                    f"{','.join(flags) or '-'}"
+                )
+        return "\n".join(lines)
+
+
+def watch(run_dir: str | Path, interval_s: float = 2.0,
+          once: bool = False, out=None, clear: bool = True,
+          max_polls: int | None = None) -> LiveRunView:
+    """Tail *run_dir* and (re)render the live view until the run's
+    final fold lands.  With *once*, render a single frame and return.
+    """
+    import sys
+
+    out = sys.stdout if out is None else out
+    view = LiveRunView(run_dir)
+    polls = 0
+    while True:
+        view.poll()
+        polls += 1
+        frame = view.render()
+        if not once and clear and out.isatty():
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame + "\n")
+        out.flush()
+        if once or view.finished:
+            return view
+        if max_polls is not None and polls >= max_polls:
+            return view
+        time.sleep(interval_s)

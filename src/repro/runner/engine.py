@@ -229,7 +229,7 @@ def evaluate_job(
         if stored is not None:
             if trace_dir is not None and stored.get("trace"):
                 _write_trace(trace_dir, job, stored["trace"])
-            _publish_job_obs(cache, hit=True)
+            _publish_job_obs(cache, hit=True, job=job)
             return replace(
                 JobResult.from_dict(stored["result"]),
                 job=job,
@@ -302,7 +302,7 @@ def evaluate_job(
         _write_trace(trace_dir, job, trace)
     if cache is not None:
         cache.put(job_key, {"result": result.to_dict(), "trace": trace})
-    _publish_job_obs(cache, evaluator=evaluator)
+    _publish_job_obs(cache, evaluator=evaluator, job=job)
     return result
 
 
@@ -310,6 +310,7 @@ def _publish_job_obs(
     cache: MemoCache | None,
     evaluator: ScheduleEvaluator | None = None,
     hit: bool = False,
+    job: SweepJob | None = None,
 ) -> None:
     """Fold one finished job's counters into the telemetry registry
     and spool them (no-op when telemetry is disabled).
@@ -319,7 +320,9 @@ def _publish_job_obs(
     evaluator publishes its own deltas (see
     :meth:`~repro.core.cost.ScheduleEvaluator.publish_obs`).  Flushing
     per job is what makes pool-worker telemetry crash-tolerant: the
-    worker never exits cleanly through the pool.
+    worker never exits cleanly through the pool — and it is also what
+    lets ``repro watch`` show per-job sweep progress in flight, via
+    the ``job.done`` event emitted here.
     """
     st = obs.state()
     if st is None:
@@ -333,6 +336,12 @@ def _publish_job_obs(
         for name, value in cache.stats().items():
             if value:
                 st.registry.counter(f"cache.{name}").inc(value)
+    if job is not None:
+        st.emit(
+            "job.done",
+            workload=job.workload, width=job.width, wt=job.wt,
+            strategy=job.strategy, status="ok", cache_hit=hit,
+        )
     st.flush()
 
 

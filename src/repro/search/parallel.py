@@ -461,6 +461,11 @@ def _lane_task(
         model, budget, gate=gate, incumbent=_WORKER.get("incumbent")
     )
     problem.obs_label = lane.label
+    st = obs.state()
+    if st is not None:
+        # periodic lane.heartbeat events — what `repro watch` reads
+        # for per-lane liveness (constructed only when telemetry is on)
+        problem.heartbeat = obs.LaneHeartbeat(lane.label, st)
     try:
         with obs.span("lane", lane_label=lane.label, seed=lane.seed):
             return run_strategy(
@@ -748,6 +753,7 @@ def _run_in_parent(
     incumbent = LocalIncumbent()
     slices = lane_slices(budget, len(lanes))
     runs = []
+    st = obs.state()
     for lane, lane_slice in zip(lanes, slices):
         lane_budget = Budget(
             max_evaluations=lane_slice, max_seconds=max_seconds,
@@ -758,6 +764,8 @@ def _run_in_parent(
             batch_cost=batch_cost,
         )
         problem.obs_label = lane.label
+        if st is not None:
+            problem.heartbeat = obs.LaneHeartbeat(lane.label, st)
         strategy = registry.create(lane.strategy)
         strategy.bind(problem, random.Random(lane.seed))
         runs.append(_LaneRun(lane, strategy, problem))

@@ -125,6 +125,10 @@ class SearchProblem:
         #: telemetry label naming this problem's lane in emitted
         #: events (set by the portfolio drivers; plain attribute)
         self.obs_label: str | None = None
+        #: periodic liveness beacon (:class:`repro.obs.LaneHeartbeat`),
+        #: attached by the portfolio drivers only when telemetry is on;
+        #: the disabled path holds ``None`` and pays one branch
+        self.heartbeat = None
         # telemetry: counter references resolved once; None = disabled
         # (the per-evaluation cost is then a single branch)
         self._obs = obs.state()
@@ -221,6 +225,8 @@ class SearchProblem:
         cost, gated = self.model.gated_cost(partition, reference)
         self._n_packs += self.model.evaluator.evaluations - before
         self._record(partition, cost, gated, reference)
+        if self.heartbeat is not None:
+            self.heartbeat.beat(self)
         return cost
 
     def evaluate_batch(
@@ -298,6 +304,8 @@ class SearchProblem:
                 self._record(partition, cost, False, reference)
             for i in fresh_index[partition]:
                 results[i] = self._costs[partition]
+        if fresh and self.heartbeat is not None:
+            self.heartbeat.beat(self)
 
         if exhausted is not None:
             raise exhausted

@@ -44,6 +44,18 @@ class TestInstruments:
         assert list(DEFAULT_TIME_BUCKETS) == \
             sorted(set(DEFAULT_TIME_BUCKETS))
 
+    def test_default_buckets_resolve_sub_millisecond_spans(self):
+        """Fast-evaluator spans sit well under 1 ms; they must land
+        in distinguishable buckets, not one undifferentiated bin."""
+        sub_ms = [b for b in DEFAULT_TIME_BUCKETS if b < 0.001]
+        assert len(sub_ms) >= 4
+        assert min(DEFAULT_TIME_BUCKETS) <= 0.00001
+        h = Histogram(DEFAULT_TIME_BUCKETS)
+        h.observe(0.00002)   # ~20 us: a cached fast evaluation
+        h.observe(0.0004)    # ~400 us: an uncached one
+        filled = [i for i, n in enumerate(h.counts) if n]
+        assert len(filled) == 2  # distinct buckets, not one bin
+
     def test_gauge_needs_a_write_to_appear(self):
         registry = MetricsRegistry()
         registry.gauge("depth")

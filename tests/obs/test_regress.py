@@ -1,0 +1,144 @@
+"""Tests for the ledger-backed trend regression gate."""
+
+import pytest
+
+from repro.obs.ledger import RunLedger, match_key
+from repro.obs.regress import check_regression
+
+
+def seed_entry(ledger, *, command="optimize", workload="mini",
+               best_cost=3.5, evals_per_s=100.0, platform="test-hw",
+               cpu_count=8, budget=50):
+    """Plant one ledger record with a controlled summary."""
+    params = {"workload": workload, "budget": budget}
+    record = {
+        "schema": 1,
+        "source": "run_dir",
+        "path": None,
+        "manifest": {"command": command, "params": params},
+        "summary": {
+            "command": command,
+            "workload": workload,
+            "width": 8,
+            "budget": budget,
+            "engine": "fast",
+            "workers": None,
+            "match_key": match_key(command, params),
+            "best_cost": best_cost,
+            "n_evaluated": 100,
+            "n_gated": 40,
+            "gate_skip_rate": 0.4,
+            "n_jobs": None,
+            "elapsed_s": 1.0,
+            "evals_per_s": evals_per_s,
+            "platform": platform,
+            "cpu_count": cpu_count,
+            "python_version": "3.x",
+            "package_version": "0",
+            "cache_version": 1,
+        },
+        "metrics": {},
+        "lanes": [],
+        "trace": [],
+    }
+    return ledger.add(record)
+
+
+class TestCheckRegression:
+    def test_empty_ledger_raises(self, tmp_path):
+        with pytest.raises(LookupError):
+            check_regression(RunLedger(tmp_path / "ledger"))
+
+    def test_first_run_of_a_config_passes_with_note(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger)
+        report = check_regression(ledger)
+        assert report.passed
+        assert report.baselines == []
+        assert any("no matched baseline" in n for n in report.notes)
+        assert "PASS" in report.render()
+
+    def test_stable_rerun_passes_both_checks(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger, best_cost=3.5, evals_per_s=100.0)
+        seed_entry(ledger, best_cost=3.52, evals_per_s=98.0)
+        report = check_regression(ledger)
+        assert report.passed
+        assert {c["name"] for c in report.checks} \
+            == {"best_cost", "evals_per_s"}
+        assert len(report.baselines) == 1
+
+    def test_cost_regression_fails(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger, best_cost=3.5)
+        seed_entry(ledger, best_cost=3.5 * 1.5)  # way past 2%
+        report = check_regression(ledger)
+        assert not report.passed
+        (failure,) = [c for c in report.failures
+                      if c["name"] == "best_cost"]
+        assert failure["value"] == pytest.approx(5.25)
+        assert "REGRESSION" in report.render()
+
+    def test_throughput_regression_fails(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger, evals_per_s=100.0)
+        seed_entry(ledger, evals_per_s=50.0)  # below the 30% band
+        report = check_regression(ledger)
+        assert [c["name"] for c in report.failures] == ["evals_per_s"]
+
+    def test_hardware_guard_skips_mismatched_baselines(self, tmp_path):
+        """Slower on *different* hardware is not a regression — the
+        PR 3/4 ratio-guard idiom applied at the ledger level."""
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger, evals_per_s=1000.0, cpu_count=64)
+        seed_entry(ledger, evals_per_s=50.0, cpu_count=8)
+        report = check_regression(ledger)
+        assert report.passed
+        assert any("hardware" in n for n in report.notes)
+        # cost still checked: it IS comparable across machines
+        assert [c["name"] for c in report.checks] == ["best_cost"]
+
+    def test_different_config_is_not_a_baseline(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger, workload="big12m", best_cost=1.0)
+        seed_entry(ledger, workload="mini", best_cost=9.0)
+        report = check_regression(ledger)
+        assert report.passed
+        assert report.baselines == []
+
+    def test_last_n_window_and_explicit_run_ref(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        old = seed_entry(ledger, best_cost=10.0)  # ancient, bad
+        for cost in (3.5, 3.51, 3.49):
+            seed_entry(ledger, best_cost=cost)
+        bad = seed_entry(ledger, best_cost=4.2)
+        # window of 2 excludes the ancient 10.0; candidate picked by ref
+        report = check_regression(
+            ledger, run=bad["run_id"][:12], last=2,
+        )
+        assert len(report.baselines) == 2
+        assert not report.passed
+        # the earliest record has no history before it at all
+        report_old = check_regression(ledger, run=old["run_id"][:12])
+        assert report_old.baselines == []
+
+    def test_median_throughput_absorbs_one_outlier(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        for rate in (100.0, 101.0, 5000.0):  # one freak measurement
+            seed_entry(ledger, evals_per_s=rate,
+                       best_cost=3.5)
+        seed_entry(ledger, evals_per_s=95.0, best_cost=3.5)
+        report = check_regression(ledger)
+        (check,) = [c for c in report.checks
+                    if c["name"] == "evals_per_s"]
+        assert check["passed"]  # vs median 101, not the 5000 outlier
+
+    def test_to_dict_is_json_shaped(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        seed_entry(ledger)
+        seed_entry(ledger, best_cost=9.0)
+        payload = check_regression(ledger).to_dict()
+        assert payload["passed"] is False
+        assert payload["candidate"]
+        assert len(payload["baselines"]) == 1
+        assert payload["checks"][0]["name"] == "best_cost"

@@ -1,0 +1,90 @@
+"""Satellite: the report must render partial run dirs, never raise."""
+
+import json
+
+import pytest
+
+from repro.obs.report import render_report
+
+
+def test_empty_run_dir_renders_placeholder(tmp_path):
+    out = render_report(tmp_path)
+    assert "no telemetry artifacts" in out
+    assert "incomplete run" not in out  # empty, not broken
+
+
+def test_missing_run_dir_still_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        render_report(tmp_path / "nope")
+
+
+def test_truncated_manifest_is_flagged_not_fatal(tmp_path):
+    (tmp_path / "manifest.json").write_text('{"command": "optim')
+    out = render_report(tmp_path)
+    assert "incomplete run" in out
+    assert "manifest.json unreadable" in out
+
+
+def test_truncated_lanes_json_is_flagged(tmp_path):
+    (tmp_path / "lanes.json").write_text('[{"lane": 0, "label"')
+    out = render_report(tmp_path)
+    assert "incomplete run" in out
+    assert "lanes.json unreadable" in out
+
+
+def test_zero_lanes_is_flagged(tmp_path):
+    (tmp_path / "lanes.json").write_text("[]")
+    out = render_report(tmp_path)
+    assert "lanes.json holds zero lanes" in out
+
+
+def test_lanes_without_trace_is_flagged(tmp_path):
+    (tmp_path / "lanes.json").write_text(json.dumps([
+        {"lane": 0, "label": "anneal#0", "n_evaluated": 10,
+         "n_gated": 2, "n_packs": 8, "best_cost": 3.0},
+    ]))
+    out = render_report(tmp_path)
+    assert "incomplete run" in out
+    assert "no trace.jsonl" in out
+    # the readable section still renders fully
+    assert "anneal#0" in out
+
+
+def test_torn_trace_lines_are_counted_and_skipped(tmp_path):
+    with (tmp_path / "trace.jsonl").open("w") as fh:
+        for i in range(3):
+            fh.write(json.dumps({
+                "t_epoch": 100.0 + i, "best_cost": 5.0 - i,
+            }) + "\n")
+        fh.write('{"t_epoch": 103.0, "best_c')  # killed mid-write
+    out = render_report(tmp_path)
+    assert "1 torn line(s)" in out
+    assert "best cost vs time" in out  # plot survives on the rest
+
+
+def test_corrupt_merged_metrics_falls_back_to_spool(tmp_path):
+    (tmp_path / "metrics.json").write_text('{"counters": {')
+    spool = tmp_path / "obs"
+    spool.mkdir()
+    (spool / "metrics-42.json").write_text(json.dumps({
+        "counters": {"search.evaluations": 11}, "histograms": {},
+    }))
+    out = render_report(tmp_path)
+    assert "metrics.json unreadable" in out
+    assert "search.evaluations" in out  # re-aggregated from the spool
+
+
+def test_fully_healthy_run_has_no_banner(tmp_path):
+    from repro import obs
+
+    manifest = obs.RunManifest.create(
+        "optimize", params={"workload": "mini"}, cache_version=1,
+        engine="fast",
+    )
+    manifest.write(tmp_path)
+    (tmp_path / "metrics.json").write_text(json.dumps({
+        "counters": {"search.evaluations": 5}, "histograms": {},
+    }))
+    out = render_report(tmp_path)
+    assert "incomplete run" not in out
+    assert "run: optimize" in out

@@ -1,0 +1,273 @@
+"""Tests for live streaming: cursors, heartbeats, and the watch view."""
+
+import json
+import io
+import os
+
+from repro import obs
+from repro.obs.stream import (
+    HEARTBEAT_INTERVAL_S,
+    LaneHeartbeat,
+    LiveRunView,
+    SpoolCursor,
+    watch,
+)
+
+
+class FakeProblem:
+    """Just the progress attributes LaneHeartbeat.beat reads."""
+
+    def __init__(self, n_evaluated=10, n_gated=3, n_packs=7,
+                 best_cost=2.5):
+        self.n_evaluated = n_evaluated
+        self.n_gated = n_gated
+        self.n_packs = n_packs
+        self.best_cost = best_cost
+
+
+class TestSpoolCursor:
+    def test_consumes_only_complete_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"b": 2')
+        cursor = SpoolCursor(path)
+        assert cursor.poll() == [{"a": 1}]
+        # the torn tail is a write in flight: wait for its newline
+        assert cursor.poll() == []
+        with path.open("ab") as fh:
+            fh.write(b'}\n')
+        assert cursor.poll() == [{"b": 2}]
+
+    def test_skips_unparseable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b'not json\n{"ok": true}\n')
+        assert SpoolCursor(path).poll() == [{"ok": True}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert SpoolCursor(tmp_path / "nope.jsonl").poll() == []
+
+    def test_shrunk_file_restarts_from_zero(self, tmp_path):
+        """Rotation support: size decrease -> re-read everything."""
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b'{"n": 1}\n{"n": 2}\n')
+        cursor = SpoolCursor(path)
+        assert len(cursor.poll()) == 2
+        path.write_bytes(b'{"n": 3}\n')  # rotated: fresh, smaller file
+        assert cursor.poll() == [{"n": 3}]
+
+
+class TestLaneHeartbeat:
+    def test_beats_after_interval_and_spools_the_event(self, run_dir):
+        hb = LaneHeartbeat("anneal#0", obs.state(), interval_s=0.0)
+        hb.beat(FakeProblem())
+        (event,) = [
+            e for e in obs.read_events(run_dir)
+            if e["event"] == "lane.heartbeat"
+        ]
+        assert event["lane_label"] == "anneal#0"
+        assert event["n_evaluated"] == 10
+        assert event["n_gated"] == 3
+        assert event["best_cost"] == 2.5
+
+    def test_quiet_before_the_interval_elapses(self, run_dir):
+        hb = LaneHeartbeat("anneal#0", obs.state(), interval_s=3600.0)
+        hb.beat(FakeProblem())
+        assert obs.read_events(run_dir) == []
+
+    def test_infinite_best_cost_becomes_null(self, run_dir):
+        hb = LaneHeartbeat("lane", obs.state(), interval_s=0.0)
+        hb.beat(FakeProblem(best_cost=float("inf")))
+        (event,) = obs.read_events(run_dir)
+        assert event["best_cost"] is None
+
+    def test_env_var_overrides_the_interval(self, run_dir,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_S", "0.25")
+        assert LaneHeartbeat("x", obs.state()).interval_s == 0.25
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_S", "junk")
+        assert LaneHeartbeat("x", obs.state()).interval_s \
+            == HEARTBEAT_INTERVAL_S
+
+    def test_portfolio_lanes_attach_heartbeats_only_when_obs_on(
+            self, run_dir, monkeypatch):
+        """The in-parent portfolio path wires a LaneHeartbeat per
+        lane; short intervals make even a smoke run beat."""
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_S", "0.0")
+        from repro.search.parallel import portfolio_search
+        from repro.workloads import build
+
+        outcome = portfolio_search(
+            build("mini"), width=8, lanes=1, workers=1, budget=30,
+            strategies=["anneal"], shuffles=0, improvement_passes=1,
+        )
+        assert outcome.best_cost is not None
+        obs.flush()
+        beats = [
+            e for e in obs.read_events(run_dir)
+            if e["event"] == "lane.heartbeat"
+        ]
+        assert beats
+        assert beats[-1]["lane_label"] == "anneal#0"
+        assert beats[-1]["n_evaluated"] > 0
+
+
+class TestLiveRunView:
+    def write_spool(self, run_dir, pid, events, counters=None):
+        spool = run_dir / "obs"
+        spool.mkdir(exist_ok=True)
+        with (spool / f"events-{pid}.jsonl").open("a") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        if counters is not None:
+            (spool / f"metrics-{pid}.json").write_text(json.dumps({
+                "counters": counters, "histograms": {},
+            }))
+
+    def test_folds_heartbeats_metrics_and_trace(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        self.write_spool(
+            run_dir, 11,
+            [{"event": "lane.heartbeat", "lane_label": "anneal#0",
+              "t_epoch": 1000.0, "interval_s": 1.0,
+              "n_evaluated": 40, "n_gated": 10, "n_packs": 30,
+              "best_cost": 4.0}],
+            counters={"search.evaluations": 40, "search.gated": 10},
+        )
+        with (run_dir / "trace.jsonl").open("w") as fh:
+            fh.write(json.dumps({"best_cost": 3.25}) + "\n")
+        view = LiveRunView(run_dir)
+        view.poll(now=1001.0)
+        assert view.best_cost == 3.25  # trace beat the lane's own best
+        assert view.counters["search.evaluations"] == 40
+        (row,) = view.lane_rows(now=1001.0)
+        assert row["label"] == "anneal#0"
+        assert not row["dry"]
+        assert not row["stalled"]
+        assert not view.finished
+
+    def test_latest_heartbeat_wins_even_replayed(self, tmp_path):
+        """Rotation may replay old beats; the fold must keep the
+        newest state and count nothing twice."""
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        new = {"event": "lane.heartbeat", "lane_label": "l",
+               "t_epoch": 2000.0, "interval_s": 1.0,
+               "n_evaluated": 80, "n_gated": 0, "n_packs": 80,
+               "best_cost": 2.0}
+        old = dict(new, t_epoch=1000.0, n_evaluated=40, best_cost=3.0)
+        self.write_spool(run_dir, 11, [old, new, old])  # replay
+        view = LiveRunView(run_dir)
+        view.poll(now=2001.0)
+        (row,) = view.lane_rows(now=2001.0)
+        assert row["n_evaluated"] == 80
+        assert view.best_cost == 2.0
+
+    def test_dry_and_stalled_flags(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        self.write_spool(run_dir, 11, [
+            {"event": "lane.heartbeat", "lane_label": "dry",
+             "t_epoch": 1000.0, "interval_s": 1.0,
+             "n_evaluated": 50, "n_gated": 50, "n_packs": 0,
+             "best_cost": None},
+        ])
+        view = LiveRunView(run_dir)
+        view.poll(now=1010.0)
+        (row,) = view.lane_rows(now=1010.0)  # 10s > 3 x 1s interval
+        assert row["dry"]
+        assert row["stalled"]
+        # once the run finishes, old beats are expected, not stalls
+        (run_dir / "metrics.json").write_text(
+            json.dumps({"counters": {}, "histograms": {}})
+        )
+        view.poll(now=1011.0)
+        assert view.finished
+        (row,) = view.lane_rows(now=1011.0)
+        assert not row["stalled"]
+
+    def test_window_rate_from_counter_deltas(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        self.write_spool(run_dir, 11, [],
+                         counters={"search.evaluations": 100})
+        view = LiveRunView(run_dir)
+        view.poll(now=10.0)
+        self.write_spool(run_dir, 11, [],
+                         counters={"search.evaluations": 150})
+        view.poll(now=12.0)
+        assert view.window_evals_per_s == 25.0
+
+    def test_job_done_events_count_once(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        done = {"event": "job.done", "workload": "mini", "width": 8,
+                "wt": 0, "strategy": "anneal", "status": "ok",
+                "t_epoch": 1.0}
+        self.write_spool(run_dir, 11, [done, done])
+        view = LiveRunView(run_dir)
+        view.poll(now=2.0)
+        assert view.to_dict(now=2.0)["jobs_done"] == 1
+
+    def test_render_mentions_lane_flags(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        self.write_spool(run_dir, 11, [
+            {"event": "lane.heartbeat", "lane_label": "dry#0",
+             "t_epoch": 1000.0, "interval_s": 1.0,
+             "n_evaluated": 5, "n_gated": 5, "n_packs": 0,
+             "best_cost": None},
+        ])
+        view = LiveRunView(run_dir)
+        view.poll(now=1020.0)
+        frame = view.render(now=1020.0)
+        assert "dry#0" in frame
+        assert "DRY" in frame
+        assert "STALLED" in frame
+
+    def test_poll_survives_an_empty_directory(self, tmp_path):
+        view = LiveRunView(tmp_path / "not-started")
+        view.poll()
+        assert view.best_cost is None
+        assert view.lane_rows() == []
+        assert "running" in view.render()
+
+
+class TestWatch:
+    def test_once_renders_a_single_frame(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        out = io.StringIO()
+        view = watch(run_dir, once=True, out=out)
+        assert "watch" in out.getvalue()
+        assert not view.finished
+
+    def test_loop_exits_when_the_run_finishes(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "metrics.json").write_text(
+            json.dumps({"counters": {}, "histograms": {}})
+        )
+        out = io.StringIO()
+        view = watch(run_dir, interval_s=0.0, out=out)
+        assert view.finished
+        assert "[finished]" in out.getvalue()
+
+
+class TestSpoolRotation:
+    def test_flush_rotates_past_the_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SPOOL_CAP_BYTES", "200")
+        state = obs.configure(tmp_path / "run")
+        for i in range(20):
+            state.emit("filler", n=i, pad="x" * 40)
+            state.flush()
+        live = tmp_path / "run" / "obs" \
+            / f"events-{os.getpid()}.jsonl"
+        rotated = live.with_name(live.name + ".1")
+        assert rotated.exists()
+        # bounded at roughly two generations of the cap (the live
+        # file may have just been rotated away entirely)
+        assert not live.exists() or live.stat().st_size < 400
+        assert rotated.stat().st_size < 400
+        # nothing is lost to the *reader*: both generations fold
+        events = obs.read_events(tmp_path / "run")
+        assert any(e["event"] == "filler" for e in events)

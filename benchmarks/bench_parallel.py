@@ -1,6 +1,6 @@
 """Parallel-runtime benchmark: portfolio speedup and warm-pool sweeps.
 
-Three studies, recorded into ``BENCH_parallel.json`` (the repo's perf
+Four studies, recorded into ``BENCH_parallel.json`` (the repo's perf
 trajectory for the parallel search/runner layer of PR 4):
 
 * **portfolio** — a 2000-evaluation ``big12m`` portfolio (8 lanes:
@@ -33,6 +33,11 @@ trajectory for the parallel search/runner layer of PR 4):
   power-annotated ``big12mp`` preset, measuring the shared-incumbent
   gate (whose lower bound carries the power-volume term) on the
   power-constrained workload family.  Gate: zero budget overrun.
+
+* **supervision** — the warm-cache preset sweep on a persistent pool
+  with the PR 8 supervision loop on versus off (min-of-repeats both
+  sides).  Gate: supervised wall-clock within 5% of the bare pool —
+  crash tolerance must be free on the fault-free path.
 
 Runs standalone (CI writes the JSON artifact this way)::
 
@@ -245,6 +250,54 @@ def warm_sweep_study(effort: str, workers: int = SWEEP_WORKERS,
     }
 
 
+def supervision_study(effort: str, workers: int = SWEEP_WORKERS,
+                      repeats: int = 4) -> dict:
+    """Price the supervision loop: supervised vs bare worker pool.
+
+    The same warm-cache sweep (job results answered from disk, so
+    dispatch dominates) repeated on a persistent pool with the
+    liveness/deadline sweeps on versus off
+    (``WorkerPool(supervise=False)``, PR 8's zero-overhead
+    comparator).  Min-of-*repeats* on both sides to shed scheduler
+    noise; the gate holds the supervised/bare wall-clock ratio at or
+    under 1.05 — crash recovery must cost nothing on the fault-free
+    path.
+    """
+    import shutil
+    import tempfile
+
+    jobs = expand_grid(SWEEP_PRESETS, SWEEP_WIDTHS, effort=effort)
+    cache_root = tempfile.mkdtemp(prefix="bench_supervision_cache_")
+    cache_dir = os.path.join(cache_root, "cache")
+    run_sweep(jobs, workers=1, cache_dir=cache_dir)  # prime (untimed)
+
+    def best_of(supervise: bool) -> float:
+        best = float("inf")
+        with WorkerPool(workers, supervise=supervise) as pool:
+            # warm the workers' memos before the clock starts
+            run_sweep(jobs, pool=pool, cache_dir=cache_dir)
+            for _ in range(repeats):
+                started = time.perf_counter()
+                run_sweep(jobs, pool=pool, cache_dir=cache_dir)
+                best = min(best, time.perf_counter() - started)
+        return best
+
+    supervised_s = best_of(True)
+    bare_s = best_of(False)
+    shutil.rmtree(cache_root, ignore_errors=True)
+    return {
+        "presets": list(SWEEP_PRESETS),
+        "widths": list(SWEEP_WIDTHS),
+        "effort": effort,
+        "n_jobs": len(jobs),
+        "repeats": repeats,
+        "workers": workers,
+        "supervised_s": round(supervised_s, 4),
+        "bare_s": round(bare_s, 4),
+        "supervision_overhead": round(supervised_s / bare_s, 4),
+    }
+
+
 def run_bench(effort: str = "medium", budget: int = 2000,
               repeats: int = SWEEP_REPEATS,
               speedup_target: float = 2.5,
@@ -279,6 +332,7 @@ def run_bench(effort: str = "medium", budget: int = 2000,
         "power_portfolio": power_portfolio_study(
             effort, min(budget, 500)
         ),
+        "supervision": supervision_study(effort),
     }
     portfolio = record["portfolio"]
     # the speedup gate follows PR 3's hardware-variance guard idiom:
@@ -297,6 +351,9 @@ def run_bench(effort: str = "medium", budget: int = 2000,
         "power_budget_compliance": record["power_portfolio"][
             "budget_overrun"
         ] <= 0,
+        "supervision_overhead": record["supervision"][
+            "supervision_overhead"
+        ] <= 1.05,
     }
     if not enough_cpus:
         record["speedup_note"] = (
@@ -361,6 +418,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{power['elapsed_s']}s "
           f"({power['n_evaluated']}/{power['budget']} evaluations, "
           f"{100 * power['gate_skip_rate']:.1f}% gated)")
+    supervision = record["supervision"]
+    print(f"supervision ({supervision['n_jobs']} warm jobs, "
+          f"min of {supervision['repeats']}): supervised "
+          f"{supervision['supervised_s']}s vs bare "
+          f"{supervision['bare_s']}s = "
+          f"{supervision['supervision_overhead']}x overhead "
+          f"(gate <= 1.05x)")
     note = record.get("speedup_note")
     if note:
         print(f"note: {note}")
@@ -392,6 +456,8 @@ def test_parallel_bench(benchmark, save_artifact):
     assert record["gates"]["warm_pool"], record["warm_sweep"]
     assert record["gates"]["power_budget_compliance"], \
         record["power_portfolio"]
+    assert record["gates"]["supervision_overhead"], \
+        record["supervision"]
     if record["gates"]["speedup"] is not None:
         assert record["gates"]["speedup"], record["portfolio"]
 

@@ -335,6 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="fast CI path: the 'mini' workload at width 8, quick effort",
     )
+    po.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file: resume from it when present and "
+             "snapshot the run every --checkpoint-every steps, so a "
+             "killed run replays to the uninterrupted trajectory "
+             "(single strategy, or --portfolio with --workers 1)",
+    )
+    po.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="N",
+        help="steps between checkpoint snapshots (default: 25)",
+    )
     # --seed after the subcommand, same SUPPRESS dance as generate
     po.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                     help="workload seed")
@@ -481,6 +492,22 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--out", default="sweep_results.jsonl",
         help="JSONL stream path (default: sweep_results.jsonl)",
+    )
+    ps.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="skip jobs already completed in PATH — a previous --out "
+             "JSONL file, or a directory containing "
+             "sweep_results.jsonl; failed jobs re-run",
+    )
+    ps.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall timeout: a worker past it is killed and "
+             "replaced, the job retried (default: none)",
+    )
+    ps.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="attempts beyond the first for a crashed/hung job before "
+             "it is quarantined as an error (default: 2)",
     )
     ps.add_argument(
         "--smoke", action="store_true",
@@ -671,6 +698,40 @@ def _run_optimize(args: argparse.Namespace) -> str:
     n_lanes = args.portfolio
     if n_lanes == 0 and args.workers > 1:
         n_lanes = max(args.workers, 4)
+    checkpoint = None
+    if args.checkpoint:
+        from .search import SearchCheckpoint, run_fingerprint
+
+        if args.checkpoint_every < 1:
+            raise _CliError(
+                f"--checkpoint-every must be >= 1, got "
+                f"{args.checkpoint_every}"
+            )
+        if n_lanes and args.workers != 1:
+            raise _CliError(
+                "--checkpoint requires --workers 1 (only the "
+                "deterministic in-process portfolio mode can replay a "
+                "snapshot to the same trajectory)"
+            )
+        if not n_lanes and len(names) > 1:
+            raise _CliError(
+                "--checkpoint cannot race multiple strategies (the "
+                "snapshot stores one run's trajectory); pick one, or "
+                "use --portfolio with --workers 1"
+            )
+        fingerprint = run_fingerprint({
+            "workload": workload, "width": width, "wt": args.wt,
+            "budget": budget, "seconds": args.seconds,
+            "strategies": list(names), "seed": args.seed,
+            "search_seed": args.search_seed,
+            "pack_effort": args.pack_effort or effort,
+            "lanes": n_lanes,
+            "power_budget": args.power_budget,
+        })
+        checkpoint = SearchCheckpoint(
+            args.checkpoint, every=args.checkpoint_every,
+            fingerprint=fingerprint,
+        )
     _obs_manifest("optimize", {
         "workload": workload, "width": width, "wt": args.wt,
         "budget": budget, "seconds": args.seconds,
@@ -683,7 +744,7 @@ def _run_optimize(args: argparse.Namespace) -> str:
     if n_lanes:
         return _run_portfolio(
             args, workload, width, budget, names, soc, pack_kwargs,
-            n_lanes,
+            n_lanes, checkpoint=checkpoint,
         )
     # one shared evaluator: racing strategies reuse each other's packs
     evaluator = ScheduleEvaluator(soc, width, **pack_kwargs)
@@ -714,11 +775,12 @@ def _run_optimize(args: argparse.Namespace) -> str:
         try:
             outcome = run_strategy(
                 search_registry.create(name), problem,
-                seed=args.search_seed,
+                seed=args.search_seed, checkpoint=checkpoint,
             )
         except ValueError as exc:
             # e.g. a wall-clock budget that expired before the first
-            # evaluation — user input, not an internal failure
+            # evaluation, or a checkpoint written by a different run
+            # configuration — user input, not an internal failure
             raise _CliError(exc.args[0] if exc.args else exc) from None
         outcomes.append(outcome)
         lines.append(outcome.summary())
@@ -775,11 +837,16 @@ def _run_portfolio(
     soc,
     pack_kwargs: dict,
     n_lanes: int,
+    checkpoint=None,
 ) -> str:
     """The ``optimize --portfolio/--workers`` parallel path."""
     from .core.sharing import bell_number
     from .reporting import write_jsonl
-    from .search import default_lanes, portfolio_search
+    from .search import (
+        PortfolioInterrupted,
+        default_lanes,
+        portfolio_search,
+    )
 
     lanes = default_lanes(n_lanes, names, base_seed=args.search_seed)
     space = bell_number(soc.n_analog)
@@ -799,8 +866,26 @@ def _run_portfolio(
             budget=budget,
             max_seconds=args.seconds,
             wt=args.wt,
+            checkpoint=checkpoint,
             **pack_kwargs,
         )
+    except PortfolioInterrupted as exc:
+        # surface whatever the in-process lanes had achieved, then let
+        # main() report the interrupt (exit code 130)
+        if exc.outcome is not None:
+            records = exc.outcome.trace_records(
+                workload=workload, width=width, wt=args.wt,
+                budget=budget,
+            )
+            _obs_artifacts(
+                trace_records=records,
+                lane_records=exc.outcome.lane_records(),
+            )
+            print("\n".join([
+                header, exc.outcome.summary(),
+                "INTERRUPTED — partial portfolio results above",
+            ]))
+        raise
     except ValueError as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
     lines = [header, outcome.summary()]
@@ -1002,6 +1087,12 @@ def _run_sweep(args: argparse.Namespace) -> str:
 
     if args.jobs < 1:
         raise _CliError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise _CliError(
+            f"--timeout must be positive, got {args.timeout:g}"
+        )
+    if args.retries < 0:
+        raise _CliError(f"--retries must be >= 0, got {args.retries}")
     _obs_manifest("sweep", {
         "presets": list(presets), "widths": list(widths),
         "wts": list(args.wt), "seed": args.seed, "delta": args.delta,
@@ -1010,6 +1101,8 @@ def _run_sweep(args: argparse.Namespace) -> str:
         "search_seed": args.search_seed, "n_jobs": len(jobs),
         "workers": args.jobs, "cache_dir": cache_dir,
         "start_method": args.start_method,
+        "timeout_s": args.timeout, "max_retries": args.retries,
+        "resume": args.resume,
     }, engine="fast")
 
     def progress(result) -> None:
@@ -1030,10 +1123,21 @@ def _run_sweep(args: argparse.Namespace) -> str:
             progress=progress,
             trace_dir=args.trace_dir,
             start_method=args.start_method,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            resume_from=args.resume,
         )
+    except ValueError as exc:
+        # e.g. --resume pointing at nothing
+        raise _CliError(exc.args[0] if exc.args else exc) from None
     except OSError as exc:
         raise _CliError(f"cannot write results to {args.out!r}: {exc}") \
             from None
+    if sweep.interrupted:
+        # partial results are on disk (resumable); main() turns this
+        # into the interrupt exit code after folding telemetry
+        print(sweep.render())
+        raise KeyboardInterrupt
     if sweep.errors:
         # failed jobs are already itemized in the summary; make the
         # process exit code reflect them so CI pipelines notice
@@ -1075,11 +1179,11 @@ def _render_run_record(record: dict) -> str:
     summary = record.get("summary", {})
     run_id = (record.get("run_id") or "?")[:12]
     lines = [f"run {run_id}  (source: {record.get('source', '?')})"]
-    for key in ("command", "workload", "width", "engine", "budget",
-                "workers", "best_cost", "n_evaluated", "n_gated",
-                "gate_skip_rate", "n_jobs", "elapsed_s", "evals_per_s",
-                "platform", "cpu_count", "package_version",
-                "cache_version", "match_key"):
+    for key in ("command", "status", "workload", "width", "engine",
+                "budget", "workers", "best_cost", "n_evaluated",
+                "n_gated", "gate_skip_rate", "n_jobs", "elapsed_s",
+                "evals_per_s", "platform", "cpu_count",
+                "package_version", "cache_version", "match_key"):
         value = summary.get(key)
         if value is not None:
             lines.append(f"  {key}: {value}")
@@ -1376,10 +1480,41 @@ _QUERY_COMMANDS = frozenset(
 )
 
 
+def _mark_interrupted() -> None:
+    """Stamp the active telemetry run directory as interrupted, so the
+    ledger fold records ``status: interrupted`` instead of presenting a
+    cut-short run as a completed one (no-op when telemetry is off)."""
+    import json as _json
+
+    from . import obs
+
+    state = obs.state()
+    if state is None:
+        return
+    try:
+        (state.run_dir / "status.json").write_text(
+            _json.dumps({"status": "interrupted"}) + "\n"
+        )
+    except OSError:  # pragma: no cover - best effort on teardown
+        pass
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import signal
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        # graceful SIGTERM (timeouts, orchestrators): unwind like
+        # Ctrl-C so pools terminate, partial results land on disk, and
+        # the telemetry record folds as interrupted
+        signal.signal(signal.SIGTERM, _sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     started = time.time()
     obs_root = getattr(args, "obs_root", None)
     produces_run = args.command not in _QUERY_COMMANDS
@@ -1424,6 +1559,13 @@ def main(argv: list[str] | None = None) -> int:
         # a failed check (runs regress): report + failure exit code
         print(exc.args[0])
         return 1
+    except KeyboardInterrupt:
+        # SIGINT/SIGTERM: pools are already torn down and partial
+        # results printed by the command handlers; mark the telemetry
+        # record so the ledger shows the run as interrupted
+        _mark_interrupted()
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
         # even a failed run leaves an aggregable telemetry record
         _finalize_obs(obs_root if produces_run else None)

@@ -1,0 +1,273 @@
+"""Deterministic fault injection for the execution substrate.
+
+The supervision layer (:mod:`repro.supervise`, the sweep engine, the
+portfolio drivers) exists to survive worker crashes, hung jobs, torn
+cache writes, and transient dispatch errors.  None of those happen on
+a healthy CI box, so this module makes them happen *on demand and
+deterministically*: a :class:`FaultPlan` — parsed from the
+``REPRO_FAULTS`` environment variable, which both ``fork`` and
+``spawn`` workers inherit — arms faults at named **sites** the
+instrumented code touches through :func:`hit` / :func:`mangle`.
+
+Spec grammar (semicolon-separated)::
+
+    REPRO_FAULTS="dir=/tmp/markers;crash@job:2;hang@lane:1:30;corrupt@cache:1;flaky@dispatch:1"
+
+Each entry is ``kind@site:occurrence[:param]``:
+
+* ``kind`` — ``crash`` (``os._exit``), ``hang`` (sleep *param*
+  seconds, default 60), ``flaky`` (raise :class:`TransientFault`),
+  ``abort`` (raise :class:`FaultInjected` — the in-process stand-in
+  for a kill, used by checkpoint/resume tests), ``corrupt`` (truncate
+  the payload passed through :func:`mangle`);
+* ``site`` — a name the instrumented code chose (``job`` at sweep-job
+  start, ``lane`` at portfolio-lane start, ``eval`` per paid search
+  evaluation, ``cache`` per cache write, ``dispatch`` per supervised
+  dispatch);
+* ``occurrence`` — fire on the Nth hit of that site in a process
+  (1-based; ``0`` = every hit);
+* ``param`` — kind-specific (the hang duration in seconds).
+
+The ``dir=PATH`` option makes every entry **once globally**: before
+firing, the process claims an exclusive marker file
+(``O_CREAT | O_EXCL``) under PATH, so exactly one process fires each
+armed fault no matter how many workers reach its site — which is what
+lets a chaos test assert "one worker crash, then clean recovery".
+
+Every fired fault bumps the ``faults.injected`` telemetry counter and
+emits a ``fault.injected`` event (flushed *before* a crash fault
+exits, so the injection itself is visible in the aggregated metrics).
+With ``REPRO_FAULTS`` unset the whole module costs one environment
+lookup per instrumented site.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from . import obs
+
+__all__ = [
+    "ENV_FAULTS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFault",
+    "active",
+    "hit",
+    "install",
+    "mangle",
+]
+
+#: environment variable carrying the fault spec (inherited by both
+#: ``fork`` and ``spawn`` worker processes)
+ENV_FAULTS = "REPRO_FAULTS"
+
+KINDS = ("crash", "hang", "flaky", "abort", "corrupt")
+
+#: exit code a ``crash`` fault dies with (distinct from Python's 1)
+CRASH_EXIT_CODE = 13
+
+
+class FaultInjected(RuntimeError):
+    """An ``abort`` fault fired: the in-process simulation of a kill.
+
+    Checkpoint/resume tests raise this mid-search instead of calling
+    ``os._exit`` so they can catch the "kill" and resume in the same
+    process.
+    """
+
+
+class TransientFault(RuntimeError):
+    """A ``flaky`` fault fired: a retryable, transient dispatch error."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: ``kind@site:occurrence[:param]``."""
+
+    kind: str
+    site: str
+    occurrence: int
+    param: str | None = None
+
+    def render(self) -> str:
+        base = f"{self.kind}@{self.site}:{self.occurrence}"
+        return f"{base}:{self.param}" if self.param is not None else base
+
+
+class FaultPlan:
+    """A parsed fault spec with per-process site counters.
+
+    :param specs: the armed :class:`FaultSpec` entries.
+    :param marker_dir: when set, each entry fires at most once
+        *globally* — the firing process must claim an exclusive marker
+        file under this directory first.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...],
+                 marker_dir: str | None = None):
+        self.specs = specs
+        self.marker_dir = marker_dir
+        self._counts: dict[str, int] = {}
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see module docstring).
+
+        :raises ValueError: on a malformed entry — a misconfigured
+            chaos run must fail loudly, not silently skip injection.
+        """
+        specs: list[FaultSpec] = []
+        marker_dir = None
+        for raw in text.split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if entry.startswith("dir="):
+                marker_dir = entry[4:]
+                continue
+            head, _, rest = entry.partition("@")
+            if head not in KINDS:
+                raise ValueError(
+                    f"unknown fault kind {head!r} in {entry!r}; "
+                    f"pick from {', '.join(KINDS)}"
+                )
+            parts = rest.split(":")
+            if len(parts) < 2 or not parts[0]:
+                raise ValueError(
+                    f"malformed fault entry {entry!r}; expected "
+                    f"kind@site:occurrence[:param]"
+                )
+            try:
+                occurrence = int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"occurrence must be an integer in {entry!r}"
+                ) from None
+            if occurrence < 0:
+                raise ValueError(
+                    f"occurrence must be >= 0 in {entry!r}"
+                )
+            param = parts[2] if len(parts) > 2 else None
+            specs.append(FaultSpec(head, parts[0], occurrence, param))
+        return cls(tuple(specs), marker_dir)
+
+    def render(self) -> str:
+        """The spec string :meth:`parse` round-trips."""
+        parts = []
+        if self.marker_dir:
+            parts.append(f"dir={self.marker_dir}")
+        parts.extend(spec.render() for spec in self.specs)
+        return ";".join(parts)
+
+    def _claim(self, index: int) -> bool:
+        """Whether this process may fire spec *index* (global-once
+        semantics when a marker directory is armed)."""
+        if not self.marker_dir:
+            return True
+        os.makedirs(self.marker_dir, exist_ok=True)
+        path = os.path.join(self.marker_dir, f"fired-{index}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _matching(self, site: str, kinds: tuple[str, ...]):
+        """Claimed specs due to fire on this hit of *site*."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for index, spec in enumerate(self.specs):
+            if spec.site != site or spec.kind not in kinds:
+                continue
+            if spec.occurrence and count != spec.occurrence:
+                continue
+            if self._claim(index):
+                yield spec
+
+    def fire(self, site: str) -> None:
+        """Trigger any armed non-corrupt fault for this hit of *site*."""
+        for spec in self._matching(
+            site, ("crash", "hang", "flaky", "abort")
+        ):
+            _announce(spec)
+            if spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if spec.kind == "hang":
+                time.sleep(float(spec.param) if spec.param else 60.0)
+            elif spec.kind == "flaky":
+                raise TransientFault(
+                    f"injected transient fault at {site!r}"
+                )
+            elif spec.kind == "abort":
+                raise FaultInjected(f"injected abort at {site!r}")
+
+    def corrupt(self, site: str, payload: str) -> str:
+        """*payload*, truncated when a ``corrupt`` fault fires here."""
+        for spec in self._matching(site, ("corrupt",)):
+            _announce(spec)
+            # chop mid-record: the torn tail a writer killed between
+            # write() and rename-free flush would leave behind
+            return payload[: max(1, len(payload) // 3)]
+        return payload
+
+
+def _announce(spec: FaultSpec) -> None:
+    """Count + spool the injection (before a crash kills the process)."""
+    st = obs.state()
+    if st is None:
+        return
+    st.registry.counter("faults.injected").inc()
+    st.emit("fault.injected", kind=spec.kind, site=spec.site)
+    st.flush()
+
+
+# plan cache keyed on (pid, spec text): a fork child re-parses (fresh
+# per-process site counters), and tests that swap the env var get a
+# fresh plan on the next hit
+_CACHE: tuple[int, str, FaultPlan] | None = None
+
+
+def active() -> FaultPlan | None:
+    """The process's armed plan, or ``None`` (the common case)."""
+    global _CACHE
+    text = os.environ.get(ENV_FAULTS)
+    if not text:
+        return None
+    pid = os.getpid()
+    cache = _CACHE
+    if cache is None or cache[0] != pid or cache[1] != text:
+        _CACHE = cache = (pid, text, FaultPlan.parse(text))
+    return cache[2]
+
+
+def install(spec: str | FaultPlan | None) -> None:
+    """Arm *spec* for this process and its future workers (via the
+    environment); ``None`` disarms."""
+    global _CACHE
+    _CACHE = None
+    if spec is None:
+        os.environ.pop(ENV_FAULTS, None)
+        return
+    text = spec.render() if isinstance(spec, FaultPlan) else spec
+    FaultPlan.parse(text)  # validate before arming
+    os.environ[ENV_FAULTS] = text
+
+
+def hit(site: str) -> None:
+    """Fire any armed fault at *site* (no-op without a plan)."""
+    plan = active()
+    if plan is not None:
+        plan.fire(site)
+
+
+def mangle(site: str, payload: str) -> str:
+    """Pass *payload* through any armed ``corrupt`` fault at *site*."""
+    plan = active()
+    if plan is None:
+        return payload
+    return plan.corrupt(site, payload)

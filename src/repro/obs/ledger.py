@@ -241,13 +241,22 @@ class RunLedger:
         lanes_raw = _tolerant_json(run_dir / "lanes.json")
         lanes = lanes_raw if isinstance(lanes_raw, list) else []
         trace = _tolerant_jsonl(run_dir / "trace.jsonl")
+        summary = _derive_summary(manifest, metrics, lanes, trace)
+        # a run cut short by SIGINT/SIGTERM stamps status.json on the
+        # way out; carry it so an interrupted run's partial numbers are
+        # never mistaken for a completed run's
+        status_raw = _tolerant_json(run_dir / "status.json")
+        summary["status"] = (
+            status_raw.get("status", "completed")
+            if isinstance(status_raw, dict) else "completed"
+        )
 
         record = {
             "schema": 1,
             "source": "run_dir",
             "path": str(run_dir),
             "manifest": manifest,
-            "summary": _derive_summary(manifest, metrics, lanes, trace),
+            "summary": summary,
             "metrics": metrics,
             "lanes": lanes,
             "trace": downsample_trace(trace),

@@ -36,6 +36,8 @@ import os
 import tempfile
 from pathlib import Path
 
+from .. import faults
+
 __all__ = ["DiskCache", "MemoCache", "content_key"]
 
 
@@ -67,6 +69,8 @@ class DiskCache:
         self.misses = 0
         #: entries written since construction
         self.puts = 0
+        #: corrupt entries detected (and quarantined) by :meth:`get`
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -75,15 +79,24 @@ class DiskCache:
         """The cached value for *key*, or *default*.
 
         A corrupt entry (interrupted writer on a non-POSIX filesystem,
-        manual tampering) counts as a miss and is left for the next
-        :meth:`put` to overwrite.
+        manual tampering, bit rot) counts as a miss and is unlinked —
+        quarantined — so it can never poison every subsequent warm
+        lookup; the next :meth:`put` rewrites it whole.
         """
         path = self._path(key)
         try:
             with open(path) as stream:
                 value = json.load(stream)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
         except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             self.misses += 1
+            self.corrupt += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return default
         self.hits += 1
         return value
@@ -113,7 +126,14 @@ class DiskCache:
             if hasattr(os, "fchmod"):
                 os.fchmod(fd, 0o666 & ~_UMASK)
             with os.fdopen(fd, "w") as stream:
-                json.dump(value, stream, sort_keys=True)
+                # the fault harness's cache-corruption site: an armed
+                # `corrupt@cache` spec truncates this payload, modeling
+                # the torn write the atomic rename normally prevents
+                stream.write(
+                    faults.mangle(
+                        "cache", json.dumps(value, sort_keys=True)
+                    )
+                )
             os.replace(tmp, path)
             self.puts += 1
         except BaseException:
@@ -133,9 +153,10 @@ class DiskCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/put counters since this instance was created."""
+        """Hit/miss/put/corrupt counters since this instance was
+        created."""
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts}
+                "puts": self.puts, "corrupt": self.corrupt}
 
 
 #: the process umask, sampled once at import (single-threaded, so the

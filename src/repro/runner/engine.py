@@ -36,12 +36,15 @@ one for smoke-sized grids.
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
 
-from .. import obs, workloads
+from .. import faults, obs, workloads
+from ..supervise import PoolBroken
 from ..core.area import AreaModel
 from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
 from ..core.exhaustive import exhaustive_search
@@ -348,6 +351,10 @@ def _publish_job_obs(
 def _worker(args: tuple[SweepJob, str | None, str | None]) -> dict:
     """Pool entry point: evaluate one job, trapping failures per job."""
     job, cache_dir, trace_dir = args
+    # fault-harness site: *outside* the per-job trap, so an injected
+    # crash/hang/flaky fault reaches the supervisor (and is retried)
+    # instead of being reported as a job error
+    faults.hit("job")
     try:
         return evaluate_job(job, cache_dir, trace_dir).to_dict()
     except Exception as exc:  # noqa: BLE001 — isolate job failures
@@ -364,6 +371,9 @@ class SweepResult:
     elapsed_s: float
     out_path: str | None = None
     cache_dir: str | None = None
+    #: the sweep was cut short (SIGINT/SIGTERM); ``results`` holds
+    #: whatever completed before the interrupt
+    interrupted: bool = False
 
     @property
     def ok(self) -> tuple[JobResult, ...]:
@@ -428,11 +438,18 @@ class SweepResult:
         lines = [
             render_table(headers, rows, title="Sweep results"),
             "",
+        ]
+        if self.interrupted:
+            lines.append(
+                "INTERRUPTED — partial results (re-run with --resume "
+                "to continue the grid)"
+            )
+        lines.append(
             f"{len(self.results)} jobs ({len(self.errors)} failed) in "
             f"{self.elapsed_s:.2f}s wall; job cache hits: "
             f"{self.cache_hits}/{len(self.results)}; staircase cache: "
-            f"{stair_hits} hits / {stair_misses} misses",
-        ]
+            f"{stair_hits} hits / {stair_misses} misses"
+        )
         disk_hits = sum(
             r.cache_stats.get("hits", 0) for r in self.results
         )
@@ -471,6 +488,39 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _load_resume(
+    resume_from: str, jobs: Sequence[SweepJob]
+) -> dict[SweepJob, dict]:
+    """Completed records of a previous run, keyed by their jobs.
+
+    *resume_from* is the prior sweep's JSONL stream (or the directory
+    holding its default ``sweep_results.jsonl``).  Only records that
+    parse, succeeded, and match a job of the current grid are reused —
+    a torn final line from an interrupted writer is skipped, and any
+    grid cell the prior run failed (or never reached) runs again.
+    """
+    path = resume_from
+    if os.path.isdir(path):
+        path = os.path.join(path, "sweep_results.jsonl")
+    if not os.path.exists(path):
+        raise ValueError(f"nothing to resume: {path} does not exist")
+    wanted = set(jobs)
+    records: dict[SweepJob, dict] = {}
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                result = JobResult.from_dict(record)
+            except Exception:  # noqa: BLE001 — torn/alien line
+                continue
+            if result.status == "ok" and result.job in wanted:
+                records[result.job] = record
+    return records
+
+
 def run_sweep(
     jobs: Sequence[SweepJob],
     workers: int = 1,
@@ -480,6 +530,9 @@ def run_sweep(
     trace_dir: str | None = None,
     start_method: str | None = None,
     pool: WorkerPool | None = None,
+    timeout_s: float | None = None,
+    max_retries: int = 2,
+    resume_from: str | None = None,
 ) -> SweepResult:
     """Evaluate *jobs*, optionally in parallel, streaming JSONL results.
 
@@ -509,7 +562,19 @@ def run_sweep(
         to reuse — repeated sweeps then keep their workers (and the
         workers' SOC/staircase/disk-entry memos) warm.  Overrides
         *workers*; the pool stays open for the caller to close.
+    :param timeout_s: per-job wall timeout on the pool path — a worker
+        past it is killed and replaced, the job requeued (``None``
+        disables; ignored inline, where nothing can kill a hung job).
+    :param max_retries: retries per job (crash, hang, transient
+        dispatch error) before it is quarantined into
+        :attr:`SweepResult.errors` with its traceback.
+    :param resume_from: a previous run's ``--out`` JSONL (or its
+        directory): jobs already completed there are reused instead of
+        re-run — the checkpoint/resume path for interrupted sweeps
+        (``resume.skipped`` counts the reused jobs).
     :returns: the :class:`SweepResult` with results in grid order.
+        A SIGINT/SIGTERM mid-sweep yields a *partial* result with
+        :attr:`SweepResult.interrupted` set instead of propagating.
     :raises ValueError: if *jobs* is empty or *workers* < 1.
     """
     if not jobs:
@@ -519,8 +584,10 @@ def run_sweep(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     started = time.perf_counter()
+    resumed = _load_resume(resume_from, jobs) if resume_from else {}
     stream = open(out_path, "w") if out_path else None
     results: list[JobResult] = []
+    interrupted = False
     try:
         def handle(record: dict) -> None:
             if stream is not None:
@@ -530,21 +597,59 @@ def run_sweep(
             if progress is not None:
                 progress(result)
 
-        work = [(job, cache_dir, trace_dir) for job in jobs]
+        for job in jobs:
+            record = resumed.get(job)
+            if record is not None:
+                obs.counter("resume.skipped")
+                handle(record)
+
+        work = [(job, cache_dir, trace_dir)
+                for job in jobs if job not in resumed]
+        done: set[int] = set()
+
+        def dispatch(active: WorkerPool) -> None:
+            for index, ok, value in active.run_supervised(
+                _worker, work,
+                timeout_s=timeout_s, max_retries=max_retries,
+            ):
+                if not ok:
+                    # quarantined after max_retries: the job lands in
+                    # SweepResult.errors with its traceback instead of
+                    # sinking the sweep
+                    value = JobResult(
+                        job=work[index][0], status="error", error=value
+                    ).to_dict()
+                done.add(index)
+                handle(value)
+
         with obs.span("sweep", jobs=len(jobs), workers=workers):
-            if workers == 1:
-                # in-process short circuit: no pool spawn, no pickling
-                for item in work:
-                    handle(_worker(item))
-            elif pool is not None:
-                for record in pool.imap_unordered(_worker, work):
-                    handle(record)
-            else:
-                with WorkerPool(workers, start_method) as transient:
-                    for record in transient.imap_unordered(
-                        _worker, work
-                    ):
-                        handle(record)
+            try:
+                if workers == 1 or not work:
+                    # in-process short circuit: no pool, no pickling
+                    for item in work:
+                        handle(_worker(item))
+                elif pool is not None:
+                    dispatch(pool)
+                else:
+                    with WorkerPool(workers, start_method) as transient:
+                        dispatch(transient)
+            except (PoolBroken, OSError) as exc:
+                # graceful degradation: a pool that cannot spawn or
+                # keeps losing workers must not abort the sweep — run
+                # what's left in-process
+                print(
+                    f"[sweep] worker pool broken ({exc}); degrading to "
+                    f"in-process execution for "
+                    f"{len(work) - len(done)} remaining jobs",
+                    file=sys.stderr,
+                )
+                obs.event("pool.degraded", reason=str(exc),
+                          remaining=len(work) - len(done))
+                for index, item in enumerate(work):
+                    if index not in done:
+                        handle(_worker(item))
+            except KeyboardInterrupt:
+                interrupted = True
     finally:
         if stream is not None:
             stream.close()
@@ -557,4 +662,5 @@ def run_sweep(
         elapsed_s=time.perf_counter() - started,
         out_path=out_path,
         cache_dir=cache_dir,
+        interrupted=interrupted,
     )

@@ -1,4 +1,4 @@
-"""Persistent, warm worker pools for the batch-evaluation engine.
+"""Persistent, warm, *supervised* worker pools for the batch engine.
 
 PR 1's sweep engine built a fresh ``multiprocessing.Pool`` inside
 every :func:`~repro.runner.engine.run_sweep` call: each sweep paid
@@ -21,6 +21,12 @@ process-local read-through memos of :mod:`repro.runner.engine` and
 :mod:`repro.runner.cache`, which is exactly what makes *persistent*
 workers pay off: the memos survive from sweep to sweep.
 
+Since PR 8 the pool rides on :class:`repro.supervise.SupervisedPool`:
+a crashed worker is detected and replaced with its job requeued, a
+hung job is killed at its wall timeout, and a job that keeps failing
+is quarantined instead of sinking the sweep (see
+:meth:`WorkerPool.run_supervised`).
+
 The start method is always explicit (:func:`default_start_method` —
 ``fork`` where available, ``spawn`` otherwise), never the silent
 platform default.
@@ -28,10 +34,8 @@ platform default.
 
 from __future__ import annotations
 
-import multiprocessing
-
 from .. import obs
-from ..search.parallel import default_start_method
+from ..supervise import SupervisedPool, default_start_method
 
 __all__ = ["WorkerPool", "default_start_method"]
 
@@ -49,7 +53,7 @@ def _warm_worker() -> None:
 
 
 class WorkerPool:
-    """A persistent ``multiprocessing`` pool with warm workers.
+    """A persistent pool of warm, supervised workers.
 
     :param workers: worker process count (>= 2 — a one-worker "pool"
         is strictly worse than the engine's inline path; ask
@@ -64,6 +68,9 @@ class WorkerPool:
     :param initializer: per-worker warm-up hook (default: pre-import
         the evaluation stack).
     :param initargs: arguments for *initializer*.
+    :param supervise: keep the liveness/timeout sweeps on (default).
+        ``False`` is the benchmark's comparator for pricing
+        supervision overhead — crashes then sink the run again.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class WorkerPool:
         start_method: str | None = None,
         initializer=None,
         initargs: tuple = (),
+        supervise: bool = True,
     ):
         if workers < 2:
             raise ValueError(
@@ -79,49 +87,63 @@ class WorkerPool:
                 f"(run_sweep(workers=1) runs inline, no pool)"
             )
         self.workers = workers
-        self.start_method = start_method or default_start_method()
-        if self.start_method not in \
-                multiprocessing.get_all_start_methods():
-            raise ValueError(
-                f"start method {self.start_method!r} not available "
-                f"here; pick from "
-                f"{multiprocessing.get_all_start_methods()}"
-            )
-        ctx = multiprocessing.get_context(self.start_method)
         with obs.span(
-            "pool.spawn", workers=workers, start_method=self.start_method
+            "pool.spawn", workers=workers,
+            start_method=start_method or default_start_method(),
         ):
-            self._pool = ctx.Pool(
+            # SupervisedPool validates the start method (same
+            # "not available" error this class used to raise)
+            self._pool = SupervisedPool(
                 workers,
+                start_method,
                 initializer=initializer or _warm_worker,
                 initargs=initargs,
+                supervise=supervise,
             )
+        self.start_method = self._pool.start_method
 
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run."""
         return self._pool is None
 
-    def _live_pool(self):
+    def _live_pool(self) -> SupervisedPool:
         if self._pool is None:
             raise ValueError("WorkerPool is closed")
         return self._pool
 
-    def imap_unordered(self, fn, iterable, chunksize: int = 1):
-        """Map *fn* over *iterable*, yielding results as they finish."""
-        return self._live_pool().imap_unordered(
-            fn, iterable, chunksize=chunksize
+    def run_supervised(self, fn, iterable, *, timeout_s=None,
+                       max_retries: int = 2, backoff_seed: int = 0):
+        """Map *fn* over *iterable* under full supervision.
+
+        Yields ``(index, ok, value)`` in completion order: *index* is
+        the item's position in *iterable*, and on ``ok=False`` the
+        item was quarantined after ``max_retries`` — *value* carries
+        the final attempt's traceback instead of a result.
+        """
+        tasks = [(fn, (item,)) for item in iterable]
+        yield from self._live_pool().run_tasks(
+            tasks, timeout_s=timeout_s, max_retries=max_retries,
+            backoff_seed=backoff_seed,
         )
 
-    def apply_async(self, fn, args=()):
-        """Submit one call; returns the ``AsyncResult``."""
-        return self._live_pool().apply_async(fn, args)
+    def imap_unordered(self, fn, iterable, chunksize: int = 1):
+        """Map *fn* over *iterable*, yielding results as they finish.
+
+        A quarantined item raises ``RuntimeError`` with its traceback;
+        use :meth:`run_supervised` to receive failures as values.
+        """
+        del chunksize  # kept for API compatibility; dispatch is per-item
+        return self._live_pool().imap_unordered(fn, iterable)
+
+    def run_on_all(self, fn, args: tuple = ()) -> list:
+        """Run ``fn(*args)`` once on every worker (cache warm-up)."""
+        return self._live_pool().run_on_all(fn, args)
 
     def close(self) -> None:
         """Shut the workers down (idempotent)."""
         if self._pool is not None:
             self._pool.close()
-            self._pool.join()
             self._pool = None
 
     def __enter__(self) -> "WorkerPool":

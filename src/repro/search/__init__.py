@@ -48,12 +48,15 @@ from ..soc.model import Soc
 from . import registry
 from .anneal import SimulatedAnnealing
 from .budget import Budget, BudgetExhausted, EvalLedger, SharedEvalLedger
+from .checkpoint import SearchCheckpoint, run_fingerprint
 from .genetic import GeneticSearch, crossover
 from .greedy import RandomRestartGreedy
 from .moves import random_neighbor, random_partition
 from .parallel import (
     Lane,
     LocalIncumbent,
+    PoolBroken,
+    PortfolioInterrupted,
     PortfolioOutcome,
     PortfolioPool,
     SharedIncumbent,
@@ -81,9 +84,12 @@ __all__ = [
     "GeneticSearch",
     "Lane",
     "LocalIncumbent",
+    "PoolBroken",
+    "PortfolioInterrupted",
     "PortfolioOutcome",
     "PortfolioPool",
     "RandomRestartGreedy",
+    "SearchCheckpoint",
     "SearchOutcome",
     "SearchProblem",
     "SearchStrategy",
@@ -105,6 +111,7 @@ __all__ = [
     "random_partition",
     "register_strategy",
     "registry",
+    "run_fingerprint",
     "run_strategy",
     "strategy_names",
 ]
@@ -119,6 +126,7 @@ def optimize(
     wt: float = 0.5,
     seed: int = 0,
     model: CostModel | None = None,
+    checkpoint: SearchCheckpoint | None = None,
     **pack_kwargs,
 ) -> SearchOutcome:
     """Budgeted anytime search for a cheap sharing combination.
@@ -134,6 +142,10 @@ def optimize(
     :param seed: RNG seed — same seed, same trace.
     :param model: optional pre-built cost model; pass the same model to
         several calls to race strategies on one shared evaluator cache.
+    :param checkpoint: optional
+        :class:`~repro.search.checkpoint.SearchCheckpoint` — resume a
+        killed run from its last snapshot and keep snapshotting (see
+        :func:`~repro.search.strategy.run_strategy`).
     :param pack_kwargs: forwarded to the rectangle packer (ignored when
         *model* is given).
     :returns: the :class:`~repro.search.strategy.SearchOutcome`.
@@ -147,4 +159,5 @@ def optimize(
     budget = Budget(max_evaluations=max_evaluations,
                     max_seconds=max_seconds)
     problem = SearchProblem(model, budget)
-    return run_strategy(registry.create(strategy), problem, seed=seed)
+    return run_strategy(registry.create(strategy), problem, seed=seed,
+                        checkpoint=checkpoint)

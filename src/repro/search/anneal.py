@@ -68,6 +68,18 @@ class SimulatedAnnealing(BatchProposeStrategy):
         self._current_cost: float | None = None
         self._temperature = self.t0
 
+    def _snapshot_data(self) -> dict:
+        return {
+            "current": self._current,
+            "current_cost": self._current_cost,
+            "temperature": self._temperature,
+        }
+
+    def _restore_data(self, data: dict) -> None:
+        self._current = data["current"]
+        self._current_cost = data["current_cost"]
+        self._temperature = data["temperature"]
+
     def propose_batch(self):
         if self._current_cost is None:
             return [self._current]  # pay for the start point first

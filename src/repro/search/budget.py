@@ -69,6 +69,7 @@ class EvalLedger:
             raise ValueError(f"ledger total must be >= 1, got {total}")
         self._total = total
         self._taken = 0
+        self._lane_taken: dict[int, int] = {}
 
     @property
     def total(self) -> int | None:
@@ -81,13 +82,39 @@ class EvalLedger:
             raise ValueError(f"ledger total must be >= 1, got {total}")
         self._total = total
         self._taken = 0
+        self._lane_taken.clear()
 
-    def take(self) -> bool:
-        """Draw one evaluation; ``False`` when the ledger is dry."""
+    def take(self, lane: int | None = None) -> bool:
+        """Draw one evaluation; ``False`` when the ledger is dry.
+
+        :param lane: optional lane index the draw is attributed to, so
+            a crashed lane's spending can be refunded before its retry
+            (:meth:`refund_lane`).
+        """
         if self._total is not None and self._taken >= self._total:
             return False
         self._taken += 1
+        if lane is not None:
+            self._lane_taken[lane] = self._lane_taken.get(lane, 0) + 1
         return True
+
+    def refund_lane(self, lane: int) -> int:
+        """Return a lane's attributed draws to the pot.
+
+        The supervision layer calls this before retrying a crashed or
+        hung lane from scratch: without the refund, the retry would
+        find the pot short by everything the failed attempt spent, and
+        the portfolio's trajectory would no longer match a fault-free
+        run.  Returns the number of evaluations refunded.
+        """
+        refunded = self._lane_taken.pop(lane, 0)
+        self._taken -= refunded
+        return refunded
+
+    def restore_taken(self, taken: int) -> None:
+        """Set the draw count directly (checkpoint resume)."""
+        self._taken = taken
+        self._lane_taken.clear()
 
     @property
     def taken(self) -> int:
@@ -133,7 +160,15 @@ class SharedEvalLedger(EvalLedger):
         # redundant.  -1 encodes "unlimited" in the shared total cell.
         self._total_cell = ctx.RawValue("q", -1 if total is None else total)
         self._cell = ctx.RawValue("q", 0)
+        # fixed-size per-lane attribution cells (RawArray is sized at
+        # allocation; MAX_LANES far exceeds any sane worker portfolio
+        # — draws from lanes beyond it are simply unattributed, so
+        # they work but cannot be refunded)
+        self._lane_cells = ctx.RawArray("q", self.MAX_LANES)
         self._lock = ctx.Lock()
+
+    #: per-lane attribution slots in the shared array
+    MAX_LANES = 64
 
     @property
     def total(self) -> int | None:
@@ -146,14 +181,33 @@ class SharedEvalLedger(EvalLedger):
         with self._lock:
             self._total_cell.value = -1 if total is None else total
             self._cell.value = 0
+            for i in range(self.MAX_LANES):
+                self._lane_cells[i] = 0
 
-    def take(self) -> bool:
+    def take(self, lane: int | None = None) -> bool:
         with self._lock:
             total = self._total_cell.value
             if 0 <= total <= self._cell.value:
                 return False
             self._cell.value += 1
+            if lane is not None and 0 <= lane < self.MAX_LANES:
+                self._lane_cells[lane] += 1
             return True
+
+    def refund_lane(self, lane: int) -> int:
+        if not 0 <= lane < self.MAX_LANES:
+            return 0
+        with self._lock:
+            refunded = self._lane_cells[lane]
+            self._cell.value -= refunded
+            self._lane_cells[lane] = 0
+            return refunded
+
+    def restore_taken(self, taken: int) -> None:
+        with self._lock:
+            self._cell.value = taken
+            for i in range(self.MAX_LANES):
+                self._lane_cells[i] = 0
 
     @property
     def taken(self) -> int:
@@ -175,6 +229,9 @@ class Budget:
         draws from — every charge also takes one unit from the ledger,
         and an empty ledger exhausts the budget regardless of the local
         limits.
+    :param ledger_lane: lane index to attribute ledger draws to, so a
+        crashed lane's spending can be refunded before its retry (see
+        :meth:`EvalLedger.refund_lane`).
     :raises ValueError: on non-positive limits.
     """
 
@@ -184,6 +241,7 @@ class Budget:
         max_seconds: float | None = None,
         clock: Callable[[], float] = time.perf_counter,
         ledger: EvalLedger | None = None,
+        ledger_lane: int | None = None,
     ):
         if max_evaluations is not None and max_evaluations < 1:
             raise ValueError(
@@ -196,6 +254,7 @@ class Budget:
         self.max_evaluations = max_evaluations
         self.max_seconds = max_seconds
         self.ledger = ledger
+        self.ledger_lane = ledger_lane
         self._clock = clock
         self._started: float | None = None
         #: paid evaluations spent so far
@@ -255,7 +314,7 @@ class Budget:
         if self.exhausted:
             raise BudgetExhausted(self.describe())
         if self.ledger is not None:
-            if not self.ledger.take():
+            if not self.ledger.take(self.ledger_lane):
                 obs.counter("ledger.denied")
                 raise BudgetExhausted(self.describe())
             obs.counter("ledger.grants")

@@ -88,6 +88,12 @@ class GeneticSearch(BatchProposeStrategy):
             for _ in range(self.population)
         ]
 
+    def _snapshot_data(self) -> dict:
+        return {"members": list(self._members)}
+
+    def _restore_data(self, data: dict) -> None:
+        self._members = list(data["members"])
+
     def _select(self, scored: list[tuple[float, Partition]]) -> Partition:
         contenders = [
             scored[self.rng.randrange(len(scored))]

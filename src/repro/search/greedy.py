@@ -44,6 +44,18 @@ class RandomRestartGreedy(BatchProposeStrategy):
         self._current_cost = float("inf")
         self._stalls = 0
 
+    def _snapshot_data(self) -> dict:
+        return {
+            "current": self._current,
+            "current_cost": self._current_cost,
+            "stalls": self._stalls,
+        }
+
+    def _restore_data(self, data: dict) -> None:
+        self._current = data["current"]
+        self._current_cost = data["current_cost"]
+        self._stalls = data["stalls"]
+
     def propose_batch(self):
         if self._current is None:
             # restart: the batch is the fresh starting point alone

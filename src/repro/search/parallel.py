@@ -52,15 +52,17 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import random
+import sys
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from .. import obs
+from .. import faults, obs
 from ..core.area import AreaModel
 from ..core.cost import CostModel, CostWeights, ScheduleEvaluator
 from ..core.sharing import Partition, format_partition
 from ..soc.model import Soc
+from ..supervise import PoolBroken, SupervisedPool, default_start_method
 from . import registry
 from .budget import Budget, BudgetExhausted, EvalLedger, SharedEvalLedger
 from .problem import SearchProblem
@@ -74,6 +76,8 @@ from .strategy import (
 __all__ = [
     "Lane",
     "LocalIncumbent",
+    "PoolBroken",
+    "PortfolioInterrupted",
     "PortfolioOutcome",
     "PortfolioPool",
     "SharedIncumbent",
@@ -85,17 +89,18 @@ __all__ = [
 ]
 
 
-def default_start_method() -> str:
-    """The explicit ``multiprocessing`` start method this codebase uses.
+class PortfolioInterrupted(KeyboardInterrupt):
+    """A portfolio run was interrupted (SIGINT/SIGTERM) mid-flight.
 
-    ``fork`` where the platform offers it (fork-once workers inherit
-    warmed parent state and every registered workload/strategy for
-    free), ``spawn`` otherwise — never the implicit platform default,
-    so behavior does not silently change across OSes or Python
-    versions.
+    Carries the partial :class:`PortfolioOutcome` when the in-process
+    lane state allowed assembling one (inline/eval modes), ``None``
+    when the interrupt landed while worker lanes were in flight (their
+    mid-run state dies with the tasks).
     """
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
+
+    def __init__(self, outcome: "PortfolioOutcome | None" = None):
+        super().__init__("portfolio interrupted")
+        self.outcome = outcome
 
 
 class LocalIncumbent:
@@ -384,11 +389,10 @@ def _build_model(
 _WORKER: dict = {}
 
 
-def _init_worker(incumbent, ledger, barrier=None) -> None:
+def _init_worker(incumbent, ledger) -> None:
     """Pool initializer: adopt the shared cells, start a model cache."""
     _WORKER["incumbent"] = incumbent
     _WORKER["ledger"] = ledger
-    _WORKER["barrier"] = barrier
     _WORKER["models"] = {}
 
 
@@ -415,26 +419,19 @@ def _worker_model(config_bytes: bytes) -> CostModel:
 
 
 def _warm_task(config_bytes: bytes) -> bool:
-    """Build this worker's model, then rendezvous at the barrier.
+    """Build this worker's model (dispatched once per worker).
 
-    The barrier keeps every worker busy until all of them (and the
-    parent) arrive, so N submitted warm tasks land on N *distinct*
-    workers — a plain ``map`` gives no such guarantee.  A failed model
-    build aborts the barrier so nobody waits out the timeout for a
-    worker that will never arrive; the real exception travels back
-    through the task result.
+    :meth:`SupervisedPool.run_on_all` pins one warm task to each
+    worker slot, so — unlike a plain ``map`` — every worker is
+    guaranteed to build its model exactly once, with no barrier
+    rendezvous needed.
     """
-    try:
-        _worker_model(config_bytes)
-    except BaseException:
-        _WORKER["barrier"].abort()
-        raise
-    _WORKER["barrier"].wait(timeout=300)
+    _worker_model(config_bytes)
     return True
 
 
 def _lane_task(
-    config_bytes: bytes, lane: Lane, gate: bool,
+    config_bytes: bytes, lane: Lane, lane_index: int, gate: bool,
     deadline: float | None, max_evaluations: int | None,
 ) -> SearchOutcome:
     """Run one whole lane inside a pool worker.
@@ -444,7 +441,12 @@ def _lane_task(
     system-wide on the supported platforms, so a lane that sat in the
     task queue behind earlier lanes gets only the *remaining* wall
     allowance, not a fresh one.
+
+    *lane_index* attributes the lane's shared-ledger draws, so the
+    supervisor can refund a crashed attempt's spending before the
+    retry (see :meth:`~repro.search.budget.EvalLedger.refund_lane`).
     """
+    faults.hit("lane")
     model = _worker_model(config_bytes)
     obs.set_context(lane_label=lane.label, strategy=lane.strategy)
     max_seconds = None
@@ -456,6 +458,7 @@ def _lane_task(
         max_evaluations=max_evaluations,
         max_seconds=max_seconds,
         ledger=_WORKER.get("ledger"),
+        ledger_lane=lane_index,
     )
     problem = SearchProblem(
         model, budget, gate=gate, incumbent=_WORKER.get("incumbent")
@@ -527,11 +530,6 @@ class PortfolioPool:
                 f"PortfolioPool needs workers >= 2, got {workers}"
             )
         self.workers = workers
-        # NOTE: the lifecycle here intentionally parallels
-        # repro.runner.pool.WorkerPool rather than composing with it —
-        # runner already imports search (engine → search jobs), so the
-        # reverse dependency would be cyclic; keep the two validations
-        # in step when touching either.
         self.start_method = start_method or default_start_method()
         if self.start_method not in \
                 multiprocessing.get_all_start_methods():
@@ -540,17 +538,19 @@ class PortfolioPool:
                 f"here; pick from "
                 f"{multiprocessing.get_all_start_methods()}"
             )
+        # the shared cells must come from the same context the workers
+        # are spawned from (get_context returns a per-method singleton,
+        # so SupervisedPool's internal context is this very object)
         ctx = multiprocessing.get_context(self.start_method)
         self.incumbent = SharedIncumbent(ctx)
         self.ledger = SharedEvalLedger(None, ctx)
-        self._barrier = ctx.Barrier(workers + 1)
-        self._pool = ctx.Pool(
-            workers,
+        self._pool: SupervisedPool | None = SupervisedPool(
+            workers, self.start_method,
             initializer=_init_worker,
-            initargs=(self.incumbent, self.ledger, self._barrier),
+            initargs=(self.incumbent, self.ledger),
         )
 
-    def _live_pool(self):
+    def _live_pool(self) -> SupervisedPool:
         if self._pool is None:
             raise ValueError("PortfolioPool is closed")
         return self._pool
@@ -564,51 +564,22 @@ class PortfolioPool:
     def warm(self, config_bytes: bytes) -> None:
         """Pre-build the problem's model on *every* worker.
 
-        One barrier-synchronized warm task per worker: the barrier
-        holds each worker in its task until all have built their model
-        (and the parent joins), so no worker can grab two.  After this,
-        the first real lane or eval task pays nothing but the search
-        itself — which is what a steady-state throughput measurement
-        (``benchmarks/bench_parallel.py``) should time.
-
-        A failed worker build aborts the barrier (see
-        :func:`_warm_task`), and the underlying exception — not the
-        barrier breakage it causes — is re-raised here.
+        One pinned warm task per worker slot
+        (:meth:`SupervisedPool.run_on_all`), so no worker can grab
+        two.  After this, the first real lane or eval task pays
+        nothing but the search itself — which is what a steady-state
+        throughput measurement (``benchmarks/bench_parallel.py``)
+        should time.  A failed worker build raises ``RuntimeError``
+        carrying the worker-side traceback.
         """
-        import threading
-
         pool = self._live_pool()
         with obs.span("pool.warm", workers=self.workers):
-            pending = [
-                pool.apply_async(_warm_task, (config_bytes,))
-                for _ in range(self.workers)
-            ]
-            broken = False
-            try:
-                self._barrier.wait(timeout=300)
-            except threading.BrokenBarrierError:
-                broken = True
-        errors: list[BaseException] = []
-        for task in pending:
-            try:
-                task.get()
-            except threading.BrokenBarrierError:
-                pass  # collateral of the aborting worker
-            except Exception as exc:  # noqa: BLE001 — surfaced below
-                errors.append(exc)
-        if broken:
-            self._barrier.reset()  # keep the pool warmable
-        if errors:
-            raise errors[0]
-        if broken:
-            raise RuntimeError(
-                "worker warm-up broke the barrier without reporting "
-                "an error (worker process died?)"
-            )
+            pool.run_on_all(_warm_task, (config_bytes,))
 
     def run_lanes(
         self, config_bytes: bytes, lanes: Sequence[Lane], gate: bool,
         max_seconds: float | None, budget: int | None,
+        timeout_s: float | None = None, max_retries: int = 2,
     ) -> list[SearchOutcome]:
         """Race *lanes* across the workers; outcomes in lane order.
 
@@ -617,6 +588,13 @@ class PortfolioPool:
         and *max_seconds* is converted to one absolute deadline for
         the whole batch — a lane queued behind earlier lanes inherits
         only the remaining wall allowance.
+
+        A lane whose worker crashes or hangs is retried on a fresh
+        worker, with the failed attempt's shared-ledger draws refunded
+        first so the retry replays against the allowance a fault-free
+        run would have seen; a lane that keeps failing past
+        *max_retries* is quarantined — reported as an empty outcome
+        (``budget="quarantined"``) instead of sinking the portfolio.
         """
         pool = self._live_pool()
         slices = lane_slices(budget, len(lanes))
@@ -628,14 +606,47 @@ class PortfolioPool:
             "pool.dispatch", lanes=len(lanes), workers=self.workers,
             budget=budget,
         )
-        pending = [
-            pool.apply_async(
-                _lane_task,
-                (config_bytes, lane, gate, deadline, lane_slice),
-            )
-            for lane, lane_slice in zip(lanes, slices)
+        tasks = [
+            (_lane_task,
+             (config_bytes, lane, index, gate, deadline, lane_slice))
+            for index, (lane, lane_slice)
+            in enumerate(zip(lanes, slices))
         ]
-        return [task.get() for task in pending]
+
+        def refund(index: int, reason: str) -> None:
+            refunded = self.ledger.refund_lane(index)
+            obs.event("lane.refund", lane=index, reason=reason,
+                      evaluations=refunded)
+
+        results: list[SearchOutcome | None] = [None] * len(lanes)
+        for index, ok, value in pool.run_tasks(
+            tasks, timeout_s=timeout_s, max_retries=max_retries,
+            on_retry=refund,
+        ):
+            if ok:
+                results[index] = value
+                continue
+            # quarantined: give its unspent slice back to nobody (the
+            # ledger refund keeps the global accounting honest) and
+            # report an empty outcome in its slot
+            refund(index, "quarantined")
+            obs.event("lane.quarantined", lane=index,
+                      label=lanes[index].label)
+            results[index] = SearchOutcome(
+                strategy=lanes[index].strategy,
+                seed=lanes[index].seed,
+                best_partition=None,
+                best_cost=float("inf"),
+                n_evaluated=0,
+                n_packs=0,
+                n_steps=0,
+                elapsed_s=0.0,
+                budget="quarantined",
+                stalled=False,
+                trace=(),
+                n_gated=0,
+            )
+        return results
 
     def batch_cost(self, config_bytes: bytes):
         """A :class:`~repro.search.problem.SearchProblem`-compatible
@@ -652,16 +663,21 @@ class PortfolioPool:
             strides = [
                 partitions[i::self.workers] for i in range(self.workers)
             ]
-            pending = [
-                (i, pool.apply_async(
-                    _eval_task, (config_bytes, stride)
-                ))
-                for i, stride in enumerate(strides) if stride
+            offsets = [i for i, s in enumerate(strides) if s]
+            tasks = [
+                (_eval_task, (config_bytes, stride))
+                for stride in strides if stride
             ]
             results: list = [None] * len(partitions)
-            for i, task in pending:
-                for j, pair in enumerate(task.get()):
-                    results[i + j * self.workers] = pair
+            for index, ok, value in pool.run_tasks(tasks):
+                if not ok:
+                    raise RuntimeError(
+                        f"batch evaluation failed after retries:\n"
+                        f"{value}"
+                    )
+                base = offsets[index]
+                for j, pair in enumerate(value):
+                    results[base + j * self.workers] = pair
             return results
 
         return cost
@@ -670,7 +686,6 @@ class PortfolioPool:
         """Shut the workers down (idempotent)."""
         if self._pool is not None:
             self._pool.close()
-            self._pool.join()
             self._pool = None
 
     def __enter__(self) -> "PortfolioPool":
@@ -703,41 +718,53 @@ class _LaneRun:
         )
 
 
-def _interleave_lanes(runs: list[_LaneRun], batched: bool) -> None:
+def _interleave_lanes(runs: list[_LaneRun], batched: bool,
+                      on_round=None) -> bool:
     """Round-robin lane stepping until every lane is done.
 
     One pass gives each live lane one step; a lane finishes on budget
     exhaustion (its own wall clock or the shared ledger) or on the
     per-lane stall guard.  Deterministic: the visit order is the lane
-    order, every time.
+    order, every time.  *on_round* (if given) runs after each full
+    pass — a round boundary is the only instant where every lane sits
+    at a step boundary, which is what makes it a safe checkpoint
+    instant.  Returns whether the loop was interrupted
+    (``KeyboardInterrupt``) rather than finishing.
     """
-    while True:
-        live = [run for run in runs if not run.done]
-        if not live:
-            return
-        for run in live:
-            if run.problem.budget.exhausted:
-                run.done = True
-                continue
-            try:
-                if batched:
-                    batch = run.strategy.propose_batch()
-                    costs = run.problem.evaluate_batch(batch)
-                    run.strategy.observe_batch(batch, costs)
-                else:
-                    run.strategy.step()
-            except BudgetExhausted:
-                run.done = True
-                continue
-            run.steps += 1
-            if run.problem.n_evaluated == run.last_evaluated:
-                run.stall_steps += 1
-                if run.stall_steps >= STALL_LIMIT:
-                    run.stalled = True
+    rounds = 0
+    try:
+        while True:
+            live = [run for run in runs if not run.done]
+            if not live:
+                return False
+            for run in live:
+                if run.problem.budget.exhausted:
                     run.done = True
-            else:
-                run.last_evaluated = run.problem.n_evaluated
-                run.stall_steps = 0
+                    continue
+                try:
+                    if batched:
+                        batch = run.strategy.propose_batch()
+                        costs = run.problem.evaluate_batch(batch)
+                        run.strategy.observe_batch(batch, costs)
+                    else:
+                        run.strategy.step()
+                except BudgetExhausted:
+                    run.done = True
+                    continue
+                run.steps += 1
+                if run.problem.n_evaluated == run.last_evaluated:
+                    run.stall_steps += 1
+                    if run.stall_steps >= STALL_LIMIT:
+                        run.stalled = True
+                        run.done = True
+                else:
+                    run.last_evaluated = run.problem.n_evaluated
+                    run.stall_steps = 0
+            rounds += 1
+            if on_round is not None:
+                on_round(rounds)
+    except KeyboardInterrupt:
+        return True
 
 
 def _run_in_parent(
@@ -747,8 +774,17 @@ def _run_in_parent(
     budget: int | None,
     max_seconds: float | None,
     batch_cost=None,
-) -> list[SearchOutcome]:
-    """Interleaved lanes in the current process (inline/eval modes)."""
+    checkpoint=None,
+) -> tuple[list[SearchOutcome], bool]:
+    """Interleaved lanes in the current process (inline/eval modes).
+
+    Returns ``(outcomes, interrupted)``.  With *checkpoint* (a
+    :class:`~repro.search.checkpoint.SearchCheckpoint`), the run
+    resumes from a stored round-boundary snapshot when one exists and
+    snapshots every ``checkpoint.every`` rounds — lane strategies, cost
+    caches, the shared ledger, and the incumbent together, so a killed
+    portfolio replays to the uninterrupted run's exact trajectory.
+    """
     ledger = EvalLedger(budget) if budget is not None else None
     incumbent = LocalIncumbent()
     slices = lane_slices(budget, len(lanes))
@@ -769,9 +805,55 @@ def _run_in_parent(
         strategy = registry.create(lane.strategy)
         strategy.bind(problem, random.Random(lane.seed))
         runs.append(_LaneRun(lane, strategy, problem))
-    _interleave_lanes(runs, batched=batch_cost is not None)
+
+    on_round = None
+    if checkpoint is not None:
+        def save_state() -> None:
+            checkpoint.save({
+                "ledger_taken": 0 if ledger is None else ledger.taken,
+                "incumbent": incumbent.get(),
+                "runs": [
+                    {
+                        "steps": run.steps,
+                        "stall_steps": run.stall_steps,
+                        "last_evaluated": run.last_evaluated,
+                        "done": run.done,
+                        "stalled": run.stalled,
+                        "strategy": run.strategy.state_snapshot(),
+                        "problem": run.problem.state_snapshot(),
+                    }
+                    for run in runs
+                ],
+            })
+
+        stored = checkpoint.load()
+        if stored is not None:
+            if ledger is not None:
+                ledger.restore_taken(stored["ledger_taken"])
+            if stored["incumbent"] != float("inf"):
+                incumbent.offer(stored["incumbent"])
+            for run, kept in zip(runs, stored["runs"]):
+                run.problem.state_restore(kept["problem"])
+                run.strategy.state_restore(kept["strategy"])
+                run.steps = kept["steps"]
+                run.stall_steps = kept["stall_steps"]
+                run.last_evaluated = kept["last_evaluated"]
+                run.done = kept["done"]
+                run.stalled = kept["stalled"]
+
+        def on_round(rounds: int) -> None:
+            if rounds % checkpoint.every == 0:
+                save_state()
+
+    interrupted = _interleave_lanes(
+        runs, batched=batch_cost is not None, on_round=on_round
+    )
+    if checkpoint is not None:
+        # final snapshot (interrupt included): resuming a finished run
+        # is a no-op replay, resuming an interrupted one continues it
+        save_state()
     model.evaluator.publish_obs()
-    return [run.outcome() for run in runs]
+    return [run.outcome() for run in runs], interrupted
 
 
 def portfolio_search(
@@ -788,6 +870,7 @@ def portfolio_search(
     start_method: str | None = None,
     pool: PortfolioPool | None = None,
     model: CostModel | None = None,
+    checkpoint=None,
     **pack_kwargs,
 ) -> PortfolioOutcome:
     """Race a portfolio of search lanes under one global budget.
@@ -829,8 +912,21 @@ def portfolio_search(
         (``workers`` is then taken from the pool).
     :param model: optional pre-built cost model for the in-process
         modes (ignored by lane mode, whose workers build their own).
+    :param checkpoint: optional
+        :class:`~repro.search.checkpoint.SearchCheckpoint` for the
+        deterministic ``workers=1`` mode — the run resumes from a
+        stored snapshot and snapshots periodically, so a killed
+        portfolio replays to a byte-identical trajectory.
     :param pack_kwargs: forwarded to the rectangle packer (ignored
         when *model* is given).
+
+    Fault tolerance: a broken or unspawnable worker pool (repeated
+    worker deaths past the restart cap, ``OSError`` at spawn) degrades
+    to the in-process ``workers=1`` mode with a logged warning instead
+    of failing the run; ``SIGINT``/``SIGTERM`` raises
+    :exc:`PortfolioInterrupted` carrying the partial outcome the
+    in-process modes can still assemble.
+
     :raises ValueError: on no budget at all, or when every lane ended
         without a single un-gated evaluation (cannot happen with a
         fresh incumbent and a budget >= 1).
@@ -856,42 +952,95 @@ def portfolio_search(
         workers = pool.workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if checkpoint is not None and workers != 1:
+        raise ValueError(
+            "checkpointing requires workers=1 (only the deterministic "
+            "in-process mode replays a snapshot to the same trajectory)"
+        )
 
     started = time.perf_counter()
+    interrupted = False
     if workers == 1:
         mode = "inline"
         if model is None:
             model = _build_model(soc, width, wt, pack_kwargs)
-        outcomes = _run_in_parent(
-            model, lane_specs, gate, budget, max_seconds
+        outcomes, interrupted = _run_in_parent(
+            model, lane_specs, gate, budget, max_seconds,
+            checkpoint=checkpoint,
         )
     else:
         config_bytes = portfolio_config(soc, width, wt, **pack_kwargs)
         owned = pool is None
-        if owned:
-            pool = PortfolioPool(workers, start_method)
         try:
-            if len(lane_specs) >= workers:
-                mode = "lanes"
-                pool.reset(budget)
-                outcomes = pool.run_lanes(
-                    config_bytes, lane_specs, gate, max_seconds, budget
-                )
-            else:
-                mode = "evals"
-                pool.reset(None)  # parent meters the budget itself
-                if model is None:
-                    model = _build_model(soc, width, wt, pack_kwargs)
-                outcomes = _run_in_parent(
-                    model, lane_specs, gate, budget, max_seconds,
-                    batch_cost=pool.batch_cost(config_bytes),
-                )
-        finally:
             if owned:
-                pool.close()
+                pool = PortfolioPool(workers, start_method)
+            try:
+                if len(lane_specs) >= workers:
+                    mode = "lanes"
+                    pool.reset(budget)
+                    outcomes = pool.run_lanes(
+                        config_bytes, lane_specs, gate, max_seconds,
+                        budget,
+                    )
+                else:
+                    mode = "evals"
+                    pool.reset(None)  # parent meters the budget itself
+                    if model is None:
+                        model = _build_model(soc, width, wt, pack_kwargs)
+                    outcomes, interrupted = _run_in_parent(
+                        model, lane_specs, gate, budget, max_seconds,
+                        batch_cost=pool.batch_cost(config_bytes),
+                    )
+            finally:
+                if owned and pool is not None:
+                    pool.close()
+        except KeyboardInterrupt:
+            # worker-lane state dies with the in-flight tasks; the
+            # pool was already torn down by the finally above
+            raise PortfolioInterrupted(None) from None
+        except (PoolBroken, OSError) as exc:
+            # graceful degradation: a pool that cannot be spawned or
+            # keeps losing workers must not sink the search — rerun
+            # the whole portfolio in-process (lanes are deterministic
+            # per seed, so this is a clean restart, not a merge)
+            print(
+                f"[portfolio] worker pool broken ({exc}); degrading "
+                f"to in-process execution for {len(lane_specs)} lanes",
+                file=sys.stderr,
+            )
+            obs.event(
+                "pool.degraded", reason=str(exc),
+                lanes=len(lane_specs), where="portfolio",
+            )
+            mode = "inline"
+            if model is None:
+                model = _build_model(soc, width, wt, pack_kwargs)
+            outcomes, interrupted = _run_in_parent(
+                model, lane_specs, gate, budget, max_seconds
+            )
 
     elapsed = time.perf_counter() - started
     settled = [o for o in outcomes if o.best_partition is not None]
+    if interrupted:
+        partial = None
+        if settled:
+            best = min(
+                settled, key=lambda o: (o.best_cost, o.best_partition)
+            )
+            partial = PortfolioOutcome(
+                lanes=lane_specs,
+                outcomes=tuple(outcomes),
+                best_partition=best.best_partition,
+                best_cost=best.best_cost,
+                n_evaluated=sum(o.n_evaluated for o in outcomes),
+                n_packs=sum(o.n_packs for o in outcomes),
+                n_gated=sum(o.n_gated for o in outcomes),
+                elapsed_s=elapsed,
+                workers=workers,
+                mode=mode,
+                budget_total=budget,
+            )
+        raise PortfolioInterrupted(partial)
     if not settled:
         raise ValueError(
             "no lane completed a single un-gated evaluation — "

@@ -32,7 +32,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import asdict, dataclass
 
-from .. import obs
+from .. import faults, obs
 from ..core.cost import CostModel
 from ..core.sharing import Partition, format_partition
 from .budget import Budget, BudgetExhausted
@@ -165,6 +165,41 @@ class SearchProblem:
         """Whether evaluating *partition* would be free."""
         return partition in self._costs
 
+    def state_snapshot(self) -> dict:
+        """Portable mid-run state for checkpoint/resume.
+
+        Everything the search trajectory depends on: the cost cache
+        (restored cached candidates stay free), the incumbent, the
+        anytime trace, the gate accounting, and the budget's spend.
+        ``n_packs`` is included but process-local by nature — a
+        resumed process re-packs what the dead one's evaluator had
+        cached — so determinism comparisons use the trace, never the
+        pack count.
+        """
+        return {
+            "costs": dict(self._costs),
+            "n_packs": self._n_packs,
+            "best_partition": self.best_partition,
+            "best_cost": self.best_cost,
+            "trace": list(self.trace),
+            "n_gated": self.n_gated,
+            "gated_partitions": list(self.gated_partitions),
+            "budget_spent": self.budget.spent,
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`state_snapshot` into this problem."""
+        self._costs = dict(snapshot["costs"])
+        self._n_packs = snapshot["n_packs"]
+        self.best_partition = snapshot["best_partition"]
+        self.best_cost = snapshot["best_cost"]
+        self.trace = list(snapshot["trace"])
+        self.n_gated = snapshot["n_gated"]
+        self.gated_partitions = list(snapshot["gated_partitions"])
+        self.budget.spent = snapshot["budget_spent"]
+        if self.incumbent is not None and self.best_partition is not None:
+            self.incumbent.offer(self.best_cost)
+
     def _gate_reference(self) -> float:
         """Best cost the gate may prune against (local or portfolio)."""
         if not self.gate:
@@ -220,6 +255,10 @@ class SearchProblem:
         if cached is not None:
             return cached
         self.budget.charge()
+        # fault-harness site: one hit per *paid* evaluation, so chaos
+        # specs can kill (crash) or simulate killing (abort) a search
+        # at exactly its K-th evaluation
+        faults.hit("eval")
         reference = self._gate_reference()
         before = self.model.evaluator.evaluations
         cost, gated = self.model.gated_cost(partition, reference)
@@ -265,6 +304,7 @@ class SearchProblem:
             except BudgetExhausted as exc:
                 exhausted = exc
                 continue
+            faults.hit("eval")
             fresh.append(partition)
             fresh_index[partition] = [i]
 

@@ -142,6 +142,33 @@ class SearchStrategy(ABC):
         way to be cut off, so steps need no budget logic of their own.
         """
 
+    def state_snapshot(self) -> dict:
+        """Portable mid-run state for checkpoint/resume.
+
+        Captures the RNG stream position plus the strategy's own
+        fields (:meth:`_snapshot_data`), both taken at a step boundary
+        — restoring them via :meth:`state_restore` and stepping on
+        reproduces the uninterrupted run's trajectory exactly.
+        """
+        return {
+            "rng": self.rng.getstate(),
+            "data": self._snapshot_data(),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`state_snapshot` (call after :meth:`bind` —
+        the re-bind's setup draws are overwritten here, so they never
+        perturb the resumed RNG stream)."""
+        self.rng.setstate(snapshot["rng"])
+        self._restore_data(snapshot["data"])
+
+    def _snapshot_data(self) -> dict:
+        """Hook: the strategy's own per-run fields (default: none)."""
+        return {}
+
+    def _restore_data(self, data: dict) -> None:
+        """Hook: restore the :meth:`_snapshot_data` fields."""
+
 
 def _propose_observe_step(strategy: SearchStrategy) -> None:
     candidate = strategy.propose()
@@ -260,6 +287,7 @@ def run_strategy(
     problem: SearchProblem,
     seed: int = 0,
     allow_empty: bool = False,
+    checkpoint=None,
 ) -> SearchOutcome:
     """Drive *strategy* on *problem* until its budget runs out.
 
@@ -277,6 +305,13 @@ def run_strategy(
         (see :func:`build_outcome`) — portfolio lanes whose shared
         ledger was drained, or whose every candidate the shared
         incumbent gate pruned, end this way legitimately.
+    :param checkpoint: optional
+        :class:`~repro.search.checkpoint.SearchCheckpoint`: the run
+        resumes from its stored state when one exists (the re-run must
+        use the same configuration — the checkpoint fingerprint
+        enforces it) and snapshots strategy + problem + budget every
+        ``checkpoint.every`` steps, so a killed run replays to the
+        same trajectory as an uninterrupted one.
     :raises ValueError: (unless *allow_empty*) if the budget allowed
         no evaluation at all (e.g. a wall-clock budget that expired
         before the first step).
@@ -286,10 +321,28 @@ def run_strategy(
     strategy.bind(problem, rng)
     steps = 0
     stalled = False
-    last_evaluated = problem.n_evaluated
     stall_steps = 0
+    if checkpoint is not None:
+        stored = checkpoint.load()
+        if stored is not None:
+            problem.state_restore(stored["problem"])
+            strategy.state_restore(stored["strategy"])
+            steps = stored["steps"]
+            stall_steps = stored["stall_steps"]
+            stalled = stored["stalled"]
+    last_evaluated = problem.n_evaluated
+
+    def save() -> None:
+        checkpoint.save({
+            "steps": steps,
+            "stall_steps": stall_steps,
+            "stalled": stalled,
+            "strategy": strategy.state_snapshot(),
+            "problem": problem.state_snapshot(),
+        })
+
     try:
-        while not budget.exhausted:
+        while not stalled and not budget.exhausted:
             strategy.step()
             steps += 1
             if problem.n_evaluated == last_evaluated:
@@ -300,8 +353,13 @@ def run_strategy(
             else:
                 last_evaluated = problem.n_evaluated
                 stall_steps = 0
+            if checkpoint is not None and steps % checkpoint.every == 0:
+                save()
     except BudgetExhausted:
         pass
+    if checkpoint is not None:
+        # final snapshot: resuming a finished run is a no-op replay
+        save()
     return build_outcome(
         strategy, problem, seed, steps, stalled, allow_empty=allow_empty
     )

@@ -56,6 +56,22 @@ class TabuSearch(BatchProposeStrategy):
         self._tabu.append(partition)
         self._tabu_set.add(partition)
 
+    def _snapshot_data(self) -> dict:
+        return {
+            "current": self._current,
+            "current_cost": self._current_cost,
+            "tabu": list(self._tabu),
+            "aspiration": getattr(self, "_aspiration", None),
+        }
+
+    def _restore_data(self, data: dict) -> None:
+        self._current = data["current"]
+        self._current_cost = data["current_cost"]
+        self._tabu = deque(data["tabu"], maxlen=self.tenure)
+        self._tabu_set = set(self._tabu)
+        if data["aspiration"] is not None:
+            self._aspiration = data["aspiration"]
+
     def propose_batch(self):
         if self._current_cost is None:
             self._aspiration = float("inf")

@@ -157,6 +157,81 @@ class TestSearchCommands:
         assert "unknown strategy" in capsys.readouterr().err
 
 
+class TestFaultToleranceCli:
+    def test_optimize_checkpoint_roundtrip(self, capsys, tmp_path):
+        checkpoint = tmp_path / "search.ckpt"
+        argv = ["optimize", "--strategy", "anneal", "--budget", "20",
+                "--smoke", "--trace", "",
+                "--checkpoint", str(checkpoint),
+                "--checkpoint-every", "4"]
+        assert main(argv) == 0
+        assert checkpoint.is_file()
+        first = capsys.readouterr().out
+        # resuming a finished run is a no-op replay of the same outcome
+        assert main(argv) == 0
+        assert capsys.readouterr().out.splitlines()[:1] \
+            == first.splitlines()[:1]
+
+    def test_checkpoint_requires_single_worker(self, capsys, tmp_path):
+        assert main(
+            ["optimize", "--smoke", "--workers", "2", "--budget", "20",
+             "--checkpoint", str(tmp_path / "c.ckpt")]
+        ) == 2
+        assert "--workers 1" in capsys.readouterr().err
+
+    def test_checkpoint_rejects_strategy_race(self, capsys, tmp_path):
+        assert main(
+            ["optimize", "--smoke", "--strategy", "all", "--budget",
+             "20", "--checkpoint", str(tmp_path / "c.ckpt")]
+        ) == 2
+        assert "cannot race" in capsys.readouterr().err
+
+    def test_checkpoint_every_validated(self, capsys, tmp_path):
+        assert main(
+            ["optimize", "--smoke", "--budget", "20",
+             "--checkpoint", str(tmp_path / "c.ckpt"),
+             "--checkpoint-every", "0"]
+        ) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_sweep_resume_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        base = ["sweep", "--smoke", "--no-cache"]
+        assert main(base + ["--out", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert main(
+            base + ["--out", str(tmp_path / "resumed.jsonl"),
+                    "--resume", str(out)]
+        ) == 0
+        resumed = capsys.readouterr().out
+        # same grid, same table — nothing was re-evaluated
+        assert [line for line in resumed.splitlines() if "smoke" in line] \
+            == [line for line in first.splitlines() if "smoke" in line]
+
+    def test_sweep_resume_missing_path_is_cli_error(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            ["sweep", "--smoke", "--no-cache",
+             "--out", str(tmp_path / "s.jsonl"),
+             "--resume", str(tmp_path / "gone.jsonl")]
+        ) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_sweep_timeout_and_retries_validated(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--smoke", "--no-cache",
+             "--out", str(tmp_path / "s.jsonl"), "--timeout", "0"]
+        ) == 2
+        assert main(
+            ["sweep", "--smoke", "--no-cache",
+             "--out", str(tmp_path / "s.jsonl"), "--retries", "-1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--timeout" in err
+        assert "--retries" in err
+
+
 class TestPowerBudgetFlags:
     def test_optimize_on_power_preset(self, capsys, tmp_path):
         assert main(

@@ -142,6 +142,27 @@ class TestFoldRun:
         assert record["summary"]["best_cost"] is None
         assert len(ledger.entries()) == 1
 
+    def test_fold_defaults_status_completed(self, tmp_path):
+        record = RunLedger(tmp_path / "ledger").fold_run(
+            make_run_dir(tmp_path)
+        )
+        assert record["summary"]["status"] == "completed"
+
+    def test_fold_picks_up_interrupted_status(self, tmp_path):
+        """A SIGINT/SIGTERM run stamps status.json; the fold keeps it."""
+        run_dir = make_run_dir(tmp_path)
+        (run_dir / "status.json").write_text(
+            json.dumps({"status": "interrupted"}) + "\n"
+        )
+        record = RunLedger(tmp_path / "ledger").fold_run(run_dir)
+        assert record["summary"]["status"] == "interrupted"
+
+    def test_fold_tolerates_torn_status_file(self, tmp_path):
+        run_dir = make_run_dir(tmp_path)
+        (run_dir / "status.json").write_text('{"stat')
+        record = RunLedger(tmp_path / "ledger").fold_run(run_dir)
+        assert record["summary"]["status"] == "completed"
+
     def test_fold_reaggregates_when_final_metrics_missing(
             self, tmp_path):
         run_dir = make_run_dir(tmp_path)

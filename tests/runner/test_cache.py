@@ -64,7 +64,8 @@ class TestDiskCache:
         cache.get(content_key("a"))
         cache.put(content_key("b"), 1)
         cache.get(content_key("b"))
-        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1,
+                                 "corrupt": 0}
 
     def test_put_leaves_no_temp_files(self, tmp_path):
         cache = DiskCache(tmp_path / "c")

@@ -1,0 +1,136 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    ENV_FAULTS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    """Every test starts and ends with no armed plan."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        text = "dir=/tmp/m;crash@job:2;hang@lane:1:30;corrupt@cache:0"
+        plan = FaultPlan.parse(text)
+        assert plan.marker_dir == "/tmp/m"
+        assert plan.specs == (
+            FaultSpec("crash", "job", 2),
+            FaultSpec("hang", "lane", 1, "30"),
+            FaultSpec("corrupt", "cache", 0),
+        )
+        assert FaultPlan.parse(plan.render()).render() == plan.render()
+
+    def test_blank_entries_skipped(self):
+        plan = FaultPlan.parse(" ; flaky@dispatch:1 ;; ")
+        assert plan.specs == (FaultSpec("flaky", "dispatch", 1),)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode@job:1")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="malformed fault entry"):
+            FaultPlan.parse("crash@job")
+        with pytest.raises(ValueError, match="malformed fault entry"):
+            FaultPlan.parse("crash@:1")
+
+    def test_non_integer_occurrence_rejected(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            FaultPlan.parse("crash@job:soon")
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan.parse("crash@job:-1")
+
+
+class TestFire:
+    def test_fires_on_nth_hit_only(self):
+        plan = FaultPlan.parse("abort@eval:3")
+        plan.fire("eval")
+        plan.fire("eval")
+        with pytest.raises(FaultInjected, match="eval"):
+            plan.fire("eval")
+        plan.fire("eval")  # occurrence passed: quiet again
+
+    def test_occurrence_zero_fires_every_hit(self):
+        plan = FaultPlan.parse("flaky@dispatch:0")
+        for _ in range(3):
+            with pytest.raises(TransientFault):
+                plan.fire("dispatch")
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan.parse("abort@lane:2")
+        plan.fire("job")
+        plan.fire("job")
+        plan.fire("lane")
+        with pytest.raises(FaultInjected):
+            plan.fire("lane")
+
+    def test_marker_dir_makes_firing_global_once(self, tmp_path):
+        text = f"dir={tmp_path / 'markers'};abort@job:0"
+        first = FaultPlan.parse(text)
+        second = FaultPlan.parse(text)  # simulates a sibling process
+        with pytest.raises(FaultInjected):
+            first.fire("job")
+        second.fire("job")  # marker already claimed: no fire
+        first.fire("job")
+
+
+class TestCorrupt:
+    def test_truncates_once(self):
+        plan = FaultPlan.parse("corrupt@cache:1")
+        payload = "x" * 90
+        mangled = plan.corrupt("cache", payload)
+        assert mangled == "x" * 30
+        assert plan.corrupt("cache", payload) == payload
+
+    def test_other_sites_untouched(self):
+        plan = FaultPlan.parse("corrupt@cache:0")
+        assert plan.corrupt("trace", "payload") == "payload"
+
+
+class TestModuleApi:
+    def test_inactive_without_env(self):
+        assert faults.active() is None
+        faults.hit("job")  # no-op
+        assert faults.mangle("cache", "p") == "p"
+
+    def test_install_arms_and_disarms(self):
+        import os
+
+        faults.install("abort@job:1")
+        assert os.environ[ENV_FAULTS] == "abort@job:1"
+        with pytest.raises(FaultInjected):
+            faults.hit("job")
+        faults.install(None)
+        assert ENV_FAULTS not in os.environ
+        assert faults.active() is None
+
+    def test_install_resets_counters(self):
+        faults.install("abort@job:1")
+        with pytest.raises(FaultInjected):
+            faults.hit("job")
+        faults.hit("job")  # past the occurrence
+        faults.install("abort@job:1")  # re-arm: counters start over
+        with pytest.raises(FaultInjected):
+            faults.hit("job")
+
+    def test_install_validates_spec(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.install("explode@job:1")
+
+    def test_install_accepts_plan(self):
+        faults.install(FaultPlan.parse("corrupt@cache:1"))
+        assert len(faults.mangle("cache", "x" * 30)) == 10

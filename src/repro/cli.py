@@ -537,6 +537,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --once: emit a machine-readable snapshot instead",
     )
 
+    pserve = sub.add_parser(
+        "serve",
+        help="scheduler-as-a-service: asyncio HTTP API over a "
+             "crash-durable job queue (submit/status/result/trace/"
+             "healthz/drain); SIGTERM drains gracefully, SIGKILL is "
+             "recovered by journal replay on the next start",
+    )
+    pserve.add_argument(
+        "--dir", dest="server_dir", required=True, metavar="DIR",
+        help="server state directory: journal, results, checkpoints, "
+             "per-job run dirs (doubles as the telemetry run dir "
+             "unless --obs-dir overrides)",
+    )
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument(
+        "--port", type=int, default=8537,
+        help="TCP port; 0 asks the OS for a free one — the resolved "
+             "port lands in DIR/server.json (default: 8537)",
+    )
+    pserve.add_argument(
+        "--depth", type=int, default=16,
+        help="max queued+running jobs before submits get 429 "
+             "(default: 16)",
+    )
+    pserve.add_argument(
+        "--quota-rate", type=float, default=5.0, metavar="R",
+        help="per-client token-bucket refill, submits/sec "
+             "(default: 5)",
+    )
+    pserve.add_argument(
+        "--quota-burst", type=float, default=10.0, metavar="B",
+        help="per-client burst allowance (default: 10)",
+    )
+    pserve.add_argument(
+        "--workers", type=int, default=1,
+        help=">= 2 dispatches sweep jobs onto a supervised worker "
+             "pool (crash isolation); 1 runs them in-process "
+             "(default: 1)",
+    )
+    pserve.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None, help="pool start method (with --workers >= 2)",
+    )
+    pserve.add_argument(
+        "--cache-dir", default=None,
+        help="disk cache shared by served jobs",
+    )
+    pserve.add_argument(
+        "--timeout", dest="job_timeout", type=float, default=None,
+        metavar="S", help="per-job wall timeout on the pool path",
+    )
+    pserve.add_argument(
+        "--retries", type=int, default=2,
+        help="supervised retries per pool job (default: 2)",
+    )
+    pserve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="per-HTTP-request deadline (default: 30)",
+    )
+    pserve.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="N",
+        help="steps between optimize-job checkpoint snapshots "
+             "(default: 25)",
+    )
+
+    def _client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--server-dir", default=None, metavar="DIR",
+            help="server state directory — connects via its "
+                 "server.json (alternative to --host/--port)",
+        )
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8537)
+        p.add_argument(
+            "--client-id", default="",
+            help="quota identity (default: the peer address)",
+        )
+        p.add_argument(
+            "--retry-seed", type=int, default=0,
+            help="seed for the SDK's backoff jitter (default: 0)",
+        )
+        p.add_argument("--json", action="store_true")
+
+    psubmit = sub.add_parser(
+        "submit", help="submit a job to a running repro server",
+    )
+    _client_flags(psubmit)
+    psubmit.add_argument(
+        "--kind", choices=("sweep", "optimize"), default="sweep",
+    )
+    psubmit.add_argument(
+        "--spec", default="{}", metavar="JSON",
+        help="job parameters as a JSON object (sweep: SweepJob "
+             "fields; optimize: workload/width/strategy/budget/...)",
+    )
+    psubmit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its result",
+    )
+    psubmit.add_argument(
+        "--deadline", type=float, default=300.0, metavar="S",
+        help="with --wait: max seconds to poll (default: 300)",
+    )
+
+    pstatus = sub.add_parser(
+        "status", help="query a served job's state",
+    )
+    _client_flags(pstatus)
+    pstatus.add_argument("job_id")
+
+    presult = sub.add_parser(
+        "result", help="fetch a served job's result record",
+    )
+    _client_flags(presult)
+    presult.add_argument("job_id")
+
     pruns = sub.add_parser(
         "runs",
         help="query the persistent run ledger (--obs-root or "
@@ -1367,10 +1483,35 @@ def _run_runs(args: argparse.Namespace) -> str:
             return (f"kept {summary['kept']} run(s), dropped "
                     f"{summary['dropped']}")
         if action == "fold":
-            if not Path(args.run_dir).is_dir():
+            target = Path(args.run_dir)
+            if not target.is_dir():
                 raise _CliError(
                     f"run directory not found: {args.run_dir!r}"
                 )
+            if (target / "journal.jsonl").is_file():
+                # a server state directory: fold the server run itself
+                # plus every per-job run dir under jobs/, so served
+                # work lines up with CLI runs in list/regress
+                records = []
+                if (target / "manifest.json").is_file():
+                    records.append(ledger.fold_run(target))
+                jobs_root = target / "jobs"
+                if jobs_root.is_dir():
+                    for job_dir in sorted(jobs_root.iterdir()):
+                        if (job_dir / "manifest.json").is_file():
+                            records.append(ledger.fold_run(job_dir))
+                if not records:
+                    raise _CliError(
+                        f"server dir {args.run_dir!r} has no foldable "
+                        f"run dirs yet"
+                    )
+                if args.json:
+                    return _json.dumps(
+                        {"run_ids": [r["run_id"] for r in records]},
+                        default=str,
+                    )
+                return (f"recorded {len(records)} run(s) from server "
+                        f"dir -> {ledger.root}")
             record = ledger.fold_run(args.run_dir)
             if args.json:
                 return _json.dumps(
@@ -1385,11 +1526,137 @@ def _run_runs(args: argparse.Namespace) -> str:
     raise ValueError(f"unknown runs action {action!r}")
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    """The ``repro serve`` long-lived server process."""
+    import asyncio
+    from pathlib import Path
+
+    from . import obs
+    from .server import ReproServer
+
+    if obs.state() is None:
+        # the server dir doubles as the telemetry run dir so watch,
+        # report, and the ledger fold all work on it directly
+        obs.configure(args.server_dir)
+    pool = None
+    if args.workers >= 2:
+        from .runner.pool import WorkerPool
+
+        pool = WorkerPool(args.workers, args.start_method)
+    server = ReproServer(
+        args.server_dir,
+        host=args.host,
+        port=args.port,
+        depth=args.depth,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        request_timeout_s=args.request_timeout,
+        pool=pool,
+        cache_dir=args.cache_dir,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.retries,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        asyncio.run(server.run())
+    finally:
+        if pool is not None:
+            pool.close()
+        obs_root = getattr(args, "obs_root", None)
+        if obs_root:
+            # served jobs join the ledger alongside CLI runs
+            from .obs import RunLedger
+
+            ledger = RunLedger(obs_root)
+            folded = 0
+            jobs_root = Path(args.server_dir) / "jobs"
+            if jobs_root.is_dir():
+                for job_dir in sorted(jobs_root.iterdir()):
+                    if not (job_dir / "manifest.json").is_file():
+                        continue
+                    try:
+                        ledger.fold_run(job_dir)
+                        folded += 1
+                    except (OSError, ValueError):
+                        continue
+            if folded:
+                print(f"[serve] folded {folded} job run dir(s) -> "
+                      f"{obs_root}", file=sys.stderr)
+    return "[serve] drained"
+
+
+def _client(args: argparse.Namespace):
+    from .client import ReproClient
+
+    if args.server_dir:
+        return ReproClient.from_server_dir(
+            args.server_dir, client_id=args.client_id,
+            seed=args.retry_seed,
+        )
+    return ReproClient(
+        host=args.host, port=args.port, client_id=args.client_id,
+        seed=args.retry_seed,
+    )
+
+
+def _run_submit(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from .client import DeadlineExceeded, RequestFailed
+
+    try:
+        params = _json.loads(args.spec)
+    except ValueError as exc:
+        raise _CliError(f"--spec is not valid JSON: {exc}") from None
+    if not isinstance(params, dict):
+        raise _CliError("--spec must be a JSON object")
+    client = _client(args)
+    try:
+        ticket = client.submit(args.kind, params)
+        if not args.wait:
+            payload = {
+                "job_id": ticket.job_id, "state": ticket.state,
+                "coalesced": ticket.coalesced,
+            }
+            if args.json:
+                return _json.dumps(payload)
+            return (f"job {ticket.job_id[:12]} {ticket.state}"
+                    + (" (coalesced)" if ticket.coalesced else ""))
+        record = client.wait_result(
+            ticket.job_id, deadline_s=args.deadline,
+            resubmit=(args.kind, params),
+        )
+    except (RequestFailed, DeadlineExceeded, OSError) as exc:
+        raise _CliError(str(exc)) from None
+    return _json.dumps(record, indent=2, sort_keys=True)
+
+
+def _run_client_query(args: argparse.Namespace, verb: str) -> str:
+    import json as _json
+
+    from .client import RequestFailed
+
+    client = _client(args)
+    try:
+        body = getattr(client, verb)(args.job_id)
+    except (RequestFailed, OSError) as exc:
+        raise _CliError(str(exc)) from None
+    return _json.dumps(body, indent=2, sort_keys=True)
+
+
 def _run_command(command: str, args: argparse.Namespace) -> str:
     if command == "watch":
         return _run_watch(args)
     if command == "runs":
         return _run_runs(args)
+    if command == "serve":
+        return _run_serve(args)
+    if command == "submit":
+        return _run_submit(args)
+    if command == "status":
+        return _run_client_query(args, "status")
+    if command == "result":
+        return _run_client_query(args, "result")
     if command == "workloads":
         lines = [
             f"{workload.name:10s} {workload.description}"
@@ -1476,7 +1743,8 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
 #: Subcommands that inspect telemetry rather than produce it — the
 #: ledger root must not spin up a run dir (or fold one) for these.
 _QUERY_COMMANDS = frozenset(
-    {"runs", "watch", "report", "workloads", "strategies", "generate"}
+    {"runs", "watch", "report", "workloads", "strategies", "generate",
+     "submit", "status", "result"}
 )
 
 
@@ -1484,17 +1752,13 @@ def _mark_interrupted() -> None:
     """Stamp the active telemetry run directory as interrupted, so the
     ledger fold records ``status: interrupted`` instead of presenting a
     cut-short run as a completed one (no-op when telemetry is off)."""
-    import json as _json
-
     from . import obs
 
     state = obs.state()
     if state is None:
         return
     try:
-        (state.run_dir / "status.json").write_text(
-            _json.dumps({"status": "interrupted"}) + "\n"
-        )
+        obs.write_status(state.run_dir, "interrupted")
     except OSError:  # pragma: no cover - best effort on teardown
         pass
 

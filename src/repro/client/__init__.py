@@ -1,0 +1,22 @@
+"""repro.client — retrying SDK for the repro server.
+
+A two-layer client mirroring the server's robustness guarantees:
+:class:`~repro.client.session.RetrySession` (seeded
+exponential-backoff-with-jitter transport that honors ``Retry-After``)
+under :class:`~repro.client.sdk.ReproClient` (submit / status / result
+/ trace verbs plus poll-with-deadline).  Submission is idempotent end
+to end: jobs are keyed by content hash server-side, so a retried or
+resubmitted request coalesces instead of duplicating work.
+"""
+
+from .sdk import DeadlineExceeded, JobTicket, ReproClient
+from .session import HttpResponse, RequestFailed, RetrySession
+
+__all__ = [
+    "DeadlineExceeded",
+    "HttpResponse",
+    "JobTicket",
+    "ReproClient",
+    "RequestFailed",
+    "RetrySession",
+]

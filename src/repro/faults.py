@@ -23,7 +23,8 @@ Each entry is ``kind@site:occurrence[:param]``:
 * ``site`` — a name the instrumented code chose (``job`` at sweep-job
   start, ``lane`` at portfolio-lane start, ``eval`` per paid search
   evaluation, ``cache`` per cache write, ``dispatch`` per supervised
-  dispatch);
+  dispatch, ``server`` per HTTP request, ``queue`` per dequeued
+  server job);
 * ``occurrence`` — fire on the Nth hit of that site in a process
   (1-based; ``0`` = every hit);
 * ``param`` — kind-specific (the hang duration in seconds).

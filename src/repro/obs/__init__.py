@@ -45,6 +45,7 @@ from .runtime import (
     ENV_SPOOL_CAP,
     METRICS_FILE,
     SPOOL_ROTATE_BYTES,
+    STATUS_FILE,
     ObsState,
     aggregate,
     configure,
@@ -54,9 +55,11 @@ from .runtime import (
     event,
     flush,
     read_events,
+    read_status,
     set_context,
     snapshot,
     state,
+    write_status,
 )
 from .spans import span
 from .stream import (
@@ -89,6 +92,7 @@ __all__ = [
     "RunLedger",
     "RunManifest",
     "SPOOL_ROTATE_BYTES",
+    "STATUS_FILE",
     "SpoolCursor",
     "TRACE_FILE",
     "aggregate",
@@ -107,8 +111,10 @@ __all__ = [
     "read_events",
     "render_report",
     "set_context",
+    "read_status",
     "snapshot",
     "span",
     "state",
     "watch",
+    "write_status",
 ]

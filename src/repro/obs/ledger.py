@@ -34,7 +34,7 @@ import time
 from pathlib import Path
 
 from .manifest import MANIFEST_FILE
-from .runtime import METRICS_FILE, aggregate
+from .runtime import METRICS_FILE, aggregate, read_status
 
 __all__ = [
     "INDEX_FILE",
@@ -245,10 +245,10 @@ class RunLedger:
         # a run cut short by SIGINT/SIGTERM stamps status.json on the
         # way out; carry it so an interrupted run's partial numbers are
         # never mistaken for a completed run's
-        status_raw = _tolerant_json(run_dir / "status.json")
+        status_raw = read_status(run_dir)
         summary["status"] = (
             status_raw.get("status", "completed")
-            if isinstance(status_raw, dict) else "completed"
+            if status_raw else "completed"
         )
 
         record = {

@@ -54,10 +54,12 @@ __all__ = [
     "enabled",
     "event",
     "read_events",
+    "read_status",
     "set_context",
     "snapshot",
     "flush",
     "state",
+    "write_status",
 ]
 
 #: Environment variable naming the active run directory.  Setting it
@@ -67,6 +69,7 @@ ENV_RUN_DIR = "REPRO_OBS_DIR"
 
 SPOOL_DIR = "obs"
 METRICS_FILE = "metrics.json"
+STATUS_FILE = "status.json"
 
 #: Rotate a per-pid event spool once it crosses this size (bytes).
 #: One rotated generation is kept, so the per-process event footprint
@@ -283,6 +286,36 @@ def aggregate(run_dir: str | Path, write: bool = True) -> MetricsSnapshot:
         tmp.write_text(json.dumps(merged.to_dict(), sort_keys=True))
         os.replace(tmp, out)
     return merged
+
+
+def write_status(run_dir: str | Path, status: str, **extra) -> None:
+    """Atomically stamp ``<run_dir>/status.json`` with *status*.
+
+    The lifecycle record for long-lived processes — a server moves
+    through ``serving`` → ``draining`` → ``stopped``, one-shot runs
+    stamp ``interrupted`` on SIGINT/SIGTERM.  Written with the
+    tmp+``os.replace`` idiom so a concurrent reader (``repro watch``,
+    the ledger fold) sees either the old record or the new one, never
+    a torn line.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    out = run_dir / STATUS_FILE
+    tmp = out.with_suffix(f".tmp-{os.getpid()}")
+    payload = {"status": status, "t_epoch": time.time(), **extra}
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, out)
+
+
+def read_status(run_dir: str | Path) -> dict | None:
+    """The run dir's status record, or ``None`` (absent/unreadable)."""
+    try:
+        payload = json.loads(
+            (Path(run_dir) / STATUS_FILE).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
 
 
 def read_events(run_dir: str | Path) -> list[dict]:

@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 
 from .manifest import MANIFEST_FILE
-from .runtime import METRICS_FILE, SPOOL_DIR
+from .runtime import METRICS_FILE, SPOOL_DIR, read_status
 from .metrics import MetricsSnapshot
 
 __all__ = [
@@ -165,11 +165,16 @@ class LiveRunView:
         self.first_event_epoch: float | None = None
         self._cursors: dict[Path, SpoolCursor] = {}
         self._finished = False
+        self.status: str | None = None
 
     @property
     def finished(self) -> bool:
         """Whether the final fold has landed (``metrics.json``
-        exists) — the run's own finalize wrote it at exit."""
+        exists) — the run's own finalize wrote it at exit.  Long-lived
+        processes stamp ``status.json`` (``serving``/``draining``)
+        while alive, which overrides the metrics heuristic: a server
+        aggregates metrics *during* its run, so the file's existence
+        alone no longer means "done"."""
         return self._finished
 
     # -- folding --------------------------------------------------------
@@ -230,7 +235,16 @@ class LiveRunView:
                 / (now - self.last_poll_epoch)
             )
         self.last_poll_epoch = now
-        self._finished = (self.run_dir / METRICS_FILE).exists()
+        status = read_status(self.run_dir)
+        self.status = status.get("status") if status else None
+        if self.status in ("serving", "draining"):
+            # a live server: metrics.json is flushed periodically while
+            # the process is very much still running
+            self._finished = False
+        elif self.status in ("stopped", "interrupted", "completed"):
+            self._finished = True
+        else:
+            self._finished = (self.run_dir / METRICS_FILE).exists()
 
     def _fold_best(self, cost: float) -> None:
         if self.best_cost is None or cost < self.best_cost:
@@ -315,6 +329,7 @@ class LiveRunView:
         return {
             "run_dir": str(self.run_dir),
             "finished": self._finished,
+            "status": self.status,
             "command": (self.manifest or {}).get("command"),
             "params": (self.manifest or {}).get("params", {}),
             "best_cost": self.best_cost,
@@ -335,7 +350,9 @@ class LiveRunView:
         params = manifest.get("params", {})
         workload = params.get("workload") \
             or ",".join(params.get("presets", [])) or "?"
-        status = "finished" if self._finished else "running"
+        status = self.status or (
+            "finished" if self._finished else "running"
+        )
         lines.append(
             f"watch {self.run_dir}  [{status}]"
         )

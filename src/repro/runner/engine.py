@@ -450,6 +450,17 @@ class SweepResult:
             f"{self.cache_hits}/{len(self.results)}; staircase cache: "
             f"{stair_hits} hits / {stair_misses} misses"
         )
+        total_retries = sum(r.retries for r in self.results)
+        if total_retries:
+            retried_jobs = sum(1 for r in self.results if r.retries)
+            quarantined = sum(
+                1 for r in self.errors if r.retries
+            )
+            lines.append(
+                f"supervision: {total_retries} retries across "
+                f"{retried_jobs} job(s), {quarantined} quarantined "
+                f"after exhausting retries"
+            )
         disk_hits = sum(
             r.cache_stats.get("hits", 0) for r in self.results
         )
@@ -607,10 +618,16 @@ def run_sweep(
                 for job in jobs if job not in resumed]
         done: set[int] = set()
 
+        retry_counts: dict[int, int] = {}
+
         def dispatch(active: WorkerPool) -> None:
+            def tally(index: int, reason: str) -> None:
+                retry_counts[index] = retry_counts.get(index, 0) + 1
+
             for index, ok, value in active.run_supervised(
                 _worker, work,
                 timeout_s=timeout_s, max_retries=max_retries,
+                on_retry=tally,
             ):
                 if not ok:
                     # quarantined after max_retries: the job lands in
@@ -619,6 +636,7 @@ def run_sweep(
                     value = JobResult(
                         job=work[index][0], status="error", error=value
                     ).to_dict()
+                value["retries"] = retry_counts.get(index, 0)
                 done.add(index)
                 handle(value)
 

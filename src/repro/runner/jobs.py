@@ -146,6 +146,10 @@ class JobResult:
     staircase_hits: int = 0
     staircase_misses: int = 0
     error: str = ""
+    #: supervised-pool retries this job consumed before completing (or
+    #: being quarantined) — crashes, hangs, and transient dispatch
+    #: errors each count one; 0 on the inline path
+    retries: int = 0
     #: aggregated PackStats counters of the job's evaluator (empty on
     #: cache hits and for pre-telemetry cached records)
     pack_stats: dict = field(default_factory=dict)

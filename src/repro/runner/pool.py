@@ -113,18 +113,24 @@ class WorkerPool:
         return self._pool
 
     def run_supervised(self, fn, iterable, *, timeout_s=None,
-                       max_retries: int = 2, backoff_seed: int = 0):
+                       max_retries: int = 2, backoff_seed: int = 0,
+                       on_retry=None):
         """Map *fn* over *iterable* under full supervision.
 
         Yields ``(index, ok, value)`` in completion order: *index* is
         the item's position in *iterable*, and on ``ok=False`` the
         item was quarantined after ``max_retries`` — *value* carries
         the final attempt's traceback instead of a result.
+
+        *on_retry* (``callback(index, reason)``, forwarded to
+        :meth:`repro.supervise.SupervisedPool.run_tasks`) fires on
+        each requeue — the hook callers use to surface per-job retry
+        tallies instead of digging through logs.
         """
         tasks = [(fn, (item,)) for item in iterable]
         yield from self._live_pool().run_tasks(
             tasks, timeout_s=timeout_s, max_retries=max_retries,
-            backoff_seed=backoff_seed,
+            backoff_seed=backoff_seed, on_retry=on_retry,
         )
 
     def imap_unordered(self, fn, iterable, chunksize: int = 1):

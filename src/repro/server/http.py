@@ -1,0 +1,194 @@
+"""Minimal asyncio HTTP/1.1 server: just enough, hardened.
+
+Stdlib-only (``asyncio.start_server``), deliberately small: one
+request per connection (``Connection: close``), JSON bodies, bounded
+header/body sizes, and a per-request deadline that covers both the
+read and the handler — a stalled or malicious client costs one timed
+coroutine, never a wedged server.
+
+This is infrastructure for :mod:`repro.server.app`; it knows nothing
+about jobs.  Handlers receive an :class:`HttpRequest` and return
+``(status, payload_dict)`` or raise :class:`HttpError` to send a
+structured JSON error (with optional extra headers, e.g.
+``Retry-After``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "serve_http"]
+
+#: Caps chosen for a JSON control-plane API, not a file server.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Raise from a handler to return a structured JSON error."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    peer: str = ""
+    _json: object = field(default=None, repr=False)
+
+    def json(self) -> dict:
+        """The request body as a JSON object.
+
+        :raises HttpError: 400 on malformed JSON or a non-object body.
+        """
+        if self._json is None:
+            if not self.body:
+                self._json = {}
+            else:
+                try:
+                    self._json = json.loads(self.body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise HttpError(400, f"malformed JSON body: {exc}")
+            if not isinstance(self._json, dict):
+                raise HttpError(400, "request body must be a JSON object")
+        return self._json
+
+
+def _encode_response(status: int, payload: dict,
+                     headers: dict | None = None) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        peer: str) -> HttpRequest:
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers too large")
+    except (asyncio.IncompleteReadError, ConnectionError):
+        raise HttpError(400, "truncated request")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers too large")
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        if not _sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body over {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            raise HttpError(400, "truncated body")
+    parts = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(parts.query).items()
+    }
+    return HttpRequest(
+        method=method.upper(), path=parts.path, query=query,
+        headers=headers, body=body, peer=peer,
+    )
+
+
+async def serve_http(handler, host: str, port: int,
+                     request_timeout_s: float = 30.0):
+    """Start the server; returns the :class:`asyncio.Server`.
+
+    *handler* is an async callable ``(HttpRequest) -> (status, dict)``
+    or ``(status, dict, headers)``.  Every connection is bounded by
+    *request_timeout_s* end-to-end (read + handle + write).
+    """
+
+    async def _connection(reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else ""
+        try:
+            response = await asyncio.wait_for(
+                _handle_one(reader, peer), timeout=request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            response = _encode_response(
+                408, {"error": "request deadline exceeded"}
+            )
+        except Exception:  # a handler bug must not kill the server
+            response = _encode_response(
+                500, {"error": "internal server error"}
+            )
+        try:
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-write; its problem, not ours
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(reader: asyncio.StreamReader,
+                          peer: str) -> bytes:
+        try:
+            request = await _read_request(reader, peer)
+            outcome = await handler(request)
+        except HttpError as exc:
+            return _encode_response(
+                exc.status, {"error": exc.message}, exc.headers
+            )
+        if len(outcome) == 3:
+            status, payload, headers = outcome
+        else:
+            status, payload = outcome
+            headers = None
+        return _encode_response(status, payload, headers)
+
+    return await asyncio.start_server(
+        _connection, host=host, port=port, limit=MAX_HEADER_BYTES
+    )

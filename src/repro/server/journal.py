@@ -1,0 +1,210 @@
+"""Crash-durable job journal: append-only intent log + atomic results.
+
+The journal is the server's source of truth for *admission*: a job is
+accepted the moment its ``accepted`` line is flushed and fsynced to
+``journal.jsonl`` — only then may the server answer 202.  Execution
+progress (``started`` / ``done`` / ``failed``) is appended behind it,
+and the result payload itself is written to ``results/<job_id>.json``
+with the same mkstemp/``os.replace`` idiom as DiskCache and
+SearchCheckpoint, so a reader never observes a torn result.
+
+Recovery is a pure fold over the journal: :meth:`JobJournal.replay`
+reads the log line-by-line (tolerating a torn final line from a crash
+mid-append), folds the events per job, and cross-checks against the
+results directory — a result file on disk means the job *is* done even
+if the process died before the ``done`` line landed.  Everything still
+``queued``/``running`` at fold time is handed back to the queue for
+re-execution, which is safe because job results are deterministic
+functions of their specs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["JobJournal", "ReplayedJob"]
+
+JOURNAL_FILE = "journal.jsonl"
+RESULTS_DIR = "results"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` to ``path`` with no torn intermediate state."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.chmod(tmp, 0o644)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+@dataclass
+class ReplayedJob:
+    """Folded journal state of one job after :meth:`JobJournal.replay`."""
+
+    job_id: str
+    kind: str
+    params: dict
+    state: str = "queued"  # queued | running | done | failed
+    attempts: int = 0
+    error: str | None = None
+    accepted_epoch: float = 0.0
+    client: str = ""
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class JobJournal:
+    """Append-only intent log + atomic per-job result records."""
+
+    root: Path
+    _handle: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / RESULTS_DIR).mkdir(exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        return self.root / JOURNAL_FILE
+
+    # -- append side ---------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Append one event and force it to disk before returning.
+
+        The fsync is the durability contract: once this returns, a
+        SIGKILL at any later instant cannot un-accept the job.
+        """
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def accepted(
+        self, job_id: str, kind: str, params: dict, client: str = ""
+    ) -> None:
+        self._append({
+            "event": "accepted",
+            "job_id": job_id,
+            "kind": kind,
+            "params": params,
+            "client": client,
+            "t_epoch": time.time(),
+        })
+
+    def started(self, job_id: str, attempt: int) -> None:
+        self._append({
+            "event": "started", "job_id": job_id, "attempt": attempt,
+        })
+
+    def done(self, job_id: str) -> None:
+        self._append({"event": "done", "job_id": job_id})
+
+    def failed(self, job_id: str, error: str) -> None:
+        self._append({
+            "event": "failed", "job_id": job_id, "error": error,
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- result records ------------------------------------------------
+
+    def result_path(self, job_id: str) -> Path:
+        return self.root / RESULTS_DIR / f"{job_id}.json"
+
+    def write_result(self, job_id: str, payload: dict) -> None:
+        """Atomically persist a job's result record.
+
+        Written *before* the journal's ``done`` line: a crash between
+        the two leaves a result file with no ``done`` event, which
+        replay resolves in favour of the file (the expensive part —
+        the computation — is already durable).
+        """
+        _atomic_write_json(self.result_path(job_id), payload)
+
+    def read_result(self, job_id: str) -> dict | None:
+        path = self.result_path(job_id)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- replay side ---------------------------------------------------
+
+    def replay(self) -> dict[str, ReplayedJob]:
+        """Fold the journal into per-job state, in admission order.
+
+        Tolerates a torn trailing line (crash mid-append).  A fresh
+        ``accepted`` for a previously *failed* job re-queues it —
+        failure is not sticky across an explicit resubmit.  Jobs whose
+        result file exists are ``done`` regardless of journal tail
+        state.
+        """
+        jobs: dict[str, ReplayedJob] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return jobs
+        for raw in text.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-append
+            job_id = record.get("job_id")
+            event = record.get("event")
+            if not job_id or not event:
+                continue
+            job = jobs.get(job_id)
+            if event == "accepted":
+                if job is None:
+                    jobs[job_id] = ReplayedJob(
+                        job_id=job_id,
+                        kind=record.get("kind", ""),
+                        params=record.get("params", {}),
+                        accepted_epoch=record.get("t_epoch", 0.0),
+                        client=record.get("client", ""),
+                    )
+                elif job.state == "failed":
+                    job.state = "queued"
+                    job.error = None
+            elif job is None:
+                continue  # event for a job we never saw accepted
+            elif event == "started":
+                job.state = "running"
+                job.attempts = max(job.attempts, record.get("attempt", 1))
+            elif event == "done":
+                job.state = "done"
+            elif event == "failed":
+                job.state = "failed"
+                job.error = record.get("error")
+        for job in jobs.values():
+            if job.state != "done" and self.result_path(job.job_id).exists():
+                job.state = "done"
+                job.error = None
+        return jobs

@@ -1,0 +1,232 @@
+"""Job specs, content-hash job keys, and stable result records.
+
+A :class:`JobSpec` describes one unit of served work — a single sweep
+cell (kind ``"sweep"``, the parameters of a
+:class:`~repro.runner.jobs.SweepJob`) or a budgeted anytime search
+(kind ``"optimize"``).  Specs are **canonicalized at admission**: the
+submitted parameter dict is round-tripped through the corresponding
+frozen dataclass so every default is filled in, and the job key is the
+SHA-256 content hash of the canonical form (under the runner's
+``CACHE_VERSION``, the same versioning discipline as the disk cache).
+Two submissions that *mean* the same job therefore always hash to the
+same key — which is what request coalescing and idempotent client
+resubmits key on.
+
+Results split into a **stable** record and runtime metadata.  The
+stable record holds only fields that are a pure function of the spec
+(costs, makespan, partition, evaluation counts, the de-timestamped
+anytime trace) — it is byte-identical between an uninterrupted run and
+a crash/replay run, which is what the server's exactly-once guarantee
+is measured against.  Volatile accounting (wall time, cache hits,
+retry counts) rides separately in the result's ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..runner.cache import content_key
+from ..runner.jobs import JobResult, SweepJob
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "OptimizeParams",
+    "canonical_json",
+    "stable_optimize_result",
+    "stable_sweep_result",
+]
+
+JOB_KINDS = ("sweep", "optimize")
+
+#: JobResult fields that are a pure function of the job spec — the
+#: byte-identical-across-restarts subset.  Everything else (elapsed_s,
+#: cache_hit, staircase/pack/cache stats, retries) is runtime
+#: accounting that legitimately differs between an uninterrupted run
+#: and a crash/replay run.
+_STABLE_RESULT_FIELDS = (
+    "status", "soc_name", "n_digital", "n_analog", "makespan",
+    "peak_power", "partition", "n_wrappers", "time_cost", "area_cost",
+    "total_cost", "n_evaluated", "n_total", "error",
+)
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical JSON text (sorted keys, compact separators).
+
+    This is the byte form the exactly-once parity tests compare, so it
+    must stay deterministic for logically equal payloads.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+@dataclass(frozen=True)
+class OptimizeParams:
+    """Canonical parameters of an ``optimize``-kind job.
+
+    Mirrors the knobs of :func:`repro.search.optimize` (plus the
+    workload axis); validation happens in ``__post_init__`` so a bad
+    submission is rejected at admission, never inside the executor.
+    """
+
+    workload: str
+    width: int = 32
+    strategy: str = "anneal"
+    budget: int = 200
+    wt: float = 0.5
+    seed: int | None = None
+    search_seed: int = 0
+    power_budget: int | None = None
+    effort: str = "medium"
+
+    def __post_init__(self) -> None:
+        from ..experiments.common import PACK_EFFORT
+        from ..search import registry as search_registry
+
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if not 0 <= self.wt <= 1:
+            raise ValueError(f"wt must lie in [0, 1], got {self.wt}")
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.effort not in PACK_EFFORT:
+            raise ValueError(
+                f"unknown effort {self.effort!r}, pick from "
+                f"{sorted(PACK_EFFORT)}"
+            )
+        if self.strategy not in search_registry.strategy_names():
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}, pick from "
+                f"{', '.join(search_registry.strategy_names())}"
+            )
+        if self.power_budget is not None and self.power_budget < 1:
+            raise ValueError(
+                f"power_budget must be >= 1, got {self.power_budget}"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One admitted server job: a kind plus its canonical parameters.
+
+    Use :meth:`create` to build one from a raw submission dict — it
+    validates the parameters and fills every default, so
+    :attr:`params` (and therefore :attr:`job_key`) is canonical.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, kind: str, params: dict) -> "JobSpec":
+        """Validate and canonicalize a submission.
+
+        :raises ValueError: unknown kind, unknown parameter, or a
+            parameter value the underlying job type rejects.
+        """
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r}, pick from "
+                f"{', '.join(JOB_KINDS)}"
+            )
+        if not isinstance(params, dict):
+            raise ValueError(
+                f"params must be an object, got {type(params).__name__}"
+            )
+        try:
+            if kind == "sweep":
+                canonical = SweepJob(**params).to_dict()
+            else:
+                canonical = OptimizeParams(**params).to_dict()
+        except TypeError as exc:
+            # unknown/missing keyword — surface it as bad input, not a
+            # server traceback
+            raise ValueError(str(exc)) from None
+        return cls(kind=kind, params=canonical)
+
+    @property
+    def job_key(self) -> str:
+        """Content-hash identity of this job (the coalescing key).
+
+        Versioned under the runner's ``CACHE_VERSION`` exactly like
+        disk-cache entries: a semantic change to the evaluation flow
+        retires old keys rather than aliasing new submissions onto
+        stale results.
+        """
+        from ..runner.engine import CACHE_VERSION
+
+        return content_key({
+            "kind": f"server-{self.kind}",
+            "v": CACHE_VERSION,
+            "params": self.params,
+        })
+
+    def to_sweep_job(self) -> SweepJob:
+        """The :class:`SweepJob` of a ``sweep``-kind spec."""
+        if self.kind != "sweep":
+            raise ValueError(f"not a sweep job: kind={self.kind!r}")
+        return SweepJob(**self.params)
+
+    def to_optimize_params(self) -> OptimizeParams:
+        """The :class:`OptimizeParams` of an ``optimize``-kind spec."""
+        if self.kind != "optimize":
+            raise ValueError(f"not an optimize job: kind={self.kind!r}")
+        return OptimizeParams(**self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "JobSpec":
+        return cls(kind=record["kind"], params=dict(record["params"]))
+
+
+def stable_sweep_result(spec: JobSpec, result: JobResult) -> dict:
+    """The deterministic subset of a sweep job's result.
+
+    Byte-identical (under :func:`canonical_json`) whether the job ran
+    straight through, was replayed after a crash, or was answered from
+    a warm disk cache.
+    """
+    record = result.to_dict()
+    return {
+        "kind": spec.kind,
+        "params": dict(spec.params),
+        **{name: record[name] for name in _STABLE_RESULT_FIELDS},
+    }
+
+
+def stable_optimize_result(spec: JobSpec, outcome) -> dict:
+    """The deterministic subset of an optimize job's outcome.
+
+    The anytime trace keeps only its deterministic coordinates
+    ``(n_evaluated, best_cost, partition)`` — wall-clock stamps belong
+    to the run-dir trace, not the stable record.
+    """
+    from ..core.sharing import format_partition
+
+    partition = (
+        format_partition(outcome.best_partition)
+        if outcome.best_partition is not None else None
+    )
+    return {
+        "kind": spec.kind,
+        "params": dict(spec.params),
+        "status": "ok",
+        "strategy": outcome.strategy,
+        "best_cost": outcome.best_cost,
+        "partition": partition,
+        "n_evaluated": outcome.n_evaluated,
+        "n_gated": outcome.n_gated,
+        "stalled": outcome.stalled,
+        "trace": [
+            [point.n_evaluated, point.best_cost, point.partition]
+            for point in outcome.trace
+        ],
+    }

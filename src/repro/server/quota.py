@@ -1,0 +1,90 @@
+"""Admission control: per-client token buckets with Retry-After hints.
+
+A :class:`TokenBucket` meters one client; :class:`QuotaTable` keeps a
+bounded map of them keyed by client id (the ``X-Client-Id`` header, or
+the peer address when absent).  Overload is never a silent drop — a
+rejected take returns the exact seconds until a token is available,
+which the server forwards verbatim as ``Retry-After`` so a
+well-behaved client (ours honours it) backs off just enough.
+
+The clock is injectable so quota behaviour is testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["QuotaTable", "TokenBucket"]
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    rate: float
+    burst: float
+    clock: Callable[[], float] = time.monotonic
+    _tokens: float = field(init=False)
+    _stamp: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._tokens = float(self.burst)
+        self._stamp = self.clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self, n: float = 1.0) -> tuple[bool, float]:
+        """Take ``n`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the whole-second wait (ceil, >= 1)
+        until the take would succeed — the Retry-After header value.
+        """
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True, 0.0
+        deficit = n - self._tokens
+        return False, max(1.0, math.ceil(deficit / self.rate))
+
+
+@dataclass
+class QuotaTable:
+    """Bounded per-client bucket map with LRU eviction.
+
+    Eviction refills the evicted client's bucket on return, which only
+    ever errs in the client's favour — acceptable, since the bound
+    exists to cap memory against client-id churn, not to be a
+    precision rate limiter across millions of ids.
+    """
+
+    rate: float
+    burst: float
+    max_clients: int = 1024
+    clock: Callable[[], float] = time.monotonic
+    _buckets: OrderedDict = field(default_factory=OrderedDict)
+
+    def try_take(self, client: str) -> tuple[bool, float]:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.try_take()

@@ -117,6 +117,43 @@ class TestRunsCli:
                      "--json"]) == 0
         assert len(json.loads(capsys.readouterr().out)) == 1
 
+    def test_fold_ingests_a_server_state_dir(self, tmp_path, capsys):
+        # a server root (journal.jsonl present) folds the serve run
+        # plus every per-job run dir under jobs/
+        import time
+
+        from repro.obs.manifest import RunManifest
+        from repro.server import JobQueue, JobSpec
+
+        server_dir = tmp_path / "srv"
+        queue = JobQueue(server_dir)
+        queue.start()
+        ticket = queue.submit(JobSpec.create(
+            "sweep", {"workload": "mini", "width": 8, "effort": "quick"}
+        ))
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if queue.status(ticket.job_id)["state"] == "done":
+                break
+            time.sleep(0.05)
+        queue.drain(10)
+        RunManifest.create(
+            command="serve", params={}, cache_version=0, engine="fast"
+        ).write(server_dir)
+
+        root = tmp_path / "ledger"
+        assert main(["runs", "--obs-root", str(root),
+                     "fold", str(server_dir), "--json"]) == 0
+        run_ids = json.loads(capsys.readouterr().out)["run_ids"]
+        assert len(run_ids) == 2  # the serve run + one job run
+        assert main(["runs", "--obs-root", str(root), "list",
+                     "--json"]) == 0
+        commands = sorted(
+            entry["command"]
+            for entry in json.loads(capsys.readouterr().out)
+        )
+        assert commands == ["serve", "serve.sweep"]
+
 
 class TestRegressCli:
     def degrade_latest(self, root):

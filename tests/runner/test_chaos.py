@@ -58,6 +58,17 @@ class TestCrashRecovery:
         assert (tmp_path / "markers" / "fired-0").exists()
 
     @pytest.mark.skipif(not FORK, reason="needs fork")
+    def test_retries_tallied_in_results_and_footer(self, tmp_path):
+        # the supervised pool's retry count must surface on the
+        # JobResult and in the sweep footer, not vanish into logs
+        faults.install(f"dir={tmp_path / 'markers'};crash@job:1")
+        chaos = run_sweep(quick_jobs(), workers=2)
+        assert not chaos.errors
+        assert sum(r.retries for r in chaos.results) >= 1
+        assert "supervision:" in chaos.render()
+        assert "retries across" in chaos.render()
+
+    @pytest.mark.skipif(not FORK, reason="needs fork")
     def test_hung_job_killed_and_retried(self, tmp_path):
         jobs = quick_jobs()
         reference = run_sweep(jobs, workers=1)

@@ -1,0 +1,106 @@
+"""The append-only journal: durability, replay, torn-line tolerance."""
+
+import json
+
+from repro.server import JobJournal
+
+
+def make_journal(tmp_path):
+    return JobJournal(tmp_path / "srv")
+
+
+class TestReplayFold:
+    def test_accepted_then_done(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {"workload": "mini"})
+        journal.started("j1", 1)
+        journal.write_result("j1", {"stable": {"total_cost": 1.0}})
+        journal.done("j1")
+        jobs = journal.replay()
+        assert jobs["j1"].state == "done"
+        assert jobs["j1"].attempts == 1
+
+    def test_accepted_never_started_requeues(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {"workload": "mini"})
+        assert journal.replay()["j1"].state == "queued"
+
+    def test_started_but_unfinished_requeues(self, tmp_path):
+        # the SIGKILL-mid-job shape: started line, no done, no result
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {})
+        journal.started("j1", 1)
+        assert journal.replay()["j1"].state == "running"
+
+    def test_result_file_wins_over_missing_done_line(self, tmp_path):
+        # crash between write_result and the done append: the
+        # expensive computation is durable, so replay must not redo it
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {})
+        journal.started("j1", 1)
+        journal.write_result("j1", {"stable": {}})
+        jobs = journal.replay()
+        assert jobs["j1"].state == "done"
+
+    def test_failed_then_reaccepted_requeues(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {})
+        journal.failed("j1", "boom")
+        assert journal.replay()["j1"].state == "failed"
+        journal.accepted("j1", "sweep", {})
+        replayed = journal.replay()["j1"]
+        assert replayed.state == "queued"
+        assert replayed.error is None
+
+    def test_admission_order_preserved(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for n in range(5):
+            journal.accepted(f"j{n}", "sweep", {"n": n})
+        assert list(journal.replay()) == [f"j{n}" for n in range(5)]
+
+
+class TestTornWrites:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {})
+        journal.close()
+        with open(journal.path, "a") as fh:
+            fh.write('{"event": "acce')  # killed mid-append
+        jobs = journal.replay()
+        assert list(jobs) == ["j1"]
+
+    def test_event_without_acceptance_ignored(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.done("ghost")
+        assert journal.replay() == {}
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert make_journal(tmp_path).replay() == {}
+
+    def test_result_write_is_atomic(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.write_result("j1", {"stable": {"x": 1}})
+        journal.write_result("j1", {"stable": {"x": 2}})
+        assert journal.read_result("j1") == {"stable": {"x": 2}}
+        # no tmp litter
+        leftovers = [
+            p for p in journal.result_path("j1").parent.iterdir()
+            if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_corrupt_result_reads_as_none(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.result_path("j1").write_text("{torn")
+        assert journal.read_result("j1") is None
+
+
+class TestDurability:
+    def test_lines_are_one_record_each(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.accepted("j1", "sweep", {"workload": "mini"})
+        journal.started("j1", 1)
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)

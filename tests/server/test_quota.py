@@ -1,0 +1,75 @@
+"""Token-bucket admission control under an injectable clock."""
+
+import pytest
+
+from repro.server import QuotaTable, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert all(bucket.try_take()[0] for _ in range(3))
+        ok, retry_after = bucket.try_take()
+        assert not ok
+        assert retry_after >= 1.0
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_take(), bucket.try_take()
+        assert not bucket.try_take()[0]
+        clock.advance(0.5)  # 2/s * 0.5s = one token back
+        assert bucket.try_take()[0]
+
+    def test_retry_after_is_honest(self):
+        # waiting exactly the advertised time must make the take pass
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        bucket.try_take()
+        ok, retry_after = bucket.try_take()
+        assert not ok
+        clock.advance(retry_after)
+        assert bucket.try_take()[0]
+
+    def test_burst_never_exceeded(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(3600)
+        granted = sum(bucket.try_take()[0] for _ in range(10))
+        assert granted == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestQuotaTable:
+    def test_clients_metered_independently(self):
+        clock = FakeClock()
+        table = QuotaTable(rate=1.0, burst=1, clock=clock)
+        assert table.try_take("alice")[0]
+        assert not table.try_take("alice")[0]
+        assert table.try_take("bob")[0]  # alice's spend is not bob's
+
+    def test_bounded_client_map(self):
+        clock = FakeClock()
+        table = QuotaTable(
+            rate=1.0, burst=1, max_clients=4, clock=clock
+        )
+        for n in range(100):
+            table.try_take(f"client-{n}")
+        assert len(table._buckets) <= 4

@@ -332,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
              "workload's own; see the *p power-annotated presets)",
     )
     po.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="scenario document file (JSON/YAML/.soc; see 'repro "
+             "scenario') to optimize instead of the --workload preset",
+    )
+    po.add_argument(
         "--smoke", action="store_true",
         help="fast CI path: the 'mini' workload at width 8, quick effort",
     )
@@ -407,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--pll", type=int, default=1,
                     help="synthesized PLL cores (random SOC)")
     pg.add_argument(
+        "--format", choices=("soc", "json", "yaml"), default="soc",
+        help="output dialect: ITC'02 .soc text (default), or the "
+             "canonical scenario document as JSON/YAML",
+    )
+    pg.add_argument(
         "--out", default="-",
         help="output path ('-' = stdout, the default)",
     )
@@ -419,8 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="batch-evaluate a workload x width x weight grid"
     )
     ps.add_argument(
-        "--preset", nargs="+", default=["p93791m"],
-        help="workload names (comma- or space-separated)",
+        "--preset", nargs="+", default=None,
+        help="workload names (comma- or space-separated; default "
+             "p93791m unless --scenario files are given)",
+    )
+    ps.add_argument(
+        "--scenario", nargs="+", default=None, metavar="FILE",
+        help="scenario document files (JSON/YAML/.soc) added to the "
+             "grid as extra workload rows; a document is seedless — "
+             "it already fixes its SOC",
     )
     ps.add_argument(
         "--widths", nargs="+", default=["16,24,32"],
@@ -537,6 +554,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --once: emit a machine-readable snapshot instead",
     )
 
+    pscn = sub.add_parser(
+        "scenario",
+        help="validate, convert, and inspect canonical scenario "
+             "documents (the repro.schema data model)",
+    )
+    scn_sub = pscn.add_subparsers(dest="scenario_command", required=True)
+    sv = scn_sub.add_parser(
+        "validate",
+        help="parse + validate documents, printing every line-anchored "
+             "diagnostic; exit 1 if any file fails",
+    )
+    sv.add_argument("files", nargs="+", metavar="FILE",
+                    help="scenario files (JSON/YAML/.soc)")
+    sv.add_argument("--json", action="store_true")
+    sc = scn_sub.add_parser(
+        "convert",
+        help="canonicalize/convert a document between json, yaml, and "
+             "the ITC'02 .soc dialect",
+    )
+    sc.add_argument("file", metavar="FILE")
+    sc.add_argument("--to", choices=("json", "yaml", "soc"),
+                    default="json", help="output format (default: json)")
+    sc.add_argument("--out", default="-",
+                    help="output path ('-' = stdout, the default)")
+    sshow = scn_sub.add_parser(
+        "show",
+        help="summarize a scenario document file, or a registry "
+             "preset's shipped document",
+    )
+    sshow.add_argument("target", metavar="FILE_OR_PRESET")
+    sshow.add_argument("--json", action="store_true")
+
     pserve = sub.add_parser(
         "serve",
         help="scheduler-as-a-service: asyncio HTTP API over a "
@@ -631,6 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec", default="{}", metavar="JSON",
         help="job parameters as a JSON object (sweep: SweepJob "
              "fields; optimize: workload/width/strategy/budget/...)",
+    )
+    psubmit.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="scenario document file (JSON/YAML/.soc): submitted in "
+             "the spec's 'scenario' field; the document's tam/"
+             "optimizer blocks fill spec fields --spec leaves unset",
     )
     psubmit.add_argument(
         "--wait", action="store_true",
@@ -731,14 +786,146 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_generate(args: argparse.Namespace) -> str:
-    from .soc import itc02
+def _load_scenario_doc(path: str):
+    """Parse and validate one scenario file; any failure is a _CliError."""
+    from . import schema
 
     try:
-        if args.preset is not None:
-            soc = workloads.build(args.preset, args.seed)
+        doc = schema.parse_file(path)
+    except OSError as exc:
+        raise _CliError(f"cannot read {path!r}: {exc}") from None
+    except schema.ScenarioError as exc:
+        raise _CliError(exc.render()) from None
+    problems = schema.validate(doc)
+    if problems:
+        raise _CliError("\n".join(d.render() for d in problems))
+    return doc
+
+
+def _run_scenario(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from . import schema
+
+    if args.scenario_command == "validate":
+        reports = []
+        failed = 0
+        for path in args.files:
+            try:
+                doc = schema.parse_file(path)
+                problems = list(schema.validate(doc))
+            except OSError as exc:
+                failed += 1
+                reports.append({"file": path, "ok": False,
+                                "problems": [str(exc)]})
+                continue
+            except schema.ScenarioError as exc:
+                failed += 1
+                reports.append({
+                    "file": path, "ok": False,
+                    "problems": [d.render() for d in exc.diagnostics],
+                })
+                continue
+            if problems:
+                failed += 1
+            reports.append({
+                "file": path, "ok": not problems,
+                "problems": [d.render() for d in problems],
+            })
+        if args.json:
+            text = _json.dumps(reports, indent=2)
         else:
-            soc = workloads.random_workload(
+            lines = []
+            for report in reports:
+                mark = "ok" if report["ok"] else "FAIL"
+                lines.append(f"{mark:4s} {report['file']}")
+                lines.extend(f"     {p}" for p in report["problems"])
+            lines.append(
+                f"{len(reports) - failed}/{len(reports)} files valid"
+            )
+            text = "\n".join(lines)
+        if failed:
+            raise _GateFailure(text)
+        return text
+
+    if args.scenario_command == "convert":
+        from .soc import itc02
+
+        doc = _load_scenario_doc(args.file)
+        if args.to == "soc":
+            dropped = [name for name, present in (
+                ("tam", doc.tam is not None),
+                ("optimizer", doc.optimizer is not None),
+                ("extensions", bool(doc.extensions)),
+            ) if present]
+            if dropped:
+                print(
+                    f"note: the .soc dialect cannot carry "
+                    f"{', '.join(dropped)}; dropped",
+                    file=sys.stderr,
+                )
+            text = itc02.dumps_scenario(doc)
+        else:
+            if args.to == "yaml" and not schema.yaml_available():
+                raise _CliError(
+                    "--to yaml needs PyYAML (install the 'yaml' extra)"
+                )
+            text = schema.generate(doc, fmt=args.to)
+        if args.out == "-":
+            return text.rstrip("\n")
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        return f"wrote {args.out}"
+
+    # show
+    import os
+
+    target = args.target
+    if os.path.exists(target):
+        doc = _load_scenario_doc(target)
+    elif target in workloads.names():
+        doc = workloads.scenario(target)
+    else:
+        raise _CliError(
+            f"{target!r} is neither a file nor a workload preset "
+            f"(presets: {', '.join(workloads.names())})"
+        )
+    soc = doc.build()
+    if args.json:
+        return _json.dumps(schema.to_canonical_dict(doc), indent=2)
+    lines = [
+        f"scenario {doc.name} (schema v{doc.schema_version})",
+        soc.summary(),
+    ]
+    if doc.tam is not None:
+        lines.append(f"tam: width {doc.tam.width}, w_T {doc.tam.wt:g}")
+    if doc.optimizer is not None:
+        opt = doc.optimizer
+        lines.append(
+            f"optimizer: {opt.strategy}, budget {opt.budget}, "
+            f"search seed {opt.search_seed}, effort {opt.effort}"
+        )
+    if doc.extensions:
+        lines.append(
+            f"extensions: {len(doc.extensions)} preserved vendor key(s)"
+        )
+    return "\n".join(lines)
+
+
+def _run_generate(args: argparse.Namespace) -> str:
+    from . import schema
+    from .soc import itc02
+
+    if args.format == "yaml" and not schema.yaml_available():
+        raise _CliError(
+            "--format yaml needs PyYAML (install the 'yaml' extra)"
+        )
+    try:
+        if args.preset is not None:
+            doc = workloads.scenario(args.preset, args.seed)
+        else:
+            doc = workloads.random_scenario(
                 n_cores=args.cores,
                 seed=args.seed if args.seed is not None else 0,
                 n_adc=args.adc,
@@ -747,7 +934,11 @@ def _run_generate(args: argparse.Namespace) -> str:
             )
     except (KeyError, ValueError) as exc:
         raise _CliError(exc.args[0] if exc.args else exc) from None
-    text = itc02.dumps(soc)
+    soc = doc.build()
+    if args.format == "soc":
+        text = itc02.dumps(soc)
+    else:
+        text = schema.generate(doc, fmt=args.format)
     if args.out == "-":
         return text.rstrip("\n")
     from pathlib import Path
@@ -784,11 +975,25 @@ def _run_optimize(args: argparse.Namespace) -> str:
     from .search import registry as search_registry
 
     if args.smoke:
+        if args.scenario is not None:
+            raise _CliError("--scenario and --smoke are mutually exclusive")
         workload, width, effort = "mini", 8, "quick"
         budget = min(args.budget, 50)
     else:
         workload, width, effort = args.workload, args.width, args.effort
         budget = args.budget
+    scenario_doc = None
+    scenario_key = None
+    if args.scenario is not None:
+        import hashlib
+
+        from . import schema
+
+        scenario_doc = _load_scenario_doc(args.scenario)
+        workload = scenario_doc.name
+        scenario_key = hashlib.sha256(
+            schema.generate(scenario_doc).encode("utf-8")
+        ).hexdigest()[:16]
     if budget < 1:
         raise _CliError(f"--budget must be >= 1, got {budget}")
     if args.seconds is not None and args.seconds <= 0:
@@ -798,7 +1003,8 @@ def _run_optimize(args: argparse.Namespace) -> str:
     names = _resolve_strategies([args.strategy])
     try:
         weights = CostWeights(time=args.wt, area=1.0 - args.wt)
-        soc = workloads.build(workload, args.seed)
+        soc = (scenario_doc.build() if scenario_doc is not None
+               else workloads.build(workload, args.seed))
         if args.power_budget is not None:
             soc = soc.with_power_budget(args.power_budget)
     except (KeyError, ValueError) as exc:
@@ -843,6 +1049,7 @@ def _run_optimize(args: argparse.Namespace) -> str:
             "pack_effort": args.pack_effort or effort,
             "lanes": n_lanes,
             "power_budget": args.power_budget,
+            "scenario": scenario_key,
         })
         checkpoint = SearchCheckpoint(
             args.checkpoint, every=args.checkpoint_every,
@@ -856,6 +1063,7 @@ def _run_optimize(args: argparse.Namespace) -> str:
         "pack_effort": args.pack_effort or effort,
         "lanes": n_lanes, "workers": args.workers,
         "power_budget": args.power_budget,
+        "scenario": scenario_key,
     }, engine="fast")
     if n_lanes:
         return _run_portfolio(
@@ -1152,12 +1360,25 @@ def _run_profile(args: argparse.Namespace) -> str:
 def _run_sweep(args: argparse.Namespace) -> str:
     from .runner import expand_grid, run_sweep
 
+    scenario_texts: tuple[str, ...] = ()
+    if args.scenario:
+        from . import schema
+
+        scenario_texts = tuple(
+            schema.generate(_load_scenario_doc(path))
+            for path in args.scenario
+        )
     if args.smoke:
         presets: tuple[str, ...] = ("mini",)
         widths: tuple[int, ...] = (8,)
         effort = "quick"
     else:
-        presets = _str_list(args.preset)
+        if args.preset is not None:
+            presets = _str_list(args.preset)
+        elif scenario_texts:
+            presets = ()
+        else:
+            presets = ("p93791m",)
         widths = _int_list(args.widths)
         effort = args.effort
     strategies = _resolve_strategies(args.strategy)
@@ -1184,6 +1405,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         jobs = expand_grid(
             presets,
             widths,
+            scenarios=scenario_texts,
             wts=tuple(args.wt),
             seeds=(args.seed,),
             delta=args.delta,
@@ -1210,7 +1432,9 @@ def _run_sweep(args: argparse.Namespace) -> str:
     if args.retries < 0:
         raise _CliError(f"--retries must be >= 0, got {args.retries}")
     _obs_manifest("sweep", {
-        "presets": list(presets), "widths": list(widths),
+        "presets": list(presets),
+        "scenarios": list(args.scenario or []),
+        "widths": list(widths),
         "wts": list(args.wt), "seed": args.seed, "delta": args.delta,
         "exhaustive": args.exhaustive, "effort": effort,
         "strategies": list(strategies), "budget": args.budget,
@@ -1610,6 +1834,22 @@ def _run_submit(args: argparse.Namespace) -> str:
         raise _CliError(f"--spec is not valid JSON: {exc}") from None
     if not isinstance(params, dict):
         raise _CliError("--spec must be a JSON object")
+    if args.scenario is not None:
+        from . import schema
+
+        doc = _load_scenario_doc(args.scenario)
+        params.setdefault("scenario", schema.generate(doc))
+        # the document's tam/optimizer blocks are defaults: explicit
+        # --spec fields win
+        if doc.tam is not None:
+            params.setdefault("width", doc.tam.width)
+            params.setdefault("wt", doc.tam.wt)
+        if args.kind == "optimize" and doc.optimizer is not None:
+            opt = doc.optimizer
+            params.setdefault("strategy", opt.strategy)
+            params.setdefault("budget", opt.budget)
+            params.setdefault("search_seed", opt.search_seed)
+            params.setdefault("effort", opt.effort)
     client = _client(args)
     try:
         ticket = client.submit(args.kind, params)
@@ -1645,6 +1885,8 @@ def _run_client_query(args: argparse.Namespace, verb: str) -> str:
 
 
 def _run_command(command: str, args: argparse.Namespace) -> str:
+    if command == "scenario":
+        return _run_scenario(args)
     if command == "watch":
         return _run_watch(args)
     if command == "runs":
@@ -1744,7 +1986,7 @@ def _run_command(command: str, args: argparse.Namespace) -> str:
 #: ledger root must not spin up a run dir (or fold one) for these.
 _QUERY_COMMANDS = frozenset(
     {"runs", "watch", "report", "workloads", "strategies", "generate",
-     "submit", "status", "result"}
+     "submit", "status", "result", "scenario"}
 )
 
 

@@ -84,6 +84,22 @@ class ReproClient:
             coalesced=bool(body.get("coalesced")),
         )
 
+    def submit_scenario(
+        self, kind: str, scenario_text: str, params: dict | None = None
+    ) -> JobTicket:
+        """Submit a job against a scenario document (:mod:`repro.schema`).
+
+        *scenario_text* is the document source (JSON or canonical
+        text); it rides in the spec's ``scenario`` field, so the
+        server canonicalizes it and coalesces with any equivalent
+        submission — including preset submissions that build the same
+        SOC.  *params* carries the remaining spec fields (width,
+        strategy, ...).
+        """
+        merged = dict(params or {})
+        merged["scenario"] = scenario_text
+        return self.submit(kind, merged)
+
     def status(self, job_id: str) -> dict:
         return self.session.request("GET", f"/status/{job_id}").body
 

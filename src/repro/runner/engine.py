@@ -90,17 +90,25 @@ def _soc_digest(soc: Soc) -> str:
 
 
 #: process-local SOC memo: workload builds are pure functions of
-#: (name, seed), so a persistent worker reconstructs each scenario at
-#: most once no matter how many grid cells hit it
-_SOC_MEMO: dict[tuple[str, int | None], Soc] = {}
+#: (name, seed) — and scenario documents of their canonical text — so
+#: a persistent worker reconstructs each scenario at most once no
+#: matter how many grid cells hit it
+_SOC_MEMO: dict[tuple[str, int | None, str | None], Soc] = {}
 
 
-def _build_soc(workload: str, seed: int | None) -> Soc:
-    """The (memoized) SOC of one workload grid cell."""
-    key = (workload, seed)
+def _build_soc(
+    workload: str, seed: int | None, scenario: str | None = None
+) -> Soc:
+    """The (memoized) SOC of one workload or scenario grid cell."""
+    key = (workload, seed, scenario)
     soc = _SOC_MEMO.get(key)
     if soc is None:
-        soc = workloads.build(workload, seed)
+        if scenario is not None:
+            from .. import schema
+
+            soc = schema.canonical_scenario(scenario)[0].build()
+        else:
+            soc = workloads.build(workload, seed)
         if len(_SOC_MEMO) >= 64:  # a long-lived worker stays bounded
             _SOC_MEMO.clear()
         _SOC_MEMO[key] = soc
@@ -219,7 +227,7 @@ def evaluate_job(
     """
     started = time.perf_counter()
     cache = MemoCache(DiskCache(cache_dir)) if cache_dir else None
-    soc = _build_soc(job.workload, job.seed)
+    soc = _build_soc(job.workload, job.seed, job.scenario)
     if job.power_budget is not None:
         # applied before the digest so the cache key sees the budget
         # through the SOC content as well as the explicit job field

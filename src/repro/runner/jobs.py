@@ -48,10 +48,17 @@ class SweepJob:
     :param power_budget: SOC-level instantaneous power ceiling applied
         to the built SOC (``None`` keeps the workload's own budget —
         which is also ``None`` for the unannotated presets).
+    :param scenario: canonical scenario document text
+        (:mod:`repro.schema`) instead of a registry *workload*.  The
+        text is parsed, validated, and canonicalized at construction,
+        so two jobs citing the same scenario — however formatted —
+        compare equal and share one cache entry.  ``workload`` is
+        filled from the document name (or must match it), and ``seed``
+        must stay unset (a document *is* its instantiation).
     """
 
-    workload: str
-    width: int
+    workload: str = ""
+    width: int = 32
     seed: int | None = None
     wt: float = 0.5
     delta: float = 0.0
@@ -63,8 +70,30 @@ class SweepJob:
     budget: int = 0
     search_seed: int = 0
     power_budget: int | None = None
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None:
+            from .. import schema
+
+            doc, canonical = schema.canonical_scenario(self.scenario)
+            object.__setattr__(self, "scenario", canonical)
+            if self.seed is not None:
+                raise ValueError(
+                    "scenario jobs take no workload seed (the document "
+                    "already fixes the SOC)"
+                )
+            if not self.workload:
+                object.__setattr__(self, "workload", doc.name)
+            elif self.workload != doc.name:
+                raise ValueError(
+                    f"workload {self.workload!r} does not match the "
+                    f"scenario document name {doc.name!r}"
+                )
+        elif not self.workload:
+            raise ValueError(
+                "a workload name or a scenario document is required"
+            )
         if self.width < 1:
             raise ValueError(f"width must be >= 1, got {self.width}")
         if not 0 <= self.wt <= 1:
@@ -185,6 +214,7 @@ def expand_grid(
     budget: int = 0,
     search_seed: int = 0,
     power_budgets: Sequence[int | None] = (None,),
+    scenarios: Sequence[str] = (),
 ) -> tuple[SweepJob, ...]:
     """The full cartesian job grid, in deterministic order.
 
@@ -195,16 +225,28 @@ def expand_grid(
     evaluations.  The *power_budgets* axis sweeps SOC power ceilings
     the same way (``None`` = the workload's own budget, if any).
 
+    *scenarios* adds grid rows from scenario document texts
+    (:mod:`repro.schema`): each document fans out over the same width
+    / weight / strategy / power-budget axes after the registry
+    workloads, but ignores *seeds* (a document fixes its SOC).  The
+    two sources can mix freely; at least one of *workloads* /
+    *scenarios* must be non-empty.
+
     :raises ValueError: if any axis is empty.
     """
     seeds = tuple(seeds)
     power_budgets = tuple(power_budgets)
-    if not workloads or not widths or not wts or not seeds \
-            or not strategies or not power_budgets:
+    if not (workloads or scenarios) or not widths or not wts \
+            or not seeds or not strategies or not power_budgets:
         raise ValueError("every grid axis needs at least one value")
+    sources: list[tuple[str | None, tuple[int | None, ...]]] = [
+        *((None, seeds) for _ in workloads),
+        *((scenario, (None,)) for scenario in scenarios),
+    ]
+    names: list[str] = [*workloads, *("" for _ in scenarios)]
     return tuple(
         SweepJob(
-            workload=workload,
+            workload=name,
             width=width,
             seed=seed,
             wt=wt,
@@ -217,9 +259,10 @@ def expand_grid(
             budget=budget if strategy else 0,
             search_seed=search_seed if strategy else 0,
             power_budget=power_budget,
+            scenario=scenario,
         )
-        for workload in workloads
-        for seed in seeds
+        for name, (scenario, source_seeds) in zip(names, sources)
+        for seed in source_seeds
         for width in widths
         for wt in wts
         for strategy in strategies

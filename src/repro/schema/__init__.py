@@ -1,0 +1,67 @@
+"""``repro.schema`` — the canonical typed scenario model.
+
+Public surface:
+
+* :class:`ScenarioDoc` / :class:`TamConfig` / :class:`OptimizerProfile`
+  — the versioned dataclass model (v1).
+* :func:`parse` / :func:`parse_file` — position-aware readers (JSON
+  stdlib-only; YAML when PyYAML is importable; ``.soc`` files via the
+  ITC'02 front-end).
+* :func:`validate` — semantic cross-checks, returning collected
+  :class:`Diagnostic` records instead of stopping at the first.
+* :func:`generate` — canonical serialization; ``generate(parse(x))``
+  is a byte-level fixed point.
+* :func:`canonical_scenario` — the parse → validate → generate pipeline
+  used by job specs and the cache keys, memoized on the raw text.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .model import (
+    SCHEMA_VERSION,
+    OptimizerProfile,
+    ScenarioDoc,
+    TamConfig,
+    generate,
+    to_canonical_dict,
+    validate,
+    yaml_available,
+)
+from .parse import Diagnostic, ScenarioError, detect_format, parse, parse_file
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Diagnostic",
+    "OptimizerProfile",
+    "ScenarioDoc",
+    "ScenarioError",
+    "TamConfig",
+    "canonical_scenario",
+    "detect_format",
+    "generate",
+    "parse",
+    "parse_file",
+    "to_canonical_dict",
+    "validate",
+    "yaml_available",
+]
+
+
+@lru_cache(maxsize=256)
+def canonical_scenario(text: str) -> tuple[ScenarioDoc, str]:
+    """Parse, validate, and canonicalize scenario *text*.
+
+    Returns ``(doc, canonical_json)``.  The canonical text is what job
+    specs store and hash, so two submissions of the same scenario —
+    whether hand-formatted JSON, YAML, or a shipped preset file —
+    coalesce onto one job.  Raises :class:`ScenarioError` (with all
+    collected diagnostics) if the document is malformed or fails
+    semantic validation.
+    """
+    doc = parse(text)
+    problems = validate(doc)
+    if problems:
+        raise ScenarioError(problems)
+    return doc, generate(doc)

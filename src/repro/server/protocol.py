@@ -70,9 +70,14 @@ class OptimizeParams:
     Mirrors the knobs of :func:`repro.search.optimize` (plus the
     workload axis); validation happens in ``__post_init__`` so a bad
     submission is rejected at admission, never inside the executor.
+
+    ``scenario`` carries a canonical scenario document
+    (:mod:`repro.schema`) instead of naming a registry preset; it is
+    canonicalized exactly like :class:`~repro.runner.jobs.SweepJob`'s
+    field, so differently-formatted texts of one scenario coalesce.
     """
 
-    workload: str
+    workload: str = ""
     width: int = 32
     strategy: str = "anneal"
     budget: int = 200
@@ -81,11 +86,33 @@ class OptimizeParams:
     search_seed: int = 0
     power_budget: int | None = None
     effort: str = "medium"
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         from ..experiments.common import PACK_EFFORT
         from ..search import registry as search_registry
 
+        if self.scenario is not None:
+            from .. import schema
+
+            doc, canonical = schema.canonical_scenario(self.scenario)
+            object.__setattr__(self, "scenario", canonical)
+            if self.seed is not None:
+                raise ValueError(
+                    "scenario jobs take no workload seed (the document "
+                    "already fixes the SOC)"
+                )
+            if not self.workload:
+                object.__setattr__(self, "workload", doc.name)
+            elif self.workload != doc.name:
+                raise ValueError(
+                    f"workload {self.workload!r} does not match the "
+                    f"scenario document name {doc.name!r}"
+                )
+        elif not self.workload:
+            raise ValueError(
+                "a workload name or a scenario document is required"
+            )
         if self.width < 1:
             raise ValueError(f"width must be >= 1, got {self.width}")
         if not 0 <= self.wt <= 1:
@@ -148,23 +175,44 @@ class JobSpec:
             # unknown/missing keyword — surface it as bad input, not a
             # server traceback
             raise ValueError(str(exc)) from None
-        return cls(kind=kind, params=canonical)
+        spec = cls(kind=kind, params=canonical)
+        try:
+            # resolving the job key builds the SOC, so an unknown
+            # workload or an infeasible power budget is rejected at
+            # admission (400), never inside the executor (500)
+            spec.job_key
+        except KeyError as exc:
+            raise ValueError(str(exc).strip('"')) from None
+        return spec
 
     @property
     def job_key(self) -> str:
         """Content-hash identity of this job (the coalescing key).
 
-        Versioned under the runner's ``CACHE_VERSION`` exactly like
-        disk-cache entries: a semantic change to the evaluation flow
-        retires old keys rather than aliasing new submissions onto
-        stale results.
+        Keyed on the **SOC content digest** plus the evaluation
+        parameters — not on how the SOC was named — so a scenario
+        document submission and the preset submission that builds the
+        same SOC coalesce onto one job, exactly like the runner's disk
+        cache.  Versioned under the runner's ``CACHE_VERSION``: a
+        semantic change to the evaluation flow retires old keys rather
+        than aliasing new submissions onto stale results.
         """
-        from ..runner.engine import CACHE_VERSION
+        from ..runner.engine import CACHE_VERSION, _build_soc, _soc_digest
 
+        params = dict(self.params)
+        workload = params.pop("workload")
+        seed = params.pop("seed", None)
+        scenario = params.pop("scenario", None)
+        soc = _build_soc(workload, seed, scenario)
+        if params.get("power_budget") is not None:
+            # mirrored from the engine: the digest sees the effective
+            # budget, the explicit field stays in params
+            soc = soc.with_power_budget(params["power_budget"])
         return content_key({
             "kind": f"server-{self.kind}",
             "v": CACHE_VERSION,
-            "params": self.params,
+            "soc": _soc_digest(soc),
+            "params": params,
         })
 
     def to_sweep_job(self) -> SweepJob:

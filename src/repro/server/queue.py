@@ -434,7 +434,7 @@ class JobQueue:
         params = spec.to_optimize_params()
         job_dir = self._prepare_job_dir(record)
 
-        soc = _build_soc(params.workload, params.seed)
+        soc = _build_soc(params.workload, params.seed, params.scenario)
         if params.power_budget is not None:
             soc = soc.with_power_budget(params.power_budget)
         # fingerprint ties the checkpoint to this exact spec: a stale

@@ -45,6 +45,13 @@ dialect parse unchanged.
 :func:`loads` / :func:`dumps` operate on strings; :func:`load` /
 :func:`dump` on file paths.  Round-tripping is exact up to floating-point
 formatting (covered by the test suite).
+
+This dialect is one *front-end* of the canonical scenario schema
+(:mod:`repro.schema`): :func:`loads_scenario` parses ``.soc`` text into
+a :class:`~repro.schema.ScenarioDoc` and :func:`dumps_scenario` emits a
+document's SOC back out as dialect text.  Malformed input always raises
+:class:`SocFormatError` carrying the source name, line, column, and the
+offending token — never a bare ``ValueError`` or unpacking error.
 """
 
 from __future__ import annotations
@@ -55,21 +62,77 @@ from typing import Iterator
 
 from .model import AnalogCore, AnalogTest, DigitalCore, Soc
 
-__all__ = ["loads", "dumps", "load", "dump", "SocFormatError"]
+__all__ = [
+    "loads", "dumps", "load", "dump",
+    "loads_scenario", "dumps_scenario",
+    "SocFormatError",
+]
 
 
 class SocFormatError(ValueError):
-    """Raised when a ``.soc`` document is malformed."""
+    """Raised when a ``.soc`` document is malformed.
 
-    def __init__(self, message: str, line_no: int | None = None):
-        if line_no is not None:
-            message = f"line {line_no}: {message}"
-        super().__init__(message)
+    Positional context is both rendered into the message ("line L,
+    column C: ... (near 'token')") and exposed structurally on
+    ``.line_no`` / ``.column`` / ``.token`` / ``.source`` /
+    ``.message`` (the latter is the bare text without the location
+    prefix) so callers — the scenario layer in particular — can
+    re-anchor the diagnostic without re-parsing the string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_no: int | None = None,
+        column: int | None = None,
+        token: str | None = None,
+        source: str | None = None,
+    ):
+        self.message = message
         self.line_no = line_no
+        self.column = column
+        self.token = token
+        self.source = source
+        rendered = message
+        if token is not None:
+            rendered += f" (near {token!r})"
+        if line_no is not None:
+            where = f"line {line_no}"
+            if column is not None:
+                where += f", column {column}"
+            rendered = f"{where}: {rendered}"
+        if source:
+            rendered = f"{source}: {rendered}"
+        super().__init__(rendered)
 
 
-def _tokenize(text: str) -> Iterator[tuple[int, list[str]]]:
-    """Yield ``(line_number, tokens)`` for each non-empty, non-comment line."""
+class _Line:
+    """One tokenized source line, keeping the raw text for columns."""
+
+    __slots__ = ("line_no", "tokens", "raw")
+
+    def __init__(self, line_no: int, tokens: list[str], raw: str):
+        self.line_no = line_no
+        self.tokens = tokens
+        self.raw = raw
+
+    def column(self, index: int) -> int | None:
+        """Best-effort 1-based column of ``tokens[index]`` in the raw line."""
+        if not 0 <= index < len(self.tokens):
+            return None
+        cursor = 0
+        for position, token in enumerate(self.tokens[: index + 1]):
+            found = self.raw.find(token, cursor)
+            if found < 0:
+                return None
+            if position == index:
+                return found + 1
+            cursor = found + len(token)
+        return None
+
+
+def _tokenize(text: str, source: str | None) -> Iterator[_Line]:
+    """Yield a :class:`_Line` for each non-empty, non-comment line."""
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -77,205 +140,284 @@ def _tokenize(text: str) -> Iterator[tuple[int, list[str]]]:
         try:
             tokens = shlex.split(line)
         except ValueError as exc:
-            raise SocFormatError(f"unparsable line: {exc}", line_no) from exc
+            raise SocFormatError(
+                f"unparsable line: {exc}", line_no, source=source
+            ) from exc
         if tokens:
-            yield line_no, tokens
+            yield _Line(line_no, tokens, raw)
 
 
 class _Parser:
     """Single-pass recursive-descent parser over the tokenized lines."""
 
-    def __init__(self, text: str):
-        self._lines = list(_tokenize(text))
+    def __init__(self, text: str, source: str | None = None):
+        self._source = source
+        self._lines = list(_tokenize(text, source))
         self._pos = 0
 
-    def _peek(self) -> tuple[int, list[str]] | None:
+    def _err(
+        self,
+        message: str,
+        line: _Line | None = None,
+        token_index: int | None = None,
+    ) -> SocFormatError:
+        line_no = column = token = None
+        if line is not None:
+            line_no = line.line_no
+            if token_index is not None and token_index < len(line.tokens):
+                column = line.column(token_index)
+                token = line.tokens[token_index]
+        return SocFormatError(
+            message, line_no, column=column, token=token, source=self._source
+        )
+
+    def _peek(self) -> _Line | None:
         if self._pos < len(self._lines):
             return self._lines[self._pos]
         return None
 
-    def _next(self) -> tuple[int, list[str]]:
+    def _next(self, expecting: str) -> _Line:
         entry = self._peek()
         if entry is None:
-            raise SocFormatError("unexpected end of file")
+            last = self._lines[-1] if self._lines else None
+            raise self._err(
+                f"unexpected end of file while expecting {expecting}", last
+            )
         self._pos += 1
         return entry
 
-    def _expect(self, keyword: str) -> list[str]:
-        line_no, tokens = self._next()
-        if tokens[0] != keyword:
-            raise SocFormatError(
-                f"expected {keyword!r}, found {tokens[0]!r}", line_no
+    def _expect(self, keyword: str) -> _Line:
+        line = self._next(repr(keyword))
+        if line.tokens[0] != keyword:
+            raise self._err(
+                f"expected {keyword!r}, found {line.tokens[0]!r}", line, 0
             )
-        return tokens
+        return line
+
+    def _int(self, line: _Line, index: int, field: str) -> int:
+        try:
+            return int(line.tokens[index])
+        except (IndexError, ValueError):
+            bad = min(index, len(line.tokens) - 1)
+            raise self._err(
+                f"{field} requires an integer value", line, bad
+            ) from None
+
+    def _float(self, line: _Line, index: int, field: str) -> float:
+        try:
+            return float(line.tokens[index])
+        except (IndexError, ValueError):
+            bad = min(index, len(line.tokens) - 1)
+            raise self._err(
+                f"{field} requires a numeric value", line, bad
+            ) from None
 
     def parse(self) -> Soc:
-        name_tokens = self._expect("SocName")
-        if len(name_tokens) != 2:
-            raise SocFormatError("SocName takes exactly one value")
-        soc_name = name_tokens[1]
+        name_line = self._expect("SocName")
+        if len(name_line.tokens) != 2:
+            raise self._err("SocName takes exactly one value", name_line, 0)
+        soc_name = name_line.tokens[1]
 
-        total_tokens = self._expect("TotalModules")
-        declared_total = _parse_int(total_tokens, 1, "TotalModules")
+        total_line = self._expect("TotalModules")
+        declared_total = self._int(total_line, 1, "TotalModules")
 
         power_budget: int | None = None
+        budget_line: _Line | None = None
         entry = self._peek()
-        if entry is not None and entry[1][0] == "PowerBudget":
-            line_no, tokens = self._next()
-            power_budget = _parse_int(tokens, 1, "PowerBudget", line_no)
+        if entry is not None and entry.tokens[0] == "PowerBudget":
+            budget_line = self._next("'PowerBudget'")
+            power_budget = self._int(budget_line, 1, "PowerBudget")
 
         digital: list[DigitalCore] = []
         analog: list[AnalogCore] = []
+        seen: dict[str, int] = {}
         while (entry := self._peek()) is not None:
-            line_no, tokens = entry
-            if tokens[0] == "Module":
-                digital.append(self._parse_digital())
-            elif tokens[0] == "AnalogModule":
-                analog.append(self._parse_analog())
+            if entry.tokens[0] == "Module":
+                core = self._parse_digital()
+                digital.append(core)
+            elif entry.tokens[0] == "AnalogModule":
+                core = self._parse_analog()
+                analog.append(core)
             else:
-                raise SocFormatError(
-                    f"expected 'Module' or 'AnalogModule', found {tokens[0]!r}",
-                    line_no,
+                raise self._err(
+                    "expected a 'Module' or 'AnalogModule' directive, "
+                    f"found unknown directive {entry.tokens[0]!r}",
+                    entry, 0,
                 )
+            if core.name in seen:
+                raise self._err(
+                    f"duplicate module name {core.name!r} "
+                    f"(first defined at line {seen[core.name]})",
+                    entry, 0,
+                )
+            seen[core.name] = entry.line_no
 
         actual_total = len(digital) + len(analog)
         if actual_total != declared_total:
-            raise SocFormatError(
+            raise self._err(
                 f"TotalModules declares {declared_total} modules but "
-                f"{actual_total} are present"
+                f"{actual_total} are present",
+                total_line, 1,
             )
-        return Soc(
-            name=soc_name,
-            digital_cores=tuple(digital),
-            analog_cores=tuple(analog),
-            power_budget=power_budget,
-        )
+        try:
+            return Soc(
+                name=soc_name,
+                digital_cores=tuple(digital),
+                analog_cores=tuple(analog),
+                power_budget=power_budget,
+            )
+        except ValueError as exc:
+            raise self._err(str(exc), budget_line or name_line) from exc
 
     def _parse_digital(self) -> DigitalCore:
-        line_no, tokens = self._next()
-        if len(tokens) < 2:
-            raise SocFormatError("Module requires an identifier", line_no)
-        name = tokens[-1] if len(tokens) >= 3 else tokens[1]
+        header = self._next("'Module'")
+        if len(header.tokens) < 2:
+            raise self._err("Module requires an identifier", header, 0)
+        name = header.tokens[-1] if len(header.tokens) >= 3 \
+            else header.tokens[1]
 
         fields: dict[str, int] = {}
+        field_lines: dict[str, _Line] = {}
         chain_lengths: list[int] = []
         reading_chains = False
         while (entry := self._peek()) is not None:
-            item_line_no, item = entry
-            keyword = item[0]
+            keyword = entry.tokens[0]
             if keyword in ("Module", "AnalogModule"):
                 break
             self._pos += 1
             if keyword in ("Inputs", "Outputs", "Bidirs", "ScanChains",
                            "Patterns", "Power"):
-                fields[keyword] = _parse_int(item, 1, keyword, item_line_no)
+                if keyword in fields:
+                    raise self._err(
+                        f"module {name!r} repeats field {keyword!r} "
+                        f"(first given at line "
+                        f"{field_lines[keyword].line_no})",
+                        entry, 0,
+                    )
+                fields[keyword] = self._int(entry, 1, keyword)
+                field_lines[keyword] = entry
                 reading_chains = False
             elif keyword == "ScanChainLengths":
                 chain_lengths.extend(
-                    _parse_int(item, i, "ScanChainLengths", item_line_no)
-                    for i in range(1, len(item))
+                    self._int(entry, i, "ScanChainLengths")
+                    for i in range(1, len(entry.tokens))
                 )
                 reading_chains = True
             elif reading_chains and _is_int(keyword):
                 chain_lengths.extend(
-                    _parse_int(item, i, "ScanChainLengths", item_line_no)
-                    for i in range(len(item))
+                    self._int(entry, i, "ScanChainLengths")
+                    for i in range(len(entry.tokens))
                 )
             else:
-                raise SocFormatError(
-                    f"unknown digital-module field {keyword!r}", item_line_no
+                raise self._err(
+                    f"unknown digital-module field {keyword!r}", entry, 0
                 )
 
         declared_chains = fields.get("ScanChains", len(chain_lengths))
         if declared_chains != len(chain_lengths):
-            raise SocFormatError(
+            raise self._err(
                 f"module {name!r} declares {declared_chains} scan chains "
                 f"but lists {len(chain_lengths)} lengths",
-                line_no,
+                field_lines.get("ScanChains", header), 0,
             )
         missing = {"Inputs", "Outputs", "Bidirs", "Patterns"} - fields.keys()
         if missing:
-            raise SocFormatError(
-                f"module {name!r} is missing fields: {sorted(missing)}", line_no
+            raise self._err(
+                f"module {name!r} is missing fields: {sorted(missing)}",
+                header, 0,
             )
-        return DigitalCore(
-            name=name,
-            inputs=fields["Inputs"],
-            outputs=fields["Outputs"],
-            bidirs=fields["Bidirs"],
-            scan_chains=tuple(chain_lengths),
-            patterns=fields["Patterns"],
-            power=fields.get("Power", 0),
-        )
+        try:
+            return DigitalCore(
+                name=name,
+                inputs=fields["Inputs"],
+                outputs=fields["Outputs"],
+                bidirs=fields["Bidirs"],
+                scan_chains=tuple(chain_lengths),
+                patterns=fields["Patterns"],
+                power=fields.get("Power", 0),
+            )
+        except ValueError as exc:
+            raise self._err(str(exc), header, 0) from exc
 
     def _parse_analog(self) -> AnalogCore:
-        line_no, tokens = self._next()
-        if len(tokens) < 2:
-            raise SocFormatError("AnalogModule requires an identifier", line_no)
-        name = tokens[1]
-        description = tokens[2] if len(tokens) >= 3 else name
+        header = self._next("'AnalogModule'")
+        if len(header.tokens) < 2:
+            raise self._err("AnalogModule requires an identifier", header, 0)
+        name = header.tokens[1]
+        description = header.tokens[2] if len(header.tokens) >= 3 else name
 
         resolution: int | None = None
         position: tuple[float, float] | None = None
         tests: list[AnalogTest] = []
         while (entry := self._peek()) is not None:
-            item_line_no, item = entry
-            keyword = item[0]
+            keyword = entry.tokens[0]
             if keyword in ("Module", "AnalogModule"):
                 break
             self._pos += 1
             if keyword == "Resolution":
-                resolution = _parse_int(item, 1, "Resolution", item_line_no)
+                resolution = self._int(entry, 1, "Resolution")
             elif keyword == "Position":
-                if len(item) != 3:
-                    raise SocFormatError(
-                        "Position takes exactly two values", item_line_no
+                if len(entry.tokens) != 3:
+                    raise self._err(
+                        "Position takes exactly two values", entry, 0
                     )
                 position = (
-                    _parse_float(item, 1, "Position", item_line_no),
-                    _parse_float(item, 2, "Position", item_line_no),
+                    self._float(entry, 1, "Position"),
+                    self._float(entry, 2, "Position"),
                 )
             elif keyword == "Test":
-                tests.append(self._parse_test(item, item_line_no))
+                tests.append(self._parse_test(entry))
             else:
-                raise SocFormatError(
-                    f"unknown analog-module field {keyword!r}", item_line_no
+                raise self._err(
+                    f"unknown analog-module field {keyword!r}", entry, 0
                 )
 
         if resolution is None:
-            raise SocFormatError(
-                f"analog module {name!r} is missing Resolution", line_no
+            raise self._err(
+                f"analog module {name!r} is missing Resolution", header, 0
             )
         if not tests:
-            raise SocFormatError(
-                f"analog module {name!r} has no tests", line_no
+            raise self._err(
+                f"analog module {name!r} has no tests", header, 0
             )
-        return AnalogCore(
-            name=name,
-            description=description,
-            tests=tuple(tests),
-            resolution_bits=resolution,
-            position=position,
-        )
+        try:
+            return AnalogCore(
+                name=name,
+                description=description,
+                tests=tuple(tests),
+                resolution_bits=resolution,
+                position=position,
+            )
+        except ValueError as exc:
+            raise self._err(str(exc), header, 0) from exc
 
-    @staticmethod
-    def _parse_test(tokens: list[str], line_no: int) -> AnalogTest:
+    def _parse_test(self, line: _Line) -> AnalogTest:
+        tokens = line.tokens
         if len(tokens) < 2:
-            raise SocFormatError("Test requires a name", line_no)
+            raise self._err("Test requires a name", line, 0)
         name = tokens[1]
         pairs = tokens[2:]
         if len(pairs) % 2 != 0:
-            raise SocFormatError(
-                f"test {name!r}: key/value tokens must pair up", line_no
+            raise self._err(
+                f"test {name!r}: key/value tokens must pair up",
+                line, len(tokens) - 1,
             )
         values: dict[str, str] = {}
-        for key, value in zip(pairs[0::2], pairs[1::2]):
+        for offset, (key, value) in enumerate(
+            zip(pairs[0::2], pairs[1::2])
+        ):
+            if key in values:
+                raise self._err(
+                    f"test {name!r} repeats field {key!r}",
+                    line, 2 + 2 * offset,
+                )
             values[key] = value
         required = {"BandLow", "BandHigh", "SampleFreq", "Cycles", "TamWidth"}
         missing = required - values.keys()
         if missing:
-            raise SocFormatError(
-                f"test {name!r} is missing fields: {sorted(missing)}", line_no
+            raise self._err(
+                f"test {name!r} is missing fields: {sorted(missing)}",
+                line, 1,
             )
         try:
             resolution = (
@@ -292,7 +434,7 @@ class _Parser:
                 power=int(values.get("Power", 0)),
             )
         except ValueError as exc:
-            raise SocFormatError(f"test {name!r}: {exc}", line_no) from exc
+            raise self._err(f"test {name!r}: {exc}", line, 1) from exc
 
 
 def _is_int(token: str) -> bool:
@@ -303,34 +445,56 @@ def _is_int(token: str) -> bool:
     return True
 
 
-def _parse_int(
-    tokens: list[str], index: int, field: str, line_no: int | None = None
-) -> int:
-    try:
-        return int(tokens[index])
-    except (IndexError, ValueError) as exc:
-        raise SocFormatError(
-            f"{field} requires an integer value", line_no
-        ) from exc
+def loads(text: str, source: str | None = None) -> Soc:
+    """Parse a ``.soc`` document from a string.
 
-
-def _parse_float(
-    tokens: list[str], index: int, field: str, line_no: int | None = None
-) -> float:
-    try:
-        return float(tokens[index])
-    except (IndexError, ValueError) as exc:
-        raise SocFormatError(f"{field} requires a numeric value", line_no) from exc
-
-
-def loads(text: str) -> Soc:
-    """Parse a ``.soc`` document from a string."""
-    return _Parser(text).parse()
+    *source* (a file name) is threaded into error messages when given.
+    """
+    return _Parser(text, source=source).parse()
 
 
 def load(path: str | Path) -> Soc:
     """Parse a ``.soc`` document from a file path."""
-    return loads(Path(path).read_text())
+    return loads(Path(path).read_text(), source=str(path))
+
+
+def loads_scenario(text: str, name: str | None = None,
+                   source: str | None = None):
+    """Parse ``.soc`` text into a canonical scenario document.
+
+    The dialect carries no TAM block or optimizer profile, so the
+    resulting :class:`~repro.schema.ScenarioDoc` has neither; the
+    document name defaults to the SOC's own name.  Format problems are
+    re-raised as :class:`~repro.schema.ScenarioError` with a single
+    line/column-anchored diagnostic, so ``.soc`` files report through
+    the same channel as JSON/YAML scenarios.
+    """
+    from ..schema import Diagnostic, ScenarioDoc, ScenarioError
+
+    try:
+        soc = loads(text, source=source)
+    except SocFormatError as exc:
+        raise ScenarioError([
+            Diagnostic(
+                path="",
+                message=exc.message
+                + (f" (near {exc.token!r})" if exc.token is not None else ""),
+                line=exc.line_no,
+                column=exc.column,
+                source=exc.source or "<soc>",
+            )
+        ]) from exc
+    return ScenarioDoc.from_soc(soc, name=name)
+
+
+def dumps_scenario(doc) -> str:
+    """Serialize a scenario document's SOC as ``.soc`` dialect text.
+
+    The dialect expresses only the SOC: a TAM block, optimizer profile,
+    or test extension fields on *doc* are not representable and are
+    dropped (use the canonical JSON form to keep them).
+    """
+    return dumps(doc.build())
 
 
 def dumps(soc: Soc) -> str:

@@ -37,8 +37,10 @@ from .registry import (
     build,
     get,
     names,
+    random_scenario,
     random_workload,
     register,
+    scenario,
 )
 
 __all__ = [
@@ -60,6 +62,8 @@ __all__ = [
     "get",
     "names",
     "random_family",
+    "random_scenario",
     "random_workload",
     "register",
+    "scenario",
 ]

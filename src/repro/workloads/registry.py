@@ -44,6 +44,17 @@ workload family for the power-constrained scheduling axis.
 Custom workloads register with :func:`register`; :func:`random_workload`
 builds ad-hoc scenarios (the ``repro generate`` command) without
 registration.
+
+Presets are backed by the canonical scenario schema
+(:mod:`repro.schema`): :meth:`Workload.scenario` yields the
+:class:`~repro.schema.ScenarioDoc` for a seed, and the ten non-power
+presets additionally *ship* their default-seed document as packaged
+data under ``repro/workloads/scenarios/`` — the registry serves the
+shipped file when present (test-asserted equal to the code recipe), so
+the preset a user ``repro scenario show``-s is byte-for-byte the one
+the engine builds.  Factories may return either a ``ScenarioDoc`` or a
+bare ``Soc`` (wrapped on the fly), so pre-schema custom registrations
+keep working unchanged.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from ..schema import ScenarioDoc
 from ..soc import benchmarks
 from ..soc.model import Soc
 from .analog import PAPER_POLICY, AnalogPolicy, augment
@@ -70,7 +82,9 @@ __all__ = [
     "get",
     "names",
     "build",
+    "scenario",
     "random_workload",
+    "random_scenario",
 ]
 
 
@@ -80,18 +94,70 @@ class Workload:
 
     :param name: registry key, e.g. ``"d695m"``.
     :param description: one-line scenario summary for ``--list`` output.
-    :param factory: callable mapping a seed to the SOC.
+    :param factory: callable mapping a seed to the scenario — either a
+        :class:`~repro.schema.ScenarioDoc` or a bare
+        :class:`~repro.soc.model.Soc` (wrapped into a document named
+        after the workload).
     :param default_seed: seed used when the caller does not pass one.
     """
 
     name: str
     description: str
-    factory: Callable[[int], Soc]
+    factory: Callable[[int], "ScenarioDoc | Soc"]
     default_seed: int = 0
+
+    def scenario(self, seed: int | None = None) -> ScenarioDoc:
+        """The scenario document for *seed* (or the default seed).
+
+        At the default seed, a shipped packaged document
+        (``repro/workloads/scenarios/<name>.json``) takes precedence
+        over running the factory; any other seed always runs the
+        factory.  Factories returning a bare ``Soc`` are wrapped.
+        """
+        resolved = self.default_seed if seed is None else seed
+        if resolved == self.default_seed:
+            shipped = _shipped_scenario(self.name)
+            if shipped is not None:
+                return shipped
+        made = self.factory(resolved)
+        if isinstance(made, Soc):
+            made = ScenarioDoc.from_soc(made, name=self.name)
+        return made
 
     def build(self, seed: int | None = None) -> Soc:
         """Instantiate the SOC (with *seed*, or the default)."""
-        return self.factory(self.default_seed if seed is None else seed)
+        return self.scenario(seed).build()
+
+
+_SHIPPED: dict[str, ScenarioDoc | None] = {}
+
+
+def _shipped_scenario(name: str) -> ScenarioDoc | None:
+    """The packaged default-seed document for *name*, if shipped.
+
+    Missing or unreadable files fall back silently to the code recipe
+    (the scenario-lint CI job is what catches genuine drift or
+    corruption); successful parses are memoized per process.
+    """
+    if name not in _SHIPPED:
+        _SHIPPED[name] = _load_shipped(name)
+    return _SHIPPED[name]
+
+
+def _load_shipped(name: str) -> ScenarioDoc | None:
+    try:
+        from importlib.resources import files
+
+        resource = files(__package__) / "scenarios" / f"{name}.json"
+        text = resource.read_text(encoding="utf-8")
+    except (FileNotFoundError, ModuleNotFoundError, OSError):
+        return None
+    from ..schema import ScenarioError, parse
+
+    try:
+        return parse(text, source=f"{name}.json")
+    except ScenarioError:
+        return None
 
 
 _REGISTRY: dict[str, Workload] = {}
@@ -139,6 +205,11 @@ def build(name: str, seed: int | None = None) -> Soc:
     return get(name).build(seed)
 
 
+def scenario(name: str, seed: int | None = None) -> ScenarioDoc:
+    """The scenario document of the workload called *name*."""
+    return get(name).scenario(seed)
+
+
 def random_workload(
     n_cores: int = 24,
     seed: int = 0,
@@ -158,6 +229,27 @@ def random_workload(
     return augment(digital, policy, seed=seed)
 
 
+def random_scenario(
+    n_cores: int = 24,
+    seed: int = 0,
+    n_adc: int = 2,
+    n_dac: int = 2,
+    n_pll: int = 1,
+    scale: float = 1.0,
+    name: str | None = None,
+) -> ScenarioDoc:
+    """An unregistered random scenario as a canonical document."""
+    soc = random_workload(
+        n_cores, seed=seed, n_adc=n_adc, n_dac=n_dac, n_pll=n_pll,
+        scale=scale,
+    )
+    return ScenarioDoc.from_soc(soc, name=name)
+
+
+def _as_soc(made: "ScenarioDoc | Soc") -> Soc:
+    return made.build() if isinstance(made, ScenarioDoc) else made
+
+
 def _family_workload(
     name: str,
     description: str,
@@ -165,10 +257,11 @@ def _family_workload(
     policy: AnalogPolicy,
     default_seed: int,
 ) -> Workload:
-    def factory(seed: int) -> Soc:
-        return augment(
+    def factory(seed: int) -> ScenarioDoc:
+        soc = augment(
             generate_digital(family, seed), policy, seed=seed, name=name
         )
+        return ScenarioDoc.from_soc(soc, name=name)
 
     return Workload(
         name=name,
@@ -187,12 +280,14 @@ def _power_variant(base_name: str, description: str) -> Workload:
     same value, so determinism is preserved end to end).
     """
     base = get(base_name)
+    name = base_name + "p"
 
-    def factory(seed: int) -> Soc:
-        return annotate_power(base.factory(seed), seed=seed)
+    def factory(seed: int) -> ScenarioDoc:
+        soc = annotate_power(_as_soc(base.factory(seed)), seed=seed)
+        return ScenarioDoc.from_soc(soc, name=name)
 
     return Workload(
-        name=base_name + "p",
+        name=name,
         description=description,
         factory=factory,
         default_seed=base.default_seed,

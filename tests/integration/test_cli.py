@@ -374,3 +374,103 @@ class TestPackEffortFlag:
             build_parser().parse_args(
                 ["sweep", "--pack-effort", "turbo"]
             )
+
+
+class TestScenarioCommands:
+    @pytest.fixture()
+    def mini_file(self, tmp_path):
+        from importlib.resources import files
+
+        text = (files("repro.workloads") / "scenarios" / "mini.json") \
+            .read_text(encoding="utf-8")
+        path = tmp_path / "mini.json"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_validate_ok(self, capsys, mini_file):
+        assert main(["scenario", "validate", str(mini_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 files valid" in out
+
+    def test_validate_bad_file_exits_one(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "frobnicate": 1}', encoding="utf-8")
+        assert main(["scenario", "validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "frobnicate" in out
+        assert "bad.json:1:" in out
+
+    def test_validate_json_report(self, capsys, mini_file):
+        import json
+
+        assert main(["scenario", "validate", "--json",
+                     str(mini_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report[0]["ok"] is True
+
+    def test_convert_json_is_canonical_fixed_point(self, capsys,
+                                                   mini_file):
+        assert main(["scenario", "convert", str(mini_file),
+                     "--to", "json"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() + "\n" == mini_file.read_text(
+            encoding="utf-8"
+        )
+
+    def test_convert_to_soc_round_trips(self, capsys, tmp_path,
+                                        mini_file):
+        soc_path = tmp_path / "mini.soc"
+        assert main(["scenario", "convert", str(mini_file),
+                     "--to", "soc", "--out", str(soc_path)]) == 0
+        capsys.readouterr()
+        # the .soc text parses back to the same SOC
+        assert main(["scenario", "validate", str(soc_path)]) == 0
+        from repro import schema
+
+        doc = schema.parse_file(str(mini_file))
+        again = schema.parse_file(str(soc_path))
+        assert again.soc == doc.soc
+
+    def test_show_preset_and_file(self, capsys, mini_file):
+        assert main(["scenario", "show", "mini"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario mini (schema v1)" in out
+        assert main(["scenario", "show", str(mini_file)]) == 0
+        assert "mini_ms" in capsys.readouterr().out
+
+    def test_show_unknown_target_is_error(self, capsys):
+        assert main(["scenario", "show", "no_such_thing"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a file nor a workload preset" in err
+
+    def test_generate_format_json_validates(self, capsys, tmp_path):
+        out_path = tmp_path / "gen.json"
+        assert main(["generate", "--preset", "mini", "--format", "json",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "validate", str(out_path)]) == 0
+
+    def test_optimize_scenario_flag(self, capsys, tmp_path, mini_file,
+                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["optimize", "--scenario", str(mini_file), "--width", "8",
+             "--budget", "8", "--trace", ""]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best overall" in out
+        assert "mini_ms" in out
+
+    def test_sweep_scenario_only(self, capsys, tmp_path, mini_file):
+        out_path = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--scenario", str(mini_file), "--widths", "8",
+             "--no-cache", "--out", str(out_path)]
+        ) == 0
+        from repro.reporting import read_jsonl
+
+        records = list(read_jsonl(str(out_path)))
+        assert len(records) == 1
+        assert records[0]["job"]["workload"] == "mini"
+        assert records[0]["job"]["seed"] is None

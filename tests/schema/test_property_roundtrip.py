@@ -1,0 +1,73 @@
+"""Satellite: property-based round-trip over generator-produced scenarios.
+
+For random generator output (including power-annotated variants):
+generate → parse → validate → build is Soc-equal, and a second
+generate over the parsed document is byte-identical (canonical JSON
+idempotence).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import schema
+from repro.workloads.power import annotate_power
+from repro.workloads.registry import random_workload
+
+
+@st.composite
+def scenario_docs(draw):
+    n_cores = draw(st.integers(min_value=4, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n_adc = draw(st.integers(min_value=0, max_value=2))
+    n_dac = draw(st.integers(min_value=0, max_value=2))
+    n_pll = draw(st.integers(min_value=0, max_value=1))
+    if n_adc + n_dac + n_pll == 0:
+        n_adc = 1
+    soc = random_workload(
+        n_cores, seed=seed, n_adc=n_adc, n_dac=n_dac, n_pll=n_pll
+    )
+    if draw(st.booleans()):
+        soc = annotate_power(soc, seed=seed)
+    tam = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                schema.TamConfig,
+                width=st.integers(min_value=8, max_value=64),
+                wt=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False),
+            ),
+        )
+    )
+    return schema.ScenarioDoc.from_soc(soc, tam=tam)
+
+
+@settings(max_examples=25, deadline=None)
+@given(doc=scenario_docs())
+def test_generate_parse_validate_build_round_trip(doc):
+    text = schema.generate(doc)
+    parsed = schema.parse(text)
+    assert schema.validate(parsed) == ()
+    assert parsed.build() == doc.build()
+    assert parsed.build().power_budget == doc.build().power_budget
+    # canonical idempotence: the second generate is byte-identical
+    assert schema.generate(parsed) == text
+    # and another full cycle is a fixed point
+    assert schema.generate(schema.parse(schema.generate(parsed))) == text
+
+
+@settings(max_examples=10, deadline=None)
+@given(doc=scenario_docs())
+def test_power_annotations_survive(doc):
+    parsed = schema.parse(schema.generate(doc))
+    original, rebuilt = doc.build(), parsed.build()
+    for before, after in zip(original.digital_cores, rebuilt.digital_cores):
+        assert before.power == after.power
+    for core_before, core_after in zip(
+        original.analog_cores, rebuilt.analog_cores
+    ):
+        for before, after in zip(core_before.tests, core_after.tests):
+            assert before.power == after.power

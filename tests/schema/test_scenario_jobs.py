@@ -1,0 +1,140 @@
+"""Scenario documents threaded through jobs, engine, and server specs.
+
+The acceptance bar: a job submitted *by document* must be
+indistinguishable — cache key, server job key, and results — from the
+equivalent preset submission.
+"""
+
+from importlib.resources import files
+
+import pytest
+
+from repro import schema
+from repro.runner.engine import _build_soc, _job_key, _soc_digest, evaluate_job
+from repro.runner.jobs import SweepJob, expand_grid
+from repro.server.protocol import JobSpec
+from repro.workloads import registry
+
+
+def mini_text() -> str:
+    resource = files("repro.workloads") / "scenarios" / "mini.json"
+    return resource.read_text(encoding="utf-8")
+
+
+class TestSweepJobScenario:
+    def test_workload_filled_from_document_name(self):
+        job = SweepJob(width=8, scenario=mini_text())
+        assert job.workload == "mini"
+        assert job.scenario == mini_text()  # shipped file is canonical
+
+    def test_non_canonical_text_is_canonicalized(self):
+        import json
+
+        reformatted = json.dumps(json.loads(mini_text()), indent=7)
+        job = SweepJob(width=8, scenario=reformatted)
+        assert job.scenario == mini_text()
+        assert job == SweepJob(width=8, scenario=mini_text())
+
+    def test_seed_rejected_with_scenario(self):
+        with pytest.raises(ValueError, match="no workload seed"):
+            SweepJob(width=8, seed=3, scenario=mini_text())
+
+    def test_mismatched_workload_name_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            SweepJob(workload="d695m", width=8, scenario=mini_text())
+
+    def test_workload_or_scenario_required(self):
+        with pytest.raises(ValueError, match="workload name or a scenario"):
+            SweepJob(width=8)
+
+    def test_invalid_document_rejected(self):
+        with pytest.raises(schema.ScenarioError):
+            SweepJob(width=8, scenario="{}")
+
+
+class TestEngineParity:
+    def test_build_soc_matches_preset(self):
+        assert _build_soc("", None, mini_text()) == _build_soc("mini", None)
+
+    def test_disk_cache_key_matches_preset(self):
+        preset = SweepJob(workload="mini", width=8, effort="quick")
+        by_doc = SweepJob(width=8, effort="quick", scenario=mini_text())
+        digest_preset = _soc_digest(_build_soc("mini", None))
+        digest_doc = _soc_digest(_build_soc("", None, mini_text()))
+        assert digest_preset == digest_doc
+        assert _job_key(preset, digest_preset) == _job_key(by_doc, digest_doc)
+
+    def test_evaluate_job_results_match_preset(self):
+        preset = evaluate_job(SweepJob(workload="mini", width=8,
+                                       effort="quick"))
+        by_doc = evaluate_job(SweepJob(width=8, effort="quick",
+                                       scenario=mini_text()))
+        assert by_doc.status == "ok"
+        for field in ("soc_name", "makespan", "partition", "total_cost",
+                      "time_cost", "area_cost", "n_evaluated", "n_total"):
+            assert getattr(by_doc, field) == getattr(preset, field), field
+
+
+class TestExpandGridScenarios:
+    def test_scenarios_axis_adds_jobs(self):
+        jobs = expand_grid(
+            workloads=("mini",), widths=(8, 16), scenarios=(mini_text(),)
+        )
+        assert len(jobs) == 4
+        assert {job.scenario is None for job in jobs} == {True, False}
+        # document rows carry the document's name and no seed
+        doc_jobs = [job for job in jobs if job.scenario]
+        assert all(job.workload == "mini" for job in doc_jobs)
+        assert all(job.seed is None for job in doc_jobs)
+
+    def test_scenarios_alone_suffice(self):
+        jobs = expand_grid(workloads=(), widths=(8,),
+                           scenarios=(mini_text(),))
+        assert len(jobs) == 1
+
+    def test_empty_both_sources_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            expand_grid(workloads=(), widths=(8,))
+
+
+class TestServerJobKeyParity:
+    def test_sweep_scenario_coalesces_with_preset(self):
+        preset = JobSpec.create(
+            "sweep", {"workload": "mini", "width": 8, "effort": "quick"}
+        )
+        by_doc = JobSpec.create(
+            "sweep",
+            {"scenario": mini_text(), "width": 8, "effort": "quick"},
+        )
+        assert preset.job_key == by_doc.job_key
+        assert by_doc.params["workload"] == "mini"
+
+    def test_optimize_scenario_coalesces_with_preset(self):
+        preset = JobSpec.create(
+            "optimize", {"workload": "mini", "width": 8, "budget": 20}
+        )
+        by_doc = JobSpec.create(
+            "optimize",
+            {"scenario": mini_text(), "width": 8, "budget": 20},
+        )
+        assert preset.job_key == by_doc.job_key
+
+    def test_differing_params_still_distinct(self):
+        a = JobSpec.create(
+            "sweep", {"scenario": mini_text(), "width": 8}
+        )
+        b = JobSpec.create(
+            "sweep", {"scenario": mini_text(), "width": 16}
+        )
+        assert a.job_key != b.job_key
+
+    def test_custom_scenario_not_in_registry_is_admissible(self):
+        doc = schema.ScenarioDoc.from_soc(
+            registry.build("mini"), name="my_custom"
+        )
+        text = schema.generate(doc)
+        spec = JobSpec.create("sweep", {"scenario": text, "width": 8})
+        assert spec.params["workload"] == "my_custom"
+        # same SOC content -> still coalesces with the preset submission
+        preset = JobSpec.create("sweep", {"workload": "mini", "width": 8})
+        assert spec.job_key == preset.job_key

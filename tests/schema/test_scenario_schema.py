@@ -1,0 +1,218 @@
+"""Unit tests for the canonical scenario schema (parse/validate/generate)."""
+
+import json
+
+import pytest
+
+from repro import schema
+from repro.soc.model import AnalogCore, AnalogTest, DigitalCore, Soc
+
+MINI_DOC = """\
+{
+  "schema_version": 1,
+  "name": "unit",
+  "soc": {
+    "name": "u1",
+    "digital_cores": [
+      {
+        "name": "d1",
+        "inputs": 4,
+        "outputs": 4,
+        "bidirs": 0,
+        "scan_chains": [10, 20],
+        "patterns": 16
+      }
+    ],
+    "analog_cores": [
+      {
+        "name": "A",
+        "description": "adc",
+        "resolution_bits": 10,
+        "tests": [
+          {
+            "name": "snr",
+            "band_low_hz": 1000.0,
+            "band_high_hz": 2000.0,
+            "sample_freq_hz": 1000000.0,
+            "cycles": 4096,
+            "tam_width": 2
+          }
+        ]
+      }
+    ]
+  }
+}
+"""
+
+
+def make_doc(**kwargs):
+    return schema.parse(MINI_DOC, **kwargs)
+
+
+class TestParse:
+    def test_parse_builds_equal_soc(self):
+        doc = make_doc()
+        soc = doc.build()
+        assert isinstance(soc, Soc)
+        assert soc.name == "u1"
+        assert soc.digital_cores[0] == DigitalCore(
+            "d1", inputs=4, outputs=4, bidirs=0, scan_chains=(10, 20),
+            patterns=16,
+        )
+        assert soc.analog_cores[0] == AnalogCore(
+            "A", "adc",
+            (AnalogTest("snr", 1000.0, 2000.0, 1000000.0, 4096, 2),),
+            resolution_bits=10,
+        )
+
+    def test_round_trip_is_fixed_point(self):
+        doc = make_doc()
+        text = schema.generate(doc)
+        assert schema.generate(schema.parse(text)) == text
+
+    def test_unknown_root_field_is_line_anchored(self):
+        bad = MINI_DOC.replace('"name": "unit",', '"name": "unit",\n  "frob": 1,')
+        with pytest.raises(schema.ScenarioError) as excinfo:
+            schema.parse(bad, source="doc.json")
+        (diag,) = excinfo.value.diagnostics
+        assert "unknown field 'frob'" in diag.message
+        assert diag.line == 4
+        assert diag.source == "doc.json"
+
+    def test_multiple_errors_collected(self):
+        bad = (
+            MINI_DOC
+            .replace('"schema_version": 1', '"schema_version": 99')
+            .replace('"inputs": 4', '"inpts": 4')
+            .replace('"cycles": 4096', '"cycles": "many"')
+        )
+        with pytest.raises(schema.ScenarioError) as excinfo:
+            schema.parse(bad)
+        messages = " | ".join(
+            d.message for d in excinfo.value.diagnostics
+        )
+        assert "unsupported schema_version 99" in messages
+        assert "unknown field 'inpts'" in messages
+        assert "missing required field 'inputs'" in messages
+        assert "'cycles' must be an integer" in messages
+
+    def test_model_invariants_are_anchored(self):
+        bad = MINI_DOC.replace('"patterns": 16', '"patterns": -1')
+        with pytest.raises(schema.ScenarioError) as excinfo:
+            schema.parse(bad)
+        diag = excinfo.value.diagnostics[0]
+        assert diag.path == "soc.digital_cores[0]"
+        assert diag.line is not None
+
+    def test_test_extensions_preserved_and_lenient(self):
+        tree = json.loads(MINI_DOC)
+        tree["soc"]["analog_cores"][0]["tests"][0]["vendor_id"] = "acme-7"
+        doc = schema.parse(json.dumps(tree))
+        assert doc.extensions == (("A", "snr", "vendor_id", '"acme-7"'),)
+        out = schema.generate(doc)
+        assert '"vendor_id": "acme-7"' in out
+        assert schema.generate(schema.parse(out)) == out
+
+    def test_strict_objects_reject_extensions(self):
+        tree = json.loads(MINI_DOC)
+        tree["soc"]["analog_cores"][0]["vendor_id"] = "acme-7"
+        with pytest.raises(schema.ScenarioError, match="unknown field"):
+            schema.parse(json.dumps(tree))
+
+    def test_duplicate_key_rejected(self):
+        bad = MINI_DOC.replace(
+            '"name": "unit",', '"name": "unit",\n  "name": "twice",'
+        )
+        with pytest.raises(schema.ScenarioError, match="duplicate key"):
+            schema.parse(bad)
+
+    def test_json_syntax_error_has_position(self):
+        with pytest.raises(schema.ScenarioError) as excinfo:
+            schema.parse('{\n  "schema_version": 1,,\n}')
+        diag = excinfo.value.diagnostics[0]
+        assert diag.line == 2
+
+    def test_missing_version_rejected(self):
+        tree = json.loads(MINI_DOC)
+        del tree["schema_version"]
+        with pytest.raises(schema.ScenarioError, match="schema_version"):
+            schema.parse(json.dumps(tree))
+
+    def test_future_version_named_in_error(self):
+        bad = MINI_DOC.replace('"schema_version": 1', '"schema_version": 2')
+        with pytest.raises(schema.ScenarioError, match="reads version 1"):
+            schema.parse(bad)
+
+
+class TestTamAndOptimizer:
+    def test_blocks_parse_and_round_trip(self):
+        tree = json.loads(MINI_DOC)
+        tree["tam"] = {"width": 16, "wt": 0.25}
+        tree["optimizer"] = {"strategy": "anneal", "budget": 50}
+        doc = schema.parse(json.dumps(tree))
+        assert doc.tam == schema.TamConfig(width=16, wt=0.25)
+        assert doc.optimizer.budget == 50
+        assert doc.optimizer.strategy == "anneal"
+        out = schema.generate(doc)
+        assert schema.generate(schema.parse(out)) == out
+
+    def test_validate_flags_infeasible_tam_width(self):
+        tree = json.loads(MINI_DOC)
+        tree["tam"] = {"width": 1}
+        doc = schema.parse(json.dumps(tree))
+        problems = schema.validate(doc)
+        assert any("needs 2 TAM wires" in d.message for d in problems)
+
+    def test_validate_flags_unknown_strategy_and_effort(self):
+        tree = json.loads(MINI_DOC)
+        tree["optimizer"] = {"strategy": "wizardry", "effort": "heroic"}
+        doc = schema.parse(json.dumps(tree))
+        messages = " | ".join(d.message for d in schema.validate(doc))
+        assert "unknown strategy 'wizardry'" in messages
+        assert "unknown effort 'heroic'" in messages
+
+    def test_valid_doc_validates_clean(self):
+        assert schema.validate(make_doc()) == ()
+
+
+class TestYaml:
+    pytestmark = pytest.mark.skipif(
+        not schema.yaml_available(), reason="PyYAML not installed"
+    )
+
+    def test_yaml_round_trips_through_canonical_json(self):
+        doc = make_doc()
+        text = schema.generate(doc, fmt="yaml")
+        again = schema.parse(text, fmt="yaml")
+        assert again.build() == doc.build()
+        assert schema.generate(again) == schema.generate(doc)
+
+    def test_yaml_errors_are_line_anchored(self):
+        text = schema.generate(make_doc(), fmt="yaml")
+        bad = text.replace("inputs:", "inpts:")
+        with pytest.raises(schema.ScenarioError) as excinfo:
+            schema.parse(bad)
+        assert any(
+            "unknown field 'inpts'" in d.message and d.line is not None
+            for d in excinfo.value.diagnostics
+        )
+
+    def test_detect_format(self):
+        assert schema.detect_format(MINI_DOC) == "json"
+        assert schema.detect_format("name: x\n") == "yaml"
+
+
+class TestCanonicalScenario:
+    def test_canonicalizes_formatting_variants_to_same_text(self):
+        doc = make_doc()
+        canonical = schema.generate(doc)
+        reformatted = json.dumps(json.loads(canonical), indent=7)
+        _, text_a = schema.canonical_scenario(canonical)
+        _, text_b = schema.canonical_scenario(reformatted)
+        assert text_a == text_b == canonical
+
+    def test_rejects_semantic_problems(self):
+        tree = json.loads(MINI_DOC)
+        tree["optimizer"] = {"strategy": "wizardry"}
+        with pytest.raises(schema.ScenarioError, match="wizardry"):
+            schema.canonical_scenario(json.dumps(tree))

@@ -1,0 +1,67 @@
+"""Satellite: shipped preset documents match the code-defined recipes.
+
+Every packaged scenario file must (a) be in canonical form — parsing
+and re-generating it reproduces the file byte-identically — and (b)
+build a Soc equal to what the pre-schema code path (running the
+workload factory directly) produces, so shipping the documents changed
+nothing observable.
+"""
+
+from importlib.resources import files
+
+import pytest
+
+from repro import schema
+from repro.workloads import registry
+
+SHIPPED = (
+    "p93791m", "d695m", "g1023m", "p22810m", "mini",
+    "rand24m", "rand48m", "big8m", "big12m", "big16m",
+)
+
+
+def shipped_text(name: str) -> str:
+    resource = files("repro.workloads") / "scenarios" / f"{name}.json"
+    return resource.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+def test_shipped_file_is_canonical_fixed_point(name):
+    text = shipped_text(name)
+    doc = schema.parse(text, source=f"{name}.json")
+    assert schema.validate(doc) == ()
+    assert schema.generate(doc) == text
+    # parse → validate → generate → parse: a fixed point
+    again = schema.parse(schema.generate(doc))
+    assert schema.generate(again) == text
+    assert again.build() == doc.build()
+
+
+@pytest.mark.parametrize("name", SHIPPED)
+def test_shipped_file_builds_the_code_defined_soc(name):
+    workload = registry.get(name)
+    from_factory = registry._as_soc(workload.factory(workload.default_seed))
+    doc = schema.parse(shipped_text(name))
+    assert doc.name == name
+    assert doc.build() == from_factory
+    # and the registry front door agrees with both
+    assert registry.build(name) == from_factory
+
+
+def test_registry_serves_shipped_document_at_default_seed():
+    doc = registry.get("mini").scenario()
+    assert schema.generate(doc) == shipped_text("mini")
+
+
+def test_non_default_seed_bypasses_shipped_document():
+    workload = registry.get("d695m")
+    doc = workload.scenario(seed=7)
+    assert doc.build() == registry._as_soc(workload.factory(7))
+    assert doc.build() != workload.scenario().build()
+
+
+def test_power_variants_stay_code_defined():
+    # *p presets ship no document; the seeded recipe is authoritative
+    doc = registry.get("minip").scenario()
+    assert doc.build() == registry.build("minip")
+    assert doc.build().power_budget is not None

@@ -58,9 +58,18 @@ class TestValidation:
                 "sweep", {"workload": "mini", "width": 8, "bogus": 1}
             )
 
-    def test_missing_required_param(self):
-        with pytest.raises(ValueError, match="width"):
-            JobSpec.create("sweep", {"workload": "mini"})
+    def test_missing_workload_and_scenario(self):
+        # width defaults (32) so a bare preset name is a valid spec;
+        # what cannot be omitted is the SOC source itself
+        with pytest.raises(ValueError, match="workload name or a scenario"):
+            JobSpec.create("sweep", {"width": 8})
+        assert JobSpec.create("sweep", {"workload": "mini"}).params[
+            "width"
+        ] == 32
+
+    def test_unknown_workload_rejected_at_admission(self):
+        with pytest.raises(ValueError, match="no_such_preset"):
+            JobSpec.create("sweep", {"workload": "no_such_preset"})
 
     def test_bad_optimize_values(self):
         with pytest.raises(ValueError, match="budget"):

@@ -167,3 +167,89 @@ class TestRoundTrip:
         )
         soc = Soc("s", analog_cores=(core,))
         assert loads(dumps(soc)) == soc
+
+
+class TestDiagnostics:
+    """Hardened error reporting: source/line/column and offending token."""
+
+    def test_truncated_header_names_what_was_expected(self):
+        with pytest.raises(SocFormatError, match="end of file.*TotalModules"):
+            loads("SocName alone\n")
+
+    def test_truncated_empty_document(self):
+        with pytest.raises(SocFormatError, match="end of file.*SocName"):
+            loads("# nothing but a comment\n")
+
+    def test_duplicated_module_name_reports_both_lines(self):
+        text = MINIMAL + MINIMAL.replace("SocName tiny", "").replace(
+            "TotalModules 1", ""
+        ).replace("Module 1 'only'", "Module 2 'only'")
+        text = text.replace("TotalModules 1", "TotalModules 2", 1)
+        with pytest.raises(
+            SocFormatError, match=r"duplicate module name 'only'.*line 4"
+        ):
+            loads(text)
+
+    def test_unknown_directive_carries_line_and_token(self):
+        text = MINIMAL.replace(
+            "Module 1 'only'", "Frobnicate 3\nModule 1 'only'"
+        )
+        with pytest.raises(SocFormatError) as excinfo:
+            loads(text)
+        err = excinfo.value
+        assert "unknown directive 'Frobnicate'" in str(err)
+        assert err.line_no == 4
+        assert err.column == 1
+        assert err.token == "Frobnicate"
+
+    def test_unknown_module_field_carries_token(self):
+        text = MINIMAL + "Frobnicate 3\n"
+        with pytest.raises(
+            SocFormatError, match="unknown digital-module field 'Frobnicate'"
+        ) as excinfo:
+            loads(text)
+        assert excinfo.value.line_no == 11
+        assert excinfo.value.token == "Frobnicate"
+
+    def test_bad_integer_token_has_column(self):
+        text = MINIMAL.replace("Patterns 7", "Patterns seven")
+        with pytest.raises(SocFormatError) as excinfo:
+            loads(text)
+        err = excinfo.value
+        assert "Patterns requires an integer value" in str(err)
+        assert err.line_no == 10
+        assert err.column == 12
+        assert err.token == "seven"
+
+    def test_source_name_prefixes_message(self, tmp_path):
+        bad = tmp_path / "broken.soc"
+        bad.write_text("SocName x\nTotalModules nope\n")
+        with pytest.raises(SocFormatError, match=r"broken\.soc.*line 2"):
+            load(bad)
+
+    def test_repeated_digital_field_rejected(self):
+        text = MINIMAL.replace("  Patterns 7", "  Patterns 7\n  Patterns 9")
+        with pytest.raises(SocFormatError, match="repeats field 'Patterns'"):
+            loads(text)
+
+    def test_scenario_bridge_round_trip(self):
+        from repro.schema import ScenarioDoc, generate, parse
+        from repro.soc.itc02 import dumps_scenario, loads_scenario
+
+        doc = loads_scenario(ANALOG, name="a-doc")
+        assert isinstance(doc, ScenarioDoc)
+        assert doc.name == "a-doc"
+        assert doc.build() == loads(ANALOG)
+        assert loads(dumps_scenario(doc)) == doc.build()
+        canonical = generate(doc)
+        assert generate(parse(canonical)) == canonical
+
+    def test_scenario_bridge_reports_scenario_error(self):
+        from repro.schema import ScenarioError
+        from repro.soc.itc02 import loads_scenario
+
+        with pytest.raises(ScenarioError) as excinfo:
+            loads_scenario("SocName x\nTotalModules nope\n", source="x.soc")
+        diag = excinfo.value.diagnostics[0]
+        assert diag.line == 2
+        assert diag.source == "x.soc"
